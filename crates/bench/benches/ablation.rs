@@ -1,0 +1,63 @@
+//! Ablation bench: Algorithm 2's two pruning rules, individually disabled.
+//! DESIGN.md calls these out as the design choices that separate Improve
+//! from Naive.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ic_bench::workloads::Workload;
+use ic_core::algo::{tic_improved_with_options, ImprovedOptions};
+use ic_core::Aggregation;
+use ic_gen::datasets::{by_name, Profile};
+use std::time::Duration;
+
+fn bench_pruning_ablation(c: &mut Criterion) {
+    let w = Workload::build(by_name(Profile::Quick, "email").unwrap());
+    let k = w.spec.default_k;
+    let mut group = c.benchmark_group("ablation_email_improved_pruning");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(8));
+
+    let variants: [(&str, ImprovedOptions); 4] = [
+        (
+            "full_pruning",
+            ImprovedOptions {
+                epsilon: 0.0,
+                prune_by_threshold: true,
+                trim_candidates: true,
+            },
+        ),
+        (
+            "no_threshold_prune",
+            ImprovedOptions {
+                epsilon: 0.0,
+                prune_by_threshold: false,
+                trim_candidates: true,
+            },
+        ),
+        (
+            "no_candidate_trim",
+            ImprovedOptions {
+                epsilon: 0.0,
+                prune_by_threshold: true,
+                trim_candidates: false,
+            },
+        ),
+        (
+            "no_pruning",
+            ImprovedOptions {
+                epsilon: 0.0,
+                prune_by_threshold: false,
+                trim_candidates: false,
+            },
+        ),
+    ];
+    for (name, opts) in variants {
+        group.bench_function(name, |b| {
+            b.iter(|| tic_improved_with_options(&w.wg, k, 5, Aggregation::Sum, opts).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pruning_ablation);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion counterpart of Figs 6–9: Random vs Greedy local search on
+//! the size-constrained problem (sum and avg).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ic_bench::workloads::Workload;
+use ic_core::algo::{local_search, LocalSearchConfig};
+use ic_core::Aggregation;
+use ic_gen::datasets::{by_name, Profile};
+use std::time::Duration;
+
+fn bench_constrained(c: &mut Criterion, agg: Aggregation, tag: &str) {
+    let w = Workload::build(by_name(Profile::Quick, "email").unwrap());
+    let mut group = c.benchmark_group(format!("fig6_7_email_{tag}_time_vs_k"));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
+    for k in [4usize, 6, 8, 10] {
+        for greedy in [false, true] {
+            let name = if greedy { "greedy" } else { "random" };
+            group.bench_with_input(BenchmarkId::new(name, k), &k, |b, &k| {
+                let config = LocalSearchConfig {
+                    k,
+                    r: 5,
+                    s: 20,
+                    greedy,
+                };
+                b.iter(|| local_search(&w.wg, &config, agg).unwrap());
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_sum(c: &mut Criterion) {
+    bench_constrained(c, Aggregation::Sum, "sum");
+}
+
+fn bench_avg(c: &mut Criterion) {
+    bench_constrained(c, Aggregation::Average, "avg");
+}
+
+criterion_group!(benches, bench_sum, bench_avg);
+criterion_main!(benches);

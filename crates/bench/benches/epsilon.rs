@@ -1,0 +1,31 @@
+//! Criterion counterpart of Figs 4–5: the Approx solver's insensitivity
+//! to ε.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ic_bench::workloads::Workload;
+use ic_core::algo;
+use ic_core::Aggregation;
+use ic_gen::datasets::{by_name, Profile};
+use std::time::Duration;
+
+fn bench_fig4_epsilon_sweep(c: &mut Criterion) {
+    let w = Workload::build(by_name(Profile::Quick, "email").unwrap());
+    let k = w.spec.default_k;
+    let mut group = c.benchmark_group("fig4_email_approx_vs_epsilon");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
+    for eps in [0.01f64, 0.05, 0.10, 0.20, 0.50] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("eps_{eps}")),
+            &eps,
+            |b, &eps| {
+                b.iter(|| algo::tic_improved(&w.wg, k, 5, Aggregation::Sum, eps).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4_epsilon_sweep);
+criterion_main!(benches);

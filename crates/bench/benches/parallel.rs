@@ -1,0 +1,38 @@
+//! Thread-scaling bench for the parallel local search (the paper's
+//! future-work direction).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ic_bench::workloads::Workload;
+use ic_core::algo::{par_local_search, LocalSearchConfig};
+use ic_core::Aggregation;
+use ic_gen::datasets::{by_name, Profile};
+use std::time::Duration;
+
+fn bench_thread_scaling(c: &mut Criterion) {
+    let w = Workload::build(by_name(Profile::Quick, "friendster").unwrap());
+    let config = LocalSearchConfig {
+        k: 4,
+        r: 5,
+        s: 20,
+        greedy: true,
+    };
+    let mut group = c.benchmark_group("parallel_friendster_local_search");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(10));
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    par_local_search(&w.wg, &config, Aggregation::Average, threads).unwrap()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_thread_scaling);
+criterion_main!(benches);

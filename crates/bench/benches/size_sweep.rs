@@ -1,0 +1,34 @@
+//! Criterion counterpart of Figs 10–11: local-search cost as the size
+//! bound s grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ic_bench::workloads::Workload;
+use ic_core::algo::{local_search, LocalSearchConfig};
+use ic_core::Aggregation;
+use ic_gen::datasets::{by_name, Profile};
+use std::time::Duration;
+
+fn bench_s_sweep(c: &mut Criterion) {
+    let w = Workload::build(by_name(Profile::Quick, "email").unwrap());
+    for (agg, tag) in [(Aggregation::Sum, "sum"), (Aggregation::Average, "avg")] {
+        let mut group = c.benchmark_group(format!("fig10_11_email_{tag}_time_vs_s"));
+        group
+            .sample_size(10)
+            .measurement_time(Duration::from_secs(5));
+        for s in [5usize, 10, 15, 20] {
+            group.bench_with_input(BenchmarkId::new("greedy", s), &s, |b, &s| {
+                let config = LocalSearchConfig {
+                    k: 4,
+                    r: 5,
+                    s,
+                    greedy: true,
+                };
+                b.iter(|| local_search(&w.wg, &config, agg).unwrap());
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_s_sweep);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Microbenchmarks for the substrate crates: core decomposition, PageRank,
+//! connected components, and the cascade-peel scratch used in the solver
+//! hot loop.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ic_centrality::{pagerank, PageRankConfig};
+use ic_gen::datasets::{by_name, Profile};
+use ic_graph::{connected_components, BitSet};
+use ic_kcore::{core_decomposition, maximal_kcore_components, peel_to_kcore_within, PeelScratch};
+use std::time::Duration;
+
+fn bench_substrates(c: &mut Criterion) {
+    let g = by_name(Profile::Quick, "email").unwrap().generate();
+    let mut group = c.benchmark_group("substrates_email");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(5));
+
+    group.bench_function("core_decomposition", |b| {
+        b.iter(|| core_decomposition(&g));
+    });
+    group.bench_function("kcore_components_k4", |b| {
+        b.iter(|| maximal_kcore_components(&g, 4));
+    });
+    group.bench_function("peel_to_kcore_k4", |b| {
+        b.iter(|| {
+            let mut mask = BitSet::full(g.num_vertices());
+            peel_to_kcore_within(&g, &mut mask, 4);
+            mask
+        });
+    });
+    group.bench_function("connected_components", |b| {
+        b.iter(|| connected_components(&g));
+    });
+    group.bench_function("pagerank_d085", |b| {
+        b.iter(|| pagerank(&g, &PageRankConfig::default()));
+    });
+    group.bench_function("cascade_scratch_single_deletion", |b| {
+        let comps = maximal_kcore_components(&g, 4);
+        let biggest = comps.iter().max_by_key(|c| c.len()).unwrap().clone();
+        let victim = biggest[biggest.len() / 2];
+        let mut scratch = PeelScratch::new(g.num_vertices());
+        b.iter(|| scratch.connected_kcores(&g, &biggest, Some(victim), 4));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_substrates);
+criterion_main!(benches);

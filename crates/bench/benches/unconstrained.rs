@@ -1,0 +1,50 @@
+//! Criterion counterpart of Figs 2–3: Naive vs Improve vs Approx on the
+//! size-unconstrained sum problem.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ic_bench::workloads::Workload;
+use ic_core::algo;
+use ic_core::Aggregation;
+use ic_gen::datasets::{by_name, Profile};
+use std::time::Duration;
+
+fn bench_fig2_k_sweep(c: &mut Criterion) {
+    let w = Workload::build(by_name(Profile::Quick, "email").unwrap());
+    let mut group = c.benchmark_group("fig2_email_time_vs_k");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(8));
+    for k in w.usable_k_grid() {
+        group.bench_with_input(BenchmarkId::new("naive", k), &k, |b, &k| {
+            b.iter(|| algo::sum_naive(&w.wg, k, 5, Aggregation::Sum).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("improve", k), &k, |b, &k| {
+            b.iter(|| algo::tic_improved(&w.wg, k, 5, Aggregation::Sum, 0.0).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("approx_0.1", k), &k, |b, &k| {
+            b.iter(|| algo::tic_improved(&w.wg, k, 5, Aggregation::Sum, 0.1).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig3_r_sweep(c: &mut Criterion) {
+    let w = Workload::build(by_name(Profile::Quick, "email").unwrap());
+    let k = w.spec.default_k;
+    let mut group = c.benchmark_group("fig3_email_time_vs_r");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(8));
+    for r in [5usize, 10, 15, 20] {
+        group.bench_with_input(BenchmarkId::new("naive", r), &r, |b, &r| {
+            b.iter(|| algo::sum_naive(&w.wg, k, r, Aggregation::Sum).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("improve", r), &r, |b, &r| {
+            b.iter(|| algo::tic_improved(&w.wg, k, r, Aggregation::Sum, 0.0).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2_k_sweep, bench_fig3_r_sweep);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! CLI for regenerating the paper's tables and figures.
+//!
+//! ```text
+//! experiments <exp-id>... [--profile quick|full] [--datasets a,b,c]
+//! experiments all
+//! experiments list
+//! ```
+
+use ic_bench::experiments::{run, Ctx, ALL_EXPERIMENTS};
+use ic_gen::datasets::Profile;
+use std::io::Write;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage_and_exit(1);
+    }
+
+    let mut ids: Vec<String> = Vec::new();
+    let mut profile = Profile::Quick;
+    let mut datasets: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--profile" => {
+                i += 1;
+                profile = match args.get(i).map(String::as_str) {
+                    Some("quick") => Profile::Quick,
+                    Some("full") => Profile::Full,
+                    other => {
+                        eprintln!("invalid --profile {other:?} (quick|full)");
+                        std::process::exit(1);
+                    }
+                };
+            }
+            "--datasets" => {
+                i += 1;
+                let Some(list) = args.get(i) else {
+                    eprintln!("--datasets needs a comma-separated list");
+                    std::process::exit(1);
+                };
+                datasets = list.split(',').map(|s| s.trim().to_string()).collect();
+            }
+            "--help" | "-h" => usage_and_exit(0),
+            "list" => {
+                for id in ALL_EXPERIMENTS {
+                    println!("{id}");
+                }
+                return;
+            }
+            "all" => ids.extend(ALL_EXPERIMENTS.iter().map(|s| s.to_string())),
+            other => ids.push(other.to_string()),
+        }
+        i += 1;
+    }
+    if ids.is_empty() {
+        usage_and_exit(1);
+    }
+
+    let ctx = Ctx { profile, datasets };
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    writeln!(
+        out,
+        "# Experiment run (profile: {:?}, datasets: {})",
+        ctx.profile,
+        if ctx.datasets.is_empty() {
+            "all".to_string()
+        } else {
+            ctx.datasets.join(",")
+        }
+    )
+    .unwrap();
+    for id in &ids {
+        match run(id, &ctx) {
+            Some(md) => {
+                write!(out, "{md}").unwrap();
+                out.flush().unwrap();
+            }
+            None => {
+                eprintln!("unknown experiment {id:?}; run `experiments list`");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+fn usage_and_exit(code: i32) -> ! {
+    eprintln!(
+        "usage: experiments <exp-id>... [--profile quick|full] [--datasets a,b,c]\n\
+         \n\
+         exp-ids: {}  (or `all` / `list`)",
+        ALL_EXPERIMENTS.join(", ")
+    );
+    std::process::exit(code);
+}

@@ -1,0 +1,102 @@
+//! Workload construction: dataset analogs with PageRank weights, plus the
+//! parameter grids of Section VI.
+
+use ic_gen::datasets::{registry, DatasetSpec, Profile};
+use ic_graph::WeightedGraph;
+use ic_kcore::core_decomposition;
+
+/// A ready-to-search workload.
+pub struct Workload {
+    /// The generating spec (contains the paper-side numbers for reporting).
+    pub spec: DatasetSpec,
+    /// The weighted graph (PageRank weights, damping 0.85).
+    pub wg: WeightedGraph,
+    /// Realized maximum core number.
+    pub kmax: u32,
+}
+
+impl Workload {
+    /// Builds the workload for a spec.
+    pub fn build(spec: DatasetSpec) -> Self {
+        let wg = spec.generate_weighted();
+        let kmax = core_decomposition(wg.graph()).max_core;
+        Workload { spec, wg, kmax }
+    }
+
+    /// The spec's k grid clamped to the realized `kmax`.
+    pub fn usable_k_grid(&self) -> Vec<usize> {
+        self.spec
+            .k_grid
+            .iter()
+            .copied()
+            .filter(|&k| k <= self.kmax as usize)
+            .collect()
+    }
+}
+
+/// Loads the requested datasets (all six when `names` is empty). Names are
+/// matched case-insensitively; unknown names panic with the valid list.
+pub fn load(profile: Profile, names: &[String]) -> Vec<Workload> {
+    let specs = registry(profile);
+    let selected: Vec<DatasetSpec> = if names.is_empty() {
+        specs
+    } else {
+        names
+            .iter()
+            .map(|n| {
+                specs
+                    .iter()
+                    .find(|s| s.name.eq_ignore_ascii_case(n))
+                    .unwrap_or_else(|| {
+                        panic!(
+                            "unknown dataset {n:?}; valid: {:?}",
+                            specs.iter().map(|s| s.name).collect::<Vec<_>>()
+                        )
+                    })
+                    .clone()
+            })
+            .collect()
+    };
+    selected
+        .into_iter()
+        .map(|spec| {
+            eprintln!("[workload] generating {} ...", spec.name);
+            Workload::build(spec)
+        })
+        .collect()
+}
+
+/// The paper's r sweep (Figs 3, 5, 8, 9).
+pub const R_GRID: [usize; 4] = [5, 10, 15, 20];
+/// The paper's ε sweep (Figs 4-5).
+pub const EPSILON_GRID: [f64; 5] = [0.01, 0.05, 0.10, 0.20, 0.50];
+/// The paper's s sweep (Figs 10-11).
+pub const S_GRID: [usize; 4] = [5, 10, 15, 20];
+/// The k sweep used by every size-constrained experiment (Figs 6-13).
+pub const CONSTRAINED_K_GRID: [usize; 4] = [4, 6, 8, 10];
+/// Default parameters (Section VI: ε = 0.1, r = 5, s = 20).
+pub const DEFAULT_EPSILON: f64 = 0.1;
+/// Default result count.
+pub const DEFAULT_R: usize = 5;
+/// Default size bound.
+pub const DEFAULT_S: usize = 20;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_by_name() {
+        let ws = load(Profile::Quick, &["email".to_string()]);
+        assert_eq!(ws.len(), 1);
+        assert_eq!(ws[0].spec.name, "email");
+        assert!(ws[0].kmax >= 10);
+        assert!(!ws[0].usable_k_grid().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown dataset")]
+    fn load_unknown_panics() {
+        load(Profile::Quick, &["bogus".to_string()]);
+    }
+}

@@ -1,0 +1,187 @@
+use ic_graph::Graph;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::VecDeque;
+
+/// Exact betweenness centrality via Brandes' algorithm, `O(n·m)`.
+///
+/// Scores are for undirected graphs (each pair counted once). Use
+/// [`betweenness_sampled`] on large graphs.
+pub fn betweenness(g: &Graph) -> Vec<f64> {
+    let n = g.num_vertices();
+    let sources: Vec<u32> = (0..n as u32).collect();
+    let mut bc = brandes_from_sources(g, &sources);
+    // Undirected: each pair (s, t) is counted twice.
+    for b in bc.iter_mut() {
+        *b /= 2.0;
+    }
+    bc
+}
+
+/// Sampled betweenness: Brandes accumulation from `samples` random source
+/// pivots, rescaled to estimate the exact score. Deterministic per `seed`.
+pub fn betweenness_sampled(g: &Graph, samples: usize, seed: u64) -> Vec<f64> {
+    let n = g.num_vertices();
+    if samples >= n {
+        return betweenness(g);
+    }
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut ids: Vec<u32> = (0..n as u32).collect();
+    ids.shuffle(&mut rng);
+    ids.truncate(samples.max(1));
+    let mut bc = brandes_from_sources(g, &ids);
+    let scale = n as f64 / (2.0 * ids.len() as f64);
+    for b in bc.iter_mut() {
+        *b *= scale;
+    }
+    bc
+}
+
+/// Brandes' dependency accumulation from the given sources.
+fn brandes_from_sources(g: &Graph, sources: &[u32]) -> Vec<f64> {
+    let n = g.num_vertices();
+    let mut bc = vec![0.0f64; n];
+    let mut sigma = vec![0.0f64; n];
+    let mut dist = vec![i64::MAX; n];
+    let mut delta = vec![0.0f64; n];
+    let mut preds: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut stack: Vec<u32> = Vec::with_capacity(n);
+    let mut queue: VecDeque<u32> = VecDeque::new();
+
+    for &s in sources {
+        // Reset per-source state.
+        sigma.fill(0.0);
+        dist.fill(i64::MAX);
+        delta.fill(0.0);
+        for p in preds.iter_mut() {
+            p.clear();
+        }
+        stack.clear();
+        queue.clear();
+
+        sigma[s as usize] = 1.0;
+        dist[s as usize] = 0;
+        queue.push_back(s);
+        while let Some(v) = queue.pop_front() {
+            stack.push(v);
+            let dv = dist[v as usize];
+            for &w in g.neighbors(v) {
+                let wi = w as usize;
+                if dist[wi] == i64::MAX {
+                    dist[wi] = dv + 1;
+                    queue.push_back(w);
+                }
+                if dist[wi] == dv + 1 {
+                    sigma[wi] += sigma[v as usize];
+                    preds[wi].push(v);
+                }
+            }
+        }
+        while let Some(w) = stack.pop() {
+            let wi = w as usize;
+            for &v in &preds[wi] {
+                let vi = v as usize;
+                delta[vi] += sigma[vi] / sigma[wi] * (1.0 + delta[wi]);
+            }
+            if w != s {
+                bc[wi] += delta[wi];
+            }
+        }
+    }
+    bc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ic_graph::graph_from_edges;
+
+    #[test]
+    fn path_betweenness_exact_values() {
+        // Path 0-1-2-3-4: betweenness of vertex i (undirected, pairs
+        // counted once) is the number of pairs it separates:
+        // v1: {0}x{2,3,4} = 3; v2: {0,1}x{3,4} = 4; v3: 3; endpoints 0.
+        let g = graph_from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let bc = betweenness(&g);
+        assert!((bc[0] - 0.0).abs() < 1e-9);
+        assert!((bc[1] - 3.0).abs() < 1e-9);
+        assert!((bc[2] - 4.0).abs() < 1e-9);
+        assert!((bc[3] - 3.0).abs() < 1e-9);
+        assert!((bc[4] - 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn star_hub_carries_all_pairs() {
+        // Star with 4 leaves: hub lies on all C(4,2) = 6 leaf pairs.
+        let g = graph_from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let bc = betweenness(&g);
+        assert!((bc[0] - 6.0).abs() < 1e-9);
+        for &leaf_bc in &bc[1..5] {
+            assert!((leaf_bc - 0.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn clique_has_zero_betweenness() {
+        let g = graph_from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        let bc = betweenness(&g);
+        for &b in &bc {
+            assert!(b.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn shortest_path_multiplicity_is_split() {
+        // 4-cycle: two shortest paths between opposite corners; each
+        // intermediate vertex gets 1/2 per opposite pair.
+        let g = graph_from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let bc = betweenness(&g);
+        for &b in &bc {
+            assert!((b - 0.5).abs() < 1e-9, "{bc:?}");
+        }
+    }
+
+    #[test]
+    fn sampled_full_matches_exact() {
+        let g = graph_from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 3)]);
+        let exact = betweenness(&g);
+        let sampled = betweenness_sampled(&g, 6, 1);
+        for (a, b) in exact.iter().zip(&sampled) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sampled_identifies_bridge_vertex() {
+        // Two cliques joined through vertex 4.
+        let mut edges = vec![];
+        for u in 0..4u32 {
+            for v in (u + 1)..4 {
+                edges.push((u, v));
+            }
+        }
+        for u in 5..9u32 {
+            for v in (u + 1)..9 {
+                edges.push((u, v));
+            }
+        }
+        edges.push((3, 4));
+        edges.push((4, 5));
+        let g = graph_from_edges(9, &edges);
+        let bc = betweenness_sampled(&g, 5, 99);
+        // With few pivots the estimate is noisy, but the bridge region
+        // {3, 4, 5} must dominate the clique-internal vertices.
+        let mut order: Vec<usize> = (0..9).collect();
+        order.sort_by(|&a, &b| bc[b].partial_cmp(&bc[a]).unwrap());
+        let top3: std::collections::BTreeSet<usize> = order[..3].iter().copied().collect();
+        assert_eq!(top3, [3usize, 4, 5].into_iter().collect(), "{bc:?}");
+    }
+
+    #[test]
+    fn disconnected_graph_is_handled() {
+        let g = graph_from_edges(6, &[(0, 1), (1, 2), (3, 4), (4, 5)]);
+        let bc = betweenness(&g);
+        assert!((bc[1] - 1.0).abs() < 1e-9);
+        assert!((bc[4] - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,178 @@
+use ic_graph::{Bfs, Graph};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Exact closeness centrality.
+///
+/// For each vertex `v`, closeness is `(r - 1) / Σ d(v, u)` where the sum
+/// ranges over the `r` vertices reachable from `v` (harmonic-free
+/// Wasserman–Faust normalization `(r-1)²/((n-1)·Σd)` is applied so scores
+/// are comparable across components). Isolated vertices score 0.
+///
+/// Runs one BFS per vertex: `O(n·(n+m))`. Use [`closeness_sampled`] for
+/// large graphs.
+pub fn closeness(g: &Graph) -> Vec<f64> {
+    let n = g.num_vertices();
+    let sources: Vec<u32> = (0..n as u32).collect();
+    closeness_from_sources(g, &sources, n)
+}
+
+/// Sampled closeness: BFS from `samples` random pivots; each vertex's score
+/// is estimated from its distances to the pivots. Deterministic for a fixed
+/// `seed`.
+pub fn closeness_sampled(g: &Graph, samples: usize, seed: u64) -> Vec<f64> {
+    let n = g.num_vertices();
+    if samples >= n {
+        return closeness(g);
+    }
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut ids: Vec<u32> = (0..n as u32).collect();
+    ids.shuffle(&mut rng);
+    ids.truncate(samples);
+    // With pivots we estimate sum-of-distances per vertex by accumulating
+    // distance from each pivot BFS, then scale as if all n sources ran.
+    let mut dist_sum = vec![0u64; n];
+    let mut reach_count = vec![0u32; n];
+    let mut dist = vec![u32::MAX; n];
+    let mut bfs_dist_scratch = BfsDist::new(n);
+    for &s in &ids {
+        bfs_dist_scratch.run(g, s, &mut dist);
+        for v in 0..n {
+            if dist[v] != u32::MAX {
+                dist_sum[v] += dist[v] as u64;
+                reach_count[v] += 1;
+            }
+        }
+    }
+    let n_f = n as f64;
+    (0..n)
+        .map(|v| {
+            if reach_count[v] <= 1 || dist_sum[v] == 0 {
+                0.0
+            } else {
+                // Scale pivot-estimated mean distance to the full graph.
+                let mean_d = dist_sum[v] as f64 / reach_count[v] as f64;
+                let r = reach_count[v] as f64 / samples as f64 * n_f;
+                ((r - 1.0) / (mean_d * (r - 1.0))) * ((r - 1.0) / (n_f - 1.0))
+            }
+        })
+        .collect()
+}
+
+fn closeness_from_sources(g: &Graph, sources: &[u32], n: usize) -> Vec<f64> {
+    let mut dist_sum = vec![0u64; n];
+    let mut reach = vec![0u32; n];
+    let mut dist = vec![u32::MAX; n];
+    let mut scratch = BfsDist::new(n);
+    for &s in sources {
+        scratch.run(g, s, &mut dist);
+        for v in 0..n {
+            if dist[v] != u32::MAX {
+                dist_sum[v] += dist[v] as u64;
+                reach[v] += 1;
+            }
+        }
+    }
+    let n_f = n as f64;
+    (0..n)
+        .map(|v| {
+            let r = reach[v] as f64; // includes v itself
+            if r <= 1.0 || dist_sum[v] == 0 {
+                0.0
+            } else {
+                ((r - 1.0) / dist_sum[v] as f64) * ((r - 1.0) / (n_f - 1.0))
+            }
+        })
+        .collect()
+}
+
+/// BFS distance computation with reusable allocation.
+struct BfsDist {
+    bfs: Bfs,
+}
+
+impl BfsDist {
+    fn new(n: usize) -> Self {
+        BfsDist { bfs: Bfs::new(n) }
+    }
+
+    /// Fills `dist` with hop counts from `source` (`u32::MAX` = unreachable).
+    fn run(&mut self, g: &Graph, source: u32, dist: &mut [u32]) {
+        dist.fill(u32::MAX);
+        dist[source as usize] = 0;
+        self.bfs.run(g, source, |v| {
+            if v != source {
+                // BFS visits in distance order; parent distance is final.
+                let d = g
+                    .neighbors(v)
+                    .iter()
+                    .filter_map(|&u| {
+                        let du = dist[u as usize];
+                        (du != u32::MAX).then_some(du)
+                    })
+                    .min()
+                    .unwrap_or(u32::MAX - 1);
+                dist[v as usize] = d + 1;
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ic_graph::graph_from_edges;
+
+    #[test]
+    fn path_center_is_most_central() {
+        let g = graph_from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let c = closeness(&g);
+        assert!(c[2] > c[1] && c[2] > c[3]);
+        assert!(c[1] > c[0] && c[3] > c[4]);
+        assert!((c[0] - c[4]).abs() < 1e-12, "symmetry");
+    }
+
+    #[test]
+    fn isolated_vertex_scores_zero() {
+        let g = graph_from_edges(3, &[(0, 1)]);
+        let c = closeness(&g);
+        assert_eq!(c[2], 0.0);
+        assert!(c[0] > 0.0);
+    }
+
+    #[test]
+    fn clique_vertices_are_equal() {
+        let g = graph_from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        let c = closeness(&g);
+        for w in c.windows(2) {
+            assert!((w[0] - w[1]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sampled_with_full_sample_count_matches_exact() {
+        let g = graph_from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
+        let exact = closeness(&g);
+        let sampled = closeness_sampled(&g, 6, 42);
+        for (a, b) in exact.iter().zip(&sampled) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sampled_is_deterministic_per_seed() {
+        let g = graph_from_edges(20, &(0..19u32).map(|i| (i, i + 1)).collect::<Vec<_>>());
+        let a = closeness_sampled(&g, 5, 7);
+        let b = closeness_sampled(&g, 5, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sampled_preserves_center_ordering_on_path() {
+        let g = graph_from_edges(21, &(0..20u32).map(|i| (i, i + 1)).collect::<Vec<_>>());
+        let c = closeness_sampled(&g, 10, 3);
+        // The center should beat the endpoints even with sampling.
+        assert!(c[10] > c[0]);
+        assert!(c[10] > c[20]);
+    }
+}

@@ -1,0 +1,24 @@
+use ic_graph::Graph;
+
+/// Degree centrality: `w(v) = d(v)`, the simplest influence measure the
+/// paper's introduction mentions.
+pub fn degree_centrality(g: &Graph) -> Vec<f64> {
+    g.vertices().map(|v| g.degree(v) as f64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ic_graph::graph_from_edges;
+
+    #[test]
+    fn degrees_as_weights() {
+        let g = graph_from_edges(4, &[(0, 1), (1, 2), (2, 0), (2, 3)]);
+        assert_eq!(degree_centrality(&g), vec![2.0, 2.0, 3.0, 1.0]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        assert!(degree_centrality(&Graph::empty(0)).is_empty());
+    }
+}

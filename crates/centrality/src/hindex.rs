@@ -1,0 +1,65 @@
+use ic_graph::Graph;
+
+/// The H-index of a list of scores: the largest `h` such that at least `h`
+/// of the scores are `>= h`. This is the citation metric the paper's
+/// research-group application uses as an influence value.
+pub fn hindex(scores: &[u32]) -> u32 {
+    let mut sorted: Vec<u32> = scores.to_vec();
+    sorted.sort_unstable_by(|a, b| b.cmp(a));
+    let mut h = 0u32;
+    for (i, &s) in sorted.iter().enumerate() {
+        if s >= (i as u32 + 1) {
+            h = i as u32 + 1;
+        } else {
+            break;
+        }
+    }
+    h
+}
+
+/// The *neighborhood H-index* of every vertex: the largest `h` such that
+/// `v` has at least `h` neighbors of degree `>= h`. A purely structural
+/// influence value (no external citation data needed), often used as a
+/// graph-native analog of the researcher H-index.
+pub fn neighbor_hindex(g: &Graph) -> Vec<f64> {
+    let mut out = Vec::with_capacity(g.num_vertices());
+    let mut buf: Vec<u32> = Vec::new();
+    for v in g.vertices() {
+        buf.clear();
+        buf.extend(g.neighbors(v).iter().map(|&u| g.degree(u) as u32));
+        out.push(hindex(&buf) as f64);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ic_graph::graph_from_edges;
+
+    #[test]
+    fn hindex_known_values() {
+        assert_eq!(hindex(&[]), 0);
+        assert_eq!(hindex(&[0, 0, 0]), 0);
+        assert_eq!(hindex(&[1]), 1);
+        assert_eq!(hindex(&[10, 8, 5, 4, 3]), 4);
+        assert_eq!(hindex(&[25, 8, 5, 3, 3]), 3);
+        assert_eq!(hindex(&[9, 9, 9, 9, 9, 9, 9, 9, 9]), 9);
+        assert_eq!(hindex(&[100]), 1);
+    }
+
+    #[test]
+    fn neighbor_hindex_on_clique() {
+        // K4: each vertex has 3 neighbors of degree 3 -> h = 3.
+        let g = graph_from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        assert_eq!(neighbor_hindex(&g), vec![3.0; 4]);
+    }
+
+    #[test]
+    fn neighbor_hindex_on_star() {
+        // Hub has 4 neighbors of degree 1 -> h = 1; leaves have one
+        // neighbor of degree 4 -> h = 1.
+        let g = graph_from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        assert_eq!(neighbor_hindex(&g), vec![1.0; 5]);
+    }
+}

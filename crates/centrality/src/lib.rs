@@ -1,0 +1,36 @@
+//! Vertex influence measures.
+//!
+//! The paper assigns every vertex an *influence value*; its experiments use
+//! PageRank with damping 0.85 (Section VI), and the introduction motivates
+//! other choices: degree, H-index, closeness, betweenness. This crate
+//! implements all of them on the `ic-graph` substrate so any of them can be
+//! plugged into the community-search algorithms as the weight function `w`.
+//!
+//! # Example
+//!
+//! ```
+//! use ic_graph::graph_from_edges;
+//! use ic_centrality::{pagerank, PageRankConfig};
+//!
+//! let g = graph_from_edges(3, &[(0, 1), (1, 2)]);
+//! let pr = pagerank(&g, &PageRankConfig::default());
+//! // The middle vertex of a path is the most central.
+//! assert!(pr[1] > pr[0] && pr[1] > pr[2]);
+//! // PageRank is a probability distribution.
+//! assert!((pr.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod betweenness;
+mod closeness;
+mod degree;
+mod hindex;
+mod pagerank;
+
+pub use betweenness::{betweenness, betweenness_sampled};
+pub use closeness::{closeness, closeness_sampled};
+pub use degree::degree_centrality;
+pub use hindex::{hindex, neighbor_hindex};
+pub use pagerank::{pagerank, PageRankConfig};

@@ -1,0 +1,148 @@
+use ic_graph::Graph;
+
+/// Configuration for the PageRank power iteration.
+#[derive(Clone, Debug)]
+pub struct PageRankConfig {
+    /// Damping factor; the paper's experiments use 0.85.
+    pub damping: f64,
+    /// Convergence threshold on the L1 change between iterations.
+    pub tolerance: f64,
+    /// Hard cap on iterations.
+    pub max_iterations: usize,
+}
+
+impl Default for PageRankConfig {
+    fn default() -> Self {
+        PageRankConfig {
+            damping: 0.85,
+            tolerance: 1e-10,
+            max_iterations: 200,
+        }
+    }
+}
+
+/// PageRank on an undirected graph by power iteration.
+///
+/// Each undirected edge is treated as two directed edges. Isolated vertices
+/// (degree 0) are handled as dangling nodes whose mass is redistributed
+/// uniformly, so the result is always a probability distribution.
+///
+/// The paper uses these scores as the vertex influence values `w(v)` in all
+/// its experiments (Section VI, damping 0.85).
+pub fn pagerank(g: &Graph, config: &PageRankConfig) -> Vec<f64> {
+    let n = g.num_vertices();
+    if n == 0 {
+        return Vec::new();
+    }
+    let uniform = 1.0 / n as f64;
+    let mut rank = vec![uniform; n];
+    let mut next = vec![0.0f64; n];
+    let d = config.damping;
+
+    for _ in 0..config.max_iterations {
+        // Mass from dangling (isolated) vertices is spread uniformly.
+        let dangling: f64 = g
+            .vertices()
+            .filter(|&v| g.degree(v) == 0)
+            .map(|v| rank[v as usize])
+            .sum();
+        let base = (1.0 - d) * uniform + d * dangling * uniform;
+        next.fill(base);
+        for v in g.vertices() {
+            let deg = g.degree(v);
+            if deg > 0 {
+                let share = d * rank[v as usize] / deg as f64;
+                for &u in g.neighbors(v) {
+                    next[u as usize] += share;
+                }
+            }
+        }
+        let delta: f64 = rank
+            .iter()
+            .zip(&next)
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        std::mem::swap(&mut rank, &mut next);
+        if delta < config.tolerance {
+            break;
+        }
+    }
+    rank
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ic_graph::graph_from_edges;
+
+    fn total(v: &[f64]) -> f64 {
+        v.iter().sum()
+    }
+
+    #[test]
+    fn sums_to_one() {
+        let g = graph_from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        let pr = pagerank(&g, &PageRankConfig::default());
+        assert!((total(&pr) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn symmetric_graph_gives_uniform_ranks() {
+        // On a cycle every vertex is equivalent.
+        let g = graph_from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let pr = pagerank(&g, &PageRankConfig::default());
+        for &p in &pr {
+            assert!((p - 0.25).abs() < 1e-9, "{pr:?}");
+        }
+    }
+
+    #[test]
+    fn hub_ranks_highest_in_star() {
+        let g = graph_from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let pr = pagerank(&g, &PageRankConfig::default());
+        for leaf in 1..5 {
+            assert!(pr[0] > pr[leaf]);
+        }
+        assert!((total(&pr) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dangling_vertices_keep_distribution_normalized() {
+        let g = graph_from_edges(4, &[(0, 1)]); // 2 and 3 isolated
+        let pr = pagerank(&g, &PageRankConfig::default());
+        assert!((total(&pr) - 1.0).abs() < 1e-9);
+        assert!(pr[2] > 0.0 && pr[3] > 0.0);
+        assert!((pr[2] - pr[3]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let pr = pagerank(&Graph::empty(0), &PageRankConfig::default());
+        assert!(pr.is_empty());
+    }
+
+    #[test]
+    fn zero_damping_gives_uniform() {
+        let g = graph_from_edges(3, &[(0, 1), (0, 2)]);
+        let cfg = PageRankConfig {
+            damping: 0.0,
+            ..Default::default()
+        };
+        let pr = pagerank(&g, &cfg);
+        for &p in &pr {
+            assert!((p - 1.0 / 3.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn respects_max_iterations() {
+        let g = graph_from_edges(3, &[(0, 1), (1, 2)]);
+        let cfg = PageRankConfig {
+            tolerance: 0.0, // never converges by tolerance
+            max_iterations: 3,
+            ..Default::default()
+        };
+        let pr = pagerank(&g, &cfg);
+        assert!((total(&pr) - 1.0).abs() < 1e-9);
+    }
+}

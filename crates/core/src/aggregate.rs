@@ -1,0 +1,428 @@
+//! Aggregation functions (Table I of the paper) and incremental evaluation.
+//!
+//! An [`Aggregation`] maps a community `H` to its influence value `f(H)`.
+//! The table below summarizes the paper's hardness results, which the
+//! solver dispatch in [`crate::algo`] relies on:
+//!
+//! | Function | `f(H)` | Top-r unconstrained | Size-constrained |
+//! |----------|--------|---------------------|------------------|
+//! | `Min` | `min w(v)` | P (node domination) | NP-hard |
+//! | `Max` | `max w(v)` | P (node domination) | NP-hard |
+//! | `Sum` | `Σ w(v)` | P (size proportional) | NP-hard (Thm 4) |
+//! | `SumSurplus` | `Σ w(v) + α·|H|` | P | NP-hard |
+//! | `Average` | `Σ w(v) / |H|` | NP-hard (Thm 1), no const-factor approx (Thm 3) | NP-hard |
+//! | `WeightDensity` | `Σ w(v) − β·|H|` | NP-hard | NP-hard |
+//! | `BalancedDensity` | `w(H)/(w(H) − w(V∖H))` | NP-hard | NP-hard |
+
+use std::collections::BTreeMap;
+
+/// An aggregation function over community weights (Table I).
+#[derive(Clone, Copy, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Aggregation {
+    /// `min_{v∈H} w(v)` — the classic influential-community model
+    /// (Li et al., Bi et al.).
+    Min,
+    /// `max_{v∈H} w(v)`.
+    Max,
+    /// `Σ_{v∈H} w(v)`.
+    Sum,
+    /// `Σ w(v) + α·|H|` (α ≥ 0 keeps it removal-decreasing).
+    SumSurplus {
+        /// Per-member bonus α.
+        alpha: f64,
+    },
+    /// `Σ w(v) / |H|`.
+    Average,
+    /// `Σ w(v) − β·|H|` (β > 0 penalizes size).
+    WeightDensity {
+        /// Per-member penalty β.
+        beta: f64,
+    },
+    /// `w(H) / (w(H) − w(V∖H))`, defined only when `H` carries more than
+    /// half of the total weight; returns `−∞` otherwise so such
+    /// communities rank last (see DESIGN.md §4).
+    BalancedDensity,
+}
+
+/// Complexity class of a top-r search problem.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Hardness {
+    /// Solvable in polynomial time.
+    Polynomial,
+    /// NP-hard (Theorems 1, 3, 4 of the paper).
+    NpHard,
+}
+
+impl Aggregation {
+    /// Short lowercase name, matching the paper's terminology.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Aggregation::Min => "min",
+            Aggregation::Max => "max",
+            Aggregation::Sum => "sum",
+            Aggregation::SumSurplus { .. } => "sum-surplus",
+            Aggregation::Average => "avg",
+            Aggregation::WeightDensity { .. } => "weight-density",
+            Aggregation::BalancedDensity => "balanced-density",
+        }
+    }
+
+    /// Node domination (Definition 6): the community value always equals
+    /// some single member's weight.
+    pub fn is_node_domination(&self) -> bool {
+        matches!(self, Aggregation::Min | Aggregation::Max)
+    }
+
+    /// Size proportionality (Definition 7): `H ⊂ H'` implies
+    /// `f(H) ≤ f(H')` (for non-negative weights).
+    pub fn is_size_proportional(&self) -> bool {
+        match self {
+            Aggregation::Sum => true,
+            Aggregation::SumSurplus { alpha } => *alpha >= 0.0,
+            _ => false,
+        }
+    }
+
+    /// Corollary 2 prerequisite: removing any vertex strictly decreases
+    /// the influence value (assuming positive weights). Algorithms 1 and 2
+    /// are correct exactly for these aggregations.
+    pub fn decreases_on_removal(&self) -> bool {
+        self.is_size_proportional()
+    }
+
+    /// Hardness of the *size-unconstrained* top-r problem (Section III).
+    pub fn hardness_unconstrained(&self) -> Hardness {
+        match self {
+            Aggregation::Min
+            | Aggregation::Max
+            | Aggregation::Sum
+            | Aggregation::SumSurplus { .. } => Hardness::Polynomial,
+            Aggregation::Average
+            | Aggregation::WeightDensity { .. }
+            | Aggregation::BalancedDensity => Hardness::NpHard,
+        }
+    }
+
+    /// Hardness of the *size-constrained* top-r problem: NP-hard for every
+    /// aggregation (k-clique reduction, Theorem 4).
+    pub fn hardness_constrained(&self) -> Hardness {
+        Hardness::NpHard
+    }
+
+    /// Evaluates `f(H)` from a slice of member weights.
+    ///
+    /// `total_weight` is `w(V)` of the *whole* graph; only
+    /// `BalancedDensity` consults it. Returns `−∞` for an empty community.
+    pub fn evaluate(&self, member_weights: &[f64], total_weight: f64) -> f64 {
+        if member_weights.is_empty() {
+            return f64::NEG_INFINITY;
+        }
+        let count = member_weights.len() as f64;
+        let sum: f64 = member_weights.iter().sum();
+        match self {
+            Aggregation::Min => member_weights.iter().copied().fold(f64::INFINITY, f64::min),
+            Aggregation::Max => member_weights
+                .iter()
+                .copied()
+                .fold(f64::NEG_INFINITY, f64::max),
+            Aggregation::Sum => sum,
+            Aggregation::SumSurplus { alpha } => sum + alpha * count,
+            Aggregation::Average => sum / count,
+            Aggregation::WeightDensity { beta } => sum - beta * count,
+            Aggregation::BalancedDensity => {
+                let denom = 2.0 * sum - total_weight;
+                if denom > 0.0 {
+                    sum / denom
+                } else {
+                    f64::NEG_INFINITY
+                }
+            }
+        }
+    }
+
+    /// For removal-decreasing aggregations, the value of `H ∖ {v}` computed
+    /// in O(1) from the value of `H` (used by Algorithm 2's pruning bound:
+    /// the value of the parent minus the removed vertex upper-bounds every
+    /// child created by the cascade).
+    ///
+    /// Panics for aggregations that do not satisfy Corollary 2.
+    pub fn value_after_removal(&self, parent_value: f64, removed_weight: f64) -> f64 {
+        match self {
+            Aggregation::Sum => parent_value - removed_weight,
+            Aggregation::SumSurplus { alpha } => parent_value - removed_weight - alpha,
+            _ => panic!(
+                "value_after_removal is only defined for removal-decreasing aggregations, not {}",
+                self.name()
+            ),
+        }
+    }
+}
+
+/// Total-order wrapper for finite `f64` weights (weights are validated
+/// finite by `ic_graph::WeightedGraph`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct OrdF64(f64);
+
+impl Eq for OrdF64 {}
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Incrementally maintained aggregate over a community's weight multiset.
+///
+/// `add`/`remove` run in O(1) for the arithmetic aggregations and
+/// O(log n) for `Min`/`Max` (which track a weight multiset). Used by the
+/// local-search strategies, which grow and shrink a candidate community
+/// one vertex at a time.
+#[derive(Clone, Debug)]
+pub struct AggregateState {
+    aggregation: Aggregation,
+    total_weight: f64,
+    count: usize,
+    sum: f64,
+    /// Weight multiset; maintained only for `Min`/`Max`.
+    multiset: BTreeMap<OrdF64, usize>,
+}
+
+impl AggregateState {
+    /// Creates an empty state. `total_weight` is `w(V)` (used by
+    /// `BalancedDensity` only; pass anything, e.g. 0.0, otherwise).
+    pub fn new(aggregation: Aggregation, total_weight: f64) -> Self {
+        AggregateState {
+            aggregation,
+            total_weight,
+            count: 0,
+            sum: 0.0,
+            multiset: BTreeMap::new(),
+        }
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// True when no member has been added.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Adds a member with weight `w`.
+    pub fn add(&mut self, w: f64) {
+        self.count += 1;
+        self.sum += w;
+        if self.aggregation.is_node_domination() {
+            *self.multiset.entry(OrdF64(w)).or_insert(0) += 1;
+        }
+    }
+
+    /// Removes a member with weight `w`. For `Min`/`Max` the weight must
+    /// have been added before (panics otherwise — a logic error).
+    pub fn remove(&mut self, w: f64) {
+        debug_assert!(self.count > 0, "remove from empty aggregate");
+        self.count -= 1;
+        self.sum -= w;
+        if self.aggregation.is_node_domination() {
+            let entry = self
+                .multiset
+                .get_mut(&OrdF64(w))
+                .unwrap_or_else(|| panic!("weight {w} was never added"));
+            *entry -= 1;
+            if *entry == 0 {
+                self.multiset.remove(&OrdF64(w));
+            }
+        }
+    }
+
+    /// Clears all members.
+    pub fn clear(&mut self) {
+        self.count = 0;
+        self.sum = 0.0;
+        self.multiset.clear();
+    }
+
+    /// Current `f(H)`; `−∞` when empty.
+    pub fn value(&self) -> f64 {
+        if self.count == 0 {
+            return f64::NEG_INFINITY;
+        }
+        let count = self.count as f64;
+        match self.aggregation {
+            Aggregation::Min => self.multiset.keys().next().unwrap().0,
+            Aggregation::Max => self.multiset.keys().next_back().unwrap().0,
+            Aggregation::Sum => self.sum,
+            Aggregation::SumSurplus { alpha } => self.sum + alpha * count,
+            Aggregation::Average => self.sum / count,
+            Aggregation::WeightDensity { beta } => self.sum - beta * count,
+            Aggregation::BalancedDensity => {
+                let denom = 2.0 * self.sum - self.total_weight;
+                if denom > 0.0 {
+                    self.sum / denom
+                } else {
+                    f64::NEG_INFINITY
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: [Aggregation; 7] = [
+        Aggregation::Min,
+        Aggregation::Max,
+        Aggregation::Sum,
+        Aggregation::SumSurplus { alpha: 0.5 },
+        Aggregation::Average,
+        Aggregation::WeightDensity { beta: 0.5 },
+        Aggregation::BalancedDensity,
+    ];
+
+    #[test]
+    fn table_one_values() {
+        let w = [4.0, 1.0, 7.0];
+        let total = 20.0;
+        assert_eq!(Aggregation::Min.evaluate(&w, total), 1.0);
+        assert_eq!(Aggregation::Max.evaluate(&w, total), 7.0);
+        assert_eq!(Aggregation::Sum.evaluate(&w, total), 12.0);
+        assert_eq!(
+            Aggregation::SumSurplus { alpha: 2.0 }.evaluate(&w, total),
+            18.0
+        );
+        assert_eq!(Aggregation::Average.evaluate(&w, total), 4.0);
+        assert_eq!(
+            Aggregation::WeightDensity { beta: 1.0 }.evaluate(&w, total),
+            9.0
+        );
+        // Balanced density: 12 / (12 - 8) = 3.
+        assert_eq!(Aggregation::BalancedDensity.evaluate(&w, total), 3.0);
+    }
+
+    #[test]
+    fn balanced_density_undefined_when_minority() {
+        let w = [1.0, 2.0];
+        assert_eq!(
+            Aggregation::BalancedDensity.evaluate(&w, 100.0),
+            f64::NEG_INFINITY
+        );
+        // Exactly half is also undefined (denominator 0).
+        assert_eq!(
+            Aggregation::BalancedDensity.evaluate(&w, 6.0),
+            f64::NEG_INFINITY
+        );
+    }
+
+    #[test]
+    fn empty_community_is_neg_infinity() {
+        for agg in ALL {
+            assert_eq!(agg.evaluate(&[], 10.0), f64::NEG_INFINITY, "{}", agg.name());
+        }
+    }
+
+    #[test]
+    fn classification_matches_paper_table() {
+        use Hardness::*;
+        assert!(Aggregation::Min.is_node_domination());
+        assert!(Aggregation::Max.is_node_domination());
+        assert!(!Aggregation::Sum.is_node_domination());
+
+        assert!(Aggregation::Sum.is_size_proportional());
+        assert!(Aggregation::SumSurplus { alpha: 1.0 }.is_size_proportional());
+        assert!(!Aggregation::SumSurplus { alpha: -1.0 }.is_size_proportional());
+        assert!(!Aggregation::Average.is_size_proportional());
+
+        assert_eq!(Aggregation::Min.hardness_unconstrained(), Polynomial);
+        assert_eq!(Aggregation::Sum.hardness_unconstrained(), Polynomial);
+        assert_eq!(Aggregation::Average.hardness_unconstrained(), NpHard);
+        assert_eq!(
+            Aggregation::WeightDensity { beta: 1.0 }.hardness_unconstrained(),
+            NpHard
+        );
+        assert_eq!(Aggregation::BalancedDensity.hardness_unconstrained(), NpHard);
+        for agg in ALL {
+            assert_eq!(agg.hardness_constrained(), NpHard);
+        }
+    }
+
+    #[test]
+    fn value_after_removal_matches_reevaluation() {
+        let w = [4.0, 1.0, 7.0];
+        for agg in [Aggregation::Sum, Aggregation::SumSurplus { alpha: 0.5 }] {
+            let parent = agg.evaluate(&w, 0.0);
+            let child = agg.value_after_removal(parent, 1.0);
+            let expect = agg.evaluate(&[4.0, 7.0], 0.0);
+            assert!((child - expect).abs() < 1e-12, "{}", agg.name());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "removal-decreasing")]
+    fn value_after_removal_rejects_avg() {
+        Aggregation::Average.value_after_removal(1.0, 1.0);
+    }
+
+    #[test]
+    fn incremental_state_matches_slice_evaluation() {
+        let weights = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+        let total = 40.0;
+        for agg in ALL {
+            let mut st = AggregateState::new(agg, total);
+            let mut current: Vec<f64> = Vec::new();
+            for &w in &weights {
+                st.add(w);
+                current.push(w);
+                let expect = agg.evaluate(&current, total);
+                let got = st.value();
+                assert!(
+                    (got - expect).abs() < 1e-9 || (got == expect),
+                    "{} after add: {got} vs {expect}",
+                    agg.name()
+                );
+            }
+            // Remove in a scrambled order.
+            for &w in &[1.0, 9.0, 3.0, 2.0] {
+                st.remove(w);
+                let pos = current.iter().position(|&x| x == w).unwrap();
+                current.remove(pos);
+                let expect = agg.evaluate(&current, total);
+                let got = st.value();
+                assert!(
+                    (got - expect).abs() < 1e-9 || (got == expect),
+                    "{} after remove: {got} vs {expect}",
+                    agg.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn min_max_handle_duplicate_weights() {
+        let mut st = AggregateState::new(Aggregation::Min, 0.0);
+        st.add(2.0);
+        st.add(2.0);
+        st.add(5.0);
+        st.remove(2.0);
+        assert_eq!(st.value(), 2.0); // one copy of 2.0 remains
+        st.remove(2.0);
+        assert_eq!(st.value(), 5.0);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut st = AggregateState::new(Aggregation::Max, 0.0);
+        st.add(1.0);
+        st.clear();
+        assert!(st.is_empty());
+        assert_eq!(st.value(), f64::NEG_INFINITY);
+    }
+}

@@ -1,0 +1,56 @@
+use crate::{Aggregation, Community, SearchError};
+use ic_graph::{VertexId, WeightedGraph};
+
+/// Builds a [`Community`] from a vertex list, evaluating its influence
+/// value under `aggregation`.
+pub(crate) fn community_from_vertices(
+    wg: &WeightedGraph,
+    aggregation: Aggregation,
+    vertices: Vec<VertexId>,
+) -> Community {
+    let weights: Vec<f64> = vertices.iter().map(|&v| wg.weight(v)).collect();
+    let value = aggregation.evaluate(&weights, wg.total_weight());
+    Community::new(vertices, value)
+}
+
+/// Converts connected k-core components into valued communities.
+pub(crate) fn components_as_communities(
+    wg: &WeightedGraph,
+    aggregation: Aggregation,
+    components: Vec<Vec<VertexId>>,
+) -> Vec<Community> {
+    components
+        .into_iter()
+        .map(|c| community_from_vertices(wg, aggregation, c))
+        .collect()
+}
+
+/// Shared parameter validation for every solver.
+pub(crate) fn validate_k_r(r: usize) -> Result<(), SearchError> {
+    if r == 0 {
+        return Err(SearchError::InvalidParams(
+            "result count r must be positive".into(),
+        ));
+    }
+    Ok(())
+}
+
+/// Ensures the aggregation satisfies Corollary 2 (required by Algorithms 1
+/// and 2).
+pub(crate) fn require_removal_decreasing(
+    algorithm: &'static str,
+    aggregation: Aggregation,
+) -> Result<(), SearchError> {
+    if aggregation.decreases_on_removal() {
+        Ok(())
+    } else {
+        Err(SearchError::UnsupportedAggregation {
+            algorithm,
+            aggregation,
+            reason: "requires the influence value to decrease when vertices are removed \
+                     (Corollary 2); use local_search or exact_topr instead",
+        })
+    }
+}
+
+pub(crate) use require_removal_decreasing as require_corollary2;

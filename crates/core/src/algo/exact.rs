@@ -1,0 +1,444 @@
+//! Exact solvers (Algorithm 3 and the exhaustive oracle).
+//!
+//! Both are exponential and intended for tiny graphs: Algorithm 3's
+//! complexity is `O(Σ_{i=k+1}^{s} C(n,i) · (n+m))` (the paper presents it
+//! only to motivate the heuristics). [`exact_topr`] improves on it by
+//! enumerating *connected induced subgraphs* only (polynomial delay per
+//! subgraph) and additionally enforces the maximality constraint of
+//! Definition 3, making it the ground-truth oracle for the test suite.
+
+use crate::algo::{common::validate_k_r, community_from_vertices};
+use crate::{Aggregation, Community, SearchError};
+use ic_graph::{VertexId, WeightedGraph};
+
+/// All maximal k-influential communities (Definition 3) of the graph,
+/// sorted best-first. Exponential; intended for tiny graphs and tests.
+pub fn all_communities(wg: &WeightedGraph, k: usize, aggregation: Aggregation) -> Vec<Community> {
+    let n = wg.num_vertices();
+    let candidates = connected_kcore_subsets(wg, k, n.max(1));
+    let mut communities = keep_maximal(wg, aggregation, candidates);
+    communities.sort_by(|a, b| a.ranking_cmp(b));
+    communities
+}
+
+/// Exhaustive top-r solver: enumerates every connected subgraph with
+/// minimum internal degree ≥ `k`, applies the maximality constraint of
+/// Definition 3 (no strict superset with equal value), filters by the
+/// optional size bound `s` (Definition 4), and returns the best `r`.
+pub fn exact_topr(
+    wg: &WeightedGraph,
+    k: usize,
+    r: usize,
+    size_bound: Option<usize>,
+    aggregation: Aggregation,
+) -> Result<Vec<Community>, SearchError> {
+    validate_k_r(r)?;
+    if let Some(s) = size_bound {
+        if s <= k {
+            return Err(SearchError::InvalidParams(format!(
+                "size bound s = {s} must exceed k = {k} (a k-core needs k+1 vertices)"
+            )));
+        }
+    }
+    // Maximality (Definition 3) compares against supersets of *any* size,
+    // so enumerate without the size cap and filter afterwards.
+    let mut communities = all_communities(wg, k, aggregation);
+    if let Some(s) = size_bound {
+        communities.retain(|c| c.len() <= s);
+    }
+    communities.truncate(r);
+    Ok(communities)
+}
+
+/// Algorithm 3 verbatim (`TIC-EXACT`): enumerates **all** vertex subsets of
+/// size `k+1 ..= s`, keeps those inducing a connected k-core, and returns
+/// the top-r. Note the paper's pseudocode applies no maximality filter;
+/// this function is faithful to it (use [`exact_topr`] for the
+/// Definition-3-faithful oracle). Exponential in `s`.
+pub fn exact_naive(
+    wg: &WeightedGraph,
+    k: usize,
+    r: usize,
+    s: usize,
+    aggregation: Aggregation,
+) -> Result<Vec<Community>, SearchError> {
+    validate_k_r(r)?;
+    if s <= k {
+        return Err(SearchError::InvalidParams(format!(
+            "size bound s = {s} must exceed k = {k}"
+        )));
+    }
+    let n = wg.num_vertices();
+    let g = wg.graph();
+    let mut results: Vec<Community> = Vec::new();
+    let mut subset: Vec<VertexId> = Vec::new();
+
+    // Enumerate combinations of each size i = k+1 ..= min(s, n).
+    fn combinations<F: FnMut(&[VertexId])>(
+        n: usize,
+        size: usize,
+        start: usize,
+        subset: &mut Vec<VertexId>,
+        f: &mut F,
+    ) {
+        if subset.len() == size {
+            f(subset);
+            return;
+        }
+        let remaining = size - subset.len();
+        for v in start..=(n.saturating_sub(remaining)) {
+            subset.push(v as VertexId);
+            combinations(n, size, v + 1, subset, f);
+            subset.pop();
+        }
+    }
+
+    for i in (k + 1)..=s.min(n) {
+        combinations(n, i, 0, &mut subset, &mut |cand: &[VertexId]| {
+            if ic_kcore::is_kcore(g, cand, k) && is_connected_subset(g, cand) {
+                results.push(community_from_vertices(wg, aggregation, cand.to_vec()));
+            }
+        });
+    }
+    results.sort_by(|a, b| a.ranking_cmp(b));
+    results.truncate(r);
+    Ok(results)
+}
+
+fn is_connected_subset(g: &ic_graph::Graph, vertices: &[VertexId]) -> bool {
+    let mut mask = ic_graph::BitSet::new(g.num_vertices());
+    for &v in vertices {
+        mask.insert(v as usize);
+    }
+    ic_graph::is_connected_within(g, &mask)
+}
+
+/// Enumerates every connected induced subgraph (vertex set) of size
+/// ≤ `max_size` whose minimum internal degree is ≥ `k`.
+///
+/// Connected subsets are generated exactly once with the classic
+/// fixed-root scheme: for each root `v` (the minimum vertex of the
+/// subset), extend with neighbors `> v`, branching on include/exclude.
+fn connected_kcore_subsets(wg: &WeightedGraph, k: usize, max_size: usize) -> Vec<Vec<VertexId>> {
+    let g = wg.graph();
+    let n = g.num_vertices();
+    let mut out: Vec<Vec<VertexId>> = Vec::new();
+
+    let mut in_set = vec![false; n];
+    let mut banned = vec![false; n];
+    let mut in_ext = vec![false; n];
+    let mut set: Vec<VertexId> = Vec::new();
+
+    #[allow(clippy::too_many_arguments)]
+    fn extend(
+        g: &ic_graph::Graph,
+        root: VertexId,
+        k: usize,
+        max_size: usize,
+        set: &mut Vec<VertexId>,
+        in_set: &mut [bool],
+        banned: &mut [bool],
+        in_ext: &mut [bool],
+        ext: &[VertexId],
+        out: &mut Vec<Vec<VertexId>>,
+    ) {
+        // Emit the current set if it satisfies the degree constraint.
+        if set.len() > k {
+            let ok = set
+                .iter()
+                .all(|&v| g.neighbors(v).iter().filter(|&&u| in_set[u as usize]).count() >= k);
+            if ok {
+                let mut s = set.clone();
+                s.sort_unstable();
+                out.push(s);
+            }
+        }
+        if set.len() == max_size {
+            return;
+        }
+        let mut newly_banned: Vec<VertexId> = Vec::new();
+        for (i, &u) in ext.iter().enumerate() {
+            if banned[u as usize] {
+                continue;
+            }
+            // Include branch.
+            set.push(u);
+            in_set[u as usize] = true;
+            // New extension: the remaining candidates plus u's unseen
+            // neighbors greater than the root.
+            let mut next_ext: Vec<VertexId> = Vec::with_capacity(ext.len());
+            for &w in &ext[i + 1..] {
+                if !banned[w as usize] {
+                    next_ext.push(w);
+                }
+            }
+            let mut added: Vec<VertexId> = Vec::new();
+            for &w in ext {
+                in_ext[w as usize] = true;
+            }
+            for &w in g.neighbors(u) {
+                if w > root
+                    && !in_set[w as usize]
+                    && !banned[w as usize]
+                    && !in_ext[w as usize]
+                {
+                    next_ext.push(w);
+                    in_ext[w as usize] = true;
+                    added.push(w);
+                }
+            }
+            for &w in ext {
+                in_ext[w as usize] = false;
+            }
+            for &w in &added {
+                in_ext[w as usize] = false;
+            }
+            extend(
+                g, root, k, max_size, set, in_set, banned, in_ext, &next_ext, out,
+            );
+            set.pop();
+            in_set[u as usize] = false;
+            // Exclude branch: ban u for the rest of this subtree.
+            banned[u as usize] = true;
+            newly_banned.push(u);
+        }
+        for &u in &newly_banned {
+            banned[u as usize] = false;
+        }
+    }
+
+    for root in 0..n as VertexId {
+        set.push(root);
+        in_set[root as usize] = true;
+        let ext: Vec<VertexId> = g
+            .neighbors(root)
+            .iter()
+            .copied()
+            .filter(|&u| u > root)
+            .collect();
+        extend(
+            g,
+            root,
+            k,
+            max_size,
+            &mut set,
+            &mut in_set,
+            &mut banned,
+            &mut in_ext,
+            &ext,
+            &mut out,
+        );
+        set.pop();
+        in_set[root as usize] = false;
+    }
+    out
+}
+
+/// Filters candidates down to the maximal ones (Definition 3, item 3): a
+/// candidate is dropped iff a strict superset with the *same* influence
+/// value exists among the candidates.
+fn keep_maximal(
+    wg: &WeightedGraph,
+    aggregation: Aggregation,
+    candidates: Vec<Vec<VertexId>>,
+) -> Vec<Community> {
+    let mut communities: Vec<Community> = candidates
+        .into_iter()
+        .map(|c| community_from_vertices(wg, aggregation, c))
+        .collect();
+    // Group by exact value; only equal values can violate maximality.
+    communities.sort_by(|a, b| {
+        a.value
+            .total_cmp(&b.value)
+            .then_with(|| a.vertices.len().cmp(&b.vertices.len()))
+    });
+    let mut keep = vec![true; communities.len()];
+    let mut i = 0;
+    while i < communities.len() {
+        let mut j = i;
+        while j < communities.len() && communities[j].value == communities[i].value {
+            j += 1;
+        }
+        // Within the tie group [i, j): drop sets strictly contained in
+        // another (groups are sorted by size, so only later sets can be
+        // supersets).
+        for a in i..j {
+            for b in (a + 1)..j {
+                if communities[b].len() > communities[a].len()
+                    && is_subset(&communities[a].vertices, &communities[b].vertices)
+                {
+                    keep[a] = false;
+                    break;
+                }
+            }
+        }
+        i = j;
+    }
+    communities
+        .into_iter()
+        .zip(keep)
+        .filter_map(|(c, k)| k.then_some(c))
+        .collect()
+}
+
+fn is_subset(a: &[VertexId], b: &[VertexId]) -> bool {
+    // Both sorted; classic merge scan.
+    let mut bi = 0;
+    for &x in a {
+        while bi < b.len() && b[bi] < x {
+            bi += 1;
+        }
+        if bi == b.len() || b[bi] != x {
+            return false;
+        }
+        bi += 1;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figure1::{figure1, vs};
+    use ic_graph::{graph_from_edges, WeightedGraph};
+
+    fn small_two_triangles() -> WeightedGraph {
+        // Triangles {0,1,2} (weights 1,2,3) and {3,4,5} (weights 10,20,30).
+        let g = graph_from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]);
+        WeightedGraph::new(g, vec![1.0, 2.0, 3.0, 10.0, 20.0, 30.0]).unwrap()
+    }
+
+    #[test]
+    fn sum_topr_on_two_triangles() {
+        let wg = small_two_triangles();
+        let top = exact_topr(&wg, 2, 2, None, Aggregation::Sum).unwrap();
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].vertices, vec![3, 4, 5]);
+        assert_eq!(top[0].value, 60.0);
+        assert_eq!(top[1].vertices, vec![0, 1, 2]);
+        assert_eq!(top[1].value, 6.0);
+    }
+
+    #[test]
+    fn min_maximality_is_enforced() {
+        // Path-connected 2-core: 4-cycle with weights 5,5,5,1. Under min,
+        // {all} has value 1; the cycle minus the weight-1 vertex is NOT a
+        // 2-core, so the only community is the full cycle.
+        let g = graph_from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let wg = WeightedGraph::new(g, vec![5.0, 5.0, 5.0, 1.0]).unwrap();
+        let all = all_communities(&wg, 2, Aggregation::Min);
+        assert_eq!(all.len(), 1);
+        assert_eq!(all[0].vertices, vec![0, 1, 2, 3]);
+        assert_eq!(all[0].value, 1.0);
+    }
+
+    #[test]
+    fn min_nested_communities_are_distinct() {
+        // K4 with weights 1,2,3,4 plus pendant triangle is overkill; use
+        // K4: under min, communities are G≥θ 2-cores: {all} (min 1) and
+        // {1,2,3} (min 2). {2,3} is not a 2-core.
+        let g = graph_from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        let wg = WeightedGraph::new(g, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let all = all_communities(&wg, 2, Aggregation::Min);
+        let sets: Vec<Vec<u32>> = all.iter().map(|c| c.vertices.clone()).collect();
+        assert!(sets.contains(&vec![0, 1, 2, 3]));
+        assert!(sets.contains(&vec![1, 2, 3]));
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].value, 2.0); // top-1 is the inner community
+    }
+
+    #[test]
+    fn figure1_sum_top2_matches_example1() {
+        let wg = figure1();
+        let top = exact_topr(&wg, 2, 2, None, Aggregation::Sum).unwrap();
+        assert_eq!(top[0].vertices, vs(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11]));
+        assert_eq!(top[0].value, 203.0);
+        assert_eq!(top[1].vertices, vs(&[1, 2, 4, 5, 6, 7, 8, 9, 10, 11]));
+        assert_eq!(top[1].value, 195.0);
+    }
+
+    #[test]
+    fn figure1_avg_top2_matches_example1() {
+        let wg = figure1();
+        let top = exact_topr(&wg, 2, 2, None, Aggregation::Average).unwrap();
+        assert_eq!(top[0].vertices, vs(&[1, 2, 4]));
+        assert_eq!(top[0].value, 24.0);
+        assert_eq!(top[1].vertices, vs(&[6, 7, 11]));
+        assert_eq!(top[1].value, 22.0);
+    }
+
+    #[test]
+    fn figure1_min_top2_matches_example1() {
+        let wg = figure1();
+        let top = exact_topr(&wg, 2, 2, None, Aggregation::Min).unwrap();
+        assert_eq!(top[0].vertices, vs(&[5, 7, 8]));
+        assert_eq!(top[0].value, 12.0);
+        assert_eq!(top[1].vertices, vs(&[3, 9, 10]));
+        assert_eq!(top[1].value, 8.0);
+    }
+
+    #[test]
+    fn figure1_size4_sum_includes_example_community() {
+        let wg = figure1();
+        let top = exact_topr(&wg, 2, 20, Some(4), Aggregation::Sum).unwrap();
+        let found = top
+            .iter()
+            .find(|c| c.vertices == vs(&[3, 6, 9, 10]))
+            .expect("the Example 1 size-constrained community");
+        assert_eq!(found.value, 40.0);
+        for c in &top {
+            assert!(c.len() <= 4);
+        }
+    }
+
+    #[test]
+    fn exact_naive_agrees_with_oracle_for_sum() {
+        // With sum and positive weights, maximality is vacuous, so
+        // Algorithm 3 and the oracle agree on any size-bounded query.
+        let wg = small_two_triangles();
+        let naive = exact_naive(&wg, 2, 5, 3, Aggregation::Sum).unwrap();
+        let oracle = exact_topr(&wg, 2, 5, Some(3), Aggregation::Sum).unwrap();
+        assert_eq!(naive, oracle);
+    }
+
+    #[test]
+    fn parameter_validation() {
+        let wg = small_two_triangles();
+        assert!(exact_topr(&wg, 2, 0, None, Aggregation::Sum).is_err());
+        assert!(exact_topr(&wg, 2, 1, Some(2), Aggregation::Sum).is_err());
+        assert!(exact_naive(&wg, 2, 1, 2, Aggregation::Sum).is_err());
+    }
+
+    #[test]
+    fn enumeration_counts_connected_kcores() {
+        // Triangle: connected subsets with min degree >= 2 of size > 2:
+        // just the triangle itself.
+        let g = graph_from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        let wg = WeightedGraph::new(g, vec![1.0; 3]).unwrap();
+        let subs = connected_kcore_subsets(&wg, 2, 3);
+        assert_eq!(subs, vec![vec![0, 1, 2]]);
+        // k = 1: pairs and the triangle (and size-2 paths):
+        // {0,1},{0,2},{1,2},{0,1,2}.
+        let subs = connected_kcore_subsets(&wg, 1, 3);
+        assert_eq!(subs.len(), 4);
+    }
+
+    #[test]
+    fn enumeration_has_no_duplicates() {
+        let g = graph_from_edges(5, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2)]);
+        let wg = WeightedGraph::new(g, vec![1.0; 5]).unwrap();
+        let subs = connected_kcore_subsets(&wg, 0, 5);
+        let mut seen = std::collections::HashSet::new();
+        for s in &subs {
+            assert!(seen.insert(s.clone()), "duplicate {s:?}");
+        }
+    }
+
+    #[test]
+    fn subset_helper() {
+        assert!(is_subset(&[1, 3], &[1, 2, 3]));
+        assert!(!is_subset(&[1, 4], &[1, 2, 3]));
+        assert!(is_subset(&[], &[1]));
+        assert!(!is_subset(&[1], &[]));
+    }
+}

@@ -1,0 +1,298 @@
+//! Algorithm 2 (`TIC-IMPROVED`): best-first search with lower-bound
+//! pruning. With `ε = 0` this is the exact "Improve" solver; with `ε > 0`
+//! it is the "Approx" solver with the (1−ε) guarantee of Theorem 6
+//! (Definition 8: the returned r-th value is ≥ (1−ε)·the exact r-th value).
+//!
+//! As printed in the paper, line 16 can only ever admit children whose
+//! value ties the current maximum when ε = 0, so `R` would never fill; we
+//! implement the evidently intended semantics (see DESIGN.md §4): each
+//! popped maximum is *confirmed* into the result set — it dominates every
+//! unexplored candidate because the aggregation is anti-monotone under
+//! removal (Corollary 2) — and children within `(1−ε)` of the current
+//! maximum are early-accepted, which is what makes the approximate variant
+//! cheaper.
+
+use crate::algo::common::{
+    community_from_vertices, require_corollary2, validate_k_r,
+};
+use crate::{Aggregation, Community, SearchError};
+use ic_graph::WeightedGraph;
+use ic_kcore::{maximal_kcore_components, PeelScratch};
+use std::collections::HashSet;
+
+/// Tuning knobs for [`tic_improved_with_options`]; used by the pruning
+/// ablation experiment.
+#[derive(Clone, Copy, Debug)]
+pub struct ImprovedOptions {
+    /// Approximation parameter ε ∈ [0, 1). 0 = exact.
+    pub epsilon: f64,
+    /// Prune a deletion whose pre-cascade value cannot beat the current
+    /// r-th best (line 13 of the paper). Disable only for ablation.
+    pub prune_by_threshold: bool,
+    /// Keep the candidate list trimmed to the top-r (line 19). Disable
+    /// only for ablation.
+    pub trim_candidates: bool,
+}
+
+impl Default for ImprovedOptions {
+    fn default() -> Self {
+        ImprovedOptions {
+            epsilon: 0.0,
+            prune_by_threshold: true,
+            trim_candidates: true,
+        }
+    }
+}
+
+/// Runs Algorithm 2 with the given ε (`0.0` = exact "Improve", `> 0` =
+/// "Approx"). The aggregation must satisfy Corollary 2.
+pub fn tic_improved(
+    wg: &WeightedGraph,
+    k: usize,
+    r: usize,
+    aggregation: Aggregation,
+    epsilon: f64,
+) -> Result<Vec<Community>, SearchError> {
+    tic_improved_with_options(
+        wg,
+        k,
+        r,
+        aggregation,
+        ImprovedOptions {
+            epsilon,
+            ..Default::default()
+        },
+    )
+}
+
+/// [`tic_improved`] with explicit pruning switches (for ablations).
+pub fn tic_improved_with_options(
+    wg: &WeightedGraph,
+    k: usize,
+    r: usize,
+    aggregation: Aggregation,
+    options: ImprovedOptions,
+) -> Result<Vec<Community>, SearchError> {
+    validate_k_r(r)?;
+    require_corollary2("tic_improved", aggregation)?;
+    if !(0.0..1.0).contains(&options.epsilon) {
+        return Err(SearchError::InvalidParams(format!(
+            "epsilon must be in [0, 1), got {}",
+            options.epsilon
+        )));
+    }
+
+    let g = wg.graph();
+    let n = g.num_vertices();
+
+    // Line 1-2: candidate list seeded with the k-core components.
+    let comps = maximal_kcore_components(g, k);
+    let mut candidates: Vec<Community> = comps
+        .into_iter()
+        .map(|c| community_from_vertices(wg, aggregation, c))
+        .collect();
+    candidates.sort_by(|a, b| a.ranking_cmp(b));
+    if options.trim_candidates {
+        candidates.truncate(r);
+    }
+
+    let mut explored: HashSet<u64> = candidates.iter().map(|c| c.signature()).collect();
+    let mut results: Vec<Community> = Vec::with_capacity(r);
+    let mut in_results: HashSet<u64> = HashSet::new();
+    let mut scratch = PeelScratch::new(n);
+
+    while results.len() < r && !candidates.is_empty() {
+        // Pop the maximum candidate (kept sorted best-first).
+        let lmax = candidates.remove(0);
+        let sig = lmax.signature();
+        if !in_results.contains(&sig) {
+            in_results.insert(sig);
+            results.push(lmax.clone());
+            if results.len() == r {
+                break;
+            }
+        }
+        let lb = (1.0 - options.epsilon) * lmax.value;
+        // f(Lr): the value of the r-th best known candidate/result.
+        let threshold = r_th_value(&results, &candidates, r);
+
+        for &v in &lmax.vertices {
+            // Line 13: the pre-cascade value of Lmax ∖ {v} upper-bounds
+            // every child it can produce.
+            if options.prune_by_threshold {
+                let upper = aggregation.value_after_removal(lmax.value, wg.weight(v));
+                if upper <= threshold {
+                    continue;
+                }
+            }
+            let parts = scratch.connected_kcores(g, &lmax.vertices, Some(v), k);
+            for part in parts {
+                let child = community_from_vertices(wg, aggregation, part);
+                if !explored.insert(child.signature()) {
+                    continue; // reachable via several deletion orders
+                }
+                // Line 16: ε-early acceptance.
+                if options.epsilon > 0.0
+                    && child.value >= lb
+                    && results.len() < r
+                    && !in_results.contains(&child.signature())
+                {
+                    in_results.insert(child.signature());
+                    results.push(child.clone());
+                }
+                let pos = candidates
+                    .binary_search_by(|c| c.ranking_cmp(&child))
+                    .unwrap_or_else(|p| p);
+                candidates.insert(pos, child);
+            }
+        }
+        // Line 19: keep the candidate list at top-r.
+        if options.trim_candidates && candidates.len() > r {
+            candidates.truncate(r);
+        }
+    }
+
+    results.sort_by(|a, b| a.ranking_cmp(b));
+    Ok(results)
+}
+
+/// The value of the r-th best community among results ∪ candidates, or
+/// `−∞` when fewer than `r` exist. Results are all ≥ any candidate, so
+/// take results first.
+fn r_th_value(results: &[Community], candidates: &[Community], r: usize) -> f64 {
+    let have = results.len();
+    if have >= r {
+        return results[r - 1].value;
+    }
+    let need = r - have;
+    if candidates.len() >= need {
+        candidates[need - 1].value
+    } else {
+        f64::NEG_INFINITY
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::{exact_topr, sum_naive};
+    use crate::figure1::{figure1, vs};
+    use ic_graph::{graph_from_edges, WeightedGraph};
+
+    #[test]
+    fn rejects_bad_params() {
+        let wg = figure1();
+        assert!(tic_improved(&wg, 2, 0, Aggregation::Sum, 0.0).is_err());
+        assert!(tic_improved(&wg, 2, 2, Aggregation::Sum, 1.0).is_err());
+        assert!(tic_improved(&wg, 2, 2, Aggregation::Sum, -0.1).is_err());
+        assert!(tic_improved(&wg, 2, 2, Aggregation::Average, 0.0).is_err());
+        assert!(tic_improved(&wg, 2, 2, Aggregation::Min, 0.0).is_err());
+    }
+
+    #[test]
+    fn figure1_exact_mode_matches_example1() {
+        let wg = figure1();
+        let top = tic_improved(&wg, 2, 2, Aggregation::Sum, 0.0).unwrap();
+        assert_eq!(top[0].vertices, vs(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11]));
+        assert_eq!(top[0].value, 203.0);
+        assert_eq!(top[1].vertices, vs(&[1, 2, 4, 5, 6, 7, 8, 9, 10, 11]));
+        assert_eq!(top[1].value, 195.0);
+    }
+
+    #[test]
+    fn exact_mode_matches_oracle_for_deeper_r() {
+        let wg = figure1();
+        for r in [1, 2, 3, 5, 8] {
+            let got = tic_improved(&wg, 2, r, Aggregation::Sum, 0.0).unwrap();
+            let expect = exact_topr(&wg, 2, r, None, Aggregation::Sum).unwrap();
+            let got_vals: Vec<f64> = got.iter().map(|c| c.value).collect();
+            let expect_vals: Vec<f64> = expect.iter().map(|c| c.value).collect();
+            assert_eq!(got_vals, expect_vals, "r = {r}");
+        }
+    }
+
+    #[test]
+    fn exact_mode_matches_naive() {
+        let wg = figure1();
+        for r in [1, 2, 4, 6] {
+            let a = tic_improved(&wg, 2, r, Aggregation::Sum, 0.0).unwrap();
+            let b = sum_naive(&wg, 2, r, Aggregation::Sum).unwrap();
+            let av: Vec<f64> = a.iter().map(|c| c.value).collect();
+            let bv: Vec<f64> = b.iter().map(|c| c.value).collect();
+            assert_eq!(av, bv, "r = {r}");
+        }
+    }
+
+    #[test]
+    fn approx_mode_satisfies_theorem6_bound() {
+        let wg = figure1();
+        for epsilon in [0.01, 0.05, 0.1, 0.2, 0.5] {
+            for r in [1, 2, 3, 5] {
+                let exact = tic_improved(&wg, 2, r, Aggregation::Sum, 0.0).unwrap();
+                let approx = tic_improved(&wg, 2, r, Aggregation::Sum, epsilon).unwrap();
+                assert_eq!(exact.len(), approx.len());
+                let re = exact.last().unwrap().value;
+                let ra = approx.last().unwrap().value;
+                assert!(
+                    ra >= (1.0 - epsilon) * re - 1e-9,
+                    "eps={epsilon} r={r}: ra={ra} re={re}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sum_surplus_supported() {
+        let wg = figure1();
+        let agg = Aggregation::SumSurplus { alpha: 2.0 };
+        let top = tic_improved(&wg, 2, 2, agg, 0.0).unwrap();
+        assert_eq!(top[0].value, 203.0 + 22.0);
+        assert_eq!(top[1].value, 195.0 + 20.0);
+    }
+
+    #[test]
+    fn empty_kcore_returns_empty() {
+        let g = graph_from_edges(3, &[(0, 1), (1, 2)]);
+        let wg = WeightedGraph::new(g, vec![1.0; 3]).unwrap();
+        assert!(tic_improved(&wg, 2, 5, Aggregation::Sum, 0.0)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn ablation_options_do_not_change_results() {
+        let wg = figure1();
+        let base = tic_improved(&wg, 2, 4, Aggregation::Sum, 0.0).unwrap();
+        for opts in [
+            ImprovedOptions {
+                epsilon: 0.0,
+                prune_by_threshold: false,
+                trim_candidates: true,
+            },
+            ImprovedOptions {
+                epsilon: 0.0,
+                prune_by_threshold: true,
+                trim_candidates: false,
+            },
+            ImprovedOptions {
+                epsilon: 0.0,
+                prune_by_threshold: false,
+                trim_candidates: false,
+            },
+        ] {
+            let got = tic_improved_with_options(&wg, 2, 4, Aggregation::Sum, opts).unwrap();
+            let gv: Vec<f64> = got.iter().map(|c| c.value).collect();
+            let bv: Vec<f64> = base.iter().map(|c| c.value).collect();
+            assert_eq!(gv, bv, "{opts:?}");
+        }
+    }
+
+    #[test]
+    fn two_components_with_disjoint_values() {
+        let g = graph_from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]);
+        let wg = WeightedGraph::new(g, vec![1.0, 1.0, 1.0, 5.0, 5.0, 5.0]).unwrap();
+        let top = tic_improved(&wg, 2, 2, Aggregation::Sum, 0.0).unwrap();
+        assert_eq!(top[0].value, 15.0);
+        assert_eq!(top[1].value, 3.0);
+    }
+}

@@ -1,0 +1,343 @@
+//! Extension: an ICP-style index for the classic `min` model.
+//!
+//! Li et al. (VLDB'15) and Bi et al. (VLDB'18) — the prior work the paper
+//! builds on — answer top-r min queries from a precomputed structure
+//! instead of re-peeling the graph. This module implements that idea: a
+//! one-shot `O(n + m)`-space **nested community forest** built from a
+//! single peel, from which
+//!
+//! * [`MinCommunityIndex::topr`] answers top-r queries in output-sensitive
+//!   time (`O(r + Σ |community|)`),
+//! * [`MinCommunityIndex::minimal_community_of`] returns the smallest
+//!   community containing a vertex,
+//! * [`MinCommunityIndex::chain_of`] lists the full nesting chain of
+//!   communities around a vertex (innermost first).
+//!
+//! Every k-influential community under `min` corresponds to exactly one
+//! node of the forest; a node's community is the union of the vertex
+//! *batches* (min vertex + cascade victims) over its subtree.
+
+use crate::algo::common::{community_from_vertices, validate_k_r};
+use crate::{Aggregation, Community, SearchError};
+use ic_graph::{UnionFind, VertexId, WeightedGraph};
+use ic_kcore::kcore_mask;
+use std::collections::VecDeque;
+
+/// One node of the nested community forest = one maximal community.
+#[derive(Clone, Debug)]
+struct IndexNode {
+    /// `f(H) = min` weight of the community (the weight of `min_vertex`).
+    value: f64,
+    /// The vertex whose removal ended this community.
+    min_vertex: VertexId,
+    /// Vertices removed at this node's event (min vertex + cascade).
+    batch: Vec<VertexId>,
+    /// Child nodes (the communities the removal split this one into).
+    children: Vec<u32>,
+    /// Parent node, if any (the next-larger containing community).
+    parent: Option<u32>,
+    /// Community size (cached: |batch| + Σ child sizes).
+    size: usize,
+}
+
+/// Precomputed index over all k-influential communities under `min`.
+#[derive(Clone, Debug)]
+pub struct MinCommunityIndex {
+    k: usize,
+    nodes: Vec<IndexNode>,
+    /// Node ids sorted by (value desc, seq asc): the top-r answer order.
+    ranked: Vec<u32>,
+    /// For each vertex, the node whose batch contains it (None if the
+    /// vertex is outside the maximal k-core).
+    vertex_node: Vec<Option<u32>>,
+}
+
+impl MinCommunityIndex {
+    /// Builds the index with one peel + one reverse union-find pass.
+    pub fn build(wg: &WeightedGraph, k: usize) -> Self {
+        let g = wg.graph();
+        let n = g.num_vertices();
+        let core = kcore_mask(g, k);
+
+        // Forward peel, capturing per-event removal batches.
+        let mut order: Vec<VertexId> = core.iter().map(|v| v as u32).collect();
+        order.sort_unstable_by(|&a, &b| {
+            wg.weight(a)
+                .total_cmp(&wg.weight(b))
+                .then_with(|| a.cmp(&b))
+        });
+        let mut alive = core.clone();
+        let mut deg: Vec<u32> = vec![0; n];
+        for v in alive.iter() {
+            deg[v] = g.degree_within(v as u32, &alive) as u32;
+        }
+        let mut events: Vec<(VertexId, Vec<VertexId>)> = Vec::new();
+        let mut queue: VecDeque<VertexId> = VecDeque::new();
+        for &v in &order {
+            if !alive.contains(v as usize) {
+                continue;
+            }
+            let mut batch = vec![v];
+            alive.remove(v as usize);
+            queue.push_back(v);
+            while let Some(x) = queue.pop_front() {
+                for &u in g.neighbors(x) {
+                    if alive.contains(u as usize) {
+                        deg[u as usize] -= 1;
+                        if (deg[u as usize] as usize) < k {
+                            alive.remove(u as usize);
+                            batch.push(u);
+                            queue.push_back(u);
+                        }
+                    }
+                }
+            }
+            events.push((v, batch));
+        }
+
+        // Reverse pass: re-add batches, union components, link children.
+        let mut nodes: Vec<IndexNode> = Vec::with_capacity(events.len());
+        let mut vertex_node: Vec<Option<u32>> = vec![None; n];
+        let mut uf = UnionFind::new(n);
+        let mut present = ic_graph::BitSet::new(n);
+        // Root of a present component -> its latest claiming node.
+        let mut root_node: Vec<Option<u32>> = vec![None; n];
+        // Nodes are created in reverse event order, then re-indexed.
+        for (seq, (min_vertex, batch)) in events.iter().enumerate().rev() {
+            let mut in_batch = std::collections::HashSet::new();
+            for &u in batch {
+                present.insert(u as usize);
+                in_batch.insert(u);
+            }
+            // Phase 1: collect the claims of the pre-existing components
+            // this batch touches — their roots are still intact because no
+            // cross-component union has happened yet.
+            let mut children: Vec<u32> = Vec::new();
+            for &u in batch {
+                for &w in g.neighbors(u) {
+                    if present.contains(w as usize) && !in_batch.contains(&w) {
+                        let old_root = uf.find(w);
+                        if let Some(c) = root_node[old_root as usize].take() {
+                            children.push(c);
+                        }
+                    }
+                }
+            }
+            // Phase 2: perform all unions (batch-internal and into the
+            // old components).
+            for &u in batch {
+                for &w in g.neighbors(u) {
+                    if present.contains(w as usize) {
+                        uf.union(u, w);
+                    }
+                }
+            }
+            let new_root = uf.find(*min_vertex);
+            let node_id = nodes.len() as u32;
+            let size: usize =
+                batch.len() + children.iter().map(|&c| nodes[c as usize].size).sum::<usize>();
+            for &c in &children {
+                nodes[c as usize].parent = Some(node_id);
+            }
+            for &u in batch {
+                vertex_node[u as usize] = Some(node_id);
+            }
+            nodes.push(IndexNode {
+                value: wg.weight(*min_vertex),
+                min_vertex: *min_vertex,
+                batch: batch.clone(),
+                children,
+                parent: None,
+                size,
+            });
+            root_node[new_root as usize] = Some(node_id);
+            let _ = seq;
+        }
+
+        // Rank nodes by (value desc, forward seq asc). Nodes were created
+        // in reverse order, so forward seq = events.len() - 1 - node_id.
+        let mut ranked: Vec<u32> = (0..nodes.len() as u32).collect();
+        ranked.sort_by(|&a, &b| {
+            let (na, nb) = (&nodes[a as usize], &nodes[b as usize]);
+            nb.value
+                .total_cmp(&na.value)
+                .then_with(|| b.cmp(&a)) // larger node id = earlier event
+        });
+
+        MinCommunityIndex {
+            k,
+            nodes,
+            ranked,
+            vertex_node,
+        }
+    }
+
+    /// The degree constraint this index was built for.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Total number of maximal communities in the graph.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the k-core is empty (no communities exist).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn materialize(&self, node: u32) -> Vec<VertexId> {
+        let mut out = Vec::with_capacity(self.nodes[node as usize].size);
+        let mut stack = vec![node];
+        while let Some(id) = stack.pop() {
+            let n = &self.nodes[id as usize];
+            out.extend_from_slice(&n.batch);
+            stack.extend_from_slice(&n.children);
+        }
+        out.sort_unstable();
+        out
+    }
+
+    fn node_community(&self, wg: &WeightedGraph, node: u32) -> Community {
+        community_from_vertices(wg, Aggregation::Min, self.materialize(node))
+    }
+
+    /// Answers a top-r query in output-sensitive time. Results are
+    /// identical to [`crate::algo::min_topr`] on the same graph.
+    pub fn topr(&self, wg: &WeightedGraph, r: usize) -> Result<Vec<Community>, SearchError> {
+        validate_k_r(r)?;
+        let mut out: Vec<Community> = self
+            .ranked
+            .iter()
+            .take(r)
+            .map(|&id| self.node_community(wg, id))
+            .collect();
+        out.sort_by(|a, b| a.ranking_cmp(b));
+        Ok(out)
+    }
+
+    /// The smallest community containing `v` (None when `v` is outside
+    /// the maximal k-core).
+    pub fn minimal_community_of(&self, wg: &WeightedGraph, v: VertexId) -> Option<Community> {
+        let node = self.vertex_node.get(v as usize).copied().flatten()?;
+        Some(self.node_community(wg, node))
+    }
+
+    /// The nesting chain of communities containing `v`, innermost first,
+    /// as `(value, size)` pairs — each step is a strictly larger maximal
+    /// community with a smaller (or equal) min value.
+    pub fn chain_of(&self, v: VertexId) -> Vec<(f64, usize)> {
+        let mut out = Vec::new();
+        let mut cur = self.vertex_node.get(v as usize).copied().flatten();
+        while let Some(id) = cur {
+            let n = &self.nodes[id as usize];
+            out.push((n.value, n.size));
+            cur = n.parent;
+        }
+        out
+    }
+
+    /// The min vertex of each indexed community, for diagnostics.
+    pub fn min_vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        self.nodes.iter().map(|n| n.min_vertex)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::min_topr;
+    use crate::figure1::figure1;
+    use ic_graph::graph_from_edges;
+
+    #[test]
+    fn index_topr_matches_online_min_on_figure1() {
+        let wg = figure1();
+        let idx = MinCommunityIndex::build(&wg, 2);
+        for r in [1usize, 2, 3, 5, 10] {
+            let from_index = idx.topr(&wg, r).unwrap();
+            let online = min_topr(&wg, 2, r).unwrap();
+            assert_eq!(from_index, online, "r = {r}");
+        }
+    }
+
+    #[test]
+    fn index_counts_all_communities() {
+        // K4 with distinct weights has exactly 2 maximal min communities.
+        let g = graph_from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        let wg = ic_graph::WeightedGraph::new(g, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let idx = MinCommunityIndex::build(&wg, 2);
+        assert_eq!(idx.len(), 2);
+        assert_eq!(idx.k(), 2);
+    }
+
+    #[test]
+    fn minimal_community_and_chain() {
+        let g = graph_from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        let wg = ic_graph::WeightedGraph::new(g, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let idx = MinCommunityIndex::build(&wg, 2);
+        // Vertex 3 (weight 4) lives innermost in {1,2,3}, then {0,1,2,3}.
+        let minimal = idx.minimal_community_of(&wg, 3).unwrap();
+        assert_eq!(minimal.vertices, vec![1, 2, 3]);
+        assert_eq!(minimal.value, 2.0);
+        let chain = idx.chain_of(3);
+        assert_eq!(chain, vec![(2.0, 3), (1.0, 4)]);
+        // Vertex 0 (weight 1) only belongs to the outer community.
+        let minimal = idx.minimal_community_of(&wg, 0).unwrap();
+        assert_eq!(minimal.vertices, vec![0, 1, 2, 3]);
+        assert_eq!(idx.chain_of(0), vec![(1.0, 4)]);
+    }
+
+    #[test]
+    fn vertices_outside_core_have_no_community() {
+        let g = graph_from_edges(4, &[(0, 1), (1, 2), (2, 0), (2, 3)]);
+        let wg = ic_graph::WeightedGraph::new(g, vec![1.0; 4]).unwrap();
+        let idx = MinCommunityIndex::build(&wg, 2);
+        assert!(idx.minimal_community_of(&wg, 3).is_none());
+        assert!(idx.chain_of(3).is_empty());
+    }
+
+    #[test]
+    fn empty_core_gives_empty_index() {
+        let g = graph_from_edges(3, &[(0, 1), (1, 2)]);
+        let wg = ic_graph::WeightedGraph::new(g, vec![1.0; 3]).unwrap();
+        let idx = MinCommunityIndex::build(&wg, 2);
+        assert!(idx.is_empty());
+        assert!(idx.topr(&wg, 3).unwrap().is_empty());
+    }
+
+    #[test]
+    fn chains_are_properly_nested() {
+        let wg = figure1();
+        let idx = MinCommunityIndex::build(&wg, 2);
+        for v in 0..11u32 {
+            let chain = idx.chain_of(v);
+            // Sizes strictly increase, values non-increase along the chain.
+            for w in chain.windows(2) {
+                assert!(w[0].1 < w[1].1, "sizes must grow: {chain:?}");
+                assert!(w[0].0 >= w[1].0, "values must not grow: {chain:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn batches_partition_the_core() {
+        let wg = figure1();
+        let idx = MinCommunityIndex::build(&wg, 2);
+        let mut seen = std::collections::HashSet::new();
+        for node in &idx.nodes {
+            for &v in &node.batch {
+                assert!(seen.insert(v), "vertex {v} in two batches");
+            }
+        }
+        assert_eq!(seen.len(), 11); // figure 1's 2-core is the whole graph
+    }
+
+    #[test]
+    fn rejects_r_zero() {
+        let wg = figure1();
+        let idx = MinCommunityIndex::build(&wg, 2);
+        assert!(idx.topr(&wg, 0).is_err());
+    }
+}

@@ -1,0 +1,226 @@
+//! Baselines for the node-domination aggregations: top-r search under
+//! `min` (prior work: Li et al. VLDB'15, Bi et al. VLDB'18) and its mirror
+//! image `max`.
+//!
+//! Under `min`, the k-influential communities are exactly the connected
+//! components of the k-core of `G≥θ` (the graph restricted to weights
+//! ≥ θ): each such component is maximal with value equal to its minimum
+//! member weight. Peeling the global minimum-weight vertex (with degree
+//! cascade) from the maximal k-core enumerates every such community right
+//! before its minimum vertex disappears. `max` is symmetric (peel from
+//! above). Two passes: the first records the peel timeline, the second
+//! replays it and snapshots only the top-r communities — O(n+m + r·(n+m)).
+
+use crate::algo::common::{community_from_vertices, validate_k_r};
+use crate::{Aggregation, Community, SearchError};
+use ic_graph::{BitSet, WeightedGraph};
+use ic_kcore::kcore_mask;
+use std::collections::VecDeque;
+
+/// Top-r k-influential communities under `f = min`, best first.
+pub fn min_topr(
+    wg: &WeightedGraph,
+    k: usize,
+    r: usize,
+) -> Result<Vec<Community>, SearchError> {
+    peel_topr(wg, k, r, Extreme::Min)
+}
+
+/// Top-r k-influential communities under `f = max`, best first.
+pub fn max_topr(
+    wg: &WeightedGraph,
+    k: usize,
+    r: usize,
+) -> Result<Vec<Community>, SearchError> {
+    peel_topr(wg, k, r, Extreme::Max)
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Extreme {
+    Min,
+    Max,
+}
+
+fn peel_topr(
+    wg: &WeightedGraph,
+    k: usize,
+    r: usize,
+    dir: Extreme,
+) -> Result<Vec<Community>, SearchError> {
+    validate_k_r(r)?;
+    let g = wg.graph();
+    let core = kcore_mask(g, k);
+
+    // Peel order: ascending weight for min, descending for max; vertex id
+    // breaks ties deterministically.
+    let mut order: Vec<u32> = core.iter().map(|v| v as u32).collect();
+    order.sort_unstable_by(|&a, &b| {
+        let (wa, wb) = (wg.weight(a), wg.weight(b));
+        let c = match dir {
+            Extreme::Min => wa.total_cmp(&wb),
+            Extreme::Max => wb.total_cmp(&wa),
+        };
+        c.then_with(|| a.cmp(&b))
+    });
+
+    // Pass 1: record (event sequence number, value) per extreme-vertex
+    // removal.
+    let mut events: Vec<(usize, f64)> = Vec::new();
+    simulate(g, k, &core, &order, |seq, v, _alive| {
+        events.push((seq, wg.weight(v)));
+    });
+
+    // Select the top-r events by value (sequence number for determinism).
+    events.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    events.truncate(r);
+    let selected: std::collections::HashSet<usize> = events.iter().map(|&(s, _)| s).collect();
+
+    // Pass 2: replay, snapshotting the component of each selected event.
+    let mut results: Vec<Community> = Vec::with_capacity(selected.len());
+    let agg = match dir {
+        Extreme::Min => Aggregation::Min,
+        Extreme::Max => Aggregation::Max,
+    };
+    simulate(g, k, &core, &order, |seq, v, alive| {
+        if selected.contains(&seq) {
+            let comp = ic_graph::component_of(g, alive, v);
+            results.push(community_from_vertices(wg, agg, comp));
+        }
+    });
+
+    results.sort_by(|a, b| a.ranking_cmp(b));
+    Ok(results)
+}
+
+/// Shared peel simulation. Visits the alive vertices in `order`; each
+/// still-alive visit is an *event*: `on_event(seq, v, alive)` fires with
+/// the alive mask **before** `v` (and its cascade) is removed. The event
+/// vertex is the current extreme of its component, so the component is a
+/// maximal community with value `w(v)`.
+fn simulate<F: FnMut(usize, u32, &BitSet)>(
+    g: &ic_graph::Graph,
+    k: usize,
+    core: &BitSet,
+    order: &[u32],
+    mut on_event: F,
+) {
+    let n = g.num_vertices();
+    let mut alive = core.clone();
+    let mut deg: Vec<u32> = vec![0; n];
+    for v in alive.iter() {
+        deg[v] = g.degree_within(v as u32, &alive) as u32;
+    }
+    let mut queue: VecDeque<u32> = VecDeque::new();
+    let mut seq = 0usize;
+    for &v in order {
+        if !alive.contains(v as usize) {
+            continue;
+        }
+        on_event(seq, v, &alive);
+        seq += 1;
+        // Remove v and cascade the degree constraint.
+        alive.remove(v as usize);
+        queue.push_back(v);
+        while let Some(x) = queue.pop_front() {
+            for &u in g.neighbors(x) {
+                if alive.contains(u as usize) {
+                    deg[u as usize] -= 1;
+                    if (deg[u as usize] as usize) < k {
+                        alive.remove(u as usize);
+                        queue.push_back(u);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::exact_topr;
+    use crate::figure1::{figure1, vs};
+    use ic_graph::{graph_from_edges, WeightedGraph};
+
+    #[test]
+    fn figure1_min_top2_matches_example1() {
+        let wg = figure1();
+        let top = min_topr(&wg, 2, 2).unwrap();
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].vertices, vs(&[5, 7, 8]));
+        assert_eq!(top[0].value, 12.0);
+        assert_eq!(top[1].vertices, vs(&[3, 9, 10]));
+        assert_eq!(top[1].value, 8.0);
+    }
+
+    #[test]
+    fn min_matches_exact_oracle() {
+        let wg = figure1();
+        for r in [1, 2, 3, 5] {
+            let got = min_topr(&wg, 2, r).unwrap();
+            let expect = exact_topr(&wg, 2, r, None, Aggregation::Min).unwrap();
+            assert_eq!(got, expect, "r = {r}");
+        }
+    }
+
+    #[test]
+    fn max_matches_exact_oracle() {
+        let wg = figure1();
+        for r in [1, 2, 3, 5] {
+            let got = max_topr(&wg, 2, r).unwrap();
+            let expect = exact_topr(&wg, 2, r, None, Aggregation::Max).unwrap();
+            assert_eq!(got, expect, "r = {r}");
+        }
+    }
+
+    #[test]
+    fn max_top1_contains_heaviest_core_vertex() {
+        let wg = figure1();
+        let top = max_topr(&wg, 2, 1).unwrap();
+        // v1 (weight 62) is the heaviest vertex; the top-1 max community
+        // is the whole 2-core containing it, value 62.
+        assert_eq!(top[0].value, 62.0);
+        assert!(top[0].contains(crate::figure1::v(1)));
+    }
+
+    #[test]
+    fn nested_min_communities_k4() {
+        // K4 with distinct weights: communities are {all} (min 1) and
+        // {2,3,4-weight vertices} (min 2).
+        let g = graph_from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        let wg = WeightedGraph::new(g, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let top = min_topr(&wg, 2, 5).unwrap();
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].vertices, vec![1, 2, 3]);
+        assert_eq!(top[0].value, 2.0);
+        assert_eq!(top[1].vertices, vec![0, 1, 2, 3]);
+        assert_eq!(top[1].value, 1.0);
+    }
+
+    #[test]
+    fn empty_core_gives_empty_result() {
+        let g = graph_from_edges(3, &[(0, 1), (1, 2)]);
+        let wg = WeightedGraph::new(g, vec![1.0; 3]).unwrap();
+        assert!(min_topr(&wg, 2, 3).unwrap().is_empty());
+        assert!(max_topr(&wg, 2, 3).unwrap().is_empty());
+    }
+
+    #[test]
+    fn rejects_r_zero() {
+        let wg = figure1();
+        assert!(min_topr(&wg, 2, 0).is_err());
+    }
+
+    #[test]
+    fn duplicate_weights_are_handled() {
+        // Two triangles with identical weights: two distinct communities
+        // with equal values.
+        let g = graph_from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]);
+        let wg = WeightedGraph::new(g, vec![3.0; 6]).unwrap();
+        let top = min_topr(&wg, 2, 5).unwrap();
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].value, 3.0);
+        assert_eq!(top[1].value, 3.0);
+        assert!(!top[0].overlaps(&top[1]));
+    }
+}

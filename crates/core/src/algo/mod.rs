@@ -1,0 +1,40 @@
+//! The paper's search algorithms.
+//!
+//! * [`sum_naive`] — Algorithm 1 (`SUM-NAÏVE`);
+//! * [`tic_improved`] — Algorithm 2 (`TIC-IMPROVED`): exact with ε = 0
+//!   ("Improve"), (1−ε)-approximate with ε > 0 ("Approx");
+//! * [`exact_topr`] / [`exact_naive`] — Algorithm 3 (`TIC-EXACT`) and the
+//!   maximality-aware exhaustive oracle;
+//! * [`local_search`] — Algorithm 4 with `SumStrategy` / `AvgStrategy`,
+//!   greedy or random;
+//! * [`min_topr`] / [`max_topr`] — threshold-peeling baselines for the
+//!   node-domination aggregations (prior work: Li et al. VLDB'15);
+//! * [`nonoverlap`] — TONIC (non-overlapping) wrappers;
+//! * [`par_local_search`] — multi-threaded local search (the paper's
+//!   future-work direction).
+
+mod bb;
+mod common;
+mod exact;
+mod improved;
+mod index;
+mod local_search;
+mod minmax;
+pub mod nonoverlap;
+mod par;
+mod refine;
+mod sum_naive;
+mod truss;
+
+pub use bb::bb_avg_topr;
+pub use exact::{all_communities, exact_naive, exact_topr};
+pub use improved::{tic_improved, tic_improved_with_options, ImprovedOptions};
+pub use index::MinCommunityIndex;
+pub use local_search::{local_search, local_search_nonoverlapping, LocalSearchConfig};
+pub use minmax::{max_topr, min_topr};
+pub use par::par_local_search;
+pub use refine::{local_search_refined, refine_community};
+pub use sum_naive::sum_naive;
+pub use truss::{truss_min_topr, truss_sum_topr};
+
+pub(crate) use common::community_from_vertices;

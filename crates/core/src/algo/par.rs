@@ -1,0 +1,120 @@
+//! Parallel local search — the paper's future-work direction ("a parallel
+//! or distributed context could also be investigated", Section VIII).
+//!
+//! Seeds are partitioned across worker threads; each worker runs the
+//! sequential per-seed strategy against a thread-local top-r list (the
+//! graph is shared read-only), and the lists are merged at the end.
+//! Thread-local pruning thresholds differ from the sequential global
+//! threshold, so the merged result can differ slightly from the
+//! sequential one in either direction (both are valid heuristic answers;
+//! `threads = 1` reproduces the sequential result exactly). In practice
+//! the values agree closely — the effectiveness experiment tracks the
+//! gap.
+
+use crate::algo::local_search::{run_seed, validate_params, LocalSearchConfig, SubsetChecker};
+use crate::{Aggregation, Community, SearchError, TopList};
+use ic_graph::WeightedGraph;
+use ic_kcore::kcore_mask;
+use parking_lot::Mutex;
+
+/// Multi-threaded Algorithm 4. `threads = 1` degenerates to the
+/// sequential behaviour.
+pub fn par_local_search(
+    wg: &WeightedGraph,
+    config: &LocalSearchConfig,
+    aggregation: Aggregation,
+    threads: usize,
+) -> Result<Vec<Community>, SearchError> {
+    if threads == 0 {
+        return Err(SearchError::InvalidParams(
+            "thread count must be positive".into(),
+        ));
+    }
+    // Parameter validation is shared with the sequential path.
+    validate_params(config)?;
+
+    let g = wg.graph();
+    let core = kcore_mask(g, config.k);
+    let seeds: Vec<u32> = core.iter().map(|v| v as u32).collect();
+    if seeds.is_empty() {
+        return Ok(Vec::new());
+    }
+
+    let merged: Mutex<TopList> = Mutex::new(TopList::new(config.r));
+    let chunk_size = seeds.len().div_ceil(threads);
+
+    crossbeam::thread::scope(|scope| {
+        for chunk in seeds.chunks(chunk_size) {
+            let core_ref = &core;
+            let merged_ref = &merged;
+            scope.spawn(move |_| {
+                let mut local = TopList::new(config.r);
+                let mut checker = SubsetChecker::new(g.num_vertices());
+                for &seed in chunk {
+                    run_seed(
+                        wg, g, core_ref, seed, config, aggregation, &mut checker, &mut local,
+                    );
+                }
+                let mut guard = merged_ref.lock();
+                for c in local.into_vec() {
+                    guard.insert(c);
+                }
+            });
+        }
+    })
+    .expect("worker threads do not panic");
+
+    Ok(merged.into_inner().into_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figure1::figure1;
+    use crate::verify::check_community;
+
+    fn cfg(k: usize, r: usize, s: usize, greedy: bool) -> LocalSearchConfig {
+        LocalSearchConfig { k, r, s, greedy }
+    }
+
+    #[test]
+    fn rejects_zero_threads() {
+        let wg = figure1();
+        assert!(par_local_search(&wg, &cfg(2, 2, 4, true), Aggregation::Sum, 0).is_err());
+    }
+
+    #[test]
+    fn single_thread_matches_sequential() {
+        let wg = figure1();
+        for agg in [Aggregation::Sum, Aggregation::Average] {
+            let seq = crate::algo::local_search(&wg, &cfg(2, 3, 4, true), agg).unwrap();
+            let par = par_local_search(&wg, &cfg(2, 3, 4, true), agg, 1).unwrap();
+            assert_eq!(seq, par, "{}", agg.name());
+        }
+    }
+
+    #[test]
+    fn multi_thread_results_are_valid_communities() {
+        let wg = figure1();
+        for threads in [2, 4, 8] {
+            for agg in [Aggregation::Sum, Aggregation::Average] {
+                let par = par_local_search(&wg, &cfg(2, 3, 4, true), agg, threads).unwrap();
+                assert!(!par.is_empty(), "{} threads={threads}", agg.name());
+                for c in &par {
+                    check_community(&wg, 2, Some(4), agg, c).unwrap();
+                }
+                // Results are sorted best-first.
+                for w in par.windows(2) {
+                    assert!(w[0].value >= w[1].value);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn more_threads_than_seeds() {
+        let wg = figure1();
+        let res = par_local_search(&wg, &cfg(2, 2, 4, true), Aggregation::Sum, 64).unwrap();
+        assert!(!res.is_empty());
+    }
+}

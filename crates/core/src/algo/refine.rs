@@ -1,0 +1,218 @@
+//! Extension: hill-climbing refinement of heuristic communities.
+//!
+//! The paper's future work calls for stronger heuristics for the NP-hard
+//! variants ("a possible direction would be carefully design pruning rules
+//! and investigate approximation method", Section VIII). This module adds
+//! a local-move refinement pass on top of Algorithm 4: given a valid
+//! size-constrained community, repeatedly apply the best improving move
+//! among
+//!
+//! * **add** — absorb a boundary vertex (if the size bound allows),
+//! * **remove** — shed a member (if cohesion and connectivity survive),
+//! * **swap** — exchange a member for a boundary vertex,
+//!
+//! until a local optimum is reached. Every intermediate candidate is a
+//! valid community, so refinement can only improve the influence value —
+//! a property the tests assert, along with the ablation experiment that
+//! measures how much it helps.
+
+use crate::algo::common::community_from_vertices;
+use crate::algo::local_search::SubsetChecker;
+use crate::{Aggregation, Community, SearchError};
+use ic_graph::{VertexId, WeightedGraph};
+use std::collections::BTreeSet;
+
+/// Upper bound on refinement rounds (each round scans all moves once).
+const MAX_ROUNDS: usize = 64;
+
+/// Refines one community by steepest-ascent local moves. Returns a
+/// community with `value >= community.value` that satisfies the same
+/// constraints (`k`, optional `s`).
+pub fn refine_community(
+    wg: &WeightedGraph,
+    k: usize,
+    size_bound: Option<usize>,
+    aggregation: Aggregation,
+    community: &Community,
+) -> Community {
+    let g = wg.graph();
+    let mut checker = SubsetChecker::new(g.num_vertices());
+    let mut current: Vec<VertexId> = community.vertices.clone();
+    let mut current_value = community.value;
+
+    for _ in 0..MAX_ROUNDS {
+        let members: BTreeSet<VertexId> = current.iter().copied().collect();
+        // Boundary: non-members adjacent to the community.
+        let mut boundary: BTreeSet<VertexId> = BTreeSet::new();
+        for &v in &current {
+            for &u in g.neighbors(v) {
+                if !members.contains(&u) {
+                    boundary.insert(u);
+                }
+            }
+        }
+
+        let mut best_move: Option<(f64, Vec<VertexId>)> = None;
+        let mut consider = |cand: Vec<VertexId>, checker: &mut SubsetChecker| {
+            if cand.len() <= k {
+                return;
+            }
+            if let Some(s) = size_bound {
+                if cand.len() > s {
+                    return;
+                }
+            }
+            if !checker.is_connected_kcore(g, &cand, k) {
+                return;
+            }
+            let weights: Vec<f64> = cand.iter().map(|&v| wg.weight(v)).collect();
+            let value = aggregation.evaluate(&weights, wg.total_weight());
+            if value > current_value + 1e-12
+                && best_move.as_ref().map_or(true, |(bv, _)| value > *bv)
+            {
+                best_move = Some((value, cand));
+            }
+        };
+
+        // Add moves.
+        for &u in &boundary {
+            let mut cand = current.clone();
+            cand.push(u);
+            consider(cand, &mut checker);
+        }
+        // Remove moves.
+        if current.len() > k + 1 {
+            for (i, _) in current.iter().enumerate() {
+                let mut cand = current.clone();
+                cand.swap_remove(i);
+                consider(cand, &mut checker);
+            }
+        }
+        // Swap moves.
+        for (i, _) in current.iter().enumerate() {
+            for &u in &boundary {
+                let mut cand = current.clone();
+                cand[i] = u;
+                consider(cand, &mut checker);
+            }
+        }
+
+        match best_move {
+            Some((value, cand)) => {
+                current = cand;
+                current_value = value;
+            }
+            None => break,
+        }
+    }
+    community_from_vertices(wg, aggregation, current)
+}
+
+/// Algorithm 4 followed by refinement of every result, re-ranked. The
+/// result dominates plain `local_search` value-wise.
+pub fn local_search_refined(
+    wg: &WeightedGraph,
+    config: &crate::algo::LocalSearchConfig,
+    aggregation: Aggregation,
+) -> Result<Vec<Community>, SearchError> {
+    let base = crate::algo::local_search(wg, config, aggregation)?;
+    let mut refined: Vec<Community> = base
+        .iter()
+        .map(|c| refine_community(wg, config.k, Some(config.s), aggregation, c))
+        .collect();
+    refined.sort_by(|a, b| a.ranking_cmp(b));
+    refined.dedup_by(|a, b| a.vertices == b.vertices);
+    Ok(refined)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::LocalSearchConfig;
+    use crate::figure1::{figure1, vs};
+    use crate::verify::check_community;
+
+    #[test]
+    fn refinement_never_worsens_and_stays_valid() {
+        let wg = figure1();
+        for agg in [Aggregation::Sum, Aggregation::Average, Aggregation::Min] {
+            let base = crate::algo::local_search(
+                &wg,
+                &LocalSearchConfig {
+                    k: 2,
+                    r: 3,
+                    s: 4,
+                    greedy: false,
+                },
+                agg,
+            )
+            .unwrap();
+            for c in &base {
+                let refined = refine_community(&wg, 2, Some(4), agg, c);
+                assert!(
+                    refined.value >= c.value - 1e-12,
+                    "{}: {} -> {}",
+                    agg.name(),
+                    c.value,
+                    refined.value
+                );
+                check_community(&wg, 2, Some(4), agg, &refined).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn refinement_improves_a_suboptimal_seed() {
+        // {v5, v6, v7} (avg 31/3 ≈ 10.33): steepest ascent swaps v5 (15)
+        // for v11 (50), reaching {v6, v7, v11} (avg 22) — the second-best
+        // avg community of the whole graph.
+        let wg = figure1();
+        let seed = Community::new(vs(&[5, 6, 7]), 31.0 / 3.0);
+        let refined = refine_community(&wg, 2, Some(3), Aggregation::Average, &seed);
+        assert_eq!(refined.vertices, vs(&[6, 7, 11]));
+        assert!((refined.value - 22.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn refinement_respects_size_bound() {
+        let wg = figure1();
+        let seed = Community::new(vs(&[3, 9, 10]), 38.0);
+        let refined = refine_community(&wg, 2, Some(3), Aggregation::Sum, &seed);
+        assert!(refined.len() <= 3);
+        // Without the bound, sum refinement grows the community.
+        let refined = refine_community(&wg, 2, None, Aggregation::Sum, &seed);
+        assert!(refined.value > 38.0);
+        check_community(&wg, 2, None, Aggregation::Sum, &refined).unwrap();
+    }
+
+    #[test]
+    fn refined_local_search_dominates_plain() {
+        let wg = figure1();
+        let config = LocalSearchConfig {
+            k: 2,
+            r: 3,
+            s: 4,
+            greedy: false,
+        };
+        for agg in [Aggregation::Sum, Aggregation::Average] {
+            let plain = crate::algo::local_search(&wg, &config, agg).unwrap();
+            let refined = local_search_refined(&wg, &config, agg).unwrap();
+            let pb = plain.first().map_or(f64::NEG_INFINITY, |c| c.value);
+            let rb = refined.first().map_or(f64::NEG_INFINITY, |c| c.value);
+            assert!(rb >= pb - 1e-12, "{}: {rb} < {pb}", agg.name());
+            for c in &refined {
+                check_community(&wg, 2, Some(4), agg, c).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn local_optimum_is_stable() {
+        // The global optimum {v1,v2,v4} under avg cannot be improved.
+        let wg = figure1();
+        let seed = Community::new(vs(&[1, 2, 4]), 24.0);
+        let refined = refine_community(&wg, 2, Some(4), Aggregation::Average, &seed);
+        assert_eq!(refined.vertices, vs(&[1, 2, 4]));
+        assert_eq!(refined.value, 24.0);
+    }
+}

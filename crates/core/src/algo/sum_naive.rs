@@ -1,0 +1,156 @@
+//! Algorithm 1 (`SUM-NAÏVE`): the baseline polynomial-time solver for
+//! removal-decreasing aggregations (`sum`, `sum-surplus`).
+//!
+//! One pass over all vertices; each vertex is deleted from every current
+//! top-r community containing it, the remains are cascade-peeled back to
+//! connected k-cores, and the top-r list is updated. Correct because the
+//! influence value strictly decreases under vertex removal (Corollary 2),
+//! so a community outside the running top-r can never have a top-r
+//! descendant. Complexity `O(n · r · (n + m))`.
+
+use crate::algo::common::{
+    components_as_communities, require_corollary2, validate_k_r,
+};
+use crate::{Aggregation, Community, SearchError, TopList};
+use ic_graph::WeightedGraph;
+use ic_kcore::{maximal_kcore_components, PeelScratch};
+
+/// Runs Algorithm 1. Returns the top-r communities, best first. The
+/// aggregation must satisfy Corollary 2 (`sum`, or `sum-surplus` with
+/// α ≥ 0); others are rejected with
+/// [`SearchError::UnsupportedAggregation`].
+pub fn sum_naive(
+    wg: &WeightedGraph,
+    k: usize,
+    r: usize,
+    aggregation: Aggregation,
+) -> Result<Vec<Community>, SearchError> {
+    validate_k_r(r)?;
+    require_corollary2("sum_naive", aggregation)?;
+
+    let g = wg.graph();
+    let n = g.num_vertices();
+
+    // Lines 1-2: disjoint connected components of the maximal k-core.
+    let comps = maximal_kcore_components(g, k);
+    let mut list = TopList::new(r);
+    for c in components_as_communities(wg, aggregation, comps) {
+        list.insert(c);
+    }
+
+    let mut scratch = PeelScratch::new(n);
+    // Lines 3-10: for every vertex, split every retained community that
+    // contains it.
+    for v in 0..n as u32 {
+        let mut children: Vec<Community> = Vec::new();
+        for community in list.items() {
+            if community.contains(v) {
+                let parts = scratch.connected_kcores(g, &community.vertices, Some(v), k);
+                children.extend(components_as_communities(wg, aggregation, parts));
+            }
+        }
+        for child in children {
+            list.insert(child);
+        }
+    }
+    Ok(list.into_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::exact_topr;
+    use crate::figure1::{figure1, vs};
+    use ic_graph::{graph_from_edges, WeightedGraph};
+
+    #[test]
+    fn rejects_unsupported_aggregations() {
+        let wg = figure1();
+        for agg in [
+            Aggregation::Min,
+            Aggregation::Max,
+            Aggregation::Average,
+            Aggregation::WeightDensity { beta: 1.0 },
+            Aggregation::BalancedDensity,
+            Aggregation::SumSurplus { alpha: -2.0 },
+        ] {
+            assert!(
+                matches!(
+                    sum_naive(&wg, 2, 2, agg),
+                    Err(SearchError::UnsupportedAggregation { .. })
+                ),
+                "{} should be rejected",
+                agg.name()
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_r_zero() {
+        let wg = figure1();
+        assert!(sum_naive(&wg, 2, 0, Aggregation::Sum).is_err());
+    }
+
+    #[test]
+    fn figure1_example1_sum_top2() {
+        let wg = figure1();
+        let top = sum_naive(&wg, 2, 2, Aggregation::Sum).unwrap();
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].vertices, vs(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11]));
+        assert_eq!(top[0].value, 203.0);
+        assert_eq!(top[1].vertices, vs(&[1, 2, 4, 5, 6, 7, 8, 9, 10, 11]));
+        assert_eq!(top[1].value, 195.0);
+    }
+
+    #[test]
+    fn figure1_deeper_r_matches_oracle() {
+        let wg = figure1();
+        for r in [1, 3, 5, 8] {
+            let got = sum_naive(&wg, 2, r, Aggregation::Sum).unwrap();
+            let expect = exact_topr(&wg, 2, r, None, Aggregation::Sum).unwrap();
+            let got_vals: Vec<f64> = got.iter().map(|c| c.value).collect();
+            let expect_vals: Vec<f64> = expect.iter().map(|c| c.value).collect();
+            assert_eq!(got_vals, expect_vals, "r = {r}");
+        }
+    }
+
+    #[test]
+    fn empty_kcore_returns_empty() {
+        let g = graph_from_edges(4, &[(0, 1), (1, 2)]);
+        let wg = WeightedGraph::new(g, vec![1.0; 4]).unwrap();
+        let top = sum_naive(&wg, 2, 3, Aggregation::Sum).unwrap();
+        assert!(top.is_empty());
+    }
+
+    #[test]
+    fn disjoint_components_rank_independently() {
+        // Two triangles with different totals.
+        let g = graph_from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]);
+        let wg = WeightedGraph::new(g, vec![1.0, 1.0, 1.0, 5.0, 5.0, 5.0]).unwrap();
+        let top = sum_naive(&wg, 2, 2, Aggregation::Sum).unwrap();
+        assert_eq!(top[0].vertices, vec![3, 4, 5]);
+        assert_eq!(top[0].value, 15.0);
+        assert_eq!(top[1].vertices, vec![0, 1, 2]);
+        assert_eq!(top[1].value, 3.0);
+    }
+
+    #[test]
+    fn sum_surplus_is_supported() {
+        let wg = figure1();
+        let agg = Aggregation::SumSurplus { alpha: 1.0 };
+        let top = sum_naive(&wg, 2, 2, agg).unwrap();
+        // Whole graph: 203 + 11; minus v3: 195 + 10.
+        assert_eq!(top[0].value, 214.0);
+        assert_eq!(top[1].value, 205.0);
+    }
+
+    #[test]
+    fn r_larger_than_community_count() {
+        let g = graph_from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        let wg = WeightedGraph::new(g, vec![1.0, 2.0, 3.0]).unwrap();
+        let top = sum_naive(&wg, 2, 10, Aggregation::Sum).unwrap();
+        // Only the triangle exists (removing any vertex kills the 2-core).
+        assert_eq!(top.len(), 1);
+        assert_eq!(top[0].value, 6.0);
+    }
+}

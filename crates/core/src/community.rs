@@ -1,0 +1,276 @@
+//! Community values, canonical identity, and bounded top-r lists.
+
+use ic_graph::VertexId;
+use std::cmp::Ordering;
+
+/// A community: a canonical (sorted, deduplicated) vertex list plus its
+/// influence value under the aggregation the producing solver used.
+#[derive(Clone, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Community {
+    /// Member vertices, sorted ascending.
+    pub vertices: Vec<VertexId>,
+    /// `f(H)` under the solver's aggregation function.
+    pub value: f64,
+}
+
+impl Community {
+    /// Builds a community, canonicalizing the vertex list.
+    pub fn new(mut vertices: Vec<VertexId>, value: f64) -> Self {
+        vertices.sort_unstable();
+        vertices.dedup();
+        Community { vertices, value }
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// True for the empty community (never produced by the solvers).
+    pub fn is_empty(&self) -> bool {
+        self.vertices.is_empty()
+    }
+
+    /// Whether `v` is a member (binary search).
+    pub fn contains(&self, v: VertexId) -> bool {
+        self.vertices.binary_search(&v).is_ok()
+    }
+
+    /// Whether two communities share any vertex (merge scan).
+    pub fn overlaps(&self, other: &Community) -> bool {
+        let (mut a, mut b) = (self.vertices.as_slice(), other.vertices.as_slice());
+        while let (Some(&x), Some(&y)) = (a.first(), b.first()) {
+            match x.cmp(&y) {
+                Ordering::Less => a = &a[1..],
+                Ordering::Greater => b = &b[1..],
+                Ordering::Equal => return true,
+            }
+        }
+        false
+    }
+
+    /// 64-bit FNV-1a hash of the member list; used for cheap duplicate
+    /// detection (full list comparison resolves collisions).
+    pub fn signature(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        for &v in &self.vertices {
+            for byte in v.to_le_bytes() {
+                h ^= byte as u64;
+                h = h.wrapping_mul(PRIME);
+            }
+        }
+        h
+    }
+
+    /// Total order used by all solvers: higher value first; ties broken by
+    /// smaller size, then lexicographically smaller vertex list, making
+    /// every solver's output deterministic.
+    pub fn ranking_cmp(&self, other: &Community) -> Ordering {
+        other
+            .value
+            .total_cmp(&self.value)
+            .then_with(|| self.vertices.len().cmp(&other.vertices.len()))
+            .then_with(|| self.vertices.cmp(&other.vertices))
+    }
+}
+
+/// A bounded, deduplicated list of the best `r` communities seen so far.
+///
+/// This is the `L` of Algorithms 1, 2, and 4: insertion keeps the list
+/// sorted by [`Community::ranking_cmp`], drops duplicates, and evicts the
+/// worst entry when capacity is exceeded.
+#[derive(Clone, Debug)]
+pub struct TopList {
+    capacity: usize,
+    items: Vec<Community>,
+}
+
+impl TopList {
+    /// Creates a list holding at most `capacity` communities.
+    pub fn new(capacity: usize) -> Self {
+        TopList {
+            capacity,
+            items: Vec::with_capacity(capacity + 1),
+        }
+    }
+
+    /// Maximum number of communities retained.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of communities.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when no community has been accepted yet.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The retained communities, best first.
+    pub fn items(&self) -> &[Community] {
+        &self.items
+    }
+
+    /// Consumes the list, returning the communities best-first.
+    pub fn into_vec(self) -> Vec<Community> {
+        self.items
+    }
+
+    /// The value of the `r`-th (worst retained) community, or `−∞` while
+    /// the list is not yet full. This is `f(Lr)` in the paper's pruning
+    /// rules: any candidate that cannot beat it is skipped.
+    pub fn threshold(&self) -> f64 {
+        if self.items.len() < self.capacity {
+            f64::NEG_INFINITY
+        } else {
+            self.items.last().map_or(f64::NEG_INFINITY, |c| c.value)
+        }
+    }
+
+    /// The best community, if any.
+    pub fn best(&self) -> Option<&Community> {
+        self.items.first()
+    }
+
+    /// Inserts a community; returns whether it was retained. Duplicates
+    /// (same vertex set) are rejected.
+    pub fn insert(&mut self, community: Community) -> bool {
+        if self.capacity == 0 {
+            return false;
+        }
+        // Find insertion point by ranking; detect duplicates on the way.
+        let pos = self
+            .items
+            .partition_point(|c| c.ranking_cmp(&community) == Ordering::Less);
+        if pos == self.items.len() && self.items.len() >= self.capacity {
+            return false; // worse than everything retained, list full
+        }
+        // Duplicate check: identical vertex lists rank adjacently, so it is
+        // enough to check the neighbors of the insertion point with equal
+        // value.
+        let sig = community.signature();
+        let mut i = pos;
+        while i > 0 && self.items[i - 1].value == community.value {
+            i -= 1;
+            if self.items[i].signature() == sig && self.items[i].vertices == community.vertices {
+                return false;
+            }
+        }
+        let mut j = pos;
+        while j < self.items.len() && self.items[j].value == community.value {
+            if self.items[j].signature() == sig && self.items[j].vertices == community.vertices {
+                return false;
+            }
+            j += 1;
+        }
+        self.items.insert(pos, community);
+        if self.items.len() > self.capacity {
+            self.items.pop();
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(vs: &[u32], value: f64) -> Community {
+        Community::new(vs.to_vec(), value)
+    }
+
+    #[test]
+    fn construction_canonicalizes() {
+        let comm = Community::new(vec![3, 1, 2, 1], 5.0);
+        assert_eq!(comm.vertices, vec![1, 2, 3]);
+        assert_eq!(comm.len(), 3);
+        assert!(comm.contains(2));
+        assert!(!comm.contains(9));
+    }
+
+    #[test]
+    fn overlap_detection() {
+        assert!(c(&[1, 2, 3], 0.0).overlaps(&c(&[3, 4], 0.0)));
+        assert!(!c(&[1, 2], 0.0).overlaps(&c(&[3, 4], 0.0)));
+        assert!(!c(&[], 0.0).overlaps(&c(&[1], 0.0)));
+    }
+
+    #[test]
+    fn signature_distinguishes_lists() {
+        assert_eq!(c(&[1, 2], 0.0).signature(), c(&[2, 1], 1.0).signature());
+        assert_ne!(c(&[1, 2], 0.0).signature(), c(&[1, 3], 0.0).signature());
+    }
+
+    #[test]
+    fn ranking_order() {
+        let hi = c(&[1], 10.0);
+        let lo = c(&[2], 5.0);
+        assert_eq!(hi.ranking_cmp(&lo), Ordering::Less); // "less" = ranks earlier
+        // Ties: smaller community first.
+        let small = c(&[7], 5.0);
+        let big = c(&[1, 2], 5.0);
+        assert_eq!(small.ranking_cmp(&big), Ordering::Less);
+        // Full tie broken lexicographically.
+        let a = c(&[1, 5], 5.0);
+        let b = c(&[2, 3], 5.0);
+        assert_eq!(a.ranking_cmp(&b), Ordering::Less);
+    }
+
+    #[test]
+    fn toplist_keeps_best_r() {
+        let mut l = TopList::new(2);
+        assert!(l.insert(c(&[1], 1.0)));
+        assert!(l.insert(c(&[2], 3.0)));
+        assert!(l.insert(c(&[3], 2.0))); // evicts value 1.0
+        assert_eq!(l.len(), 2);
+        assert_eq!(l.items()[0].value, 3.0);
+        assert_eq!(l.items()[1].value, 2.0);
+        assert!(!l.insert(c(&[4], 0.5))); // too weak
+        assert_eq!(l.threshold(), 2.0);
+    }
+
+    #[test]
+    fn toplist_threshold_before_full() {
+        let mut l = TopList::new(3);
+        assert_eq!(l.threshold(), f64::NEG_INFINITY);
+        l.insert(c(&[1], 1.0));
+        assert_eq!(l.threshold(), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn toplist_rejects_duplicates() {
+        let mut l = TopList::new(3);
+        assert!(l.insert(c(&[1, 2], 5.0)));
+        assert!(!l.insert(c(&[2, 1], 5.0)));
+        assert_eq!(l.len(), 1);
+        // Same value, different set: accepted.
+        assert!(l.insert(c(&[1, 3], 5.0)));
+        assert_eq!(l.len(), 2);
+    }
+
+    #[test]
+    fn toplist_zero_capacity() {
+        let mut l = TopList::new(0);
+        assert!(!l.insert(c(&[1], 1.0)));
+        assert!(l.is_empty());
+    }
+
+    #[test]
+    fn toplist_eviction_respects_tie_breaks() {
+        let mut l = TopList::new(2);
+        l.insert(c(&[1, 2, 3], 5.0));
+        l.insert(c(&[4], 5.0)); // smaller set ranks first on tie
+        assert_eq!(l.items()[0].vertices, vec![4]);
+        // New tie value evicts the lexicographically-larger big set? No —
+        // eviction is strictly by ranking: the 3-element set is last.
+        l.insert(c(&[5], 5.0));
+        assert_eq!(l.items().len(), 2);
+        assert_eq!(l.items()[1].vertices, vec![5]);
+    }
+}

@@ -1,0 +1,60 @@
+use crate::Aggregation;
+use std::fmt;
+
+/// Errors produced by the community-search solvers.
+#[derive(Debug, Clone)]
+pub enum SearchError {
+    /// A parameter combination is invalid (e.g. `r = 0`, `s <= k`).
+    InvalidParams(String),
+    /// The requested algorithm does not support this aggregation function.
+    ///
+    /// Algorithms 1 and 2 require the influence value to strictly decrease
+    /// when vertices are removed (Corollary 2); aggregations that violate
+    /// this (e.g. `avg`, `min`) are rejected instead of silently returning
+    /// wrong answers.
+    UnsupportedAggregation {
+        /// The algorithm that rejected the aggregation.
+        algorithm: &'static str,
+        /// The offending aggregation.
+        aggregation: Aggregation,
+        /// Why it cannot be used.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for SearchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SearchError::InvalidParams(msg) => write!(f, "invalid parameters: {msg}"),
+            SearchError::UnsupportedAggregation {
+                algorithm,
+                aggregation,
+                reason,
+            } => write!(
+                f,
+                "{algorithm} does not support aggregation {}: {reason}",
+                aggregation.name()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SearchError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SearchError::InvalidParams("r must be positive".into());
+        assert!(e.to_string().contains("r must be positive"));
+        let e = SearchError::UnsupportedAggregation {
+            algorithm: "sum_naive",
+            aggregation: Aggregation::Average,
+            reason: "value does not decrease on removal",
+        };
+        let s = e.to_string();
+        assert!(s.contains("sum_naive") && s.contains("avg"));
+    }
+}

@@ -1,0 +1,142 @@
+//! The paper's running example network (Figure 1).
+//!
+//! The published figure is a drawing, so the exact edge set is not machine
+//! readable; this module reconstructs an 11-vertex network on which
+//! **every** numeric fact stated in Examples 1 and 2 of the paper holds
+//! (each is asserted in this crate's tests):
+//!
+//! * `k = 2`, `f = sum`: top-2 are `{v1..v11}` (203) and `{v1..v11}∖{v3}`
+//!   (195);
+//! * `k = 2`, `f = avg`: top-2 are `{v1,v2,v4}` (24) and `{v6,v7,v11}`
+//!   (22); `{v5,v6,v7}` and `{v5,v7,v8}` are also communities;
+//! * `k = 2`, `f = min`: top-2 are `{v5,v7,v8}` (12) and `{v3,v9,v10}` (8);
+//! * `k = 2`, `f = sum`, `s = 4`: `{v3,v6,v9,v10}` is a size-constrained
+//!   community with value 40;
+//! * non-overlapping avg top-3: `{v1,v2,v4}`, `{v6,v7,v11}`,
+//!   `{v3,v9,v10}` with values 24, 22, 38/3.
+//!
+//! Note: the arithmetic inside the paper's proof of Theorem 2 (values
+//! 14/3, 7, 22/4 for subsets around v5–v8) is mutually inconsistent with
+//! Example 1's community values, so it cannot hold on any single weight
+//! assignment; we treat Examples 1–2 as ground truth (see DESIGN.md §3).
+
+use ic_graph::{graph_from_edges, WeightedGraph};
+
+/// Paper vertex `v1` is id 0, `v2` is id 1, …, `v11` is id 10.
+pub const V: [u32; 11] = [0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10];
+
+/// Maps a paper vertex label (1-based, `v1..v11`) to its graph id.
+pub fn v(label: usize) -> u32 {
+    assert!((1..=11).contains(&label), "figure 1 has vertices v1..v11");
+    (label - 1) as u32
+}
+
+/// The reconstructed Figure 1 network with its vertex weights.
+pub fn figure1() -> WeightedGraph {
+    let edges = [
+        (v(1), v(2)),
+        (v(1), v(4)),
+        (v(2), v(4)),
+        (v(2), v(3)),
+        (v(4), v(10)),
+        (v(3), v(9)),
+        (v(3), v(10)),
+        (v(9), v(10)),
+        (v(6), v(9)),
+        (v(6), v(10)),
+        (v(5), v(6)),
+        (v(5), v(7)),
+        (v(5), v(8)),
+        (v(7), v(8)),
+        (v(6), v(7)),
+        (v(6), v(11)),
+        (v(7), v(11)),
+    ];
+    let g = graph_from_edges(11, &edges);
+    let mut w = vec![0.0f64; 11];
+    w[v(1) as usize] = 62.0;
+    w[v(2) as usize] = 4.0;
+    w[v(3) as usize] = 8.0;
+    w[v(4) as usize] = 6.0;
+    w[v(5) as usize] = 15.0;
+    w[v(6) as usize] = 2.0;
+    w[v(7) as usize] = 14.0;
+    w[v(8) as usize] = 12.0;
+    w[v(9) as usize] = 20.0;
+    w[v(10) as usize] = 10.0;
+    w[v(11) as usize] = 50.0;
+    WeightedGraph::new(g, w).expect("figure 1 weights are valid")
+}
+
+/// Helper for tests: paper labels (1-based) to a sorted id vector.
+pub fn vs(labels: &[usize]) -> Vec<u32> {
+    let mut ids: Vec<u32> = labels.iter().map(|&l| v(l)).collect();
+    ids.sort_unstable();
+    ids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ic_kcore::maximal_kcore_components;
+
+    #[test]
+    fn basic_shape() {
+        let wg = figure1();
+        assert_eq!(wg.num_vertices(), 11);
+        assert_eq!(wg.num_edges(), 17);
+        assert_eq!(wg.total_weight(), 203.0);
+    }
+
+    #[test]
+    fn whole_graph_is_a_connected_2core() {
+        let wg = figure1();
+        let comps = maximal_kcore_components(wg.graph(), 2);
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].len(), 11);
+    }
+
+    #[test]
+    fn example_triangles_exist() {
+        let wg = figure1();
+        let g = wg.graph();
+        for tri in [
+            vs(&[1, 2, 4]),
+            vs(&[6, 7, 11]),
+            vs(&[5, 6, 7]),
+            vs(&[5, 7, 8]),
+            vs(&[3, 9, 10]),
+        ] {
+            for i in 0..3 {
+                for j in (i + 1)..3 {
+                    assert!(g.has_edge(tri[i], tri[j]), "missing edge in {tri:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stated_community_values() {
+        let wg = figure1();
+        let sum = |labels: &[usize]| -> f64 {
+            labels.iter().map(|&l| wg.weight(v(l))).sum()
+        };
+        assert_eq!(sum(&[1, 2, 4]), 72.0); // avg 24
+        assert_eq!(sum(&[6, 7, 11]), 66.0); // avg 22
+        assert_eq!(sum(&[3, 9, 10]), 38.0); // avg 38/3
+        assert_eq!(sum(&[3, 6, 9, 10]), 40.0); // the s = 4 example
+        assert_eq!(sum(&(1..=11).collect::<Vec<_>>()), 203.0);
+    }
+
+    #[test]
+    fn label_helper_bounds() {
+        assert_eq!(v(1), 0);
+        assert_eq!(v(11), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "v1..v11")]
+    fn label_zero_panics() {
+        v(0);
+    }
+}

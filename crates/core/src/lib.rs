@@ -1,0 +1,55 @@
+//! Top-r influential community search under aggregation functions.
+//!
+//! Rust reproduction of *"Finding Top-r Influential Communities under
+//! Aggregation Functions"* (ICDE 2022). Given an undirected graph whose
+//! vertices carry non-negative influence values, a *k-influential
+//! community* (Definition 3 of the paper) is a vertex set `H` such that
+//!
+//! 1. every vertex of the induced subgraph has degree ≥ `k` (*cohesive*),
+//! 2. the induced subgraph is connected (*connected*),
+//! 3. no strict superset satisfying 1–2 has the same influence value
+//!    (*maximal*),
+//!
+//! where the influence value `f(H)` is computed by an [`Aggregation`]
+//! function: `min`, `max`, `sum`, `sum-surplus`, `avg`, `weight density`,
+//! or `balanced density` (Table I).
+//!
+//! # Solvers
+//!
+//! | Paper artifact | Function | Applicability |
+//! |----------------|----------|---------------|
+//! | Algorithm 1 (`SUM-NAÏVE`) | [`algo::sum_naive`] | removal-decreasing aggregations (`sum`, `sum-surplus`) |
+//! | Algorithm 2 (`TIC-IMPROVED`), ε = 0 "Improve", ε > 0 "Approx" | [`algo::tic_improved`] | removal-decreasing aggregations |
+//! | Algorithm 3 (`TIC-EXACT`) | [`algo::exact_topr`] / [`algo::exact_naive`] | any aggregation, tiny graphs |
+//! | Algorithm 4 (`LOCAL SEARCH`) with `SumStrategy`/`AvgStrategy` | [`algo::local_search`] | any aggregation, size-constrained |
+//! | min/max baselines (Li et al. VLDB'15 style peeling) | [`algo::min_topr`] / [`algo::max_topr`] | `min` / `max` |
+//! | TONIC (non-overlapping) variants | [`algo::nonoverlap`] | per solver |
+//! | Parallel local search (paper's future-work direction) | [`algo::par_local_search`] | any aggregation |
+//!
+//! # Quick start
+//!
+//! ```
+//! use ic_core::{algo, Aggregation};
+//! use ic_core::figure1::figure1;
+//!
+//! // The paper's running example (Figure 1), k = 2.
+//! let wg = figure1();
+//! let top = algo::tic_improved(&wg, 2, 2, Aggregation::Sum, 0.0).unwrap();
+//! assert_eq!(top[0].value, 203.0);          // the whole graph
+//! assert_eq!(top[1].value, 195.0);          // everything except v3
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aggregate;
+pub mod algo;
+pub mod community;
+mod error;
+pub mod figure1;
+pub mod hardness;
+pub mod verify;
+
+pub use aggregate::{AggregateState, Aggregation, Hardness};
+pub use community::{Community, TopList};
+pub use error::SearchError;

@@ -1,0 +1,100 @@
+use crate::GraphSeed;
+use ic_graph::{Graph, GraphBuilder};
+use rand::{Rng, SeedableRng};
+
+/// Barabási–Albert preferential attachment.
+///
+/// Starts from a clique on `m + 1` vertices; every subsequent vertex
+/// attaches `m` edges to existing vertices chosen proportionally to their
+/// current degree (implemented with the repeated-endpoints list, the
+/// standard O(m·n) construction). Produces power-law degree distributions
+/// with exponent ≈ 3.
+pub fn barabasi_albert(n: usize, m: usize, seed: GraphSeed) -> Graph {
+    assert!(m >= 1, "m must be at least 1");
+    let mut b = GraphBuilder::with_capacity(n * m);
+    b.reserve_vertices(n);
+    if n == 0 {
+        return b.build();
+    }
+    let seed_size = (m + 1).min(n);
+    // Endpoint multiset: each vertex appears once per incident edge.
+    let mut endpoints: Vec<u32> = Vec::with_capacity(2 * n * m);
+    for u in 0..seed_size as u32 {
+        for v in (u + 1)..seed_size as u32 {
+            b.add_edge(u, v);
+            endpoints.push(u);
+            endpoints.push(v);
+        }
+    }
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed.0);
+    let mut chosen: Vec<u32> = Vec::with_capacity(m);
+    for v in seed_size..n {
+        chosen.clear();
+        // Sample m distinct targets preferentially by degree.
+        let mut guard = 0usize;
+        while chosen.len() < m && guard < 50 * m {
+            guard += 1;
+            let t = endpoints[rng.gen_range(0..endpoints.len())];
+            if !chosen.contains(&t) {
+                chosen.push(t);
+            }
+        }
+        for &t in &chosen {
+            b.add_edge(v as u32, t);
+            endpoints.push(v as u32);
+            endpoints.push(t);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_count_matches_construction() {
+        let (n, m) = (500, 3);
+        let g = barabasi_albert(n, m, GraphSeed(21));
+        let seed_edges = (m + 1) * m / 2;
+        assert_eq!(g.num_edges(), seed_edges + (n - m - 1) * m);
+        assert_eq!(g.num_vertices(), n);
+    }
+
+    #[test]
+    fn min_degree_is_m() {
+        let g = barabasi_albert(300, 2, GraphSeed(22));
+        for v in g.vertices() {
+            assert!(g.degree(v) >= 2, "vertex {v} degree {}", g.degree(v));
+        }
+    }
+
+    #[test]
+    fn early_vertices_become_hubs() {
+        let g = barabasi_albert(2000, 2, GraphSeed(23));
+        let early_avg: f64 = (0..10).map(|v| g.degree(v) as f64).sum::<f64>() / 10.0;
+        let late_avg: f64 = (1900..2000).map(|v| g.degree(v) as f64).sum::<f64>() / 100.0;
+        assert!(early_avg > 4.0 * late_avg, "early {early_avg} late {late_avg}");
+    }
+
+    #[test]
+    fn connected_by_construction() {
+        let g = barabasi_albert(200, 1, GraphSeed(24));
+        assert!(ic_graph::is_connected(&g));
+    }
+
+    #[test]
+    fn tiny_n_smaller_than_seed_clique() {
+        let g = barabasi_albert(2, 3, GraphSeed(25));
+        assert_eq!(g.num_vertices(), 2);
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(
+            barabasi_albert(100, 2, GraphSeed(7)),
+            barabasi_albert(100, 2, GraphSeed(7))
+        );
+    }
+}

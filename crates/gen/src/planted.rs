@@ -1,0 +1,130 @@
+use crate::GraphSeed;
+use ic_graph::{Graph, GraphBuilder};
+use rand::{Rng, SeedableRng};
+
+/// Configuration for the planted-partition (stochastic block) model.
+#[derive(Clone, Debug)]
+pub struct PlantedPartitionConfig {
+    /// Number of communities.
+    pub communities: usize,
+    /// Vertices per community.
+    pub community_size: usize,
+    /// Intra-community edge probability.
+    pub p_in: f64,
+    /// Inter-community edge probability.
+    pub p_out: f64,
+}
+
+/// Generates a planted-partition graph: `communities × community_size`
+/// vertices; pairs inside the same block connect with `p_in`, across
+/// blocks with `p_out`. Vertex `v` belongs to block `v / community_size`.
+///
+/// Used to build workloads with known community structure for
+/// effectiveness tests (the paper's Figs 12–13 compare the influence value
+/// the heuristics recover).
+pub fn planted_partition(config: &PlantedPartitionConfig, seed: GraphSeed) -> Graph {
+    assert!((0.0..=1.0).contains(&config.p_in), "p_in out of range");
+    assert!((0.0..=1.0).contains(&config.p_out), "p_out out of range");
+    let n = config.communities * config.community_size;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed.0);
+    let mut b = GraphBuilder::new();
+    b.reserve_vertices(n);
+    for u in 0..n as u32 {
+        for v in (u + 1)..n as u32 {
+            let same =
+                (u as usize / config.community_size) == (v as usize / config.community_size);
+            let p = if same { config.p_in } else { config.p_out };
+            if rng.gen::<f64>() < p {
+                b.add_edge(u, v);
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dense_blocks() -> Graph {
+        planted_partition(
+            &PlantedPartitionConfig {
+                communities: 4,
+                community_size: 25,
+                p_in: 0.5,
+                p_out: 0.01,
+            },
+            GraphSeed(31),
+        )
+    }
+
+    #[test]
+    fn sizes() {
+        let g = dense_blocks();
+        assert_eq!(g.num_vertices(), 100);
+    }
+
+    #[test]
+    fn intra_density_exceeds_inter() {
+        let g = dense_blocks();
+        let mut intra = 0usize;
+        let mut inter = 0usize;
+        for (u, v) in g.edges() {
+            if u / 25 == v / 25 {
+                intra += 1;
+            } else {
+                inter += 1;
+            }
+        }
+        // 4 blocks × C(25,2) × 0.5 = 600 expected intra;
+        // inter pairs: C(100,2) − 4·C(25,2) = 3750, × 0.01 ≈ 37.
+        assert!(intra > 400, "intra = {intra}");
+        assert!(inter < 120, "inter = {inter}");
+        assert!(intra > 5 * inter);
+    }
+
+    #[test]
+    fn zero_p_out_gives_disconnected_blocks() {
+        let g = planted_partition(
+            &PlantedPartitionConfig {
+                communities: 3,
+                community_size: 10,
+                p_in: 1.0,
+                p_out: 0.0,
+            },
+            GraphSeed(32),
+        );
+        let cc = ic_graph::connected_components(&g);
+        assert_eq!(cc.count, 3);
+        // Each block is a clique: K10 has 45 edges.
+        assert_eq!(g.num_edges(), 135);
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = PlantedPartitionConfig {
+            communities: 2,
+            community_size: 20,
+            p_in: 0.3,
+            p_out: 0.05,
+        };
+        assert_eq!(
+            planted_partition(&cfg, GraphSeed(5)),
+            planted_partition(&cfg, GraphSeed(5))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "p_in")]
+    fn rejects_bad_probability() {
+        planted_partition(
+            &PlantedPartitionConfig {
+                communities: 1,
+                community_size: 2,
+                p_in: 2.0,
+                p_out: 0.0,
+            },
+            GraphSeed(0),
+        );
+    }
+}

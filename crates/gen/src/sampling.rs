@@ -1,0 +1,137 @@
+use rand::Rng;
+
+/// Walker's alias method for O(1) sampling from a discrete distribution.
+///
+/// Used by the Chung-Lu generator to draw edge endpoints proportionally to
+/// expected degrees.
+#[derive(Clone, Debug)]
+pub struct AliasTable {
+    prob: Vec<f64>,
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Builds an alias table from non-negative weights. Panics if `weights`
+    /// is empty or sums to a non-positive value.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "alias table needs at least one weight");
+        let total: f64 = weights.iter().sum();
+        assert!(
+            total > 0.0 && total.is_finite(),
+            "alias table needs a positive finite total weight"
+        );
+        let n = weights.len();
+        let scale = n as f64 / total;
+        let mut prob: Vec<f64> = weights.iter().map(|w| w * scale).collect();
+        let mut alias = vec![0u32; n];
+
+        let mut small: Vec<u32> = Vec::new();
+        let mut large: Vec<u32> = Vec::new();
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while let (Some(s), Some(l)) = (small.pop(), large.pop()) {
+            alias[s as usize] = l;
+            prob[l as usize] = (prob[l as usize] + prob[s as usize]) - 1.0;
+            if prob[l as usize] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Numerical leftovers are certain events.
+        for i in small.into_iter().chain(large) {
+            prob[i as usize] = 1.0;
+        }
+
+        AliasTable { prob, alias }
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// True when the table has no categories (never: construction forbids it).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Samples an index proportionally to the construction weights.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> u32 {
+        let i = rng.gen_range(0..self.prob.len());
+        if rng.gen::<f64>() < self.prob[i] {
+            i as u32
+        } else {
+            self.alias[i]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_weights_sample_uniformly() {
+        let t = AliasTable::new(&[1.0, 1.0, 1.0, 1.0]);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut counts = [0usize; 4];
+        for _ in 0..40_000 {
+            counts[t.sample(&mut rng) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 - 10_000.0).abs() < 600.0, "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn skewed_weights_respect_ratios() {
+        let t = AliasTable::new(&[9.0, 1.0]);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let mut hit0 = 0usize;
+        const N: usize = 50_000;
+        for _ in 0..N {
+            if t.sample(&mut rng) == 0 {
+                hit0 += 1;
+            }
+        }
+        let frac = hit0 as f64 / N as f64;
+        assert!((frac - 0.9).abs() < 0.01, "frac = {frac}");
+    }
+
+    #[test]
+    fn zero_weight_categories_are_never_sampled() {
+        let t = AliasTable::new(&[0.0, 1.0, 0.0]);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            assert_eq!(t.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one weight")]
+    fn empty_weights_panic() {
+        AliasTable::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive finite")]
+    fn zero_total_panics() {
+        AliasTable::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    fn single_category() {
+        let t = AliasTable::new(&[5.0]);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        assert_eq!(t.sample(&mut rng), 0);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+}

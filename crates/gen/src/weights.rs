@@ -1,0 +1,99 @@
+use crate::GraphSeed;
+use ic_centrality::{pagerank, PageRankConfig};
+use ic_graph::Graph;
+use rand::{Rng, SeedableRng};
+
+/// Uniform random weights in `[lo, hi)`.
+pub fn uniform_weights(n: usize, lo: f64, hi: f64, seed: GraphSeed) -> Vec<f64> {
+    assert!(lo >= 0.0 && hi > lo, "need 0 <= lo < hi");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed.0);
+    (0..n).map(|_| rng.gen_range(lo..hi)).collect()
+}
+
+/// Pareto (heavy-tailed) weights with shape `alpha` and scale 1:
+/// `w = u^(−1/α)` for uniform `u`. Models citation-count-like influence
+/// values where a few vertices dominate.
+pub fn pareto_weights(n: usize, alpha: f64, seed: GraphSeed) -> Vec<f64> {
+    assert!(alpha > 0.0, "alpha must be positive");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed.0);
+    (0..n)
+        .map(|_| {
+            let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            u.powf(-1.0 / alpha)
+        })
+        .collect()
+}
+
+/// Rank-based weights: a random permutation of `1..=n` (as f64). Every
+/// vertex gets a distinct weight — handy for algorithms whose tie-breaking
+/// behaviour should not be exercised by accident.
+pub fn rank_weights(n: usize, seed: GraphSeed) -> Vec<f64> {
+    use rand::seq::SliceRandom;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed.0);
+    let mut w: Vec<f64> = (1..=n).map(|i| i as f64).collect();
+    w.shuffle(&mut rng);
+    w
+}
+
+/// PageRank weights with damping 0.85 — exactly the influence values the
+/// paper's experiments use (Section VI: "the weight of vertices is the
+/// PageRank value of vertices with the damping factor being set as 0.85").
+pub fn pagerank_weights(g: &Graph) -> Vec<f64> {
+    pagerank(g, &PageRankConfig::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ic_graph::graph_from_edges;
+
+    #[test]
+    fn uniform_bounds_hold() {
+        let w = uniform_weights(1000, 2.0, 5.0, GraphSeed(1));
+        assert_eq!(w.len(), 1000);
+        assert!(w.iter().all(|&x| (2.0..5.0).contains(&x)));
+    }
+
+    #[test]
+    fn pareto_is_heavy_tailed_and_positive() {
+        let w = pareto_weights(10_000, 1.5, GraphSeed(2));
+        assert!(w.iter().all(|&x| x >= 1.0));
+        let max = w.iter().cloned().fold(0.0, f64::max);
+        let mean = w.iter().sum::<f64>() / w.len() as f64;
+        assert!(max > 10.0 * mean, "max {max}, mean {mean}");
+    }
+
+    #[test]
+    fn rank_weights_are_a_permutation() {
+        let mut w = rank_weights(100, GraphSeed(3));
+        w.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let expect: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(w, expect);
+    }
+
+    #[test]
+    fn pagerank_weights_are_valid_influence_values() {
+        let g = graph_from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let w = pagerank_weights(&g);
+        assert_eq!(w.len(), 5);
+        assert!(w.iter().all(|&x| x > 0.0 && x.is_finite()));
+        // Usable by WeightedGraph (non-negative, finite).
+        ic_graph::WeightedGraph::new(g, w).unwrap();
+    }
+
+    #[test]
+    fn all_deterministic() {
+        assert_eq!(
+            uniform_weights(50, 0.0, 1.0, GraphSeed(7)),
+            uniform_weights(50, 0.0, 1.0, GraphSeed(7))
+        );
+        assert_eq!(pareto_weights(50, 2.0, GraphSeed(7)), pareto_weights(50, 2.0, GraphSeed(7)));
+        assert_eq!(rank_weights(50, GraphSeed(7)), rank_weights(50, GraphSeed(7)));
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn pareto_rejects_bad_alpha() {
+        pareto_weights(10, 0.0, GraphSeed(0));
+    }
+}

@@ -1,0 +1,190 @@
+use crate::{BitSet, Bfs, Graph, VertexId};
+
+/// Component labelling of a graph: `labels[v]` is the component id of `v`,
+/// ids are dense in `0..count`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ComponentLabels {
+    /// Per-vertex component id.
+    pub labels: Vec<u32>,
+    /// Number of components.
+    pub count: usize,
+}
+
+impl ComponentLabels {
+    /// Groups vertices by component, preserving ascending vertex order
+    /// within each group.
+    pub fn groups(&self) -> Vec<Vec<VertexId>> {
+        let mut groups = vec![Vec::new(); self.count];
+        for (v, &c) in self.labels.iter().enumerate() {
+            groups[c as usize].push(v as VertexId);
+        }
+        groups
+    }
+}
+
+/// Labels the connected components of `g`.
+pub fn connected_components(g: &Graph) -> ComponentLabels {
+    let n = g.num_vertices();
+    let mut labels = vec![u32::MAX; n];
+    let mut count = 0u32;
+    let mut bfs = Bfs::new(n);
+    for v in g.vertices() {
+        if labels[v as usize] == u32::MAX {
+            bfs.run(g, v, |u| labels[u as usize] = count);
+            count += 1;
+        }
+    }
+    ComponentLabels {
+        labels,
+        count: count as usize,
+    }
+}
+
+/// Connected components of the subgraph induced by `mask`, each returned as
+/// a sorted vertex list. Components are ordered by their smallest vertex.
+pub fn connected_components_within(g: &Graph, mask: &BitSet) -> Vec<Vec<VertexId>> {
+    let n = g.num_vertices();
+    let mut seen = BitSet::new(n);
+    let mut bfs = Bfs::new(n);
+    let mut comps = Vec::new();
+    for v in mask.iter() {
+        if !seen.contains(v) {
+            let mut comp = Vec::new();
+            bfs.run_within(g, mask, v as VertexId, |u| {
+                seen.insert(u as usize);
+                comp.push(u);
+            });
+            comp.sort_unstable();
+            comps.push(comp);
+        }
+    }
+    comps
+}
+
+/// The component containing `v`, as a sorted vertex list.
+pub fn component_of(g: &Graph, mask: &BitSet, v: VertexId) -> Vec<VertexId> {
+    let mut comp = Vec::new();
+    if !mask.contains(v as usize) {
+        return comp;
+    }
+    Bfs::new(g.num_vertices()).run_within(g, mask, v, |u| comp.push(u));
+    comp.sort_unstable();
+    comp
+}
+
+/// Whether `g` is connected. The empty graph is considered connected; a
+/// graph with isolated vertices and `n > 1` is not.
+pub fn is_connected(g: &Graph) -> bool {
+    let n = g.num_vertices();
+    if n <= 1 {
+        return true;
+    }
+    bfs_reach_count(g, 0) == n
+}
+
+fn bfs_reach_count(g: &Graph, source: VertexId) -> usize {
+    let mut count = 0usize;
+    Bfs::new(g.num_vertices()).run(g, source, |_| count += 1);
+    count
+}
+
+/// Whether the subgraph induced by `mask` is connected. An empty mask is
+/// considered connected.
+pub fn is_connected_within(g: &Graph, mask: &BitSet) -> bool {
+    let mut iter = mask.iter();
+    let Some(first) = iter.next() else {
+        return true;
+    };
+    let total = mask.count();
+    let mut count = 0usize;
+    Bfs::new(g.num_vertices()).run_within(g, mask, first as VertexId, |_| count += 1);
+    count == total
+}
+
+/// The largest connected component of `g` (sorted vertex list); ties broken
+/// by smallest contained vertex. Returns an empty vec for the empty graph.
+pub fn largest_component(g: &Graph) -> Vec<VertexId> {
+    let mask = BitSet::full(g.num_vertices());
+    connected_components_within(g, &mask)
+        .into_iter()
+        .max_by_key(|c| c.len())
+        .unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph_from_edges;
+
+    /// Two triangles and an isolated vertex: {0,1,2}, {3,4,5}, {6}.
+    fn two_triangles() -> Graph {
+        graph_from_edges(7, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)])
+    }
+
+    #[test]
+    fn labels_components() {
+        let g = two_triangles();
+        let cc = connected_components(&g);
+        assert_eq!(cc.count, 3);
+        assert_eq!(cc.labels[0], cc.labels[1]);
+        assert_eq!(cc.labels[1], cc.labels[2]);
+        assert_eq!(cc.labels[3], cc.labels[4]);
+        assert_ne!(cc.labels[0], cc.labels[3]);
+        assert_ne!(cc.labels[0], cc.labels[6]);
+        let groups = cc.groups();
+        assert_eq!(groups[0], vec![0, 1, 2]);
+        assert_eq!(groups[1], vec![3, 4, 5]);
+        assert_eq!(groups[2], vec![6]);
+    }
+
+    #[test]
+    fn components_within_mask() {
+        let g = two_triangles();
+        let mut mask = BitSet::full(7);
+        mask.remove(1); // split first triangle into a path 0-2
+        mask.remove(6);
+        let comps = connected_components_within(&g, &mask);
+        assert_eq!(comps, vec![vec![0, 2], vec![3, 4, 5]]);
+    }
+
+    #[test]
+    fn component_of_vertex() {
+        let g = two_triangles();
+        let mask = BitSet::full(7);
+        assert_eq!(component_of(&g, &mask, 4), vec![3, 4, 5]);
+        assert_eq!(component_of(&g, &mask, 6), vec![6]);
+        let mut partial = BitSet::new(7);
+        partial.insert(0);
+        assert_eq!(component_of(&g, &partial, 1), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn connectivity_checks() {
+        let g = two_triangles();
+        assert!(!is_connected(&g));
+        let path = graph_from_edges(3, &[(0, 1), (1, 2)]);
+        assert!(is_connected(&path));
+        assert!(is_connected(&Graph::empty(0)));
+        assert!(is_connected(&Graph::empty(1)));
+        assert!(!is_connected(&Graph::empty(2)));
+    }
+
+    #[test]
+    fn connectivity_within_mask() {
+        let g = two_triangles();
+        let mut mask = BitSet::new(7);
+        assert!(is_connected_within(&g, &mask)); // empty mask
+        mask.insert(0);
+        mask.insert(2);
+        assert!(is_connected_within(&g, &mask)); // 0-2 edge exists
+        mask.insert(3);
+        assert!(!is_connected_within(&g, &mask));
+    }
+
+    #[test]
+    fn largest_component_ties_and_sizes() {
+        let g = graph_from_edges(6, &[(0, 1), (2, 3), (3, 4)]);
+        assert_eq!(largest_component(&g), vec![2, 3, 4]);
+        assert_eq!(largest_component(&Graph::empty(0)), Vec::<u32>::new());
+    }
+}

@@ -1,0 +1,199 @@
+use crate::VertexId;
+
+/// An immutable, undirected graph in CSR (compressed sparse row) layout.
+///
+/// Vertices are dense ids `0..n`. Each undirected edge `{u, v}` is stored
+/// twice (once per endpoint); adjacency lists are sorted and free of
+/// duplicates and self-loops — [`crate::GraphBuilder`] enforces this.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Graph {
+    /// `offsets[v]..offsets[v+1]` indexes `targets` for vertex `v`.
+    offsets: Vec<usize>,
+    /// Concatenated sorted adjacency lists.
+    targets: Vec<VertexId>,
+    /// Number of undirected edges (`targets.len() / 2`).
+    num_edges: usize,
+}
+
+impl Graph {
+    /// Constructs a graph directly from CSR arrays.
+    ///
+    /// Callers outside this crate should prefer [`crate::GraphBuilder`]. The
+    /// arrays must satisfy the CSR invariants (monotone offsets, sorted
+    /// deduplicated loop-free adjacency, symmetric edges); violations are
+    /// caught by `debug_assert`s.
+    pub(crate) fn from_csr(offsets: Vec<usize>, targets: Vec<VertexId>) -> Self {
+        debug_assert!(!offsets.is_empty());
+        debug_assert_eq!(*offsets.last().unwrap(), targets.len());
+        debug_assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
+        debug_assert_eq!(targets.len() % 2, 0);
+        let num_edges = targets.len() / 2;
+        Graph {
+            offsets,
+            targets,
+            num_edges,
+        }
+    }
+
+    /// An empty graph with `n` isolated vertices.
+    pub fn empty(n: usize) -> Self {
+        Graph {
+            offsets: vec![0; n + 1],
+            targets: Vec::new(),
+            num_edges: 0,
+        }
+    }
+
+    /// Number of vertices `n`.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges `m`.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// The sorted neighbors of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        let v = v as usize;
+        &self.targets[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Degree of `v` in the full graph.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        let v = v as usize;
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// Whether the undirected edge `{u, v}` exists (binary search).
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        if u as usize >= self.num_vertices() || v as usize >= self.num_vertices() {
+            return false;
+        }
+        // Search the shorter adjacency list.
+        let (a, b) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        self.neighbors(a).binary_search(&b).is_ok()
+    }
+
+    /// Iterates vertex ids `0..n`.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        0..self.num_vertices() as VertexId
+    }
+
+    /// Iterates each undirected edge once, as `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        self.vertices().flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
+        })
+    }
+
+    /// Maximum degree, or 0 for an empty graph.
+    pub fn max_degree(&self) -> usize {
+        self.vertices().map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// Average degree `2m / n`, or 0.0 for the empty graph.
+    pub fn avg_degree(&self) -> f64 {
+        if self.num_vertices() == 0 {
+            0.0
+        } else {
+            2.0 * self.num_edges as f64 / self.num_vertices() as f64
+        }
+    }
+
+    /// Degree of `v` restricted to vertices set in `mask`
+    /// (`d(v, G[mask])` in the paper's notation).
+    pub fn degree_within(&self, v: VertexId, mask: &crate::BitSet) -> usize {
+        self.neighbors(v)
+            .iter()
+            .filter(|&&u| mask.contains(u as usize))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BitSet, GraphBuilder};
+
+    fn triangle_plus_pendant() -> Graph {
+        // 0-1, 1-2, 2-0, 2-3
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(2, 0);
+        b.add_edge(2, 3);
+        b.build()
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let g = triangle_plus_pendant();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(2), 3);
+        assert_eq!(g.degree(3), 1);
+        assert_eq!(g.neighbors(2), &[0, 1, 3]);
+        assert_eq!(g.max_degree(), 3);
+        assert!((g.avg_degree() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::empty(5);
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.degree(4), 0);
+        assert_eq!(g.max_degree(), 0);
+        assert_eq!(g.avg_degree(), 0.0);
+        let g0 = Graph::empty(0);
+        assert_eq!(g0.num_vertices(), 0);
+        assert_eq!(g0.avg_degree(), 0.0);
+    }
+
+    #[test]
+    fn has_edge_both_directions() {
+        let g = triangle_plus_pendant();
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert!(g.has_edge(2, 3));
+        assert!(!g.has_edge(0, 3));
+        assert!(!g.has_edge(0, 0));
+        assert!(!g.has_edge(0, 99));
+        assert!(!g.has_edge(99, 0));
+    }
+
+    #[test]
+    fn edges_iterate_once_each() {
+        let g = triangle_plus_pendant();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (0, 2), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn degree_within_mask() {
+        let g = triangle_plus_pendant();
+        let mut mask = BitSet::full(4);
+        assert_eq!(g.degree_within(2, &mask), 3);
+        mask.remove(3);
+        assert_eq!(g.degree_within(2, &mask), 2);
+        mask.remove(0);
+        assert_eq!(g.degree_within(2, &mask), 1);
+        assert_eq!(g.degree_within(1, &mask), 1);
+    }
+}

@@ -1,0 +1,117 @@
+use std::fmt;
+
+/// Errors produced by graph construction, validation, and I/O.
+#[derive(Debug)]
+pub enum GraphError {
+    /// A vertex id referenced an index `>= n`.
+    VertexOutOfBounds {
+        /// The offending vertex id.
+        vertex: u64,
+        /// Number of vertices in the graph.
+        num_vertices: usize,
+    },
+    /// A weight vector's length did not match the vertex count.
+    WeightLengthMismatch {
+        /// Number of weights supplied.
+        weights: usize,
+        /// Number of vertices in the graph.
+        num_vertices: usize,
+    },
+    /// A vertex weight was negative or non-finite.
+    InvalidWeight {
+        /// The vertex with the invalid weight.
+        vertex: u32,
+        /// The offending value.
+        value: f64,
+    },
+    /// A text edge list could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation of what went wrong.
+        message: String,
+    },
+    /// A binary graph file was malformed.
+    MalformedBinary(String),
+    /// An underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::VertexOutOfBounds {
+                vertex,
+                num_vertices,
+            } => write!(
+                f,
+                "vertex id {vertex} out of bounds for graph with {num_vertices} vertices"
+            ),
+            GraphError::WeightLengthMismatch {
+                weights,
+                num_vertices,
+            } => write!(
+                f,
+                "weight vector has {weights} entries but graph has {num_vertices} vertices"
+            ),
+            GraphError::InvalidWeight { vertex, value } => {
+                write!(f, "vertex {vertex} has invalid weight {value} (must be finite and >= 0)")
+            }
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
+            GraphError::MalformedBinary(msg) => write!(f, "malformed binary graph: {msg}"),
+            GraphError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = GraphError::VertexOutOfBounds {
+            vertex: 7,
+            num_vertices: 3,
+        };
+        assert!(e.to_string().contains("7"));
+        assert!(e.to_string().contains("3"));
+
+        let e = GraphError::Parse {
+            line: 12,
+            message: "expected two fields".into(),
+        };
+        assert!(e.to_string().contains("line 12"));
+
+        let e = GraphError::InvalidWeight {
+            vertex: 2,
+            value: f64::NAN,
+        };
+        assert!(e.to_string().contains("vertex 2"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "nope");
+        let e: GraphError = io.into();
+        assert!(matches!(e, GraphError::Io(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

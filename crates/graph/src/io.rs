@@ -1,0 +1,272 @@
+//! Graph and weight I/O.
+//!
+//! Two formats are supported:
+//!
+//! * **SNAP-style text edge lists** — one `u v` pair per line, `#` comments,
+//!   blank lines ignored. This matches the format of the datasets the paper
+//!   downloads from the Stanford Network Analysis Platform.
+//! * **A compact binary format** (`ICG1`) for caching generated graphs
+//!   between benchmark runs, built on the `bytes` crate.
+
+use crate::{Graph, GraphBuilder, GraphError, VertexId};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Parses a SNAP-style text edge list from a reader.
+///
+/// Lines starting with `#` (or `%`, used by some mirrors) are comments.
+/// Each data line must contain exactly two whitespace-separated vertex ids.
+pub fn read_edge_list<R: Read>(reader: R) -> Result<Graph, GraphError> {
+    let mut builder = GraphBuilder::new();
+    let buf = BufReader::new(reader);
+    let mut line_buf = String::new();
+    let mut reader = buf;
+    let mut line_no = 0usize;
+    loop {
+        line_buf.clear();
+        let n = reader.read_line(&mut line_buf)?;
+        if n == 0 {
+            break;
+        }
+        line_no += 1;
+        let line = line_buf.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let (Some(a), Some(b)) = (it.next(), it.next()) else {
+            return Err(GraphError::Parse {
+                line: line_no,
+                message: format!("expected two vertex ids, got {line:?}"),
+            });
+        };
+        if it.next().is_some() {
+            return Err(GraphError::Parse {
+                line: line_no,
+                message: format!("expected exactly two fields, got {line:?}"),
+            });
+        }
+        let u: VertexId = a.parse().map_err(|_| GraphError::Parse {
+            line: line_no,
+            message: format!("invalid vertex id {a:?}"),
+        })?;
+        let v: VertexId = b.parse().map_err(|_| GraphError::Parse {
+            line: line_no,
+            message: format!("invalid vertex id {b:?}"),
+        })?;
+        builder.add_edge(u, v);
+    }
+    Ok(builder.build())
+}
+
+/// Parses an edge list from a string (convenience for tests and examples).
+pub fn parse_edge_list(text: &str) -> Result<Graph, GraphError> {
+    read_edge_list(text.as_bytes())
+}
+
+/// Reads an edge list from a file path.
+pub fn read_edge_list_file<P: AsRef<Path>>(path: P) -> Result<Graph, GraphError> {
+    read_edge_list(std::fs::File::open(path)?)
+}
+
+/// Writes the graph as a text edge list (one `u v` per line, `u < v`).
+pub fn write_edge_list<W: Write>(g: &Graph, mut writer: W) -> Result<(), GraphError> {
+    writeln!(writer, "# ic-graph edge list: {} vertices, {} edges", g.num_vertices(), g.num_edges())?;
+    for (u, v) in g.edges() {
+        writeln!(writer, "{u} {v}")?;
+    }
+    Ok(())
+}
+
+const BINARY_MAGIC: &[u8; 4] = b"ICG1";
+
+/// Serializes the graph into the compact `ICG1` binary format.
+///
+/// Layout: magic, `n: u64`, `m: u64`, then for each vertex its degree as
+/// `u32`, then all adjacency targets as `u32` (only the `u < v` orientation
+/// is stored; the graph is re-symmetrized on load).
+pub fn to_binary(g: &Graph) -> Bytes {
+    let mut buf = BytesMut::with_capacity(4 + 16 + g.num_edges() * 8 + g.num_vertices() * 4);
+    buf.put_slice(BINARY_MAGIC);
+    buf.put_u64_le(g.num_vertices() as u64);
+    buf.put_u64_le(g.num_edges() as u64);
+    for (u, v) in g.edges() {
+        buf.put_u32_le(u);
+        buf.put_u32_le(v);
+    }
+    buf.freeze()
+}
+
+/// Deserializes a graph from the `ICG1` binary format.
+pub fn from_binary(mut data: &[u8]) -> Result<Graph, GraphError> {
+    if data.len() < 20 {
+        return Err(GraphError::MalformedBinary("truncated header".into()));
+    }
+    let mut magic = [0u8; 4];
+    data.copy_to_slice(&mut magic);
+    if &magic != BINARY_MAGIC {
+        return Err(GraphError::MalformedBinary(format!(
+            "bad magic {magic:?}, expected {BINARY_MAGIC:?}"
+        )));
+    }
+    let n = data.get_u64_le() as usize;
+    let m = data.get_u64_le() as usize;
+    if data.remaining() != m * 8 {
+        return Err(GraphError::MalformedBinary(format!(
+            "expected {} edge bytes, found {}",
+            m * 8,
+            data.remaining()
+        )));
+    }
+    let mut builder = GraphBuilder::with_capacity(m);
+    builder.reserve_vertices(n);
+    for _ in 0..m {
+        let u = data.get_u32_le();
+        let v = data.get_u32_le();
+        if u as usize >= n || v as usize >= n {
+            return Err(GraphError::MalformedBinary(format!(
+                "edge ({u}, {v}) out of bounds for {n} vertices"
+            )));
+        }
+        builder.add_edge(u, v);
+    }
+    Ok(builder.build())
+}
+
+/// Writes vertex weights as text, one per line.
+pub fn write_weights<W: Write>(weights: &[f64], mut writer: W) -> Result<(), GraphError> {
+    for w in weights {
+        writeln!(writer, "{w}")?;
+    }
+    Ok(())
+}
+
+/// Reads vertex weights (one per line, `#` comments allowed).
+pub fn read_weights<R: Read>(reader: R) -> Result<Vec<f64>, GraphError> {
+    let buf = BufReader::new(reader);
+    let mut out = Vec::new();
+    for (i, line) in buf.lines().enumerate() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        let w: f64 = t.parse().map_err(|_| GraphError::Parse {
+            line: i + 1,
+            message: format!("invalid weight {t:?}"),
+        })?;
+        out.push(w);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph_from_edges;
+
+    #[test]
+    fn parse_snap_style() {
+        let text = "# comment\n% another comment\n\n0 1\n1 2\n2 0\n";
+        let g = parse_edge_list(text).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 3);
+    }
+
+    #[test]
+    fn parse_rejects_bad_lines() {
+        assert!(matches!(
+            parse_edge_list("0 1\n2\n").unwrap_err(),
+            GraphError::Parse { line: 2, .. }
+        ));
+        assert!(matches!(
+            parse_edge_list("0 1 2\n").unwrap_err(),
+            GraphError::Parse { line: 1, .. }
+        ));
+        assert!(matches!(
+            parse_edge_list("a b\n").unwrap_err(),
+            GraphError::Parse { line: 1, .. }
+        ));
+        assert!(matches!(
+            parse_edge_list("0 -1\n").unwrap_err(),
+            GraphError::Parse { line: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn parse_empty_input() {
+        let g = parse_edge_list("").unwrap();
+        assert_eq!(g.num_vertices(), 0);
+        let g = parse_edge_list("# only comments\n").unwrap();
+        assert_eq!(g.num_vertices(), 0);
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let g = graph_from_edges(5, &[(0, 1), (1, 2), (3, 4), (0, 4)]);
+        let mut out = Vec::new();
+        write_edge_list(&g, &mut out).unwrap();
+        let g2 = read_edge_list(&out[..]).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn binary_round_trip() {
+        let g = graph_from_edges(6, &[(0, 1), (1, 2), (2, 0), (4, 5)]);
+        let bytes = to_binary(&g);
+        let g2 = from_binary(&bytes).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn binary_round_trip_preserves_isolated_vertices() {
+        let g = graph_from_edges(10, &[(0, 1)]);
+        let g2 = from_binary(&to_binary(&g)).unwrap();
+        assert_eq!(g2.num_vertices(), 10);
+    }
+
+    #[test]
+    fn binary_rejects_malformed() {
+        assert!(matches!(
+            from_binary(b"nope"),
+            Err(GraphError::MalformedBinary(_))
+        ));
+        assert!(matches!(
+            from_binary(b"XXXX\0\0\0\0\0\0\0\0\0\0\0\0\0\0\0\0"),
+            Err(GraphError::MalformedBinary(_))
+        ));
+        // Valid magic but truncated edge section.
+        let g = graph_from_edges(3, &[(0, 1), (1, 2)]);
+        let bytes = to_binary(&g);
+        assert!(matches!(
+            from_binary(&bytes[..bytes.len() - 4]),
+            Err(GraphError::MalformedBinary(_))
+        ));
+        // Out-of-bounds edge: n = 1 but edge (0, 5).
+        let mut bad = BytesMut::new();
+        bad.put_slice(BINARY_MAGIC);
+        bad.put_u64_le(1);
+        bad.put_u64_le(1);
+        bad.put_u32_le(0);
+        bad.put_u32_le(5);
+        assert!(matches!(
+            from_binary(&bad),
+            Err(GraphError::MalformedBinary(_))
+        ));
+    }
+
+    #[test]
+    fn weights_round_trip() {
+        let ws = vec![0.5, 1.25, 3.0];
+        let mut out = Vec::new();
+        write_weights(&ws, &mut out).unwrap();
+        let back = read_weights(&out[..]).unwrap();
+        assert_eq!(ws, back);
+    }
+
+    #[test]
+    fn weights_reject_garbage() {
+        assert!(read_weights("1.0\nbogus\n".as_bytes()).is_err());
+    }
+}

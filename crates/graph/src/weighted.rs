@@ -1,0 +1,130 @@
+use crate::{Graph, GraphError, VertexId};
+
+/// A graph paired with non-negative vertex weights (influence values).
+///
+/// This is the `G = (V, E, w)` of the paper: `w` assigns every vertex a
+/// finite, non-negative influence value (e.g. its PageRank, H-index, or
+/// degree — see `ic-centrality`).
+#[derive(Clone, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct WeightedGraph {
+    graph: Graph,
+    weights: Vec<f64>,
+}
+
+impl WeightedGraph {
+    /// Pairs `graph` with `weights`.
+    ///
+    /// Fails if the lengths disagree or any weight is negative/non-finite
+    /// (the paper assumes non-negative influence values; Algorithm 1/2's
+    /// pruning rules rely on it).
+    pub fn new(graph: Graph, weights: Vec<f64>) -> Result<Self, GraphError> {
+        if weights.len() != graph.num_vertices() {
+            return Err(GraphError::WeightLengthMismatch {
+                weights: weights.len(),
+                num_vertices: graph.num_vertices(),
+            });
+        }
+        for (v, &w) in weights.iter().enumerate() {
+            if !w.is_finite() || w < 0.0 {
+                return Err(GraphError::InvalidWeight {
+                    vertex: v as u32,
+                    value: w,
+                });
+            }
+        }
+        Ok(WeightedGraph { graph, weights })
+    }
+
+    /// Assigns every vertex weight 1.0 (useful for size-driven analyses).
+    pub fn unit_weights(graph: Graph) -> Self {
+        let weights = vec![1.0; graph.num_vertices()];
+        WeightedGraph { graph, weights }
+    }
+
+    /// The underlying graph.
+    #[inline]
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The weight (influence value) of vertex `v`.
+    #[inline]
+    pub fn weight(&self, v: VertexId) -> f64 {
+        self.weights[v as usize]
+    }
+
+    /// All weights, indexed by vertex id.
+    #[inline]
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// `w(V)`: the total weight of the graph.
+    pub fn total_weight(&self) -> f64 {
+        self.weights.iter().sum()
+    }
+
+    /// `w(H)`: the summed weight of a vertex set.
+    pub fn weight_of(&self, vertices: &[VertexId]) -> f64 {
+        vertices.iter().map(|&v| self.weight(v)).sum()
+    }
+
+    /// Number of vertices (convenience passthrough).
+    pub fn num_vertices(&self) -> usize {
+        self.graph.num_vertices()
+    }
+
+    /// Number of undirected edges (convenience passthrough).
+    pub fn num_edges(&self) -> usize {
+        self.graph.num_edges()
+    }
+
+    /// Decomposes into graph and weights.
+    pub fn into_parts(self) -> (Graph, Vec<f64>) {
+        (self.graph, self.weights)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph_from_edges;
+
+    #[test]
+    fn valid_construction() {
+        let g = graph_from_edges(3, &[(0, 1), (1, 2)]);
+        let wg = WeightedGraph::new(g, vec![1.0, 2.5, 0.0]).unwrap();
+        assert_eq!(wg.weight(1), 2.5);
+        assert_eq!(wg.total_weight(), 3.5);
+        assert_eq!(wg.weight_of(&[0, 2]), 1.0);
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let g = graph_from_edges(3, &[(0, 1)]);
+        let err = WeightedGraph::new(g, vec![1.0]).unwrap_err();
+        assert!(matches!(err, GraphError::WeightLengthMismatch { .. }));
+    }
+
+    #[test]
+    fn negative_weight_rejected() {
+        let g = graph_from_edges(2, &[(0, 1)]);
+        let err = WeightedGraph::new(g, vec![1.0, -0.5]).unwrap_err();
+        assert!(matches!(err, GraphError::InvalidWeight { vertex: 1, .. }));
+    }
+
+    #[test]
+    fn nan_and_inf_rejected() {
+        let g = graph_from_edges(2, &[(0, 1)]);
+        assert!(WeightedGraph::new(g.clone(), vec![f64::NAN, 1.0]).is_err());
+        assert!(WeightedGraph::new(g, vec![f64::INFINITY, 1.0]).is_err());
+    }
+
+    #[test]
+    fn unit_weights() {
+        let g = graph_from_edges(4, &[(0, 1)]);
+        let wg = WeightedGraph::unit_weights(g);
+        assert_eq!(wg.total_weight(), 4.0);
+    }
+}

@@ -1,0 +1,55 @@
+use crate::core_decomposition;
+use ic_graph::{Graph, VertexId};
+
+/// The degeneracy of `g`: the maximum core number, i.e. the smallest `d`
+/// such that every subgraph has a vertex of degree `<= d`.
+pub fn degeneracy(g: &Graph) -> u32 {
+    core_decomposition(g).max_core
+}
+
+/// A degeneracy (smallest-last) ordering: vertices in the order the
+/// bucket-peeling algorithm removes them. In this order, every vertex has
+/// at most `degeneracy(g)` neighbors that appear *later*.
+pub fn degeneracy_order(g: &Graph) -> Vec<VertexId> {
+    core_decomposition(g).peel_order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ic_graph::graph_from_edges;
+
+    #[test]
+    fn degeneracy_of_known_graphs() {
+        // Tree -> 1, cycle -> 2, K4 -> 3.
+        let tree = graph_from_edges(4, &[(0, 1), (1, 2), (1, 3)]);
+        assert_eq!(degeneracy(&tree), 1);
+        let cycle = graph_from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert_eq!(degeneracy(&cycle), 2);
+        let k4 = graph_from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        assert_eq!(degeneracy(&k4), 3);
+    }
+
+    #[test]
+    fn order_property_holds() {
+        // Triangle with pendant: ordering must put the pendant before the
+        // triangle unravels; every vertex sees at most `degeneracy` later
+        // neighbors.
+        let g = graph_from_edges(5, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4)]);
+        let d = degeneracy(&g) as usize;
+        let order = degeneracy_order(&g);
+        assert_eq!(order.len(), 5);
+        let mut position = [0usize; 5];
+        for (i, &v) in order.iter().enumerate() {
+            position[v as usize] = i;
+        }
+        for &v in &order {
+            let later = g
+                .neighbors(v)
+                .iter()
+                .filter(|&&u| position[u as usize] > position[v as usize])
+                .count();
+            assert!(later <= d, "vertex {v} has {later} later neighbors, d={d}");
+        }
+    }
+}

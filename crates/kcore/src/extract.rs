@@ -1,0 +1,168 @@
+use crate::core_decomposition;
+use ic_graph::{connected_components_within, BitSet, Graph, VertexId};
+use std::collections::VecDeque;
+
+/// Mask of the maximal k-core of `g`: vertices with core number `>= k`.
+pub fn kcore_mask(g: &Graph, k: usize) -> BitSet {
+    let cd = core_decomposition(g);
+    let mut mask = BitSet::new(g.num_vertices());
+    for (v, &c) in cd.core_numbers.iter().enumerate() {
+        if c as usize >= k {
+            mask.insert(v);
+        }
+    }
+    mask
+}
+
+/// Number of vertices in the maximal k-core.
+pub fn kcore_size(g: &Graph, k: usize) -> usize {
+    kcore_mask(g, k).count()
+}
+
+/// The disjoint connected components of the maximal k-core of `g`, each a
+/// sorted vertex list, ordered by smallest vertex (line 1 of Algorithm 1).
+pub fn maximal_kcore_components(g: &Graph, k: usize) -> Vec<Vec<VertexId>> {
+    let mask = kcore_mask(g, k);
+    connected_components_within(g, &mask)
+}
+
+/// Peels `mask` in place down to the k-core of the subgraph it induces:
+/// repeatedly removes vertices with fewer than `k` neighbors inside the
+/// mask. Runs in `O(Σ_{v ∈ mask} d(v))`.
+pub fn peel_to_kcore_within(g: &Graph, mask: &mut BitSet, k: usize) {
+    if k == 0 {
+        return;
+    }
+    let n = g.num_vertices();
+    let mut deg = vec![0u32; n];
+    let mut queue = VecDeque::new();
+    for v in mask.iter() {
+        let d = g.degree_within(v as VertexId, mask) as u32;
+        deg[v] = d;
+        if (d as usize) < k {
+            queue.push_back(v as VertexId);
+        }
+    }
+    // Vertices already queued are conceptually removed; drop them from the
+    // mask as we pop so neighbor counts stay consistent.
+    for &v in &queue {
+        mask.remove(v as usize);
+    }
+    while let Some(v) = queue.pop_front() {
+        for &u in g.neighbors(v) {
+            if mask.contains(u as usize) {
+                deg[u as usize] -= 1;
+                if (deg[u as usize] as usize) < k {
+                    mask.remove(u as usize);
+                    queue.push_back(u);
+                }
+            }
+        }
+    }
+}
+
+/// Whether the subgraph induced by `vertices` has minimum degree `>= k`
+/// ("`C` is k-core" check of the paper's local-search strategies; the
+/// connectivity side is checked separately).
+pub fn is_kcore(g: &Graph, vertices: &[VertexId], k: usize) -> bool {
+    let mut mask = BitSet::new(g.num_vertices());
+    for &v in vertices {
+        mask.insert(v as usize);
+    }
+    is_kcore_within(g, &mask, k)
+}
+
+/// Whether the subgraph induced by `mask` has minimum degree `>= k`.
+pub fn is_kcore_within(g: &Graph, mask: &BitSet, k: usize) -> bool {
+    mask.iter()
+        .all(|v| g.degree_within(v as VertexId, mask) >= k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ic_graph::graph_from_edges;
+
+    /// Triangle {0,1,2} with pendant 3 on vertex 2, plus a separate
+    /// triangle {4,5,6}. At k=2 the pendant peels and two components
+    /// remain. (Note: joining the triangles by a path would NOT split the
+    /// 2-core — path vertices have degree 2.)
+    fn two_triangles_with_pendant() -> Graph {
+        graph_from_edges(
+            7,
+            &[(0, 1), (1, 2), (2, 0), (2, 3), (4, 5), (5, 6), (6, 4)],
+        )
+    }
+
+    #[test]
+    fn kcore_mask_extracts_triangles() {
+        let g = two_triangles_with_pendant();
+        let mask = kcore_mask(&g, 2);
+        assert_eq!(mask.to_vec(), vec![0, 1, 2, 4, 5, 6]);
+        assert_eq!(kcore_size(&g, 2), 6);
+        assert_eq!(kcore_size(&g, 3), 0);
+    }
+
+    #[test]
+    fn components_of_kcore() {
+        let g = two_triangles_with_pendant();
+        let comps = maximal_kcore_components(&g, 2);
+        assert_eq!(comps, vec![vec![0, 1, 2], vec![4, 5, 6]]);
+        // k = 1: the pendant survives; the graph has two components.
+        let comps = maximal_kcore_components(&g, 1);
+        assert_eq!(comps, vec![vec![0, 1, 2, 3], vec![4, 5, 6]]);
+        // k = 0 on a graph with an isolated vertex keeps it.
+        let g2 = graph_from_edges(3, &[(0, 1)]);
+        let comps = maximal_kcore_components(&g2, 0);
+        assert_eq!(comps, vec![vec![0, 1], vec![2]]);
+    }
+
+    #[test]
+    fn peel_within_cascades() {
+        let g = two_triangles_with_pendant();
+        let mut mask = BitSet::full(7);
+        peel_to_kcore_within(&g, &mut mask, 2);
+        assert_eq!(mask.to_vec(), vec![0, 1, 2, 4, 5, 6]);
+
+        // Remove a triangle vertex: the rest of that triangle unravels.
+        let mut mask2 = mask.clone();
+        mask2.remove(0);
+        peel_to_kcore_within(&g, &mut mask2, 2);
+        assert_eq!(mask2.to_vec(), vec![4, 5, 6]);
+    }
+
+    #[test]
+    fn peel_with_k_zero_is_noop() {
+        let g = two_triangles_with_pendant();
+        let mut mask = BitSet::full(7);
+        peel_to_kcore_within(&g, &mut mask, 0);
+        assert_eq!(mask.count(), 7);
+    }
+
+    #[test]
+    fn peel_everything_away() {
+        let g = two_triangles_with_pendant();
+        let mut mask = BitSet::full(7);
+        peel_to_kcore_within(&g, &mut mask, 3);
+        assert!(mask.is_empty());
+    }
+
+    #[test]
+    fn is_kcore_checks() {
+        let g = two_triangles_with_pendant();
+        assert!(is_kcore(&g, &[0, 1, 2], 2));
+        assert!(!is_kcore(&g, &[0, 1, 3], 1)); // 3 not adjacent to 0/1
+        assert!(is_kcore(&g, &[], 5)); // vacuous
+        assert!(!is_kcore(&g, &[0, 1, 2, 3], 2)); // 3 has degree 1 inside
+    }
+
+    #[test]
+    fn peel_agrees_with_decomposition_mask() {
+        let g = two_triangles_with_pendant();
+        for k in 0..4 {
+            let mut mask = BitSet::full(7);
+            peel_to_kcore_within(&g, &mut mask, k);
+            assert_eq!(mask, kcore_mask(&g, k), "k={k}");
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! k-core substrate for influential community search.
+//!
+//! The paper's community model (Definition 3) is built on the k-core: every
+//! vertex of a community must have at least `k` neighbors inside it. This
+//! crate provides:
+//!
+//! * [`core_decomposition`] — the O(n+m) bucket-peeling algorithm of
+//!   Batagelj & Zaveršnik, producing every vertex's core number;
+//! * [`kcore_mask`] / [`maximal_kcore_components`] — extraction of the
+//!   maximal k-core and its connected components (line 1 of Algorithms 1
+//!   and 2 in the paper);
+//! * [`PeelScratch`] — reusable scratch state that re-computes the
+//!   connected k-cores of a community after deleting a vertex (the inner
+//!   loop of Algorithms 1 and 2), without reallocating;
+//! * [`degeneracy_order`] — a degeneracy (smallest-last) ordering.
+//!
+//! # Example
+//!
+//! ```
+//! use ic_graph::graph_from_edges;
+//! use ic_kcore::{core_decomposition, maximal_kcore_components};
+//!
+//! // A triangle with a pendant vertex.
+//! let g = graph_from_edges(4, &[(0, 1), (1, 2), (2, 0), (2, 3)]);
+//! let cd = core_decomposition(&g);
+//! assert_eq!(cd.core_numbers, vec![2, 2, 2, 1]);
+//! assert_eq!(maximal_kcore_components(&g, 2), vec![vec![0, 1, 2]]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod decompose;
+mod degeneracy;
+mod extract;
+mod maintain;
+mod truss;
+
+pub use decompose::{core_decomposition, CoreDecomposition};
+pub use degeneracy::{degeneracy, degeneracy_order};
+pub use extract::{
+    is_kcore, is_kcore_within, kcore_mask, kcore_size, maximal_kcore_components,
+    peel_to_kcore_within,
+};
+pub use maintain::PeelScratch;
+pub use truss::{ktruss_mask, maximal_ktruss_components, truss_decomposition, TrussDecomposition};

@@ -1,0 +1,217 @@
+use ic_graph::{Graph, VertexId};
+use std::collections::VecDeque;
+
+/// Reusable scratch state for the hot inner loop of Algorithms 1 and 2:
+/// "remove one vertex from a community, cascade-peel back to a k-core, and
+/// return the resulting connected components".
+///
+/// Membership, removal, and visitation are tracked with generation-stamped
+/// arrays so that consecutive calls reuse allocations and reset in O(1).
+#[derive(Clone, Debug)]
+pub struct PeelScratch {
+    member_stamp: Vec<u32>,
+    removed_stamp: Vec<u32>,
+    visited_stamp: Vec<u32>,
+    deg: Vec<u32>,
+    generation: u32,
+    queue: VecDeque<VertexId>,
+}
+
+impl PeelScratch {
+    /// Creates scratch state for graphs with up to `n` vertices.
+    pub fn new(n: usize) -> Self {
+        PeelScratch {
+            member_stamp: vec![0; n],
+            removed_stamp: vec![0; n],
+            visited_stamp: vec![0; n],
+            deg: vec![0; n],
+            generation: 0,
+            queue: VecDeque::new(),
+        }
+    }
+
+    fn next_generation(&mut self) -> u32 {
+        if self.generation == u32::MAX {
+            self.member_stamp.fill(0);
+            self.removed_stamp.fill(0);
+            self.visited_stamp.fill(0);
+            self.generation = 0;
+        }
+        self.generation += 1;
+        self.generation
+    }
+
+    /// Computes the connected k-core components of `G[members ∖ exclude]`.
+    ///
+    /// `members` is a community (vertex list, any order, no duplicates);
+    /// `exclude`, when set, is the vertex being deleted (line 7 of
+    /// Algorithm 1 / line 12 of Algorithm 2). Each returned component is a
+    /// sorted vertex list. Runs in `O(Σ_{v ∈ members} d(v))`.
+    pub fn connected_kcores(
+        &mut self,
+        g: &Graph,
+        members: &[VertexId],
+        exclude: Option<VertexId>,
+        k: usize,
+    ) -> Vec<Vec<VertexId>> {
+        let generation = self.next_generation();
+
+        // Mark membership.
+        let mut live = 0usize;
+        for &v in members {
+            if Some(v) != exclude {
+                self.member_stamp[v as usize] = generation;
+                live += 1;
+            }
+        }
+        if live == 0 {
+            return Vec::new();
+        }
+
+        // Internal degrees.
+        self.queue.clear();
+        for &v in members {
+            if Some(v) == exclude {
+                continue;
+            }
+            let d = g
+                .neighbors(v)
+                .iter()
+                .filter(|&&u| self.member_stamp[u as usize] == generation)
+                .count() as u32;
+            self.deg[v as usize] = d;
+            if (d as usize) < k {
+                self.removed_stamp[v as usize] = generation;
+                self.queue.push_back(v);
+            }
+        }
+
+        // Cascade peel.
+        while let Some(v) = self.queue.pop_front() {
+            for &u in g.neighbors(v) {
+                let u = u as usize;
+                if self.member_stamp[u] == generation && self.removed_stamp[u] != generation {
+                    self.deg[u] -= 1;
+                    if (self.deg[u] as usize) < k {
+                        self.removed_stamp[u] = generation;
+                        self.queue.push_back(u as VertexId);
+                    }
+                }
+            }
+        }
+
+        // Connected components of the survivors.
+        let mut comps = Vec::new();
+        for &v in members {
+            if Some(v) == exclude {
+                continue;
+            }
+            let vi = v as usize;
+            if self.removed_stamp[vi] == generation || self.visited_stamp[vi] == generation {
+                continue;
+            }
+            let mut comp = Vec::new();
+            self.visited_stamp[vi] = generation;
+            self.queue.push_back(v);
+            while let Some(x) = self.queue.pop_front() {
+                comp.push(x);
+                for &u in g.neighbors(x) {
+                    let ui = u as usize;
+                    if self.member_stamp[ui] == generation
+                        && self.removed_stamp[ui] != generation
+                        && self.visited_stamp[ui] != generation
+                    {
+                        self.visited_stamp[ui] = generation;
+                        self.queue.push_back(u);
+                    }
+                }
+            }
+            comp.sort_unstable();
+            comps.push(comp);
+        }
+        comps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ic_graph::graph_from_edges;
+
+    /// Triangle {0,1,2} with pendant 3 on vertex 2, plus a separate
+    /// triangle {4,5,6}.
+    fn two_triangles_pendant() -> Graph {
+        graph_from_edges(
+            7,
+            &[(0, 1), (1, 2), (2, 0), (2, 3), (4, 5), (5, 6), (6, 4)],
+        )
+    }
+
+    #[test]
+    fn removal_splits_and_cascades() {
+        let g = two_triangles_pendant();
+        let mut scratch = PeelScratch::new(7);
+        // Delete the pendant 3 at k=1: both triangles remain.
+        let all: Vec<u32> = (0..7).collect();
+        let comps = scratch.connected_kcores(&g, &all, Some(3), 1);
+        assert_eq!(comps, vec![vec![0, 1, 2], vec![4, 5, 6]]);
+    }
+
+    #[test]
+    fn removal_with_cascade_at_k2() {
+        let g = two_triangles_pendant();
+        let mut scratch = PeelScratch::new(7);
+        let community = vec![0, 1, 2];
+        // Deleting 0 from the triangle leaves 1-2 with degree 1 < 2: all gone.
+        let comps = scratch.connected_kcores(&g, &community, Some(0), 2);
+        assert!(comps.is_empty());
+    }
+
+    #[test]
+    fn no_exclusion_peels_to_kcore() {
+        let g = two_triangles_pendant();
+        let mut scratch = PeelScratch::new(7);
+        let all: Vec<u32> = (0..7).collect();
+        let comps = scratch.connected_kcores(&g, &all, None, 2);
+        assert_eq!(comps, vec![vec![0, 1, 2], vec![4, 5, 6]]);
+    }
+
+    #[test]
+    fn excluding_sole_member_returns_empty() {
+        let g = graph_from_edges(1, &[]);
+        let mut scratch = PeelScratch::new(1);
+        assert!(scratch.connected_kcores(&g, &[0], Some(0), 0).is_empty());
+    }
+
+    #[test]
+    fn k_zero_returns_components_only() {
+        let g = graph_from_edges(4, &[(0, 1), (2, 3)]);
+        let mut scratch = PeelScratch::new(4);
+        let comps = scratch.connected_kcores(&g, &[0, 1, 2, 3], None, 0);
+        assert_eq!(comps, vec![vec![0, 1], vec![2, 3]]);
+    }
+
+    #[test]
+    fn repeated_calls_reuse_state_correctly() {
+        let g = two_triangles_pendant();
+        let mut scratch = PeelScratch::new(7);
+        let all: Vec<u32> = (0..7).collect();
+        for _ in 0..100 {
+            let comps = scratch.connected_kcores(&g, &all, None, 2);
+            assert_eq!(comps.len(), 2);
+            let comps = scratch.connected_kcores(&g, &[0, 1, 2], Some(1), 2);
+            assert!(comps.is_empty());
+        }
+    }
+
+    #[test]
+    fn members_not_in_graph_order() {
+        let g = two_triangles_pendant();
+        let mut scratch = PeelScratch::new(7);
+        // Unsorted member list must still work; components come back sorted.
+        let comps = scratch.connected_kcores(&g, &[6, 4, 5, 2, 0, 1], None, 2);
+        assert_eq!(comps.len(), 2);
+        assert!(comps.contains(&vec![0, 1, 2]));
+        assert!(comps.contains(&vec![4, 5, 6]));
+    }
+}

@@ -1,0 +1,346 @@
+//! k-truss decomposition — the alternative cohesiveness model the paper
+//! cites (Cohen 2008; "the new model is extended to include additional
+//! cohesiveness metrics, e.g., k-truss", Section I).
+//!
+//! The k-truss of a graph is the maximal subgraph in which every edge is
+//! supported by at least `k − 2` triangles *inside the subgraph*. A
+//! k-truss is always a subgraph of the (k−1)-core, but is strictly more
+//! cohesive: it requires overlapping triangles rather than bare degrees.
+//!
+//! The decomposition peels edges in increasing support order (the
+//! edge-analog of Batagelj–Zaveršnik), assigning each edge its *truss
+//! number*: the largest `k` such that the edge survives in the k-truss.
+
+use ic_graph::{BitSet, Graph, VertexId};
+
+/// Result of a full truss decomposition.
+#[derive(Clone, Debug)]
+pub struct TrussDecomposition {
+    /// Canonical edge list, sorted, `u < v`; index = edge id.
+    pub edges: Vec<(VertexId, VertexId)>,
+    /// `edge_truss[e]` is the truss number of edge `e` (≥ 2 whenever the
+    /// edge exists; an edge in no triangle has truss 2).
+    pub edge_truss: Vec<u32>,
+    /// The maximum truss number over all edges (0 for edgeless graphs).
+    pub max_truss: u32,
+}
+
+impl TrussDecomposition {
+    /// Looks up an edge id by endpoints (any orientation).
+    pub fn edge_id(&self, u: VertexId, v: VertexId) -> Option<usize> {
+        let key = if u < v { (u, v) } else { (v, u) };
+        self.edges.binary_search(&key).ok()
+    }
+
+    /// The truss number of a vertex: the maximum truss number over its
+    /// incident edges (0 for isolated vertices).
+    pub fn vertex_truss(&self, g: &Graph, v: VertexId) -> u32 {
+        g.neighbors(v)
+            .iter()
+            .filter_map(|&u| self.edge_id(v, u))
+            .map(|e| self.edge_truss[e])
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Computes the truss number of every edge.
+///
+/// Support counting is the sorted-adjacency merge (`O(Σ d(v)²)` worst
+/// case, `O(m^1.5)` on sparse graphs); peeling is bucket-based.
+pub fn truss_decomposition(g: &Graph) -> TrussDecomposition {
+    let edges: Vec<(VertexId, VertexId)> = g.edges().collect();
+    let m = edges.len();
+    if m == 0 {
+        return TrussDecomposition {
+            edges,
+            edge_truss: Vec::new(),
+            max_truss: 0,
+        };
+    }
+    let edge_id = |u: VertexId, v: VertexId| -> usize {
+        let key = if u < v { (u, v) } else { (v, u) };
+        edges.binary_search(&key).expect("edge exists")
+    };
+
+    // Initial supports: triangles per edge.
+    let mut support: Vec<u32> = vec![0; m];
+    for (e, &(u, v)) in edges.iter().enumerate() {
+        support[e] = common_neighbors(g, u, v, |_| true) as u32;
+    }
+
+    // Bucket peel on supports.
+    let max_support = support.iter().copied().max().unwrap_or(0) as usize;
+    let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); max_support + 1];
+    for (e, &s) in support.iter().enumerate() {
+        buckets[s as usize].push(e as u32);
+    }
+    let mut alive = vec![true; m];
+    let mut truss = vec![0u32; m];
+    let mut processed = 0usize;
+    let mut current = 0usize; // current support level being peeled
+    let mut k_level = 2u32;
+    while processed < m {
+        // Find the lowest non-empty bucket at or below every later level.
+        while current <= max_support && buckets[current].is_empty() {
+            current += 1;
+        }
+        if current > max_support {
+            break;
+        }
+        let Some(e) = buckets[current].pop() else {
+            continue;
+        };
+        let e = e as usize;
+        if !alive[e] || (support[e] as usize) != current {
+            // Stale bucket entry (support decreased since insertion).
+            continue;
+        }
+        alive[e] = false;
+        processed += 1;
+        k_level = k_level.max(support[e] + 2);
+        truss[e] = k_level;
+        let (u, v) = edges[e];
+        // Decrement the supports of the two companion edges of every
+        // triangle through (u, v) that is still alive.
+        let mut companions: Vec<(usize, usize)> = Vec::new();
+        merge_common(g, u, v, |w| {
+            let eu = edge_id(u, w);
+            let ev = edge_id(v, w);
+            if alive[eu] && alive[ev] {
+                companions.push((eu, ev));
+            }
+        });
+        for (eu, ev) in companions {
+            for other in [eu, ev] {
+                if support[other] > support[e] {
+                    support[other] -= 1;
+                    let s = support[other] as usize;
+                    buckets[s].push(other as u32);
+                    if s < current {
+                        current = s;
+                    }
+                }
+            }
+        }
+    }
+    let max_truss = truss.iter().copied().max().unwrap_or(0);
+    TrussDecomposition {
+        edges,
+        edge_truss: truss,
+        max_truss,
+    }
+}
+
+/// Counts common neighbors of `u` and `v` satisfying `keep`.
+fn common_neighbors<F: Fn(VertexId) -> bool>(g: &Graph, u: VertexId, v: VertexId, keep: F) -> usize {
+    let mut count = 0;
+    merge_common(g, u, v, |w| {
+        if keep(w) {
+            count += 1;
+        }
+    });
+    count
+}
+
+/// Invokes `f` on every common neighbor of `u` and `v` (sorted merge).
+fn merge_common<F: FnMut(VertexId)>(g: &Graph, u: VertexId, v: VertexId, mut f: F) {
+    let (mut a, mut b) = (g.neighbors(u), g.neighbors(v));
+    while let (Some(&x), Some(&y)) = (a.first(), b.first()) {
+        match x.cmp(&y) {
+            std::cmp::Ordering::Less => a = &a[1..],
+            std::cmp::Ordering::Greater => b = &b[1..],
+            std::cmp::Ordering::Equal => {
+                f(x);
+                a = &a[1..];
+                b = &b[1..];
+            }
+        }
+    }
+}
+
+/// Mask of vertices incident to at least one edge of truss number ≥ `k`
+/// (the vertex set of the maximal k-truss).
+pub fn ktruss_mask(g: &Graph, k: usize) -> BitSet {
+    let td = truss_decomposition(g);
+    let mut mask = BitSet::new(g.num_vertices());
+    for (e, &(u, v)) in td.edges.iter().enumerate() {
+        if td.edge_truss[e] as usize >= k {
+            mask.insert(u as usize);
+            mask.insert(v as usize);
+        }
+    }
+    mask
+}
+
+/// Connected components of the maximal k-truss (connectivity restricted
+/// to edges with truss ≥ `k`), each a sorted vertex list.
+pub fn maximal_ktruss_components(g: &Graph, k: usize) -> Vec<Vec<VertexId>> {
+    let td = truss_decomposition(g);
+    let n = g.num_vertices();
+    // Union-find over truss edges keeps connectivity edge-accurate (two
+    // k-truss vertices joined only by a low-truss edge are NOT connected).
+    let mut uf = ic_graph::UnionFind::new(n);
+    let mut in_truss = BitSet::new(n);
+    for (e, &(u, v)) in td.edges.iter().enumerate() {
+        if td.edge_truss[e] as usize >= k {
+            uf.union(u, v);
+            in_truss.insert(u as usize);
+            in_truss.insert(v as usize);
+        }
+    }
+    let mut groups: std::collections::BTreeMap<u32, Vec<VertexId>> = Default::default();
+    for v in in_truss.iter() {
+        let root = uf.find(v as u32);
+        groups.entry(root).or_default().push(v as VertexId);
+    }
+    let mut comps: Vec<Vec<VertexId>> = groups.into_values().collect();
+    for c in comps.iter_mut() {
+        c.sort_unstable();
+    }
+    comps.sort_by_key(|c| c[0]);
+    comps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ic_graph::graph_from_edges;
+
+    fn k4() -> Graph {
+        graph_from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)])
+    }
+
+    #[test]
+    fn clique_truss_numbers() {
+        // Every edge of K4 is in 2 triangles: truss number 4.
+        let td = truss_decomposition(&k4());
+        assert_eq!(td.edge_truss, vec![4; 6]);
+        assert_eq!(td.max_truss, 4);
+    }
+
+    #[test]
+    fn triangle_is_3truss() {
+        let g = graph_from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        let td = truss_decomposition(&g);
+        assert_eq!(td.edge_truss, vec![3; 3]);
+    }
+
+    #[test]
+    fn tree_edges_have_truss_2() {
+        let g = graph_from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let td = truss_decomposition(&g);
+        assert_eq!(td.edge_truss, vec![2; 3]);
+        assert_eq!(td.max_truss, 2);
+    }
+
+    #[test]
+    fn mixed_structure_truss() {
+        // K4 {0,1,2,3} plus a pendant triangle {3,4,5}.
+        let g = graph_from_edges(
+            6,
+            &[
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (1, 2),
+                (1, 3),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 3),
+            ],
+        );
+        let td = truss_decomposition(&g);
+        // K4 edges: truss 4; triangle edges: truss 3.
+        for (e, &(u, v)) in td.edges.iter().enumerate() {
+            let expected = if u <= 3 && v <= 3 { 4 } else { 3 };
+            assert_eq!(td.edge_truss[e], expected, "edge ({u},{v})");
+        }
+        assert_eq!(td.vertex_truss(&g, 0), 4);
+        assert_eq!(td.vertex_truss(&g, 4), 3);
+        assert_eq!(td.vertex_truss(&g, 3), 4); // max over incident edges
+    }
+
+    #[test]
+    fn ktruss_mask_and_components() {
+        let g = graph_from_edges(
+            7,
+            &[
+                // K4
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (1, 2),
+                (1, 3),
+                (2, 3),
+                // separate triangle
+                (4, 5),
+                (5, 6),
+                (6, 4),
+            ],
+        );
+        assert_eq!(ktruss_mask(&g, 4).to_vec(), vec![0, 1, 2, 3]);
+        assert_eq!(
+            maximal_ktruss_components(&g, 3),
+            vec![vec![0, 1, 2, 3], vec![4, 5, 6]]
+        );
+        assert!(maximal_ktruss_components(&g, 5).is_empty());
+    }
+
+    #[test]
+    fn truss_is_contained_in_core() {
+        // Every k-truss vertex belongs to the (k-1)-core.
+        let g = graph_from_edges(
+            8,
+            &[
+                (0, 1),
+                (0, 2),
+                (1, 2),
+                (1, 3),
+                (2, 3),
+                (0, 3),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (6, 4),
+                (6, 7),
+            ],
+        );
+        for k in 2..5usize {
+            let truss_vertices = ktruss_mask(&g, k);
+            let core = crate::kcore_mask(&g, k - 1);
+            for v in truss_vertices.iter() {
+                assert!(core.contains(v), "k={k}, vertex {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_edgeless() {
+        let td = truss_decomposition(&Graph::empty(5));
+        assert_eq!(td.max_truss, 0);
+        assert!(ktruss_mask(&Graph::empty(3), 3).is_empty());
+    }
+
+    #[test]
+    fn low_truss_bridge_does_not_connect_components() {
+        // Two triangles joined by a single bridge edge: the bridge has
+        // truss 2, so the 3-truss has two components even though the
+        // vertex set is connected in G.
+        let g = graph_from_edges(
+            6,
+            &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3)],
+        );
+        let comps = maximal_ktruss_components(&g, 3);
+        assert_eq!(comps, vec![vec![0, 1, 2], vec![3, 4, 5]]);
+    }
+
+    #[test]
+    fn edge_id_lookup() {
+        let td = truss_decomposition(&k4());
+        assert!(td.edge_id(0, 1).is_some());
+        assert_eq!(td.edge_id(1, 0), td.edge_id(0, 1));
+        assert!(td.edge_id(0, 99).is_none());
+    }
+}

@@ -1,0 +1,182 @@
+//! Property-based tests: k-core invariants on random graphs.
+
+use ic_graph::{graph_from_edges, BitSet, Graph};
+use ic_kcore::{
+    core_decomposition, is_kcore_within, kcore_mask, ktruss_mask, maximal_kcore_components,
+    maximal_ktruss_components, peel_to_kcore_within, truss_decomposition, PeelScratch,
+};
+use proptest::prelude::*;
+
+fn arb_graph(max_n: u32, max_m: usize) -> impl Strategy<Value = Graph> {
+    (3..max_n).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n, 0..n), 0..max_m)
+            .prop_map(move |edges| graph_from_edges(n as usize, &edges))
+    })
+}
+
+/// Naive reference: repeatedly remove any vertex with degree < k.
+fn naive_kcore(g: &Graph, k: usize) -> BitSet {
+    let n = g.num_vertices();
+    let mut mask = BitSet::full(n);
+    loop {
+        let mut changed = false;
+        for v in 0..n {
+            if mask.contains(v) && g.degree_within(v as u32, &mask) < k {
+                mask.remove(v);
+                changed = true;
+            }
+        }
+        if !changed {
+            return mask;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn decomposition_matches_naive_kcore(g in arb_graph(40, 160)) {
+        for k in 0..5usize {
+            let mask = kcore_mask(&g, k);
+            let reference = naive_kcore(&g, k);
+            prop_assert_eq!(mask.to_vec(), reference.to_vec(), "k={}", k);
+        }
+    }
+
+    #[test]
+    fn core_numbers_are_tight(g in arb_graph(40, 160)) {
+        let cd = core_decomposition(&g);
+        for v in g.vertices() {
+            let c = cd.core_numbers[v as usize] as usize;
+            // v is in the c-core...
+            let mask = kcore_mask(&g, c);
+            prop_assert!(mask.contains(v as usize));
+            // ...but not in the (c+1)-core.
+            let mask = kcore_mask(&g, c + 1);
+            prop_assert!(!mask.contains(v as usize));
+        }
+    }
+
+    #[test]
+    fn kcore_components_satisfy_model(g in arb_graph(40, 160)) {
+        for k in 1..4usize {
+            for comp in maximal_kcore_components(&g, k) {
+                let mut mask = BitSet::new(g.num_vertices());
+                for &v in &comp {
+                    mask.insert(v as usize);
+                }
+                // Cohesive.
+                prop_assert!(is_kcore_within(&g, &mask, k));
+                // Connected.
+                prop_assert!(ic_graph::is_connected_within(&g, &mask));
+            }
+        }
+    }
+
+    #[test]
+    fn peel_within_agrees_with_mask(g in arb_graph(40, 160)) {
+        for k in 1..4usize {
+            let mut mask = BitSet::full(g.num_vertices());
+            peel_to_kcore_within(&g, &mut mask, k);
+            prop_assert_eq!(mask.to_vec(), kcore_mask(&g, k).to_vec());
+        }
+    }
+
+    #[test]
+    fn truss_numbers_match_naive_recomputation(g in arb_graph(24, 70)) {
+        // Reference: the k-truss is the fixpoint of removing edges with
+        // fewer than k-2 triangles; an edge's truss number is the largest
+        // k for which it survives.
+        fn naive_ktruss_edges(g: &Graph, k: usize) -> std::collections::BTreeSet<(u32, u32)> {
+            let mut alive: std::collections::BTreeSet<(u32, u32)> = g.edges().collect();
+            loop {
+                let mut removed = false;
+                let snapshot: Vec<(u32, u32)> = alive.iter().copied().collect();
+                for (u, v) in snapshot {
+                    let triangles = g
+                        .vertices()
+                        .filter(|&w| {
+                            w != u
+                                && w != v
+                                && alive.contains(&(u.min(w), u.max(w)))
+                                && alive.contains(&(v.min(w), v.max(w)))
+                        })
+                        .count();
+                    if triangles + 2 < k && alive.remove(&(u, v)) {
+                        removed = true;
+                    }
+                }
+                if !removed {
+                    return alive;
+                }
+            }
+        }
+        let td = truss_decomposition(&g);
+        for k in 2..6usize {
+            let expected = naive_ktruss_edges(&g, k);
+            let got: std::collections::BTreeSet<(u32, u32)> = td
+                .edges
+                .iter()
+                .enumerate()
+                .filter(|&(e, _)| td.edge_truss[e] as usize >= k)
+                .map(|(_, &uv)| uv)
+                .collect();
+            prop_assert_eq!(&got, &expected, "k = {}", k);
+        }
+    }
+
+    #[test]
+    fn ktruss_is_subgraph_of_k_minus_1_core(g in arb_graph(30, 120), k in 2usize..5) {
+        let truss = ktruss_mask(&g, k);
+        let core = kcore_mask(&g, k - 1);
+        for v in truss.iter() {
+            prop_assert!(core.contains(v));
+        }
+        // Component edges all have sufficient truss support inside the
+        // component.
+        for comp in maximal_ktruss_components(&g, k) {
+            let members: std::collections::BTreeSet<u32> = comp.iter().copied().collect();
+            for &u in &comp {
+                for &v in g.neighbors(u) {
+                    if v > u && members.contains(&v) {
+                        // Edge may be a low-truss chord; only truss edges
+                        // carry the guarantee, so check via decomposition.
+                        let td = truss_decomposition(&g);
+                        let e = td.edge_id(u, v).unwrap();
+                        if td.edge_truss[e] as usize >= k {
+                            let common = comp
+                                .iter()
+                                .filter(|&&w| {
+                                    w != u && w != v && g.has_edge(u, w) && g.has_edge(v, w)
+                                })
+                                .count();
+                            prop_assert!(common + 2 >= k, "edge ({},{})", u, v);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_kcores_match_naive_on_deletion(g in arb_graph(30, 100), k in 1usize..4) {
+        let comps = maximal_kcore_components(&g, k);
+        let mut scratch = PeelScratch::new(g.num_vertices());
+        for comp in comps {
+            for &victim in &comp {
+                let got = scratch.connected_kcores(&g, &comp, Some(victim), k);
+                // Reference: mask-based peel of comp \ {victim}.
+                let mut mask = BitSet::new(g.num_vertices());
+                for &v in &comp {
+                    if v != victim {
+                        mask.insert(v as usize);
+                    }
+                }
+                peel_to_kcore_within(&g, &mut mask, k);
+                let expected = ic_graph::connected_components_within(&g, &mask);
+                prop_assert_eq!(got, expected);
+            }
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Extensions tour: the ICP-style min index, truss-based communities, and
+//! hill-climbing refinement.
+//!
+//! ```text
+//! cargo run -p ic-bench --release --example indexed_queries
+//! ```
+
+use ic_core::algo::{self, LocalSearchConfig, MinCommunityIndex};
+use ic_core::Aggregation;
+use ic_gen::datasets::{by_name, Profile};
+use std::time::Instant;
+
+fn main() {
+    let spec = by_name(Profile::Quick, "email").unwrap();
+    let wg = spec.generate_weighted();
+    let k = 6;
+
+    // --- 1. Build the min-community index once ... --------------------
+    let t = Instant::now();
+    let index = MinCommunityIndex::build(&wg, k);
+    println!(
+        "index built in {:.1?}: {} nested communities at k = {k}",
+        t.elapsed(),
+        index.len()
+    );
+
+    // --- ... then answer queries in output-sensitive time -------------
+    let t = Instant::now();
+    let top = index.topr(&wg, 5).unwrap();
+    let indexed = t.elapsed();
+    println!("\ntop-5 min communities from the index ({indexed:.1?}):");
+    for (i, c) in top.iter().enumerate() {
+        println!("  #{} value {:.6}, {} members", i + 1, c.value, c.len());
+    }
+    let t = Instant::now();
+    let online = algo::min_topr(&wg, k, 5).unwrap();
+    println!(
+        "online peel gives the same answer: {} ({:.1?})",
+        online == top,
+        t.elapsed()
+    );
+
+    // Nesting chain around the most influential vertex.
+    let heaviest = (0..wg.num_vertices() as u32)
+        .max_by(|&a, &b| wg.weight(a).total_cmp(&wg.weight(b)))
+        .unwrap();
+    let chain = index.chain_of(heaviest);
+    println!(
+        "\nvertex {heaviest} (weight {:.6}) sits in {} nested communities:",
+        wg.weight(heaviest),
+        chain.len()
+    );
+    for (value, size) in chain.iter().take(5) {
+        println!("  value {value:.6}, size {size}");
+    }
+
+    // --- 2. Truss communities are cliquier than core communities ------
+    let core_top = algo::min_topr(&wg, 4, 1).unwrap();
+    let truss_top = algo::truss_min_topr(&wg, 4, 1).unwrap();
+    println!(
+        "\nk = 4 top-1 community sizes: core model {}, truss model {}",
+        core_top.first().map_or(0, |c| c.len()),
+        truss_top.first().map_or(0, |c| c.len())
+    );
+
+    // --- 3. Refinement lifts heuristic results ------------------------
+    let config = LocalSearchConfig {
+        k: 4,
+        r: 5,
+        s: 20,
+        greedy: false, // start from the weaker random variant
+    };
+    let plain = algo::local_search(&wg, &config, Aggregation::Average).unwrap();
+    let refined = algo::local_search_refined(&wg, &config, Aggregation::Average).unwrap();
+    let pv = plain.first().map_or(f64::NEG_INFINITY, |c| c.value);
+    let rv = refined.first().map_or(f64::NEG_INFINITY, |c| c.value);
+    println!(
+        "\navg local search top value: plain {pv:.6} -> refined {rv:.6} ({:+.1}%)",
+        (rv / pv - 1.0) * 100.0
+    );
+}

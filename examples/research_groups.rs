@@ -1,0 +1,72 @@
+//! The paper's case study (Section VI.C, Figure 14): identifying
+//! influential research groups in an Aminer-like co-authorship network
+//! under different aggregation functions.
+//!
+//! * `min` over an i10-index-like metric surfaces groups whose *every*
+//!   member is highly cited (the database pioneers);
+//! * `avg` over a G-index-like metric surfaces groups with the highest
+//!   mean influence;
+//! * `sum` over raw citations surfaces larger groups with the highest
+//!   total impact.
+//!
+//! ```text
+//! cargo run -p ic-bench --release --example research_groups
+//! ```
+
+use ic_core::algo::{self, LocalSearchConfig};
+use ic_core::{Aggregation, Community};
+use ic_gen::{aminer_network, AminerNetwork, GraphSeed};
+
+fn print_groups(net: &AminerNetwork, title: &str, communities: &[Community]) {
+    println!("\n=== {title} ===");
+    for (i, c) in communities.iter().enumerate() {
+        println!("top-{} (value {:.2}):", i + 1, c.value);
+        for &v in &c.vertices {
+            println!("    {} [{}]", net.name_of(v), net.fields[v as usize]);
+        }
+    }
+}
+
+fn main() {
+    let net = aminer_network(GraphSeed(2022));
+    println!(
+        "synthetic Aminer-like network: {} researchers, {} co-authorship edges, 5 fields",
+        net.graph.num_vertices(),
+        net.graph.num_edges()
+    );
+
+    // k = 4 as in the paper's case study; results are non-overlapping.
+    let k = 4;
+
+    // (a-c) min over the i10-like metric: exact threshold peeling.
+    let wg = net.weighted_by_i10();
+    let top = algo::nonoverlap::min_topr_nonoverlapping(&wg, k, 3).unwrap();
+    print_groups(&net, "min over i10 — uniformly highly-cited groups", &top);
+
+    // (d-f) avg over the G-index-like metric: greedy local search, s = 7.
+    let wg = net.weighted_by_gindex();
+    let config = LocalSearchConfig {
+        k,
+        r: 3,
+        s: 7,
+        greedy: true,
+    };
+    let top = algo::local_search_nonoverlapping(&wg, &config, Aggregation::Average).unwrap();
+    print_groups(&net, "avg over G-index — highest-mean groups", &top);
+
+    // (g-i) sum over citations: greedy local search, s = 6.
+    let wg = net.weighted_by_citations();
+    let config = LocalSearchConfig {
+        k,
+        r: 3,
+        s: 6,
+        greedy: true,
+    };
+    let top = algo::local_search_nonoverlapping(&wg, &config, Aggregation::Sum).unwrap();
+    print_groups(&net, "sum over citations — highest total impact", &top);
+
+    println!(
+        "\nNote how the three aggregations surface *different* groups, the\n\
+         paper's core motivation for going beyond the classic min model."
+    );
+}

@@ -1,0 +1,144 @@
+//! Cross-solver consistency on realistic workloads: the paper's three
+//! unconstrained solvers must agree (Naive ≡ Improve; Approx within the
+//! Theorem-6 bound), and every solver's output must verify.
+
+use ic_core::algo::{self, ImprovedOptions};
+use ic_core::verify::check_community;
+use ic_core::Aggregation;
+use ic_gen::datasets::{by_name, Profile};
+
+fn email() -> ic_graph::WeightedGraph {
+    by_name(Profile::Quick, "email").unwrap().generate_weighted()
+}
+
+#[test]
+fn naive_equals_improved_on_email() {
+    let wg = email();
+    for k in [4usize, 8] {
+        for r in [1usize, 5] {
+            let naive = algo::sum_naive(&wg, k, r, Aggregation::Sum).unwrap();
+            let improved = algo::tic_improved(&wg, k, r, Aggregation::Sum, 0.0).unwrap();
+            let nv: Vec<f64> = naive.iter().map(|c| c.value).collect();
+            let iv: Vec<f64> = improved.iter().map(|c| c.value).collect();
+            assert_eq!(nv.len(), iv.len(), "k={k} r={r}");
+            for (a, b) in nv.iter().zip(&iv) {
+                assert!((a - b).abs() < 1e-9, "k={k} r={r}: {nv:?} vs {iv:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn approx_bound_holds_across_epsilons_on_email() {
+    let wg = email();
+    let k = 4;
+    let r = 5;
+    let exact = algo::tic_improved(&wg, k, r, Aggregation::Sum, 0.0).unwrap();
+    let re = exact.last().unwrap().value;
+    for eps in [0.01, 0.05, 0.1, 0.2, 0.5] {
+        let approx = algo::tic_improved(&wg, k, r, Aggregation::Sum, eps).unwrap();
+        assert_eq!(approx.len(), r);
+        let ra = approx.last().unwrap().value;
+        assert!(
+            ra >= (1.0 - eps) * re - 1e-9,
+            "eps={eps}: ra={ra} re={re}"
+        );
+        for c in &approx {
+            check_community(&wg, k, None, Aggregation::Sum, c).unwrap();
+        }
+    }
+}
+
+#[test]
+fn pruning_ablations_preserve_exactness() {
+    let wg = email();
+    let base = algo::tic_improved(&wg, 6, 5, Aggregation::Sum, 0.0).unwrap();
+    for opts in [
+        ImprovedOptions {
+            epsilon: 0.0,
+            prune_by_threshold: false,
+            trim_candidates: true,
+        },
+        ImprovedOptions {
+            epsilon: 0.0,
+            prune_by_threshold: true,
+            trim_candidates: false,
+        },
+    ] {
+        let got = algo::tic_improved_with_options(&wg, 6, 5, Aggregation::Sum, opts).unwrap();
+        let gv: Vec<f64> = got.iter().map(|c| c.value).collect();
+        let bv: Vec<f64> = base.iter().map(|c| c.value).collect();
+        for (a, b) in gv.iter().zip(&bv) {
+            assert!((a - b).abs() < 1e-9, "{opts:?}");
+        }
+    }
+}
+
+#[test]
+fn min_and_max_baselines_verify_on_email() {
+    let wg = email();
+    let min = algo::min_topr(&wg, 6, 5).unwrap();
+    assert!(!min.is_empty());
+    for c in &min {
+        check_community(&wg, 6, None, Aggregation::Min, c).unwrap();
+    }
+    // Values are non-increasing.
+    for w in min.windows(2) {
+        assert!(w[0].value >= w[1].value);
+    }
+    let max = algo::max_topr(&wg, 6, 5).unwrap();
+    for c in &max {
+        check_community(&wg, 6, None, Aggregation::Max, c).unwrap();
+    }
+    // max top-1 contains the heaviest core vertex and dominates min top-1.
+    assert!(max[0].value >= min[0].value);
+}
+
+#[test]
+fn parallel_and_sequential_local_search_agree_on_quality() {
+    let wg = email();
+    let config = algo::LocalSearchConfig {
+        k: 4,
+        r: 5,
+        s: 20,
+        greedy: true,
+    };
+    let seq = algo::local_search(&wg, &config, Aggregation::Average).unwrap();
+    let one = algo::par_local_search(&wg, &config, Aggregation::Average, 1).unwrap();
+    assert_eq!(one, seq, "threads = 1 must be exactly sequential");
+    for threads in [2usize, 4] {
+        let par = algo::par_local_search(&wg, &config, Aggregation::Average, threads).unwrap();
+        assert_eq!(par.len(), seq.len());
+        for c in &par {
+            check_community(&wg, 4, Some(20), Aggregation::Average, c).unwrap();
+        }
+        // Thread-local thresholds may shift greedy acceptance slightly in
+        // either direction; demand the merged answer stays in the same
+        // ballpark as the sequential one.
+        assert!(par[0].value >= 0.5 * seq[0].value);
+    }
+}
+
+#[test]
+fn sum_surplus_tracks_sum_plus_alpha_times_size() {
+    let wg = email();
+    let sum = algo::tic_improved(&wg, 4, 3, Aggregation::Sum, 0.0).unwrap();
+    let surplus = algo::tic_improved(
+        &wg,
+        4,
+        3,
+        Aggregation::SumSurplus { alpha: 0.001 },
+        0.0,
+    )
+    .unwrap();
+    // With PageRank weights summing to 1 and communities of hundreds of
+    // vertices, a per-member bonus shifts values but both solvers return
+    // valid communities.
+    for (c, agg) in sum
+        .iter()
+        .map(|c| (c, Aggregation::Sum))
+        .chain(surplus.iter().map(|c| (c, Aggregation::SumSurplus { alpha: 0.001 })))
+    {
+        check_community(&wg, 4, None, agg, c).unwrap();
+    }
+}

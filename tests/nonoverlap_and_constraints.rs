@@ -1,0 +1,164 @@
+//! TONIC (non-overlapping) behaviour and constraint handling on realistic
+//! workloads, plus error-path coverage across the public API.
+
+use ic_core::algo::{self, LocalSearchConfig};
+use ic_core::verify::check_community;
+use ic_core::{Aggregation, SearchError};
+use ic_gen::datasets::{by_name, Profile};
+use ic_kcore::maximal_kcore_components;
+
+fn email() -> ic_graph::WeightedGraph {
+    by_name(Profile::Quick, "email").unwrap().generate_weighted()
+}
+
+#[test]
+fn tonic_sum_returns_kcore_components() {
+    let wg = email();
+    let res = algo::nonoverlap::sum_topr(&wg, 6, 5, Aggregation::Sum).unwrap();
+    assert!(algo::nonoverlap::is_nonoverlapping(&res));
+    let comps = maximal_kcore_components(wg.graph(), 6);
+    for c in &res {
+        assert!(comps.iter().any(|comp| comp == &c.vertices));
+    }
+    // Values sorted descending.
+    for w in res.windows(2) {
+        assert!(w[0].value >= w[1].value);
+    }
+}
+
+#[test]
+fn tonic_min_produces_disjoint_verified_communities() {
+    let wg = email();
+    let res = algo::nonoverlap::min_topr_nonoverlapping(&wg, 6, 4).unwrap();
+    assert!(algo::nonoverlap::is_nonoverlapping(&res));
+    assert!(!res.is_empty());
+    for c in &res {
+        check_community(&wg, 6, None, Aggregation::Min, c).unwrap();
+    }
+    // Greedy peel: each round's winner is at least as good as the next.
+    for w in res.windows(2) {
+        assert!(w[0].value >= w[1].value);
+    }
+}
+
+#[test]
+fn tonic_local_search_is_disjoint_for_all_aggregations() {
+    let wg = email();
+    let config = LocalSearchConfig {
+        k: 4,
+        r: 4,
+        s: 15,
+        greedy: true,
+    };
+    for agg in [
+        Aggregation::Sum,
+        Aggregation::Average,
+        Aggregation::Min,
+        Aggregation::Max,
+        Aggregation::SumSurplus { alpha: 0.001 },
+        Aggregation::WeightDensity { beta: 0.0001 },
+    ] {
+        let res = algo::local_search_nonoverlapping(&wg, &config, agg).unwrap();
+        assert!(
+            algo::nonoverlap::is_nonoverlapping(&res),
+            "{} overlaps",
+            agg.name()
+        );
+        for c in &res {
+            check_community(&wg, 4, Some(15), agg, c).unwrap();
+        }
+    }
+}
+
+#[test]
+fn size_bound_is_respected_across_s_grid() {
+    let wg = email();
+    for s in [5usize, 10, 15, 20] {
+        let config = LocalSearchConfig {
+            k: 4,
+            r: 5,
+            s,
+            greedy: true,
+        };
+        let res = algo::local_search(&wg, &config, Aggregation::Sum).unwrap();
+        for c in &res {
+            assert!(c.len() <= s, "s={s} violated: {}", c.len());
+            check_community(&wg, 4, Some(s), Aggregation::Sum, c).unwrap();
+        }
+    }
+}
+
+#[test]
+fn larger_s_never_hurts_greedy_sum_quality() {
+    let wg = email();
+    let mut prev_best = f64::NEG_INFINITY;
+    for s in [5usize, 10, 15, 20] {
+        let config = LocalSearchConfig {
+            k: 4,
+            r: 5,
+            s,
+            greedy: true,
+        };
+        let res = algo::local_search(&wg, &config, Aggregation::Sum).unwrap();
+        let best = res.first().map_or(f64::NEG_INFINITY, |c| c.value);
+        assert!(
+            best >= prev_best - 1e-12,
+            "s={s}: best {best} < previous {prev_best}"
+        );
+        prev_best = best;
+    }
+}
+
+#[test]
+fn error_paths_are_typed_not_panics() {
+    let wg = email();
+
+    // r = 0 everywhere.
+    assert!(matches!(
+        algo::sum_naive(&wg, 4, 0, Aggregation::Sum),
+        Err(SearchError::InvalidParams(_))
+    ));
+    assert!(algo::tic_improved(&wg, 4, 0, Aggregation::Sum, 0.0).is_err());
+    assert!(algo::min_topr(&wg, 4, 0).is_err());
+
+    // Unsupported aggregations for Corollary-2 solvers.
+    for agg in [Aggregation::Average, Aggregation::Min, Aggregation::BalancedDensity] {
+        assert!(matches!(
+            algo::sum_naive(&wg, 4, 5, agg),
+            Err(SearchError::UnsupportedAggregation { .. })
+        ));
+    }
+
+    // epsilon out of range.
+    assert!(algo::tic_improved(&wg, 4, 5, Aggregation::Sum, 1.0).is_err());
+
+    // s <= k for local search.
+    let bad = LocalSearchConfig {
+        k: 5,
+        r: 3,
+        s: 5,
+        greedy: true,
+    };
+    assert!(matches!(
+        algo::local_search(&wg, &bad, Aggregation::Sum),
+        Err(SearchError::InvalidParams(_))
+    ));
+
+    // k above kmax: valid call, empty result.
+    let res = algo::tic_improved(&wg, 10_000, 3, Aggregation::Sum, 0.0).unwrap();
+    assert!(res.is_empty());
+}
+
+#[test]
+fn weight_validation_errors_from_graph_layer() {
+    use ic_graph::{graph_from_edges, GraphError, WeightedGraph};
+    let g = graph_from_edges(3, &[(0, 1), (1, 2)]);
+    assert!(matches!(
+        WeightedGraph::new(g.clone(), vec![1.0, 2.0]),
+        Err(GraphError::WeightLengthMismatch { .. })
+    ));
+    assert!(matches!(
+        WeightedGraph::new(g, vec![1.0, -1.0, 2.0]),
+        Err(GraphError::InvalidWeight { .. })
+    ));
+}
