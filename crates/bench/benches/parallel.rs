@@ -25,9 +25,7 @@ fn bench_thread_scaling(c: &mut Criterion) {
             BenchmarkId::from_parameter(threads),
             &threads,
             |b, &threads| {
-                b.iter(|| {
-                    par_local_search(&w.wg, &config, Aggregation::Average, threads).unwrap()
-                });
+                b.iter(|| par_local_search(&w.wg, &config, Aggregation::Average, threads).unwrap());
             },
         );
     }

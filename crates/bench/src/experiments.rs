@@ -9,8 +9,8 @@ use crate::workloads::{
     R_GRID, S_GRID,
 };
 use ic_core::algo::{
-    self, local_search, par_local_search, tic_improved, tic_improved_with_options,
-    ImprovedOptions, LocalSearchConfig,
+    self, local_search, par_local_search, tic_improved, tic_improved_with_options, ImprovedOptions,
+    LocalSearchConfig,
 };
 use ic_core::{Aggregation, Community};
 use ic_gen::datasets::Profile;
@@ -74,11 +74,9 @@ pub fn fig2(ctx: &Ctx) -> String {
         for k in w.usable_k_grid() {
             eprintln!("[fig2] {} k={k}", w.spec.name);
             let (tn, rn) = time_once(|| algo::sum_naive(&w.wg, k, DEFAULT_R, Aggregation::Sum));
-            let (ti, _) =
-                time_once(|| tic_improved(&w.wg, k, DEFAULT_R, Aggregation::Sum, 0.0));
-            let (ta, _) = time_once(|| {
-                tic_improved(&w.wg, k, DEFAULT_R, Aggregation::Sum, DEFAULT_EPSILON)
-            });
+            let (ti, _) = time_once(|| tic_improved(&w.wg, k, DEFAULT_R, Aggregation::Sum, 0.0));
+            let (ta, _) =
+                time_once(|| tic_improved(&w.wg, k, DEFAULT_R, Aggregation::Sum, DEFAULT_EPSILON));
             let top1 = rn
                 .ok()
                 .and_then(|v| v.first().map(|c| c.value))
@@ -114,7 +112,10 @@ pub fn fig3(ctx: &Ctx) -> String {
             t.row([r.to_string(), fmt_secs(tn), fmt_secs(ti), fmt_secs(ta)]);
         }
         out.push_str(&section(
-            &format!("Fig 3 ({}) — time vs r (sum, unconstrained, k={k})", w.spec.name),
+            &format!(
+                "Fig 3 ({}) — time vs r (sum, unconstrained, k={k})",
+                w.spec.name
+            ),
             t.to_markdown(),
         ));
     }
@@ -132,8 +133,9 @@ pub fn fig4(ctx: &Ctx) -> String {
             eprintln!("[fig4] {} k={k}", w.spec.name);
             let mut row = vec![k.to_string()];
             for &eps in &EPSILON_GRID {
-                let (ta, _) =
-                    time_median(3, || tic_improved(&w.wg, k, DEFAULT_R, Aggregation::Sum, eps));
+                let (ta, _) = time_median(3, || {
+                    tic_improved(&w.wg, k, DEFAULT_R, Aggregation::Sum, eps)
+                });
                 row.push(fmt_secs(ta));
             }
             t.row(row);
@@ -164,7 +166,10 @@ pub fn fig5(ctx: &Ctx) -> String {
             t.row(row);
         }
         out.push_str(&section(
-            &format!("Fig 5 ({}) — Approx time vs r across ε (k={k})", w.spec.name),
+            &format!(
+                "Fig 5 ({}) — Approx time vs r across ε (k={k})",
+                w.spec.name
+            ),
             t.to_markdown(),
         ));
     }
@@ -215,35 +220,47 @@ where
 
 /// Fig 6: running time vs k (sum, size-constrained).
 pub fn fig6(ctx: &Ctx) -> String {
-    constrained_time_sweep(ctx, Aggregation::Sum, "Fig 6", "k", CONSTRAINED_K_GRID, |k| {
-        LocalSearchConfig {
+    constrained_time_sweep(
+        ctx,
+        Aggregation::Sum,
+        "Fig 6",
+        "k",
+        CONSTRAINED_K_GRID,
+        |k| LocalSearchConfig {
             k,
             r: DEFAULT_R,
             s: DEFAULT_S,
             greedy: false,
-        }
-    })
+        },
+    )
 }
 
 /// Fig 7: running time vs k (avg, size-constrained).
 pub fn fig7(ctx: &Ctx) -> String {
-    constrained_time_sweep(ctx, Aggregation::Average, "Fig 7", "k", CONSTRAINED_K_GRID, |k| {
-        LocalSearchConfig {
+    constrained_time_sweep(
+        ctx,
+        Aggregation::Average,
+        "Fig 7",
+        "k",
+        CONSTRAINED_K_GRID,
+        |k| LocalSearchConfig {
             k,
             r: DEFAULT_R,
             s: DEFAULT_S,
             greedy: false,
-        }
-    })
+        },
+    )
 }
 
 /// Fig 8: running time vs r (sum, size-constrained).
 pub fn fig8(ctx: &Ctx) -> String {
-    constrained_time_sweep(ctx, Aggregation::Sum, "Fig 8", "r", R_GRID, |r| LocalSearchConfig {
-        k: 4,
-        r,
-        s: DEFAULT_S,
-        greedy: false,
+    constrained_time_sweep(ctx, Aggregation::Sum, "Fig 8", "r", R_GRID, |r| {
+        LocalSearchConfig {
+            k: 4,
+            r,
+            s: DEFAULT_S,
+            greedy: false,
+        }
     })
 }
 
@@ -261,11 +278,13 @@ pub fn fig9(ctx: &Ctx) -> String {
 
 /// Fig 10: running time vs s (sum, size-constrained).
 pub fn fig10(ctx: &Ctx) -> String {
-    constrained_time_sweep(ctx, Aggregation::Sum, "Fig 10", "s", S_GRID, |s| LocalSearchConfig {
-        k: 4,
-        r: DEFAULT_R,
-        s,
-        greedy: false,
+    constrained_time_sweep(ctx, Aggregation::Sum, "Fig 10", "s", S_GRID, |s| {
+        LocalSearchConfig {
+            k: 4,
+            r: DEFAULT_R,
+            s,
+            greedy: false,
+        }
     })
 }
 
@@ -284,7 +303,12 @@ pub fn fig11(ctx: &Ctx) -> String {
 fn effectiveness_sweep(ctx: &Ctx, aggregation: Aggregation, fig: &str) -> String {
     let mut out = String::new();
     for w in ctx.workloads() {
-        let mut t = Table::new(["k", "Random r-th value", "Greedy r-th value", "Greedy/Random"]);
+        let mut t = Table::new([
+            "k",
+            "Random r-th value",
+            "Greedy r-th value",
+            "Greedy/Random",
+        ]);
         for k in CONSTRAINED_K_GRID {
             eprintln!("[{fig}] {} k={k}", w.spec.name);
             let random = local_search(
@@ -311,7 +335,11 @@ fn effectiveness_sweep(ctx: &Ctx, aggregation: Aggregation, fig: &str) -> String
             .unwrap_or_default();
             let rv = random.last().map_or(f64::NEG_INFINITY, |c| c.value);
             let gv = greedy.last().map_or(f64::NEG_INFINITY, |c| c.value);
-            let ratio = if rv > 0.0 { format!("{:.3}", gv / rv) } else { "—".into() };
+            let ratio = if rv > 0.0 {
+                format!("{:.3}", gv / rv)
+            } else {
+                "—".into()
+            };
             t.row([k.to_string(), fmt_value(rv), fmt_value(gv), ratio]);
         }
         out.push_str(&section(
@@ -352,13 +380,12 @@ pub fn fig14(_ctx: &Ctx) -> String {
     let min_top = algo::nonoverlap::min_topr_nonoverlapping(&wg, 4, 3).expect("valid params");
     let mut t = Table::new(["rank", "min(i10)", "members"]);
     for (i, c) in min_top.iter().enumerate() {
-        t.row([
-            format!("{}", i + 1),
-            fmt_value(c.value),
-            describe(&net, c),
-        ]);
+        t.row([format!("{}", i + 1), fmt_value(c.value), describe(&net, c)]);
     }
-    out.push_str(&section("Fig 14 (a-c) — min over i10-like metric", t.to_markdown()));
+    out.push_str(&section(
+        "Fig 14 (a-c) — min over i10-like metric",
+        t.to_markdown(),
+    ));
 
     // avg over the G-index-like metric (size-constrained local search).
     let wg = net.weighted_by_gindex();
@@ -375,13 +402,12 @@ pub fn fig14(_ctx: &Ctx) -> String {
     .expect("valid params");
     let mut t = Table::new(["rank", "avg(G-index)", "members"]);
     for (i, c) in avg_top.iter().enumerate() {
-        t.row([
-            format!("{}", i + 1),
-            fmt_value(c.value),
-            describe(&net, c),
-        ]);
+        t.row([format!("{}", i + 1), fmt_value(c.value), describe(&net, c)]);
     }
-    out.push_str(&section("Fig 14 (d-f) — avg over G-index-like metric", t.to_markdown()));
+    out.push_str(&section(
+        "Fig 14 (d-f) — avg over G-index-like metric",
+        t.to_markdown(),
+    ));
 
     // sum over citations (size-constrained local search).
     let wg = net.weighted_by_citations();
@@ -398,13 +424,12 @@ pub fn fig14(_ctx: &Ctx) -> String {
     .expect("valid params");
     let mut t = Table::new(["rank", "sum(citations)", "members"]);
     for (i, c) in sum_top.iter().enumerate() {
-        t.row([
-            format!("{}", i + 1),
-            fmt_value(c.value),
-            describe(&net, c),
-        ]);
+        t.row([format!("{}", i + 1), fmt_value(c.value), describe(&net, c)]);
     }
-    out.push_str(&section("Fig 14 (g-i) — sum over citations", t.to_markdown()));
+    out.push_str(&section(
+        "Fig 14 (g-i) — sum over citations",
+        t.to_markdown(),
+    ));
     out
 }
 
@@ -439,8 +464,8 @@ pub fn example1(_ctx: &Ctx) -> String {
     let (s, v) = fmt_comm(&min2);
     t.row(["min top-2 (k=2)".to_string(), s, v]);
 
-    let tonic = algo::nonoverlap::exact_nonoverlapping(&wg, 2, 3, None, Aggregation::Average)
-        .unwrap();
+    let tonic =
+        algo::nonoverlap::exact_nonoverlapping(&wg, 2, 3, None, Aggregation::Average).unwrap();
     let (s, v) = fmt_comm(&tonic);
     t.row(["avg non-overlapping top-3".to_string(), s, v]);
 
@@ -499,7 +524,10 @@ pub fn ablate_prune(ctx: &Ctx) -> String {
             t.row([name.to_string(), fmt_secs(tt), fmt_value(rv)]);
         }
         out.push_str(&section(
-            &format!("Ablation ({}) — Algorithm 2 pruning rules (k={k})", w.spec.name),
+            &format!(
+                "Ablation ({}) — Algorithm 2 pruning rules (k={k})",
+                w.spec.name
+            ),
             t.to_markdown(),
         ));
     }
@@ -558,7 +586,11 @@ pub fn ablate_refine(ctx: &Ctx) -> String {
         ]);
         for agg in [Aggregation::Sum, Aggregation::Average] {
             for greedy in [false, true] {
-                eprintln!("[ablate-refine] {} {} greedy={greedy}", w.spec.name, agg.name());
+                eprintln!(
+                    "[ablate-refine] {} {} greedy={greedy}",
+                    w.spec.name,
+                    agg.name()
+                );
                 let config = LocalSearchConfig {
                     k: 4,
                     r: DEFAULT_R,
@@ -566,8 +598,7 @@ pub fn ablate_refine(ctx: &Ctx) -> String {
                     greedy,
                 };
                 let plain = local_search(&w.wg, &config, agg).unwrap_or_default();
-                let (tt, refined) =
-                    time_once(|| algo::local_search_refined(&w.wg, &config, agg));
+                let (tt, refined) = time_once(|| algo::local_search_refined(&w.wg, &config, agg));
                 let refined = refined.unwrap_or_default();
                 let pv = plain.last().map_or(f64::NEG_INFINITY, |c| c.value);
                 let rv = refined.last().map_or(f64::NEG_INFINITY, |c| c.value);
@@ -635,9 +666,25 @@ pub fn extensions(ctx: &Ctx) -> String {
 
 /// All experiment ids, in run order.
 pub const ALL_EXPERIMENTS: [&str; 19] = [
-    "table3", "example1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
-    "fig10", "fig11", "fig12", "fig13", "fig14", "ablate-prune", "ablate-parallel",
-    "ablate-refine", "extensions",
+    "table3",
+    "example1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "ablate-prune",
+    "ablate-parallel",
+    "ablate-refine",
+    "extensions",
 ];
 
 /// Dispatches an experiment by id.

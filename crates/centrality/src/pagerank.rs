@@ -57,11 +57,7 @@ pub fn pagerank(g: &Graph, config: &PageRankConfig) -> Vec<f64> {
                 }
             }
         }
-        let delta: f64 = rank
-            .iter()
-            .zip(&next)
-            .map(|(a, b)| (a - b).abs())
-            .sum();
+        let delta: f64 = rank.iter().zip(&next).map(|(a, b)| (a - b).abs()).sum();
         std::mem::swap(&mut rank, &mut next);
         if delta < config.tolerance {
             break;

@@ -348,7 +348,10 @@ mod tests {
             Aggregation::WeightDensity { beta: 1.0 }.hardness_unconstrained(),
             NpHard
         );
-        assert_eq!(Aggregation::BalancedDensity.hardness_unconstrained(), NpHard);
+        assert_eq!(
+            Aggregation::BalancedDensity.hardness_unconstrained(),
+            NpHard
+        );
         for agg in ALL {
             assert_eq!(agg.hardness_constrained(), NpHard);
         }

@@ -54,3 +54,116 @@ pub(crate) fn require_removal_decreasing(
 }
 
 pub(crate) use require_removal_decreasing as require_corollary2;
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Per-vertex mix for the order-independent set key. Exposed separately
+/// so callers can maintain the running sum incrementally (subtracting a
+/// deleted vertex's mix instead of re-hashing the whole set).
+pub(crate) fn vertex_mix(v: VertexId) -> u64 {
+    splitmix64(v as u64)
+}
+
+/// Sum of per-vertex mixes over a set (commutative, subtractable).
+pub(crate) fn vertex_mix_sum(vertices: &[VertexId]) -> u64 {
+    vertices
+        .iter()
+        .fold(0u64, |acc, &v| acc.wrapping_add(vertex_mix(v)))
+}
+
+/// Finalizes a mix sum + size into the set key.
+pub(crate) fn finalize_set_key(mix_sum: u64, len: usize) -> u64 {
+    splitmix64(mix_sum ^ (len as u64).wrapping_mul(0xff51_afd7_ed55_8ccd))
+}
+
+/// Order-independent 64-bit key of a vertex set: the wrapping sum of a
+/// per-vertex mix, finalized with the set size. Lets the arena-based
+/// solvers deduplicate children straight off the unsorted BFS component
+/// buffer — no sort, no materialization — at the same (negligible)
+/// collision risk the seed already accepted for its sorted-list FNV
+/// signatures.
+pub(crate) fn vertex_set_key(vertices: &[VertexId]) -> u64 {
+    finalize_set_key(vertex_mix_sum(vertices), vertices.len())
+}
+
+/// Shared child-expansion step of the arena-based Corollary-2 solvers
+/// (`sum_naive`, `tic_improved`): deletes `victim` from the loaded
+/// parent, appends every *new* child community to `out`, and rolls the
+/// arena back.
+///
+/// The arena must hold the parent (same vertex list as
+/// `parent_vertices`) with articulation points marked; `parent_mix` is
+/// `vertex_mix_sum(parent_vertices)`. When the deletion neither cascades
+/// nor hits an articulation point, the only child is
+/// `parent ∖ {victim}`: its dedup key is an O(1) subtraction and no
+/// component walk happens. Otherwise the surviving components come off
+/// the arena's reusable buffer, deduplicated before any allocation.
+/// Fresh children are sorted before evaluation so the floating-point
+/// summation order (and hence the value, bit for bit) matches the
+/// from-scratch oracle's sorted components.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn expand_children(
+    arena: &mut ic_kcore::PeelArena,
+    wg: &WeightedGraph,
+    aggregation: Aggregation,
+    parent_vertices: &[VertexId],
+    parent_mix: u64,
+    victim: VertexId,
+    explored: &mut std::collections::HashSet<u64>,
+    out: &mut Vec<crate::Community>,
+) {
+    arena.remove_cascade(victim);
+    if arena.journal_len() == 1 && !arena.is_articulation(victim) {
+        let key = finalize_set_key(
+            parent_mix.wrapping_sub(vertex_mix(victim)),
+            parent_vertices.len() - 1,
+        );
+        if explored.insert(key) {
+            let vertices: Vec<VertexId> = parent_vertices
+                .iter()
+                .copied()
+                .filter(|&u| u != victim)
+                .collect();
+            out.push(community_from_vertices(wg, aggregation, vertices));
+        }
+    } else {
+        arena.for_each_component(|comp| {
+            if explored.insert(vertex_set_key(comp)) {
+                let mut vertices = comp.to_vec();
+                vertices.sort_unstable();
+                out.push(community_from_vertices(wg, aggregation, vertices));
+            }
+        });
+    }
+    arena.rollback();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_key_is_order_independent_and_discriminating() {
+        assert_eq!(vertex_set_key(&[3, 1, 2]), vertex_set_key(&[1, 2, 3]));
+        assert_ne!(vertex_set_key(&[1, 2, 3]), vertex_set_key(&[1, 2, 4]));
+        assert_ne!(vertex_set_key(&[1, 2, 3]), vertex_set_key(&[1, 2]));
+        // Sum-collision resistance: {0, 3} vs {1, 2} share a plain sum but
+        // not a mixed one.
+        assert_ne!(vertex_set_key(&[0, 3]), vertex_set_key(&[1, 2]));
+    }
+
+    #[test]
+    fn incremental_subtraction_matches_full_key() {
+        let parent = [5u32, 9, 13, 27];
+        let acc = vertex_mix_sum(&parent);
+        // Remove 13: the subtracted sum must reproduce the full key of
+        // the child set.
+        let child_key = finalize_set_key(acc.wrapping_sub(vertex_mix(13)), parent.len() - 1);
+        assert_eq!(child_key, vertex_set_key(&[5, 9, 27]));
+    }
+}

@@ -7,15 +7,17 @@
 //! subgraph) and additionally enforces the maximality constraint of
 //! Definition 3, making it the ground-truth oracle for the test suite.
 
+use crate::algo::local_search::SubsetChecker;
 use crate::algo::{common::validate_k_r, community_from_vertices};
-use crate::{Aggregation, Community, SearchError};
+use crate::{Aggregation, Community, SearchError, TopList};
 use ic_graph::{VertexId, WeightedGraph};
 
 /// All maximal k-influential communities (Definition 3) of the graph,
 /// sorted best-first. Exponential; intended for tiny graphs and tests.
 pub fn all_communities(wg: &WeightedGraph, k: usize, aggregation: Aggregation) -> Vec<Community> {
     let n = wg.num_vertices();
-    let candidates = connected_kcore_subsets(wg, k, n.max(1));
+    let mut candidates: Vec<Vec<VertexId>> = Vec::new();
+    connected_kcore_subsets(wg, k, n.max(1), &mut |set| candidates.push(set.to_vec()));
     let mut communities = keep_maximal(wg, aggregation, candidates);
     communities.sort_by(|a, b| a.ranking_cmp(b));
     communities
@@ -70,8 +72,14 @@ pub fn exact_naive(
     }
     let n = wg.num_vertices();
     let g = wg.graph();
-    let mut results: Vec<Community> = Vec::new();
+    // Bounded list + reusable scratch: candidates that cannot beat the
+    // running r-th value are evaluated without materializing a community
+    // (no per-candidate `to_vec`), and the connected-k-core test runs on
+    // stamped arrays instead of a fresh mask per subset.
+    let mut list = TopList::new(r);
     let mut subset: Vec<VertexId> = Vec::new();
+    let mut checker = SubsetChecker::new(n);
+    let mut weight_buf: Vec<f64> = Vec::with_capacity(s.min(n));
 
     // Enumerate combinations of each size i = k+1 ..= min(s, n).
     fn combinations<F: FnMut(&[VertexId])>(
@@ -95,143 +103,157 @@ pub fn exact_naive(
 
     for i in (k + 1)..=s.min(n) {
         combinations(n, i, 0, &mut subset, &mut |cand: &[VertexId]| {
-            if ic_kcore::is_kcore(g, cand, k) && is_connected_subset(g, cand) {
-                results.push(community_from_vertices(wg, aggregation, cand.to_vec()));
+            if !checker.is_connected_kcore(g, cand, k) {
+                return;
             }
+            weight_buf.clear();
+            weight_buf.extend(cand.iter().map(|&v| wg.weight(v)));
+            let value = aggregation.evaluate(&weight_buf, wg.total_weight());
+            // Strictly below the r-th best: cannot be retained, skip the
+            // allocation entirely (ties still go through — the ranking
+            // tie-break may prefer them).
+            if list.len() == r && value < list.threshold() {
+                return;
+            }
+            list.insert(Community::new(cand.to_vec(), value));
         });
     }
-    results.sort_by(|a, b| a.ranking_cmp(b));
-    results.truncate(r);
-    Ok(results)
-}
-
-fn is_connected_subset(g: &ic_graph::Graph, vertices: &[VertexId]) -> bool {
-    let mut mask = ic_graph::BitSet::new(g.num_vertices());
-    for &v in vertices {
-        mask.insert(v as usize);
-    }
-    ic_graph::is_connected_within(g, &mask)
+    Ok(list.into_vec())
 }
 
 /// Enumerates every connected induced subgraph (vertex set) of size
-/// ≤ `max_size` whose minimum internal degree is ≥ `k`.
+/// ≤ `max_size` whose minimum internal degree is ≥ `k`, passing each as a
+/// sorted slice to `emit` (valid only for the duration of the call).
 ///
 /// Connected subsets are generated exactly once with the classic
 /// fixed-root scheme: for each root `v` (the minimum vertex of the
 /// subset), extend with neighbors `> v`, branching on include/exclude.
-fn connected_kcore_subsets(wg: &WeightedGraph, k: usize, max_size: usize) -> Vec<Vec<VertexId>> {
+/// The enumeration loop itself is allocation-free: the emitted slice
+/// lives in a reused sort buffer, and the per-depth extension lists come
+/// from a recycled pool instead of fresh `Vec`s per branch.
+fn connected_kcore_subsets(
+    wg: &WeightedGraph,
+    k: usize,
+    max_size: usize,
+    emit: &mut dyn FnMut(&[VertexId]),
+) {
     let g = wg.graph();
     let n = g.num_vertices();
-    let mut out: Vec<Vec<VertexId>> = Vec::new();
 
-    let mut in_set = vec![false; n];
-    let mut banned = vec![false; n];
-    let mut in_ext = vec![false; n];
-    let mut set: Vec<VertexId> = Vec::new();
-
-    #[allow(clippy::too_many_arguments)]
-    fn extend(
-        g: &ic_graph::Graph,
-        root: VertexId,
+    /// Reusable state threaded through the recursion.
+    struct Enum<'a> {
+        g: &'a ic_graph::Graph,
         k: usize,
         max_size: usize,
-        set: &mut Vec<VertexId>,
-        in_set: &mut [bool],
-        banned: &mut [bool],
-        in_ext: &mut [bool],
-        ext: &[VertexId],
-        out: &mut Vec<Vec<VertexId>>,
-    ) {
-        // Emit the current set if it satisfies the degree constraint.
-        if set.len() > k {
-            let ok = set
-                .iter()
-                .all(|&v| g.neighbors(v).iter().filter(|&&u| in_set[u as usize]).count() >= k);
-            if ok {
-                let mut s = set.clone();
-                s.sort_unstable();
-                out.push(s);
-            }
-        }
-        if set.len() == max_size {
-            return;
-        }
-        let mut newly_banned: Vec<VertexId> = Vec::new();
-        for (i, &u) in ext.iter().enumerate() {
-            if banned[u as usize] {
-                continue;
-            }
-            // Include branch.
-            set.push(u);
-            in_set[u as usize] = true;
-            // New extension: the remaining candidates plus u's unseen
-            // neighbors greater than the root.
-            let mut next_ext: Vec<VertexId> = Vec::with_capacity(ext.len());
-            for &w in &ext[i + 1..] {
-                if !banned[w as usize] {
-                    next_ext.push(w);
+        in_set: Vec<bool>,
+        banned: Vec<bool>,
+        in_ext: Vec<bool>,
+        set: Vec<VertexId>,
+        sort_buf: Vec<VertexId>,
+        /// Depth-indexed pools for the extension and ban-restore lists.
+        ext_pool: Vec<Vec<VertexId>>,
+        ban_pool: Vec<Vec<VertexId>>,
+    }
+
+    impl Enum<'_> {
+        fn extend(&mut self, root: VertexId, depth: usize, emit: &mut dyn FnMut(&[VertexId])) {
+            // Emit the current set if it satisfies the degree constraint.
+            if self.set.len() > self.k {
+                let ok = self.set.iter().all(|&v| {
+                    self.g
+                        .neighbors(v)
+                        .iter()
+                        .filter(|&&u| self.in_set[u as usize])
+                        .count()
+                        >= self.k
+                });
+                if ok {
+                    self.sort_buf.clear();
+                    self.sort_buf.extend_from_slice(&self.set);
+                    self.sort_buf.sort_unstable();
+                    emit(&self.sort_buf);
                 }
             }
-            let mut added: Vec<VertexId> = Vec::new();
-            for &w in ext {
-                in_ext[w as usize] = true;
+            if self.set.len() == self.max_size {
+                return;
             }
-            for &w in g.neighbors(u) {
-                if w > root
-                    && !in_set[w as usize]
-                    && !banned[w as usize]
-                    && !in_ext[w as usize]
-                {
-                    next_ext.push(w);
-                    in_ext[w as usize] = true;
-                    added.push(w);
+            let ext = std::mem::take(&mut self.ext_pool[depth]);
+            let mut newly_banned = std::mem::take(&mut self.ban_pool[depth]);
+            newly_banned.clear();
+            for (i, &u) in ext.iter().enumerate() {
+                if self.banned[u as usize] {
+                    continue;
                 }
+                // Include branch.
+                self.set.push(u);
+                self.in_set[u as usize] = true;
+                // New extension: the remaining candidates plus u's unseen
+                // neighbors greater than the root.
+                let mut next_ext = std::mem::take(&mut self.ext_pool[depth + 1]);
+                next_ext.clear();
+                for &w in &ext[i + 1..] {
+                    if !self.banned[w as usize] {
+                        next_ext.push(w);
+                    }
+                }
+                for &w in &next_ext {
+                    self.in_ext[w as usize] = true;
+                }
+                let inherited = next_ext.len();
+                for &w in self.g.neighbors(u) {
+                    if w > root
+                        && !self.in_set[w as usize]
+                        && !self.banned[w as usize]
+                        && !self.in_ext[w as usize]
+                    {
+                        next_ext.push(w);
+                        self.in_ext[w as usize] = true;
+                    }
+                }
+                for &w in &next_ext {
+                    self.in_ext[w as usize] = false;
+                }
+                debug_assert!(inherited <= next_ext.len());
+                self.ext_pool[depth + 1] = next_ext;
+                self.extend(root, depth + 1, emit);
+                self.set.pop();
+                self.in_set[u as usize] = false;
+                // Exclude branch: ban u for the rest of this subtree.
+                self.banned[u as usize] = true;
+                newly_banned.push(u);
             }
-            for &w in ext {
-                in_ext[w as usize] = false;
+            for &u in &newly_banned {
+                self.banned[u as usize] = false;
             }
-            for &w in &added {
-                in_ext[w as usize] = false;
-            }
-            extend(
-                g, root, k, max_size, set, in_set, banned, in_ext, &next_ext, out,
-            );
-            set.pop();
-            in_set[u as usize] = false;
-            // Exclude branch: ban u for the rest of this subtree.
-            banned[u as usize] = true;
-            newly_banned.push(u);
-        }
-        for &u in &newly_banned {
-            banned[u as usize] = false;
+            self.ban_pool[depth] = newly_banned;
+            self.ext_pool[depth] = ext;
         }
     }
 
+    let mut state = Enum {
+        g,
+        k,
+        max_size,
+        in_set: vec![false; n],
+        banned: vec![false; n],
+        in_ext: vec![false; n],
+        set: Vec::with_capacity(max_size),
+        sort_buf: Vec::with_capacity(max_size),
+        ext_pool: vec![Vec::new(); max_size + 2],
+        ban_pool: vec![Vec::new(); max_size + 2],
+    };
+
     for root in 0..n as VertexId {
-        set.push(root);
-        in_set[root as usize] = true;
-        let ext: Vec<VertexId> = g
-            .neighbors(root)
-            .iter()
-            .copied()
-            .filter(|&u| u > root)
-            .collect();
-        extend(
-            g,
-            root,
-            k,
-            max_size,
-            &mut set,
-            &mut in_set,
-            &mut banned,
-            &mut in_ext,
-            &ext,
-            &mut out,
-        );
-        set.pop();
-        in_set[root as usize] = false;
+        state.set.push(root);
+        state.in_set[root as usize] = true;
+        let mut ext = std::mem::take(&mut state.ext_pool[0]);
+        ext.clear();
+        ext.extend(g.neighbors(root).iter().copied().filter(|&u| u > root));
+        state.ext_pool[0] = ext;
+        state.extend(root, 0, emit);
+        state.set.pop();
+        state.in_set[root as usize] = false;
     }
-    out
 }
 
 /// Filters candidates down to the maximal ones (Definition 3, item 3): a
@@ -409,17 +431,23 @@ mod tests {
         assert!(exact_naive(&wg, 2, 1, 2, Aggregation::Sum).is_err());
     }
 
+    fn collect_subsets(wg: &WeightedGraph, k: usize, max_size: usize) -> Vec<Vec<u32>> {
+        let mut out = Vec::new();
+        connected_kcore_subsets(wg, k, max_size, &mut |s| out.push(s.to_vec()));
+        out
+    }
+
     #[test]
     fn enumeration_counts_connected_kcores() {
         // Triangle: connected subsets with min degree >= 2 of size > 2:
         // just the triangle itself.
         let g = graph_from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
         let wg = WeightedGraph::new(g, vec![1.0; 3]).unwrap();
-        let subs = connected_kcore_subsets(&wg, 2, 3);
+        let subs = collect_subsets(&wg, 2, 3);
         assert_eq!(subs, vec![vec![0, 1, 2]]);
         // k = 1: pairs and the triangle (and size-2 paths):
         // {0,1},{0,2},{1,2},{0,1,2}.
-        let subs = connected_kcore_subsets(&wg, 1, 3);
+        let subs = collect_subsets(&wg, 1, 3);
         assert_eq!(subs.len(), 4);
     }
 
@@ -427,7 +455,7 @@ mod tests {
     fn enumeration_has_no_duplicates() {
         let g = graph_from_edges(5, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2)]);
         let wg = WeightedGraph::new(g, vec![1.0; 5]).unwrap();
-        let subs = connected_kcore_subsets(&wg, 0, 5);
+        let subs = collect_subsets(&wg, 0, 5);
         let mut seen = std::collections::HashSet::new();
         for s in &subs {
             assert!(seen.insert(s.clone()), "duplicate {s:?}");

@@ -11,13 +11,23 @@
 //! removal (Corollary 2) — and children within `(1−ε)` of the current
 //! maximum are early-accepted, which is what makes the approximate variant
 //! cheaper.
+//!
+//! The expansion loop runs on the zero-rebuild [`PeelArena`] (see
+//! DESIGN.md §5): the popped maximum is loaded once, every candidate
+//! deletion is a journaled cascade + rollback touching only the affected
+//! frontier, and children are deduplicated by an order-independent set
+//! key off the unsorted component buffer before any allocation happens.
+//! The from-scratch formulation is preserved as
+//! [`crate::algo::oracle::tic_improved`] for the property tests and the
+//! perf baseline.
 
 use crate::algo::common::{
-    community_from_vertices, require_corollary2, validate_k_r,
+    community_from_vertices, expand_children, require_corollary2, validate_k_r, vertex_mix_sum,
+    vertex_set_key,
 };
 use crate::{Aggregation, Community, SearchError};
 use ic_graph::WeightedGraph;
-use ic_kcore::{maximal_kcore_components, PeelScratch};
+use ic_kcore::{maximal_kcore_components, PeelArena};
 use std::collections::HashSet;
 
 /// Tuning knobs for [`tic_improved_with_options`]; used by the pruning
@@ -83,7 +93,6 @@ pub fn tic_improved_with_options(
     }
 
     let g = wg.graph();
-    let n = g.num_vertices();
 
     // Line 1-2: candidate list seeded with the k-core components.
     let comps = maximal_kcore_components(g, k);
@@ -96,10 +105,14 @@ pub fn tic_improved_with_options(
         candidates.truncate(r);
     }
 
-    let mut explored: HashSet<u64> = candidates.iter().map(|c| c.signature()).collect();
+    let mut explored: HashSet<u64> = candidates
+        .iter()
+        .map(|c| vertex_set_key(&c.vertices))
+        .collect();
     let mut results: Vec<Community> = Vec::with_capacity(r);
     let mut in_results: HashSet<u64> = HashSet::new();
-    let mut scratch = PeelScratch::new(n);
+    let mut arena = PeelArena::for_graph(g);
+    let mut fresh: Vec<Community> = Vec::new();
 
     while results.len() < r && !candidates.is_empty() {
         // Pop the maximum candidate (kept sorted best-first).
@@ -116,6 +129,13 @@ pub fn tic_improved_with_options(
         // f(Lr): the value of the r-th best known candidate/result.
         let threshold = r_th_value(&results, &candidates, r);
 
+        // One load per popped maximum; every deletion below is an
+        // O(affected) journaled cascade instead of a full re-peel. The
+        // articulation marks are the no-split certificate for the O(1)
+        // fast path below.
+        arena.load(g, &lmax.vertices, k);
+        arena.mark_articulation_points();
+        let parent_mix = vertex_mix_sum(&lmax.vertices);
         for &v in &lmax.vertices {
             // Line 13: the pre-cascade value of Lmax ∖ {v} upper-bounds
             // every child it can produce.
@@ -125,12 +145,17 @@ pub fn tic_improved_with_options(
                     continue;
                 }
             }
-            let parts = scratch.connected_kcores(g, &lmax.vertices, Some(v), k);
-            for part in parts {
-                let child = community_from_vertices(wg, aggregation, part);
-                if !explored.insert(child.signature()) {
-                    continue; // reachable via several deletion orders
-                }
+            expand_children(
+                &mut arena,
+                wg,
+                aggregation,
+                &lmax.vertices,
+                parent_mix,
+                v,
+                &mut explored,
+                &mut fresh,
+            );
+            for child in fresh.drain(..) {
                 // Line 16: ε-early acceptance.
                 if options.epsilon > 0.0
                     && child.value >= lb
@@ -220,6 +245,20 @@ mod tests {
             let av: Vec<f64> = a.iter().map(|c| c.value).collect();
             let bv: Vec<f64> = b.iter().map(|c| c.value).collect();
             assert_eq!(av, bv, "r = {r}");
+        }
+    }
+
+    #[test]
+    fn matches_from_scratch_oracle() {
+        let wg = figure1();
+        for eps in [0.0, 0.1, 0.3] {
+            for r in [1, 2, 4, 7] {
+                assert_eq!(
+                    tic_improved(&wg, 2, r, Aggregation::Sum, eps).unwrap(),
+                    crate::algo::oracle::tic_improved(&wg, 2, r, Aggregation::Sum, eps).unwrap(),
+                    "eps = {eps} r = {r}"
+                );
+            }
         }
     }
 

@@ -134,8 +134,11 @@ impl MinCommunityIndex {
             }
             let new_root = uf.find(*min_vertex);
             let node_id = nodes.len() as u32;
-            let size: usize =
-                batch.len() + children.iter().map(|&c| nodes[c as usize].size).sum::<usize>();
+            let size: usize = batch.len()
+                + children
+                    .iter()
+                    .map(|&c| nodes[c as usize].size)
+                    .sum::<usize>();
             for &c in &children {
                 nodes[c as usize].parent = Some(node_id);
             }
@@ -159,9 +162,7 @@ impl MinCommunityIndex {
         let mut ranked: Vec<u32> = (0..nodes.len() as u32).collect();
         ranked.sort_by(|&a, &b| {
             let (na, nb) = (&nodes[a as usize], &nodes[b as usize]);
-            nb.value
-                .total_cmp(&na.value)
-                .then_with(|| b.cmp(&a)) // larger node id = earlier event
+            nb.value.total_cmp(&na.value).then_with(|| b.cmp(&a)) // larger node id = earlier event
         });
 
         MinCommunityIndex {

@@ -13,10 +13,18 @@
 //! neighbors of `v_i`, exploring 2-hop neighbors when needed"). `greedy`
 //! sorts the pool by descending influence, `random` keeps BFS order —
 //! these are the paper's Greedy and Random variants (Figs 6–13).
+//!
+//! The per-seed machinery is zero-rebuild: one [`LocalScratch`] per query
+//! holds epoch-stamped visitation marks, the pool buffers, and an
+//! **incremental candidate degree tracker**. Growing or shrinking the
+//! candidate by one vertex updates internal degrees and a below-k
+//! violation counter in `O(d(v))`, so the k-core test per prefix is O(1)
+//! instead of a full candidate rescan, and connectivity BFS only runs for
+//! prefixes that already pass the degree and threshold checks.
 
 use crate::algo::common::{community_from_vertices, validate_k_r};
 use crate::{AggregateState, Aggregation, Community, SearchError, TopList};
-use ic_graph::{truncated_bfs_within, BitSet, Graph, VertexId, WeightedGraph};
+use ic_graph::{BitSet, Graph, VertexId, WeightedGraph};
 use ic_kcore::kcore_mask;
 use std::collections::VecDeque;
 
@@ -45,10 +53,19 @@ pub fn local_search(
     let g = wg.graph();
     let core = kcore_mask(g, config.k);
     let mut list = TopList::new(config.r);
-    let mut checker = SubsetChecker::new(g.num_vertices());
+    let mut scratch = LocalScratch::new(g.num_vertices());
 
     for seed in core.iter() {
-        run_seed(wg, g, &core, seed as VertexId, config, aggregation, &mut checker, &mut list);
+        run_seed(
+            wg,
+            g,
+            &core,
+            seed as VertexId,
+            config,
+            aggregation,
+            &mut scratch,
+            &mut list,
+        );
     }
     Ok(list.into_vec())
 }
@@ -65,7 +82,7 @@ pub fn local_search_nonoverlapping(
     validate_params(config)?;
     let g = wg.graph();
     let mut core = kcore_mask(g, config.k);
-    let mut checker = SubsetChecker::new(g.num_vertices());
+    let mut scratch = LocalScratch::new(g.num_vertices());
     let mut results: Vec<Community> = Vec::with_capacity(config.r);
 
     let mut seeds: Vec<u32> = core.iter().map(|v| v as u32).collect();
@@ -86,7 +103,16 @@ pub fn local_search_nonoverlapping(
         }
         // Single-slot list: accept the seed's best candidate, if any.
         let mut single = TopList::new(1);
-        run_seed(wg, g, &core, seed, config, aggregation, &mut checker, &mut single);
+        run_seed(
+            wg,
+            g,
+            &core,
+            seed,
+            config,
+            aggregation,
+            &mut scratch,
+            &mut single,
+        );
         if let Some(found) = single.into_vec().pop() {
             for &v in &found.vertices {
                 core.remove(v as usize);
@@ -118,7 +144,7 @@ pub(crate) fn run_seed(
     seed: VertexId,
     config: &LocalSearchConfig,
     aggregation: Aggregation,
-    checker: &mut SubsetChecker,
+    scratch: &mut LocalScratch,
     list: &mut TopList,
 ) {
     // Line 4: the s-nearest-neighbor pool via truncated BFS. In greedy
@@ -126,12 +152,10 @@ pub(crate) fn run_seed(
     // layer must be cut to fit `s`, the influential members survive (the
     // paper leaves the tie-break unspecified; random mode uses plain BFS
     // order).
-    let mut pool = if config.greedy {
-        influence_layered_pool(wg, g, core, seed, config.s)
-    } else {
-        truncated_bfs_within(g, core, seed, config.s)
-    };
+    scratch.build_pool(wg, g, core, seed, config.s, config.greedy);
+    let mut pool = std::mem::take(&mut scratch.pool);
     if pool.len() <= config.k {
+        scratch.pool = pool;
         return; // cannot host a k-core
     }
     // Lines 5-6: greedy sorts by descending influence (seed kept first —
@@ -145,56 +169,13 @@ pub(crate) fn run_seed(
     }
     match aggregation {
         Aggregation::Sum | Aggregation::SumSurplus { .. } => {
-            sum_strategy(wg, g, &pool, config, aggregation, checker, list);
+            sum_strategy(wg, g, &pool, config, aggregation, scratch, list);
         }
         _ => {
-            prefix_strategy(wg, g, &pool, config, aggregation, checker, list);
+            prefix_strategy(wg, g, &pool, config, aggregation, scratch, list);
         }
     }
-}
-
-/// Truncated BFS where every layer is visited in descending weight order:
-/// the pool still consists of nearest neighbors (layer by layer), but
-/// within the layer that exceeds the size budget, the most influential
-/// vertices are kept.
-fn influence_layered_pool(
-    wg: &WeightedGraph,
-    g: &Graph,
-    mask: &BitSet,
-    seed: VertexId,
-    limit: usize,
-) -> Vec<VertexId> {
-    let mut pool = Vec::with_capacity(limit);
-    if limit == 0 || !mask.contains(seed as usize) {
-        return pool;
-    }
-    let mut visited = BitSet::new(g.num_vertices());
-    visited.insert(seed as usize);
-    let mut layer: Vec<VertexId> = vec![seed];
-    while !layer.is_empty() && pool.len() < limit {
-        for &v in &layer {
-            if pool.len() == limit {
-                return pool;
-            }
-            pool.push(v);
-        }
-        let mut next: Vec<VertexId> = Vec::new();
-        for &v in &layer {
-            for &u in g.neighbors(v) {
-                if mask.contains(u as usize) && !visited.contains(u as usize) {
-                    visited.insert(u as usize);
-                    next.push(u);
-                }
-            }
-        }
-        next.sort_by(|&a, &b| {
-            wg.weight(b)
-                .total_cmp(&wg.weight(a))
-                .then_with(|| a.cmp(&b))
-        });
-        layer = next;
-    }
-    pool
+    scratch.pool = pool;
 }
 
 /// Procedure `SumStrategy`: start from the full pool, drop the last vertex
@@ -205,20 +186,28 @@ fn sum_strategy(
     pool: &[VertexId],
     config: &LocalSearchConfig,
     aggregation: Aggregation,
-    checker: &mut SubsetChecker,
+    scratch: &mut LocalScratch,
     list: &mut TopList,
 ) {
-    let mut candidate: Vec<VertexId> = pool.to_vec();
     let mut state = AggregateState::new(aggregation, wg.total_weight());
-    for &v in &candidate {
+    scratch.begin_candidate(config.k);
+    for &v in pool {
+        scratch.push(g, v);
         state.add(wg.weight(v));
     }
-    while candidate.len() > config.k && state.value() > list.threshold() {
-        if checker.is_connected_kcore(g, &candidate, config.k) {
-            list.insert(community_from_vertices(wg, aggregation, candidate));
+    let mut len = pool.len();
+    while len > config.k && state.value() > list.threshold() {
+        if scratch.is_kcore() && scratch.is_connected(g, pool[0]) {
+            list.insert(community_from_vertices(
+                wg,
+                aggregation,
+                pool[..len].to_vec(),
+            ));
             return;
         }
-        let dropped = candidate.pop().expect("candidate non-empty");
+        len -= 1;
+        let dropped = pool[len];
+        scratch.pop(g, dropped);
         state.remove(wg.weight(dropped));
     }
 }
@@ -232,27 +221,28 @@ fn prefix_strategy(
     pool: &[VertexId],
     config: &LocalSearchConfig,
     aggregation: Aggregation,
-    checker: &mut SubsetChecker,
+    scratch: &mut LocalScratch,
     list: &mut TopList,
 ) {
     let mut state = AggregateState::new(aggregation, wg.total_weight());
-    let mut candidate: Vec<VertexId> = Vec::with_capacity(pool.len());
     let mut best: Option<Community> = None;
-    for &v in pool {
-        candidate.push(v);
+    scratch.begin_candidate(config.k);
+    for (i, &v) in pool.iter().enumerate() {
+        scratch.push(g, v);
         state.add(wg.weight(v));
-        if candidate.len() > config.k
+        if i + 1 > config.k
             && state.value() > list.threshold()
-            && checker.is_connected_kcore(g, &candidate, config.k)
+            && scratch.is_kcore()
+            && scratch.is_connected(g, pool[0])
         {
-            let community = community_from_vertices(wg, aggregation, candidate.clone());
+            let community = community_from_vertices(wg, aggregation, pool[..=i].to_vec());
             if config.greedy {
                 list.insert(community);
                 return;
             }
             let better = best
                 .as_ref()
-                .map_or(true, |b| community.ranking_cmp(b).is_lt());
+                .is_none_or(|b| community.ranking_cmp(b).is_lt());
             if better {
                 best = Some(community);
             }
@@ -263,8 +253,195 @@ fn prefix_strategy(
     }
 }
 
+/// Per-query scratch for the local-search strategies: pool building
+/// buffers plus an incremental candidate degree tracker. Everything is
+/// epoch-stamped; nothing allocates after the first few seeds warm the
+/// buffers up.
+pub(crate) struct LocalScratch {
+    // Pool building.
+    pool: Vec<VertexId>,
+    layer: Vec<VertexId>,
+    next_layer: Vec<VertexId>,
+    visited: Vec<u32>,
+    visit_epoch: u32,
+    // Incremental candidate state.
+    in_cand: Vec<u32>,
+    cand_epoch: u32,
+    deg: Vec<u32>,
+    below_k: usize,
+    cand_len: usize,
+    k: usize,
+    // Connectivity BFS.
+    bfs_visited: Vec<u32>,
+    bfs_epoch: u32,
+    queue: VecDeque<VertexId>,
+}
+
+impl LocalScratch {
+    pub(crate) fn new(n: usize) -> Self {
+        LocalScratch {
+            pool: Vec::new(),
+            layer: Vec::new(),
+            next_layer: Vec::new(),
+            visited: vec![0; n],
+            visit_epoch: 0,
+            in_cand: vec![0; n],
+            cand_epoch: 0,
+            deg: vec![0; n],
+            below_k: 0,
+            cand_len: 0,
+            k: 0,
+            bfs_visited: vec![0; n],
+            bfs_epoch: 0,
+            queue: VecDeque::new(),
+        }
+    }
+
+    fn bump(epoch: &mut u32, stamps: &mut [u32]) -> u32 {
+        if *epoch == u32::MAX {
+            stamps.fill(0);
+            *epoch = 0;
+        }
+        *epoch += 1;
+        *epoch
+    }
+
+    /// Truncated BFS pool into `self.pool`: plain FIFO order in random
+    /// mode, per-layer descending-weight order in greedy mode (so the
+    /// layer that exceeds the size budget keeps its most influential
+    /// members).
+    fn build_pool(
+        &mut self,
+        wg: &WeightedGraph,
+        g: &Graph,
+        mask: &BitSet,
+        seed: VertexId,
+        limit: usize,
+        greedy: bool,
+    ) {
+        self.pool.clear();
+        if limit == 0 || !mask.contains(seed as usize) {
+            return;
+        }
+        let visit = Self::bump(&mut self.visit_epoch, &mut self.visited);
+        self.visited[seed as usize] = visit;
+        self.layer.clear();
+        self.layer.push(seed);
+        while !self.layer.is_empty() && self.pool.len() < limit {
+            for i in 0..self.layer.len() {
+                if self.pool.len() == limit {
+                    return;
+                }
+                self.pool.push(self.layer[i]);
+            }
+            self.next_layer.clear();
+            for i in 0..self.layer.len() {
+                let v = self.layer[i];
+                for &u in g.neighbors(v) {
+                    if mask.contains(u as usize) && self.visited[u as usize] != visit {
+                        self.visited[u as usize] = visit;
+                        self.next_layer.push(u);
+                    }
+                }
+            }
+            if greedy {
+                self.next_layer.sort_by(|&a, &b| {
+                    wg.weight(b)
+                        .total_cmp(&wg.weight(a))
+                        .then_with(|| a.cmp(&b))
+                });
+            }
+            std::mem::swap(&mut self.layer, &mut self.next_layer);
+        }
+    }
+
+    /// Starts an empty candidate with degree constraint `k`.
+    pub(crate) fn begin_candidate(&mut self, k: usize) {
+        Self::bump(&mut self.cand_epoch, &mut self.in_cand);
+        self.k = k;
+        self.below_k = 0;
+        self.cand_len = 0;
+    }
+
+    /// Adds `v` to the candidate, updating internal degrees and the
+    /// below-k violation counter in `O(d(v))`.
+    pub(crate) fn push(&mut self, g: &Graph, v: VertexId) {
+        let epoch = self.cand_epoch;
+        let k = self.k as u32;
+        let mut dv = 0u32;
+        for &u in g.neighbors(v) {
+            let ui = u as usize;
+            if self.in_cand[ui] == epoch {
+                dv += 1;
+                self.deg[ui] += 1;
+                if self.deg[ui] == k {
+                    self.below_k -= 1; // u crossed up to the constraint
+                }
+            }
+        }
+        self.in_cand[v as usize] = epoch;
+        self.deg[v as usize] = dv;
+        if dv < k {
+            self.below_k += 1;
+        }
+        self.cand_len += 1;
+    }
+
+    /// Removes `v` (must be in the candidate) in `O(d(v))`.
+    pub(crate) fn pop(&mut self, g: &Graph, v: VertexId) {
+        let epoch = self.cand_epoch;
+        let k = self.k as u32;
+        debug_assert_eq!(self.in_cand[v as usize], epoch, "pop of a non-member");
+        self.in_cand[v as usize] = 0;
+        if self.deg[v as usize] < k {
+            self.below_k -= 1;
+        }
+        for &u in g.neighbors(v) {
+            let ui = u as usize;
+            if self.in_cand[ui] == epoch {
+                self.deg[ui] -= 1;
+                if self.deg[ui] + 1 == k {
+                    self.below_k += 1; // u dropped below the constraint
+                }
+            }
+        }
+        self.cand_len -= 1;
+    }
+
+    /// O(1): does every candidate member meet the degree constraint?
+    pub(crate) fn is_kcore(&self) -> bool {
+        self.cand_len > 0 && self.below_k == 0
+    }
+
+    /// BFS connectivity check over the candidate, `O(Σ_{v} d(v))`. Only
+    /// called for candidates that already pass [`Self::is_kcore`].
+    pub(crate) fn is_connected(&mut self, g: &Graph, start: VertexId) -> bool {
+        if self.cand_len == 0 || self.in_cand[start as usize] != self.cand_epoch {
+            return false;
+        }
+        let visit = Self::bump(&mut self.bfs_epoch, &mut self.bfs_visited);
+        self.queue.clear();
+        self.queue.push_back(start);
+        self.bfs_visited[start as usize] = visit;
+        let mut reached = 0usize;
+        while let Some(x) = self.queue.pop_front() {
+            reached += 1;
+            for &u in g.neighbors(x) {
+                let ui = u as usize;
+                if self.in_cand[ui] == self.cand_epoch && self.bfs_visited[ui] != visit {
+                    self.bfs_visited[ui] = visit;
+                    self.queue.push_back(u);
+                }
+            }
+        }
+        reached == self.cand_len
+    }
+}
+
 /// Stamped-array scratch for "is this vertex list a connected k-core?"
-/// checks in `O(Σ_{v ∈ C} d(v))` without allocation per call.
+/// checks in `O(Σ_{v ∈ C} d(v))` without allocation per call. Used by the
+/// refinement pass; the local-search strategies themselves use the
+/// incremental [`LocalScratch`] tracker instead.
 pub(crate) struct SubsetChecker {
     stamp: Vec<u32>,
     visited: Vec<u32>,
@@ -282,7 +459,12 @@ impl SubsetChecker {
         }
     }
 
-    pub(crate) fn is_connected_kcore(&mut self, g: &Graph, vertices: &[VertexId], k: usize) -> bool {
+    pub(crate) fn is_connected_kcore(
+        &mut self,
+        g: &Graph,
+        vertices: &[VertexId],
+        k: usize,
+    ) -> bool {
         if vertices.is_empty() {
             return false;
         }
@@ -406,9 +588,12 @@ mod tests {
     fn nonoverlapping_results_are_disjoint() {
         let wg = figure1();
         for agg in [Aggregation::Sum, Aggregation::Average, Aggregation::Min] {
-            let res =
-                local_search_nonoverlapping(&wg, &cfg(2, 3, 4, true), agg).unwrap();
-            assert!(crate::algo::nonoverlap::is_nonoverlapping(&res), "{}", agg.name());
+            let res = local_search_nonoverlapping(&wg, &cfg(2, 3, 4, true), agg).unwrap();
+            assert!(
+                crate::algo::nonoverlap::is_nonoverlapping(&res),
+                "{}",
+                agg.name()
+            );
             for c in &res {
                 check_community(&wg, 2, Some(4), agg, c).unwrap();
             }
@@ -426,9 +611,12 @@ mod tests {
     #[test]
     fn weight_density_and_balanced_density_run() {
         let wg = figure1();
-        let res =
-            local_search(&wg, &cfg(2, 2, 5, true), Aggregation::WeightDensity { beta: 1.0 })
-                .unwrap();
+        let res = local_search(
+            &wg,
+            &cfg(2, 2, 5, true),
+            Aggregation::WeightDensity { beta: 1.0 },
+        )
+        .unwrap();
         assert!(!res.is_empty());
         // Balanced density: communities below half the total weight rank
         // -inf; the solver must not return them as positive hits.
@@ -437,6 +625,39 @@ mod tests {
             if c.value.is_finite() {
                 let w: f64 = c.vertices.iter().map(|&v| wg.weight(v)).sum();
                 assert!(2.0 * w > wg.total_weight());
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_tracker_matches_subset_checker() {
+        let wg = figure1();
+        let g = wg.graph();
+        let n = g.num_vertices();
+        let mut scratch = LocalScratch::new(n);
+        let mut checker = SubsetChecker::new(n);
+        // Grow a candidate vertex by vertex and compare the incremental
+        // verdict against the from-scratch checker at every step.
+        for k in 1..4usize {
+            let order: Vec<u32> = (0..n as u32).collect();
+            scratch.begin_candidate(k);
+            let mut current: Vec<u32> = Vec::new();
+            for &v in &order {
+                scratch.push(g, v);
+                current.push(v);
+                let incremental = scratch.is_kcore() && scratch.is_connected(g, current[0]);
+                let reference = checker.is_connected_kcore(g, &current, k);
+                assert_eq!(incremental, reference, "k={k} grow {current:?}");
+            }
+            // Shrink from the back, comparing again.
+            while let Some(v) = current.pop() {
+                scratch.pop(g, v);
+                if current.is_empty() {
+                    break;
+                }
+                let incremental = scratch.is_kcore() && scratch.is_connected(g, current[0]);
+                let reference = checker.is_connected_kcore(g, &current, k);
+                assert_eq!(incremental, reference, "k={k} shrink {current:?}");
             }
         }
     }

@@ -10,28 +10,25 @@
 //! before its minimum vertex disappears. `max` is symmetric (peel from
 //! above). Two passes: the first records the peel timeline, the second
 //! replays it and snapshots only the top-r communities — O(n+m + r·(n+m)).
+//!
+//! Both passes run on a single [`PeelArena`]: the k-core is loaded once
+//! per pass and every deletion is an O(affected) committed cascade — no
+//! per-event mask clones, no `HashSet` on the replay path (events are
+//! marked in a flat bitmap), and component snapshots go through the
+//! arena's reusable BFS buffer.
 
 use crate::algo::common::{community_from_vertices, validate_k_r};
 use crate::{Aggregation, Community, SearchError};
-use ic_graph::{BitSet, WeightedGraph};
-use ic_kcore::kcore_mask;
-use std::collections::VecDeque;
+use ic_graph::WeightedGraph;
+use ic_kcore::{kcore_mask, PeelArena};
 
 /// Top-r k-influential communities under `f = min`, best first.
-pub fn min_topr(
-    wg: &WeightedGraph,
-    k: usize,
-    r: usize,
-) -> Result<Vec<Community>, SearchError> {
+pub fn min_topr(wg: &WeightedGraph, k: usize, r: usize) -> Result<Vec<Community>, SearchError> {
     peel_topr(wg, k, r, Extreme::Min)
 }
 
 /// Top-r k-influential communities under `f = max`, best first.
-pub fn max_topr(
-    wg: &WeightedGraph,
-    k: usize,
-    r: usize,
-) -> Result<Vec<Community>, SearchError> {
+pub fn max_topr(wg: &WeightedGraph, k: usize, r: usize) -> Result<Vec<Community>, SearchError> {
     peel_topr(wg, k, r, Extreme::Max)
 }
 
@@ -63,76 +60,60 @@ fn peel_topr(
         c.then_with(|| a.cmp(&b))
     });
 
-    // Pass 1: record (event sequence number, value) per extreme-vertex
-    // removal.
-    let mut events: Vec<(usize, f64)> = Vec::new();
-    simulate(g, k, &core, &order, |seq, v, _alive| {
-        events.push((seq, wg.weight(v)));
+    let mut arena = PeelArena::for_graph(g);
+
+    // Pass 1: record the value of every extreme-vertex removal event.
+    // Each visit of a still-live vertex is one event; the community it
+    // witnesses is its component right before the removal.
+    let mut event_values: Vec<f64> = Vec::with_capacity(order.len());
+    arena.load(g, &order, k);
+    for &v in &order {
+        if arena.is_live(v) {
+            event_values.push(wg.weight(v));
+            arena.remove_cascade(v);
+            arena.commit();
+        }
+    }
+
+    // Select the top-r events by value (sequence number for determinism)
+    // into a flat bitmap — no hashing on the replay path.
+    let mut ranked: Vec<usize> = (0..event_values.len()).collect();
+    ranked.sort_by(|&a, &b| {
+        event_values[b]
+            .total_cmp(&event_values[a])
+            .then_with(|| a.cmp(&b))
     });
+    ranked.truncate(r);
+    let mut selected = vec![false; event_values.len()];
+    for &s in &ranked {
+        selected[s] = true;
+    }
 
-    // Select the top-r events by value (sequence number for determinism).
-    events.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
-    events.truncate(r);
-    let selected: std::collections::HashSet<usize> = events.iter().map(|&(s, _)| s).collect();
-
-    // Pass 2: replay, snapshotting the component of each selected event.
-    let mut results: Vec<Community> = Vec::with_capacity(selected.len());
+    // Pass 2: replay, snapshotting the component of each selected event
+    // through the arena's reusable BFS buffer.
+    let mut results: Vec<Community> = Vec::with_capacity(ranked.len());
     let agg = match dir {
         Extreme::Min => Aggregation::Min,
         Extreme::Max => Aggregation::Max,
     };
-    simulate(g, k, &core, &order, |seq, v, alive| {
-        if selected.contains(&seq) {
-            let comp = ic_graph::component_of(g, alive, v);
-            results.push(community_from_vertices(wg, agg, comp));
+    let mut snapshot: Vec<u32> = Vec::new();
+    let mut seq = 0usize;
+    arena.load(g, &order, k);
+    for &v in &order {
+        if !arena.is_live(v) {
+            continue;
         }
-    });
+        if selected[seq] {
+            arena.component_of_into(v, &mut snapshot);
+            results.push(community_from_vertices(wg, agg, snapshot.clone()));
+        }
+        seq += 1;
+        arena.remove_cascade(v);
+        arena.commit();
+    }
 
     results.sort_by(|a, b| a.ranking_cmp(b));
     Ok(results)
-}
-
-/// Shared peel simulation. Visits the alive vertices in `order`; each
-/// still-alive visit is an *event*: `on_event(seq, v, alive)` fires with
-/// the alive mask **before** `v` (and its cascade) is removed. The event
-/// vertex is the current extreme of its component, so the component is a
-/// maximal community with value `w(v)`.
-fn simulate<F: FnMut(usize, u32, &BitSet)>(
-    g: &ic_graph::Graph,
-    k: usize,
-    core: &BitSet,
-    order: &[u32],
-    mut on_event: F,
-) {
-    let n = g.num_vertices();
-    let mut alive = core.clone();
-    let mut deg: Vec<u32> = vec![0; n];
-    for v in alive.iter() {
-        deg[v] = g.degree_within(v as u32, &alive) as u32;
-    }
-    let mut queue: VecDeque<u32> = VecDeque::new();
-    let mut seq = 0usize;
-    for &v in order {
-        if !alive.contains(v as usize) {
-            continue;
-        }
-        on_event(seq, v, &alive);
-        seq += 1;
-        // Remove v and cascade the degree constraint.
-        alive.remove(v as usize);
-        queue.push_back(v);
-        while let Some(x) = queue.pop_front() {
-            for &u in g.neighbors(x) {
-                if alive.contains(u as usize) {
-                    deg[u as usize] -= 1;
-                    if (deg[u as usize] as usize) < k {
-                        alive.remove(u as usize);
-                        queue.push_back(u);
-                    }
-                }
-            }
-        }
-    }
 }
 
 #[cfg(test)]
@@ -170,6 +151,23 @@ mod tests {
             let got = max_topr(&wg, 2, r).unwrap();
             let expect = exact_topr(&wg, 2, r, None, Aggregation::Max).unwrap();
             assert_eq!(got, expect, "r = {r}");
+        }
+    }
+
+    #[test]
+    fn matches_from_scratch_oracle() {
+        let wg = figure1();
+        for r in [1, 2, 4, 7] {
+            assert_eq!(
+                min_topr(&wg, 2, r).unwrap(),
+                crate::algo::oracle::min_topr(&wg, 2, r).unwrap(),
+                "min r = {r}"
+            );
+            assert_eq!(
+                max_topr(&wg, 2, r).unwrap(),
+                crate::algo::oracle::max_topr(&wg, 2, r).unwrap(),
+                "max r = {r}"
+            );
         }
     }
 

@@ -21,6 +21,7 @@ mod index;
 mod local_search;
 mod minmax;
 pub mod nonoverlap;
+pub mod oracle;
 mod par;
 mod refine;
 mod sum_naive;

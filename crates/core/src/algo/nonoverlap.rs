@@ -13,9 +13,7 @@
 //! For the NP-hard cases, [`crate::algo::local_search_nonoverlapping`]
 //! applies the same greedy removal inside the local-search heuristic.
 
-use crate::algo::common::{
-    components_as_communities, require_corollary2, validate_k_r,
-};
+use crate::algo::common::{components_as_communities, require_corollary2, validate_k_r};
 use crate::algo::{exact_topr, max_topr, min_topr};
 use crate::{Aggregation, Community, SearchError};
 use ic_graph::{induce, BitSet, WeightedGraph};
@@ -47,9 +45,7 @@ pub fn min_topr_nonoverlapping(
     k: usize,
     r: usize,
 ) -> Result<Vec<Community>, SearchError> {
-    greedy_peel(wg, k, r, |sub, k| {
-        min_topr(sub, k, 1).map(|mut v| v.pop())
-    })
+    greedy_peel(wg, k, r, |sub, k| min_topr(sub, k, 1).map(|mut v| v.pop()))
 }
 
 /// Non-overlapping top-r under `max`: greedy peel.
@@ -58,9 +54,7 @@ pub fn max_topr_nonoverlapping(
     k: usize,
     r: usize,
 ) -> Result<Vec<Community>, SearchError> {
-    greedy_peel(wg, k, r, |sub, k| {
-        max_topr(sub, k, 1).map(|mut v| v.pop())
-    })
+    greedy_peel(wg, k, r, |sub, k| max_topr(sub, k, 1).map(|mut v| v.pop()))
 }
 
 /// Non-overlapping top-r via the exhaustive oracle (tiny graphs / tests):

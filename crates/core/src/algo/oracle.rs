@@ -1,0 +1,281 @@
+//! From-scratch re-peel reference solvers.
+//!
+//! These are the pre-arena implementations of the four rewritten solvers:
+//! every deletion step re-computes internal degrees over the whole
+//! community ([`ic_kcore::PeelScratch`]) or clones mask state per pass.
+//! They are kept for two purposes:
+//!
+//! 1. **Correctness oracle** — the property tests assert the incremental
+//!    [`PeelArena`](ic_kcore::PeelArena)-based solvers in [`crate::algo`]
+//!    produce *identical* top-r output (communities and values);
+//! 2. **Perf baseline** — `ic-bench`'s `peel_baseline` binary measures
+//!    these against the incremental solvers in the same run and records
+//!    the speedup in `BENCH_peel.json`.
+//!
+//! Do not use these in production paths; they are deliberately the slow,
+//! allocation-happy formulation.
+
+use crate::algo::common::{
+    community_from_vertices, components_as_communities, require_corollary2, validate_k_r,
+};
+use crate::{Aggregation, Community, SearchError, TopList};
+use ic_graph::{BitSet, WeightedGraph};
+use ic_kcore::{kcore_mask, maximal_kcore_components, PeelScratch};
+use std::collections::{HashSet, VecDeque};
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Extreme {
+    Min,
+    Max,
+}
+
+/// From-scratch top-r under `f = min` (two mask-cloning peel passes).
+pub fn min_topr(wg: &WeightedGraph, k: usize, r: usize) -> Result<Vec<Community>, SearchError> {
+    peel_topr(wg, k, r, Extreme::Min)
+}
+
+/// From-scratch top-r under `f = max`.
+pub fn max_topr(wg: &WeightedGraph, k: usize, r: usize) -> Result<Vec<Community>, SearchError> {
+    peel_topr(wg, k, r, Extreme::Max)
+}
+
+fn peel_topr(
+    wg: &WeightedGraph,
+    k: usize,
+    r: usize,
+    dir: Extreme,
+) -> Result<Vec<Community>, SearchError> {
+    validate_k_r(r)?;
+    let g = wg.graph();
+    let core = kcore_mask(g, k);
+
+    let mut order: Vec<u32> = core.iter().map(|v| v as u32).collect();
+    order.sort_unstable_by(|&a, &b| {
+        let (wa, wb) = (wg.weight(a), wg.weight(b));
+        let c = match dir {
+            Extreme::Min => wa.total_cmp(&wb),
+            Extreme::Max => wb.total_cmp(&wa),
+        };
+        c.then_with(|| a.cmp(&b))
+    });
+
+    // Pass 1: record (event sequence number, value) per extreme-vertex
+    // removal.
+    let mut events: Vec<(usize, f64)> = Vec::new();
+    simulate(g, k, &core, &order, |seq, v, _alive| {
+        events.push((seq, wg.weight(v)));
+    });
+
+    events.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    events.truncate(r);
+    let selected: HashSet<usize> = events.iter().map(|&(s, _)| s).collect();
+
+    // Pass 2: replay, snapshotting the component of each selected event.
+    let mut results: Vec<Community> = Vec::with_capacity(selected.len());
+    let agg = match dir {
+        Extreme::Min => Aggregation::Min,
+        Extreme::Max => Aggregation::Max,
+    };
+    simulate(g, k, &core, &order, |seq, v, alive| {
+        if selected.contains(&seq) {
+            let comp = ic_graph::component_of(g, alive, v);
+            results.push(community_from_vertices(wg, agg, comp));
+        }
+    });
+
+    results.sort_by(|a, b| a.ranking_cmp(b));
+    Ok(results)
+}
+
+fn simulate<F: FnMut(usize, u32, &BitSet)>(
+    g: &ic_graph::Graph,
+    k: usize,
+    core: &BitSet,
+    order: &[u32],
+    mut on_event: F,
+) {
+    let n = g.num_vertices();
+    let mut alive = core.clone();
+    let mut deg: Vec<u32> = vec![0; n];
+    for v in alive.iter() {
+        deg[v] = g.degree_within(v as u32, &alive) as u32;
+    }
+    let mut queue: VecDeque<u32> = VecDeque::new();
+    let mut seq = 0usize;
+    for &v in order {
+        if !alive.contains(v as usize) {
+            continue;
+        }
+        on_event(seq, v, &alive);
+        seq += 1;
+        alive.remove(v as usize);
+        queue.push_back(v);
+        while let Some(x) = queue.pop_front() {
+            for &u in g.neighbors(x) {
+                if alive.contains(u as usize) {
+                    deg[u as usize] -= 1;
+                    if (deg[u as usize] as usize) < k {
+                        alive.remove(u as usize);
+                        queue.push_back(u);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// From-scratch Algorithm 1: every split re-computes internal degrees over
+/// the whole community via [`PeelScratch`].
+pub fn sum_naive(
+    wg: &WeightedGraph,
+    k: usize,
+    r: usize,
+    aggregation: Aggregation,
+) -> Result<Vec<Community>, SearchError> {
+    validate_k_r(r)?;
+    require_corollary2("oracle::sum_naive", aggregation)?;
+
+    let g = wg.graph();
+    let n = g.num_vertices();
+
+    let comps = maximal_kcore_components(g, k);
+    let mut list = TopList::new(r);
+    for c in components_as_communities(wg, aggregation, comps) {
+        list.insert(c);
+    }
+
+    let mut scratch = PeelScratch::new(n);
+    for v in 0..n as u32 {
+        let mut children: Vec<Community> = Vec::new();
+        for community in list.items() {
+            if community.contains(v) {
+                let parts = scratch.connected_kcores(g, &community.vertices, Some(v), k);
+                children.extend(components_as_communities(wg, aggregation, parts));
+            }
+        }
+        for child in children {
+            list.insert(child);
+        }
+    }
+    Ok(list.into_vec())
+}
+
+/// From-scratch Algorithm 2 (exact for `epsilon = 0`, Approx otherwise):
+/// every expansion re-peels via [`PeelScratch`] and deduplicates through
+/// sorted-list FNV signatures.
+pub fn tic_improved(
+    wg: &WeightedGraph,
+    k: usize,
+    r: usize,
+    aggregation: Aggregation,
+    epsilon: f64,
+) -> Result<Vec<Community>, SearchError> {
+    validate_k_r(r)?;
+    require_corollary2("oracle::tic_improved", aggregation)?;
+    if !(0.0..1.0).contains(&epsilon) {
+        return Err(SearchError::InvalidParams(format!(
+            "epsilon must be in [0, 1), got {epsilon}"
+        )));
+    }
+
+    let g = wg.graph();
+    let n = g.num_vertices();
+
+    let comps = maximal_kcore_components(g, k);
+    let mut candidates: Vec<Community> = comps
+        .into_iter()
+        .map(|c| community_from_vertices(wg, aggregation, c))
+        .collect();
+    candidates.sort_by(|a, b| a.ranking_cmp(b));
+    candidates.truncate(r);
+
+    let mut explored: HashSet<u64> = candidates.iter().map(|c| c.signature()).collect();
+    let mut results: Vec<Community> = Vec::with_capacity(r);
+    let mut in_results: HashSet<u64> = HashSet::new();
+    let mut scratch = PeelScratch::new(n);
+
+    while results.len() < r && !candidates.is_empty() {
+        let lmax = candidates.remove(0);
+        let sig = lmax.signature();
+        if !in_results.contains(&sig) {
+            in_results.insert(sig);
+            results.push(lmax.clone());
+            if results.len() == r {
+                break;
+            }
+        }
+        let lb = (1.0 - epsilon) * lmax.value;
+        let threshold = r_th_value(&results, &candidates, r);
+
+        for &v in &lmax.vertices {
+            let upper = aggregation.value_after_removal(lmax.value, wg.weight(v));
+            if upper <= threshold {
+                continue;
+            }
+            let parts = scratch.connected_kcores(g, &lmax.vertices, Some(v), k);
+            for part in parts {
+                let child = community_from_vertices(wg, aggregation, part);
+                if !explored.insert(child.signature()) {
+                    continue;
+                }
+                if epsilon > 0.0
+                    && child.value >= lb
+                    && results.len() < r
+                    && !in_results.contains(&child.signature())
+                {
+                    in_results.insert(child.signature());
+                    results.push(child.clone());
+                }
+                let pos = candidates
+                    .binary_search_by(|c| c.ranking_cmp(&child))
+                    .unwrap_or_else(|p| p);
+                candidates.insert(pos, child);
+            }
+        }
+        if candidates.len() > r {
+            candidates.truncate(r);
+        }
+    }
+
+    results.sort_by(|a, b| a.ranking_cmp(b));
+    Ok(results)
+}
+
+fn r_th_value(results: &[Community], candidates: &[Community], r: usize) -> f64 {
+    let have = results.len();
+    if have >= r {
+        return results[r - 1].value;
+    }
+    let need = r - have;
+    if candidates.len() >= need {
+        candidates[need - 1].value
+    } else {
+        f64::NEG_INFINITY
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figure1::{figure1, vs};
+
+    #[test]
+    fn oracle_minmax_matches_figure1() {
+        let wg = figure1();
+        let top = min_topr(&wg, 2, 2).unwrap();
+        assert_eq!(top[0].vertices, vs(&[5, 7, 8]));
+        assert_eq!(top[0].value, 12.0);
+        let top = max_topr(&wg, 2, 1).unwrap();
+        assert_eq!(top[0].value, 62.0);
+    }
+
+    #[test]
+    fn oracle_sum_solvers_match_figure1() {
+        let wg = figure1();
+        let naive = sum_naive(&wg, 2, 2, Aggregation::Sum).unwrap();
+        assert_eq!(naive[0].value, 203.0);
+        assert_eq!(naive[1].value, 195.0);
+        let imp = tic_improved(&wg, 2, 2, Aggregation::Sum, 0.0).unwrap();
+        assert_eq!(naive, imp);
+    }
+}

@@ -3,19 +3,53 @@
 //!
 //! Seeds are partitioned across worker threads; each worker runs the
 //! sequential per-seed strategy against a thread-local top-r list (the
-//! graph is shared read-only), and the lists are merged at the end.
-//! Thread-local pruning thresholds differ from the sequential global
+//! graph is shared read-only), and the per-worker lists are merged at the
+//! end. There is no shared mutable top-list and no lock on the hot path:
+//! the only cross-thread state is a single atomic holding the best known
+//! r-th value (monotonically encoded `f64` bits), which every worker
+//! snapshots into its local list's pruning floor before expanding a seed
+//! and raises after its own list fills. A candidate that cannot beat some
+//! worker's r-th best cannot reach the merged top-r, so the shared floor
+//! only prunes work, never changes the result set's validity.
+//!
+//! Thread-local pruning still differs from the sequential global
 //! threshold, so the merged result can differ slightly from the
 //! sequential one in either direction (both are valid heuristic answers;
-//! `threads = 1` reproduces the sequential result exactly). In practice
-//! the values agree closely — the effectiveness experiment tracks the
-//! gap.
+//! `threads = 1` reproduces the sequential result exactly). The shared
+//! floor also makes multi-threaded runs sensitive to thread timing when
+//! candidate values tie *exactly* with the floor (the strategies prune
+//! at `value > threshold`, so whether another worker published the tying
+//! value first decides the prune): on graphs with duplicated weights two
+//! identical invocations can return differently tie-broken lists. With
+//! continuous weights (PageRank, the paper's setup) exact ties do not
+//! occur and runs are repeatable. In practice the values agree closely —
+//! the effectiveness experiment tracks the gap.
 
-use crate::algo::local_search::{run_seed, validate_params, LocalSearchConfig, SubsetChecker};
+use crate::algo::local_search::{run_seed, validate_params, LocalScratch, LocalSearchConfig};
 use crate::{Aggregation, Community, SearchError, TopList};
 use ic_graph::WeightedGraph;
 use ic_kcore::kcore_mask;
-use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Order-preserving encoding of `f64` into `u64`: `a < b` iff
+/// `encode(a) < encode(b)` (total order, `-inf` smallest). Lets an
+/// `AtomicU64::fetch_max` maintain a running maximum threshold.
+fn encode_f64(x: f64) -> u64 {
+    let bits = x.to_bits();
+    if bits >> 63 == 1 {
+        !bits
+    } else {
+        bits | (1u64 << 63)
+    }
+}
+
+fn decode_f64(enc: u64) -> f64 {
+    if enc >> 63 == 1 {
+        f64::from_bits(enc & !(1u64 << 63))
+    } else {
+        f64::from_bits(!enc)
+    }
+}
 
 /// Multi-threaded Algorithm 4. `threads = 1` degenerates to the
 /// sequential behaviour.
@@ -40,31 +74,54 @@ pub fn par_local_search(
         return Ok(Vec::new());
     }
 
-    let merged: Mutex<TopList> = Mutex::new(TopList::new(config.r));
     let chunk_size = seeds.len().div_ceil(threads);
+    // Best known r-th value across all workers (monotone max).
+    let global_threshold = AtomicU64::new(encode_f64(f64::NEG_INFINITY));
 
-    crossbeam::thread::scope(|scope| {
-        for chunk in seeds.chunks(chunk_size) {
-            let core_ref = &core;
-            let merged_ref = &merged;
-            scope.spawn(move |_| {
-                let mut local = TopList::new(config.r);
-                let mut checker = SubsetChecker::new(g.num_vertices());
-                for &seed in chunk {
-                    run_seed(
-                        wg, g, core_ref, seed, config, aggregation, &mut checker, &mut local,
-                    );
-                }
-                let mut guard = merged_ref.lock();
-                for c in local.into_vec() {
-                    guard.insert(c);
-                }
-            });
+    let locals: Vec<TopList> = std::thread::scope(|scope| {
+        let handles: Vec<_> = seeds
+            .chunks(chunk_size)
+            .map(|chunk| {
+                let core_ref = &core;
+                let threshold_ref = &global_threshold;
+                scope.spawn(move || {
+                    let mut local = TopList::new(config.r);
+                    let mut scratch = LocalScratch::new(g.num_vertices());
+                    for &seed in chunk {
+                        // Snapshot the shared floor, expand, publish back.
+                        local.set_floor(decode_f64(threshold_ref.load(Ordering::Relaxed)));
+                        run_seed(
+                            wg,
+                            g,
+                            core_ref,
+                            seed,
+                            config,
+                            aggregation,
+                            &mut scratch,
+                            &mut local,
+                        );
+                        if local.len() == local.capacity() {
+                            threshold_ref
+                                .fetch_max(encode_f64(local.threshold()), Ordering::Relaxed);
+                        }
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker threads do not panic"))
+            .collect()
+    });
+
+    let mut merged = TopList::new(config.r);
+    for local in locals {
+        for c in local.into_vec() {
+            merged.insert(c);
         }
-    })
-    .expect("worker threads do not panic");
-
-    Ok(merged.into_inner().into_vec())
+    }
+    Ok(merged.into_vec())
 }
 
 #[cfg(test)]
@@ -75,6 +132,29 @@ mod tests {
 
     fn cfg(k: usize, r: usize, s: usize, greedy: bool) -> LocalSearchConfig {
         LocalSearchConfig { k, r, s, greedy }
+    }
+
+    #[test]
+    fn f64_encoding_is_order_preserving() {
+        let samples = [
+            f64::NEG_INFINITY,
+            -1e300,
+            -2.5,
+            -0.0,
+            0.0,
+            1e-300,
+            3.25,
+            1e300,
+            f64::INFINITY,
+        ];
+        for (i, &a) in samples.iter().enumerate() {
+            assert_eq!(decode_f64(encode_f64(a)), a, "round trip {a}");
+            for &b in &samples[i + 1..] {
+                if a < b {
+                    assert!(encode_f64(a) < encode_f64(b), "{a} vs {b}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -67,8 +67,7 @@ pub fn refine_community(
             }
             let weights: Vec<f64> = cand.iter().map(|&v| wg.weight(v)).collect();
             let value = aggregation.evaluate(&weights, wg.total_weight());
-            if value > current_value + 1e-12
-                && best_move.as_ref().map_or(true, |(bv, _)| value > *bv)
+            if value > current_value + 1e-12 && best_move.as_ref().is_none_or(|(bv, _)| value > *bv)
             {
                 best_move = Some((value, cand));
             }

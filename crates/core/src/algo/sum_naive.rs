@@ -1,19 +1,30 @@
 //! Algorithm 1 (`SUM-NAÏVE`): the baseline polynomial-time solver for
 //! removal-decreasing aggregations (`sum`, `sum-surplus`).
 //!
-//! One pass over all vertices; each vertex is deleted from every current
-//! top-r community containing it, the remains are cascade-peeled back to
-//! connected k-cores, and the top-r list is updated. Correct because the
-//! influence value strictly decreases under vertex removal (Corollary 2),
-//! so a community outside the running top-r can never have a top-r
-//! descendant. Complexity `O(n · r · (n + m))`.
+//! Every retained community is split by deleting each of its vertices in
+//! turn; the remains are cascade-peeled back to connected k-cores and the
+//! top-r list is updated. Correct because the influence value strictly
+//! decreases under vertex removal (Corollary 2), so a community outside
+//! the running top-r can never have a top-r descendant. Complexity
+//! `O(n · r · (n + m))` in the worst case.
+//!
+//! The inner loop runs on the zero-rebuild [`PeelArena`]: a community is
+//! loaded (degrees computed) once, then each candidate deletion is a
+//! journaled cascade + rollback touching only the affected frontier.
+//! Children are deduplicated by an order-independent set key straight off
+//! the arena's component buffer, so duplicate children (reachable via
+//! several deletion orders) cost no allocation at all. The from-scratch
+//! formulation is preserved as [`crate::algo::oracle::sum_naive`], which
+//! the property tests hold this implementation to.
 
 use crate::algo::common::{
-    components_as_communities, require_corollary2, validate_k_r,
+    components_as_communities, expand_children, require_corollary2, validate_k_r, vertex_mix_sum,
+    vertex_set_key,
 };
 use crate::{Aggregation, Community, SearchError, TopList};
 use ic_graph::WeightedGraph;
-use ic_kcore::{maximal_kcore_components, PeelScratch};
+use ic_kcore::{maximal_kcore_components, PeelArena};
+use std::collections::HashSet;
 
 /// Runs Algorithm 1. Returns the top-r communities, best first. The
 /// aggregation must satisfy Corollary 2 (`sum`, or `sum-surplus` with
@@ -29,28 +40,61 @@ pub fn sum_naive(
     require_corollary2("sum_naive", aggregation)?;
 
     let g = wg.graph();
-    let n = g.num_vertices();
 
-    // Lines 1-2: disjoint connected components of the maximal k-core.
+    // Lines 1-2: disjoint connected components of the maximal k-core seed
+    // the list and the expansion worklist.
     let comps = maximal_kcore_components(g, k);
     let mut list = TopList::new(r);
+    let mut worklist: Vec<Community> = Vec::new();
+    let mut explored: HashSet<u64> = HashSet::new();
     for c in components_as_communities(wg, aggregation, comps) {
-        list.insert(c);
+        explored.insert(vertex_set_key(&c.vertices));
+        if list.insert(c.clone()) {
+            worklist.push(c);
+        }
     }
 
-    let mut scratch = PeelScratch::new(n);
-    // Lines 3-10: for every vertex, split every retained community that
-    // contains it.
-    for v in 0..n as u32 {
-        let mut children: Vec<Community> = Vec::new();
-        for community in list.items() {
-            if community.contains(v) {
-                let parts = scratch.connected_kcores(g, &community.vertices, Some(v), k);
-                children.extend(components_as_communities(wg, aggregation, parts));
-            }
+    let mut arena = PeelArena::for_graph(g);
+    let mut children: Vec<Community> = Vec::new();
+    // Lines 3-10: split every retained community by each of its vertices.
+    // A community evicted from the list before its turn cannot spawn a
+    // top-r descendant (Corollary 2: children are strictly worse than the
+    // parent, which is already beaten by r better communities), so it is
+    // skipped without loading.
+    while let Some(parent) = worklist.pop() {
+        let psig = parent.signature();
+        if !list
+            .items()
+            .iter()
+            .any(|c| c.signature() == psig && c.vertices == parent.vertices)
+        {
+            continue;
         }
-        for child in children {
-            list.insert(child);
+        arena.load(g, &parent.vertices, k);
+        arena.mark_articulation_points();
+        let parent_mix = vertex_mix_sum(&parent.vertices);
+        for &v in &parent.vertices {
+            expand_children(
+                &mut arena,
+                wg,
+                aggregation,
+                &parent.vertices,
+                parent_mix,
+                v,
+                &mut explored,
+                &mut children,
+            );
+        }
+        for child in children.drain(..) {
+            // A child strictly below the r-th value of a full list cannot
+            // be retained; skip the insert (and its clone) outright. Ties
+            // still go through — the ranking tie-break may prefer them.
+            if list.len() == r && child.value < list.threshold() {
+                continue;
+            }
+            if list.insert(child.clone()) {
+                worklist.push(child);
+            }
         }
     }
     Ok(list.into_vec())
@@ -111,6 +155,18 @@ mod tests {
             let got_vals: Vec<f64> = got.iter().map(|c| c.value).collect();
             let expect_vals: Vec<f64> = expect.iter().map(|c| c.value).collect();
             assert_eq!(got_vals, expect_vals, "r = {r}");
+        }
+    }
+
+    #[test]
+    fn matches_from_scratch_oracle() {
+        let wg = figure1();
+        for r in [1, 2, 4, 6, 9] {
+            assert_eq!(
+                sum_naive(&wg, 2, r, Aggregation::Sum).unwrap(),
+                crate::algo::oracle::sum_naive(&wg, 2, r, Aggregation::Sum).unwrap(),
+                "r = {r}"
+            );
         }
     }
 

@@ -290,11 +290,7 @@ mod tests {
         }
         edges.push((3, 4));
         let g = graph_from_edges(8, &edges);
-        WeightedGraph::new(
-            g,
-            vec![1.0, 2.0, 3.0, 4.0, 10.0, 11.0, 12.0, 13.0],
-        )
-        .unwrap()
+        WeightedGraph::new(g, vec![1.0, 2.0, 3.0, 4.0, 10.0, 11.0, 12.0, 13.0]).unwrap()
     }
 
     #[test]

@@ -86,6 +86,7 @@ impl Community {
 pub struct TopList {
     capacity: usize,
     items: Vec<Community>,
+    floor: f64,
 }
 
 impl TopList {
@@ -94,6 +95,18 @@ impl TopList {
         TopList {
             capacity,
             items: Vec::with_capacity(capacity + 1),
+            floor: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Raises the external pruning floor: [`Self::threshold`] never reports
+    /// less than `floor` afterwards. Used by the parallel driver to share
+    /// the best known global r-th value across workers — a candidate that
+    /// cannot beat another worker's r-th best cannot reach the merged
+    /// top-r either. Lowering the floor is a no-op.
+    pub fn set_floor(&mut self, floor: f64) {
+        if floor > self.floor {
+            self.floor = floor;
         }
     }
 
@@ -127,9 +140,11 @@ impl TopList {
     /// rules: any candidate that cannot beat it is skipped.
     pub fn threshold(&self) -> f64 {
         if self.items.len() < self.capacity {
-            f64::NEG_INFINITY
+            self.floor
         } else {
-            self.items.last().map_or(f64::NEG_INFINITY, |c| c.value)
+            self.items
+                .last()
+                .map_or(self.floor, |c| c.value.max(self.floor))
         }
     }
 
@@ -212,7 +227,7 @@ mod tests {
         let hi = c(&[1], 10.0);
         let lo = c(&[2], 5.0);
         assert_eq!(hi.ranking_cmp(&lo), Ordering::Less); // "less" = ranks earlier
-        // Ties: smaller community first.
+                                                         // Ties: smaller community first.
         let small = c(&[7], 5.0);
         let big = c(&[1, 2], 5.0);
         assert_eq!(small.ranking_cmp(&big), Ordering::Less);

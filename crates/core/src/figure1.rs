@@ -118,9 +118,7 @@ mod tests {
     #[test]
     fn stated_community_values() {
         let wg = figure1();
-        let sum = |labels: &[usize]| -> f64 {
-            labels.iter().map(|&l| wg.weight(v(l))).sum()
-        };
+        let sum = |labels: &[usize]| -> f64 { labels.iter().map(|&l| wg.weight(v(l))).sum() };
         assert_eq!(sum(&[1, 2, 4]), 72.0); // avg 24
         assert_eq!(sum(&[6, 7, 11]), 66.0); // avg 22
         assert_eq!(sum(&[3, 9, 10]), 38.0); // avg 38/3

@@ -37,7 +37,11 @@ pub enum Violation {
 /// Checks the *cohesive* and *connected* constraints (Definition 3, items
 /// 1–2) plus membership sanity; does not check maximality (see
 /// [`crate::algo::exact_topr`] for the exhaustive oracle used in tests).
-pub fn check_structure(wg: &WeightedGraph, k: usize, community: &Community) -> Result<(), Violation> {
+pub fn check_structure(
+    wg: &WeightedGraph,
+    k: usize,
+    community: &Community,
+) -> Result<(), Violation> {
     let g = wg.graph();
     let n = g.num_vertices();
     if community.is_empty() {
@@ -53,7 +57,10 @@ pub fn check_structure(wg: &WeightedGraph, k: usize, community: &Community) -> R
     for &v in &community.vertices {
         let d = g.degree_within(v, &mask);
         if d < k {
-            return Err(Violation::NotCohesive { vertex: v, degree: d });
+            return Err(Violation::NotCohesive {
+                vertex: v,
+                degree: d,
+            });
         }
     }
     if !ic_graph::is_connected_within(g, &mask) {
@@ -129,7 +136,10 @@ mod tests {
         let c = Community::new(vec![0, 1, 2, 3], 10.0);
         assert_eq!(
             check_structure(&wg, 2, &c),
-            Err(Violation::NotCohesive { vertex: 3, degree: 1 })
+            Err(Violation::NotCohesive {
+                vertex: 3,
+                degree: 1
+            })
         );
     }
 
@@ -159,7 +169,10 @@ mod tests {
             check_community(&wg, 2, Some(2), Aggregation::Sum, &c),
             Err(Violation::TooLarge { bound: 2 })
         );
-        assert_eq!(check_community(&wg, 2, Some(3), Aggregation::Sum, &c), Ok(()));
+        assert_eq!(
+            check_community(&wg, 2, Some(3), Aggregation::Sum, &c),
+            Ok(())
+        );
     }
 
     #[test]

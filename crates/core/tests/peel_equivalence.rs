@@ -1,0 +1,180 @@
+//! Observational equivalence of the zero-rebuild peeling engine.
+//!
+//! The arena-based solvers in `ic_core::algo` must produce *identical*
+//! top-r output — same communities, same values, same order — as the
+//! from-scratch re-peel oracles in `ic_core::algo::oracle`, across random
+//! ER / Barabási-Albert / Chung-Lu graphs, several weight models, and
+//! every supported aggregation. A final test pins the zero-allocation
+//! guarantee of the steady-state peel loop.
+
+use ic_core::algo::{self, oracle};
+use ic_core::Aggregation;
+use ic_gen::{
+    barabasi_albert, chung_lu, gnm, pagerank_weights, pareto_weights, rank_weights,
+    uniform_weights, GraphSeed,
+};
+use ic_graph::{Graph, WeightedGraph};
+use ic_kcore::{maximal_kcore_components, PeelArena};
+use proptest::prelude::*;
+
+/// One synthetic workload: a random graph from one of the three family
+/// generators plus a weight model, both seed-derived.
+fn arb_workload() -> impl Strategy<Value = WeightedGraph> {
+    (
+        0u32..3,      // family: ER / BA / Chung-Lu
+        0u32..3,      // weights: uniform / pareto / rank permutation
+        20usize..90,  // vertices
+        any::<u64>(), // seed
+    )
+        .prop_map(|(family, weight_model, n, seed)| {
+            let g: Graph = match family {
+                0 => gnm(n, n * 2, GraphSeed(seed)),
+                1 => barabasi_albert(n, 3, GraphSeed(seed)),
+                _ => chung_lu(n, n * 2, 2.5, GraphSeed(seed)),
+            };
+            let w: Vec<f64> = match weight_model {
+                0 => uniform_weights(n, 0.5, 50.0, GraphSeed(seed ^ 0xabcd)),
+                1 => pareto_weights(n, 1.5, GraphSeed(seed ^ 0xabcd)),
+                _ => rank_weights(n, GraphSeed(seed ^ 0xabcd)),
+            };
+            WeightedGraph::new(g, w).unwrap()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn minmax_peeling_is_observationally_identical(wg in arb_workload(),
+                                                   k in 1usize..5, r in 1usize..6) {
+        let min_inc = algo::min_topr(&wg, k, r).unwrap();
+        let min_ora = oracle::min_topr(&wg, k, r).unwrap();
+        prop_assert_eq!(&min_inc, &min_ora, "min mismatch");
+        let max_inc = algo::max_topr(&wg, k, r).unwrap();
+        let max_ora = oracle::max_topr(&wg, k, r).unwrap();
+        prop_assert_eq!(&max_inc, &max_ora, "max mismatch");
+    }
+
+    #[test]
+    fn sum_naive_is_observationally_identical(wg in arb_workload(), k in 1usize..4,
+                                              r in 1usize..5, surplus in any::<bool>()) {
+        let agg = if surplus {
+            Aggregation::SumSurplus { alpha: 1.5 }
+        } else {
+            Aggregation::Sum
+        };
+        let inc = algo::sum_naive(&wg, k, r, agg).unwrap();
+        let ora = oracle::sum_naive(&wg, k, r, agg).unwrap();
+        prop_assert_eq!(inc, ora, "{} k={} r={}", agg.name(), k, r);
+    }
+
+    #[test]
+    fn tic_improved_is_observationally_identical(wg in arb_workload(), k in 1usize..4,
+                                                 r in 1usize..5, surplus in any::<bool>(),
+                                                 eps in prop_oneof![Just(0.0), Just(0.1), Just(0.3)]) {
+        let agg = if surplus {
+            Aggregation::SumSurplus { alpha: 0.5 }
+        } else {
+            Aggregation::Sum
+        };
+        let inc = algo::tic_improved(&wg, k, r, agg, eps).unwrap();
+        let ora = oracle::tic_improved(&wg, k, r, agg, eps).unwrap();
+        prop_assert_eq!(inc, ora, "{} k={} r={} eps={}", agg.name(), k, r, eps);
+    }
+
+    #[test]
+    fn arena_deletions_match_scratch_on_community_walks(wg in arb_workload(), k in 1usize..4) {
+        // Below the solver level: every (community, victim) deletion on
+        // the shared arena must agree with a from-scratch re-peel, with
+        // rollbacks interleaved exactly as the solvers interleave them.
+        let g = wg.graph();
+        let mut arena = PeelArena::for_graph(g);
+        let mut scratch = ic_kcore::PeelScratch::new(g.num_vertices());
+        for comp in maximal_kcore_components(g, k) {
+            arena.load(g, &comp, k);
+            for &victim in &comp {
+                arena.remove_cascade(victim);
+                let mut got: Vec<Vec<u32>> = Vec::new();
+                arena.for_each_component(|c| {
+                    let mut c = c.to_vec();
+                    c.sort_unstable();
+                    got.push(c);
+                });
+                got.sort();
+                arena.rollback();
+                let mut expected = scratch.connected_kcores(g, &comp, Some(victim), k);
+                expected.sort();
+                prop_assert_eq!(got, expected, "k={} victim={}", k, victim);
+            }
+        }
+    }
+}
+
+#[test]
+fn solver_steady_state_peeling_never_allocates() {
+    // The acceptance criterion for the zero-rebuild engine: after an
+    // arena is constructed for a query, the steady-state peel loop (load,
+    // cascade, component extraction, rollback) performs zero heap
+    // allocations. Exercised over a realistic workload and checked via
+    // the arena's allocation-event counter.
+    let g = barabasi_albert(600, 4, GraphSeed(11));
+    let w = pagerank_weights(&g);
+    let wg = WeightedGraph::new(g, w).unwrap();
+    let g = wg.graph();
+    let k = 4;
+    let mut arena = PeelArena::for_graph(g);
+    let comps = maximal_kcore_components(g, k);
+    assert!(!comps.is_empty(), "fixture must have a non-trivial k-core");
+    for comp in &comps {
+        arena.load(g, comp, k);
+        for &victim in comp.iter().take(50) {
+            arena.remove_cascade(victim);
+            arena.for_each_component(|c| {
+                std::hint::black_box(c.len());
+            });
+            arena.rollback();
+        }
+        // Timeline mode (min/max peeling): committed removals.
+        arena.load(g, comp, k);
+        for &victim in comp.iter() {
+            arena.remove_cascade(victim);
+            arena.commit();
+        }
+    }
+    assert_eq!(
+        arena.alloc_events(),
+        0,
+        "steady-state peel loop allocated after construction"
+    );
+}
+
+#[test]
+fn incremental_solvers_agree_on_a_realistic_workload() {
+    // One deeper, deterministic end-to-end check on a power-law graph
+    // with PageRank weights (the paper's experimental setup).
+    let g = chung_lu(1500, 6000, 2.5, GraphSeed(42));
+    let w = pagerank_weights(&g);
+    let wg = WeightedGraph::new(g, w).unwrap();
+    for k in [2usize, 4] {
+        for r in [1usize, 5, 10] {
+            assert_eq!(
+                algo::min_topr(&wg, k, r).unwrap(),
+                oracle::min_topr(&wg, k, r).unwrap()
+            );
+            assert_eq!(
+                algo::max_topr(&wg, k, r).unwrap(),
+                oracle::max_topr(&wg, k, r).unwrap()
+            );
+            assert_eq!(
+                algo::sum_naive(&wg, k, r, Aggregation::Sum).unwrap(),
+                oracle::sum_naive(&wg, k, r, Aggregation::Sum).unwrap()
+            );
+            for eps in [0.0, 0.1] {
+                assert_eq!(
+                    algo::tic_improved(&wg, k, r, Aggregation::Sum, eps).unwrap(),
+                    oracle::tic_improved(&wg, k, r, Aggregation::Sum, eps).unwrap()
+                );
+            }
+        }
+    }
+}

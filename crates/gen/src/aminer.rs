@@ -292,6 +292,13 @@ pub fn aminer_network(seed: GraphSeed) -> AminerNetwork {
         .collect();
 
     // Background co-authorship inside each field (~6 collaborations each).
+    // A deterministic chain first: connectivity must not depend on the
+    // random edges hitting every vertex.
+    for members in &field_members {
+        for w in members.windows(2) {
+            b.add_edge(w[0], w[1]);
+        }
+    }
     for members in &field_members {
         let m_target = members.len() * 3;
         for _ in 0..m_target {

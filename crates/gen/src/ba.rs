@@ -74,7 +74,10 @@ mod tests {
         let g = barabasi_albert(2000, 2, GraphSeed(23));
         let early_avg: f64 = (0..10).map(|v| g.degree(v) as f64).sum::<f64>() / 10.0;
         let late_avg: f64 = (1900..2000).map(|v| g.degree(v) as f64).sum::<f64>() / 100.0;
-        assert!(early_avg > 4.0 * late_avg, "early {early_avg} late {late_avg}");
+        assert!(
+            early_avg > 4.0 * late_avg,
+            "early {early_avg} late {late_avg}"
+        );
     }
 
     #[test]

@@ -51,18 +51,23 @@ mod tests {
         let g = chung_lu(2000, 8000, 2.5, GraphSeed(11));
         assert_eq!(g.num_vertices(), 2000);
         assert!(g.num_edges() <= 8000);
-        assert!(g.num_edges() > 6000, "too many collisions: {}", g.num_edges());
+        assert!(
+            g.num_edges() > 6000,
+            "too many collisions: {}",
+            g.num_edges()
+        );
     }
 
     #[test]
     fn degree_distribution_is_heavy_tailed() {
         let g = chung_lu(5000, 20000, 2.3, GraphSeed(12));
         // Low-id vertices carry much higher degree than the tail.
-        let head_avg: f64 =
-            (0..50).map(|v| g.degree(v) as f64).sum::<f64>() / 50.0;
-        let tail_avg: f64 =
-            (4000..4999).map(|v| g.degree(v) as f64).sum::<f64>() / 999.0;
-        assert!(head_avg > 5.0 * tail_avg.max(0.5), "head {head_avg} tail {tail_avg}");
+        let head_avg: f64 = (0..50).map(|v| g.degree(v) as f64).sum::<f64>() / 50.0;
+        let tail_avg: f64 = (4000..4999).map(|v| g.degree(v) as f64).sum::<f64>() / 999.0;
+        assert!(
+            head_avg > 5.0 * tail_avg.max(0.5),
+            "head {head_avg} tail {tail_avg}"
+        );
         // Hill estimator lands in the heavy-tailed regime.
         let gamma = estimate_power_law_exponent(&g, 5).unwrap();
         assert!(gamma > 1.5 && gamma < 4.5, "estimated gamma {gamma}");

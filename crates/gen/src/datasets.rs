@@ -217,7 +217,14 @@ mod tests {
         let names: Vec<&str> = registry(Profile::Quick).iter().map(|d| d.name).collect();
         assert_eq!(
             names,
-            vec!["email", "dblp", "youtube", "orkut", "livejournal", "friendster"]
+            vec![
+                "email",
+                "dblp",
+                "youtube",
+                "orkut",
+                "livejournal",
+                "friendster"
+            ]
         );
     }
 

@@ -80,7 +80,10 @@ mod tests {
         let g = gnp(200, 0.05, GraphSeed(4));
         let expected = 0.05 * (200.0 * 199.0 / 2.0);
         let got = g.num_edges() as f64;
-        assert!((got - expected).abs() < expected * 0.25, "got {got}, expected ~{expected}");
+        assert!(
+            (got - expected).abs() < expected * 0.25,
+            "got {got}, expected ~{expected}"
+        );
     }
 
     #[test]

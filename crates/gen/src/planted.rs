@@ -31,8 +31,7 @@ pub fn planted_partition(config: &PlantedPartitionConfig, seed: GraphSeed) -> Gr
     b.reserve_vertices(n);
     for u in 0..n as u32 {
         for v in (u + 1)..n as u32 {
-            let same =
-                (u as usize / config.community_size) == (v as usize / config.community_size);
+            let same = (u as usize / config.community_size) == (v as usize / config.community_size);
             let p = if same { config.p_in } else { config.p_out };
             if rng.gen::<f64>() < p {
                 b.add_edge(u, v);

@@ -87,8 +87,14 @@ mod tests {
             uniform_weights(50, 0.0, 1.0, GraphSeed(7)),
             uniform_weights(50, 0.0, 1.0, GraphSeed(7))
         );
-        assert_eq!(pareto_weights(50, 2.0, GraphSeed(7)), pareto_weights(50, 2.0, GraphSeed(7)));
-        assert_eq!(rank_weights(50, GraphSeed(7)), rank_weights(50, GraphSeed(7)));
+        assert_eq!(
+            pareto_weights(50, 2.0, GraphSeed(7)),
+            pareto_weights(50, 2.0, GraphSeed(7))
+        );
+        assert_eq!(
+            rank_weights(50, GraphSeed(7)),
+            rank_weights(50, GraphSeed(7))
+        );
     }
 
     #[test]

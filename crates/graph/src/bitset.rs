@@ -48,14 +48,22 @@ impl BitSet {
     /// Sets bit `i`. Panics if `i >= capacity`.
     #[inline]
     pub fn insert(&mut self, i: usize) {
-        assert!(i < self.capacity, "bit {i} out of capacity {}", self.capacity);
+        assert!(
+            i < self.capacity,
+            "bit {i} out of capacity {}",
+            self.capacity
+        );
         self.words[i / WORD_BITS] |= 1u64 << (i % WORD_BITS);
     }
 
     /// Clears bit `i`. Panics if `i >= capacity`.
     #[inline]
     pub fn remove(&mut self, i: usize) {
-        assert!(i < self.capacity, "bit {i} out of capacity {}", self.capacity);
+        assert!(
+            i < self.capacity,
+            "bit {i} out of capacity {}",
+            self.capacity
+        );
         self.words[i / WORD_BITS] &= !(1u64 << (i % WORD_BITS));
     }
 
@@ -115,10 +123,7 @@ impl BitSet {
 
     /// True if `self` and `other` share no set bit.
     pub fn is_disjoint(&self, other: &BitSet) -> bool {
-        self.words
-            .iter()
-            .zip(&other.words)
-            .all(|(a, b)| a & b == 0)
+        self.words.iter().zip(&other.words).all(|(a, b)| a & b == 0)
     }
 
     /// Iterates over set bit indices in increasing order.

@@ -1,4 +1,4 @@
-use crate::{BitSet, Bfs, Graph, VertexId};
+use crate::{Bfs, BitSet, Graph, VertexId};
 
 /// Component labelling of a graph: `labels[v]` is the component id of `v`,
 /// ids are dense in `0..count`.

@@ -55,7 +55,10 @@ impl fmt::Display for GraphError {
                 "weight vector has {weights} entries but graph has {num_vertices} vertices"
             ),
             GraphError::InvalidWeight { vertex, value } => {
-                write!(f, "vertex {vertex} has invalid weight {value} (must be finite and >= 0)")
+                write!(
+                    f,
+                    "vertex {vertex} has invalid weight {value} (must be finite and >= 0)"
+                )
             }
             GraphError::Parse { line, message } => {
                 write!(f, "parse error on line {line}: {message}")

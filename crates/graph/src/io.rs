@@ -72,7 +72,12 @@ pub fn read_edge_list_file<P: AsRef<Path>>(path: P) -> Result<Graph, GraphError>
 
 /// Writes the graph as a text edge list (one `u v` per line, `u < v`).
 pub fn write_edge_list<W: Write>(g: &Graph, mut writer: W) -> Result<(), GraphError> {
-    writeln!(writer, "# ic-graph edge list: {} vertices, {} edges", g.num_vertices(), g.num_edges())?;
+    writeln!(
+        writer,
+        "# ic-graph edge list: {} vertices, {} edges",
+        g.num_vertices(),
+        g.num_edges()
+    )?;
     for (u, v) in g.edges() {
         writeln!(writer, "{u} {v}")?;
     }

@@ -1,0 +1,772 @@
+//! The zero-rebuild peeling engine.
+//!
+//! Every solver in the paper is at heart a loop of "delete a vertex,
+//! cascade-peel back to a k-core, re-extract connected components".
+//! [`PeelScratch`](crate::PeelScratch) implements one such step *from
+//! scratch*: it recomputes every member's internal degree on every call,
+//! which costs `O(Σ_{v ∈ H} d(v))` per deletion even when the deletion
+//! barely changes the community.
+//!
+//! [`PeelArena`] removes that rebuild. A community is **loaded** once:
+//! the arena assigns dense local ids and builds a compact CSR of the
+//! *induced* subgraph, so every subsequent operation walks flat local
+//! arrays over internal edges only — no membership checks against the
+//! full graph, no pointer-chasing across its much larger adjacency.
+//! After the load, each candidate deletion is a journaled cascade
+//! touching only the affected frontier:
+//!
+//! * [`PeelArena::load`] — local ids + induced CSR + internal degrees,
+//!   `O(Σ d(v))`, once per community;
+//! * [`PeelArena::remove_cascade`] — delete one vertex and cascade the
+//!   degree constraint, `O(Σ_{v ∈ removed} d_H(v))`; every removal is
+//!   journaled;
+//! * [`PeelArena::rollback`] — undo every journaled removal in reverse,
+//!   restoring the loaded state in time proportional to the journal;
+//! * [`PeelArena::commit`] — make the journaled removals permanent
+//!   (timeline-style peels à la Li et al. VLDB'15);
+//! * [`PeelArena::for_each_component`] / [`PeelArena::component_of_into`]
+//!   — enumerate surviving connected components without allocating;
+//! * [`PeelArena::mark_articulation_points`] / [`PeelArena::is_articulation`]
+//!   — a no-split certificate (one iterative Tarjan pass per load) that
+//!   lets callers skip component extraction entirely for the common case
+//!   of a non-cascading, non-articulation deletion.
+//!
+//! All state is epoch-stamped so consecutive loads reset in O(1). After
+//! construction with [`PeelArena::for_graph`] the arena never allocates:
+//! every buffer is pre-sized to the graph. The allocation-event counter
+//! ([`PeelArena::alloc_events`]) asserts that invariant — the
+//! steady-state peel loop of every solver runs at zero heap allocations
+//! per deletion step.
+
+use ic_graph::{Graph, VertexId};
+
+const NO_PARENT: u32 = u32::MAX;
+
+/// Reusable, journaled peel state for one graph. See the module docs.
+#[derive(Clone, Debug)]
+pub struct PeelArena {
+    // ---- global-id side -------------------------------------------------
+    /// Epoch when global `v` was loaded as a member.
+    member_stamp: Vec<u32>,
+    /// Local id of global `v` (valid when `member_stamp[v] == epoch`).
+    local_id: Vec<u32>,
+    /// Loaded member list; `members[l]` is the global id of local `l`.
+    members: Vec<VertexId>,
+
+    // ---- induced CSR (local ids) ---------------------------------------
+    /// Row offsets into `targets`; `offsets[l]..offsets[l + 1]` is the
+    /// internal adjacency of local `l`.
+    offsets: Vec<u32>,
+    /// Concatenated internal adjacency lists (local ids).
+    targets: Vec<u32>,
+
+    // ---- per-local peel state -------------------------------------------
+    /// Epoch when local `l` was queued for removal.
+    removed_stamp: Vec<u32>,
+    /// Epoch when local `l` was *popped* from the cascade queue. Degree
+    /// decrements are applied to neighbors that are not yet popped (even
+    /// if already queued), which makes them the exact mirror image of the
+    /// increments `rollback` applies in reverse pop order — queued-but-
+    /// unpopped neighbors would otherwise be skipped on the way down but
+    /// counted on the way back up, corrupting degrees.
+    gone_stamp: Vec<u32>,
+    /// BFS visitation marks (separate epoch space).
+    visited_stamp: Vec<u32>,
+    /// Internal degree of each live local vertex.
+    deg: Vec<u32>,
+    /// Cascade queue / BFS queue (local ids; head index, no pop-front).
+    queue: Vec<u32>,
+    /// Removals since the last `commit`/`rollback` (local ids, pop order).
+    journal: Vec<u32>,
+    /// Component output buffer (global ids, reused per call).
+    comp_buf: Vec<VertexId>,
+
+    // ---- articulation pass ----------------------------------------------
+    /// Epoch when local `l` was marked an articulation point.
+    art_stamp: Vec<u32>,
+    /// DFS discovery times.
+    disc: Vec<u32>,
+    /// DFS low-link values.
+    low: Vec<u32>,
+    /// Explicit DFS stack: (local vertex, parent local, next-edge index).
+    dfs_stack: Vec<(u32, u32, u32)>,
+
+    // ---- bookkeeping -----------------------------------------------------
+    /// Current load epoch.
+    epoch: u32,
+    /// Current visitation epoch.
+    visit_epoch: u32,
+    /// Degree constraint of the loaded community.
+    k: u32,
+    /// Live member count.
+    live: usize,
+    /// Number of buffer (re)allocations observed after construction;
+    /// stays 0 in steady state (tracked in all builds, asserted by
+    /// tests).
+    alloc_events: u64,
+}
+
+impl PeelArena {
+    /// Creates an arena pre-sized for `g`: any community of `g` can be
+    /// loaded and peeled without a single further allocation.
+    pub fn for_graph(g: &Graph) -> Self {
+        Self::with_capacity(g.num_vertices(), 2 * g.num_edges())
+    }
+
+    /// Creates an arena for up to `n` vertices and `directed_edges`
+    /// induced adjacency entries (use `2m` for an undirected graph; see
+    /// [`Self::for_graph`]). Loading a community whose induced size
+    /// exceeds the capacity still works but allocates (and is counted by
+    /// [`Self::alloc_events`]).
+    pub fn with_capacity(n: usize, directed_edges: usize) -> Self {
+        PeelArena {
+            member_stamp: vec![0; n],
+            local_id: vec![0; n],
+            members: Vec::with_capacity(n),
+            offsets: Vec::with_capacity(n + 1),
+            targets: Vec::with_capacity(directed_edges),
+            removed_stamp: vec![0; n],
+            gone_stamp: vec![0; n],
+            visited_stamp: vec![0; n],
+            deg: vec![0; n],
+            queue: Vec::with_capacity(n),
+            journal: Vec::with_capacity(n),
+            comp_buf: Vec::with_capacity(n),
+            art_stamp: vec![0; n],
+            disc: vec![0; n],
+            low: vec![0; n],
+            dfs_stack: Vec::with_capacity(n),
+            epoch: 0,
+            visit_epoch: 0,
+            k: 0,
+            live: 0,
+            alloc_events: 0,
+        }
+    }
+
+    /// Creates an arena for up to `n` vertices with no pre-sized edge
+    /// capacity — the first `load` sizes the adjacency buffer (one
+    /// allocation). Prefer [`Self::for_graph`] for the zero-allocation
+    /// guarantee from the first load on.
+    pub fn new(n: usize) -> Self {
+        Self::with_capacity(n, 0)
+    }
+
+    /// Number of buffer growth events since construction. Zero in steady
+    /// state: the acceptance criterion for the zero-rebuild engine.
+    pub fn alloc_events(&self) -> u64 {
+        self.alloc_events
+    }
+
+    #[inline]
+    fn track_capacity<T>(buf: &Vec<T>, before: usize, counter: &mut u64) {
+        if buf.capacity() != before {
+            *counter += 1;
+        }
+    }
+
+    fn next_epoch(&mut self) -> u32 {
+        if self.epoch == u32::MAX {
+            self.member_stamp.fill(0);
+            self.removed_stamp.fill(0);
+            self.gone_stamp.fill(0);
+            self.art_stamp.fill(0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        self.epoch
+    }
+
+    fn next_visit_epoch(&mut self) -> u32 {
+        if self.visit_epoch == u32::MAX {
+            self.visited_stamp.fill(0);
+            self.visit_epoch = 0;
+        }
+        self.visit_epoch += 1;
+        self.visit_epoch
+    }
+
+    #[inline]
+    fn neighbors_of_local(&self, l: u32) -> std::ops::Range<usize> {
+        self.offsets[l as usize] as usize..self.offsets[l as usize + 1] as usize
+    }
+
+    /// Loads the community `members` with degree constraint `k`:
+    /// assigns local ids, builds the induced CSR, computes every internal
+    /// degree once, and immediately peels (and commits) any member whose
+    /// internal degree is below `k` — after `load` the live set is the
+    /// maximal sub-k-core of the member set. Runs in
+    /// `O(Σ_{v ∈ members} d(v))`.
+    pub fn load(&mut self, g: &Graph, members: &[VertexId], k: usize) {
+        let epoch = self.next_epoch();
+        self.k = k as u32;
+        let caps = (
+            self.members.capacity(),
+            self.offsets.capacity(),
+            self.targets.capacity(),
+            self.queue.capacity(),
+        );
+
+        self.members.clear();
+        self.members.extend_from_slice(members);
+        for (l, &v) in self.members.iter().enumerate() {
+            self.member_stamp[v as usize] = epoch;
+            self.local_id[v as usize] = l as u32;
+        }
+        self.live = self.members.len();
+
+        // Induced CSR + internal degrees in one pass.
+        self.offsets.clear();
+        self.targets.clear();
+        self.offsets.push(0);
+        for l in 0..self.members.len() {
+            let v = self.members[l];
+            for &u in g.neighbors(v) {
+                if self.member_stamp[u as usize] == epoch {
+                    self.targets.push(self.local_id[u as usize]);
+                }
+            }
+            self.offsets.push(self.targets.len() as u32);
+            let d = self.offsets[l + 1] - self.offsets[l];
+            self.deg[l] = d;
+            self.removed_stamp[l] = 0;
+            self.gone_stamp[l] = 0;
+        }
+
+        // Initial peel of sub-k members (committed, not undoable).
+        self.queue.clear();
+        self.journal.clear();
+        for l in 0..self.members.len() as u32 {
+            if self.deg[l as usize] < self.k && self.removed_stamp[l as usize] != epoch {
+                self.removed_stamp[l as usize] = epoch;
+                self.queue.push(l);
+            }
+        }
+        self.cascade();
+        self.journal.clear();
+
+        Self::track_capacity(&self.members, caps.0, &mut self.alloc_events);
+        Self::track_capacity(&self.offsets, caps.1, &mut self.alloc_events);
+        Self::track_capacity(&self.targets, caps.2, &mut self.alloc_events);
+        Self::track_capacity(&self.queue, caps.3, &mut self.alloc_events);
+    }
+
+    /// Runs the cascade for everything already queued (and stamped
+    /// removed), appending removals to the journal.
+    fn cascade(&mut self) {
+        let epoch = self.epoch;
+        let k = self.k;
+        let mut head = 0;
+        while head < self.queue.len() {
+            let l = self.queue[head];
+            head += 1;
+            self.journal.push(l);
+            self.gone_stamp[l as usize] = epoch;
+            self.live -= 1;
+            for t in self.neighbors_of_local(l) {
+                let u = self.targets[t] as usize;
+                if self.gone_stamp[u] != epoch {
+                    self.deg[u] -= 1;
+                    if self.deg[u] < k && self.removed_stamp[u] != epoch {
+                        self.removed_stamp[u] = epoch;
+                        self.queue.push(u as u32);
+                    }
+                }
+            }
+        }
+        self.queue.clear();
+    }
+
+    /// Number of live (loaded, not removed) members.
+    pub fn live_count(&self) -> usize {
+        self.live
+    }
+
+    /// Whether global `v` is loaded and not removed.
+    pub fn is_live(&self, v: VertexId) -> bool {
+        let vi = v as usize;
+        self.member_stamp[vi] == self.epoch
+            && self.removed_stamp[self.local_id[vi] as usize] != self.epoch
+    }
+
+    /// The loaded member list (including removed vertices), global ids.
+    pub fn members(&self) -> &[VertexId] {
+        &self.members
+    }
+
+    /// Deletes global `victim` and cascade-peels the degree constraint.
+    /// Returns the number of vertices removed by this call (0 when
+    /// `victim` is not live). The removals are journaled:
+    /// [`Self::rollback`] undoes them, [`Self::commit`] makes them
+    /// permanent. Runs in `O(Σ_{v ∈ removed} d_H(v))` over *internal*
+    /// edges only — the zero-rebuild property.
+    pub fn remove_cascade(&mut self, victim: VertexId) -> usize {
+        if !self.is_live(victim) {
+            return 0;
+        }
+        let l = self.local_id[victim as usize];
+        let before = self.journal.len();
+        let caps = (self.queue.capacity(), self.journal.capacity());
+        self.queue.clear();
+        self.removed_stamp[l as usize] = self.epoch;
+        self.queue.push(l);
+        self.cascade();
+        Self::track_capacity(&self.queue, caps.0, &mut self.alloc_events);
+        Self::track_capacity(&self.journal, caps.1, &mut self.alloc_events);
+        self.journal.len() - before
+    }
+
+    /// Number of journaled removals since the last
+    /// `load`/`commit`/`rollback`.
+    pub fn journal_len(&self) -> usize {
+        self.journal.len()
+    }
+
+    /// Makes every journaled removal permanent.
+    pub fn commit(&mut self) {
+        self.journal.clear();
+    }
+
+    /// Undoes every journaled removal in reverse order, restoring the
+    /// state as of the last `load`/`commit`. Runs in
+    /// `O(Σ_{v ∈ journal} d_H(v))`.
+    pub fn rollback(&mut self) {
+        let epoch = self.epoch;
+        while let Some(l) = self.journal.pop() {
+            // Un-popping in reverse order restores exactly the not-yet-
+            // popped set present when `l` was popped, so the symmetric
+            // degree increments reconstruct the old degrees.
+            self.removed_stamp[l as usize] = 0;
+            self.gone_stamp[l as usize] = 0;
+            self.live += 1;
+            for t in self.neighbors_of_local(l) {
+                let u = self.targets[t] as usize;
+                if self.removed_stamp[u] != epoch {
+                    self.deg[u] += 1;
+                }
+            }
+        }
+    }
+
+    /// Marks every articulation point of the loaded live set (iterative
+    /// Tarjan lowpoint DFS over the induced CSR, once per load). Must be
+    /// called with no journaled removals; the marks describe the loaded
+    /// community and stay valid across `remove_cascade`/`rollback`
+    /// round-trips of the same load.
+    ///
+    /// This is the arena's no-split certificate: deleting a non-cascading
+    /// victim that is not an articulation point leaves `H ∖ {v}`
+    /// connected, so the caller can skip component extraction entirely —
+    /// the common case on cohesive communities.
+    pub fn mark_articulation_points(&mut self) {
+        debug_assert!(
+            self.journal.is_empty(),
+            "articulation marks must be computed on the loaded state"
+        );
+        let visit = self.next_visit_epoch();
+        let epoch = self.epoch;
+        let cap = self.dfs_stack.capacity();
+        let mut timer: u32 = 0;
+        for root in 0..self.members.len() as u32 {
+            let ri = root as usize;
+            if self.removed_stamp[ri] == epoch || self.visited_stamp[ri] == visit {
+                continue;
+            }
+            self.visited_stamp[ri] = visit;
+            self.disc[ri] = timer;
+            self.low[ri] = timer;
+            timer += 1;
+            let mut root_children = 0u32;
+            self.dfs_stack.clear();
+            self.dfs_stack.push((root, NO_PARENT, self.offsets[ri]));
+            while let Some(top) = self.dfs_stack.len().checked_sub(1) {
+                let (v, parent, idx) = self.dfs_stack[top];
+                let vi = v as usize;
+                if idx < self.offsets[vi + 1] {
+                    let u = self.targets[idx as usize];
+                    self.dfs_stack[top].2 = idx + 1;
+                    let ui = u as usize;
+                    if self.removed_stamp[ui] == epoch || u == parent {
+                        continue;
+                    }
+                    if self.visited_stamp[ui] != visit {
+                        self.visited_stamp[ui] = visit;
+                        self.disc[ui] = timer;
+                        self.low[ui] = timer;
+                        timer += 1;
+                        if v == root {
+                            root_children += 1;
+                        }
+                        self.dfs_stack.push((u, v, self.offsets[ui]));
+                    } else if self.disc[ui] < self.low[vi] {
+                        self.low[vi] = self.disc[ui];
+                    }
+                } else {
+                    self.dfs_stack.pop();
+                    if let Some(&(p, _, _)) = self.dfs_stack.last() {
+                        let pi = p as usize;
+                        if self.low[vi] < self.low[pi] {
+                            self.low[pi] = self.low[vi];
+                        }
+                        if p != root && self.low[vi] >= self.disc[pi] {
+                            self.art_stamp[pi] = epoch;
+                        }
+                    }
+                }
+            }
+            if root_children > 1 {
+                self.art_stamp[ri] = epoch;
+            }
+        }
+        Self::track_capacity(&self.dfs_stack, cap, &mut self.alloc_events);
+    }
+
+    /// Whether global `v` was marked by [`Self::mark_articulation_points`]
+    /// for the current load.
+    pub fn is_articulation(&self, v: VertexId) -> bool {
+        let vi = v as usize;
+        self.member_stamp[vi] == self.epoch
+            && self.art_stamp[self.local_id[vi] as usize] == self.epoch
+    }
+
+    /// Enumerates the connected components of the live set. Each
+    /// component is passed to `f` as an unsorted **global-id** slice
+    /// valid only for the duration of the call; no allocation happens
+    /// (the slice lives in a reusable buffer). Components of a k-loaded
+    /// arena are connected k-cores by construction.
+    pub fn for_each_component<F: FnMut(&[VertexId])>(&mut self, mut f: F) {
+        let visit = self.next_visit_epoch();
+        let epoch = self.epoch;
+        let mut comp = std::mem::take(&mut self.comp_buf);
+        let caps = (comp.capacity(), self.queue.capacity());
+        for start in 0..self.members.len() as u32 {
+            let si = start as usize;
+            if self.removed_stamp[si] == epoch || self.visited_stamp[si] == visit {
+                continue;
+            }
+            comp.clear();
+            self.visited_stamp[si] = visit;
+            self.queue.clear();
+            self.queue.push(start);
+            let mut head = 0;
+            while head < self.queue.len() {
+                let x = self.queue[head];
+                head += 1;
+                comp.push(self.members[x as usize]);
+                for t in self.neighbors_of_local(x) {
+                    let u = self.targets[t] as usize;
+                    if self.removed_stamp[u] != epoch && self.visited_stamp[u] != visit {
+                        self.visited_stamp[u] = visit;
+                        self.queue.push(u as u32);
+                    }
+                }
+            }
+            f(&comp);
+        }
+        Self::track_capacity(&comp, caps.0, &mut self.alloc_events);
+        Self::track_capacity(&self.queue, caps.1, &mut self.alloc_events);
+        self.comp_buf = comp;
+    }
+
+    /// Collects the connected component of the live global vertex `start`
+    /// into `out` (cleared first, unsorted global ids). No-op when
+    /// `start` is not live.
+    pub fn component_of_into(&mut self, start: VertexId, out: &mut Vec<VertexId>) {
+        out.clear();
+        if !self.is_live(start) {
+            return;
+        }
+        let visit = self.next_visit_epoch();
+        let epoch = self.epoch;
+        let cap = self.queue.capacity();
+        let l = self.local_id[start as usize];
+        self.queue.clear();
+        self.visited_stamp[l as usize] = visit;
+        self.queue.push(l);
+        let mut head = 0;
+        while head < self.queue.len() {
+            let x = self.queue[head];
+            head += 1;
+            out.push(self.members[x as usize]);
+            for t in self.neighbors_of_local(x) {
+                let u = self.targets[t] as usize;
+                if self.removed_stamp[u] != epoch && self.visited_stamp[u] != visit {
+                    self.visited_stamp[u] = visit;
+                    self.queue.push(u as u32);
+                }
+            }
+        }
+        Self::track_capacity(&self.queue, cap, &mut self.alloc_events);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{maximal_kcore_components, PeelScratch};
+    use ic_graph::graph_from_edges;
+
+    /// Triangle {0,1,2} with pendant 3 on vertex 2, plus a separate
+    /// triangle {4,5,6}.
+    fn two_triangles_pendant() -> Graph {
+        graph_from_edges(7, &[(0, 1), (1, 2), (2, 0), (2, 3), (4, 5), (5, 6), (6, 4)])
+    }
+
+    fn sorted_components(arena: &mut PeelArena) -> Vec<Vec<VertexId>> {
+        let mut comps = Vec::new();
+        arena.for_each_component(|c| {
+            let mut c = c.to_vec();
+            c.sort_unstable();
+            comps.push(c);
+        });
+        comps.sort();
+        comps
+    }
+
+    #[test]
+    fn load_peels_below_k_members() {
+        let g = two_triangles_pendant();
+        let mut arena = PeelArena::for_graph(&g);
+        let all: Vec<u32> = (0..7).collect();
+        arena.load(&g, &all, 2);
+        // Pendant 3 has degree 1 < 2 and is peeled at load.
+        assert_eq!(arena.live_count(), 6);
+        assert!(!arena.is_live(3));
+        assert_eq!(
+            sorted_components(&mut arena),
+            vec![vec![0, 1, 2], vec![4, 5, 6]]
+        );
+    }
+
+    #[test]
+    fn remove_rollback_restores_state() {
+        let g = two_triangles_pendant();
+        let mut arena = PeelArena::for_graph(&g);
+        arena.load(&g, &[0, 1, 2, 4, 5, 6], 2);
+        let removed = arena.remove_cascade(0);
+        // Removing 0 cascades 1 and 2 away (their degree drops to 1).
+        assert_eq!(removed, 3);
+        assert_eq!(arena.live_count(), 3);
+        assert_eq!(sorted_components(&mut arena), vec![vec![4, 5, 6]]);
+        arena.rollback();
+        assert_eq!(arena.live_count(), 6);
+        for v in [0u32, 1, 2, 4, 5, 6] {
+            assert!(arena.is_live(v), "v{v}");
+        }
+        assert_eq!(
+            sorted_components(&mut arena),
+            vec![vec![0, 1, 2], vec![4, 5, 6]]
+        );
+    }
+
+    #[test]
+    fn commit_makes_removals_permanent() {
+        let g = two_triangles_pendant();
+        let mut arena = PeelArena::for_graph(&g);
+        arena.load(&g, &[0, 1, 2, 4, 5, 6], 1);
+        assert_eq!(arena.remove_cascade(4), 1);
+        arena.commit();
+        arena.rollback(); // nothing journaled: no-op
+        assert_eq!(arena.live_count(), 5);
+        assert!(!arena.is_live(4));
+    }
+
+    #[test]
+    fn removing_dead_vertex_is_a_noop() {
+        let g = two_triangles_pendant();
+        let mut arena = PeelArena::for_graph(&g);
+        arena.load(&g, &[0, 1, 2], 2);
+        assert_eq!(arena.remove_cascade(5), 0); // not loaded
+        assert_eq!(arena.remove_cascade(0), 3);
+        assert_eq!(arena.remove_cascade(0), 0); // already removed
+        arena.rollback();
+        assert_eq!(arena.live_count(), 3);
+    }
+
+    #[test]
+    fn component_of_into_matches_for_each() {
+        let g = two_triangles_pendant();
+        let mut arena = PeelArena::for_graph(&g);
+        let all: Vec<u32> = (0..7).collect();
+        arena.load(&g, &all, 1);
+        let mut out = Vec::with_capacity(7);
+        arena.component_of_into(5, &mut out);
+        out.sort_unstable();
+        assert_eq!(out, vec![4, 5, 6]);
+        arena.component_of_into(3, &mut out);
+        out.sort_unstable();
+        assert_eq!(out, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn matches_peel_scratch_on_random_deletions() {
+        // Cross-validate arena remove+components against the from-scratch
+        // PeelScratch on a fixed pseudo-random graph.
+        let n = 40usize;
+        let mut edges = Vec::new();
+        let mut state = 0x243f_6a88_85a3_08d3u64;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..160 {
+            let u = (next() % n as u64) as u32;
+            let v = (next() % n as u64) as u32;
+            edges.push((u, v));
+        }
+        let g = graph_from_edges(n, &edges);
+        let mut arena = PeelArena::for_graph(&g);
+        let mut scratch = PeelScratch::new(n);
+        for k in 1..4usize {
+            for comp in maximal_kcore_components(&g, k) {
+                arena.load(&g, &comp, k);
+                for &victim in &comp {
+                    arena.remove_cascade(victim);
+                    let mut got = Vec::new();
+                    arena.for_each_component(|c| {
+                        let mut c = c.to_vec();
+                        c.sort_unstable();
+                        got.push(c);
+                    });
+                    got.sort();
+                    arena.rollback();
+                    let mut expected = scratch.connected_kcores(&g, &comp, Some(victim), k);
+                    expected.sort();
+                    assert_eq!(got, expected, "k={k} victim={victim}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn articulation_marks_match_brute_force() {
+        // Brute force: v is an articulation point of the loaded live set
+        // iff deleting it (WITHOUT degree cascade) increases the number
+        // of connected components among the remaining vertices.
+        let n = 32usize;
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for trial in 0..30 {
+            let mut edges = Vec::new();
+            for _ in 0..60 {
+                let u = (next() % n as u64) as u32;
+                let v = (next() % n as u64) as u32;
+                edges.push((u, v));
+            }
+            let g = graph_from_edges(n, &edges);
+            let members: Vec<u32> = (0..n as u32).collect();
+            let mut arena = PeelArena::for_graph(&g);
+            arena.load(&g, &members, 0); // k = 0: nothing peels, all live
+            arena.mark_articulation_points();
+
+            let count_components = |skip: Option<u32>| -> usize {
+                let mut seen = vec![false; n];
+                let mut comps = 0;
+                for start in 0..n as u32 {
+                    if Some(start) == skip || seen[start as usize] {
+                        continue;
+                    }
+                    comps += 1;
+                    let mut stack = vec![start];
+                    seen[start as usize] = true;
+                    while let Some(x) = stack.pop() {
+                        for &u in g.neighbors(x) {
+                            if Some(u) != skip && !seen[u as usize] {
+                                seen[u as usize] = true;
+                                stack.push(u);
+                            }
+                        }
+                    }
+                }
+                comps
+            };
+
+            let base = count_components(None);
+            for v in 0..n as u32 {
+                // A non-isolated v is an articulation point iff skipping
+                // it increases the component count (its own component
+                // contributes one either way unless it splits). Isolated
+                // vertices lower the count and are never articulation
+                // points.
+                let without = count_components(Some(v));
+                let expected = !g.neighbors(v).is_empty() && without > base;
+                assert_eq!(
+                    arena.is_articulation(v),
+                    expected,
+                    "trial {trial} vertex {v}: base {base}, without {without}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rollback_restores_degrees_with_queued_adjacent_cascades() {
+        // Regression: when two adjacent vertices are both queued in the
+        // same cascade, the popped-vs-queued distinction matters — the
+        // earlier pop must still decrement the queued neighbor so that
+        // reverse-order rollback is its exact mirror. Removing 0 from
+        // this graph cascades 1, 3, 4, 5 with 4 and 5 adjacent and both
+        // in flight; a naive skip corrupted deg(5) and made the follow-up
+        // removal of 3 keep the bogus community {0, 1, 4, 5}.
+        let g = graph_from_edges(6, &[(0, 1), (0, 2), (0, 3), (0, 4), (1, 4), (3, 5), (4, 5)]);
+        let members = [0u32, 1, 3, 4, 5];
+        let mut arena = PeelArena::for_graph(&g);
+        let mut scratch = PeelScratch::new(6);
+        arena.load(&g, &members, 2);
+        for &victim in &members {
+            arena.remove_cascade(victim);
+            let mut got = Vec::new();
+            arena.for_each_component(|c| {
+                let mut c = c.to_vec();
+                c.sort_unstable();
+                got.push(c);
+            });
+            got.sort();
+            arena.rollback();
+            let mut expected = scratch.connected_kcores(&g, &members, Some(victim), 2);
+            expected.sort();
+            assert_eq!(got, expected, "victim {victim}");
+        }
+    }
+
+    #[test]
+    fn steady_state_is_allocation_free() {
+        let g = two_triangles_pendant();
+        let mut arena = PeelArena::for_graph(&g);
+        let all: Vec<u32> = (0..7).collect();
+        let mut out = Vec::with_capacity(7);
+        for _ in 0..1000 {
+            arena.load(&g, &all, 2);
+            arena.mark_articulation_points();
+            for v in 0..7u32 {
+                arena.remove_cascade(v);
+                arena.for_each_component(|c| {
+                    std::hint::black_box(c.len());
+                });
+                arena.rollback();
+            }
+            arena.component_of_into(0, &mut out);
+        }
+        assert_eq!(arena.alloc_events(), 0, "steady-state peel loop allocated");
+    }
+
+    #[test]
+    fn epoch_wrap_survives() {
+        let g = two_triangles_pendant();
+        let mut arena = PeelArena::for_graph(&g);
+        arena.epoch = u32::MAX - 2;
+        arena.visit_epoch = u32::MAX - 2;
+        for _ in 0..8 {
+            arena.load(&g, &[0, 1, 2], 2);
+            assert_eq!(arena.live_count(), 3);
+            assert_eq!(sorted_components(&mut arena), vec![vec![0, 1, 2]]);
+        }
+    }
+}

@@ -88,10 +88,7 @@ mod tests {
     /// remain. (Note: joining the triangles by a path would NOT split the
     /// 2-core — path vertices have degree 2.)
     fn two_triangles_with_pendant() -> Graph {
-        graph_from_edges(
-            7,
-            &[(0, 1), (1, 2), (2, 0), (2, 3), (4, 5), (5, 6), (6, 4)],
-        )
+        graph_from_edges(7, &[(0, 1), (1, 2), (2, 0), (2, 3), (4, 5), (5, 6), (6, 4)])
     }
 
     #[test]

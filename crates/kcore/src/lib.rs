@@ -9,9 +9,12 @@
 //! * [`kcore_mask`] / [`maximal_kcore_components`] — extraction of the
 //!   maximal k-core and its connected components (line 1 of Algorithms 1
 //!   and 2 in the paper);
-//! * [`PeelScratch`] — reusable scratch state that re-computes the
-//!   connected k-cores of a community after deleting a vertex (the inner
-//!   loop of Algorithms 1 and 2), without reallocating;
+//! * [`PeelArena`] — the zero-rebuild peeling engine: load a community
+//!   once, then delete/cascade/rollback in time proportional to the
+//!   affected frontier (the inner loop of every solver);
+//! * [`PeelScratch`] — the from-scratch counterpart that re-computes the
+//!   connected k-cores of a community after deleting a vertex; retained
+//!   as the oracle the incremental engine is validated against;
 //! * [`degeneracy_order`] — a degeneracy (smallest-last) ordering.
 //!
 //! # Example
@@ -30,12 +33,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arena;
 mod decompose;
 mod degeneracy;
 mod extract;
 mod maintain;
 mod truss;
 
+pub use arena::PeelArena;
 pub use decompose::{core_decomposition, CoreDecomposition};
 pub use degeneracy::{degeneracy, degeneracy_order};
 pub use extract::{

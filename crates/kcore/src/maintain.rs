@@ -141,10 +141,7 @@ mod tests {
     /// Triangle {0,1,2} with pendant 3 on vertex 2, plus a separate
     /// triangle {4,5,6}.
     fn two_triangles_pendant() -> Graph {
-        graph_from_edges(
-            7,
-            &[(0, 1), (1, 2), (2, 0), (2, 3), (4, 5), (5, 6), (6, 4)],
-        )
+        graph_from_edges(7, &[(0, 1), (1, 2), (2, 0), (2, 3), (4, 5), (5, 6), (6, 4)])
     }
 
     #[test]

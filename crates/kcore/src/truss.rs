@@ -133,7 +133,12 @@ pub fn truss_decomposition(g: &Graph) -> TrussDecomposition {
 }
 
 /// Counts common neighbors of `u` and `v` satisfying `keep`.
-fn common_neighbors<F: Fn(VertexId) -> bool>(g: &Graph, u: VertexId, v: VertexId, keep: F) -> usize {
+fn common_neighbors<F: Fn(VertexId) -> bool>(
+    g: &Graph,
+    u: VertexId,
+    v: VertexId,
+    keep: F,
+) -> usize {
     let mut count = 0;
     merge_common(g, u, v, |w| {
         if keep(w) {
@@ -328,10 +333,7 @@ mod tests {
         // Two triangles joined by a single bridge edge: the bridge has
         // truss 2, so the 3-truss has two components even though the
         // vertex set is connected in G.
-        let g = graph_from_edges(
-            6,
-            &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3)],
-        );
+        let g = graph_from_edges(6, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3)]);
         let comps = maximal_ktruss_components(&g, 3);
         assert_eq!(comps, vec![vec![0, 1, 2], vec![3, 4, 5]]);
     }

@@ -14,7 +14,12 @@ use ic_graph::{GraphBuilder, WeightedGraph};
 fn show(title: &str, communities: &[Community]) {
     println!("{title}");
     for (i, c) in communities.iter().enumerate() {
-        println!("  #{:<2} value {:>10.3}  members {:?}", i + 1, c.value, c.vertices);
+        println!(
+            "  #{:<2} value {:>10.3}  members {:?}",
+            i + 1,
+            c.value,
+            c.vertices
+        );
     }
     println!();
 }

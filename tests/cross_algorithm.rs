@@ -8,7 +8,9 @@ use ic_core::Aggregation;
 use ic_gen::datasets::{by_name, Profile};
 
 fn email() -> ic_graph::WeightedGraph {
-    by_name(Profile::Quick, "email").unwrap().generate_weighted()
+    by_name(Profile::Quick, "email")
+        .unwrap()
+        .generate_weighted()
 }
 
 #[test]
@@ -39,10 +41,7 @@ fn approx_bound_holds_across_epsilons_on_email() {
         let approx = algo::tic_improved(&wg, k, r, Aggregation::Sum, eps).unwrap();
         assert_eq!(approx.len(), r);
         let ra = approx.last().unwrap().value;
-        assert!(
-            ra >= (1.0 - eps) * re - 1e-9,
-            "eps={eps}: ra={ra} re={re}"
-        );
+        assert!(ra >= (1.0 - eps) * re - 1e-9, "eps={eps}: ra={ra} re={re}");
         for c in &approx {
             check_community(&wg, k, None, Aggregation::Sum, c).unwrap();
         }
@@ -123,22 +122,16 @@ fn parallel_and_sequential_local_search_agree_on_quality() {
 fn sum_surplus_tracks_sum_plus_alpha_times_size() {
     let wg = email();
     let sum = algo::tic_improved(&wg, 4, 3, Aggregation::Sum, 0.0).unwrap();
-    let surplus = algo::tic_improved(
-        &wg,
-        4,
-        3,
-        Aggregation::SumSurplus { alpha: 0.001 },
-        0.0,
-    )
-    .unwrap();
+    let surplus =
+        algo::tic_improved(&wg, 4, 3, Aggregation::SumSurplus { alpha: 0.001 }, 0.0).unwrap();
     // With PageRank weights summing to 1 and communities of hundreds of
     // vertices, a per-member bonus shifts values but both solvers return
     // valid communities.
-    for (c, agg) in sum
-        .iter()
-        .map(|c| (c, Aggregation::Sum))
-        .chain(surplus.iter().map(|c| (c, Aggregation::SumSurplus { alpha: 0.001 })))
-    {
+    for (c, agg) in sum.iter().map(|c| (c, Aggregation::Sum)).chain(
+        surplus
+            .iter()
+            .map(|c| (c, Aggregation::SumSurplus { alpha: 0.001 })),
+    ) {
         check_community(&wg, 4, None, agg, c).unwrap();
     }
 }

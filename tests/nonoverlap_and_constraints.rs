@@ -8,7 +8,9 @@ use ic_gen::datasets::{by_name, Profile};
 use ic_kcore::maximal_kcore_components;
 
 fn email() -> ic_graph::WeightedGraph {
-    by_name(Profile::Quick, "email").unwrap().generate_weighted()
+    by_name(Profile::Quick, "email")
+        .unwrap()
+        .generate_weighted()
 }
 
 #[test]
@@ -122,7 +124,11 @@ fn error_paths_are_typed_not_panics() {
     assert!(algo::min_topr(&wg, 4, 0).is_err());
 
     // Unsupported aggregations for Corollary-2 solvers.
-    for agg in [Aggregation::Average, Aggregation::Min, Aggregation::BalancedDensity] {
+    for agg in [
+        Aggregation::Average,
+        Aggregation::Min,
+        Aggregation::BalancedDensity,
+    ] {
         assert!(matches!(
             algo::sum_naive(&wg, 4, 5, agg),
             Err(SearchError::UnsupportedAggregation { .. })

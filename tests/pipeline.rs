@@ -77,10 +77,7 @@ fn alternative_centralities_plug_in_as_weights() {
     let g = spec.generate();
 
     // Degree and neighborhood-H-index weights both drive a valid search.
-    for weights in [
-        degree_centrality(&g),
-        ic_centrality::neighbor_hindex(&g),
-    ] {
+    for weights in [degree_centrality(&g), ic_centrality::neighbor_hindex(&g)] {
         let wg = WeightedGraph::new(g.clone(), weights).unwrap();
         let res = algo::min_topr(&wg, 4, 3).unwrap();
         for c in &res {
