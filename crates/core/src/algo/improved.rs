@@ -26,8 +26,8 @@ use crate::algo::common::{
     vertex_set_key,
 };
 use crate::{Aggregation, Community, SearchError};
-use ic_graph::WeightedGraph;
-use ic_kcore::{maximal_kcore_components, PeelArena};
+use ic_graph::{VertexId, WeightedGraph};
+use ic_kcore::{maximal_kcore_components, GraphSnapshot, PeelArena};
 use std::collections::HashSet;
 
 /// Tuning knobs for [`tic_improved_with_options`]; used by the pruning
@@ -83,6 +83,54 @@ pub fn tic_improved_with_options(
     aggregation: Aggregation,
     options: ImprovedOptions,
 ) -> Result<Vec<Community>, SearchError> {
+    validate_improved(r, aggregation, &options)?;
+    let comps = maximal_kcore_components(wg.graph(), k);
+    let mut arena = PeelArena::for_graph(wg.graph());
+    Ok(run_improved(
+        wg,
+        comps,
+        k,
+        r,
+        aggregation,
+        options,
+        &mut arena,
+    ))
+}
+
+/// [`tic_improved`] against a [`GraphSnapshot`]: the k-core components
+/// come from the snapshot's memoized level and the search runs on the
+/// caller's (typically pooled) arena. Output is bit-identical to
+/// [`tic_improved`].
+pub fn tic_improved_on(
+    snap: &GraphSnapshot,
+    k: usize,
+    r: usize,
+    aggregation: Aggregation,
+    epsilon: f64,
+    arena: &mut PeelArena,
+) -> Result<Vec<Community>, SearchError> {
+    let options = ImprovedOptions {
+        epsilon,
+        ..Default::default()
+    };
+    validate_improved(r, aggregation, &options)?;
+    let level = snap.level(k);
+    Ok(run_improved(
+        snap.weighted(),
+        level.components.clone(),
+        k,
+        r,
+        aggregation,
+        options,
+        arena,
+    ))
+}
+
+fn validate_improved(
+    r: usize,
+    aggregation: Aggregation,
+    options: &ImprovedOptions,
+) -> Result<(), SearchError> {
     validate_k_r(r)?;
     require_corollary2("tic_improved", aggregation)?;
     if !(0.0..1.0).contains(&options.epsilon) {
@@ -91,11 +139,21 @@ pub fn tic_improved_with_options(
             options.epsilon
         )));
     }
+    Ok(())
+}
 
+fn run_improved(
+    wg: &WeightedGraph,
+    comps: Vec<Vec<VertexId>>,
+    k: usize,
+    r: usize,
+    aggregation: Aggregation,
+    options: ImprovedOptions,
+    arena: &mut PeelArena,
+) -> Vec<Community> {
     let g = wg.graph();
 
     // Line 1-2: candidate list seeded with the k-core components.
-    let comps = maximal_kcore_components(g, k);
     let mut candidates: Vec<Community> = comps
         .into_iter()
         .map(|c| community_from_vertices(wg, aggregation, c))
@@ -111,7 +169,6 @@ pub fn tic_improved_with_options(
         .collect();
     let mut results: Vec<Community> = Vec::with_capacity(r);
     let mut in_results: HashSet<u64> = HashSet::new();
-    let mut arena = PeelArena::for_graph(g);
     let mut fresh: Vec<Community> = Vec::new();
 
     while results.len() < r && !candidates.is_empty() {
@@ -146,7 +203,7 @@ pub fn tic_improved_with_options(
                 }
             }
             expand_children(
-                &mut arena,
+                arena,
                 wg,
                 aggregation,
                 &lmax.vertices,
@@ -178,7 +235,7 @@ pub fn tic_improved_with_options(
     }
 
     results.sort_by(|a, b| a.ranking_cmp(b));
-    Ok(results)
+    results
 }
 
 /// The value of the r-th best community among results ∪ candidates, or
@@ -275,6 +332,22 @@ mod tests {
                 assert!(
                     ra >= (1.0 - epsilon) * re - 1e-9,
                     "eps={epsilon} r={r}: ra={ra} re={re}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_path_is_bit_identical() {
+        let wg = figure1();
+        let snap = GraphSnapshot::new(wg.clone());
+        let mut arena = PeelArena::for_graph(snap.graph());
+        for eps in [0.0, 0.1] {
+            for r in [1, 3, 6] {
+                assert_eq!(
+                    tic_improved_on(&snap, 2, r, Aggregation::Sum, eps, &mut arena).unwrap(),
+                    tic_improved(&wg, 2, r, Aggregation::Sum, eps).unwrap(),
+                    "eps = {eps} r = {r}"
                 );
             }
         }

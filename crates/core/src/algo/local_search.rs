@@ -135,9 +135,30 @@ pub(crate) fn validate_params(config: &LocalSearchConfig) -> Result<(), SearchEr
     Ok(())
 }
 
-/// Collects the seed's pool and applies the aggregation's strategy.
+/// One consumer of a shared seed expansion in [`run_seed_multi`]: an
+/// aggregation paired with the top-r list collecting its results.
+pub struct SeedTarget<'a> {
+    /// Aggregation this target evaluates candidates under.
+    pub aggregation: Aggregation,
+    /// The target's own top-r list (its capacity is the query's `r`;
+    /// its threshold/floor drive the target's pruning independently).
+    pub list: &'a mut TopList,
+}
+
+/// Expands one seed of Algorithm 4: collects the seed's s-nearest-
+/// neighbor pool and applies the aggregation's strategy, inserting any
+/// qualifying candidate into `list`.
+///
+/// This is the seed-level building block behind [`local_search`]; it is
+/// public so multi-threaded drivers (`par_local_search`, the batched
+/// engine) can distribute seeds across workers while sharing pruning
+/// state through `list`'s threshold/floor. `core` must be the maximal
+/// k-core mask of `wg` for `config.k`, and `scratch` a
+/// [`LocalScratch`] sized to the graph. Calling this for every vertex of
+/// `core` in ascending order against one list reproduces `local_search`
+/// exactly.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn run_seed(
+pub fn run_seed(
     wg: &WeightedGraph,
     g: &Graph,
     core: &BitSet,
@@ -147,32 +168,76 @@ pub(crate) fn run_seed(
     scratch: &mut LocalScratch,
     list: &mut TopList,
 ) {
+    let mut targets = [SeedTarget { aggregation, list }];
+    run_seed_multi(
+        wg,
+        g,
+        core,
+        seed,
+        config.k,
+        config.s,
+        config.greedy,
+        scratch,
+        &mut targets,
+    );
+}
+
+/// [`run_seed`] for several queries at once: builds the seed's pool
+/// **once** and applies each target's strategy to it. Queries that share
+/// `(k, s, greedy)` — any aggregation, any `r` — can be answered in one
+/// pass over the seeds; each target's outcome is bit-identical to a
+/// solo [`run_seed`] sweep, because the pool depends only on
+/// `(k, s, greedy)` and each strategy reads nothing but the pool and its
+/// own list. This is the batched engine's local-search family merge.
+#[allow(clippy::too_many_arguments)]
+pub fn run_seed_multi(
+    wg: &WeightedGraph,
+    g: &Graph,
+    core: &BitSet,
+    seed: VertexId,
+    k: usize,
+    s: usize,
+    greedy: bool,
+    scratch: &mut LocalScratch,
+    targets: &mut [SeedTarget<'_>],
+) {
     // Line 4: the s-nearest-neighbor pool via truncated BFS. In greedy
     // mode the BFS visits each layer in descending weight order, so when a
     // layer must be cut to fit `s`, the influential members survive (the
     // paper leaves the tie-break unspecified; random mode uses plain BFS
     // order).
-    scratch.build_pool(wg, g, core, seed, config.s, config.greedy);
+    scratch.build_pool(wg, g, core, seed, s, greedy);
     let mut pool = std::mem::take(&mut scratch.pool);
-    if pool.len() <= config.k {
+    if pool.len() <= k {
         scratch.pool = pool;
         return; // cannot host a k-core
     }
     // Lines 5-6: greedy sorts by descending influence (seed kept first —
     // the pool must stay anchored at the seed for locality).
-    if config.greedy {
+    if greedy {
         pool[1..].sort_by(|&a, &b| {
             wg.weight(b)
                 .total_cmp(&wg.weight(a))
                 .then_with(|| a.cmp(&b))
         });
     }
-    match aggregation {
-        Aggregation::Sum | Aggregation::SumSurplus { .. } => {
-            sum_strategy(wg, g, &pool, config, aggregation, scratch, list);
-        }
-        _ => {
-            prefix_strategy(wg, g, &pool, config, aggregation, scratch, list);
+    for target in targets {
+        match target.aggregation {
+            Aggregation::Sum | Aggregation::SumSurplus { .. } => {
+                sum_strategy(wg, g, &pool, k, target.aggregation, scratch, target.list);
+            }
+            _ => {
+                prefix_strategy(
+                    wg,
+                    g,
+                    &pool,
+                    k,
+                    greedy,
+                    target.aggregation,
+                    scratch,
+                    target.list,
+                );
+            }
         }
     }
     scratch.pool = pool;
@@ -184,19 +249,19 @@ fn sum_strategy(
     wg: &WeightedGraph,
     g: &Graph,
     pool: &[VertexId],
-    config: &LocalSearchConfig,
+    k: usize,
     aggregation: Aggregation,
     scratch: &mut LocalScratch,
     list: &mut TopList,
 ) {
     let mut state = AggregateState::new(aggregation, wg.total_weight());
-    scratch.begin_candidate(config.k);
+    scratch.begin_candidate(k);
     for &v in pool {
         scratch.push(g, v);
         state.add(wg.weight(v));
     }
     let mut len = pool.len();
-    while len > config.k && state.value() > list.threshold() {
+    while len > k && state.value() > list.threshold() {
         if scratch.is_kcore() && scratch.is_connected(g, pool[0]) {
             list.insert(community_from_vertices(
                 wg,
@@ -215,28 +280,30 @@ fn sum_strategy(
 /// Procedure `AvgStrategy` generalized to any aggregation: test every
 /// prefix of the pool; greedy accepts the first qualifying prefix, random
 /// keeps the best.
+#[allow(clippy::too_many_arguments)]
 fn prefix_strategy(
     wg: &WeightedGraph,
     g: &Graph,
     pool: &[VertexId],
-    config: &LocalSearchConfig,
+    k: usize,
+    greedy: bool,
     aggregation: Aggregation,
     scratch: &mut LocalScratch,
     list: &mut TopList,
 ) {
     let mut state = AggregateState::new(aggregation, wg.total_weight());
     let mut best: Option<Community> = None;
-    scratch.begin_candidate(config.k);
+    scratch.begin_candidate(k);
     for (i, &v) in pool.iter().enumerate() {
         scratch.push(g, v);
         state.add(wg.weight(v));
-        if i + 1 > config.k
+        if i + 1 > k
             && state.value() > list.threshold()
             && scratch.is_kcore()
             && scratch.is_connected(g, pool[0])
         {
             let community = community_from_vertices(wg, aggregation, pool[..=i].to_vec());
-            if config.greedy {
+            if greedy {
                 list.insert(community);
                 return;
             }
@@ -256,8 +323,8 @@ fn prefix_strategy(
 /// Per-query scratch for the local-search strategies: pool building
 /// buffers plus an incremental candidate degree tracker. Everything is
 /// epoch-stamped; nothing allocates after the first few seeds warm the
-/// buffers up.
-pub(crate) struct LocalScratch {
+/// buffers up. One instance per worker thread; see [`run_seed`].
+pub struct LocalScratch {
     // Pool building.
     pool: Vec<VertexId>,
     layer: Vec<VertexId>,
@@ -278,7 +345,8 @@ pub(crate) struct LocalScratch {
 }
 
 impl LocalScratch {
-    pub(crate) fn new(n: usize) -> Self {
+    /// Creates scratch state for graphs with up to `n` vertices.
+    pub fn new(n: usize) -> Self {
         LocalScratch {
             pool: Vec::new(),
             layer: Vec::new(),

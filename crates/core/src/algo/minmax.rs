@@ -19,8 +19,8 @@
 
 use crate::algo::common::{community_from_vertices, validate_k_r};
 use crate::{Aggregation, Community, SearchError};
-use ic_graph::WeightedGraph;
-use ic_kcore::{kcore_mask, PeelArena};
+use ic_graph::{BitSet, WeightedGraph};
+use ic_kcore::{kcore_mask, GraphSnapshot, PeelArena};
 
 /// Top-r k-influential communities under `f = min`, best first.
 pub fn min_topr(wg: &WeightedGraph, k: usize, r: usize) -> Result<Vec<Community>, SearchError> {
@@ -30,6 +30,79 @@ pub fn min_topr(wg: &WeightedGraph, k: usize, r: usize) -> Result<Vec<Community>
 /// Top-r k-influential communities under `f = max`, best first.
 pub fn max_topr(wg: &WeightedGraph, k: usize, r: usize) -> Result<Vec<Community>, SearchError> {
     peel_topr(wg, k, r, Extreme::Max)
+}
+
+/// [`min_topr`] against a [`GraphSnapshot`]: the k-core mask comes from
+/// the snapshot's memoized level and the peel runs on the caller's
+/// (typically pooled) arena. Output is bit-identical to [`min_topr`].
+pub fn min_topr_on(
+    snap: &GraphSnapshot,
+    k: usize,
+    r: usize,
+    arena: &mut PeelArena,
+) -> Result<Vec<Community>, SearchError> {
+    Ok(min_topr_multi_on(snap, k, &[r], arena)?
+        .pop()
+        .expect("one r"))
+}
+
+/// [`max_topr`] against a [`GraphSnapshot`]; see [`min_topr_on`].
+pub fn max_topr_on(
+    snap: &GraphSnapshot,
+    k: usize,
+    r: usize,
+    arena: &mut PeelArena,
+) -> Result<Vec<Community>, SearchError> {
+    Ok(max_topr_multi_on(snap, k, &[r], arena)?
+        .pop()
+        .expect("one r"))
+}
+
+/// Answers several top-r `min` queries over the same `k` with **one**
+/// two-pass peel: the timeline (pass 1) and the component snapshots
+/// (pass 2) are shared across every requested `r`, and only the
+/// per-`r` event selection differs. Entry `i` of the result is
+/// bit-identical to `min_topr(wg, k, rs[i])`. This is the batched
+/// engine's r-family merge: `t` queries cost one peel instead of `t`.
+pub fn min_topr_multi_on(
+    snap: &GraphSnapshot,
+    k: usize,
+    rs: &[usize],
+    arena: &mut PeelArena,
+) -> Result<Vec<Vec<Community>>, SearchError> {
+    for &r in rs {
+        validate_k_r(r)?;
+    }
+    let level = snap.level(k);
+    Ok(peel_topr_multi(
+        snap.weighted(),
+        &level.mask,
+        k,
+        rs,
+        Extreme::Min,
+        arena,
+    ))
+}
+
+/// The `max` counterpart of [`min_topr_multi_on`].
+pub fn max_topr_multi_on(
+    snap: &GraphSnapshot,
+    k: usize,
+    rs: &[usize],
+    arena: &mut PeelArena,
+) -> Result<Vec<Vec<Community>>, SearchError> {
+    for &r in rs {
+        validate_k_r(r)?;
+    }
+    let level = snap.level(k);
+    Ok(peel_topr_multi(
+        snap.weighted(),
+        &level.mask,
+        k,
+        rs,
+        Extreme::Max,
+        arena,
+    ))
 }
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -47,6 +120,24 @@ fn peel_topr(
     validate_k_r(r)?;
     let g = wg.graph();
     let core = kcore_mask(g, k);
+    let mut arena = PeelArena::for_graph(g);
+    Ok(peel_topr_multi(wg, &core, k, &[r], dir, &mut arena)
+        .pop()
+        .expect("one r in, one list out"))
+}
+
+/// Shared implementation: one timeline + one replay serving every
+/// requested `r`. Entry `i` of the result answers `rs[i]`.
+fn peel_topr_multi(
+    wg: &WeightedGraph,
+    core: &BitSet,
+    k: usize,
+    rs: &[usize],
+    dir: Extreme,
+    arena: &mut PeelArena,
+) -> Vec<Vec<Community>> {
+    let g = wg.graph();
+    let r_max = rs.iter().copied().max().unwrap_or(0);
 
     // Peel order: ascending weight for min, descending for max; vertex id
     // breaks ties deterministically.
@@ -59,8 +150,6 @@ fn peel_topr(
         };
         c.then_with(|| a.cmp(&b))
     });
-
-    let mut arena = PeelArena::for_graph(g);
 
     // Pass 1: record the value of every extreme-vertex removal event.
     // Each visit of a still-live vertex is one event; the community it
@@ -75,27 +164,29 @@ fn peel_topr(
         }
     }
 
-    // Select the top-r events by value (sequence number for determinism)
-    // into a flat bitmap — no hashing on the replay path.
+    // Rank events by value (sequence number for determinism). The top-r
+    // events for any r are a prefix of this ranking, so one replay
+    // snapshotting the r_max best serves every requested r.
     let mut ranked: Vec<usize> = (0..event_values.len()).collect();
     ranked.sort_by(|&a, &b| {
         event_values[b]
             .total_cmp(&event_values[a])
             .then_with(|| a.cmp(&b))
     });
-    ranked.truncate(r);
-    let mut selected = vec![false; event_values.len()];
-    for &s in &ranked {
-        selected[s] = true;
+    ranked.truncate(r_max);
+    const UNSELECTED: usize = usize::MAX;
+    let mut rank_of_seq = vec![UNSELECTED; event_values.len()];
+    for (pos, &s) in ranked.iter().enumerate() {
+        rank_of_seq[s] = pos;
     }
 
     // Pass 2: replay, snapshotting the component of each selected event
-    // through the arena's reusable BFS buffer.
-    let mut results: Vec<Community> = Vec::with_capacity(ranked.len());
+    // through the arena's reusable BFS buffer, indexed by event rank.
     let agg = match dir {
         Extreme::Min => Aggregation::Min,
         Extreme::Max => Aggregation::Max,
     };
+    let mut snapshots: Vec<Option<Community>> = vec![None; ranked.len()];
     let mut snapshot: Vec<u32> = Vec::new();
     let mut seq = 0usize;
     arena.load(g, &order, k);
@@ -103,17 +194,25 @@ fn peel_topr(
         if !arena.is_live(v) {
             continue;
         }
-        if selected[seq] {
+        if rank_of_seq[seq] != UNSELECTED {
             arena.component_of_into(v, &mut snapshot);
-            results.push(community_from_vertices(wg, agg, snapshot.clone()));
+            snapshots[rank_of_seq[seq]] = Some(community_from_vertices(wg, agg, snapshot.clone()));
         }
         seq += 1;
         arena.remove_cascade(v);
         arena.commit();
     }
 
-    results.sort_by(|a, b| a.ranking_cmp(b));
-    Ok(results)
+    rs.iter()
+        .map(|&r| {
+            let mut results: Vec<Community> = snapshots[..r.min(snapshots.len())]
+                .iter()
+                .map(|c| c.clone().expect("every ranked event was replayed"))
+                .collect();
+            results.sort_by(|a, b| a.ranking_cmp(b));
+            results
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -207,6 +306,47 @@ mod tests {
     fn rejects_r_zero() {
         let wg = figure1();
         assert!(min_topr(&wg, 2, 0).is_err());
+    }
+
+    #[test]
+    fn snapshot_and_multi_r_paths_are_bit_identical() {
+        use ic_kcore::GraphSnapshot;
+        let wg = figure1();
+        let snap = GraphSnapshot::new(wg.clone());
+        let mut arena = ic_kcore::PeelArena::for_graph(snap.graph());
+        let rs = [1usize, 2, 4, 7];
+        let min_multi = min_topr_multi_on(&snap, 2, &rs, &mut arena).unwrap();
+        let max_multi = max_topr_multi_on(&snap, 2, &rs, &mut arena).unwrap();
+        for (i, &r) in rs.iter().enumerate() {
+            assert_eq!(min_multi[i], min_topr(&wg, 2, r).unwrap(), "min r={r}");
+            assert_eq!(max_multi[i], max_topr(&wg, 2, r).unwrap(), "max r={r}");
+            assert_eq!(
+                min_topr_on(&snap, 2, r, &mut arena).unwrap(),
+                min_multi[i],
+                "min_topr_on r={r}"
+            );
+            assert_eq!(
+                max_topr_on(&snap, 2, r, &mut arena).unwrap(),
+                max_multi[i],
+                "max_topr_on r={r}"
+            );
+        }
+    }
+
+    #[test]
+    fn multi_r_handles_ties_exactly_like_single_r() {
+        // Two triangles with identical weights: events tie on value, so
+        // per-r selection must break ties by sequence exactly as the
+        // single-r path does (prefix slicing of the sorted result list
+        // would get this wrong).
+        let g = graph_from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]);
+        let wg = WeightedGraph::new(g, vec![3.0; 6]).unwrap();
+        let snap = ic_kcore::GraphSnapshot::new(wg.clone());
+        let mut arena = ic_kcore::PeelArena::for_graph(snap.graph());
+        let multi = min_topr_multi_on(&snap, 2, &[1, 2, 5], &mut arena).unwrap();
+        for (i, &r) in [1usize, 2, 5].iter().enumerate() {
+            assert_eq!(multi[i], min_topr(&wg, 2, r).unwrap(), "r={r}");
+        }
     }
 
     #[test]

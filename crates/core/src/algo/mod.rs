@@ -29,13 +29,18 @@ mod truss;
 
 pub use bb::bb_avg_topr;
 pub use exact::{all_communities, exact_naive, exact_topr};
-pub use improved::{tic_improved, tic_improved_with_options, ImprovedOptions};
+pub use improved::{tic_improved, tic_improved_on, tic_improved_with_options, ImprovedOptions};
 pub use index::MinCommunityIndex;
-pub use local_search::{local_search, local_search_nonoverlapping, LocalSearchConfig};
-pub use minmax::{max_topr, min_topr};
-pub use par::par_local_search;
+pub use local_search::{
+    local_search, local_search_nonoverlapping, run_seed, run_seed_multi, LocalScratch,
+    LocalSearchConfig, SeedTarget,
+};
+pub use minmax::{
+    max_topr, max_topr_multi_on, max_topr_on, min_topr, min_topr_multi_on, min_topr_on,
+};
+pub use par::{decode_ordered_f64, encode_ordered_f64, par_local_search};
 pub use refine::{local_search_refined, refine_community};
-pub use sum_naive::sum_naive;
+pub use sum_naive::{sum_naive, sum_naive_on};
 pub use truss::{truss_min_topr, truss_sum_topr};
 
 pub(crate) use common::community_from_vertices;

@@ -33,8 +33,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Order-preserving encoding of `f64` into `u64`: `a < b` iff
 /// `encode(a) < encode(b)` (total order, `-inf` smallest). Lets an
-/// `AtomicU64::fetch_max` maintain a running maximum threshold.
-fn encode_f64(x: f64) -> u64 {
+/// `AtomicU64::fetch_max` maintain a running maximum threshold; the
+/// batched engine reuses it for its cross-worker pruning floor.
+pub fn encode_ordered_f64(x: f64) -> u64 {
     let bits = x.to_bits();
     if bits >> 63 == 1 {
         !bits
@@ -43,7 +44,8 @@ fn encode_f64(x: f64) -> u64 {
     }
 }
 
-fn decode_f64(enc: u64) -> f64 {
+/// Inverse of [`encode_ordered_f64`].
+pub fn decode_ordered_f64(enc: u64) -> f64 {
     if enc >> 63 == 1 {
         f64::from_bits(enc & !(1u64 << 63))
     } else {
@@ -76,7 +78,7 @@ pub fn par_local_search(
 
     let chunk_size = seeds.len().div_ceil(threads);
     // Best known r-th value across all workers (monotone max).
-    let global_threshold = AtomicU64::new(encode_f64(f64::NEG_INFINITY));
+    let global_threshold = AtomicU64::new(encode_ordered_f64(f64::NEG_INFINITY));
 
     let locals: Vec<TopList> = std::thread::scope(|scope| {
         let handles: Vec<_> = seeds
@@ -89,7 +91,7 @@ pub fn par_local_search(
                     let mut scratch = LocalScratch::new(g.num_vertices());
                     for &seed in chunk {
                         // Snapshot the shared floor, expand, publish back.
-                        local.set_floor(decode_f64(threshold_ref.load(Ordering::Relaxed)));
+                        local.set_floor(decode_ordered_f64(threshold_ref.load(Ordering::Relaxed)));
                         run_seed(
                             wg,
                             g,
@@ -101,8 +103,10 @@ pub fn par_local_search(
                             &mut local,
                         );
                         if local.len() == local.capacity() {
-                            threshold_ref
-                                .fetch_max(encode_f64(local.threshold()), Ordering::Relaxed);
+                            threshold_ref.fetch_max(
+                                encode_ordered_f64(local.threshold()),
+                                Ordering::Relaxed,
+                            );
                         }
                     }
                     local
@@ -148,10 +152,14 @@ mod tests {
             f64::INFINITY,
         ];
         for (i, &a) in samples.iter().enumerate() {
-            assert_eq!(decode_f64(encode_f64(a)), a, "round trip {a}");
+            assert_eq!(
+                decode_ordered_f64(encode_ordered_f64(a)),
+                a,
+                "round trip {a}"
+            );
             for &b in &samples[i + 1..] {
                 if a < b {
-                    assert!(encode_f64(a) < encode_f64(b), "{a} vs {b}");
+                    assert!(encode_ordered_f64(a) < encode_ordered_f64(b), "{a} vs {b}");
                 }
             }
         }

@@ -22,8 +22,8 @@ use crate::algo::common::{
     vertex_set_key,
 };
 use crate::{Aggregation, Community, SearchError, TopList};
-use ic_graph::WeightedGraph;
-use ic_kcore::{maximal_kcore_components, PeelArena};
+use ic_graph::{VertexId, WeightedGraph};
+use ic_kcore::{maximal_kcore_components, GraphSnapshot, PeelArena};
 use std::collections::HashSet;
 
 /// Runs Algorithm 1. Returns the top-r communities, best first. The
@@ -38,12 +38,46 @@ pub fn sum_naive(
 ) -> Result<Vec<Community>, SearchError> {
     validate_k_r(r)?;
     require_corollary2("sum_naive", aggregation)?;
+    let comps = maximal_kcore_components(wg.graph(), k);
+    let mut arena = PeelArena::for_graph(wg.graph());
+    Ok(sum_naive_with(wg, comps, k, r, aggregation, &mut arena))
+}
 
+/// [`sum_naive`] against a [`GraphSnapshot`]: the k-core components come
+/// from the snapshot's memoized level and the peel runs on the caller's
+/// (typically pooled) arena. Output is bit-identical to [`sum_naive`].
+pub fn sum_naive_on(
+    snap: &GraphSnapshot,
+    k: usize,
+    r: usize,
+    aggregation: Aggregation,
+    arena: &mut PeelArena,
+) -> Result<Vec<Community>, SearchError> {
+    validate_k_r(r)?;
+    require_corollary2("sum_naive", aggregation)?;
+    let level = snap.level(k);
+    Ok(sum_naive_with(
+        snap.weighted(),
+        level.components.clone(),
+        k,
+        r,
+        aggregation,
+        arena,
+    ))
+}
+
+fn sum_naive_with(
+    wg: &WeightedGraph,
+    comps: Vec<Vec<VertexId>>,
+    k: usize,
+    r: usize,
+    aggregation: Aggregation,
+    arena: &mut PeelArena,
+) -> Vec<Community> {
     let g = wg.graph();
 
     // Lines 1-2: disjoint connected components of the maximal k-core seed
     // the list and the expansion worklist.
-    let comps = maximal_kcore_components(g, k);
     let mut list = TopList::new(r);
     let mut worklist: Vec<Community> = Vec::new();
     let mut explored: HashSet<u64> = HashSet::new();
@@ -54,7 +88,6 @@ pub fn sum_naive(
         }
     }
 
-    let mut arena = PeelArena::for_graph(g);
     let mut children: Vec<Community> = Vec::new();
     // Lines 3-10: split every retained community by each of its vertices.
     // A community evicted from the list before its turn cannot spawn a
@@ -75,7 +108,7 @@ pub fn sum_naive(
         let parent_mix = vertex_mix_sum(&parent.vertices);
         for &v in &parent.vertices {
             expand_children(
-                &mut arena,
+                arena,
                 wg,
                 aggregation,
                 &parent.vertices,
@@ -97,7 +130,7 @@ pub fn sum_naive(
             }
         }
     }
-    Ok(list.into_vec())
+    list.into_vec()
 }
 
 #[cfg(test)]
@@ -198,6 +231,20 @@ mod tests {
         // Whole graph: 203 + 11; minus v3: 195 + 10.
         assert_eq!(top[0].value, 214.0);
         assert_eq!(top[1].value, 205.0);
+    }
+
+    #[test]
+    fn snapshot_path_is_bit_identical() {
+        let wg = figure1();
+        let snap = GraphSnapshot::new(wg.clone());
+        let mut arena = PeelArena::for_graph(snap.graph());
+        for r in [1, 2, 5, 9] {
+            assert_eq!(
+                sum_naive_on(&snap, 2, r, Aggregation::Sum, &mut arena).unwrap(),
+                sum_naive(&wg, 2, r, Aggregation::Sum).unwrap(),
+                "r = {r}"
+            );
+        }
     }
 
     #[test]

@@ -2,7 +2,7 @@ use crate::Aggregation;
 use std::fmt;
 
 /// Errors produced by the community-search solvers.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum SearchError {
     /// A parameter combination is invalid (e.g. `r = 0`, `s <= k`).
     InvalidParams(String),

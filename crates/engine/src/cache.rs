@@ -1,0 +1,121 @@
+//! Cross-batch result cache.
+//!
+//! The engine's snapshot is immutable and every solver is a
+//! deterministic function of `(graph, query)`, so memoizing completed
+//! results across batches is sound: a hit returns the very value an
+//! earlier solver run produced, which is bit-identical by construction.
+//! This is the steady-state serving amortization — Zipf-popular queries
+//! repeat across batches, and only a query's *first* occurrence ever
+//! pays solver time. (For heuristic local-search queries executed on
+//! several workers, the cached value is one of the documented
+//! `par_local_search`-style outcomes and pins the answer stably, which
+//! serving surfaces generally prefer.)
+//!
+//! The cache is bounded: when full, the oldest half of the entries is
+//! evicted (insertion order), keeping hot heads resident without
+//! per-access bookkeeping. Errors are never cached — they are cheap to
+//! re-derive at plan time.
+
+use crate::{Constraint, Query};
+use ic_core::{Community, SearchError};
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Mutex};
+
+pub(crate) type Outcome = Arc<Result<Vec<Community>, SearchError>>;
+
+/// Hashable identity of a query (f64 parameters by bit pattern).
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+struct CacheKey {
+    k: usize,
+    r: usize,
+    agg: (u8, u64),
+    eps: u64,
+    constraint: (bool, usize, bool),
+}
+
+fn key_of(q: &Query) -> CacheKey {
+    use ic_core::Aggregation;
+    let agg = match q.aggregation {
+        Aggregation::Min => (0, 0),
+        Aggregation::Max => (1, 0),
+        Aggregation::Sum => (2, 0),
+        Aggregation::SumSurplus { alpha } => (3, alpha.to_bits()),
+        Aggregation::Average => (4, 0),
+        Aggregation::WeightDensity { beta } => (5, beta.to_bits()),
+        Aggregation::BalancedDensity => (6, 0),
+    };
+    let constraint = match q.constraint {
+        Constraint::Unconstrained => (false, 0, false),
+        Constraint::SizeBound { s, greedy } => (true, s, greedy),
+    };
+    CacheKey {
+        k: q.k,
+        r: q.r,
+        agg,
+        eps: q.epsilon.to_bits(),
+        constraint,
+    }
+}
+
+struct Inner {
+    map: HashMap<CacheKey, Outcome>,
+    fifo: VecDeque<CacheKey>,
+}
+
+/// Bounded memo of completed query results. See the module docs.
+pub(crate) struct ResultCache {
+    capacity: usize,
+    inner: Mutex<Inner>,
+}
+
+impl ResultCache {
+    pub(crate) fn new(capacity: usize) -> Self {
+        ResultCache {
+            capacity,
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                fifo: VecDeque::new(),
+            }),
+        }
+    }
+
+    pub(crate) fn get(&self, q: &Query) -> Option<Outcome> {
+        if self.capacity == 0 {
+            return None;
+        }
+        let inner = self.inner.lock().expect("result cache poisoned");
+        inner.map.get(&key_of(q)).cloned()
+    }
+
+    /// Records a completed `Ok` outcome (errors are not cached).
+    pub(crate) fn insert(&self, q: &Query, outcome: &Outcome) {
+        if self.capacity == 0 || outcome.is_err() {
+            return;
+        }
+        let key = key_of(q);
+        let mut inner = self.inner.lock().expect("result cache poisoned");
+        if inner.map.contains_key(&key) {
+            return;
+        }
+        if inner.map.len() >= self.capacity {
+            // Drop the oldest half in one sweep.
+            for _ in 0..self.capacity.div_ceil(2) {
+                if let Some(old) = inner.fifo.pop_front() {
+                    inner.map.remove(&old);
+                }
+            }
+        }
+        inner.map.insert(key, Arc::clone(outcome));
+        inner.fifo.push_back(key);
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.inner.lock().expect("result cache poisoned").map.len()
+    }
+
+    pub(crate) fn clear(&self) {
+        let mut inner = self.inner.lock().expect("result cache poisoned");
+        inner.map.clear();
+        inner.fifo.clear();
+    }
+}

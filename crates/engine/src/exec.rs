@@ -1,0 +1,263 @@
+//! Plan execution: a work-stealing pool of scoped worker threads.
+//!
+//! Workers draw jobs from a shared atomic cursor over the plan's sorted
+//! job list (idle workers "steal" whatever is next, so a slow job never
+//! blocks the rest of the batch behind a static partition). Each worker
+//! holds one pooled [`PeelArena`](ic_kcore::PeelArena) for its lifetime
+//! and lazily creates one [`LocalScratch`] the first time it executes a
+//! local-search chunk; both are reused across every job the worker runs.
+//! Completed results flow back to the caller thread over a channel, which
+//! is what makes [`crate::Engine::for_each_result`] stream results in
+//! completion order while the batch is still running.
+
+use crate::plan::{Dir, Job, JobOutput, LocalJob, Plan};
+use crate::Engine;
+use ic_core::algo::{
+    self, decode_ordered_f64, encode_ordered_f64, run_seed_multi, LocalScratch, SeedTarget,
+};
+use ic_core::{Community, SearchError, TopList};
+use ic_kcore::PeelArena;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::Sender;
+use std::sync::Arc;
+
+type Outcome = Arc<Result<Vec<Community>, SearchError>>;
+
+pub(crate) fn execute<F>(engine: &Engine, plan: Plan, mut deliver: F)
+where
+    F: FnMut(usize, Outcome),
+{
+    for (query, result) in plan.immediate.iter() {
+        deliver(*query, Arc::clone(result));
+    }
+    if plan.jobs.is_empty() {
+        return;
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let workers = engine.threads().min(plan.jobs.len());
+    let (tx, rx) = std::sync::mpsc::channel::<(usize, Outcome)>();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let cursor = &cursor;
+            let plan = &plan;
+            scope.spawn(move || {
+                let mut arena = engine.arena_pool().acquire();
+                let mut scratch: Option<LocalScratch> = None;
+                loop {
+                    let j = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(job) = plan.jobs.get(j) else { break };
+                    run_job(engine, job, &mut arena, &mut scratch, &tx);
+                }
+            });
+        }
+        drop(tx);
+        // Stream results on the caller thread as workers finish jobs.
+        for (query, result) in rx {
+            deliver(query, result);
+        }
+    });
+}
+
+/// Whether the top-`r` prefix of an *exact* removal-decreasing result
+/// computed at a larger `r_max` provably equals a direct top-`r` run.
+///
+/// `TIC-IMPROVED` with ε = 0 is exact **by value**: any run returns a
+/// list whose value multiset is the true top-r values. If `full` has
+/// fewer than `r + 1` entries it contains *every* community, so both
+/// runs return the same set. Otherwise, if the first `r + 1` values are
+/// strictly decreasing, each of the top-`r` values identifies exactly
+/// one community (an unlisted community sharing one of those values
+/// would itself belong in the exact top-`r_max` by value and hence be
+/// listed), so the top-`r` *set* is unique and both runs return it in
+/// the same `ranking_cmp` order. Only a genuine value tie at or above
+/// the boundary defeats the proof — the caller falls back to a direct
+/// run there.
+fn prefix_is_tie_safe(full: &[Community], r: usize) -> bool {
+    if full.len() <= r {
+        return true;
+    }
+    full[..=r].windows(2).all(|w| w[0].value > w[1].value)
+}
+
+fn send_all(tx: &Sender<(usize, Outcome)>, outputs: &[JobOutput], outcome: &Outcome) {
+    for out in outputs {
+        // The receiver outlives the scope; a send can only fail if the
+        // caller's callback panicked, in which case the batch is already
+        // unwinding.
+        let _ = tx.send((out.query, Arc::clone(outcome)));
+    }
+}
+
+fn run_job(
+    engine: &Engine,
+    job: &Job,
+    arena: &mut PeelArena,
+    scratch: &mut Option<LocalScratch>,
+    tx: &Sender<(usize, Outcome)>,
+) {
+    let snap = engine.snapshot();
+    match job {
+        Job::MinMaxFamily {
+            dir,
+            k,
+            rs,
+            outputs,
+        } => {
+            let solved = match dir {
+                Dir::Min => algo::min_topr_multi_on(snap, *k, rs, arena),
+                Dir::Max => algo::max_topr_multi_on(snap, *k, rs, arena),
+            };
+            match solved {
+                Ok(lists) => {
+                    let slots: Vec<Outcome> = lists.into_iter().map(|l| Arc::new(Ok(l))).collect();
+                    for out in outputs {
+                        let _ = tx.send((out.query, Arc::clone(&slots[out.slot])));
+                    }
+                }
+                Err(e) => send_all(tx, outputs, &Arc::new(Err(e))),
+            }
+        }
+        Job::SumFamily {
+            k,
+            aggregation,
+            rs,
+            outputs,
+        } => {
+            let r_max = *rs.last().expect("family is non-empty");
+            match algo::tic_improved_on(snap, *k, r_max, *aggregation, 0.0, arena) {
+                Ok(full) => {
+                    let slots: Vec<Outcome> = rs
+                        .iter()
+                        .map(|&r| {
+                            if r == r_max {
+                                Arc::new(Ok(full.clone()))
+                            } else if prefix_is_tie_safe(&full, r) {
+                                Arc::new(Ok(full[..r.min(full.len())].to_vec()))
+                            } else {
+                                // A value tie makes the top-r' set
+                                // ambiguous under the solver's tie-break;
+                                // fall back to the direct run so the
+                                // answer stays bit-identical to it.
+                                Arc::new(algo::tic_improved_on(
+                                    snap,
+                                    *k,
+                                    r,
+                                    *aggregation,
+                                    0.0,
+                                    arena,
+                                ))
+                            }
+                        })
+                        .collect();
+                    for out in outputs {
+                        let _ = tx.send((out.query, Arc::clone(&slots[out.slot])));
+                    }
+                }
+                Err(e) => send_all(tx, outputs, &Arc::new(Err(e))),
+            }
+        }
+        Job::Improved {
+            k,
+            r,
+            aggregation,
+            epsilon,
+            outputs,
+        } => {
+            let outcome = Arc::new(algo::tic_improved_on(
+                snap,
+                *k,
+                *r,
+                *aggregation,
+                *epsilon,
+                arena,
+            ));
+            send_all(tx, outputs, &outcome);
+        }
+        Job::LocalChunk { job, chunk } => run_local_chunk(engine, job, *chunk, scratch, tx),
+    }
+}
+
+/// Executes seed chunk `chunk` of a local-search family, mirroring
+/// `par_local_search`: per-member thread-local top-r lists, per-member
+/// shared monotone floors, one pool build per seed shared by every
+/// member's strategy, merge by whichever chunk finishes last.
+fn run_local_chunk(
+    engine: &Engine,
+    job: &Arc<LocalJob>,
+    chunk: usize,
+    scratch: &mut Option<LocalScratch>,
+    tx: &Sender<(usize, Outcome)>,
+) {
+    let snap = engine.snapshot();
+    let wg = snap.weighted();
+    let g = snap.graph();
+    let level = snap.level(job.k);
+
+    let seeds = job
+        .seeds
+        .get_or_init(|| level.mask.iter().map(|v| v as u32).collect());
+    let chunk_size = seeds.len().div_ceil(job.chunks).max(1);
+    let lo = (chunk * chunk_size).min(seeds.len());
+    let hi = ((chunk + 1) * chunk_size).min(seeds.len());
+
+    let mut locals: Vec<TopList> = job.members.iter().map(|m| TopList::new(m.r)).collect();
+    let scratch = scratch.get_or_insert_with(|| LocalScratch::new(g.num_vertices()));
+    {
+        let mut targets: Vec<SeedTarget<'_>> = locals
+            .iter_mut()
+            .zip(&job.members)
+            .map(|(list, m)| SeedTarget {
+                aggregation: m.aggregation,
+                list,
+            })
+            .collect();
+        for &seed in &seeds[lo..hi] {
+            // Snapshot each member's shared floor, expand, publish back.
+            for (t, m) in targets.iter_mut().zip(&job.members) {
+                t.list
+                    .set_floor(decode_ordered_f64(m.floor.load(Ordering::Relaxed)));
+            }
+            run_seed_multi(
+                wg,
+                g,
+                &level.mask,
+                seed,
+                job.k,
+                job.s,
+                job.greedy,
+                scratch,
+                &mut targets,
+            );
+            for (t, m) in targets.iter().zip(&job.members) {
+                if t.list.len() == t.list.capacity() {
+                    m.floor
+                        .fetch_max(encode_ordered_f64(t.list.threshold()), Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    for (local, m) in locals.into_iter().zip(&job.members) {
+        m.partials
+            .lock()
+            .expect("local job partials poisoned")
+            .push(local);
+    }
+    if job.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+        // Last chunk standing merges and publishes every member.
+        for m in &job.members {
+            let mut merged = TopList::new(m.r);
+            let partials =
+                std::mem::take(&mut *m.partials.lock().expect("local job partials poisoned"));
+            for list in partials {
+                for c in list.into_vec() {
+                    merged.insert(c);
+                }
+            }
+            let outcome: Outcome = Arc::new(Ok(merged.into_vec()));
+            send_all(tx, &m.outputs, &outcome);
+        }
+    }
+}

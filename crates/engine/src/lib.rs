@@ -1,0 +1,504 @@
+//! Batched multi-query engine for top-r influential community search.
+//!
+//! The paper answers one query at a time; a serving system sees *many*
+//! queries — varying `k`, `r`, aggregation, and size constraint —
+//! against the *same* graph. This crate amortizes work across them:
+//!
+//! 1. **Shared snapshot** — an [`Engine`] owns a
+//!    [`GraphSnapshot`](ic_kcore::GraphSnapshot): the core decomposition
+//!    is computed once per graph and the per-`k` core masks/components
+//!    once per distinct `k`, no matter how many queries use them.
+//! 2. **Planning** — [`Engine::plan`] validates every query up front,
+//!    answers `k > degeneracy` queries immediately (provably empty),
+//!    deduplicates identical queries, merges `min`/`max` queries that
+//!    differ only in `r` into one shared two-pass peel
+//!    ([`ic_core::algo::min_topr_multi_on`]), and orders the remaining
+//!    jobs by `(k, solver)` so consecutive jobs hit warm snapshot levels
+//!    and arena buffers.
+//! 3. **Execution** — jobs run on a work-stealing pool of scoped
+//!    threads; each worker draws jobs from a shared cursor, holds a
+//!    pooled [`PeelArena`](ic_kcore::PeelArena) for its lifetime (the
+//!    [`ArenaPool`](ic_kcore::ArenaPool) persists across batches, so
+//!    steady traffic constructs zero arenas), and size-constrained
+//!    local-search queries are split into per-worker seed chunks that
+//!    share the atomic r-th-value pruning floor of
+//!    [`ic_core::algo::par_local_search`].
+//!
+//! Deterministic solvers (`min`, `max`, `sum`, `sum-surplus`) return
+//! **bit-identical** output to their one-query-at-a-time counterparts,
+//! regardless of thread count or batch composition — the conformance
+//! suite (`tests/conformance.rs`) holds every path to that. Heuristic
+//! local-search queries reproduce the sequential result exactly at
+//! `threads = 1` and the documented `par_local_search` behaviour above.
+//!
+//! # Quick start
+//!
+//! ```
+//! use ic_core::Aggregation;
+//! use ic_engine::{Engine, Query};
+//! use ic_core::figure1::figure1;
+//!
+//! let engine = Engine::with_threads(figure1(), 2);
+//! let batch = vec![
+//!     Query::new(2, 2, Aggregation::Min),
+//!     Query::new(2, 2, Aggregation::Sum),
+//!     Query::new(2, 1, Aggregation::Min), // merged into the first peel
+//! ];
+//! let results = engine.run_batch(&batch);
+//! assert_eq!(results[1].as_ref().unwrap()[0].value, 203.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod exec;
+mod plan;
+
+pub use plan::{Plan, PlanStats};
+
+use cache::ResultCache;
+use ic_core::{Aggregation, Community, SearchError};
+use ic_graph::WeightedGraph;
+use ic_kcore::{ArenaPool, GraphSnapshot};
+use std::sync::Arc;
+
+/// One top-r influential community query against the engine's graph.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Query {
+    /// Degree constraint `k` of the community model.
+    pub k: usize,
+    /// Number of communities to return.
+    pub r: usize,
+    /// Aggregation function `f`.
+    pub aggregation: Aggregation,
+    /// Approximation parameter ε for the removal-decreasing
+    /// aggregations (`0.0` = exact); must be `0.0` for every other
+    /// solver path.
+    pub epsilon: f64,
+    /// Unconstrained or size-bounded search.
+    pub constraint: Constraint,
+}
+
+/// Size constraint of a [`Query`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Constraint {
+    /// Size-unconstrained top-r (polynomial-time aggregations only).
+    Unconstrained,
+    /// Size-bounded top-r via local search (any aggregation; heuristic).
+    SizeBound {
+        /// Community size bound `s` (must exceed `k`).
+        s: usize,
+        /// Greedy (weight-sorted pools) vs Random (BFS-ordered pools).
+        greedy: bool,
+    },
+}
+
+impl Query {
+    /// An exact, unconstrained query.
+    pub fn new(k: usize, r: usize, aggregation: Aggregation) -> Self {
+        Query {
+            k,
+            r,
+            aggregation,
+            epsilon: 0.0,
+            constraint: Constraint::Unconstrained,
+        }
+    }
+
+    /// Sets the approximation parameter ε (Approx mode of Algorithm 2).
+    pub fn approx(mut self, epsilon: f64) -> Self {
+        self.epsilon = epsilon;
+        self
+    }
+
+    /// Adds a size bound, routing the query through local search.
+    pub fn size_bound(mut self, s: usize, greedy: bool) -> Self {
+        self.constraint = Constraint::SizeBound { s, greedy };
+        self
+    }
+}
+
+/// A batched query engine over one immutable graph. See the module docs.
+pub struct Engine {
+    snapshot: GraphSnapshot,
+    arenas: ArenaPool,
+    threads: usize,
+    results: ResultCache,
+}
+
+/// Default bound on the cross-batch result cache (distinct queries).
+const DEFAULT_CACHE_CAPACITY: usize = 4096;
+
+impl Engine {
+    /// Builds an engine using all available hardware parallelism.
+    pub fn new(wg: WeightedGraph) -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        Self::with_threads(wg, threads)
+    }
+
+    /// Builds an engine with an explicit worker count (`>= 1`; clamped).
+    pub fn with_threads(wg: WeightedGraph, threads: usize) -> Self {
+        Self::from_snapshot(GraphSnapshot::new(wg), threads)
+    }
+
+    /// Builds an engine over an existing snapshot, inheriting whatever
+    /// levels it has already memoized.
+    pub fn from_snapshot(snapshot: GraphSnapshot, threads: usize) -> Self {
+        let arenas = ArenaPool::for_graph(snapshot.graph());
+        Engine {
+            snapshot,
+            arenas,
+            threads: threads.max(1),
+            results: ResultCache::new(DEFAULT_CACHE_CAPACITY),
+        }
+    }
+
+    /// Distinct query results currently memoized across batches. The
+    /// snapshot is immutable and the solvers deterministic, so cached
+    /// results are bit-identical to re-solving; only a query's first
+    /// occurrence across a serving session pays solver time.
+    pub fn cached_results(&self) -> usize {
+        self.results.len()
+    }
+
+    /// Drops every memoized result (the snapshot's core levels stay).
+    pub fn clear_result_cache(&self) {
+        self.results.clear();
+    }
+
+    /// The engine's shared snapshot.
+    pub fn snapshot(&self) -> &GraphSnapshot {
+        &self.snapshot
+    }
+
+    /// Worker threads used per batch.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Peel arenas constructed so far (steady-state traffic keeps this
+    /// at the worker count — arenas are pooled across batches).
+    pub fn arenas_created(&self) -> usize {
+        self.arenas.created()
+    }
+
+    pub(crate) fn arena_pool(&self) -> &ArenaPool {
+        &self.arenas
+    }
+
+    /// Plans a batch without executing it: validation, cache lookups,
+    /// immediate answers, dedup, family merging, and job ordering.
+    /// Exposed for stats introspection ([`PlanStats`]) and testing;
+    /// `run_batch` and `for_each_result` plan internally. Planning only
+    /// reads the result cache, it never populates it.
+    pub fn plan(&self, queries: &[Query]) -> Plan {
+        Plan::build(&self.snapshot, queries, self.threads, Some(&self.results))
+    }
+
+    /// Executes a batch and returns one result per query, aligned with
+    /// the input order. Duplicate queries are answered by one solver run.
+    pub fn run_batch(&self, queries: &[Query]) -> Vec<Result<Vec<Community>, SearchError>> {
+        let mut results: Vec<Option<cache::Outcome>> = vec![None; queries.len()];
+        self.execute(queries, |idx, res| {
+            results[idx] = Some(res);
+        });
+        results
+            .into_iter()
+            .map(|slot| (*slot.expect("every query is answered exactly once")).clone())
+            .collect()
+    }
+
+    /// Streaming variant of [`run_batch`](Self::run_batch): invokes the
+    /// callback once per query, on the calling thread, as results
+    /// complete (completion order, not input order). Useful for serving
+    /// loops that forward answers as soon as they are ready.
+    pub fn for_each_result<F>(&self, queries: &[Query], mut f: F)
+    where
+        F: FnMut(usize, Result<&[Community], &SearchError>),
+    {
+        self.execute(queries, |idx, res| match res.as_ref() {
+            Ok(communities) => f(idx, Ok(communities.as_slice())),
+            Err(e) => f(idx, Err(e)),
+        });
+    }
+
+    fn execute<F>(&self, queries: &[Query], mut deliver: F)
+    where
+        F: FnMut(usize, Arc<Result<Vec<Community>, SearchError>>),
+    {
+        let plan = self.plan(queries);
+        exec::execute(self, plan, |idx, outcome| {
+            self.results.insert(&queries[idx], &outcome);
+            deliver(idx, outcome);
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ic_core::algo::{self, LocalSearchConfig};
+    use ic_core::figure1::figure1;
+    use ic_core::verify::check_community;
+
+    fn engine(threads: usize) -> Engine {
+        Engine::with_threads(figure1(), threads)
+    }
+
+    #[test]
+    fn batch_matches_direct_solvers_bit_for_bit() {
+        for threads in [1usize, 4] {
+            let eng = engine(threads);
+            let wg = figure1();
+            let batch = vec![
+                Query::new(2, 2, Aggregation::Min),
+                Query::new(2, 5, Aggregation::Max),
+                Query::new(2, 3, Aggregation::Sum),
+                Query::new(2, 3, Aggregation::Sum).approx(0.1),
+                Query::new(2, 2, Aggregation::SumSurplus { alpha: 1.0 }),
+            ];
+            let got = eng.run_batch(&batch);
+            assert_eq!(
+                got[0].as_ref().unwrap(),
+                &algo::min_topr(&wg, 2, 2).unwrap()
+            );
+            assert_eq!(
+                got[1].as_ref().unwrap(),
+                &algo::max_topr(&wg, 2, 5).unwrap()
+            );
+            assert_eq!(
+                got[2].as_ref().unwrap(),
+                &algo::tic_improved(&wg, 2, 3, Aggregation::Sum, 0.0).unwrap()
+            );
+            assert_eq!(
+                got[3].as_ref().unwrap(),
+                &algo::tic_improved(&wg, 2, 3, Aggregation::Sum, 0.1).unwrap()
+            );
+            assert_eq!(
+                got[4].as_ref().unwrap(),
+                &algo::tic_improved(&wg, 2, 2, Aggregation::SumSurplus { alpha: 1.0 }, 0.0)
+                    .unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn min_family_merge_is_exact_per_r() {
+        let eng = engine(2);
+        let wg = figure1();
+        let batch: Vec<Query> = [1usize, 3, 7, 2, 1]
+            .iter()
+            .map(|&r| Query::new(2, r, Aggregation::Min))
+            .collect();
+        let plan = eng.plan(&batch);
+        assert_eq!(plan.stats.solver_runs, 1, "one shared peel for all r");
+        let got = eng.run_batch(&batch);
+        for (q, res) in batch.iter().zip(&got) {
+            assert_eq!(
+                res.as_ref().unwrap(),
+                &algo::min_topr(&wg, q.k, q.r).unwrap(),
+                "r = {}",
+                q.r
+            );
+        }
+    }
+
+    #[test]
+    fn sum_family_merge_is_exact_per_r() {
+        let eng = engine(2);
+        let wg = figure1();
+        let batch: Vec<Query> = [1usize, 3, 7, 2]
+            .iter()
+            .map(|&r| Query::new(2, r, Aggregation::Sum))
+            .collect();
+        let plan = eng.plan(&batch);
+        assert_eq!(plan.stats.solver_runs, 1, "one exact run for all r");
+        let got = eng.run_batch(&batch);
+        for (q, res) in batch.iter().zip(&got) {
+            assert_eq!(
+                res.as_ref().unwrap(),
+                &algo::tic_improved(&wg, q.k, q.r, Aggregation::Sum, 0.0).unwrap(),
+                "r = {}",
+                q.r
+            );
+        }
+    }
+
+    #[test]
+    fn sum_family_falls_back_on_value_ties() {
+        // Two disjoint triangles with identical weights: the top-2 sum
+        // communities tie at 9.0, so smaller-r members of the family
+        // cannot be served as prefixes and must still equal the direct
+        // run bit for bit (the executor's tie-safety fallback).
+        let g = ic_graph::graph_from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]);
+        let wg = ic_graph::WeightedGraph::new(g, vec![3.0; 6]).unwrap();
+        for threads in [1usize, 4] {
+            let eng = Engine::with_threads(wg.clone(), threads);
+            let batch: Vec<Query> = [1usize, 2, 5]
+                .iter()
+                .map(|&r| Query::new(2, r, Aggregation::Sum))
+                .collect();
+            assert_eq!(eng.plan(&batch).stats.solver_runs, 1);
+            let got = eng.run_batch(&batch);
+            for (q, res) in batch.iter().zip(&got) {
+                assert_eq!(
+                    res.as_ref().unwrap(),
+                    &algo::tic_improved(&wg, q.k, q.r, Aggregation::Sum, 0.0).unwrap(),
+                    "threads = {threads}, r = {}",
+                    q.r
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn constrained_single_thread_matches_sequential_local_search() {
+        let eng = engine(1);
+        let wg = figure1();
+        let q = Query::new(2, 3, Aggregation::Average).size_bound(4, true);
+        let got = eng.run_batch(&[q]);
+        let config = LocalSearchConfig {
+            k: 2,
+            r: 3,
+            s: 4,
+            greedy: true,
+        };
+        let expect = algo::local_search(&wg, &config, Aggregation::Average).unwrap();
+        assert_eq!(got[0].as_ref().unwrap(), &expect);
+    }
+
+    #[test]
+    fn constrained_multi_thread_results_verify() {
+        let eng = engine(4);
+        let wg = figure1();
+        let q = Query::new(2, 3, Aggregation::Sum).size_bound(4, true);
+        let got = eng.run_batch(&[q]);
+        let res = got[0].as_ref().unwrap();
+        assert!(!res.is_empty());
+        for c in res {
+            check_community(&wg, 2, Some(4), Aggregation::Sum, c).unwrap();
+        }
+    }
+
+    #[test]
+    fn invalid_queries_error_individually_without_poisoning_the_batch() {
+        let eng = engine(2);
+        let batch = vec![
+            Query::new(2, 0, Aggregation::Min),                     // r = 0
+            Query::new(2, 2, Aggregation::Average),                 // NP-hard unconstrained
+            Query::new(2, 2, Aggregation::Sum).approx(1.5),         // bad epsilon
+            Query::new(2, 2, Aggregation::Min).approx(0.5),         // epsilon on min
+            Query::new(2, 2, Aggregation::Sum).size_bound(2, true), // s <= k
+            Query::new(2, 2, Aggregation::Sum),                     // valid
+        ];
+        let got = eng.run_batch(&batch);
+        for (i, res) in got.iter().take(5).enumerate() {
+            assert!(res.is_err(), "query {i} must fail");
+        }
+        assert!(got[5].is_ok());
+    }
+
+    #[test]
+    fn k_above_degeneracy_answers_empty_at_plan_time() {
+        let eng = engine(2);
+        let batch = vec![Query::new(100, 3, Aggregation::Min)];
+        let plan = eng.plan(&batch);
+        assert_eq!(plan.stats.answered_at_plan, 1);
+        assert_eq!(plan.stats.solver_runs, 0);
+        let got = eng.run_batch(&batch);
+        assert!(got[0].as_ref().unwrap().is_empty());
+    }
+
+    #[test]
+    fn duplicate_queries_share_one_solver_run() {
+        let eng = engine(2);
+        let q = Query::new(2, 3, Aggregation::Sum);
+        let batch = vec![q, q, q, q];
+        let plan = eng.plan(&batch);
+        assert_eq!(plan.stats.solver_runs, 1);
+        let got = eng.run_batch(&batch);
+        assert!(got.iter().all(|r| r == &got[0]));
+    }
+
+    #[test]
+    fn streaming_delivers_every_query_exactly_once() {
+        let eng = engine(3);
+        let batch = vec![
+            Query::new(2, 1, Aggregation::Min),
+            Query::new(2, 2, Aggregation::Max),
+            Query::new(9, 1, Aggregation::Min), // empty at plan time
+            Query::new(2, 0, Aggregation::Min), // immediate error
+            Query::new(2, 2, Aggregation::Sum).size_bound(4, true),
+        ];
+        let mut seen = vec![0usize; batch.len()];
+        eng.for_each_result(&batch, |idx, _res| {
+            seen[idx] += 1;
+        });
+        assert_eq!(seen, vec![1; batch.len()]);
+    }
+
+    #[test]
+    fn arenas_are_reused_across_batches() {
+        let eng = engine(2);
+        let batch = vec![
+            Query::new(2, 2, Aggregation::Min),
+            Query::new(2, 2, Aggregation::Sum),
+        ];
+        for _ in 0..5 {
+            let _ = eng.run_batch(&batch);
+        }
+        assert!(
+            eng.arenas_created() <= eng.threads(),
+            "created {} arenas for {} workers",
+            eng.arenas_created(),
+            eng.threads()
+        );
+    }
+
+    #[test]
+    fn result_cache_serves_repeat_queries_across_batches() {
+        let eng = engine(2);
+        let batch = vec![
+            Query::new(2, 3, Aggregation::Sum),
+            Query::new(2, 2, Aggregation::Min),
+        ];
+        let first = eng.run_batch(&batch);
+        assert_eq!(eng.cached_results(), 2);
+        let plan = eng.plan(&batch);
+        assert_eq!(plan.stats.cache_hits, 2);
+        assert_eq!(plan.stats.solver_runs, 0);
+        let second = eng.run_batch(&batch);
+        for (a, b) in first.iter().zip(&second) {
+            assert_eq!(a.as_ref().unwrap(), b.as_ref().unwrap());
+        }
+        eng.clear_result_cache();
+        assert_eq!(eng.cached_results(), 0);
+        assert_eq!(eng.plan(&batch).stats.cache_hits, 0);
+    }
+
+    #[test]
+    fn errors_are_not_cached() {
+        let eng = engine(2);
+        let bad = Query::new(2, 0, Aggregation::Min);
+        assert!(eng.run_batch(&[bad])[0].is_err());
+        assert_eq!(eng.cached_results(), 0);
+    }
+
+    #[test]
+    fn repeated_batches_are_deterministic() {
+        let eng = engine(4);
+        let batch = vec![
+            Query::new(2, 4, Aggregation::Min),
+            Query::new(2, 4, Aggregation::Max),
+            Query::new(2, 4, Aggregation::Sum),
+        ];
+        let a = eng.run_batch(&batch);
+        let b = eng.run_batch(&batch);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.as_ref().unwrap(), y.as_ref().unwrap());
+        }
+    }
+}

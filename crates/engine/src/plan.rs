@@ -1,0 +1,546 @@
+//! Query planning: validation, immediate answers, dedup, family
+//! merging, and job ordering.
+//!
+//! The planner turns a batch of [`Query`]s into a list of **jobs** —
+//! solver invocations — such that:
+//!
+//! * invalid queries fail immediately with a per-query error (one bad
+//!   query never poisons a batch);
+//! * queries with `k` above the snapshot's degeneracy are answered
+//!   empty at plan time (the maximal k-core is empty, so the answer is
+//!   provably `[]` — no solver run needed);
+//! * identical queries share one job (and one result allocation);
+//! * `min`/`max` queries that differ only in `r` are merged into one
+//!   *family* job answered by a single two-pass peel
+//!   ([`ic_core::algo::min_topr_multi_on`]) — the peel timeline is
+//!   `r`-independent, so `t` queries cost one peel;
+//! * *exact* removal-decreasing queries (`sum`, `sum-surplus` with
+//!   ε = 0) that differ only in `r` are merged into one family answered
+//!   by a single `TIC-IMPROVED` run at the largest `r`, with a
+//!   **tie-safety guard** at execution time (see `exec.rs`): a
+//!   smaller-`r` answer is served as a prefix only when the result
+//!   values prove the top-`r'` set unique, and falls back to a direct
+//!   solver run otherwise — so the merge is bit-identical to the
+//!   one-query-at-a-time answer even under value ties. Approximate
+//!   (ε > 0) queries never merge across `r` (their output is
+//!   `r`-dependent by construction);
+//! * size-constrained (local search) jobs are split into one seed-chunk
+//!   job per worker, sharing an atomic r-th-value pruning floor;
+//! * jobs are sorted by `(k, solver kind, parameters)`, so consecutive
+//!   jobs reuse the same memoized snapshot level and warm arena.
+
+use crate::{Constraint, Query};
+use ic_core::{Aggregation, SearchError, TopList};
+use ic_kcore::GraphSnapshot;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize};
+use std::sync::{Arc, Mutex};
+
+/// Peel direction of a min/max family job.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub(crate) enum Dir {
+    Min,
+    Max,
+}
+
+/// Where a job's result goes: query `query` of the batch, and for
+/// family jobs which `r`-slot of the family answers it.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct JobOutput {
+    pub(crate) query: usize,
+    pub(crate) slot: usize,
+}
+
+/// One query served by a [`LocalJob`] family: its aggregation and `r`,
+/// with the member's own cross-chunk pruning floor and partial lists.
+pub(crate) struct LocalMember {
+    pub(crate) r: usize,
+    pub(crate) aggregation: Aggregation,
+    /// The atomic r-th-value pruning floor of `par_local_search`,
+    /// shared by this member's per-chunk lists.
+    pub(crate) floor: AtomicU64,
+    pub(crate) partials: Mutex<Vec<TopList>>,
+    pub(crate) outputs: Vec<JobOutput>,
+}
+
+/// Shared state of one size-constrained local-search family: queries
+/// agreeing on `(k, s, greedy)` (any aggregation, any `r`) walk the
+/// seed set **once** per chunk — the s-nearest-neighbor pool of a seed
+/// depends only on `(k, s, greedy)`, so it is built once and every
+/// member's strategy runs against it
+/// ([`ic_core::algo::run_seed_multi`]). The family is split into one
+/// seed-chunk job per worker; the last chunk to finish merges each
+/// member's partial lists and publishes its result.
+pub(crate) struct LocalJob {
+    pub(crate) k: usize,
+    pub(crate) s: usize,
+    pub(crate) greedy: bool,
+    pub(crate) chunks: usize,
+    pub(crate) members: Vec<LocalMember>,
+    pub(crate) remaining: AtomicUsize,
+    /// Seed list (the k-core mask's vertices), computed by whichever
+    /// chunk runs first and shared by the rest.
+    pub(crate) seeds: std::sync::OnceLock<Vec<u32>>,
+}
+
+/// One executable unit of a plan.
+pub(crate) enum Job {
+    /// A min/max family: one two-pass peel answering every `r` in `rs`.
+    MinMaxFamily {
+        dir: Dir,
+        k: usize,
+        rs: Vec<usize>,
+        outputs: Vec<JobOutput>,
+    },
+    /// An exact removal-decreasing family: one `TIC-IMPROVED` run at
+    /// `max(rs)`, tie-safe prefixes (or direct fallback runs) for the
+    /// rest. `outputs[i].slot` indexes into `rs`.
+    SumFamily {
+        k: usize,
+        aggregation: Aggregation,
+        rs: Vec<usize>,
+        outputs: Vec<JobOutput>,
+    },
+    /// One approximate `TIC-IMPROVED` run (ε > 0; never merged).
+    Improved {
+        k: usize,
+        r: usize,
+        aggregation: Aggregation,
+        epsilon: f64,
+        outputs: Vec<JobOutput>,
+    },
+    /// One seed chunk of a local-search job.
+    LocalChunk { job: Arc<LocalJob>, chunk: usize },
+}
+
+impl Job {
+    fn sort_key(&self) -> (usize, u8, u64, usize) {
+        match self {
+            Job::MinMaxFamily { dir, k, rs, .. } => (
+                *k,
+                match dir {
+                    Dir::Min => 0,
+                    Dir::Max => 1,
+                },
+                0,
+                rs.len(),
+            ),
+            Job::SumFamily {
+                k, aggregation, rs, ..
+            } => (*k, 2, agg_key(*aggregation).1, rs.len()),
+            Job::Improved {
+                k, r, aggregation, ..
+            } => (*k, 3, agg_key(*aggregation).1, *r),
+            Job::LocalChunk { job, chunk } => (job.k, 4, job.s as u64, *chunk),
+        }
+    }
+}
+
+/// Summary of what planning did with a batch; exposed through
+/// [`Plan::stats`](Plan) for observability and the batch benchmark.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PlanStats {
+    /// Queries in the batch.
+    pub total_queries: usize,
+    /// Queries answered at plan time (validation errors,
+    /// `k > degeneracy` empties, and result-cache hits).
+    pub answered_at_plan: usize,
+    /// How many of the plan-time answers were cross-batch result-cache
+    /// hits.
+    pub cache_hits: usize,
+    /// Solver invocations a one-query-at-a-time loop would make for the
+    /// plannable queries (= `total_queries - answered_at_plan`).
+    pub sequential_runs: usize,
+    /// Solver invocations the plan actually makes (family jobs and
+    /// chunked local jobs count once).
+    pub solver_runs: usize,
+    /// Distinct `k` levels the plan touches.
+    pub k_levels: usize,
+}
+
+/// An executable batch plan. Build with [`crate::Engine::plan`].
+pub struct Plan {
+    pub(crate) jobs: Vec<Job>,
+    /// Results decided at plan time (errors, degeneracy empties, cache
+    /// hits), delivered before execution starts.
+    pub(crate) immediate: Vec<(usize, crate::cache::Outcome)>,
+    /// What planning did; see [`PlanStats`].
+    pub stats: PlanStats,
+}
+
+/// Hashable identity of an aggregation (discriminant + parameter bits).
+fn agg_key(a: Aggregation) -> (u8, u64) {
+    match a {
+        Aggregation::Min => (0, 0),
+        Aggregation::Max => (1, 0),
+        Aggregation::Sum => (2, 0),
+        Aggregation::SumSurplus { alpha } => (3, alpha.to_bits()),
+        Aggregation::Average => (4, 0),
+        Aggregation::WeightDensity { beta } => (5, beta.to_bits()),
+        Aggregation::BalancedDensity => (6, 0),
+    }
+}
+
+/// Dedup identity of a job. Min/max families key on `(dir, k)` and
+/// exact sum families on `(k, aggregation)` — their `r` spreads live
+/// inside the family.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+enum JobKey {
+    MinMax {
+        dir: Dir,
+        k: usize,
+    },
+    SumFamily {
+        k: usize,
+        agg: (u8, u64),
+    },
+    Improved {
+        k: usize,
+        r: usize,
+        agg: (u8, u64),
+        eps: u64,
+    },
+    Local {
+        k: usize,
+        s: usize,
+        greedy: bool,
+    },
+}
+
+fn validate(q: &Query) -> Result<JobKey, SearchError> {
+    if q.r == 0 {
+        return Err(SearchError::InvalidParams(
+            "result count r must be positive".into(),
+        ));
+    }
+    match q.constraint {
+        Constraint::SizeBound { s, greedy } => {
+            if s <= q.k {
+                return Err(SearchError::InvalidParams(format!(
+                    "size bound s = {s} must exceed k = {} (a k-core needs at least k+1 vertices)",
+                    q.k
+                )));
+            }
+            if q.epsilon != 0.0 {
+                return Err(SearchError::InvalidParams(format!(
+                    "epsilon = {} is only meaningful for unconstrained sum-like queries",
+                    q.epsilon
+                )));
+            }
+            Ok(JobKey::Local { k: q.k, s, greedy })
+        }
+        Constraint::Unconstrained => match q.aggregation {
+            Aggregation::Min | Aggregation::Max => {
+                if q.epsilon != 0.0 {
+                    return Err(SearchError::InvalidParams(format!(
+                        "epsilon = {} is only meaningful for unconstrained sum-like queries",
+                        q.epsilon
+                    )));
+                }
+                let dir = if q.aggregation == Aggregation::Min {
+                    Dir::Min
+                } else {
+                    Dir::Max
+                };
+                Ok(JobKey::MinMax { dir, k: q.k })
+            }
+            agg if agg.decreases_on_removal() => {
+                if !(0.0..1.0).contains(&q.epsilon) {
+                    return Err(SearchError::InvalidParams(format!(
+                        "epsilon must be in [0, 1), got {}",
+                        q.epsilon
+                    )));
+                }
+                if q.epsilon == 0.0 {
+                    Ok(JobKey::SumFamily {
+                        k: q.k,
+                        agg: agg_key(agg),
+                    })
+                } else {
+                    Ok(JobKey::Improved {
+                        k: q.k,
+                        r: q.r,
+                        agg: agg_key(agg),
+                        eps: q.epsilon.to_bits(),
+                    })
+                }
+            }
+            agg => Err(SearchError::UnsupportedAggregation {
+                algorithm: "ic_engine::run_batch (unconstrained)",
+                aggregation: agg,
+                reason: "the unconstrained top-r problem is NP-hard for this aggregation \
+                         (Theorems 1, 3); add a size bound to route it through local search",
+            }),
+        },
+    }
+}
+
+impl Plan {
+    pub(crate) fn build(
+        snapshot: &GraphSnapshot,
+        queries: &[Query],
+        threads: usize,
+        cache: Option<&crate::cache::ResultCache>,
+    ) -> Plan {
+        let degeneracy = if queries.is_empty() {
+            0
+        } else {
+            snapshot.degeneracy() as usize
+        };
+
+        let mut immediate: Vec<(usize, crate::cache::Outcome)> = Vec::new();
+        let mut cache_hits = 0usize;
+        // JobKey -> accumulated members: (query index, query).
+        let mut families: HashMap<JobKey, Vec<(usize, Query)>> = HashMap::new();
+        let mut singles: HashMap<JobKey, (Query, Vec<usize>)> = HashMap::new();
+        let mut order: Vec<JobKey> = Vec::new(); // stable first-seen order
+
+        for (idx, q) in queries.iter().enumerate() {
+            let key = match validate(q) {
+                Err(e) => {
+                    immediate.push((idx, Arc::new(Err(e))));
+                    continue;
+                }
+                Ok(key) => key,
+            };
+            if q.k > degeneracy {
+                // The maximal k-core is empty: the answer is [] for
+                // every solver path, no job needed.
+                immediate.push((idx, Arc::new(Ok(Vec::new()))));
+                continue;
+            }
+            if let Some(hit) = cache.and_then(|c| c.get(q)) {
+                cache_hits += 1;
+                immediate.push((idx, hit));
+                continue;
+            }
+            match key {
+                key @ (JobKey::MinMax { .. } | JobKey::SumFamily { .. } | JobKey::Local { .. }) => {
+                    let entry = families.entry(key).or_insert_with(|| {
+                        order.push(key);
+                        Vec::new()
+                    });
+                    entry.push((idx, *q));
+                }
+                key => {
+                    let entry = singles.entry(key).or_insert_with(|| {
+                        order.push(key);
+                        (*q, Vec::new())
+                    });
+                    entry.1.push(idx);
+                }
+            }
+        }
+
+        // Finalizes a family's member list into (sorted distinct rs,
+        // per-member outputs).
+        let family_slots = |members: &[(usize, Query)]| {
+            let mut rs: Vec<usize> = members.iter().map(|&(_, q)| q.r).collect();
+            rs.sort_unstable();
+            rs.dedup();
+            let outputs: Vec<JobOutput> = members
+                .iter()
+                .map(|&(query, q)| JobOutput {
+                    query,
+                    slot: rs.binary_search(&q.r).expect("r registered"),
+                })
+                .collect();
+            (rs, outputs)
+        };
+
+        let mut jobs: Vec<Job> = Vec::new();
+        let mut sequential_runs = 0usize;
+        let mut solver_runs = 0usize;
+        for key in order {
+            match key {
+                JobKey::MinMax { dir, k } => {
+                    let members = families.remove(&key).expect("family registered");
+                    sequential_runs += members.len();
+                    let (rs, outputs) = family_slots(&members);
+                    solver_runs += 1;
+                    jobs.push(Job::MinMaxFamily {
+                        dir,
+                        k,
+                        rs,
+                        outputs,
+                    });
+                }
+                JobKey::SumFamily { k, .. } => {
+                    let members = families.remove(&key).expect("family registered");
+                    sequential_runs += members.len();
+                    let aggregation = members[0].1.aggregation;
+                    let (rs, outputs) = family_slots(&members);
+                    solver_runs += 1;
+                    jobs.push(Job::SumFamily {
+                        k,
+                        aggregation,
+                        rs,
+                        outputs,
+                    });
+                }
+                JobKey::Improved { .. } => {
+                    let (q, indices) = singles.remove(&key).expect("job registered");
+                    sequential_runs += indices.len();
+                    solver_runs += 1;
+                    jobs.push(Job::Improved {
+                        k: q.k,
+                        r: q.r,
+                        aggregation: q.aggregation,
+                        epsilon: q.epsilon,
+                        outputs: indices
+                            .into_iter()
+                            .map(|query| JobOutput { query, slot: 0 })
+                            .collect(),
+                    });
+                }
+                JobKey::Local { k, s, greedy } => {
+                    let raw = families.remove(&key).expect("family registered");
+                    sequential_runs += raw.len();
+                    solver_runs += 1;
+                    let chunks = threads.max(1);
+                    // Distinct (aggregation, r) members share one
+                    // strategy pass; duplicate queries share a member.
+                    let mut member_of: HashMap<((u8, u64), usize), usize> = HashMap::new();
+                    let mut members: Vec<LocalMember> = Vec::new();
+                    for (idx, q) in raw {
+                        let mk = (agg_key(q.aggregation), q.r);
+                        let mi = *member_of.entry(mk).or_insert_with(|| {
+                            members.push(LocalMember {
+                                r: q.r,
+                                aggregation: q.aggregation,
+                                floor: AtomicU64::new(ic_core::algo::encode_ordered_f64(
+                                    f64::NEG_INFINITY,
+                                )),
+                                partials: Mutex::new(Vec::with_capacity(chunks)),
+                                outputs: Vec::new(),
+                            });
+                            members.len() - 1
+                        });
+                        members[mi].outputs.push(JobOutput {
+                            query: idx,
+                            slot: 0,
+                        });
+                    }
+                    let job = Arc::new(LocalJob {
+                        k,
+                        s,
+                        greedy,
+                        chunks,
+                        members,
+                        remaining: AtomicUsize::new(chunks),
+                        seeds: std::sync::OnceLock::new(),
+                    });
+                    for chunk in 0..chunks {
+                        jobs.push(Job::LocalChunk {
+                            job: Arc::clone(&job),
+                            chunk,
+                        });
+                    }
+                }
+            }
+        }
+
+        jobs.sort_by_key(|j| j.sort_key());
+        let mut k_levels: Vec<usize> = jobs
+            .iter()
+            .map(|j| match j {
+                Job::MinMaxFamily { k, .. }
+                | Job::SumFamily { k, .. }
+                | Job::Improved { k, .. } => *k,
+                Job::LocalChunk { job, .. } => job.k,
+            })
+            .collect();
+        k_levels.sort_unstable();
+        k_levels.dedup();
+
+        let stats = PlanStats {
+            total_queries: queries.len(),
+            answered_at_plan: immediate.len(),
+            cache_hits,
+            sequential_runs,
+            solver_runs,
+            k_levels: k_levels.len(),
+        };
+        Plan {
+            jobs,
+            immediate,
+            stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ic_core::figure1::figure1;
+
+    fn snap() -> GraphSnapshot {
+        GraphSnapshot::new(figure1())
+    }
+
+    #[test]
+    fn families_collapse_r_variants_and_dedup_repeats() {
+        let snap = snap();
+        let batch = vec![
+            Query::new(2, 5, Aggregation::Min),
+            Query::new(2, 1, Aggregation::Min),
+            Query::new(2, 5, Aggregation::Min), // exact repeat
+            Query::new(2, 5, Aggregation::Max), // different family
+            Query::new(2, 5, Aggregation::Sum),
+            Query::new(2, 5, Aggregation::Sum), // exact repeat
+        ];
+        let plan = Plan::build(&snap, &batch, 1, None);
+        assert_eq!(plan.stats.total_queries, 6);
+        assert_eq!(plan.stats.answered_at_plan, 0);
+        assert_eq!(plan.stats.sequential_runs, 6);
+        assert_eq!(plan.stats.solver_runs, 3, "min family + max family + sum");
+        assert_eq!(plan.stats.k_levels, 1);
+    }
+
+    #[test]
+    fn jobs_are_grouped_by_k() {
+        let snap = snap();
+        let batch = vec![
+            Query::new(2, 1, Aggregation::Sum),
+            Query::new(1, 1, Aggregation::Min),
+            Query::new(2, 1, Aggregation::Min),
+            Query::new(1, 1, Aggregation::Sum),
+        ];
+        let plan = Plan::build(&snap, &batch, 1, None);
+        let ks: Vec<usize> = plan
+            .jobs
+            .iter()
+            .map(|j| match j {
+                Job::MinMaxFamily { k, .. }
+                | Job::SumFamily { k, .. }
+                | Job::Improved { k, .. } => *k,
+                Job::LocalChunk { job, .. } => job.k,
+            })
+            .collect();
+        let mut sorted = ks.clone();
+        sorted.sort_unstable();
+        assert_eq!(ks, sorted, "jobs must be ordered by k");
+        assert_eq!(plan.stats.k_levels, 2);
+    }
+
+    #[test]
+    fn local_jobs_chunk_per_worker() {
+        let snap = snap();
+        let q = Query::new(2, 2, Aggregation::Average).size_bound(5, true);
+        let plan = Plan::build(&snap, &[q], 3, None);
+        assert_eq!(plan.jobs.len(), 3, "one chunk per worker");
+        assert_eq!(plan.stats.solver_runs, 1, "chunks are one logical run");
+    }
+
+    #[test]
+    fn epsilon_variants_are_distinct_jobs() {
+        let snap = snap();
+        let batch = vec![
+            Query::new(2, 3, Aggregation::Sum),
+            Query::new(2, 3, Aggregation::Sum).approx(0.1),
+            Query::new(2, 3, Aggregation::Sum).approx(0.2),
+        ];
+        let plan = Plan::build(&snap, &batch, 1, None);
+        assert_eq!(plan.stats.solver_runs, 3);
+    }
+}

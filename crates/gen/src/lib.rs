@@ -32,6 +32,7 @@ mod er;
 mod planted;
 mod sampling;
 mod weights;
+pub mod workload;
 
 pub use aminer::{aminer_network, AminerNetwork, PlantedGroup};
 pub use ba::barabasi_albert;
@@ -40,6 +41,7 @@ pub use er::{gnm, gnp};
 pub use planted::{planted_partition, PlantedPartitionConfig};
 pub use sampling::AliasTable;
 pub use weights::{pagerank_weights, pareto_weights, rank_weights, uniform_weights};
+pub use workload::{mixed_query_traffic, MixAggregation, QuerySpec, TrafficProfile};
 
 /// Newtype for generator seeds, to keep call sites self-documenting.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

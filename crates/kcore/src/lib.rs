@@ -15,7 +15,15 @@
 //! * [`PeelScratch`] — the from-scratch counterpart that re-computes the
 //!   connected k-cores of a community after deleting a vertex; retained
 //!   as the oracle the incremental engine is validated against;
-//! * [`degeneracy_order`] — a degeneracy (smallest-last) ordering.
+//! * [`degeneracy_order`] — a degeneracy (smallest-last) ordering;
+//! * [`GraphSnapshot`] — an immutable, `Arc`-shared weighted graph with
+//!   lazily memoized per-`k` core masks/components and the degeneracy
+//!   bound, the substrate of the batched query engine (`ic-engine`);
+//! * [`ArenaPool`] — a pool recycling warm [`PeelArena`]s across queries
+//!   and batches;
+//! * [`CoreMaintainer`] — incremental core-number maintenance under edge
+//!   insertions/deletions (subcore traversal), validated against the
+//!   from-scratch decomposition by property tests.
 //!
 //! # Example
 //!
@@ -38,6 +46,8 @@ mod decompose;
 mod degeneracy;
 mod extract;
 mod maintain;
+mod pool;
+mod snapshot;
 mod truss;
 
 pub use arena::PeelArena;
@@ -47,5 +57,7 @@ pub use extract::{
     is_kcore, is_kcore_within, kcore_mask, kcore_size, maximal_kcore_components,
     peel_to_kcore_within,
 };
-pub use maintain::PeelScratch;
+pub use maintain::{CoreMaintainer, PeelScratch};
+pub use pool::{ArenaPool, PooledArena};
+pub use snapshot::{CoreLevel, GraphSnapshot};
 pub use truss::{ktruss_mask, maximal_ktruss_components, truss_decomposition, TrussDecomposition};

@@ -1,4 +1,4 @@
-use ic_graph::{Graph, VertexId};
+use ic_graph::{graph_from_edges, Graph, VertexId};
 use std::collections::VecDeque;
 
 /// Reusable scratch state for the hot inner loop of Algorithms 1 and 2:
@@ -133,10 +133,264 @@ impl PeelScratch {
     }
 }
 
+/// Incrementally maintained core numbers under edge insertions and
+/// deletions (the subcore/traversal algorithm of Sarıyüce et al.).
+///
+/// A single edge change moves core numbers by at most one, and only for
+/// vertices in the *subcore* of the touched endpoints: the set of
+/// vertices with core number `K = min(core(u), core(v))` reachable from
+/// the endpoints through vertices of core `K`. Both operations therefore
+/// run in time proportional to that subcore's frontier, not the graph:
+///
+/// * [`CoreMaintainer::insert_edge`] collects the subcore, counts for
+///   each member its neighbors with core ≥ `K` (all of which could
+///   support a promotion to `K + 1`), peels members whose count cannot
+///   reach `K + 1`, and promotes the survivors;
+/// * [`CoreMaintainer::remove_edge`] collects the subcore of the new
+///   graph, counts supporting neighbors the same way, and cascades the
+///   members whose support fell below `K` down to `K − 1`.
+///
+/// The structure owns its own dynamic adjacency (the static CSR
+/// [`Graph`] is immutable); [`CoreMaintainer::to_graph`] materializes
+/// the current edge set, which is how the property tests hold every
+/// maintained state to the from-scratch
+/// [`core_decomposition`](crate::core_decomposition) oracle.
+#[derive(Clone, Debug)]
+pub struct CoreMaintainer {
+    adj: Vec<Vec<VertexId>>,
+    core: Vec<u32>,
+    /// Generation-stamped membership of the current subcore `S`.
+    stamp: Vec<u32>,
+    /// Generation stamp of vertices peeled/dropped in the current pass.
+    out_stamp: Vec<u32>,
+    generation: u32,
+    /// Supporting-neighbor counts, valid for stamped vertices only.
+    cd: Vec<u32>,
+    queue: VecDeque<VertexId>,
+    stack: Vec<VertexId>,
+}
+
+impl CoreMaintainer {
+    /// An edgeless maintainer over `n` vertices (all cores 0).
+    pub fn new(n: usize) -> Self {
+        CoreMaintainer {
+            adj: vec![Vec::new(); n],
+            core: vec![0; n],
+            stamp: vec![0; n],
+            out_stamp: vec![0; n],
+            generation: 0,
+            cd: vec![0; n],
+            queue: VecDeque::new(),
+            stack: Vec::new(),
+        }
+    }
+
+    /// Seeds the maintainer from an existing graph (cores computed once
+    /// from scratch; subsequent updates are incremental).
+    pub fn from_graph(g: &Graph) -> Self {
+        let n = g.num_vertices();
+        let mut m = Self::new(n);
+        for v in 0..n as VertexId {
+            m.adj[v as usize] = g.neighbors(v).to_vec();
+        }
+        m.core = crate::core_decomposition(g).core_numbers;
+        m
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of undirected edges currently present.
+    pub fn num_edges(&self) -> usize {
+        self.adj.iter().map(|a| a.len()).sum::<usize>() / 2
+    }
+
+    /// The current core number of `v`.
+    pub fn core(&self, v: VertexId) -> u32 {
+        self.core[v as usize]
+    }
+
+    /// All current core numbers, indexed by vertex.
+    pub fn core_numbers(&self) -> &[u32] {
+        &self.core
+    }
+
+    /// The current degeneracy (maximum core number).
+    pub fn degeneracy(&self) -> u32 {
+        self.core.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Whether the undirected edge `{u, v}` is present.
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        let (a, b) = if self.adj[u as usize].len() <= self.adj[v as usize].len() {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        self.adj[a as usize].contains(&b)
+    }
+
+    /// Materializes the current edge set as a static [`Graph`] (used by
+    /// the differential tests; not a hot path).
+    pub fn to_graph(&self) -> Graph {
+        let mut edges = Vec::with_capacity(self.num_edges());
+        for (u, nbrs) in self.adj.iter().enumerate() {
+            for &v in nbrs {
+                if (u as VertexId) < v {
+                    edges.push((u as VertexId, v));
+                }
+            }
+        }
+        graph_from_edges(self.adj.len(), &edges)
+    }
+
+    fn next_generation(&mut self) -> u32 {
+        if self.generation == u32::MAX {
+            self.stamp.fill(0);
+            self.out_stamp.fill(0);
+            self.generation = 0;
+        }
+        self.generation += 1;
+        self.generation
+    }
+
+    /// Collects into `self.stack` the subcore at level `k`: every vertex
+    /// with core `k` reachable from the stamped roots through vertices of
+    /// core `k`, and computes each member's supporting-neighbor count
+    /// `cd(w) = |{x ∈ N(w) : core(x) ≥ k}|`. Roots must already be
+    /// stamped and pushed on the queue.
+    fn collect_subcore(&mut self, k: u32, generation: u32) {
+        self.stack.clear();
+        while let Some(w) = self.queue.pop_front() {
+            self.stack.push(w);
+            let mut count = 0u32;
+            for i in 0..self.adj[w as usize].len() {
+                let x = self.adj[w as usize][i];
+                let xi = x as usize;
+                if self.core[xi] >= k {
+                    count += 1;
+                }
+                if self.core[xi] == k && self.stamp[xi] != generation {
+                    self.stamp[xi] = generation;
+                    self.queue.push_back(x);
+                }
+            }
+            self.cd[w as usize] = count;
+        }
+    }
+
+    /// Inserts the undirected edge `{u, v}`, updating core numbers.
+    /// Returns `false` (and changes nothing) for self-loops and edges
+    /// already present.
+    pub fn insert_edge(&mut self, u: VertexId, v: VertexId) -> bool {
+        if u == v || self.has_edge(u, v) {
+            return false;
+        }
+        self.adj[u as usize].push(v);
+        self.adj[v as usize].push(u);
+
+        let k = self.core[u as usize].min(self.core[v as usize]);
+        let generation = self.next_generation();
+        self.queue.clear();
+        for root in [u, v] {
+            let ri = root as usize;
+            if self.core[ri] == k && self.stamp[ri] != generation {
+                self.stamp[ri] = generation;
+                self.queue.push_back(root);
+            }
+        }
+        self.collect_subcore(k, generation);
+
+        // Peel the candidate set down to the members that can sustain
+        // core k + 1: a member needs more than k supporting neighbors,
+        // and every peeled member withdraws its support from the
+        // candidates around it.
+        for i in 0..self.stack.len() {
+            let w = self.stack[i];
+            if self.cd[w as usize] <= k && self.out_stamp[w as usize] != generation {
+                self.out_stamp[w as usize] = generation;
+                self.queue.push_back(w);
+            }
+        }
+        while let Some(w) = self.queue.pop_front() {
+            for i in 0..self.adj[w as usize].len() {
+                let x = self.adj[w as usize][i];
+                let xi = x as usize;
+                if self.stamp[xi] == generation && self.out_stamp[xi] != generation {
+                    self.cd[xi] -= 1;
+                    if self.cd[xi] <= k {
+                        self.out_stamp[xi] = generation;
+                        self.queue.push_back(x);
+                    }
+                }
+            }
+        }
+        for i in 0..self.stack.len() {
+            let w = self.stack[i] as usize;
+            if self.out_stamp[w] != generation {
+                self.core[w] = k + 1;
+            }
+        }
+        true
+    }
+
+    /// Removes the undirected edge `{u, v}`, updating core numbers.
+    /// Returns `false` (and changes nothing) when the edge is absent.
+    pub fn remove_edge(&mut self, u: VertexId, v: VertexId) -> bool {
+        if u == v || !self.has_edge(u, v) {
+            return false;
+        }
+        let pos = self.adj[u as usize].iter().position(|&x| x == v).unwrap();
+        self.adj[u as usize].swap_remove(pos);
+        let pos = self.adj[v as usize].iter().position(|&x| x == u).unwrap();
+        self.adj[v as usize].swap_remove(pos);
+
+        // Both endpoints of an existing edge have degree >= 1, hence
+        // core >= 1, so k >= 1 and the k - 1 drops below never underflow.
+        let k = self.core[u as usize].min(self.core[v as usize]);
+        let generation = self.next_generation();
+        self.queue.clear();
+        for root in [u, v] {
+            let ri = root as usize;
+            if self.core[ri] == k && self.stamp[ri] != generation {
+                self.stamp[ri] = generation;
+                self.queue.push_back(root);
+            }
+        }
+        self.collect_subcore(k, generation);
+
+        // Cascade: a member whose supporting-neighbor count fell below k
+        // drops to k - 1 and withdraws support from the rest.
+        for i in 0..self.stack.len() {
+            let w = self.stack[i];
+            if self.cd[w as usize] < k && self.out_stamp[w as usize] != generation {
+                self.out_stamp[w as usize] = generation;
+                self.queue.push_back(w);
+            }
+        }
+        while let Some(w) = self.queue.pop_front() {
+            self.core[w as usize] = k - 1;
+            for i in 0..self.adj[w as usize].len() {
+                let x = self.adj[w as usize][i];
+                let xi = x as usize;
+                if self.stamp[xi] == generation && self.out_stamp[xi] != generation {
+                    self.cd[xi] -= 1;
+                    if self.cd[xi] < k {
+                        self.out_stamp[xi] = generation;
+                        self.queue.push_back(x);
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ic_graph::graph_from_edges;
 
     /// Triangle {0,1,2} with pendant 3 on vertex 2, plus a separate
     /// triangle {4,5,6}.
@@ -210,5 +464,78 @@ mod tests {
         assert_eq!(comps.len(), 2);
         assert!(comps.contains(&vec![0, 1, 2]));
         assert!(comps.contains(&vec![4, 5, 6]));
+    }
+
+    fn assert_cores_match_scratch(m: &CoreMaintainer, context: &str) {
+        let expect = crate::core_decomposition(&m.to_graph()).core_numbers;
+        assert_eq!(m.core_numbers(), expect.as_slice(), "{context}");
+    }
+
+    #[test]
+    fn maintainer_tracks_incremental_build_of_known_graph() {
+        let edges = [(0, 1), (1, 2), (2, 0), (2, 3), (4, 5), (5, 6), (6, 4)];
+        let mut m = CoreMaintainer::new(7);
+        for (i, &(u, v)) in edges.iter().enumerate() {
+            assert!(m.insert_edge(u, v));
+            assert_cores_match_scratch(&m, &format!("after insert #{i}"));
+        }
+        assert_eq!(m.core_numbers(), &[2, 2, 2, 1, 2, 2, 2]);
+        assert_eq!(m.degeneracy(), 2);
+        // Tear the first triangle down edge by edge.
+        for (i, &(u, v)) in [(0u32, 1u32), (1, 2), (2, 0)].iter().enumerate() {
+            assert!(m.remove_edge(u, v));
+            assert_cores_match_scratch(&m, &format!("after delete #{i}"));
+        }
+        assert_eq!(m.core(3), 1); // pendant edge 2-3 survives
+    }
+
+    #[test]
+    fn maintainer_rejects_self_loops_and_duplicates() {
+        let mut m = CoreMaintainer::new(3);
+        assert!(!m.insert_edge(1, 1));
+        assert!(m.insert_edge(0, 1));
+        assert!(!m.insert_edge(1, 0), "duplicate in either orientation");
+        assert_eq!(m.num_edges(), 1);
+        assert!(!m.remove_edge(0, 2), "absent edge");
+        assert!(m.remove_edge(1, 0));
+        assert_eq!(m.num_edges(), 0);
+        assert_eq!(m.core_numbers(), &[0, 0, 0]);
+    }
+
+    #[test]
+    fn maintainer_seeded_from_graph_matches_decomposition() {
+        let g = two_triangles_pendant();
+        let m = CoreMaintainer::from_graph(&g);
+        assert_eq!(
+            m.core_numbers(),
+            crate::core_decomposition(&g).core_numbers.as_slice()
+        );
+        assert_eq!(m.num_edges(), g.num_edges());
+        assert!(m.has_edge(0, 1) && m.has_edge(1, 0));
+    }
+
+    #[test]
+    fn maintainer_handles_clique_growth_and_decay() {
+        // Build K5 edge by edge, then remove edges in a different order;
+        // every intermediate state must match the from-scratch oracle.
+        let n = 5u32;
+        let mut m = CoreMaintainer::new(n as usize);
+        let mut edges = Vec::new();
+        for u in 0..n {
+            for v in (u + 1)..n {
+                edges.push((u, v));
+            }
+        }
+        for &(u, v) in &edges {
+            m.insert_edge(u, v);
+            assert_cores_match_scratch(&m, &format!("K5 grow {u}-{v}"));
+        }
+        assert_eq!(m.degeneracy(), 4);
+        edges.reverse();
+        for &(u, v) in &edges {
+            m.remove_edge(u, v);
+            assert_cores_match_scratch(&m, &format!("K5 shrink {u}-{v}"));
+        }
+        assert_eq!(m.degeneracy(), 0);
     }
 }

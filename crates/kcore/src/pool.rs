@@ -1,0 +1,145 @@
+//! A pool of [`PeelArena`]s for multi-query execution.
+//!
+//! A [`PeelArena`](crate::PeelArena) is pre-sized to its graph so the
+//! steady-state peel loop never allocates — but constructing one costs
+//! `O(n + m)` zeroed memory. A batched engine answering many queries
+//! wants each worker to *reuse* a warm arena across queries (and across
+//! batches) instead of re-constructing per query. [`ArenaPool`] holds
+//! returned arenas and hands them back out: `acquire` pops a warm arena
+//! (or builds a fresh one when the pool is dry), and the guard returns
+//! it on drop. The pool never shrinks, so after the first batch a
+//! steady-traffic engine constructs zero arenas.
+
+use crate::PeelArena;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Shared pool of peel arenas, all pre-sized for one graph. See the
+/// module docs.
+#[derive(Debug)]
+pub struct ArenaPool {
+    vertices: usize,
+    directed_edges: usize,
+    free: Mutex<Vec<PeelArena>>,
+    created: AtomicUsize,
+}
+
+impl ArenaPool {
+    /// Creates an empty pool whose arenas are sized for graphs with
+    /// `vertices` vertices and `directed_edges` induced adjacency
+    /// entries (`2m` for an undirected graph).
+    pub fn with_capacity(vertices: usize, directed_edges: usize) -> Self {
+        ArenaPool {
+            vertices,
+            directed_edges,
+            free: Mutex::new(Vec::new()),
+            created: AtomicUsize::new(0),
+        }
+    }
+
+    /// Creates an empty pool sized for `g`.
+    pub fn for_graph(g: &ic_graph::Graph) -> Self {
+        Self::with_capacity(g.num_vertices(), 2 * g.num_edges())
+    }
+
+    /// Takes an arena out of the pool, constructing one only when the
+    /// pool is dry. The guard returns the arena on drop.
+    pub fn acquire(&self) -> PooledArena<'_> {
+        let arena = self.free.lock().expect("arena pool poisoned").pop();
+        let arena = arena.unwrap_or_else(|| {
+            self.created.fetch_add(1, Ordering::Relaxed);
+            PeelArena::with_capacity(self.vertices, self.directed_edges)
+        });
+        PooledArena {
+            pool: self,
+            arena: Some(arena),
+        }
+    }
+
+    /// Total arenas ever constructed by this pool (not the pool size).
+    /// Steady-state batched traffic keeps this at the worker count.
+    pub fn created(&self) -> usize {
+        self.created.load(Ordering::Relaxed)
+    }
+
+    /// Arenas currently parked in the pool.
+    pub fn available(&self) -> usize {
+        self.free.lock().expect("arena pool poisoned").len()
+    }
+
+    fn release(&self, arena: PeelArena) {
+        self.free.lock().expect("arena pool poisoned").push(arena);
+    }
+}
+
+/// RAII guard over a pooled [`PeelArena`]; dereferences to the arena and
+/// returns it to the pool on drop.
+#[derive(Debug)]
+pub struct PooledArena<'p> {
+    pool: &'p ArenaPool,
+    arena: Option<PeelArena>,
+}
+
+impl std::ops::Deref for PooledArena<'_> {
+    type Target = PeelArena;
+    fn deref(&self) -> &PeelArena {
+        self.arena.as_ref().expect("arena present until drop")
+    }
+}
+
+impl std::ops::DerefMut for PooledArena<'_> {
+    fn deref_mut(&mut self) -> &mut PeelArena {
+        self.arena.as_mut().expect("arena present until drop")
+    }
+}
+
+impl Drop for PooledArena<'_> {
+    fn drop(&mut self) {
+        if let Some(arena) = self.arena.take() {
+            self.pool.release(arena);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ic_graph::graph_from_edges;
+
+    #[test]
+    fn acquire_reuses_returned_arenas() {
+        let g = graph_from_edges(4, &[(0, 1), (1, 2), (2, 0), (2, 3)]);
+        let pool = ArenaPool::for_graph(&g);
+        {
+            let mut a = pool.acquire();
+            a.load(&g, &[0, 1, 2], 2);
+            assert_eq!(a.live_count(), 3);
+        }
+        assert_eq!(pool.created(), 1);
+        assert_eq!(pool.available(), 1);
+        {
+            let _a = pool.acquire();
+            assert_eq!(pool.available(), 0);
+        }
+        // Still only one arena ever constructed.
+        assert_eq!(pool.created(), 1);
+    }
+
+    #[test]
+    fn concurrent_acquire_constructs_at_most_one_per_holder() {
+        let g = graph_from_edges(3, &[(0, 1), (1, 2)]);
+        let pool = ArenaPool::for_graph(&g);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..16 {
+                        let mut a = pool.acquire();
+                        a.load(&g, &[0, 1, 2], 1);
+                    }
+                });
+            }
+        });
+        assert!(pool.created() <= 4, "created {}", pool.created());
+        assert_eq!(pool.available(), pool.created());
+    }
+}

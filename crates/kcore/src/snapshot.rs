@@ -1,0 +1,198 @@
+//! Immutable, shareable snapshot of a weighted graph with memoized
+//! k-core state.
+//!
+//! Every solver in `ic-core` starts by computing the core decomposition
+//! (to extract the maximal k-core) — an `O(n + m)` pass that is pure
+//! function of the graph. When many queries hit the same graph (the
+//! batched-engine regime), that work should be paid once per graph, not
+//! once per query. [`GraphSnapshot`] wraps an [`Arc`]-shared
+//! [`WeightedGraph`] and memoizes:
+//!
+//! * the [`CoreDecomposition`] (and hence the degeneracy bound) —
+//!   computed lazily on first use, once;
+//! * per-`k` [`CoreLevel`]s: the maximal k-core membership mask and its
+//!   connected components — computed lazily per distinct `k`, once.
+//!
+//! All caches are thread-safe: concurrent readers of the same level
+//! block only on the one computation, never on each other, and a level
+//! is computed exactly once no matter how many workers race for it.
+//! The snapshot is immutable by construction — there is no way to mutate
+//! the underlying graph through it, so memoized state can never go
+//! stale.
+
+use crate::{core_decomposition, CoreDecomposition};
+use ic_graph::{connected_components_within, BitSet, Graph, VertexId, WeightedGraph};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Memoized per-`k` view of a snapshot: the maximal k-core and its
+/// connected components (line 1 of Algorithms 1 and 2 in the paper).
+#[derive(Debug)]
+pub struct CoreLevel {
+    /// The degree constraint this level describes.
+    pub k: usize,
+    /// Membership mask of the maximal k-core (vertices with core
+    /// number ≥ `k`).
+    pub mask: BitSet,
+    /// Disjoint connected components of the maximal k-core, each a
+    /// sorted vertex list, ordered by smallest vertex.
+    pub components: Vec<Vec<VertexId>>,
+}
+
+/// Immutable weighted graph plus lazily memoized core structure. See the
+/// module docs.
+#[derive(Debug)]
+pub struct GraphSnapshot {
+    wg: Arc<WeightedGraph>,
+    decomp: OnceLock<Arc<CoreDecomposition>>,
+    levels: Mutex<HashMap<usize, Arc<OnceLock<Arc<CoreLevel>>>>>,
+}
+
+impl GraphSnapshot {
+    /// Takes ownership of a weighted graph and wraps it for sharing.
+    pub fn new(wg: WeightedGraph) -> Self {
+        Self::from_arc(Arc::new(wg))
+    }
+
+    /// Wraps an already-shared weighted graph (no copy).
+    pub fn from_arc(wg: Arc<WeightedGraph>) -> Self {
+        GraphSnapshot {
+            wg,
+            decomp: OnceLock::new(),
+            levels: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The snapshot's weighted graph.
+    #[inline]
+    pub fn weighted(&self) -> &WeightedGraph {
+        &self.wg
+    }
+
+    /// The underlying unweighted graph.
+    #[inline]
+    pub fn graph(&self) -> &Graph {
+        self.wg.graph()
+    }
+
+    /// A new handle on the shared weighted graph.
+    pub fn share_weighted(&self) -> Arc<WeightedGraph> {
+        Arc::clone(&self.wg)
+    }
+
+    /// The memoized core decomposition (computed on first call).
+    pub fn decomposition(&self) -> Arc<CoreDecomposition> {
+        Arc::clone(
+            self.decomp
+                .get_or_init(|| Arc::new(core_decomposition(self.wg.graph()))),
+        )
+    }
+
+    /// The degeneracy of the graph (maximum core number): any query with
+    /// `k` above this bound has an empty answer, which the planner uses
+    /// to short-circuit without touching the peel machinery.
+    pub fn degeneracy(&self) -> u32 {
+        self.decomposition().max_core
+    }
+
+    /// The memoized [`CoreLevel`] for `k` (computed on first call per
+    /// distinct `k`). Levels above the degeneracy are empty but still
+    /// cached — they cost `O(n)` once and nothing after.
+    pub fn level(&self, k: usize) -> Arc<CoreLevel> {
+        let cell = {
+            let mut levels = self.levels.lock().expect("snapshot cache poisoned");
+            Arc::clone(levels.entry(k).or_insert_with(|| Arc::new(OnceLock::new())))
+        };
+        // The map lock is released before the (potentially expensive)
+        // level computation; racing workers serialize on this one
+        // OnceLock only.
+        Arc::clone(cell.get_or_init(|| {
+            let decomp = self.decomposition();
+            let g = self.wg.graph();
+            let mut mask = BitSet::new(g.num_vertices());
+            for (v, &c) in decomp.core_numbers.iter().enumerate() {
+                if c as usize >= k {
+                    mask.insert(v);
+                }
+            }
+            let components = connected_components_within(g, &mask);
+            Arc::new(CoreLevel {
+                k,
+                mask,
+                components,
+            })
+        }))
+    }
+
+    /// Number of distinct `k` levels memoized so far (for cache
+    /// observability in tests and stats reporting).
+    pub fn cached_levels(&self) -> usize {
+        self.levels.lock().expect("snapshot cache poisoned").len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::maximal_kcore_components;
+    use ic_graph::graph_from_edges;
+
+    fn snapshot() -> GraphSnapshot {
+        // Triangle + pendant, plus a separate triangle.
+        let g = graph_from_edges(7, &[(0, 1), (1, 2), (2, 0), (2, 3), (4, 5), (5, 6), (6, 4)]);
+        GraphSnapshot::new(WeightedGraph::unit_weights(g))
+    }
+
+    #[test]
+    fn levels_match_direct_extraction() {
+        let snap = snapshot();
+        for k in 0..4usize {
+            let level = snap.level(k);
+            assert_eq!(level.k, k);
+            assert_eq!(
+                level.components,
+                maximal_kcore_components(snap.graph(), k),
+                "k={k}"
+            );
+            assert_eq!(
+                level.mask.to_vec(),
+                crate::kcore_mask(snap.graph(), k).to_vec()
+            );
+        }
+    }
+
+    #[test]
+    fn levels_are_memoized_and_shared() {
+        let snap = snapshot();
+        let a = snap.level(2);
+        let b = snap.level(2);
+        assert!(Arc::ptr_eq(&a, &b), "same level must be shared");
+        assert_eq!(snap.cached_levels(), 1);
+        snap.level(3);
+        assert_eq!(snap.cached_levels(), 2);
+    }
+
+    #[test]
+    fn degeneracy_bound() {
+        let snap = snapshot();
+        assert_eq!(snap.degeneracy(), 2);
+        assert!(snap.level(3).components.is_empty());
+        assert!(snap.level(100).components.is_empty());
+    }
+
+    #[test]
+    fn concurrent_level_access_computes_once() {
+        let snap = snapshot();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for k in 0..4 {
+                        let level = snap.level(k);
+                        assert_eq!(level.k, k);
+                    }
+                });
+            }
+        });
+        assert_eq!(snap.cached_levels(), 4);
+    }
+}

@@ -3,7 +3,8 @@
 use ic_graph::{graph_from_edges, BitSet, Graph};
 use ic_kcore::{
     core_decomposition, is_kcore_within, kcore_mask, ktruss_mask, maximal_kcore_components,
-    maximal_ktruss_components, peel_to_kcore_within, truss_decomposition, PeelScratch,
+    maximal_ktruss_components, peel_to_kcore_within, truss_decomposition, CoreMaintainer,
+    PeelScratch,
 };
 use proptest::prelude::*;
 
@@ -157,6 +158,66 @@ proptest! {
                 }
             }
         }
+    }
+
+    #[test]
+    fn maintained_cores_match_scratch_decomposition(
+        n in 4u32..32,
+        script in proptest::collection::vec((any::<bool>(), 0u32..32, 0u32..32), 1..120usize),
+    ) {
+        // Random insert/delete sequence: after every operation the
+        // incrementally maintained core numbers must agree bit-for-bit
+        // with a from-scratch decomposition of the materialized graph.
+        let mut m = CoreMaintainer::new(n as usize);
+        for (step, &(insert, a, b)) in script.iter().enumerate() {
+            let (u, v) = (a % n, b % n);
+            let had = m.has_edge(u, v);
+            if insert {
+                let changed = m.insert_edge(u, v);
+                prop_assert_eq!(changed, u != v && !had, "insert report at step {}", step);
+            } else {
+                let changed = m.remove_edge(u, v);
+                prop_assert_eq!(changed, had, "delete report at step {}", step);
+            }
+            let expect = core_decomposition(&m.to_graph()).core_numbers;
+            prop_assert_eq!(
+                m.core_numbers(),
+                expect.as_slice(),
+                "cores diverged at step {} ({} {} {})",
+                step,
+                if insert { "insert" } else { "delete" },
+                u,
+                v
+            );
+        }
+    }
+
+    #[test]
+    fn maintained_cores_survive_churn_on_seeded_graph(
+        g in arb_graph(28, 90),
+        churn in proptest::collection::vec((any::<bool>(), 0u32..28, 0u32..28), 1..60usize),
+    ) {
+        // Seed from an existing graph, then churn edges; the maintainer
+        // must track the oracle through every state, and deleting every
+        // remaining edge must drive all cores to zero.
+        let n = g.num_vertices() as u32;
+        let mut m = CoreMaintainer::from_graph(&g);
+        for &(insert, a, b) in &churn {
+            let (u, v) = (a % n, b % n);
+            if insert {
+                m.insert_edge(u, v);
+            } else {
+                m.remove_edge(u, v);
+            }
+            let expect = core_decomposition(&m.to_graph()).core_numbers;
+            prop_assert_eq!(m.core_numbers(), expect.as_slice());
+        }
+        let remaining: Vec<(u32, u32)> = m.to_graph().edges().collect();
+        for (u, v) in remaining {
+            prop_assert!(m.remove_edge(u, v));
+        }
+        prop_assert_eq!(m.num_edges(), 0);
+        prop_assert!(m.core_numbers().iter().all(|&c| c == 0));
     }
 
     #[test]

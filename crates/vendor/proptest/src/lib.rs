@@ -9,9 +9,18 @@
 //!
 //! Semantics: each `proptest!` test runs `ProptestConfig::cases` cases with
 //! a deterministic per-test seed (FNV of the test name mixed with the case
-//! index), so failures are reproducible run-to-run. There is **no
-//! shrinking** — a failing case panics immediately with its case number
-//! and assertion message.
+//! index and the session seed), so failures are reproducible run-to-run.
+//! There is **no shrinking** — a failing case panics immediately with its
+//! case number, session seed, and assertion message.
+//!
+//! **Session seed:** set `IC_PROPTEST_SEED=<u64>` to re-seed every
+//! strategy (default 0). CI runs the suite once under the fixed default
+//! and once under a randomized seed, so the generators explore fresh
+//! inputs every run while any failure stays reproducible by exporting
+//! the printed seed. On failure the shim also appends a reproduction
+//! record (test name, case, seed, message) to
+//! `$IC_PROPTEST_REGRESSIONS/<test>.txt` (default
+//! `target/proptest-regressions/`), which CI uploads as an artifact.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -75,8 +84,47 @@ pub mod test_runner {
         z ^ (z >> 31)
     }
 
+    /// The session seed mixed into every generated case: the value of
+    /// `IC_PROPTEST_SEED` (a `u64`), or 0 when unset/unparsable. Read
+    /// once per process.
+    pub fn env_seed() -> u64 {
+        static SEED: std::sync::OnceLock<u64> = std::sync::OnceLock::new();
+        *SEED.get_or_init(|| {
+            std::env::var("IC_PROPTEST_SEED")
+                .ok()
+                .and_then(|s| s.trim().parse().ok())
+                .unwrap_or(0)
+        })
+    }
+
+    /// Appends a reproduction record for a failed property case to
+    /// `$IC_PROPTEST_REGRESSIONS/<test>.txt` (default
+    /// `target/proptest-regressions/`). Failures never abort on I/O
+    /// problems — the panic that follows carries the same information.
+    pub fn record_failure(test: &str, case: u64, message: &str) {
+        use std::io::Write as _;
+        let dir = std::env::var("IC_PROPTEST_REGRESSIONS")
+            .unwrap_or_else(|_| "target/proptest-regressions".to_string());
+        if std::fs::create_dir_all(&dir).is_err() {
+            return;
+        }
+        let path = std::path::Path::new(&dir).join(format!("{test}.txt"));
+        if let Ok(mut f) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+        {
+            let _ = writeln!(
+                f,
+                "IC_PROPTEST_SEED={} case={case}\n{message}\n---",
+                env_seed()
+            );
+        }
+    }
+
     impl TestRng {
-        /// RNG for case `case` of the test named `name`.
+        /// RNG for case `case` of the test named `name`, mixed with the
+        /// session seed ([`env_seed`]).
         pub fn for_case(name: &str, case: u64) -> Self {
             const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
             const PRIME: u64 = 0x0000_0100_0000_01b3;
@@ -85,7 +133,9 @@ pub mod test_runner {
                 h ^= b as u64;
                 h = h.wrapping_mul(PRIME);
             }
-            let mut sm = h ^ case.wrapping_mul(0x2545_f491_4f6c_dd1d);
+            let mut sm = h
+                ^ case.wrapping_mul(0x2545_f491_4f6c_dd1d)
+                ^ env_seed().wrapping_mul(0x9e37_79b9_7f4a_7c15);
             TestRng {
                 s: [
                     splitmix64(&mut sm),
@@ -476,7 +526,18 @@ macro_rules! __proptest_impl {
                         ::core::result::Result::Ok(())
                     })();
                 if let ::core::result::Result::Err(e) = outcome {
-                    panic!("property {} failed at case {}:\n{}", stringify!($name), case, e);
+                    $crate::test_runner::record_failure(
+                        stringify!($name),
+                        case,
+                        &e.to_string(),
+                    );
+                    panic!(
+                        "property {} failed at case {} (IC_PROPTEST_SEED={}):\n{}",
+                        stringify!($name),
+                        case,
+                        $crate::test_runner::env_seed(),
+                        e
+                    );
                 }
             }
         }

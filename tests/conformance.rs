@@ -1,0 +1,292 @@
+//! Cross-solver conformance: every path to the same query must give the
+//! same answer.
+//!
+//! For each aggregation (`min`, `max`, `sum`, the size-weighted
+//! `sum-surplus`, and constrained `avg`) there are up to four ways to
+//! answer a query:
+//!
+//! * **oracle** — the from-scratch reference solvers
+//!   (`ic_core::algo::oracle`, and the exhaustive `exact_topr` on tiny
+//!   graphs);
+//! * **arena** — the zero-rebuild `PeelArena` solvers (`ic_core::algo`);
+//! * **engine-batched** — `ic_engine::Engine::run_batch`, including its
+//!   dedup and min/max r-family merging;
+//! * **parallel** — `par_local_search` / multi-worker engine execution.
+//!
+//! The deterministic paths must agree **bit for bit** — same vertex
+//! sets, same values, same order — on ER, Barabási-Albert, Chung-Lu,
+//! and planted-partition graphs, including the edge cases `r = 1`,
+//! `r > #communities`, `k = 1`, and `k > degeneracy`. Heuristic local
+//! search is held to the contract its docs state: engine(1 worker) ≡
+//! `par_local_search(1 thread)` ≡ sequential `local_search`, and
+//! multi-worker results are valid communities of the same cardinality
+//! regime. Any future refactor that silently diverges from the oracle
+//! semantics fails here first.
+
+use ic_core::algo::{self, oracle, LocalSearchConfig};
+use ic_core::verify::check_community;
+use ic_core::{Aggregation, Community};
+use ic_engine::{Engine, Query};
+use ic_gen::{
+    barabasi_albert, chung_lu, gnm, pareto_weights, planted_partition, rank_weights,
+    uniform_weights, GraphSeed, PlantedPartitionConfig,
+};
+use ic_graph::{Graph, WeightedGraph};
+use ic_kcore::degeneracy;
+use proptest::prelude::*;
+
+/// One synthetic workload drawn from the four graph families with a
+/// seed-derived weight model.
+fn arb_workload() -> impl Strategy<Value = WeightedGraph> {
+    (
+        0u32..4,      // family: ER / BA / Chung-Lu / planted
+        0u32..3,      // weights: uniform / pareto / rank permutation
+        24usize..72,  // vertices
+        any::<u64>(), // seed
+    )
+        .prop_map(|(family, weight_model, n, seed)| {
+            let g: Graph = match family {
+                0 => gnm(n, n * 2, GraphSeed(seed)),
+                1 => barabasi_albert(n, 3, GraphSeed(seed)),
+                2 => chung_lu(n, n * 2, 2.5, GraphSeed(seed)),
+                _ => planted_partition(
+                    &PlantedPartitionConfig {
+                        communities: 4,
+                        community_size: (n / 4).max(2),
+                        p_in: 0.6,
+                        p_out: 0.03,
+                    },
+                    GraphSeed(seed),
+                ),
+            };
+            let n = g.num_vertices();
+            let w: Vec<f64> = match weight_model {
+                0 => uniform_weights(n, 0.5, 50.0, GraphSeed(seed ^ 0xabcd)),
+                1 => pareto_weights(n, 1.5, GraphSeed(seed ^ 0xabcd)),
+                _ => rank_weights(n, GraphSeed(seed ^ 0xabcd)),
+            };
+            WeightedGraph::new(g, w).unwrap()
+        })
+}
+
+fn engine(wg: &WeightedGraph, threads: usize) -> Engine {
+    Engine::with_threads(wg.clone(), threads)
+}
+
+fn unwrap_batch(results: Vec<Result<Vec<Community>, ic_core::SearchError>>) -> Vec<Vec<Community>> {
+    results
+        .into_iter()
+        .map(|r| r.expect("conformance queries are valid"))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// min/max: oracle ≡ arena ≡ engine (any thread count), across the
+    /// k grid including k = 1 and k > degeneracy, r including 1 and
+    /// r > #communities.
+    #[test]
+    fn node_domination_paths_agree(wg in arb_workload()) {
+        let d = degeneracy(wg.graph()) as usize;
+        let ks = [1usize, 2, (d / 2).max(1), d + 1];
+        let rs = [1usize, 3, 10_000];
+        for threads in [1usize, 4] {
+            let eng = engine(&wg, threads);
+            for &k in &ks {
+                for &r in &rs {
+                    let batch = [
+                        Query::new(k, r, Aggregation::Min),
+                        Query::new(k, r, Aggregation::Max),
+                    ];
+                    let got = unwrap_batch(eng.run_batch(&batch));
+                    let arena_min = algo::min_topr(&wg, k, r).unwrap();
+                    let oracle_min = oracle::min_topr(&wg, k, r).unwrap();
+                    prop_assert_eq!(&arena_min, &oracle_min, "min arena/oracle k={} r={}", k, r);
+                    prop_assert_eq!(&got[0], &arena_min, "min engine k={} r={} t={}", k, r, threads);
+                    let arena_max = algo::max_topr(&wg, k, r).unwrap();
+                    let oracle_max = oracle::max_topr(&wg, k, r).unwrap();
+                    prop_assert_eq!(&arena_max, &oracle_max, "max arena/oracle k={} r={}", k, r);
+                    prop_assert_eq!(&got[1], &arena_max, "max engine k={} r={} t={}", k, r, threads);
+                    if k > d {
+                        prop_assert!(got[0].is_empty() && got[1].is_empty(), "k>degeneracy");
+                    }
+                }
+            }
+        }
+    }
+
+    /// sum / sum-surplus: oracle ≡ arena ≡ engine for Algorithm 1 and
+    /// Algorithm 2 (exact and approximate).
+    #[test]
+    fn removal_decreasing_paths_agree(wg in arb_workload(), k in 1usize..4) {
+        let aggs = [Aggregation::Sum, Aggregation::SumSurplus { alpha: 0.75 }];
+        let eng = engine(&wg, 2);
+        for &agg in &aggs {
+            for r in [1usize, 4] {
+                let oracle_naive = oracle::sum_naive(&wg, k, r, agg).unwrap();
+                let arena_naive = algo::sum_naive(&wg, k, r, agg).unwrap();
+                prop_assert_eq!(&arena_naive, &oracle_naive, "naive k={} r={}", k, r);
+                let oracle_tic = oracle::tic_improved(&wg, k, r, agg, 0.0).unwrap();
+                let arena_tic = algo::tic_improved(&wg, k, r, agg, 0.0).unwrap();
+                prop_assert_eq!(&arena_tic, &oracle_tic, "tic k={} r={}", k, r);
+                let got = unwrap_batch(eng.run_batch(&[Query::new(k, r, agg)]));
+                prop_assert_eq!(&got[0], &arena_tic, "engine k={} r={}", k, r);
+                // The two algorithms agree on values (tie-broken sets may
+                // legitimately differ between Algorithm 1 and 2).
+                let nv: Vec<f64> = arena_naive.iter().map(|c| c.value).collect();
+                let tv: Vec<f64> = arena_tic.iter().map(|c| c.value).collect();
+                prop_assert_eq!(nv.len(), tv.len());
+                for (a, b) in nv.iter().zip(&tv) {
+                    prop_assert!((a - b).abs() < 1e-9, "{} vs {}", a, b);
+                }
+            }
+            // Approximate mode: engine ≡ arena ≡ oracle at the same ε.
+            for eps in [0.1, 0.4] {
+                let oracle_eps = oracle::tic_improved(&wg, k, 3, agg, eps).unwrap();
+                let arena_eps = algo::tic_improved(&wg, k, 3, agg, eps).unwrap();
+                prop_assert_eq!(&arena_eps, &oracle_eps, "eps={}", eps);
+                let got = unwrap_batch(eng.run_batch(&[Query::new(k, 3, agg).approx(eps)]));
+                prop_assert_eq!(&got[0], &arena_eps, "engine eps={}", eps);
+            }
+        }
+    }
+
+    /// Constrained queries (avg and friends): one engine worker is
+    /// bit-identical to sequential local search and single-threaded
+    /// par_local_search; multi-worker results are valid communities.
+    #[test]
+    fn constrained_paths_agree(wg in arb_workload(), k in 1usize..4, greedy in any::<bool>()) {
+        let s = k + 4;
+        let aggs = [
+            Aggregation::Average,
+            Aggregation::Min,
+            Aggregation::Sum,
+            Aggregation::SumSurplus { alpha: 0.25 },
+        ];
+        for &agg in &aggs {
+            let config = LocalSearchConfig { k, r: 3, s, greedy };
+            let seq = algo::local_search(&wg, &config, agg).unwrap();
+            let par1 = algo::par_local_search(&wg, &config, agg, 1).unwrap();
+            prop_assert_eq!(&par1, &seq, "par(1) {}", agg.name());
+            let eng1 = engine(&wg, 1);
+            let got = unwrap_batch(
+                eng1.run_batch(&[Query::new(k, 3, agg).size_bound(s, greedy)]),
+            );
+            prop_assert_eq!(&got[0], &seq, "engine(1) {}", agg.name());
+
+            let eng4 = engine(&wg, 4);
+            let got4 = unwrap_batch(
+                eng4.run_batch(&[Query::new(k, 3, agg).size_bound(s, greedy)]),
+            );
+            for c in &got4[0] {
+                prop_assert!(
+                    check_community(&wg, k, Some(s), agg, c).is_ok(),
+                    "{} multi-worker community invalid: {:?}", agg.name(), c.vertices
+                );
+            }
+        }
+    }
+
+    /// Batch composition invariance: a query answered inside a mixed,
+    /// duplicate-heavy batch (r-family siblings, repeats, unrelated
+    /// queries) must equal the same query answered alone.
+    #[test]
+    fn batch_composition_does_not_change_answers(wg in arb_workload(), k in 1usize..4) {
+        let eng = engine(&wg, 3);
+        let probes = [
+            Query::new(k, 2, Aggregation::Min),
+            Query::new(k, 5, Aggregation::Max),
+            Query::new(k, 3, Aggregation::Sum),
+        ];
+        let mut batch: Vec<Query> = probes.to_vec();
+        // Family siblings and exact repeats around the probes.
+        batch.push(Query::new(k, 1, Aggregation::Min));
+        batch.push(Query::new(k, 9, Aggregation::Min));
+        batch.push(Query::new(k, 2, Aggregation::Min));
+        batch.push(Query::new(k + 1, 2, Aggregation::Max));
+        batch.push(Query::new(k, 3, Aggregation::Sum).approx(0.2));
+        let batched = unwrap_batch(eng.run_batch(&batch));
+        for (i, q) in probes.iter().enumerate() {
+            // A fresh engine per probe keeps the comparison honest: the
+            // first engine would answer from its result cache.
+            let alone = unwrap_batch(engine(&wg, 3).run_batch(&[*q]));
+            prop_assert_eq!(&batched[i], &alone[0], "probe {} changed inside batch", i);
+        }
+    }
+}
+
+/// On tiny graphs the exhaustive maximality-aware oracle anchors all
+/// deterministic paths at once.
+#[test]
+fn exhaustive_oracle_anchors_every_path_on_tiny_graphs() {
+    for seed in 0..12u64 {
+        let n = 6 + (seed as usize % 5);
+        let g = gnm(n, n * 2, GraphSeed(seed));
+        let w = uniform_weights(n, 0.5, 20.0, GraphSeed(seed ^ 0xfeed));
+        let wg = WeightedGraph::new(g, w).unwrap();
+        let eng = engine(&wg, 2);
+        for k in 1..3usize {
+            for r in [1usize, 2, 50] {
+                let exact_min = algo::exact_topr(&wg, k, r, None, Aggregation::Min).unwrap();
+                assert_eq!(
+                    algo::min_topr(&wg, k, r).unwrap(),
+                    exact_min,
+                    "min vs exhaustive seed={seed} k={k} r={r}"
+                );
+                let exact_sum = algo::exact_topr(&wg, k, r, None, Aggregation::Sum).unwrap();
+                let got = unwrap_batch(eng.run_batch(&[Query::new(k, r, Aggregation::Sum)]));
+                let gv: Vec<f64> = got[0].iter().map(|c| c.value).collect();
+                let ev: Vec<f64> = exact_sum.iter().map(|c| c.value).collect();
+                assert_eq!(gv, ev, "sum vs exhaustive seed={seed} k={k} r={r}");
+            }
+        }
+    }
+}
+
+/// Explicit edge-case sweep on a planted graph with known structure.
+#[test]
+fn edge_cases_agree_across_paths() {
+    let g = planted_partition(
+        &PlantedPartitionConfig {
+            communities: 3,
+            community_size: 8,
+            p_in: 0.8,
+            p_out: 0.02,
+        },
+        GraphSeed(77),
+    );
+    let n = g.num_vertices();
+    let d = degeneracy(&g) as usize;
+    assert!(d >= 2, "planted graph must have cohesive blocks");
+    let wg = WeightedGraph::new(g, rank_weights(n, GraphSeed(78))).unwrap();
+    let eng = engine(&wg, 2);
+
+    // r = 1 and r far beyond the number of communities.
+    for agg in [Aggregation::Min, Aggregation::Max] {
+        for r in [1usize, 10_000] {
+            for k in [1usize, d, d + 1, d + 10] {
+                let direct = match agg {
+                    Aggregation::Min => algo::min_topr(&wg, k, r).unwrap(),
+                    _ => algo::max_topr(&wg, k, r).unwrap(),
+                };
+                let got = unwrap_batch(eng.run_batch(&[Query::new(k, r, agg)]));
+                assert_eq!(got[0], direct, "{} k={k} r={r}", agg.name());
+                if k > d {
+                    assert!(got[0].is_empty(), "k > degeneracy must be empty");
+                }
+            }
+        }
+    }
+
+    // r > #communities returns every community once, identically.
+    let all_min = unwrap_batch(eng.run_batch(&[Query::new(2, 10_000, Aggregation::Min)]));
+    assert!(!all_min[0].is_empty());
+    let again = algo::min_topr(&wg, 2, 10_000).unwrap();
+    assert_eq!(all_min[0], again);
+
+    // r = 0 is an error on every path.
+    assert!(algo::min_topr(&wg, 2, 0).is_err());
+    assert!(oracle::min_topr(&wg, 2, 0).is_err());
+    assert!(eng.run_batch(&[Query::new(2, 0, Aggregation::Min)])[0].is_err());
+}
