@@ -2,9 +2,8 @@
 //! queries, plus the one-query-at-a-time baseline the batched engine is
 //! measured against.
 
-use ic_core::algo::{self, LocalSearchConfig};
 use ic_core::{Aggregation, Community, SearchError};
-use ic_engine::{Constraint, Query};
+use ic_engine::Query;
 use ic_gen::workload::{MixAggregation, QuerySpec};
 use ic_graph::WeightedGraph;
 
@@ -30,24 +29,11 @@ pub fn to_engine_query(spec: &QuerySpec) -> Query {
 /// Answers one query the pre-engine way: a direct solver call that
 /// recomputes the core decomposition and builds a fresh arena, exactly
 /// what a caller without the engine writes today. The sequential
-/// baseline of `batch_baseline` is this, in a loop.
+/// baseline of `batch_baseline` is this, in a loop. Routing goes
+/// through [`ic_core::Query::solve`] — the unified solver layer — so
+/// this crate no longer hand-dispatches per aggregation.
 pub fn solve_sequential(wg: &WeightedGraph, q: &Query) -> Result<Vec<Community>, SearchError> {
-    match q.constraint {
-        Constraint::SizeBound { s, greedy } => {
-            let config = LocalSearchConfig {
-                k: q.k,
-                r: q.r,
-                s,
-                greedy,
-            };
-            algo::local_search(wg, &config, q.aggregation)
-        }
-        Constraint::Unconstrained => match q.aggregation {
-            Aggregation::Min => algo::min_topr(wg, q.k, q.r),
-            Aggregation::Max => algo::max_topr(wg, q.k, q.r),
-            agg => algo::tic_improved(wg, q.k, q.r, agg, q.epsilon),
-        },
-    }
+    q.solve(wg)
 }
 
 #[cfg(test)]

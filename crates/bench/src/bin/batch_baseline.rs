@@ -33,6 +33,7 @@
 
 use ic_bench::batch::{solve_sequential, to_engine_query};
 use ic_bench::runner::time_once;
+use ic_core::Aggregation;
 use ic_engine::{Constraint, Engine, PlanStats, Query};
 use ic_gen::datasets::{by_name, Profile};
 use ic_gen::workload::{mixed_query_traffic, TrafficProfile};
@@ -48,6 +49,67 @@ struct Block {
     sequential_secs: f64,
     batched_cold_secs: f64,
     batched_warm_secs: f64,
+    /// Streamed-session latencies for one min and one max query.
+    ttfr: [Ttfr; 2],
+}
+
+/// Time-to-first-result of a progressive session vs the full-batch
+/// latency of the same query (medians over several runs, cache cleared
+/// between runs so every measurement is a live solver run).
+struct Ttfr {
+    direction: &'static str,
+    k: usize,
+    r: usize,
+    /// `Engine::submit(q)` + first `next()`.
+    first_result_secs: f64,
+    /// `Engine::run_batch(&[q])` to completion.
+    full_batch_secs: f64,
+    /// Draining the whole stream (prefix contract sanity: also
+    /// cross-checked bit-for-bit against the batch result).
+    stream_total_secs: f64,
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// Measures streamed TTFR vs full-batch latency for one query on a
+/// warm-snapshot engine (the serving steady state).
+fn measure_ttfr(engine: &Engine, direction: &'static str, q: Query, runs: usize) -> Ttfr {
+    // Warm the snapshot level and pin the reference answer.
+    let reference = engine.run_batch(&[q])[0].clone().expect("ttfr query valid");
+    engine.clear_result_cache();
+    let streamed: Vec<_> = engine.submit(q).expect("ttfr query valid").collect();
+    assert_eq!(streamed, reference, "stream/batch divergence on {q:?}");
+
+    let mut first = Vec::with_capacity(runs);
+    let mut full = Vec::with_capacity(runs);
+    let mut total = Vec::with_capacity(runs);
+    for _ in 0..runs {
+        engine.clear_result_cache();
+        let (t, _) = time_once(|| engine.run_batch(&[q]));
+        full.push(t);
+        engine.clear_result_cache();
+        let (t, stream) = time_once(|| {
+            let mut s = engine.submit(q).expect("ttfr query valid");
+            let first = s.next();
+            (s, first)
+        });
+        first.push(t);
+        drop(stream); // cancellation: the unread suffix is never computed
+        engine.clear_result_cache();
+        let (t, _) = time_once(|| engine.submit(q).expect("ttfr query valid").count());
+        total.push(t);
+    }
+    Ttfr {
+        direction,
+        k: q.k,
+        r: q.r,
+        first_result_secs: median(&mut first),
+        full_batch_secs: median(&mut full),
+        stream_total_secs: median(&mut total),
+    }
 }
 
 fn json_escape(s: &str) -> String {
@@ -92,6 +154,23 @@ fn render(blocks: &[Block], queries: usize, ticks: usize, threads: usize) -> Str
             b.stats.k_levels
         );
         let _ = writeln!(out, "      \"warm_cache_hits\": {},", b.warm_cache_hits);
+        out.push_str("      \"ttfr\": [\n");
+        for (ti, t) in b.ttfr.iter().enumerate() {
+            let sp = t.full_batch_secs / t.first_result_secs.max(1e-12);
+            let _ = writeln!(
+                out,
+                "        {{\"direction\": \"{}\", \"k\": {}, \"r\": {}, \"first_result_secs\": {:.6}, \"full_batch_secs\": {:.6}, \"stream_total_secs\": {:.6}, \"ttfr_speedup\": {:.2}}}{}",
+                t.direction,
+                t.k,
+                t.r,
+                t.first_result_secs,
+                t.full_batch_secs,
+                t.stream_total_secs,
+                sp,
+                if ti + 1 == b.ttfr.len() { "" } else { "," }
+            );
+        }
+        out.push_str("      ],\n");
         let _ = writeln!(out, "      \"sequential_secs\": {:.6},", b.sequential_secs);
         let _ = writeln!(
             out,
@@ -120,11 +199,18 @@ fn render(blocks: &[Block], queries: usize, ticks: usize, threads: usize) -> Str
         }
     };
     let min = |xs: &[f64]| xs.iter().copied().fold(f64::INFINITY, f64::min);
+    let ttfr: Vec<f64> = blocks
+        .iter()
+        .flat_map(|b| b.ttfr.iter())
+        .map(|t| t.full_batch_secs / t.first_result_secs.max(1e-12))
+        .collect();
     out.push_str("  \"summary\": {\n");
     let _ = writeln!(out, "    \"min_speedup_cold\": {:.2},", min(&cold));
     let _ = writeln!(out, "    \"geomean_speedup_cold\": {:.2},", gmean(&cold));
     let _ = writeln!(out, "    \"min_speedup_warm\": {:.2},", min(&warm));
-    let _ = writeln!(out, "    \"geomean_speedup_warm\": {:.2}", gmean(&warm));
+    let _ = writeln!(out, "    \"geomean_speedup_warm\": {:.2},", gmean(&warm));
+    let _ = writeln!(out, "    \"min_ttfr_speedup\": {:.2},", min(&ttfr));
+    let _ = writeln!(out, "    \"geomean_ttfr_speedup\": {:.2}", gmean(&ttfr));
     out.push_str("  }\n}\n");
     out
 }
@@ -263,6 +349,28 @@ fn main() {
             batched_warm_secs += t;
         }
 
+        eprintln!("[batch_baseline] {name}: timing streamed sessions (time-to-first-result)");
+        // Warm-snapshot engine: the serving steady state a progressive
+        // session runs in. k = the grid's smallest value (largest core,
+        // the most events to stream over), r = the paper's deepest sweep
+        // point.
+        let ttfr_engine = Engine::with_threads(wg.clone(), threads);
+        let kq = spec.k_grid[0];
+        let ttfr = [
+            measure_ttfr(&ttfr_engine, "min", Query::new(kq, 20, Aggregation::Min), 5),
+            measure_ttfr(&ttfr_engine, "max", Query::new(kq, 20, Aggregation::Max), 5),
+        ];
+        for t in &ttfr {
+            eprintln!(
+                "  [{}] first result {:.4}s vs full batch {:.4}s ({:.1}x), stream total {:.4}s",
+                t.direction,
+                t.first_result_secs,
+                t.full_batch_secs,
+                t.full_batch_secs / t.first_result_secs.max(1e-12),
+                t.stream_total_secs
+            );
+        }
+
         blocks.push(Block {
             dataset: name.clone(),
             n,
@@ -272,6 +380,7 @@ fn main() {
             sequential_secs,
             batched_cold_secs,
             batched_warm_secs,
+            ttfr,
         });
     }
 

@@ -74,6 +74,35 @@ impl Aggregation {
         matches!(self, Aggregation::Min | Aggregation::Max)
     }
 
+    /// The aggregation's scalar parameter (α of `SumSurplus`, β of
+    /// `WeightDensity`), if it has one.
+    pub fn parameter(&self) -> Option<f64> {
+        match self {
+            Aggregation::SumSurplus { alpha } => Some(*alpha),
+            Aggregation::WeightDensity { beta } => Some(*beta),
+            _ => None,
+        }
+    }
+
+    /// Stable hashable identity: the variant discriminant plus the
+    /// canonicalized bit pattern of the parameter (see
+    /// [`canonical_f64_bits`]). Queries whose aggregations compare equal
+    /// — including `alpha: -0.0` vs `alpha: 0.0` — hash identically, so
+    /// job dedup and the cross-batch result cache never split on signed
+    /// zero or NaN payload differences. This is the one key every cache
+    /// and planner in the workspace uses.
+    pub fn cache_key(&self) -> (u8, u64) {
+        match self {
+            Aggregation::Min => (0, 0),
+            Aggregation::Max => (1, 0),
+            Aggregation::Sum => (2, 0),
+            Aggregation::SumSurplus { alpha } => (3, canonical_f64_bits(*alpha)),
+            Aggregation::Average => (4, 0),
+            Aggregation::WeightDensity { beta } => (5, canonical_f64_bits(*beta)),
+            Aggregation::BalancedDensity => (6, 0),
+        }
+    }
+
     /// Size proportionality (Definition 7): `H ⊂ H'` implies
     /// `f(H) ≤ f(H')` (for non-negative weights).
     pub fn is_size_proportional(&self) -> bool {
@@ -156,6 +185,22 @@ impl Aggregation {
                 self.name()
             ),
         }
+    }
+}
+
+/// Canonical bit pattern of an `f64` used in hash keys: `-0.0` folds
+/// onto `+0.0` (they compare equal, so they must hash equal) and every
+/// NaN payload folds onto one canonical quiet NaN (validation rejects
+/// NaN parameters, but a key derived from one must still not split the
+/// cache). All other values hash by their exact bits — distinct finite
+/// values stay distinct.
+pub fn canonical_f64_bits(x: f64) -> u64 {
+    if x == 0.0 {
+        0.0f64.to_bits()
+    } else if x.is_nan() {
+        0x7ff8_0000_0000_0000
+    } else {
+        x.to_bits()
     }
 }
 
@@ -355,6 +400,49 @@ mod tests {
         for agg in ALL {
             assert_eq!(agg.hardness_constrained(), NpHard);
         }
+    }
+
+    #[test]
+    fn cache_key_normalizes_signed_zero_and_nan() {
+        assert_eq!(
+            Aggregation::SumSurplus { alpha: -0.0 }.cache_key(),
+            Aggregation::SumSurplus { alpha: 0.0 }.cache_key(),
+            "-0.0 and 0.0 compare equal and must hash equal"
+        );
+        assert_eq!(
+            Aggregation::WeightDensity { beta: -0.0 }.cache_key(),
+            Aggregation::WeightDensity { beta: 0.0 }.cache_key()
+        );
+        // Every NaN payload folds onto one canonical key.
+        let a = f64::from_bits(0x7ff8_0000_0000_0001);
+        let b = f64::from_bits(0xfff8_dead_beef_0000);
+        assert_eq!(
+            Aggregation::SumSurplus { alpha: a }.cache_key(),
+            Aggregation::SumSurplus { alpha: b }.cache_key()
+        );
+        // Distinct finite parameters stay distinct; so do variants.
+        assert_ne!(
+            Aggregation::SumSurplus { alpha: 1.0 }.cache_key(),
+            Aggregation::SumSurplus { alpha: 2.0 }.cache_key()
+        );
+        assert_ne!(
+            Aggregation::SumSurplus { alpha: 1.0 }.cache_key(),
+            Aggregation::WeightDensity { beta: 1.0 }.cache_key()
+        );
+    }
+
+    #[test]
+    fn parameter_accessor() {
+        assert_eq!(
+            Aggregation::SumSurplus { alpha: 2.5 }.parameter(),
+            Some(2.5)
+        );
+        assert_eq!(
+            Aggregation::WeightDensity { beta: 0.5 }.parameter(),
+            Some(0.5)
+        );
+        assert_eq!(Aggregation::Sum.parameter(), None);
+        assert_eq!(Aggregation::Min.parameter(), None);
     }
 
     #[test]

@@ -151,53 +151,173 @@ fn run_improved(
     options: ImprovedOptions,
     arena: &mut PeelArena,
 ) -> Vec<Community> {
-    let g = wg.graph();
+    let mut emission = TicEmission::new(wg, comps, k, r, aggregation, options);
+    let mut results = Vec::with_capacity(r.min(1024));
+    while let Some(c) = emission.next_community(wg, arena) {
+        results.push(c);
+    }
+    results
+}
 
-    // Line 1-2: candidate list seeded with the k-core components.
-    let mut candidates: Vec<Community> = comps
-        .into_iter()
-        .map(|c| community_from_vertices(wg, aggregation, c))
-        .collect();
-    candidates.sort_by(|a, b| a.ranking_cmp(b));
-    if options.trim_candidates {
-        candidates.truncate(r);
+/// Progressive emission for `TIC-IMPROVED` — the incremental hook
+/// behind `ic_engine::Engine::submit` for the removal-decreasing
+/// aggregations. The search loop of Algorithm 2 is a state machine
+/// here: every pull advances it just far enough to *prove* the next
+/// community's final rank, then yields it.
+///
+/// In exact mode (ε = 0) confirmations leave the candidate heap in
+/// non-increasing value order, so a confirmed community whose value is
+/// **strictly** above the best remaining candidate can never be
+/// outranked by anything the search finds later — it is emitted
+/// immediately. Value ties are held back until the boundary resolves
+/// (the batch solver breaks them with `ranking_cmp` in its final sort;
+/// the emitter does the same per tie group), so the emitted sequence is
+/// bit-for-bit the batch result. Approximate mode (ε > 0) early-accepts
+/// out of rank order and therefore buffers: everything is emitted only
+/// once the search finishes, behind the same API.
+///
+/// Dropping the emitter abandons the remaining search (cancellation is
+/// free). `run_improved` itself drives this machine to completion, so
+/// there is exactly one implementation of Algorithm 2.
+#[derive(Clone, Debug)]
+pub struct TicEmission {
+    k: usize,
+    r: usize,
+    aggregation: Aggregation,
+    options: ImprovedOptions,
+    candidates: Vec<Community>,
+    explored: HashSet<u64>,
+    in_results: HashSet<u64>,
+    /// Confirmed communities in confirmation order (non-increasing value
+    /// in exact mode).
+    results: Vec<Community>,
+    /// How many of `results` have been moved to `emit`.
+    emitted: usize,
+    emit: std::collections::VecDeque<Community>,
+    fresh: Vec<Community>,
+    finished: bool,
+}
+
+impl TicEmission {
+    /// Starts a progressive `TIC-IMPROVED` run against a snapshot
+    /// (`ε = 0` exact, `ε > 0` approximate-buffered). The search itself
+    /// runs lazily inside [`next_community`](Self::next_community).
+    pub fn start_on(
+        snap: &GraphSnapshot,
+        k: usize,
+        r: usize,
+        aggregation: Aggregation,
+        epsilon: f64,
+    ) -> Result<Self, SearchError> {
+        let options = ImprovedOptions {
+            epsilon,
+            ..Default::default()
+        };
+        validate_improved(r, aggregation, &options)?;
+        let level = snap.level(k);
+        Ok(Self::new(
+            snap.weighted(),
+            level.components.clone(),
+            k,
+            r,
+            aggregation,
+            options,
+        ))
     }
 
-    let mut explored: HashSet<u64> = candidates
-        .iter()
-        .map(|c| vertex_set_key(&c.vertices))
-        .collect();
-    let mut results: Vec<Community> = Vec::with_capacity(r);
-    let mut in_results: HashSet<u64> = HashSet::new();
-    let mut fresh: Vec<Community> = Vec::new();
+    fn new(
+        wg: &WeightedGraph,
+        comps: Vec<Vec<VertexId>>,
+        k: usize,
+        r: usize,
+        aggregation: Aggregation,
+        options: ImprovedOptions,
+    ) -> Self {
+        // Line 1-2: candidate list seeded with the k-core components.
+        let mut candidates: Vec<Community> = comps
+            .into_iter()
+            .map(|c| community_from_vertices(wg, aggregation, c))
+            .collect();
+        candidates.sort_by(|a, b| a.ranking_cmp(b));
+        if options.trim_candidates {
+            candidates.truncate(r);
+        }
+        let explored: HashSet<u64> = candidates
+            .iter()
+            .map(|c| vertex_set_key(&c.vertices))
+            .collect();
+        TicEmission {
+            k,
+            r,
+            aggregation,
+            options,
+            candidates,
+            explored,
+            in_results: HashSet::new(),
+            results: Vec::new(),
+            emitted: 0,
+            emit: std::collections::VecDeque::new(),
+            fresh: Vec::new(),
+            finished: false,
+        }
+    }
 
-    while results.len() < r && !candidates.is_empty() {
+    /// Pulls the next community in final rank order, advancing the
+    /// search as little as possible. `wg` must be the graph the emission
+    /// was started on; `arena` is the caller's (typically pooled) peel
+    /// arena.
+    pub fn next_community(
+        &mut self,
+        wg: &WeightedGraph,
+        arena: &mut PeelArena,
+    ) -> Option<Community> {
+        loop {
+            if let Some(c) = self.emit.pop_front() {
+                return Some(c);
+            }
+            if self.finished {
+                return None;
+            }
+            self.advance(wg, arena);
+        }
+    }
+
+    /// One iteration of Algorithm 2's outer loop (or termination).
+    fn advance(&mut self, wg: &WeightedGraph, arena: &mut PeelArena) {
+        if self.results.len() >= self.r || self.candidates.is_empty() {
+            self.finish();
+            return;
+        }
         // Pop the maximum candidate (kept sorted best-first).
-        let lmax = candidates.remove(0);
+        let lmax = self.candidates.remove(0);
         let sig = lmax.signature();
-        if !in_results.contains(&sig) {
-            in_results.insert(sig);
-            results.push(lmax.clone());
-            if results.len() == r {
-                break;
+        if !self.in_results.contains(&sig) {
+            self.in_results.insert(sig);
+            self.results.push(lmax.clone());
+            if self.results.len() == self.r {
+                self.finish();
+                return;
             }
         }
-        let lb = (1.0 - options.epsilon) * lmax.value;
+        let lb = (1.0 - self.options.epsilon) * lmax.value;
         // f(Lr): the value of the r-th best known candidate/result.
-        let threshold = r_th_value(&results, &candidates, r);
+        let threshold = r_th_value(&self.results, &self.candidates, self.r);
 
         // One load per popped maximum; every deletion below is an
         // O(affected) journaled cascade instead of a full re-peel. The
         // articulation marks are the no-split certificate for the O(1)
         // fast path below.
-        arena.load(g, &lmax.vertices, k);
+        arena.load(wg.graph(), &lmax.vertices, self.k);
         arena.mark_articulation_points();
         let parent_mix = vertex_mix_sum(&lmax.vertices);
+        let mut fresh = std::mem::take(&mut self.fresh);
         for &v in &lmax.vertices {
             // Line 13: the pre-cascade value of Lmax ∖ {v} upper-bounds
             // every child it can produce.
-            if options.prune_by_threshold {
-                let upper = aggregation.value_after_removal(lmax.value, wg.weight(v));
+            if self.options.prune_by_threshold {
+                let upper = self
+                    .aggregation
+                    .value_after_removal(lmax.value, wg.weight(v));
                 if upper <= threshold {
                     continue;
                 }
@@ -205,37 +325,74 @@ fn run_improved(
             expand_children(
                 arena,
                 wg,
-                aggregation,
+                self.aggregation,
                 &lmax.vertices,
                 parent_mix,
                 v,
-                &mut explored,
+                &mut self.explored,
                 &mut fresh,
             );
             for child in fresh.drain(..) {
                 // Line 16: ε-early acceptance.
-                if options.epsilon > 0.0
+                if self.options.epsilon > 0.0
                     && child.value >= lb
-                    && results.len() < r
-                    && !in_results.contains(&child.signature())
+                    && self.results.len() < self.r
+                    && !self.in_results.contains(&child.signature())
                 {
-                    in_results.insert(child.signature());
-                    results.push(child.clone());
+                    self.in_results.insert(child.signature());
+                    self.results.push(child.clone());
                 }
-                let pos = candidates
+                let pos = self
+                    .candidates
                     .binary_search_by(|c| c.ranking_cmp(&child))
                     .unwrap_or_else(|p| p);
-                candidates.insert(pos, child);
+                self.candidates.insert(pos, child);
             }
         }
+        self.fresh = fresh;
         // Line 19: keep the candidate list at top-r.
-        if options.trim_candidates && candidates.len() > r {
-            candidates.truncate(r);
+        if self.options.trim_candidates && self.candidates.len() > self.r {
+            self.candidates.truncate(self.r);
+        }
+        self.drain_ready();
+    }
+
+    /// Exact mode only: moves every confirmed community whose value is
+    /// strictly above the best remaining candidate into the emit queue.
+    /// Such a community can never be outranked — future confirmations
+    /// pop from the candidate heap, so their values are bounded by the
+    /// current best candidate. Tie groups are sorted by `ranking_cmp`
+    /// within the batch, reproducing the batch solver's final sort
+    /// piecewise (value strictly separates successive batches).
+    fn drain_ready(&mut self) {
+        if self.options.epsilon > 0.0 {
+            return; // buffered: early accepts break rank monotonicity
+        }
+        let bar = self
+            .candidates
+            .first()
+            .map_or(f64::NEG_INFINITY, |c| c.value);
+        let mut end = self.emitted;
+        while end < self.results.len() && self.results[end].value.total_cmp(&bar).is_gt() {
+            end += 1;
+        }
+        if end > self.emitted {
+            let mut batch = self.results[self.emitted..end].to_vec();
+            batch.sort_by(|a, b| a.ranking_cmp(b));
+            self.emit.extend(batch);
+            self.emitted = end;
         }
     }
 
-    results.sort_by(|a, b| a.ranking_cmp(b));
-    results
+    /// Terminates the search and flushes every unemitted confirmation in
+    /// `ranking_cmp` order (the batch solver's final sort).
+    fn finish(&mut self) {
+        self.finished = true;
+        let mut rest = self.results[self.emitted..].to_vec();
+        rest.sort_by(|a, b| a.ranking_cmp(b));
+        self.emit.extend(rest);
+        self.emitted = self.results.len();
+    }
 }
 
 /// The value of the r-th best community among results ∪ candidates, or
@@ -350,6 +507,59 @@ mod tests {
                     "eps = {eps} r = {r}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn emission_prefix_equals_batch_for_every_r_and_epsilon() {
+        let wg = figure1();
+        let snap = GraphSnapshot::new(wg.clone());
+        let mut arena = PeelArena::for_graph(snap.graph());
+        for eps in [0.0, 0.1, 0.4] {
+            for r in [1usize, 2, 4, 7, 50] {
+                let full = tic_improved(&wg, 2, r, Aggregation::Sum, eps).unwrap();
+                let mut em = TicEmission::start_on(&snap, 2, r, Aggregation::Sum, eps).unwrap();
+                let mut got = Vec::new();
+                while let Some(c) = em.next_community(&wg, &mut arena) {
+                    got.push(c);
+                }
+                assert_eq!(got, full, "full drain eps={eps} r={r}");
+                // Genuine prefix: pull n items, then stop (cancellation).
+                for n in [1usize, full.len() / 2] {
+                    let n = n.min(full.len());
+                    let mut em = TicEmission::start_on(&snap, 2, r, Aggregation::Sum, eps).unwrap();
+                    let mut prefix = Vec::new();
+                    for _ in 0..n {
+                        prefix.push(em.next_community(&wg, &mut arena).unwrap());
+                    }
+                    assert_eq!(
+                        prefix.as_slice(),
+                        &full[..n],
+                        "prefix eps={eps} r={r} n={n}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn emission_holds_back_value_ties_until_resolved() {
+        // Two disjoint triangles with identical weights: the top-2 sum
+        // values tie at 9.0, so the emitter must not commit an order
+        // until the boundary is proven; the final sequence still equals
+        // the batch result bit for bit.
+        let g = graph_from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]);
+        let wg = WeightedGraph::new(g, vec![3.0; 6]).unwrap();
+        let snap = GraphSnapshot::new(wg.clone());
+        let mut arena = PeelArena::for_graph(snap.graph());
+        for r in [1usize, 2, 5] {
+            let full = tic_improved(&wg, 2, r, Aggregation::Sum, 0.0).unwrap();
+            let mut em = TicEmission::start_on(&snap, 2, r, Aggregation::Sum, 0.0).unwrap();
+            let mut got = Vec::new();
+            while let Some(c) = em.next_community(&wg, &mut arena) {
+                got.push(c);
+            }
+            assert_eq!(got, full, "tie graph r={r}");
         }
     }
 

@@ -19,8 +19,9 @@
 
 use crate::algo::common::{community_from_vertices, validate_k_r};
 use crate::{Aggregation, Community, SearchError};
-use ic_graph::{BitSet, WeightedGraph};
+use ic_graph::{BitSet, VertexId, WeightedGraph};
 use ic_kcore::{kcore_mask, GraphSnapshot, PeelArena};
+use std::collections::VecDeque;
 
 /// Top-r k-influential communities under `f = min`, best first.
 pub fn min_topr(wg: &WeightedGraph, k: usize, r: usize) -> Result<Vec<Community>, SearchError> {
@@ -111,6 +112,204 @@ enum Extreme {
     Max,
 }
 
+/// Progressive, rank-order emission for the `min`/`max` peels — the
+/// incremental hook behind `ic_engine::Engine::submit`.
+///
+/// [`MinMaxEmission::start_min`]/[`start_max`](MinMaxEmission::start_max)
+/// run **one** stamped peel pass: every removal event records its value,
+/// and every vertex records *which event* removed it
+/// ([`PeelArena::journaled`]). The community witnessed by event `s` is
+/// then reconstructible at any time, in any order, as the connected
+/// component of the event vertex among vertices with removal stamp
+/// ≥ `s` — no replay pass. Events are ranked `(value desc, seq asc)`
+/// exactly like the batch solver, and [`next_community`]
+/// (MinMaxEmission::next_community) materializes them lazily, one BFS
+/// per pull (tie groups materialize together so the emitted order is
+/// the batch solver's final `ranking_cmp` order).
+///
+/// **Prefix guarantee:** the first `n` communities pulled equal the
+/// first `n` entries of [`min_topr`]/[`max_topr`] with the same `(k,
+/// r)`, bit for bit. Dropping the emitter simply skips the remaining
+/// BFS work (cancellation is free).
+#[derive(Clone, Debug)]
+pub struct MinMaxEmission {
+    aggregation: Aggregation,
+    /// `removal_stamp[v]` = index of the event whose cascade removed
+    /// `v`; `u32::MAX` for vertices outside the maximal k-core.
+    removal_stamp: Vec<u32>,
+    /// Selected events in emission (rank) order: `(seq, vertex, value)`.
+    ranked: Vec<(u32, VertexId, f64)>,
+    cursor: usize,
+    /// Materialized tie group awaiting emission.
+    pending: VecDeque<Community>,
+    /// BFS scratch.
+    visited: Vec<bool>,
+    queue: Vec<VertexId>,
+}
+
+impl MinMaxEmission {
+    /// Starts a progressive `min` emission: one stamped peel pass over
+    /// the snapshot's `k`-core on the caller's arena, then lazy
+    /// materialization. The arena is only used inside this call.
+    pub fn start_min(
+        snap: &GraphSnapshot,
+        k: usize,
+        r: usize,
+        arena: &mut PeelArena,
+    ) -> Result<Self, SearchError> {
+        Self::start(snap, k, r, Extreme::Min, arena)
+    }
+
+    /// The `max` counterpart of [`MinMaxEmission::start_min`].
+    pub fn start_max(
+        snap: &GraphSnapshot,
+        k: usize,
+        r: usize,
+        arena: &mut PeelArena,
+    ) -> Result<Self, SearchError> {
+        Self::start(snap, k, r, Extreme::Max, arena)
+    }
+
+    fn start(
+        snap: &GraphSnapshot,
+        k: usize,
+        r: usize,
+        dir: Extreme,
+        arena: &mut PeelArena,
+    ) -> Result<Self, SearchError> {
+        validate_k_r(r)?;
+        let wg = snap.weighted();
+        let g = wg.graph();
+        let level = snap.level(k);
+
+        let mut order: Vec<u32> = level.mask.iter().map(|v| v as u32).collect();
+        sort_peel_order(&mut order, wg, dir);
+
+        // Stamped pass 1: identical event sequence to `peel_topr_multi`,
+        // but each event also stamps the vertices its cascade removed.
+        let mut removal_stamp = vec![u32::MAX; g.num_vertices()];
+        let mut events: Vec<(VertexId, f64)> = Vec::with_capacity(order.len());
+        arena.load(g, &order, k);
+        for &v in &order {
+            if arena.is_live(v) {
+                let seq = events.len() as u32;
+                arena.remove_cascade(v);
+                for u in arena.journaled() {
+                    removal_stamp[u as usize] = seq;
+                }
+                arena.commit();
+                events.push((v, wg.weight(v)));
+            }
+        }
+
+        // Rank events (value desc, seq asc) and keep the top r — the
+        // same selection rule as the batch path.
+        let mut ranked_seqs: Vec<u32> = (0..events.len() as u32).collect();
+        ranked_seqs.sort_by(|&a, &b| {
+            events[b as usize]
+                .1
+                .total_cmp(&events[a as usize].1)
+                .then_with(|| a.cmp(&b))
+        });
+        ranked_seqs.truncate(r);
+        let ranked = ranked_seqs
+            .into_iter()
+            .map(|s| (s, events[s as usize].0, events[s as usize].1))
+            .collect();
+
+        Ok(MinMaxEmission {
+            aggregation: match dir {
+                Extreme::Min => Aggregation::Min,
+                Extreme::Max => Aggregation::Max,
+            },
+            removal_stamp,
+            ranked,
+            cursor: 0,
+            pending: VecDeque::new(),
+            visited: vec![false; g.num_vertices()],
+            queue: Vec::new(),
+        })
+    }
+
+    /// Total communities this emission will yield (`min(r, #events)`).
+    pub fn len(&self) -> usize {
+        self.ranked.len()
+    }
+
+    /// Whether the emission yields nothing (empty k-core).
+    pub fn is_empty(&self) -> bool {
+        self.ranked.is_empty()
+    }
+
+    /// Materializes the community of the ranked event at `i` with one
+    /// BFS over still-live-at-that-event vertices.
+    fn materialize(&mut self, wg: &WeightedGraph, i: usize) -> Community {
+        let (seq, start, _) = self.ranked[i];
+        let g = wg.graph();
+        self.queue.clear();
+        self.queue.push(start);
+        self.visited[start as usize] = true;
+        let mut head = 0;
+        while head < self.queue.len() {
+            let x = self.queue[head];
+            head += 1;
+            for &u in g.neighbors(x) {
+                let ui = u as usize;
+                let stamp = self.removal_stamp[ui];
+                if stamp != u32::MAX && stamp >= seq && !self.visited[ui] {
+                    self.visited[ui] = true;
+                    self.queue.push(u);
+                }
+            }
+        }
+        for &u in &self.queue {
+            self.visited[u as usize] = false;
+        }
+        community_from_vertices(wg, self.aggregation, self.queue.clone())
+    }
+
+    /// Pulls the next community in final rank order. `wg` must be the
+    /// graph the emission was started on. Each pull costs one component
+    /// BFS (a whole tie group materializes on its first pull).
+    pub fn next_community(&mut self, wg: &WeightedGraph) -> Option<Community> {
+        if let Some(c) = self.pending.pop_front() {
+            return Some(c);
+        }
+        if self.cursor >= self.ranked.len() {
+            return None;
+        }
+        // Find the run of events tied on value: within it, the final
+        // order is decided by `ranking_cmp` over the materialized
+        // communities (exactly the batch solver's final sort), so the
+        // whole group materializes together.
+        let lo = self.cursor;
+        let v0 = self.ranked[lo].2;
+        let mut hi = lo + 1;
+        while hi < self.ranked.len() && self.ranked[hi].2.total_cmp(&v0).is_eq() {
+            hi += 1;
+        }
+        self.cursor = hi;
+        if hi - lo == 1 {
+            return Some(self.materialize(wg, lo));
+        }
+        let mut group: Vec<Community> = (lo..hi).map(|i| self.materialize(wg, i)).collect();
+        group.sort_by(|a, b| a.ranking_cmp(b));
+        self.pending.extend(group);
+        self.pending.pop_front()
+    }
+}
+
+fn sort_peel_order(order: &mut [u32], wg: &WeightedGraph, dir: Extreme) {
+    order.sort_unstable_by(|&a, &b| {
+        let (wa, wb) = (wg.weight(a), wg.weight(b));
+        let c = match dir {
+            Extreme::Min => wa.total_cmp(&wb),
+            Extreme::Max => wb.total_cmp(&wa),
+        };
+        c.then_with(|| a.cmp(&b))
+    });
+}
+
 fn peel_topr(
     wg: &WeightedGraph,
     k: usize,
@@ -140,16 +339,10 @@ fn peel_topr_multi(
     let r_max = rs.iter().copied().max().unwrap_or(0);
 
     // Peel order: ascending weight for min, descending for max; vertex id
-    // breaks ties deterministically.
+    // breaks ties deterministically. Shared with the progressive
+    // emission path so the two can never drift apart.
     let mut order: Vec<u32> = core.iter().map(|v| v as u32).collect();
-    order.sort_unstable_by(|&a, &b| {
-        let (wa, wb) = (wg.weight(a), wg.weight(b));
-        let c = match dir {
-            Extreme::Min => wa.total_cmp(&wb),
-            Extreme::Max => wb.total_cmp(&wa),
-        };
-        c.then_with(|| a.cmp(&b))
-    });
+    sort_peel_order(&mut order, wg, dir);
 
     // Pass 1: record the value of every extreme-vertex removal event.
     // Each visit of a still-live vertex is one event; the community it
@@ -347,6 +540,68 @@ mod tests {
         for (i, &r) in [1usize, 2, 5].iter().enumerate() {
             assert_eq!(multi[i], min_topr(&wg, 2, r).unwrap(), "r={r}");
         }
+    }
+
+    #[test]
+    fn emission_prefix_equals_batch_for_every_r() {
+        use ic_kcore::GraphSnapshot;
+        let wg = figure1();
+        let snap = GraphSnapshot::new(wg.clone());
+        let mut arena = PeelArena::for_graph(snap.graph());
+        for r in [1usize, 2, 4, 7, 100] {
+            let mut min_em = MinMaxEmission::start_min(&snap, 2, r, &mut arena).unwrap();
+            let mut got = Vec::new();
+            while let Some(c) = min_em.next_community(&wg) {
+                got.push(c);
+            }
+            assert_eq!(got, min_topr(&wg, 2, r).unwrap(), "min full drain r={r}");
+            let mut max_em = MinMaxEmission::start_max(&snap, 2, r, &mut arena).unwrap();
+            let mut got = Vec::new();
+            while let Some(c) = max_em.next_community(&wg) {
+                got.push(c);
+            }
+            assert_eq!(got, max_topr(&wg, 2, r).unwrap(), "max full drain r={r}");
+        }
+        // Genuine prefix semantics: pull n < r items and stop.
+        let full = min_topr(&wg, 2, 7).unwrap();
+        for n in 0..full.len() {
+            let mut em = MinMaxEmission::start_min(&snap, 2, 7, &mut arena).unwrap();
+            let mut prefix = Vec::new();
+            for _ in 0..n {
+                prefix.push(em.next_community(&wg).unwrap());
+            }
+            assert_eq!(prefix.as_slice(), &full[..n], "prefix n={n}");
+        }
+    }
+
+    #[test]
+    fn emission_handles_value_ties_like_the_batch_solver() {
+        // Two equal-weight triangles force tied event values: the
+        // emitter must materialize the tie group together and sort it by
+        // ranking_cmp, exactly like the batch path's final sort.
+        let g = graph_from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]);
+        let wg = WeightedGraph::new(g, vec![3.0; 6]).unwrap();
+        let snap = ic_kcore::GraphSnapshot::new(wg.clone());
+        let mut arena = PeelArena::for_graph(snap.graph());
+        for r in [1usize, 2, 5] {
+            let mut em = MinMaxEmission::start_min(&snap, 2, r, &mut arena).unwrap();
+            let mut got = Vec::new();
+            while let Some(c) = em.next_community(&wg) {
+                got.push(c);
+            }
+            assert_eq!(got, min_topr(&wg, 2, r).unwrap(), "tie graph r={r}");
+        }
+    }
+
+    #[test]
+    fn emission_on_empty_core_is_empty() {
+        let g = graph_from_edges(3, &[(0, 1), (1, 2)]);
+        let wg = WeightedGraph::new(g, vec![1.0; 3]).unwrap();
+        let snap = ic_kcore::GraphSnapshot::new(wg.clone());
+        let mut arena = PeelArena::for_graph(snap.graph());
+        let mut em = MinMaxEmission::start_min(&snap, 2, 3, &mut arena).unwrap();
+        assert!(em.is_empty());
+        assert!(em.next_community(&wg).is_none());
     }
 
     #[test]

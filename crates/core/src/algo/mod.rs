@@ -12,6 +12,18 @@
 //! * [`nonoverlap`] — TONIC (non-overlapping) wrappers;
 //! * [`par_local_search`] — multi-threaded local search (the paper's
 //!   future-work direction).
+//!
+//! **Deprecation note (PR 3).** These free functions remain the
+//! *algorithm* layer, but as serving *entry points* they are
+//! soft-deprecated: they recompute the core decomposition per call and
+//! know nothing of snapshots, caches, or family merges. New code should
+//! route through [`crate::Query`] — `q.solve(&wg)` dispatches to the
+//! right algorithm here, `q.solve_on(&snapshot, &mut arena)` reuses
+//! memoized k-core state, and `ic_engine::Engine` adds batching,
+//! progressive streams ([`Engine::submit`](../../ic_engine/struct.Engine.html#method.submit)),
+//! and mutable-graph epochs on top. The routing table lives in one
+//! place ([`crate::Query::solver`]); nothing outside this module should
+//! hand-dispatch on aggregation again.
 
 mod bb;
 mod common;
@@ -29,7 +41,9 @@ mod truss;
 
 pub use bb::bb_avg_topr;
 pub use exact::{all_communities, exact_naive, exact_topr};
-pub use improved::{tic_improved, tic_improved_on, tic_improved_with_options, ImprovedOptions};
+pub use improved::{
+    tic_improved, tic_improved_on, tic_improved_with_options, ImprovedOptions, TicEmission,
+};
 pub use index::MinCommunityIndex;
 pub use local_search::{
     local_search, local_search_nonoverlapping, run_seed, run_seed_multi, LocalScratch,
@@ -37,6 +51,7 @@ pub use local_search::{
 };
 pub use minmax::{
     max_topr, max_topr_multi_on, max_topr_on, min_topr, min_topr_multi_on, min_topr_on,
+    MinMaxEmission,
 };
 pub use par::{decode_ordered_f64, encode_ordered_f64, par_local_search};
 pub use refine::{local_search_refined, refine_community};

@@ -48,8 +48,10 @@ pub mod community;
 mod error;
 pub mod figure1;
 pub mod hardness;
+pub mod query;
 pub mod verify;
 
 pub use aggregate::{AggregateState, Aggregation, Hardness};
 pub use community::{Community, TopList};
 pub use error::SearchError;
+pub use query::{Constraint, Query, QueryBuilder, Solver};

@@ -1,29 +1,45 @@
-//! Cross-batch result cache.
+//! Epoch-tagged cross-batch result cache.
 //!
-//! The engine's snapshot is immutable and every solver is a
+//! The engine's snapshot is immutable *per epoch* and every solver is a
 //! deterministic function of `(graph, query)`, so memoizing completed
 //! results across batches is sound: a hit returns the very value an
-//! earlier solver run produced, which is bit-identical by construction.
-//! This is the steady-state serving amortization — Zipf-popular queries
-//! repeat across batches, and only a query's *first* occurrence ever
-//! pays solver time. (For heuristic local-search queries executed on
-//! several workers, the cached value is one of the documented
-//! `par_local_search`-style outcomes and pins the answer stably, which
-//! serving surfaces generally prefer.)
+//! earlier solver run produced under the same epoch, which is
+//! bit-identical by construction. This is the steady-state serving
+//! amortization — Zipf-popular queries repeat across batches, and only
+//! a query's *first* occurrence per epoch ever pays solver time. (For
+//! heuristic local-search queries executed on several workers, the
+//! cached value is one of the documented `par_local_search`-style
+//! outcomes and pins the answer stably, which serving surfaces
+//! generally prefer.)
+//!
+//! **Invalidation** is by epoch tag: every entry records the
+//! [`Epoch`](crate::Epoch) it was computed under and a lookup from any
+//! other epoch misses. Stale entries are *not* evicted on lookup — they
+//! persist until a newer-epoch insert of the same query replaces them
+//! in place or a capacity sweep reclaims them (so
+//! `Engine::cached_results` counts stale entries too). `Engine::apply`
+//! therefore never stops the world to clear the cache — old entries
+//! simply stop matching.
+//!
+//! Keys normalize `f64` parameters through
+//! [`ic_core::aggregate::canonical_f64_bits`], so `alpha: -0.0` and
+//! `alpha: 0.0` (equal values, equal results) share one entry instead of
+//! defeating dedup with distinct bit patterns.
 //!
 //! The cache is bounded: when full, the oldest half of the entries is
 //! evicted (insertion order), keeping hot heads resident without
 //! per-access bookkeeping. Errors are never cached — they are cheap to
 //! re-derive at plan time.
 
-use crate::{Constraint, Query};
+use crate::{Constraint, Epoch, Query};
+use ic_core::aggregate::canonical_f64_bits;
 use ic_core::{Community, SearchError};
 use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Mutex};
 
 pub(crate) type Outcome = Arc<Result<Vec<Community>, SearchError>>;
 
-/// Hashable identity of a query (f64 parameters by bit pattern).
+/// Hashable identity of a query (normalized f64 parameter bits).
 #[derive(Clone, Copy, PartialEq, Eq, Hash)]
 struct CacheKey {
     k: usize,
@@ -33,36 +49,31 @@ struct CacheKey {
     constraint: (bool, usize, bool),
 }
 
-fn key_of(q: &Query) -> CacheKey {
-    use ic_core::Aggregation;
-    let agg = match q.aggregation {
-        Aggregation::Min => (0, 0),
-        Aggregation::Max => (1, 0),
-        Aggregation::Sum => (2, 0),
-        Aggregation::SumSurplus { alpha } => (3, alpha.to_bits()),
-        Aggregation::Average => (4, 0),
-        Aggregation::WeightDensity { beta } => (5, beta.to_bits()),
-        Aggregation::BalancedDensity => (6, 0),
-    };
+/// `None` for queries the cache has no key shape for (future
+/// `Constraint` variants): such queries are never cached, so a new
+/// variant can never collide with an existing entry's key.
+fn key_of(q: &Query) -> Option<CacheKey> {
     let constraint = match q.constraint {
         Constraint::Unconstrained => (false, 0, false),
         Constraint::SizeBound { s, greedy } => (true, s, greedy),
+        _ => return None,
     };
-    CacheKey {
+    Some(CacheKey {
         k: q.k,
         r: q.r,
-        agg,
-        eps: q.epsilon.to_bits(),
+        agg: q.aggregation.cache_key(),
+        eps: canonical_f64_bits(q.epsilon),
         constraint,
-    }
+    })
 }
 
 struct Inner {
-    map: HashMap<CacheKey, Outcome>,
+    map: HashMap<CacheKey, (Epoch, Outcome)>,
     fifo: VecDeque<CacheKey>,
 }
 
-/// Bounded memo of completed query results. See the module docs.
+/// Bounded, epoch-tagged memo of completed query results. See the
+/// module docs.
 pub(crate) struct ResultCache {
     capacity: usize,
     inner: Mutex<Inner>,
@@ -79,23 +90,44 @@ impl ResultCache {
         }
     }
 
-    pub(crate) fn get(&self, q: &Query) -> Option<Outcome> {
+    /// A hit requires the entry's epoch to match. A stale entry simply
+    /// misses — it is *not* removed here, because its key already sits
+    /// in the eviction fifo exactly once; it is replaced in place by the
+    /// next [`insert`](Self::insert) of the same query (keeping the
+    /// fifo duplicate-free, so capacity sweeps never evict a freshly
+    /// re-warmed entry early) or reclaimed by a capacity sweep.
+    pub(crate) fn get(&self, q: &Query, epoch: Epoch) -> Option<Outcome> {
         if self.capacity == 0 {
             return None;
         }
+        let key = key_of(q)?;
         let inner = self.inner.lock().expect("result cache poisoned");
-        inner.map.get(&key_of(q)).cloned()
+        match inner.map.get(&key) {
+            Some((e, outcome)) if *e == epoch => Some(Arc::clone(outcome)),
+            _ => None,
+        }
     }
 
-    /// Records a completed `Ok` outcome (errors are not cached).
-    pub(crate) fn insert(&self, q: &Query, outcome: &Outcome) {
+    /// Records a completed `Ok` outcome under `epoch` (errors are not
+    /// cached). A stale same-key entry from an **older** epoch is
+    /// replaced in place; an outcome from an older epoch never
+    /// overwrites a newer entry (in-flight pre-`apply` work finishing
+    /// late must not un-cache current results).
+    pub(crate) fn insert(&self, q: &Query, epoch: Epoch, outcome: &Outcome) {
         if self.capacity == 0 || outcome.is_err() {
             return;
         }
-        let key = key_of(q);
+        let Some(key) = key_of(q) else { return };
         let mut inner = self.inner.lock().expect("result cache poisoned");
-        if inner.map.contains_key(&key) {
-            return;
+        match inner.map.get(&key).map(|(e, _)| *e) {
+            Some(e) if e >= epoch => return,
+            Some(_) => {
+                // Older-epoch entry: replace in place, fifo slot already
+                // queued.
+                inner.map.insert(key, (epoch, Arc::clone(outcome)));
+                return;
+            }
+            None => {}
         }
         if inner.map.len() >= self.capacity {
             // Drop the oldest half in one sweep.
@@ -105,7 +137,7 @@ impl ResultCache {
                 }
             }
         }
-        inner.map.insert(key, Arc::clone(outcome));
+        inner.map.insert(key, (epoch, Arc::clone(outcome)));
         inner.fifo.push_back(key);
     }
 

@@ -11,20 +11,27 @@
 //! completion order while the batch is still running.
 
 use crate::plan::{Dir, Job, JobOutput, LocalJob, Plan};
-use crate::Engine;
 use ic_core::algo::{
     self, decode_ordered_f64, encode_ordered_f64, run_seed_multi, LocalScratch, SeedTarget,
 };
 use ic_core::{Community, SearchError, TopList};
-use ic_kcore::PeelArena;
+use ic_kcore::{ArenaPool, GraphSnapshot, PeelArena};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::Sender;
 use std::sync::Arc;
 
 type Outcome = Arc<Result<Vec<Community>, SearchError>>;
 
-pub(crate) fn execute<F>(engine: &Engine, plan: Plan, mut deliver: F)
-where
+/// Runs a plan against one pinned snapshot. The snapshot and arena pool
+/// are grabbed once by the caller (`Engine::execute`) so a concurrent
+/// `Engine::apply` can never tear a batch across two graph versions.
+pub(crate) fn execute<F>(
+    snap: &GraphSnapshot,
+    arenas: &ArenaPool,
+    threads: usize,
+    plan: Plan,
+    mut deliver: F,
+) where
     F: FnMut(usize, Outcome),
 {
     for (query, result) in plan.immediate.iter() {
@@ -35,7 +42,7 @@ where
     }
 
     let cursor = AtomicUsize::new(0);
-    let workers = engine.threads().min(plan.jobs.len());
+    let workers = threads.max(1).min(plan.jobs.len());
     let (tx, rx) = std::sync::mpsc::channel::<(usize, Outcome)>();
     std::thread::scope(|scope| {
         for _ in 0..workers {
@@ -43,12 +50,12 @@ where
             let cursor = &cursor;
             let plan = &plan;
             scope.spawn(move || {
-                let mut arena = engine.arena_pool().acquire();
+                let mut arena = arenas.acquire();
                 let mut scratch: Option<LocalScratch> = None;
                 loop {
                     let j = cursor.fetch_add(1, Ordering::Relaxed);
                     let Some(job) = plan.jobs.get(j) else { break };
-                    run_job(engine, job, &mut arena, &mut scratch, &tx);
+                    run_job(snap, job, &mut arena, &mut scratch, &tx);
                 }
             });
         }
@@ -91,13 +98,12 @@ fn send_all(tx: &Sender<(usize, Outcome)>, outputs: &[JobOutput], outcome: &Outc
 }
 
 fn run_job(
-    engine: &Engine,
+    snap: &GraphSnapshot,
     job: &Job,
     arena: &mut PeelArena,
     scratch: &mut Option<LocalScratch>,
     tx: &Sender<(usize, Outcome)>,
 ) {
-    let snap = engine.snapshot();
     match job {
         Job::MinMaxFamily {
             dir,
@@ -175,7 +181,7 @@ fn run_job(
             ));
             send_all(tx, outputs, &outcome);
         }
-        Job::LocalChunk { job, chunk } => run_local_chunk(engine, job, *chunk, scratch, tx),
+        Job::LocalChunk { job, chunk } => run_local_chunk(snap, job, *chunk, scratch, tx),
     }
 }
 
@@ -184,13 +190,12 @@ fn run_job(
 /// shared monotone floors, one pool build per seed shared by every
 /// member's strategy, merge by whichever chunk finishes last.
 fn run_local_chunk(
-    engine: &Engine,
+    snap: &GraphSnapshot,
     job: &Arc<LocalJob>,
     chunk: usize,
     scratch: &mut Option<LocalScratch>,
     tx: &Sender<(usize, Outcome)>,
 ) {
-    let snap = engine.snapshot();
     let wg = snap.weighted();
     let g = snap.graph();
     let level = snap.level(job.k);

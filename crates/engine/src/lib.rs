@@ -1,44 +1,41 @@
-//! Batched multi-query engine for top-r influential community search.
+//! Serving engine for top-r influential community search: batched
+//! queries, progressive sessions, and a mutable graph.
 //!
-//! The paper answers one query at a time; a serving system sees *many*
-//! queries — varying `k`, `r`, aggregation, and size constraint —
-//! against the *same* graph. This crate amortizes work across them:
+//! The paper answers one query at a time against a frozen graph; a
+//! serving system sees *many* queries — varying `k`, `r`, aggregation,
+//! and size constraint — against a graph that *changes*. This crate
+//! provides the three serving surfaces:
 //!
-//! 1. **Shared snapshot** — an [`Engine`] owns a
-//!    [`GraphSnapshot`](ic_kcore::GraphSnapshot): the core decomposition
-//!    is computed once per graph and the per-`k` core masks/components
-//!    once per distinct `k`, no matter how many queries use them.
-//! 2. **Planning** — [`Engine::plan`] validates every query up front,
-//!    answers `k > degeneracy` queries immediately (provably empty),
-//!    deduplicates identical queries, merges `min`/`max` queries that
-//!    differ only in `r` into one shared two-pass peel
-//!    ([`ic_core::algo::min_topr_multi_on`]), and orders the remaining
-//!    jobs by `(k, solver)` so consecutive jobs hit warm snapshot levels
-//!    and arena buffers.
-//! 3. **Execution** — jobs run on a work-stealing pool of scoped
-//!    threads; each worker draws jobs from a shared cursor, holds a
-//!    pooled [`PeelArena`](ic_kcore::PeelArena) for its lifetime (the
-//!    [`ArenaPool`](ic_kcore::ArenaPool) persists across batches, so
-//!    steady traffic constructs zero arenas), and size-constrained
-//!    local-search queries are split into per-worker seed chunks that
-//!    share the atomic r-th-value pruning floor of
-//!    [`ic_core::algo::par_local_search`].
-//!
-//! Deterministic solvers (`min`, `max`, `sum`, `sum-surplus`) return
-//! **bit-identical** output to their one-query-at-a-time counterparts,
-//! regardless of thread count or batch composition — the conformance
-//! suite (`tests/conformance.rs`) holds every path to that. Heuristic
-//! local-search queries reproduce the sequential result exactly at
-//! `threads = 1` and the documented `par_local_search` behaviour above.
+//! 1. **Batches** — [`Engine::run_batch`] plans a batch (per-query
+//!    validation via [`ic_core::Query::solver`], `k > degeneracy`
+//!    short-circuits, dedup, `r`-family merging, `k`-grouped job
+//!    ordering) and executes it on a work-stealing pool of scoped
+//!    threads with pooled [`PeelArena`](ic_kcore::PeelArena)s.
+//!    Deterministic solver paths are **bit-identical** to the direct
+//!    one-query-at-a-time calls, regardless of thread count or batch
+//!    composition (held by `tests/conformance.rs`).
+//! 2. **Progressive sessions** — [`Engine::submit`] returns a
+//!    [`ResultStream`]: a pull-based iterator yielding communities in
+//!    final rank order as the underlying peel/TIC run produces them.
+//!    Any prefix of the stream equals the same-length prefix of
+//!    [`Engine::run_batch`] for that query, bit for bit; dropping the
+//!    stream cancels the remaining work (held by `tests/progressive.rs`).
+//! 3. **Updates** — [`Engine::apply`] feeds [`EdgeUpdate`]s through an
+//!    incremental [`CoreMaintainer`](ic_kcore::CoreMaintainer) and swaps
+//!    in a fresh immutable snapshot under a new [`Epoch`]. In-flight
+//!    batches and streams keep their snapshot (copy-on-write isolation);
+//!    the epoch-tagged result cache stops serving pre-update answers. A
+//!    post-`apply` engine answers exactly like an engine built from
+//!    scratch on the updated graph (also held by `tests/progressive.rs`).
 //!
 //! # Quick start
 //!
 //! ```
-//! use ic_core::Aggregation;
-//! use ic_engine::{Engine, Query};
+//! use ic_engine::prelude::*;
 //! use ic_core::figure1::figure1;
 //!
 //! let engine = Engine::with_threads(figure1(), 2);
+//! // Batched:
 //! let batch = vec![
 //!     Query::new(2, 2, Aggregation::Min),
 //!     Query::new(2, 2, Aggregation::Sum),
@@ -46,6 +43,16 @@
 //! ];
 //! let results = engine.run_batch(&batch);
 //! assert_eq!(results[1].as_ref().unwrap()[0].value, 203.0);
+//!
+//! // Progressive: communities arrive in rank order, pay-per-pull.
+//! let mut stream = engine.submit(Query::new(2, 2, Aggregation::Sum)).unwrap();
+//! assert_eq!(stream.next().unwrap().value, 203.0);
+//! drop(stream); // cancels the rest of the run
+//!
+//! // Mutable: delete an edge, re-query under the new epoch.
+//! let before = engine.epoch();
+//! let epoch = engine.apply(&[EdgeUpdate::Remove { u: 0, v: 1 }]);
+//! assert!(epoch > before);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -54,77 +61,73 @@
 mod cache;
 mod exec;
 mod plan;
+mod stream;
 
 pub use plan::{Plan, PlanStats};
+pub use stream::ResultStream;
+
+// The query vocabulary lives in `ic-core` since PR 3; these re-exports
+// keep every pre-existing `ic_engine::{Query, Constraint}` caller
+// compiling unchanged.
+pub use ic_core::{Constraint, Query, QueryBuilder, Solver};
+pub use ic_kcore::EdgeUpdate;
+
+/// One-stop import of the full serving vocabulary:
+/// `use ic_engine::prelude::*;`.
+pub mod prelude {
+    pub use crate::{Engine, Epoch, Plan, PlanStats, ResultStream};
+    pub use ic_core::{
+        Aggregation, Community, Constraint, Query, QueryBuilder, SearchError, Solver,
+    };
+    pub use ic_kcore::{EdgeUpdate, GraphSnapshot};
+}
 
 use cache::ResultCache;
-use ic_core::{Aggregation, Community, SearchError};
+use ic_core::{Community, SearchError};
 use ic_graph::WeightedGraph;
-use ic_kcore::{ArenaPool, GraphSnapshot};
-use std::sync::Arc;
+use ic_kcore::{ArenaPool, CoreMaintainer, GraphSnapshot};
+use std::sync::{Arc, Mutex, RwLock};
 
-/// One top-r influential community query against the engine's graph.
-#[derive(Clone, Copy, Debug, PartialEq)]
-pub struct Query {
-    /// Degree constraint `k` of the community model.
-    pub k: usize,
-    /// Number of communities to return.
-    pub r: usize,
-    /// Aggregation function `f`.
-    pub aggregation: Aggregation,
-    /// Approximation parameter ε for the removal-decreasing
-    /// aggregations (`0.0` = exact); must be `0.0` for every other
-    /// solver path.
-    pub epsilon: f64,
-    /// Unconstrained or size-bounded search.
-    pub constraint: Constraint,
-}
+/// A monotone version counter for the engine's graph: every successful
+/// [`Engine::apply`] that changes the edge set moves the engine to a new
+/// epoch. Results, streams, and cache entries are tagged with the epoch
+/// they were computed under.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Epoch(u64);
 
-/// Size constraint of a [`Query`].
-#[derive(Clone, Copy, Debug, PartialEq)]
-pub enum Constraint {
-    /// Size-unconstrained top-r (polynomial-time aggregations only).
-    Unconstrained,
-    /// Size-bounded top-r via local search (any aggregation; heuristic).
-    SizeBound {
-        /// Community size bound `s` (must exceed `k`).
-        s: usize,
-        /// Greedy (weight-sorted pools) vs Random (BFS-ordered pools).
-        greedy: bool,
-    },
-}
-
-impl Query {
-    /// An exact, unconstrained query.
-    pub fn new(k: usize, r: usize, aggregation: Aggregation) -> Self {
-        Query {
-            k,
-            r,
-            aggregation,
-            epsilon: 0.0,
-            constraint: Constraint::Unconstrained,
-        }
-    }
-
-    /// Sets the approximation parameter ε (Approx mode of Algorithm 2).
-    pub fn approx(mut self, epsilon: f64) -> Self {
-        self.epsilon = epsilon;
-        self
-    }
-
-    /// Adds a size bound, routing the query through local search.
-    pub fn size_bound(mut self, s: usize, greedy: bool) -> Self {
-        self.constraint = Constraint::SizeBound { s, greedy };
-        self
+impl Epoch {
+    /// The epoch's position in the update history (0 = as constructed).
+    pub fn index(self) -> u64 {
+        self.0
     }
 }
 
-/// A batched query engine over one immutable graph. See the module docs.
+impl std::fmt::Display for Epoch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "epoch {}", self.0)
+    }
+}
+
+/// The swappable, immutable serving state: everything a batch or stream
+/// needs, grabbed once per operation so concurrent [`Engine::apply`]
+/// calls never tear a computation across two graph versions.
+struct Serving {
+    snapshot: Arc<GraphSnapshot>,
+    arenas: Arc<ArenaPool>,
+    epoch: Epoch,
+}
+
+/// A serving engine over one weighted graph. See the module docs.
 pub struct Engine {
-    snapshot: GraphSnapshot,
-    arenas: ArenaPool,
+    serving: RwLock<Serving>,
+    /// Incremental core-number maintainer, seeded lazily on the first
+    /// [`Engine::apply`]; guarded separately so updates serialize
+    /// without blocking read traffic.
+    maintainer: Mutex<Option<CoreMaintainer>>,
     threads: usize,
-    results: ResultCache,
+    /// Shared with live [`ResultStream`]s, which memoize their result
+    /// on full drain.
+    results: Arc<ResultCache>,
 }
 
 /// Default bound on the cross-batch result cache (distinct queries).
@@ -147,19 +150,29 @@ impl Engine {
     /// Builds an engine over an existing snapshot, inheriting whatever
     /// levels it has already memoized.
     pub fn from_snapshot(snapshot: GraphSnapshot, threads: usize) -> Self {
-        let arenas = ArenaPool::for_graph(snapshot.graph());
+        let arenas = Arc::new(ArenaPool::for_graph(snapshot.graph()));
         Engine {
-            snapshot,
-            arenas,
+            serving: RwLock::new(Serving {
+                snapshot: Arc::new(snapshot),
+                arenas,
+                epoch: Epoch(0),
+            }),
+            maintainer: Mutex::new(None),
             threads: threads.max(1),
-            results: ResultCache::new(DEFAULT_CACHE_CAPACITY),
+            results: Arc::new(ResultCache::new(DEFAULT_CACHE_CAPACITY)),
         }
     }
 
-    /// Distinct query results currently memoized across batches. The
-    /// snapshot is immutable and the solvers deterministic, so cached
-    /// results are bit-identical to re-solving; only a query's first
-    /// occurrence across a serving session pays solver time.
+    fn serving(&self) -> (Arc<GraphSnapshot>, Arc<ArenaPool>, Epoch) {
+        let s = self.serving.read().expect("serving state poisoned");
+        (Arc::clone(&s.snapshot), Arc::clone(&s.arenas), s.epoch)
+    }
+
+    /// Distinct query results currently memoized across batches (current
+    /// epoch and stale entries awaiting lazy eviction). The snapshot is
+    /// immutable per epoch and the solvers deterministic, so a hit is
+    /// bit-identical to re-solving; [`Engine::apply`] moves the engine
+    /// to a new epoch, which invalidates every older entry.
     pub fn cached_results(&self) -> usize {
         self.results.len()
     }
@@ -169,9 +182,16 @@ impl Engine {
         self.results.clear();
     }
 
-    /// The engine's shared snapshot.
-    pub fn snapshot(&self) -> &GraphSnapshot {
-        &self.snapshot
+    /// The engine's current shared snapshot. Streams and batches created
+    /// before a subsequent [`Engine::apply`] keep the snapshot they
+    /// started with.
+    pub fn snapshot(&self) -> Arc<GraphSnapshot> {
+        self.serving().0
+    }
+
+    /// The engine's current epoch (see [`Epoch`]).
+    pub fn epoch(&self) -> Epoch {
+        self.serving().2
     }
 
     /// Worker threads used per batch.
@@ -179,14 +199,12 @@ impl Engine {
         self.threads
     }
 
-    /// Peel arenas constructed so far (steady-state traffic keeps this
-    /// at the worker count — arenas are pooled across batches).
+    /// Peel arenas constructed so far by the current epoch's pool
+    /// (steady-state traffic keeps this at the worker count — arenas
+    /// are pooled across batches; [`Engine::apply`] starts a fresh pool
+    /// sized for the updated graph).
     pub fn arenas_created(&self) -> usize {
-        self.arenas.created()
-    }
-
-    pub(crate) fn arena_pool(&self) -> &ArenaPool {
-        &self.arenas
+        self.serving().1.created()
     }
 
     /// Plans a batch without executing it: validation, cache lookups,
@@ -195,7 +213,13 @@ impl Engine {
     /// `run_batch` and `for_each_result` plan internally. Planning only
     /// reads the result cache, it never populates it.
     pub fn plan(&self, queries: &[Query]) -> Plan {
-        Plan::build(&self.snapshot, queries, self.threads, Some(&self.results))
+        let (snapshot, _, epoch) = self.serving();
+        Plan::build(
+            &snapshot,
+            queries,
+            self.threads,
+            Some((&self.results, epoch)),
+        )
     }
 
     /// Executes a batch and returns one result per query, aligned with
@@ -214,7 +238,9 @@ impl Engine {
     /// Streaming variant of [`run_batch`](Self::run_batch): invokes the
     /// callback once per query, on the calling thread, as results
     /// complete (completion order, not input order). Useful for serving
-    /// loops that forward answers as soon as they are ready.
+    /// loops that forward answers as soon as they are ready. For
+    /// *within-query* streaming — communities of one query in rank
+    /// order — use [`Engine::submit`].
     pub fn for_each_result<F>(&self, queries: &[Query], mut f: F)
     where
         F: FnMut(usize, Result<&[Community], &SearchError>),
@@ -225,13 +251,113 @@ impl Engine {
         });
     }
 
+    /// Opens a progressive session for one query: validates and routes
+    /// it ([`Query::solver`]), then returns a pull-based [`ResultStream`]
+    /// yielding communities in final rank order.
+    ///
+    /// * **Prefix guarantee** — for any `n`, the first `n` items equal
+    ///   the first `n` entries of `run_batch(&[query])`, bit for bit.
+    /// * **Incremental paths** — `min`/`max` queries run one stamped
+    ///   peel up front and then pay one component BFS per pull
+    ///   ([`ic_core::algo::MinMaxEmission`]); exact removal-decreasing
+    ///   queries advance `TIC-IMPROVED` only far enough to prove each
+    ///   next rank ([`ic_core::algo::TicEmission`]). Approximate (ε > 0)
+    ///   queries buffer a completed run behind the same API, and
+    ///   size-constrained queries execute through the same batched
+    ///   plan/execute machinery as `run_batch` before buffering.
+    /// * **Cancellation** — dropping the stream abandons the remaining
+    ///   work and returns the pooled arena.
+    /// * **Caching** — a stream reads the epoch's result cache, and a
+    ///   *fully drained* stream memoizes its answer there (a cancelled
+    ///   stream caches nothing — it never computed the full answer).
+    /// * **Isolation** — the stream pins the snapshot current at
+    ///   `submit` time; a later [`Engine::apply`] does not affect it.
+    ///
+    /// Invalid queries fail here, at submit time.
+    pub fn submit(&self, query: Query) -> Result<ResultStream, SearchError> {
+        let solver = query.solver()?;
+        let (snapshot, arenas, epoch) = self.serving();
+        if query.k > snapshot.degeneracy() as usize {
+            // Provably empty: the maximal k-core is empty.
+            return Ok(ResultStream::buffered(snapshot, epoch, query, Vec::new()));
+        }
+        if let Some(hit) = self.results.get(&query, epoch) {
+            if let Ok(list) = hit.as_ref() {
+                return Ok(ResultStream::buffered(snapshot, epoch, query, list.clone()));
+            }
+        }
+        ResultStream::open(
+            snapshot,
+            arenas,
+            epoch,
+            query,
+            solver,
+            self.threads,
+            Arc::clone(&self.results),
+        )
+    }
+
+    /// Applies a batch of edge updates and swaps in a new snapshot under
+    /// a new [`Epoch`] (returned). Returns the unchanged current epoch
+    /// when no update changes the edge set (duplicate inserts, absent
+    /// removes).
+    ///
+    /// Core numbers are maintained *incrementally* by a
+    /// [`CoreMaintainer`](ic_kcore::CoreMaintainer) (subcore traversal —
+    /// cost proportional to the touched subcores, not the graph), and
+    /// the new snapshot is seeded with them
+    /// ([`GraphSnapshot::with_decomposition`]), so the from-scratch
+    /// bucket peel never runs again. Vertex weights and the vertex set
+    /// are fixed; updates address existing vertex ids.
+    ///
+    /// Concurrency: updates serialize among themselves; queries never
+    /// block. In-flight batches and streams finish on the snapshot they
+    /// started with; queries submitted after `apply` returns see the new
+    /// graph. Epoch-tagged result-cache entries from older epochs stop
+    /// being served (and are evicted lazily).
+    ///
+    /// # Panics
+    /// Panics when an update addresses a vertex outside the graph.
+    pub fn apply(&self, updates: &[EdgeUpdate]) -> Epoch {
+        let mut guard = self.maintainer.lock().expect("maintainer poisoned");
+        let (snapshot, _, epoch) = self.serving();
+        let maintainer = guard.get_or_insert_with(|| CoreMaintainer::from_graph(snapshot.graph()));
+        let mut changed = false;
+        for &update in updates {
+            changed |= maintainer.apply(update);
+        }
+        if !changed {
+            return epoch;
+        }
+        let graph = maintainer.to_graph();
+        let weights = snapshot.weighted().weights().to_vec();
+        let wg = WeightedGraph::new(graph, weights)
+            .expect("weights are unchanged and were valid before");
+        let new_snapshot = Arc::new(GraphSnapshot::with_decomposition(
+            Arc::new(wg),
+            maintainer.decomposition(),
+        ));
+        let arenas = Arc::new(ArenaPool::for_graph(new_snapshot.graph()));
+        let mut serving = self.serving.write().expect("serving state poisoned");
+        serving.snapshot = new_snapshot;
+        serving.arenas = arenas;
+        serving.epoch = Epoch(serving.epoch.0 + 1);
+        serving.epoch
+    }
+
     fn execute<F>(&self, queries: &[Query], mut deliver: F)
     where
         F: FnMut(usize, Arc<Result<Vec<Community>, SearchError>>),
     {
-        let plan = self.plan(queries);
-        exec::execute(self, plan, |idx, outcome| {
-            self.results.insert(&queries[idx], &outcome);
+        let (snapshot, arenas, epoch) = self.serving();
+        let plan = Plan::build(
+            &snapshot,
+            queries,
+            self.threads,
+            Some((&self.results, epoch)),
+        );
+        exec::execute(&snapshot, &arenas, self.threads, plan, |idx, outcome| {
+            self.results.insert(&queries[idx], epoch, &outcome);
             deliver(idx, outcome);
         });
     }
@@ -243,6 +369,7 @@ mod tests {
     use ic_core::algo::{self, LocalSearchConfig};
     use ic_core::figure1::figure1;
     use ic_core::verify::check_community;
+    use ic_core::Aggregation;
 
     fn engine(threads: usize) -> Engine {
         Engine::with_threads(figure1(), threads)
@@ -392,13 +519,15 @@ mod tests {
             Query::new(2, 2, Aggregation::Sum).approx(1.5),         // bad epsilon
             Query::new(2, 2, Aggregation::Min).approx(0.5),         // epsilon on min
             Query::new(2, 2, Aggregation::Sum).size_bound(2, true), // s <= k
+            Query::new(0, 2, Aggregation::Min),                     // k = 0
+            Query::new(2, 2, Aggregation::SumSurplus { alpha: f64::NAN }), // NaN parameter
             Query::new(2, 2, Aggregation::Sum),                     // valid
         ];
         let got = eng.run_batch(&batch);
-        for (i, res) in got.iter().take(5).enumerate() {
+        for (i, res) in got.iter().take(batch.len() - 1).enumerate() {
             assert!(res.is_err(), "query {i} must fail");
         }
-        assert!(got[5].is_ok());
+        assert!(got[batch.len() - 1].is_ok());
     }
 
     #[test]
@@ -421,6 +550,21 @@ mod tests {
         assert_eq!(plan.stats.solver_runs, 1);
         let got = eng.run_batch(&batch);
         assert!(got.iter().all(|r| r == &got[0]));
+    }
+
+    #[test]
+    fn signed_zero_aggregation_parameters_share_one_job_and_cache_entry() {
+        let eng = engine(2);
+        let batch = vec![
+            Query::new(2, 2, Aggregation::SumSurplus { alpha: 0.0 }),
+            Query::new(2, 2, Aggregation::SumSurplus { alpha: -0.0 }),
+        ];
+        let plan = eng.plan(&batch);
+        assert_eq!(plan.stats.solver_runs, 1, "-0.0 must not defeat dedup");
+        let got = eng.run_batch(&batch);
+        assert_eq!(got[0].as_ref().unwrap(), got[1].as_ref().unwrap());
+        assert_eq!(eng.cached_results(), 1, "-0.0 must not split the cache");
+        assert_eq!(eng.plan(&batch).stats.cache_hits, 2);
     }
 
     #[test]
@@ -500,5 +644,140 @@ mod tests {
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.as_ref().unwrap(), y.as_ref().unwrap());
         }
+    }
+
+    #[test]
+    fn submit_stream_equals_batch_for_every_solver_path() {
+        // One worker: the constrained probe runs the heuristic path,
+        // which is bit-pinned across independent runs only at a single
+        // worker. At more workers stream/batch agreement for it goes
+        // through the shared cache entry (covered below and in
+        // tests/progressive.rs).
+        let eng = engine(1);
+        let queries = [
+            Query::new(2, 3, Aggregation::Min),
+            Query::new(2, 5, Aggregation::Max),
+            Query::new(2, 4, Aggregation::Sum),
+            Query::new(2, 3, Aggregation::Sum).approx(0.2),
+            Query::new(2, 2, Aggregation::SumSurplus { alpha: 1.0 }),
+            Query::new(2, 3, Aggregation::Average).size_bound(5, true),
+        ];
+        for q in queries {
+            let batch = eng.run_batch(&[q])[0].clone().unwrap();
+            eng.clear_result_cache(); // force a live solver stream
+            let streamed: Vec<_> = eng.submit(q).unwrap().collect();
+            assert_eq!(streamed, batch, "{q:?}");
+            // And genuine prefixes with early cancellation.
+            for n in [0usize, 1, batch.len() / 2] {
+                eng.clear_result_cache();
+                let prefix: Vec<_> = eng.submit(q).unwrap().take(n).collect();
+                assert_eq!(prefix.as_slice(), &batch[..n], "{q:?} take({n})");
+            }
+        }
+        // Multi-worker engine: the constrained stream and batch agree
+        // through the shared cache entry (whichever ran first).
+        let eng4 = engine(4);
+        let q = Query::new(2, 3, Aggregation::Average).size_bound(5, true);
+        let batch = eng4.run_batch(&[q])[0].clone().unwrap();
+        let streamed: Vec<_> = eng4.submit(q).unwrap().collect();
+        assert_eq!(streamed, batch, "cache-pinned constrained stream");
+    }
+
+    #[test]
+    fn drained_streams_populate_the_result_cache() {
+        let eng = engine(2);
+        let q = Query::new(2, 3, Aggregation::Sum);
+        // Partial pull caches nothing (the full answer was never
+        // computed) ...
+        let mut s = eng.submit(q).unwrap();
+        let _ = s.next();
+        drop(s);
+        assert_eq!(eng.cached_results(), 0);
+        // ... a full drain memoizes exactly the run_batch answer.
+        let streamed: Vec<_> = eng.submit(q).unwrap().collect();
+        assert_eq!(eng.cached_results(), 1);
+        assert_eq!(eng.plan(&[q]).stats.cache_hits, 1);
+        assert_eq!(&streamed, eng.run_batch(&[q])[0].as_ref().unwrap());
+        // Constrained queries cache through the batched execution path.
+        let c = Query::new(2, 2, Aggregation::Average).size_bound(5, true);
+        let _ = eng.submit(c).unwrap();
+        assert_eq!(eng.cached_results(), 2, "buffered submit memoizes too");
+    }
+
+    #[test]
+    fn submit_rejects_invalid_and_short_circuits_degeneracy() {
+        let eng = engine(2);
+        assert!(eng.submit(Query::new(2, 0, Aggregation::Min)).is_err());
+        assert!(eng.submit(Query::new(2, 2, Aggregation::Average)).is_err());
+        let mut empty = eng.submit(Query::new(100, 3, Aggregation::Min)).unwrap();
+        assert!(empty.next().is_none());
+    }
+
+    #[test]
+    fn submit_returns_pooled_arenas_on_drop() {
+        let eng = engine(2);
+        for _ in 0..8 {
+            let mut s = eng.submit(Query::new(2, 3, Aggregation::Sum)).unwrap();
+            let _ = s.next();
+            drop(s); // cancels mid-run; arena must come back
+            eng.clear_result_cache();
+        }
+        assert!(
+            eng.arenas_created() <= 1,
+            "streams must recycle pooled arenas, created {}",
+            eng.arenas_created()
+        );
+    }
+
+    #[test]
+    fn apply_moves_epochs_and_invalidates_the_cache() {
+        let eng = engine(2);
+        let q = Query::new(2, 2, Aggregation::Min);
+        let before_epoch = eng.epoch();
+        let before = eng.run_batch(&[q])[0].clone().unwrap();
+        assert_eq!(eng.plan(&[q]).stats.cache_hits, 1);
+
+        // Cut the figure-1 graph: v3's ties into the 2-core.
+        let epoch = eng.apply(&[EdgeUpdate::Remove { u: 2, v: 8 }]);
+        assert!(epoch > before_epoch);
+        assert_eq!(eng.epoch(), epoch);
+        assert_eq!(
+            eng.plan(&[q]).stats.cache_hits,
+            0,
+            "pre-update cache entries must not serve the new epoch"
+        );
+        let after = eng.run_batch(&[q])[0].clone().unwrap();
+
+        // A fresh engine on the mutated graph must agree exactly.
+        let fresh = Engine::with_threads(eng.snapshot().weighted().clone(), eng.threads());
+        assert_eq!(&after, fresh.run_batch(&[q])[0].as_ref().unwrap());
+        // And the graph genuinely changed.
+        assert!(before != after || before.is_empty());
+    }
+
+    #[test]
+    fn apply_without_changes_keeps_the_epoch() {
+        let eng = engine(2);
+        let e0 = eng.epoch();
+        // Edge already present + edge already absent = no change.
+        let e1 = eng.apply(&[
+            EdgeUpdate::Insert { u: 0, v: 1 },
+            EdgeUpdate::Remove { u: 0, v: 9 },
+        ]);
+        assert_eq!(e0, e1);
+    }
+
+    #[test]
+    fn streams_keep_their_snapshot_across_apply() {
+        let eng = engine(2);
+        let q = Query::new(2, 3, Aggregation::Min);
+        let expect = eng.run_batch(&[q])[0].clone().unwrap();
+        eng.clear_result_cache();
+        let stream = eng.submit(q).unwrap();
+        // Mutate mid-stream: the already-open stream must still answer
+        // on the snapshot it was submitted against.
+        eng.apply(&[EdgeUpdate::Remove { u: 4, v: 6 }]);
+        let got: Vec<_> = stream.collect();
+        assert_eq!(got, expect, "stream must be isolated from apply");
     }
 }

@@ -29,7 +29,8 @@
 //! * jobs are sorted by `(k, solver kind, parameters)`, so consecutive
 //!   jobs reuse the same memoized snapshot level and warm arena.
 
-use crate::{Constraint, Query};
+use crate::{Constraint, Epoch, Query, Solver};
+use ic_core::aggregate::canonical_f64_bits;
 use ic_core::{Aggregation, SearchError, TopList};
 use ic_kcore::GraphSnapshot;
 use std::collections::HashMap;
@@ -168,17 +169,11 @@ pub struct Plan {
     pub stats: PlanStats,
 }
 
-/// Hashable identity of an aggregation (discriminant + parameter bits).
+/// Hashable identity of an aggregation: the normalized key from
+/// `ic-core` (`-0.0`/NaN payloads fold onto canonical bits, so equal
+/// aggregations can never split a family or the result cache).
 fn agg_key(a: Aggregation) -> (u8, u64) {
-    match a {
-        Aggregation::Min => (0, 0),
-        Aggregation::Max => (1, 0),
-        Aggregation::Sum => (2, 0),
-        Aggregation::SumSurplus { alpha } => (3, alpha.to_bits()),
-        Aggregation::Average => (4, 0),
-        Aggregation::WeightDensity { beta } => (5, beta.to_bits()),
-        Aggregation::BalancedDensity => (6, 0),
-    }
+    a.cache_key()
 }
 
 /// Dedup identity of a job. Min/max families key on `(dir, k)` and
@@ -207,71 +202,44 @@ enum JobKey {
     },
 }
 
+/// Validates a query and maps its routing decision ([`Query::solver`] —
+/// the single source of dispatch truth since PR 3) onto the planner's
+/// job identity. The planner refines [`Solver`] with its own merge
+/// structure: exact TIC queries form `r`-families, approximate ones
+/// stay single jobs, local-search queries group by `(k, s, greedy)`.
 fn validate(q: &Query) -> Result<JobKey, SearchError> {
-    if q.r == 0 {
-        return Err(SearchError::InvalidParams(
-            "result count r must be positive".into(),
-        ));
-    }
-    match q.constraint {
-        Constraint::SizeBound { s, greedy } => {
-            if s <= q.k {
-                return Err(SearchError::InvalidParams(format!(
-                    "size bound s = {s} must exceed k = {} (a k-core needs at least k+1 vertices)",
-                    q.k
-                )));
-            }
-            if q.epsilon != 0.0 {
-                return Err(SearchError::InvalidParams(format!(
-                    "epsilon = {} is only meaningful for unconstrained sum-like queries",
-                    q.epsilon
-                )));
-            }
-            Ok(JobKey::Local { k: q.k, s, greedy })
-        }
-        Constraint::Unconstrained => match q.aggregation {
-            Aggregation::Min | Aggregation::Max => {
-                if q.epsilon != 0.0 {
-                    return Err(SearchError::InvalidParams(format!(
-                        "epsilon = {} is only meaningful for unconstrained sum-like queries",
-                        q.epsilon
-                    )));
-                }
-                let dir = if q.aggregation == Aggregation::Min {
-                    Dir::Min
-                } else {
-                    Dir::Max
-                };
-                Ok(JobKey::MinMax { dir, k: q.k })
-            }
-            agg if agg.decreases_on_removal() => {
-                if !(0.0..1.0).contains(&q.epsilon) {
-                    return Err(SearchError::InvalidParams(format!(
-                        "epsilon must be in [0, 1), got {}",
-                        q.epsilon
-                    )));
-                }
-                if q.epsilon == 0.0 {
-                    Ok(JobKey::SumFamily {
-                        k: q.k,
-                        agg: agg_key(agg),
-                    })
-                } else {
-                    Ok(JobKey::Improved {
-                        k: q.k,
-                        r: q.r,
-                        agg: agg_key(agg),
-                        eps: q.epsilon.to_bits(),
-                    })
-                }
-            }
-            agg => Err(SearchError::UnsupportedAggregation {
-                algorithm: "ic_engine::run_batch (unconstrained)",
-                aggregation: agg,
-                reason: "the unconstrained top-r problem is NP-hard for this aggregation \
-                         (Theorems 1, 3); add a size bound to route it through local search",
-            }),
+    match q.solver()? {
+        Solver::MinPeel => Ok(JobKey::MinMax {
+            dir: Dir::Min,
+            k: q.k,
+        }),
+        Solver::MaxPeel => Ok(JobKey::MinMax {
+            dir: Dir::Max,
+            k: q.k,
+        }),
+        Solver::TicExact => Ok(JobKey::SumFamily {
+            k: q.k,
+            agg: agg_key(q.aggregation),
+        }),
+        Solver::TicApprox => Ok(JobKey::Improved {
+            k: q.k,
+            r: q.r,
+            agg: agg_key(q.aggregation),
+            eps: canonical_f64_bits(q.epsilon),
+        }),
+        // Today LocalSearch routing implies a size bound; if a future
+        // `Constraint` variant ever routes here, fail the one query
+        // instead of panicking the worker ("one bad query never poisons
+        // a batch").
+        Solver::LocalSearch => match q.constraint {
+            Constraint::SizeBound { s, greedy } => Ok(JobKey::Local { k: q.k, s, greedy }),
+            other => Err(SearchError::InvalidParams(format!(
+                "the batch planner has no local-search job shape for constraint {other:?}"
+            ))),
         },
+        other => Err(SearchError::InvalidParams(format!(
+            "the batch planner has no job shape for solver {other:?}"
+        ))),
     }
 }
 
@@ -280,7 +248,7 @@ impl Plan {
         snapshot: &GraphSnapshot,
         queries: &[Query],
         threads: usize,
-        cache: Option<&crate::cache::ResultCache>,
+        cache: Option<(&crate::cache::ResultCache, Epoch)>,
     ) -> Plan {
         let degeneracy = if queries.is_empty() {
             0
@@ -309,7 +277,7 @@ impl Plan {
                 immediate.push((idx, Arc::new(Ok(Vec::new()))));
                 continue;
             }
-            if let Some(hit) = cache.and_then(|c| c.get(q)) {
+            if let Some(hit) = cache.and_then(|(c, epoch)| c.get(q, epoch)) {
                 cache_hits += 1;
                 immediate.push((idx, hit));
                 continue;

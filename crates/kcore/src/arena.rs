@@ -322,6 +322,15 @@ impl PeelArena {
         self.journal.len()
     }
 
+    /// The global ids removed since the last `load`/`commit`/`rollback`,
+    /// in cascade (pop) order. This is the emission hook of the timeline
+    /// peels: before committing an event, the caller can stamp every
+    /// vertex that event removed, which later allows reconstructing the
+    /// community witnessed by *any* event without replaying the peel.
+    pub fn journaled(&self) -> impl Iterator<Item = VertexId> + '_ {
+        self.journal.iter().map(|&l| self.members[l as usize])
+    }
+
     /// Makes every journaled removal permanent.
     pub fn commit(&mut self) {
         self.journal.clear();

@@ -21,9 +21,12 @@
 //!   bound, the substrate of the batched query engine (`ic-engine`);
 //! * [`ArenaPool`] — a pool recycling warm [`PeelArena`]s across queries
 //!   and batches;
-//! * [`CoreMaintainer`] — incremental core-number maintenance under edge
-//!   insertions/deletions (subcore traversal), validated against the
-//!   from-scratch decomposition by property tests.
+//! * [`CoreMaintainer`] — incremental core-number maintenance under
+//!   [`EdgeUpdate`]s (subcore traversal), validated against the
+//!   from-scratch decomposition by property tests; its
+//!   [`decomposition`](CoreMaintainer::decomposition) seeds
+//!   [`GraphSnapshot::with_decomposition`] so the mutable engine swaps
+//!   snapshots without re-running the bucket peel.
 //!
 //! # Example
 //!
@@ -57,7 +60,7 @@ pub use extract::{
     is_kcore, is_kcore_within, kcore_mask, kcore_size, maximal_kcore_components,
     peel_to_kcore_within,
 };
-pub use maintain::{CoreMaintainer, PeelScratch};
+pub use maintain::{CoreMaintainer, EdgeUpdate, PeelScratch};
 pub use pool::{ArenaPool, PooledArena};
 pub use snapshot::{CoreLevel, GraphSnapshot};
 pub use truss::{ktruss_mask, maximal_ktruss_components, truss_decomposition, TrussDecomposition};

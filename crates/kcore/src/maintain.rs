@@ -1,5 +1,38 @@
+use crate::CoreDecomposition;
 use ic_graph::{graph_from_edges, Graph, VertexId};
 use std::collections::VecDeque;
+
+/// One topology change for [`CoreMaintainer::apply`] (and the engine's
+/// `Engine::apply`). The vertex set is fixed — updates address existing
+/// vertex ids only. `#[non_exhaustive]`: match with a wildcard arm
+/// outside `ic-kcore`.
+#[non_exhaustive]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EdgeUpdate {
+    /// Insert the undirected edge `{u, v}` (no-op if present or `u = v`).
+    Insert {
+        /// One endpoint.
+        u: VertexId,
+        /// The other endpoint.
+        v: VertexId,
+    },
+    /// Remove the undirected edge `{u, v}` (no-op if absent).
+    Remove {
+        /// One endpoint.
+        u: VertexId,
+        /// The other endpoint.
+        v: VertexId,
+    },
+}
+
+impl EdgeUpdate {
+    /// The update's endpoints.
+    pub fn endpoints(&self) -> (VertexId, VertexId) {
+        match *self {
+            EdgeUpdate::Insert { u, v } | EdgeUpdate::Remove { u, v } => (u, v),
+        }
+    }
+}
 
 /// Reusable scratch state for the hot inner loop of Algorithms 1 and 2:
 /// "remove one vertex from a community, cascade-peel back to a k-core, and
@@ -220,6 +253,40 @@ impl CoreMaintainer {
     /// The current degeneracy (maximum core number).
     pub fn degeneracy(&self) -> u32 {
         self.core.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Applies one [`EdgeUpdate`]; returns whether the edge set changed.
+    ///
+    /// # Panics
+    /// Panics when an endpoint is outside the maintainer's vertex range
+    /// (the vertex set is fixed at construction).
+    pub fn apply(&mut self, update: EdgeUpdate) -> bool {
+        let (u, v) = update.endpoints();
+        assert!(
+            (u as usize) < self.adj.len() && (v as usize) < self.adj.len(),
+            "edge update {{{u}, {v}}} addresses a vertex outside 0..{}",
+            self.adj.len()
+        );
+        match update {
+            EdgeUpdate::Insert { u, v } => self.insert_edge(u, v),
+            EdgeUpdate::Remove { u, v } => self.remove_edge(u, v),
+        }
+    }
+
+    /// The maintained state as a [`CoreDecomposition`], ready to seed a
+    /// [`GraphSnapshot`](crate::GraphSnapshot) without re-running the
+    /// from-scratch bucket peel. The peel order is synthesized by
+    /// sorting vertices by `(core number, id)`, which satisfies the
+    /// documented non-decreasing-core contract (the maintainer does not
+    /// track the bucket-peel visit order itself).
+    pub fn decomposition(&self) -> CoreDecomposition {
+        let mut peel_order: Vec<VertexId> = (0..self.adj.len() as VertexId).collect();
+        peel_order.sort_by_key(|&v| (self.core[v as usize], v));
+        CoreDecomposition {
+            core_numbers: self.core.clone(),
+            max_core: self.degeneracy(),
+            peel_order,
+        }
     }
 
     /// Whether the undirected edge `{u, v}` is present.

@@ -56,6 +56,26 @@ impl ArenaPool {
         }
     }
 
+    /// Takes an arena out of the pool **by value** (constructing one
+    /// when the pool is dry); hand it back with [`Self::put_arena`].
+    /// For callers whose ownership structure cannot hold the borrowing
+    /// [`PooledArena`] guard — e.g. a self-contained result stream that
+    /// owns both an `Arc<ArenaPool>` and the arena it peels with.
+    pub fn take_arena(&self) -> PeelArena {
+        let arena = self.free.lock().expect("arena pool poisoned").pop();
+        arena.unwrap_or_else(|| {
+            self.created.fetch_add(1, Ordering::Relaxed);
+            PeelArena::with_capacity(self.vertices, self.directed_edges)
+        })
+    }
+
+    /// Returns an arena previously obtained with [`Self::take_arena`].
+    /// Returning an arena sized for a different graph is allowed but
+    /// wastes the pre-sizing guarantee; don't.
+    pub fn put_arena(&self, arena: PeelArena) {
+        self.release(arena);
+    }
+
     /// Total arenas ever constructed by this pool (not the pool size).
     /// Steady-state batched traffic keeps this at the worker count.
     pub fn created(&self) -> usize {

@@ -63,6 +63,28 @@ impl GraphSnapshot {
         }
     }
 
+    /// Wraps a weighted graph whose core decomposition is already known
+    /// — e.g. maintained incrementally by a
+    /// [`CoreMaintainer`](crate::CoreMaintainer) across edge updates —
+    /// seeding the memo so the from-scratch bucket peel never runs.
+    /// This is how the mutable engine keeps snapshot swaps cheap: a
+    /// post-update snapshot starts with its decomposition (and hence
+    /// degeneracy bound) in place.
+    ///
+    /// # Panics
+    /// Panics when `decomp` does not describe a graph with the same
+    /// number of vertices.
+    pub fn with_decomposition(wg: Arc<WeightedGraph>, decomp: CoreDecomposition) -> Self {
+        assert_eq!(
+            decomp.core_numbers.len(),
+            wg.num_vertices(),
+            "decomposition covers a different vertex set"
+        );
+        let snap = Self::from_arc(wg);
+        let _ = snap.decomp.set(Arc::new(decomp));
+        snap
+    }
+
     /// The snapshot's weighted graph.
     #[inline]
     pub fn weighted(&self) -> &WeightedGraph {

@@ -84,4 +84,22 @@ fn main() {
         engine.arenas_created(),
         engine.threads()
     );
+
+    // Progressive sessions: one query, communities in rank order as the
+    // peel produces them. The first answer lands well before a full
+    // batch would; dropping the stream cancels the rest.
+    let q = Query::new(spec.k_grid[0], 20, ic_core::Aggregation::Min);
+    engine.clear_result_cache();
+    let t = Instant::now();
+    let mut stream = engine.submit(q).expect("valid streamed query");
+    if let Some(first) = stream.next() {
+        println!(
+            "\nstreamed {q:?}: first community (value {:.6}, {} members) after {:.1?}",
+            first.value,
+            first.len(),
+            t.elapsed()
+        );
+    }
+    let rest = stream.count(); // drain to show the prefix keeps coming
+    println!("stream delivered {} more communities in rank order", rest);
 }

@@ -262,14 +262,13 @@ fn edge_cases_agree_across_paths() {
     let wg = WeightedGraph::new(g, rank_weights(n, GraphSeed(78))).unwrap();
     let eng = engine(&wg, 2);
 
-    // r = 1 and r far beyond the number of communities.
+    // r = 1 and r far beyond the number of communities. The direct path
+    // goes through the unified router (`Query::solve`) — no more
+    // hand-dispatching per aggregation.
     for agg in [Aggregation::Min, Aggregation::Max] {
         for r in [1usize, 10_000] {
             for k in [1usize, d, d + 1, d + 10] {
-                let direct = match agg {
-                    Aggregation::Min => algo::min_topr(&wg, k, r).unwrap(),
-                    _ => algo::max_topr(&wg, k, r).unwrap(),
-                };
+                let direct = Query::new(k, r, agg).solve(&wg).unwrap();
                 let got = unwrap_batch(eng.run_batch(&[Query::new(k, r, agg)]));
                 assert_eq!(got[0], direct, "{} k={k} r={r}", agg.name());
                 if k > d {
