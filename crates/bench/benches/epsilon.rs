@@ -3,8 +3,18 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ic_bench::workloads::Workload;
-use ic_core::algo;
 use ic_core::Aggregation;
+
+// Shared per-graph harnesses (see `ic_bench::harness` for why the
+// routed entry points are used).
+fn tic_improved(
+    wg: &ic_graph::WeightedGraph,
+    k: usize,
+    r: usize,
+    eps: f64,
+) -> Vec<ic_core::Community> {
+    ic_bench::harness::tic_improved(wg, k, r, Aggregation::Sum, eps).unwrap()
+}
 use ic_gen::datasets::{by_name, Profile};
 use std::time::Duration;
 
@@ -20,7 +30,7 @@ fn bench_fig4_epsilon_sweep(c: &mut Criterion) {
             BenchmarkId::from_parameter(format!("eps_{eps}")),
             &eps,
             |b, &eps| {
-                b.iter(|| algo::tic_improved(&w.wg, k, 5, Aggregation::Sum, eps).unwrap());
+                b.iter(|| tic_improved(&w.wg, k, 5, eps));
             },
         );
     }

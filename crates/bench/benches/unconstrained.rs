@@ -3,8 +3,22 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ic_bench::workloads::Workload;
-use ic_core::algo;
 use ic_core::Aggregation;
+
+// Shared per-graph harnesses (see `ic_bench::harness` for why the
+// routed entry points are used).
+fn tic_improved(
+    wg: &ic_graph::WeightedGraph,
+    k: usize,
+    r: usize,
+    eps: f64,
+) -> Vec<ic_core::Community> {
+    ic_bench::harness::tic_improved(wg, k, r, Aggregation::Sum, eps).unwrap()
+}
+
+fn sum_naive(wg: &ic_graph::WeightedGraph, k: usize, r: usize) -> Vec<ic_core::Community> {
+    ic_bench::harness::sum_naive(wg, k, r, Aggregation::Sum).unwrap()
+}
 use ic_gen::datasets::{by_name, Profile};
 use std::time::Duration;
 
@@ -16,13 +30,13 @@ fn bench_fig2_k_sweep(c: &mut Criterion) {
         .measurement_time(Duration::from_secs(8));
     for k in w.usable_k_grid() {
         group.bench_with_input(BenchmarkId::new("naive", k), &k, |b, &k| {
-            b.iter(|| algo::sum_naive(&w.wg, k, 5, Aggregation::Sum).unwrap());
+            b.iter(|| sum_naive(&w.wg, k, 5));
         });
         group.bench_with_input(BenchmarkId::new("improve", k), &k, |b, &k| {
-            b.iter(|| algo::tic_improved(&w.wg, k, 5, Aggregation::Sum, 0.0).unwrap());
+            b.iter(|| tic_improved(&w.wg, k, 5, 0.0));
         });
         group.bench_with_input(BenchmarkId::new("approx_0.1", k), &k, |b, &k| {
-            b.iter(|| algo::tic_improved(&w.wg, k, 5, Aggregation::Sum, 0.1).unwrap());
+            b.iter(|| tic_improved(&w.wg, k, 5, 0.1));
         });
     }
     group.finish();
@@ -37,10 +51,10 @@ fn bench_fig3_r_sweep(c: &mut Criterion) {
         .measurement_time(Duration::from_secs(8));
     for r in [5usize, 10, 15, 20] {
         group.bench_with_input(BenchmarkId::new("naive", r), &r, |b, &r| {
-            b.iter(|| algo::sum_naive(&w.wg, k, r, Aggregation::Sum).unwrap());
+            b.iter(|| sum_naive(&w.wg, k, r));
         });
         group.bench_with_input(BenchmarkId::new("improve", r), &r, |b, &r| {
-            b.iter(|| algo::tic_improved(&w.wg, k, r, Aggregation::Sum, 0.0).unwrap());
+            b.iter(|| tic_improved(&w.wg, k, r, 0.0));
         });
     }
     group.finish();

@@ -15,6 +15,9 @@ pub fn to_engine_query(spec: &QuerySpec) -> Query {
         MixAggregation::Sum => Aggregation::Sum,
         MixAggregation::SumSurplus => Aggregation::SumSurplus { alpha: spec.alpha },
         MixAggregation::Average => Aggregation::Average,
+        MixAggregation::TopTSum => Aggregation::TopTSum { t: spec.t },
+        MixAggregation::Percentile => Aggregation::Percentile { p: spec.p },
+        MixAggregation::GeometricMean => Aggregation::GeometricMean,
     };
     let mut q = Query::new(spec.k, spec.r, aggregation);
     if spec.epsilon != 0.0 {

@@ -18,6 +18,7 @@
 //!     --datasets email,youtube,friendster --out BENCH_peel.json
 //! ```
 
+use ic_bench::harness::{min_topr, sum_naive, tic_improved};
 use ic_bench::runner::time_median;
 use ic_bench::workloads::{Workload, DEFAULT_EPSILON, DEFAULT_R};
 use ic_core::algo::{self, oracle, LocalSearchConfig};
@@ -161,7 +162,7 @@ fn main() {
         eprintln!("[peel_baseline] {name}: unconstrained (k={k}, r={r})");
         let mut entries = Vec::new();
         let (b, _) = time_median(runs, || oracle::sum_naive(&w.wg, k, r, Aggregation::Sum));
-        let (inc, _) = time_median(runs, || algo::sum_naive(&w.wg, k, r, Aggregation::Sum));
+        let (inc, _) = time_median(runs, || sum_naive(&w.wg, k, r, Aggregation::Sum));
         entries.push(Entry {
             solver: "sum_naive".into(),
             baseline_secs: b,
@@ -170,16 +171,14 @@ fn main() {
         let (b, _) = time_median(runs, || {
             oracle::tic_improved(&w.wg, k, r, Aggregation::Sum, 0.0)
         });
-        let (inc, _) = time_median(runs, || {
-            algo::tic_improved(&w.wg, k, r, Aggregation::Sum, 0.0)
-        });
+        let (inc, _) = time_median(runs, || tic_improved(&w.wg, k, r, Aggregation::Sum, 0.0));
         entries.push(Entry {
             solver: "tic_improved_exact".into(),
             baseline_secs: b,
             incremental_secs: inc,
         });
         let (b, _) = time_median(runs, || oracle::min_topr(&w.wg, k, r));
-        let (inc, _) = time_median(runs, || algo::min_topr(&w.wg, k, r));
+        let (inc, _) = time_median(runs, || min_topr(&w.wg, k, r));
         entries.push(Entry {
             solver: "min_topr".into(),
             baseline_secs: b,
@@ -201,7 +200,7 @@ fn main() {
             oracle::tic_improved(&w.wg, k, r, Aggregation::Sum, DEFAULT_EPSILON)
         });
         let (inc, _) = time_median(runs, || {
-            algo::tic_improved(&w.wg, k, r, Aggregation::Sum, DEFAULT_EPSILON)
+            tic_improved(&w.wg, k, r, Aggregation::Sum, DEFAULT_EPSILON)
         });
         entries.push(Entry {
             solver: format!("tic_improved_eps_{DEFAULT_EPSILON}"),

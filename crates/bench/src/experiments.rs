@@ -2,6 +2,7 @@
 //! Each returns a markdown section; the `experiments` binary routes
 //! subcommands here.
 
+use crate::harness::{min_topr, sum_naive, tic_improved};
 use crate::report::{fmt_secs, fmt_value, Table};
 use crate::runner::{time_median, time_once};
 use crate::workloads::{
@@ -9,7 +10,7 @@ use crate::workloads::{
     R_GRID, S_GRID,
 };
 use ic_core::algo::{
-    self, local_search, par_local_search, tic_improved, tic_improved_with_options, ImprovedOptions,
+    self, local_search, par_local_search, tic_improved_with_options, ImprovedOptions,
     LocalSearchConfig,
 };
 use ic_core::{Aggregation, Community};
@@ -73,7 +74,7 @@ pub fn fig2(ctx: &Ctx) -> String {
         let mut t = Table::new(["k", "Naive", "Improve", "Approx(0.1)", "top-1 value"]);
         for k in w.usable_k_grid() {
             eprintln!("[fig2] {} k={k}", w.spec.name);
-            let (tn, rn) = time_once(|| algo::sum_naive(&w.wg, k, DEFAULT_R, Aggregation::Sum));
+            let (tn, rn) = time_once(|| sum_naive(&w.wg, k, DEFAULT_R, Aggregation::Sum));
             let (ti, _) = time_once(|| tic_improved(&w.wg, k, DEFAULT_R, Aggregation::Sum, 0.0));
             let (ta, _) =
                 time_once(|| tic_improved(&w.wg, k, DEFAULT_R, Aggregation::Sum, DEFAULT_EPSILON));
@@ -105,7 +106,7 @@ pub fn fig3(ctx: &Ctx) -> String {
         let mut t = Table::new(["r", "Naive", "Improve", "Approx(0.1)"]);
         for r in R_GRID {
             eprintln!("[fig3] {} r={r}", w.spec.name);
-            let (tn, _) = time_once(|| algo::sum_naive(&w.wg, k, r, Aggregation::Sum));
+            let (tn, _) = time_once(|| sum_naive(&w.wg, k, r, Aggregation::Sum));
             let (ti, _) = time_once(|| tic_improved(&w.wg, k, r, Aggregation::Sum, 0.0));
             let (ta, _) =
                 time_once(|| tic_improved(&w.wg, k, r, Aggregation::Sum, DEFAULT_EPSILON));
@@ -460,7 +461,7 @@ pub fn example1(_ctx: &Ctx) -> String {
     let (s, v) = fmt_comm(&avg2);
     t.row(["avg top-2 (k=2)".to_string(), s, v]);
 
-    let min2 = algo::min_topr(&wg, 2, 2).unwrap();
+    let min2 = min_topr(&wg, 2, 2).unwrap();
     let (s, v) = fmt_comm(&min2);
     t.row(["min top-2 (k=2)".to_string(), s, v]);
 
@@ -636,7 +637,7 @@ pub fn extensions(ctx: &Ctx) -> String {
         eprintln!("[extensions] {} k={k}", w.spec.name);
         let (tb, index) = time_once(|| MinCommunityIndex::build(&w.wg, k));
         let (tq, top_idx) = time_median(5, || index.topr(&w.wg, DEFAULT_R).unwrap());
-        let (to, top_online) = time_once(|| algo::min_topr(&w.wg, k, DEFAULT_R).unwrap());
+        let (to, top_online) = time_once(|| min_topr(&w.wg, k, DEFAULT_R).unwrap());
         t.row(["communities in index".to_string(), index.len().to_string()]);
         t.row(["index build time".to_string(), fmt_secs(tb)]);
         t.row(["indexed top-5 query".to_string(), fmt_secs(tq)]);
@@ -646,7 +647,7 @@ pub fn extensions(ctx: &Ctx) -> String {
             (top_idx == top_online).to_string(),
         ]);
         let (tt, truss_top) = time_once(|| algo::truss_min_topr(&w.wg, 4, 1).unwrap());
-        let core_top = algo::min_topr(&w.wg, 4, 1).unwrap();
+        let core_top = min_topr(&w.wg, 4, 1).unwrap();
         t.row([
             "k=4 top-1 size (core model)".to_string(),
             core_top.first().map_or(0, |c| c.len()).to_string(),

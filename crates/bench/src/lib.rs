@@ -18,6 +18,7 @@
 
 pub mod batch;
 pub mod experiments;
+pub mod harness;
 pub mod report;
 pub mod runner;
 pub mod workloads;

@@ -25,17 +25,33 @@ use crate::algo::LocalSearchConfig;
 use crate::{Aggregation, Community, SearchError, TopList};
 use ic_graph::{Graph, VertexId, WeightedGraph};
 
-/// Exact top-r under `avg` via branch-and-bound. Exponential worst case
-/// (the problem is NP-hard) but with effective pruning on small and
-/// medium graphs; intended as the exact reference for the heuristics.
-///
-/// `size_bound` bounds community size (`s > k`); `None` searches all
-/// sizes.
+/// Exact top-r under `avg` via branch-and-bound; see [`bb_topr`].
 pub fn bb_avg_topr(
     wg: &WeightedGraph,
     k: usize,
     r: usize,
     size_bound: Option<usize>,
+) -> Result<Vec<Community>, SearchError> {
+    bb_topr(wg, k, r, size_bound, Aggregation::Average)
+}
+
+/// Exact top-r via branch-and-bound for any aggregation declaring the
+/// [`superset_bound`](crate::Certificates::superset_bound) certificate
+/// (`avg`, `sum`, `sum-surplus` with α ≥ 0, or a custom function
+/// shipping its own relaxation). Exponential worst case (the problems
+/// are NP-hard) but with effective pruning on small and medium graphs;
+/// intended as the exact reference for the heuristics.
+///
+/// `size_bound` bounds community size (`s > k`); `None` searches all
+/// sizes. Aggregations without the certificate are rejected with
+/// [`SearchError::UnsupportedAggregation`] — routing here is by
+/// declared certificate, not by enum variant.
+pub fn bb_topr(
+    wg: &WeightedGraph,
+    k: usize,
+    r: usize,
+    size_bound: Option<usize>,
+    aggregation: Aggregation,
 ) -> Result<Vec<Community>, SearchError> {
     validate_k_r(r)?;
     if let Some(s) = size_bound {
@@ -44,6 +60,14 @@ pub fn bb_avg_topr(
                 "size bound s = {s} must exceed k = {k}"
             )));
         }
+    }
+    if !aggregation.certificates().superset_bound {
+        return Err(SearchError::UnsupportedAggregation {
+            algorithm: "bb_topr",
+            aggregation,
+            reason: "branch-and-bound needs a sound superset relaxation \
+                     (Certificates::superset_bound / AggregateFn::superset_bound)",
+        });
     }
     let g = wg.graph();
     let n = g.num_vertices();
@@ -60,7 +84,7 @@ pub fn bb_avg_topr(
                 s,
                 greedy: true,
             },
-            Aggregation::Average,
+            aggregation,
         ) {
             for c in seed {
                 best.insert(c);
@@ -80,6 +104,7 @@ pub fn bb_avg_topr(
         g,
         k,
         max_size,
+        aggregation,
         by_weight_desc,
         in_set: vec![false; n],
         banned: vec![false; n],
@@ -110,6 +135,7 @@ struct Searcher<'a> {
     g: &'a Graph,
     k: usize,
     max_size: usize,
+    aggregation: Aggregation,
     by_weight_desc: Vec<VertexId>,
     in_set: Vec<bool>,
     banned: Vec<bool>,
@@ -120,35 +146,34 @@ struct Searcher<'a> {
 }
 
 impl Searcher<'_> {
-    /// Sound upper bound on the average of any superset reachable from
-    /// the current set: greedily absorb the heaviest *eligible* vertices
-    /// (not banned, not already members, id above the root — anything the
-    /// connected extension could ever pull in) while they raise the
-    /// running average. Degree and connectivity constraints only shrink
-    /// the achievable family, so this relaxation never under-estimates.
+    /// Sound upper bound on `f` over any superset reachable from the
+    /// current set, delegated to the aggregation's declared
+    /// [`superset_bound`](crate::AggregateFn::superset_bound)
+    /// relaxation. The pool iterator yields every *eligible* vertex
+    /// weight (not banned, not already a member, id above the root —
+    /// anything the connected extension could ever pull in) in
+    /// descending order; degree and connectivity constraints only
+    /// shrink the achievable family, so the relaxation never
+    /// under-estimates.
     fn upper_bound(&self, root: VertexId) -> f64 {
-        let mut sum = self.set_weight;
-        let mut count = self.set.len() as f64;
-        let mut budget = self.max_size.saturating_sub(self.set.len());
-        let mut avg = sum / count;
-        for &v in &self.by_weight_desc {
-            if budget == 0 {
-                break;
-            }
+        let budget = self.max_size.saturating_sub(self.set.len());
+        let mut pool = self.by_weight_desc.iter().copied().filter_map(|v| {
             let vi = v as usize;
             if v <= root || self.in_set[vi] || self.banned[vi] {
-                continue;
+                None
+            } else {
+                Some(self.wg.weight(v))
             }
-            let w = self.wg.weight(v);
-            if w <= avg {
-                break; // anything lighter only lowers the average
-            }
-            sum += w;
-            count += 1.0;
-            avg = sum / count;
-            budget -= 1;
-        }
-        avg
+        });
+        self.aggregation.with_fn(|f| {
+            f.superset_bound(
+                self.set_weight,
+                self.set.len(),
+                budget,
+                &mut pool,
+                self.wg.total_weight(),
+            )
+        })
     }
 
     /// Degree-deficit feasibility: every member must be able to reach
@@ -195,7 +220,7 @@ impl Searcher<'_> {
                 >= self.k
         });
         if ok {
-            let c = community_from_vertices(self.wg, Aggregation::Average, self.set.clone());
+            let c = community_from_vertices(self.wg, self.aggregation, self.set.clone());
             self.best.insert(c);
         }
     }

@@ -35,20 +35,21 @@ pub(crate) fn validate_k_r(r: usize) -> Result<(), SearchError> {
     Ok(())
 }
 
-/// Ensures the aggregation satisfies Corollary 2 (required by Algorithms 1
-/// and 2).
+/// Ensures the aggregation declares the removal-decreasing certificate
+/// (Corollary 2, required by Algorithms 1 and 2).
 pub(crate) fn require_removal_decreasing(
     algorithm: &'static str,
     aggregation: Aggregation,
 ) -> Result<(), SearchError> {
-    if aggregation.decreases_on_removal() {
+    if aggregation.certificates().removal_decreasing {
         Ok(())
     } else {
         Err(SearchError::UnsupportedAggregation {
             algorithm,
             aggregation,
-            reason: "requires the influence value to decrease when vertices are removed \
-                     (Corollary 2); use local_search or exact_topr instead",
+            reason: "requires the removal-decreasing certificate (Corollary 2: the influence \
+                     value strictly decreases when vertices are removed); use local_search or \
+                     exact_topr instead",
         })
     }
 }
@@ -111,12 +112,15 @@ pub(crate) fn expand_children(
     arena: &mut ic_kcore::PeelArena,
     wg: &WeightedGraph,
     aggregation: Aggregation,
+    parent_value: f64,
     parent_vertices: &[VertexId],
     parent_mix: u64,
     victim: VertexId,
     explored: &mut std::collections::HashSet<u64>,
     out: &mut Vec<crate::Community>,
 ) {
+    #[cfg(debug_assertions)]
+    let fresh_start = out.len();
     arena.remove_cascade(victim);
     if arena.journal_len() == 1 && !arena.is_articulation(victim) {
         let key = finalize_set_key(
@@ -141,6 +145,29 @@ pub(crate) fn expand_children(
         });
     }
     arena.rollback();
+    // Debug-mode certificate check (see `ic_core::certify`): the arena
+    // solvers only run for aggregations declaring removal-decreasing
+    // monotonicity, so every enumerated child must not outscore its
+    // parent. (Strict decrease is the certificate's claim for positive
+    // weights; zero-weight vertices legitimately tie, so the in-solver
+    // check is non-strict.) A custom function whose mis-declared
+    // certificate slipped past the sampled registration harness trips
+    // here on the first real subgraph that falsifies it.
+    #[cfg(debug_assertions)]
+    if aggregation.certificates().removal_decreasing {
+        for child in &out[fresh_start..] {
+            debug_assert!(
+                child.value.total_cmp(&parent_value).is_le(),
+                "certificate `removal_decreasing` falsified by {}: child {:?} has value {} \
+                 > parent value {parent_value}",
+                aggregation.name(),
+                child.vertices,
+                child.value,
+            );
+        }
+    }
+    #[cfg(not(debug_assertions))]
+    let _ = parent_value;
 }
 
 #[cfg(test)]

@@ -55,8 +55,14 @@ impl Default for ImprovedOptions {
 }
 
 /// Runs Algorithm 2 with the given ε (`0.0` = exact "Improve", `> 0` =
-/// "Approx"). The aggregation must satisfy Corollary 2.
-pub fn tic_improved(
+/// "Approx"). The aggregation must declare the removal-decreasing
+/// certificate (Corollary 2).
+///
+/// Crate-internal since PR 4: external callers route through
+/// [`crate::Query::solve`] / [`crate::Query::solve_on`] or
+/// `ic_engine::Engine`; [`tic_improved_on`] remains the public
+/// snapshot-based entry point.
+pub(crate) fn tic_improved(
     wg: &WeightedGraph,
     k: usize,
     r: usize,
@@ -75,7 +81,7 @@ pub fn tic_improved(
     )
 }
 
-/// [`tic_improved`] with explicit pruning switches (for ablations).
+/// `TIC-IMPROVED` with explicit pruning switches (for ablations).
 pub fn tic_improved_with_options(
     wg: &WeightedGraph,
     k: usize,
@@ -97,10 +103,10 @@ pub fn tic_improved_with_options(
     ))
 }
 
-/// [`tic_improved`] against a [`GraphSnapshot`]: the k-core components
+/// Algorithm 2 against a [`GraphSnapshot`]: the k-core components
 /// come from the snapshot's memoized level and the search runs on the
 /// caller's (typically pooled) arena. Output is bit-identical to
-/// [`tic_improved`].
+/// [`crate::Query::solve`] on the same query.
 pub fn tic_improved_on(
     snap: &GraphSnapshot,
     k: usize,
@@ -185,6 +191,9 @@ pub struct TicEmission {
     r: usize,
     aggregation: Aggregation,
     options: ImprovedOptions,
+    /// Line-13 pruning needs the O(1) remove delta; aggregations
+    /// without the `incremental_removal` certificate run unpruned.
+    prune_with_delta: bool,
     candidates: Vec<Community>,
     explored: HashSet<u64>,
     in_results: HashSet<u64>,
@@ -251,6 +260,7 @@ impl TicEmission {
             r,
             aggregation,
             options,
+            prune_with_delta: aggregation.certificates().incremental_removal,
             candidates,
             explored,
             in_results: HashSet::new(),
@@ -313,8 +323,11 @@ impl TicEmission {
         let mut fresh = std::mem::take(&mut self.fresh);
         for &v in &lmax.vertices {
             // Line 13: the pre-cascade value of Lmax ∖ {v} upper-bounds
-            // every child it can produce.
-            if self.options.prune_by_threshold {
+            // every child it can produce. Available exactly when the
+            // aggregation certifies an O(1) remove delta; otherwise the
+            // search runs unpruned (still correct — pruning is an
+            // optimization, not a correctness requirement).
+            if self.options.prune_by_threshold && self.prune_with_delta {
                 let upper = self
                     .aggregation
                     .value_after_removal(lmax.value, wg.weight(v));
@@ -326,6 +339,7 @@ impl TicEmission {
                 arena,
                 wg,
                 self.aggregation,
+                lmax.value,
                 &lmax.vertices,
                 parent_mix,
                 v,
@@ -414,7 +428,7 @@ fn r_th_value(results: &[Community], candidates: &[Community], r: usize) -> f64 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::algo::{exact_topr, sum_naive};
+    use crate::algo::{exact_topr, oracle};
     use crate::figure1::{figure1, vs};
     use ic_graph::{graph_from_edges, WeightedGraph};
 
@@ -455,7 +469,7 @@ mod tests {
         let wg = figure1();
         for r in [1, 2, 4, 6] {
             let a = tic_improved(&wg, 2, r, Aggregation::Sum, 0.0).unwrap();
-            let b = sum_naive(&wg, 2, r, Aggregation::Sum).unwrap();
+            let b = oracle::sum_naive(&wg, 2, r, Aggregation::Sum).unwrap();
             let av: Vec<f64> = a.iter().map(|c| c.value).collect();
             let bv: Vec<f64> = b.iter().map(|c| c.value).collect();
             assert_eq!(av, bv, "r = {r}");

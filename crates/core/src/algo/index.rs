@@ -205,7 +205,7 @@ impl MinCommunityIndex {
     }
 
     /// Answers a top-r query in output-sensitive time. Results are
-    /// identical to [`crate::algo::min_topr`] on the same graph.
+    /// identical to the routed `min` peel (`Query::solve`) on the same graph.
     pub fn topr(&self, wg: &WeightedGraph, r: usize) -> Result<Vec<Community>, SearchError> {
         validate_k_r(r)?;
         let mut out: Vec<Community> = self

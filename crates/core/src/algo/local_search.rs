@@ -222,22 +222,25 @@ pub fn run_seed_multi(
         });
     }
     for target in targets {
-        match target.aggregation {
-            Aggregation::Sum | Aggregation::SumSurplus { .. } => {
-                sum_strategy(wg, g, &pool, k, target.aggregation, scratch, target.list);
-            }
-            _ => {
-                prefix_strategy(
-                    wg,
-                    g,
-                    &pool,
-                    k,
-                    greedy,
-                    target.aggregation,
-                    scratch,
-                    target.list,
-                );
-            }
+        // Strategy selection by certificate: the drop-from-full-pool
+        // `SumStrategy` needs the candidate's value to track the pool
+        // cheaply as it shrinks, which is exactly the O(1) remove-delta
+        // certificate (`sum`, `sum-surplus`, and any custom function
+        // declaring it). Everything else — `avg`, the order-statistics
+        // functions, opaque custom aggregations — walks pool prefixes.
+        if target.aggregation.certificates().incremental_removal {
+            sum_strategy(wg, g, &pool, k, target.aggregation, scratch, target.list);
+        } else {
+            prefix_strategy(
+                wg,
+                g,
+                &pool,
+                k,
+                greedy,
+                target.aggregation,
+                scratch,
+                target.list,
+            );
         }
     }
     scratch.pool = pool;

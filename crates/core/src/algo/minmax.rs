@@ -24,18 +24,27 @@ use ic_kcore::{kcore_mask, GraphSnapshot, PeelArena};
 use std::collections::VecDeque;
 
 /// Top-r k-influential communities under `f = min`, best first.
-pub fn min_topr(wg: &WeightedGraph, k: usize, r: usize) -> Result<Vec<Community>, SearchError> {
+pub(crate) fn min_topr(
+    wg: &WeightedGraph,
+    k: usize,
+    r: usize,
+) -> Result<Vec<Community>, SearchError> {
     peel_topr(wg, k, r, Extreme::Min)
 }
 
 /// Top-r k-influential communities under `f = max`, best first.
-pub fn max_topr(wg: &WeightedGraph, k: usize, r: usize) -> Result<Vec<Community>, SearchError> {
+pub(crate) fn max_topr(
+    wg: &WeightedGraph,
+    k: usize,
+    r: usize,
+) -> Result<Vec<Community>, SearchError> {
     peel_topr(wg, k, r, Extreme::Max)
 }
 
-/// [`min_topr`] against a [`GraphSnapshot`]: the k-core mask comes from
+/// `min`-peeling against a [`GraphSnapshot`]: the k-core mask comes from
 /// the snapshot's memoized level and the peel runs on the caller's
-/// (typically pooled) arena. Output is bit-identical to [`min_topr`].
+/// (typically pooled) arena. Output is bit-identical to the routed
+/// per-graph peel (`Query::solve`).
 pub fn min_topr_on(
     snap: &GraphSnapshot,
     k: usize,
@@ -47,7 +56,7 @@ pub fn min_topr_on(
         .expect("one r"))
 }
 
-/// [`max_topr`] against a [`GraphSnapshot`]; see [`min_topr_on`].
+/// `max`-peeling against a [`GraphSnapshot`]; see [`min_topr_on`].
 pub fn max_topr_on(
     snap: &GraphSnapshot,
     k: usize,
@@ -122,13 +131,14 @@ enum Extreme {
 /// then reconstructible at any time, in any order, as the connected
 /// component of the event vertex among vertices with removal stamp
 /// ≥ `s` — no replay pass. Events are ranked `(value desc, seq asc)`
-/// exactly like the batch solver, and [`next_community`]
-/// (MinMaxEmission::next_community) materializes them lazily, one BFS
+/// exactly like the batch solver, and
+/// [`next_community`](MinMaxEmission::next_community) materializes
+/// them lazily, one BFS
 /// per pull (tie groups materialize together so the emitted order is
 /// the batch solver's final `ranking_cmp` order).
 ///
 /// **Prefix guarantee:** the first `n` communities pulled equal the
-/// first `n` entries of [`min_topr`]/[`max_topr`] with the same `(k,
+/// first `n` entries of the batch peel solvers with the same `(k,
 /// r)`, bit for bit. Dropping the emitter simply skips the remaining
 /// BFS work (cancellation is free).
 #[derive(Clone, Debug)]

@@ -206,11 +206,17 @@ pub fn tic_improved(
         }
         let lb = (1.0 - epsilon) * lmax.value;
         let threshold = r_th_value(&results, &candidates, r);
+        let prune_with_delta = aggregation.certificates().incremental_removal;
 
         for &v in &lmax.vertices {
-            let upper = aggregation.value_after_removal(lmax.value, wg.weight(v));
-            if upper <= threshold {
-                continue;
+            // Line-13 pruning needs the O(1) remove-delta certificate;
+            // removal-decreasing aggregations without it run unpruned
+            // (matching the arena solver's gating, bit for bit).
+            if prune_with_delta {
+                let upper = aggregation.value_after_removal(lmax.value, wg.weight(v));
+                if upper <= threshold {
+                    continue;
+                }
             }
             let parts = scratch.connected_kcores(g, &lmax.vertices, Some(v), k);
             for part in parts {

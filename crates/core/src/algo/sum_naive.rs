@@ -23,29 +23,20 @@ use crate::algo::common::{
 };
 use crate::{Aggregation, Community, SearchError, TopList};
 use ic_graph::{VertexId, WeightedGraph};
-use ic_kcore::{maximal_kcore_components, GraphSnapshot, PeelArena};
+use ic_kcore::{GraphSnapshot, PeelArena};
 use std::collections::HashSet;
 
-/// Runs Algorithm 1. Returns the top-r communities, best first. The
-/// aggregation must satisfy Corollary 2 (`sum`, or `sum-surplus` with
-/// α ≥ 0); others are rejected with
-/// [`SearchError::UnsupportedAggregation`].
-pub fn sum_naive(
-    wg: &WeightedGraph,
-    k: usize,
-    r: usize,
-    aggregation: Aggregation,
-) -> Result<Vec<Community>, SearchError> {
-    validate_k_r(r)?;
-    require_corollary2("sum_naive", aggregation)?;
-    let comps = maximal_kcore_components(wg.graph(), k);
-    let mut arena = PeelArena::for_graph(wg.graph());
-    Ok(sum_naive_with(wg, comps, k, r, aggregation, &mut arena))
-}
-
-/// [`sum_naive`] against a [`GraphSnapshot`]: the k-core components come
+/// Algorithm 1 against a [`GraphSnapshot`]: the k-core components come
 /// from the snapshot's memoized level and the peel runs on the caller's
-/// (typically pooled) arena. Output is bit-identical to [`sum_naive`].
+/// (typically pooled) arena. Returns the top-r communities, best first.
+///
+/// The aggregation must declare the removal-decreasing certificate
+/// (Corollary 2: `sum`, `sum-surplus` with α ≥ 0, or any custom
+/// function certifying it); others are rejected with
+/// [`SearchError::UnsupportedAggregation`]. The per-graph free-function
+/// wrapper was removed in PR 4 — this snapshot entry point (and the
+/// from-scratch [`crate::algo::oracle::sum_naive`] reference) are the
+/// two remaining ways to run Algorithm 1.
 pub fn sum_naive_on(
     snap: &GraphSnapshot,
     k: usize,
@@ -111,6 +102,7 @@ fn sum_naive_with(
                 arena,
                 wg,
                 aggregation,
+                parent.value,
                 &parent.vertices,
                 parent_mix,
                 v,
@@ -139,6 +131,19 @@ mod tests {
     use crate::algo::exact_topr;
     use crate::figure1::{figure1, vs};
     use ic_graph::{graph_from_edges, WeightedGraph};
+
+    /// Per-graph test harness around [`sum_naive_on`] (the free-function
+    /// entry point was removed in PR 4).
+    fn sum_naive(
+        wg: &WeightedGraph,
+        k: usize,
+        r: usize,
+        aggregation: Aggregation,
+    ) -> Result<Vec<Community>, SearchError> {
+        let snap = GraphSnapshot::new(wg.clone());
+        let mut arena = PeelArena::for_graph(snap.graph());
+        sum_naive_on(&snap, k, r, aggregation, &mut arena)
+    }
 
     #[test]
     fn rejects_unsupported_aggregations() {

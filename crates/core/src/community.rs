@@ -155,7 +155,21 @@ impl TopList {
 
     /// Inserts a community; returns whether it was retained. Duplicates
     /// (same vertex set) are rejected.
+    ///
+    /// Values are ordered and compared by `total_cmp` bits throughout —
+    /// including the duplicate scan — so the `−∞` undefined-value
+    /// sentinel (the `may_be_neg_infinite` certificate of
+    /// `crate::Certificates`) dedups and tie-breaks exactly like any
+    /// finite value on every solver path.
+    /// NaN values are a solver bug, never a data condition, and are
+    /// rejected in debug builds.
     pub fn insert(&mut self, community: Community) -> bool {
+        debug_assert!(
+            !community.value.is_nan(),
+            "NaN influence value for {:?}: aggregation functions must map undefined \
+             values onto the −∞ sentinel, never NaN",
+            community.vertices
+        );
         if self.capacity == 0 {
             return false;
         }
@@ -166,19 +180,24 @@ impl TopList {
         if pos == self.items.len() && self.items.len() >= self.capacity {
             return false; // worse than everything retained, list full
         }
-        // Duplicate check: identical vertex lists rank adjacently, so it is
-        // enough to check the neighbors of the insertion point with equal
-        // value.
+        // Duplicate check: identical vertex lists have bit-identical
+        // values (same computation), so they rank adjacently under
+        // `ranking_cmp` and it is enough to scan the `total_cmp`-equal
+        // neighborhood of the insertion point. `total_cmp` (not `==`)
+        // keeps the scan boundary aligned with the ordering above for
+        // every value class, `−∞` included.
         let sig = community.signature();
         let mut i = pos;
-        while i > 0 && self.items[i - 1].value == community.value {
+        while i > 0 && self.items[i - 1].value.total_cmp(&community.value) == Ordering::Equal {
             i -= 1;
             if self.items[i].signature() == sig && self.items[i].vertices == community.vertices {
                 return false;
             }
         }
         let mut j = pos;
-        while j < self.items.len() && self.items[j].value == community.value {
+        while j < self.items.len()
+            && self.items[j].value.total_cmp(&community.value) == Ordering::Equal
+        {
             if self.items[j].signature() == sig && self.items[j].vertices == community.vertices {
                 return false;
             }
@@ -274,6 +293,31 @@ mod tests {
         let mut l = TopList::new(0);
         assert!(!l.insert(c(&[1], 1.0)));
         assert!(l.is_empty());
+    }
+
+    #[test]
+    fn neg_infinity_sentinel_dedups_and_tie_breaks_like_any_value() {
+        // Regression (PR 4): BalancedDensity-style aggregations emit −∞
+        // for undefined values. Those communities must rank last, dedup
+        // by vertex set, and tie-break by (size, lex) exactly like
+        // finite-valued ones — the dup scan runs on total_cmp bits, so
+        // −∞ == −∞ neighborhoods are scanned, not skipped.
+        let mut l = TopList::new(4);
+        assert!(l.insert(c(&[1, 2], f64::NEG_INFINITY)));
+        assert!(!l.insert(c(&[2, 1], f64::NEG_INFINITY)), "dup −∞ set");
+        assert!(l.insert(c(&[3], f64::NEG_INFINITY)));
+        assert!(l.insert(c(&[4, 5], 1.0)));
+        // Finite values rank above the sentinel; among the −∞ ties the
+        // smaller set wins, then lexicographic order.
+        let got: Vec<&[u32]> = l.items().iter().map(|x| x.vertices.as_slice()).collect();
+        assert_eq!(got, vec![&[4, 5][..], &[3][..], &[1, 2][..]]);
+        assert_eq!(l.threshold(), f64::NEG_INFINITY);
+        // A −∞ community is evicted before any finite one.
+        assert!(l.insert(c(&[6], 0.5)));
+        assert!(l.insert(c(&[7], 0.25)));
+        let worst = l.items().last().unwrap();
+        assert_eq!(worst.vertices, vec![3]);
+        assert_eq!(worst.value, f64::NEG_INFINITY);
     }
 
     #[test]

@@ -11,30 +11,37 @@
 //!    (*maximal*),
 //!
 //! where the influence value `f(H)` is computed by an [`Aggregation`]
-//! function: `min`, `max`, `sum`, `sum-surplus`, `avg`, `weight density`,
-//! or `balanced density` (Table I).
+//! function: the paper's seven (Table I: `min`, `max`, `sum`,
+//! `sum-surplus`, `avg`, `weight density`, `balanced density`), the
+//! extension built-ins (`top-t-sum`, `percentile`, `geo-mean`), or any
+//! user-defined [`AggregateFn`] registered with [`Aggregation::custom`].
 //!
 //! # Solvers
 //!
-//! | Paper artifact | Function | Applicability |
-//! |----------------|----------|---------------|
-//! | Algorithm 1 (`SUM-NAÏVE`) | [`algo::sum_naive`] | removal-decreasing aggregations (`sum`, `sum-surplus`) |
-//! | Algorithm 2 (`TIC-IMPROVED`), ε = 0 "Improve", ε > 0 "Approx" | [`algo::tic_improved`] | removal-decreasing aggregations |
+//! Queries are routed by the aggregation's declared property
+//! [`Certificates`] — see [`Query::solver`] and DESIGN.md §10:
+//!
+//! | Paper artifact | Entry point | Routed by certificate |
+//! |----------------|-------------|------------------------|
+//! | Algorithm 1 (`SUM-NAÏVE`) | [`algo::sum_naive_on`] | removal-decreasing |
+//! | Algorithm 2 (`TIC-IMPROVED`), ε = 0 "Improve", ε > 0 "Approx" | [`Query::solve`] → [`algo::tic_improved_on`] | removal-decreasing (+ O(1) remove delta for pruning) |
 //! | Algorithm 3 (`TIC-EXACT`) | [`algo::exact_topr`] / [`algo::exact_naive`] | any aggregation, tiny graphs |
-//! | Algorithm 4 (`LOCAL SEARCH`) with `SumStrategy`/`AvgStrategy` | [`algo::local_search`] | any aggregation, size-constrained |
-//! | min/max baselines (Li et al. VLDB'15 style peeling) | [`algo::min_topr`] / [`algo::max_topr`] | `min` / `max` |
+//! | Algorithm 4 (`LOCAL SEARCH`) with `SumStrategy`/`AvgStrategy` | [`Query::solve`] → [`algo::local_search`] | any aggregation, size-constrained |
+//! | min/max baselines (Li et al. VLDB'15 style peeling) | [`Query::solve`] → [`algo::min_topr_on`] / [`algo::max_topr_on`] | peel extremum |
+//! | Branch-and-bound exact fallback (Section VIII direction) | [`algo::bb_topr`] | superset bound |
 //! | TONIC (non-overlapping) variants | [`algo::nonoverlap`] | per solver |
 //! | Parallel local search (paper's future-work direction) | [`algo::par_local_search`] | any aggregation |
 //!
 //! # Quick start
 //!
 //! ```
-//! use ic_core::{algo, Aggregation};
+//! use ic_core::{Aggregation, Query};
 //! use ic_core::figure1::figure1;
 //!
-//! // The paper's running example (Figure 1), k = 2.
+//! // The paper's running example (Figure 1), k = 2: routed onto
+//! // TIC-IMPROVED by the sum aggregation's certificates.
 //! let wg = figure1();
-//! let top = algo::tic_improved(&wg, 2, 2, Aggregation::Sum, 0.0).unwrap();
+//! let top = Query::new(2, 2, Aggregation::Sum).solve(&wg).unwrap();
 //! assert_eq!(top[0].value, 203.0);          // the whole graph
 //! assert_eq!(top[1].value, 195.0);          // everything except v3
 //! ```
@@ -44,6 +51,7 @@
 
 pub mod aggregate;
 pub mod algo;
+pub mod certify;
 pub mod community;
 mod error;
 pub mod figure1;
@@ -51,7 +59,10 @@ pub mod hardness;
 pub mod query;
 pub mod verify;
 
-pub use aggregate::{AggregateState, Aggregation, Hardness};
+pub use aggregate::{
+    AggregateFn, AggregateState, Aggregation, Certificates, CustomAggregation, Extremum, Hardness,
+    StateView, TieSemantics,
+};
 pub use community::{Community, TopList};
 pub use error::SearchError;
 pub use query::{Constraint, Query, QueryBuilder, Solver};

@@ -14,15 +14,20 @@
 //!   `s ≤ k` are rejected when the query is *built*, not when it is
 //!   planned.
 //! * [`Solver`] — the routing decision: which of the paper's algorithms
-//!   answers a query. [`Query::solver`] maps `(aggregation, constraint,
-//!   ε)` onto it (and doubles as full validation); [`Query::solve`] and
+//!   answers a query. [`Query::solver`] maps the aggregation's declared
+//!   [`Certificates`](crate::Certificates) plus `(constraint, ε)` onto
+//!   it (and doubles as full validation); [`Query::solve`] and
 //!   [`Query::solve_on`] dispatch to the algorithm, so callers —
 //!   `ic-engine`'s planner, the examples, the conformance tests — never
 //!   hand-dispatch again.
 //!
-//! The legacy free functions remain available (and are what the router
-//! calls), but new code should go through [`Query`] — or through
-//! `ic_engine::Engine` when serving more than one query.
+//! The per-graph free-function entry points (`min_topr`, `max_topr`,
+//! `sum_naive`, `tic_improved`) were removed from the public API in
+//! PR 4; this router (or `ic_engine::Engine`, when serving more than
+//! one query) is how queries are answered. Because routing reads
+//! certificates, a user-defined aggregation registered with
+//! [`Aggregation::custom`] is served exactly like a built-in with the
+//! same declared properties.
 //!
 //! ```
 //! use ic_core::{Aggregation, Query};
@@ -135,6 +140,24 @@ impl Query {
 
     /// Routes the query to the algorithm that answers it, validating
     /// every parameter on the way (the single source of truth for both).
+    ///
+    /// Routing reads the aggregation's declared
+    /// [`Certificates`](crate::Certificates), never the enum variants,
+    /// so a user-defined [`AggregateFn`](crate::AggregateFn) registered
+    /// with [`Aggregation::custom`] routes exactly like a built-in with
+    /// the same properties:
+    ///
+    /// * a declared [`peel_extremum`](crate::Certificates::peel_extremum)
+    ///   gets the threshold-peel fast path;
+    /// * [`removal_decreasing`](crate::Certificates::removal_decreasing)
+    ///   (Corollary 2) gets `TIC-IMPROVED` — with line-13 pruning iff
+    ///   [`incremental_removal`](crate::Certificates::incremental_removal)
+    ///   is also declared;
+    /// * everything else is NP-hard territory: add a size bound to route
+    ///   through local search (or call
+    ///   [`crate::algo::bb_topr`] directly for
+    ///   aggregations with a
+    ///   [`superset_bound`](crate::Certificates::superset_bound)).
     pub fn solver(&self) -> Result<Solver, SearchError> {
         if self.k == 0 {
             return Err(SearchError::InvalidParams(
@@ -146,14 +169,13 @@ impl Query {
                 "result count r must be positive".into(),
             ));
         }
-        if let Some(p) = self.aggregation.parameter() {
-            if p.is_nan() {
-                return Err(SearchError::InvalidParams(format!(
-                    "aggregation {} has a NaN parameter",
-                    self.aggregation.name()
-                )));
-            }
+        if let Err(m) = self.aggregation.validate_params() {
+            return Err(SearchError::InvalidParams(format!(
+                "aggregation {}: {m}",
+                self.aggregation.name()
+            )));
         }
+        let certs = self.aggregation.certificates();
         match self.constraint {
             Constraint::SizeBound { s, .. } => {
                 if s <= self.k {
@@ -170,21 +192,19 @@ impl Query {
                 }
                 Ok(Solver::LocalSearch)
             }
-            Constraint::Unconstrained => match self.aggregation {
-                Aggregation::Min | Aggregation::Max => {
+            Constraint::Unconstrained => {
+                if let Some(extremum) = certs.peel_extremum {
                     if self.epsilon != 0.0 {
                         return Err(SearchError::InvalidParams(format!(
                             "epsilon = {} is only meaningful for unconstrained sum-like queries",
                             self.epsilon
                         )));
                     }
-                    Ok(if self.aggregation == Aggregation::Min {
-                        Solver::MinPeel
-                    } else {
-                        Solver::MaxPeel
+                    Ok(match extremum {
+                        crate::Extremum::Min => Solver::MinPeel,
+                        crate::Extremum::Max => Solver::MaxPeel,
                     })
-                }
-                agg if agg.decreases_on_removal() => {
+                } else if certs.removal_decreasing {
                     if !(0.0..1.0).contains(&self.epsilon) {
                         return Err(SearchError::InvalidParams(format!(
                             "epsilon must be in [0, 1), got {}",
@@ -196,14 +216,17 @@ impl Query {
                     } else {
                         Solver::TicApprox
                     })
+                } else {
+                    Err(SearchError::UnsupportedAggregation {
+                        algorithm: "Query::solver (unconstrained)",
+                        aggregation: self.aggregation,
+                        reason:
+                            "no polynomial certificate is declared for the unconstrained top-r \
+                             problem (it is NP-hard for the paper's remaining aggregations, \
+                             Theorems 1, 3); add a size bound to route it through local search",
+                    })
                 }
-                agg => Err(SearchError::UnsupportedAggregation {
-                    algorithm: "Query::solver (unconstrained)",
-                    aggregation: agg,
-                    reason: "the unconstrained top-r problem is NP-hard for this aggregation \
-                             (Theorems 1, 3); add a size bound to route it through local search",
-                }),
-            },
+            }
         }
     }
 

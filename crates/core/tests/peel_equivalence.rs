@@ -8,14 +8,51 @@
 //! guarantee of the steady-state peel loop.
 
 use ic_core::algo::{self, oracle};
-use ic_core::Aggregation;
+use ic_core::{Aggregation, Community, SearchError};
 use ic_gen::{
     barabasi_albert, chung_lu, gnm, pagerank_weights, pareto_weights, rank_weights,
     uniform_weights, GraphSeed,
 };
 use ic_graph::{Graph, WeightedGraph};
-use ic_kcore::{maximal_kcore_components, PeelArena};
+use ic_kcore::{maximal_kcore_components, GraphSnapshot, PeelArena};
 use proptest::prelude::*;
+
+type Solved = Result<Vec<Community>, SearchError>;
+
+/// Per-graph harness over the snapshot-based arena solvers (the
+/// per-graph free functions were removed from the public API in PR 4).
+fn on_snapshot(
+    wg: &WeightedGraph,
+    f: impl FnOnce(&GraphSnapshot, &mut PeelArena) -> Solved,
+) -> Solved {
+    let snap = GraphSnapshot::new(wg.clone());
+    let mut arena = PeelArena::for_graph(snap.graph());
+    f(&snap, &mut arena)
+}
+
+fn arena_min_topr(wg: &WeightedGraph, k: usize, r: usize) -> Solved {
+    on_snapshot(wg, |snap, arena| algo::min_topr_on(snap, k, r, arena))
+}
+
+fn arena_max_topr(wg: &WeightedGraph, k: usize, r: usize) -> Solved {
+    on_snapshot(wg, |snap, arena| algo::max_topr_on(snap, k, r, arena))
+}
+
+fn arena_sum_naive(wg: &WeightedGraph, k: usize, r: usize, agg: Aggregation) -> Solved {
+    on_snapshot(wg, |snap, arena| algo::sum_naive_on(snap, k, r, agg, arena))
+}
+
+fn arena_tic_improved(
+    wg: &WeightedGraph,
+    k: usize,
+    r: usize,
+    agg: Aggregation,
+    eps: f64,
+) -> Solved {
+    on_snapshot(wg, |snap, arena| {
+        algo::tic_improved_on(snap, k, r, agg, eps, arena)
+    })
+}
 
 /// One synthetic workload: a random graph from one of the three family
 /// generators plus a weight model, both seed-derived.
@@ -47,10 +84,10 @@ proptest! {
     #[test]
     fn minmax_peeling_is_observationally_identical(wg in arb_workload(),
                                                    k in 1usize..5, r in 1usize..6) {
-        let min_inc = algo::min_topr(&wg, k, r).unwrap();
+        let min_inc = arena_min_topr(&wg, k, r).unwrap();
         let min_ora = oracle::min_topr(&wg, k, r).unwrap();
         prop_assert_eq!(&min_inc, &min_ora, "min mismatch");
-        let max_inc = algo::max_topr(&wg, k, r).unwrap();
+        let max_inc = arena_max_topr(&wg, k, r).unwrap();
         let max_ora = oracle::max_topr(&wg, k, r).unwrap();
         prop_assert_eq!(&max_inc, &max_ora, "max mismatch");
     }
@@ -63,7 +100,7 @@ proptest! {
         } else {
             Aggregation::Sum
         };
-        let inc = algo::sum_naive(&wg, k, r, agg).unwrap();
+        let inc = arena_sum_naive(&wg, k, r, agg).unwrap();
         let ora = oracle::sum_naive(&wg, k, r, agg).unwrap();
         prop_assert_eq!(inc, ora, "{} k={} r={}", agg.name(), k, r);
     }
@@ -77,7 +114,7 @@ proptest! {
         } else {
             Aggregation::Sum
         };
-        let inc = algo::tic_improved(&wg, k, r, agg, eps).unwrap();
+        let inc = arena_tic_improved(&wg, k, r, agg, eps).unwrap();
         let ora = oracle::tic_improved(&wg, k, r, agg, eps).unwrap();
         prop_assert_eq!(inc, ora, "{} k={} r={} eps={}", agg.name(), k, r, eps);
     }
@@ -158,20 +195,20 @@ fn incremental_solvers_agree_on_a_realistic_workload() {
     for k in [2usize, 4] {
         for r in [1usize, 5, 10] {
             assert_eq!(
-                algo::min_topr(&wg, k, r).unwrap(),
+                arena_min_topr(&wg, k, r).unwrap(),
                 oracle::min_topr(&wg, k, r).unwrap()
             );
             assert_eq!(
-                algo::max_topr(&wg, k, r).unwrap(),
+                arena_max_topr(&wg, k, r).unwrap(),
                 oracle::max_topr(&wg, k, r).unwrap()
             );
             assert_eq!(
-                algo::sum_naive(&wg, k, r, Aggregation::Sum).unwrap(),
+                arena_sum_naive(&wg, k, r, Aggregation::Sum).unwrap(),
                 oracle::sum_naive(&wg, k, r, Aggregation::Sum).unwrap()
             );
             for eps in [0.0, 0.1] {
                 assert_eq!(
-                    algo::tic_improved(&wg, k, r, Aggregation::Sum, eps).unwrap(),
+                    arena_tic_improved(&wg, k, r, Aggregation::Sum, eps).unwrap(),
                     oracle::tic_improved(&wg, k, r, Aggregation::Sum, eps).unwrap()
                 );
             }

@@ -2,13 +2,38 @@
 //! oracle on random weighted graphs.
 
 use ic_core::algo::{
-    self, exact_naive, exact_topr, local_search, local_search_nonoverlapping, max_topr, min_topr,
-    nonoverlap, par_local_search, sum_naive, tic_improved, LocalSearchConfig,
+    self, exact_naive, exact_topr, local_search, local_search_nonoverlapping, nonoverlap,
+    par_local_search, LocalSearchConfig,
 };
 use ic_core::verify::check_community;
-use ic_core::Aggregation;
+use ic_core::{Aggregation, Community, Query, SearchError};
 use ic_graph::{graph_from_edges, WeightedGraph};
+use ic_kcore::{GraphSnapshot, PeelArena};
 use proptest::prelude::*;
+
+type Solved = Result<Vec<Community>, SearchError>;
+
+// The per-graph free-function entry points were removed in PR 4; these
+// harnesses route through the certificate-driven `Query` router (and
+// the snapshot entry point for Algorithm 1, which the router does not
+// serve — TIC answers its queries).
+fn min_topr(wg: &WeightedGraph, k: usize, r: usize) -> Solved {
+    Query::new(k, r, Aggregation::Min).solve(wg)
+}
+
+fn max_topr(wg: &WeightedGraph, k: usize, r: usize) -> Solved {
+    Query::new(k, r, Aggregation::Max).solve(wg)
+}
+
+fn tic_improved(wg: &WeightedGraph, k: usize, r: usize, agg: Aggregation, eps: f64) -> Solved {
+    Query::new(k, r, agg).approx(eps).solve(wg)
+}
+
+fn sum_naive(wg: &WeightedGraph, k: usize, r: usize, agg: Aggregation) -> Solved {
+    let snap = GraphSnapshot::new(wg.clone());
+    let mut arena = PeelArena::for_graph(snap.graph());
+    algo::sum_naive_on(&snap, k, r, agg, &mut arena)
+}
 
 /// Random weighted graph: up to `max_n` vertices, random edges, strictly
 /// positive weights (the paper assumes non-negative influence; positive

@@ -21,7 +21,7 @@
 //!    [`Engine::run_batch`] for that query, bit for bit; dropping the
 //!    stream cancels the remaining work (held by `tests/progressive.rs`).
 //! 3. **Updates** — [`Engine::apply`] feeds [`EdgeUpdate`]s through an
-//!    incremental [`CoreMaintainer`](ic_kcore::CoreMaintainer) and swaps
+//!    incremental [`ic_kcore::CoreMaintainer`] and swaps
 //!    in a fresh immutable snapshot under a new [`Epoch`]. In-flight
 //!    batches and streams keep their snapshot (copy-on-write isolation);
 //!    the epoch-tagged result cache stops serving pre-update answers. A
@@ -77,7 +77,8 @@ pub use ic_kcore::EdgeUpdate;
 pub mod prelude {
     pub use crate::{Engine, Epoch, Plan, PlanStats, ResultStream};
     pub use ic_core::{
-        Aggregation, Community, Constraint, Query, QueryBuilder, SearchError, Solver,
+        AggregateFn, Aggregation, Certificates, Community, Constraint, Extremum, Hardness, Query,
+        QueryBuilder, SearchError, Solver, StateView, TieSemantics,
     };
     pub use ic_kcore::{EdgeUpdate, GraphSnapshot};
 }
@@ -303,7 +304,7 @@ impl Engine {
     /// removes).
     ///
     /// Core numbers are maintained *incrementally* by a
-    /// [`CoreMaintainer`](ic_kcore::CoreMaintainer) (subcore traversal —
+    /// [`ic_kcore::CoreMaintainer`] (subcore traversal —
     /// cost proportional to the touched subcores, not the graph), and
     /// the new snapshot is seeded with them
     /// ([`GraphSnapshot::with_decomposition`]), so the from-scratch
@@ -390,23 +391,27 @@ mod tests {
             let got = eng.run_batch(&batch);
             assert_eq!(
                 got[0].as_ref().unwrap(),
-                &algo::min_topr(&wg, 2, 2).unwrap()
+                &Query::new(2, 2, Aggregation::Min).solve(&wg).unwrap()
             );
             assert_eq!(
                 got[1].as_ref().unwrap(),
-                &algo::max_topr(&wg, 2, 5).unwrap()
+                &Query::new(2, 5, Aggregation::Max).solve(&wg).unwrap()
             );
             assert_eq!(
                 got[2].as_ref().unwrap(),
-                &algo::tic_improved(&wg, 2, 3, Aggregation::Sum, 0.0).unwrap()
+                &Query::new(2, 3, Aggregation::Sum).solve(&wg).unwrap()
             );
             assert_eq!(
                 got[3].as_ref().unwrap(),
-                &algo::tic_improved(&wg, 2, 3, Aggregation::Sum, 0.1).unwrap()
+                &Query::new(2, 3, Aggregation::Sum)
+                    .approx(0.1)
+                    .solve(&wg)
+                    .unwrap()
             );
             assert_eq!(
                 got[4].as_ref().unwrap(),
-                &algo::tic_improved(&wg, 2, 2, Aggregation::SumSurplus { alpha: 1.0 }, 0.0)
+                &Query::new(2, 2, Aggregation::SumSurplus { alpha: 1.0 })
+                    .solve(&wg)
                     .unwrap()
             );
         }
@@ -426,7 +431,7 @@ mod tests {
         for (q, res) in batch.iter().zip(&got) {
             assert_eq!(
                 res.as_ref().unwrap(),
-                &algo::min_topr(&wg, q.k, q.r).unwrap(),
+                &Query::new(q.k, q.r, Aggregation::Min).solve(&wg).unwrap(),
                 "r = {}",
                 q.r
             );
@@ -447,7 +452,7 @@ mod tests {
         for (q, res) in batch.iter().zip(&got) {
             assert_eq!(
                 res.as_ref().unwrap(),
-                &algo::tic_improved(&wg, q.k, q.r, Aggregation::Sum, 0.0).unwrap(),
+                &Query::new(q.k, q.r, Aggregation::Sum).solve(&wg).unwrap(),
                 "r = {}",
                 q.r
             );
@@ -473,7 +478,7 @@ mod tests {
             for (q, res) in batch.iter().zip(&got) {
                 assert_eq!(
                     res.as_ref().unwrap(),
-                    &algo::tic_improved(&wg, q.k, q.r, Aggregation::Sum, 0.0).unwrap(),
+                    &Query::new(q.k, q.r, Aggregation::Sum).solve(&wg).unwrap(),
                     "threads = {threads}, r = {}",
                     q.r
                 );

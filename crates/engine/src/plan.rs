@@ -207,6 +207,17 @@ enum JobKey {
 /// job identity. The planner refines [`Solver`] with its own merge
 /// structure: exact TIC queries form `r`-families, approximate ones
 /// stay single jobs, local-search queries group by `(k, s, greedy)`.
+///
+/// The exact-TIC r-family merge additionally requires the
+/// aggregation's [`TieSemantics::Exact`](ic_core::TieSemantics)
+/// certificate: prefix serving proves tie-safety through `f64` value
+/// equality, which means nothing for an aggregation declaring
+/// approximate ties — such queries (custom functions may declare this)
+/// each run on their own. Min/max **peel** families are exempt from
+/// the gate: their merge replays one peel timeline and re-selects
+/// events per `r` exactly (`min_topr_multi_on` is bit-identical to a
+/// solo run member-by-member, no value-equality proof involved), so
+/// tie semantics cannot affect them.
 fn validate(q: &Query) -> Result<JobKey, SearchError> {
     match q.solver()? {
         Solver::MinPeel => Ok(JobKey::MinMax {
@@ -217,9 +228,17 @@ fn validate(q: &Query) -> Result<JobKey, SearchError> {
             dir: Dir::Max,
             k: q.k,
         }),
-        Solver::TicExact => Ok(JobKey::SumFamily {
+        Solver::TicExact if q.aggregation.certificates().ties == ic_core::TieSemantics::Exact => {
+            Ok(JobKey::SumFamily {
+                k: q.k,
+                agg: agg_key(q.aggregation),
+            })
+        }
+        Solver::TicExact => Ok(JobKey::Improved {
             k: q.k,
+            r: q.r,
             agg: agg_key(q.aggregation),
+            eps: canonical_f64_bits(0.0),
         }),
         Solver::TicApprox => Ok(JobKey::Improved {
             k: q.k,

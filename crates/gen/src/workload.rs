@@ -31,6 +31,15 @@ pub enum MixAggregation {
     SumSurplus,
     /// `avg` — NP-hard unconstrained; generated with a size bound.
     Average,
+    /// Sum of the `t` largest member weights (the top-L model, Zhang et
+    /// al. arXiv:2311.13162) — no strict-decrease certificate;
+    /// generated with a size bound. `t` rides in [`QuerySpec::t`].
+    TopTSum,
+    /// Nearest-rank p-quantile — node-dominated but not peelable;
+    /// generated with a size bound. `p` rides in [`QuerySpec::p`].
+    Percentile,
+    /// Geometric mean — avg-like NP-hard; generated with a size bound.
+    GeometricMean,
 }
 
 /// One generated query (plain data).
@@ -44,6 +53,10 @@ pub struct QuerySpec {
     pub aggregation: MixAggregation,
     /// `α` for [`MixAggregation::SumSurplus`] (0.0 otherwise).
     pub alpha: f64,
+    /// `t` for [`MixAggregation::TopTSum`] (0 otherwise).
+    pub t: usize,
+    /// `p` for [`MixAggregation::Percentile`] (0.0 otherwise).
+    pub p: f64,
     /// Approximation ε (non-zero only for sum-like aggregations).
     pub epsilon: f64,
     /// Size bound routing the query through local search, if any.
@@ -143,11 +156,38 @@ pub fn mixed_query_traffic(
                             r,
                             aggregation: agg,
                             alpha: 0.0,
+                            t: 0,
+                            p: 0.0,
                             epsilon: 0.0,
                             size_bound: Some(s),
                             greedy: true,
                         },
                         1.0,
+                    ));
+                }
+                // The widened aggregation vocabulary (PR 4): top-t-sum,
+                // percentile, and geometric-mean queries arrive on the
+                // constrained cells at half the base popularity —
+                // extension traffic, present in every batch mix but
+                // below the paper's core aggregations.
+                for (agg, t, p) in [
+                    (MixAggregation::TopTSum, 3usize, 0.0),
+                    (MixAggregation::Percentile, 0, 0.9),
+                    (MixAggregation::GeometricMean, 0, 0.0),
+                ] {
+                    templates.push((
+                        QuerySpec {
+                            k,
+                            r,
+                            aggregation: agg,
+                            alpha: 0.0,
+                            t,
+                            p,
+                            epsilon: 0.0,
+                            size_bound: Some(s),
+                            greedy: true,
+                        },
+                        0.5,
                     ));
                 }
             }
@@ -162,6 +202,8 @@ pub fn mixed_query_traffic(
                         r,
                         aggregation: agg,
                         alpha: 0.0,
+                        t: 0,
+                        p: 0.0,
                         epsilon: 0.0,
                         size_bound: None,
                         greedy: true,
@@ -181,6 +223,8 @@ pub fn mixed_query_traffic(
                         r,
                         aggregation: MixAggregation::Sum,
                         alpha: 0.0,
+                        t: 0,
+                        p: 0.0,
                         epsilon: profile.epsilon,
                         size_bound: None,
                         greedy: true,
@@ -193,6 +237,8 @@ pub fn mixed_query_traffic(
                         r,
                         aggregation: MixAggregation::SumSurplus,
                         alpha: 0.5,
+                        t: 0,
+                        p: 0.0,
                         epsilon: 0.0,
                         size_bound: None,
                         greedy: true,
@@ -284,5 +330,39 @@ mod tests {
         let batch = mixed_query_traffic(256, &profile(), GraphSeed(11));
         let constrained = batch.iter().filter(|q| q.size_bound.is_some()).count();
         assert!(constrained > 0, "some constrained traffic expected");
+    }
+
+    #[test]
+    fn widened_aggregation_vocabulary_appears_in_traffic() {
+        // Flat popularity (zipf 0) so every template class materializes
+        // in a modest sample.
+        let mut flat = profile();
+        flat.zipf_exponent = 0.0;
+        let batch = mixed_query_traffic(512, &flat, GraphSeed(3));
+        for agg in [
+            MixAggregation::TopTSum,
+            MixAggregation::Percentile,
+            MixAggregation::GeometricMean,
+        ] {
+            assert!(
+                batch.iter().any(|q| q.aggregation == agg),
+                "{agg:?} missing from the mix"
+            );
+        }
+        // Parameters ride with the spec and the new queries always
+        // carry the size bound their (no-polynomial-certificate) route
+        // requires.
+        for q in &batch {
+            match q.aggregation {
+                MixAggregation::TopTSum => {
+                    assert!(q.t >= 1 && q.size_bound.is_some());
+                }
+                MixAggregation::Percentile => {
+                    assert!((0.0..=1.0).contains(&q.p) && q.size_bound.is_some());
+                }
+                MixAggregation::GeometricMean => assert!(q.size_bound.is_some()),
+                _ => {}
+            }
+        }
     }
 }

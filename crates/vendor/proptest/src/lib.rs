@@ -172,7 +172,8 @@ pub mod test_runner {
     }
 }
 
-/// The [`Strategy`] trait and its built-in implementations.
+/// The [`Strategy`](strategy::Strategy) trait and its built-in
+/// implementations.
 pub mod strategy {
     use crate::test_runner::TestRng;
     use std::ops::Range;
@@ -294,7 +295,7 @@ pub mod strategy {
     }
     tuple_strategy! { (A) (A, B) (A, B, C) (A, B, C, D) }
 
-    /// Uniform choice between boxed strategies (used by [`prop_oneof!`]).
+    /// Uniform choice between boxed strategies (used by `prop_oneof!`).
     pub struct OneOf<T>(pub Vec<Box<dyn Strategy<Value = T>>>);
 
     impl<T> Strategy for OneOf<T> {
@@ -358,7 +359,7 @@ pub mod collection {
     use crate::test_runner::TestRng;
     use std::ops::Range;
 
-    /// Length domain for [`vec`]: a fixed size or a half-open range.
+    /// Length domain for [`vec()`]: a fixed size or a half-open range.
     #[derive(Clone, Debug)]
     pub struct SizeRange {
         lo: usize,

@@ -34,7 +34,7 @@ fn main() {
         println!("  #{} value {:.6}, {} members", i + 1, c.value, c.len());
     }
     let t = Instant::now();
-    let online = algo::min_topr(&wg, k, 5).unwrap();
+    let online = Query::new(k, 5, Aggregation::Min).solve(&wg).unwrap();
     println!(
         "online peel gives the same answer: {} ({:.1?})",
         online == top,
@@ -78,7 +78,7 @@ fn main() {
     }
 
     // --- 2. Truss communities are cliquier than core communities ------
-    let core_top = algo::min_topr(&wg, 4, 1).unwrap();
+    let core_top = Query::new(4, 1, Aggregation::Min).solve(&wg).unwrap();
     let truss_top = algo::truss_min_topr(&wg, 4, 1).unwrap();
     println!(
         "\nk = 4 top-1 community sizes: core model {}, truss model {}",

@@ -8,7 +8,7 @@
 use ic_core::algo::{self, LocalSearchConfig};
 use ic_core::figure1::figure1;
 use ic_core::verify::check_community;
-use ic_core::{Aggregation, Community};
+use ic_core::{Aggregation, Community, Query};
 use ic_graph::{GraphBuilder, WeightedGraph};
 
 fn show(title: &str, communities: &[Community]) {
@@ -42,11 +42,15 @@ fn main() {
     let wg = WeightedGraph::new(b.build(), weights).expect("valid weights");
 
     // --- 2. Size-unconstrained top-r under sum (Algorithm 2) ----------
-    let top = algo::tic_improved(&wg, 2, 3, Aggregation::Sum, 0.0).expect("valid params");
+    let top = Query::new(2, 3, Aggregation::Sum)
+        .solve(&wg)
+        .expect("valid params");
     show("Top-3 communities under sum (k = 2):", &top);
 
     // --- 3. The classic min model (prior-work baseline) ---------------
-    let top = algo::min_topr(&wg, 2, 3).expect("valid params");
+    let top = Query::new(2, 3, Aggregation::Min)
+        .solve(&wg)
+        .expect("valid params");
     show("Top-3 communities under min (k = 2):", &top);
 
     // --- 4. Size-constrained search under avg (Algorithm 4) -----------
@@ -67,7 +71,7 @@ fn main() {
 
     // --- 6. The paper's own example graph ------------------------------
     let fig = figure1();
-    let top = algo::tic_improved(&fig, 2, 2, Aggregation::Sum, 0.0).unwrap();
+    let top = Query::new(2, 2, Aggregation::Sum).solve(&fig).unwrap();
     println!(
         "\nFigure 1 of the paper, sum top-2 values: {} and {} (expected 203 and 195)",
         top[0].value, top[1].value

@@ -1,17 +1,20 @@
 //! Cross-solver conformance: every path to the same query must give the
 //! same answer.
 //!
-//! For each aggregation (`min`, `max`, `sum`, the size-weighted
-//! `sum-surplus`, and constrained `avg`) there are up to four ways to
-//! answer a query:
+//! For **every built-in aggregation** — the paper's seven plus the PR-4
+//! extension built-ins `top-t-sum`, `percentile`, and `geo-mean` — there
+//! are up to four ways to answer a query:
 //!
 //! * **oracle** — the from-scratch reference solvers
-//!   (`ic_core::algo::oracle`, and the exhaustive `exact_topr` on tiny
-//!   graphs);
-//! * **arena** — the zero-rebuild `PeelArena` solvers (`ic_core::algo`);
+//!   (`ic_core::algo::oracle`, the exhaustive `exact_topr` on tiny
+//!   graphs, and sequential `local_search` for the heuristic route);
+//! * **arena** — the zero-rebuild `PeelArena` solvers, reached through
+//!   [`Query::solve_on`] (routing is by declared certificates since
+//!   PR 4 — nothing here dispatches on the aggregation itself);
 //! * **engine-batched** — `ic_engine::Engine::run_batch`, including its
-//!   dedup and min/max r-family merging;
-//! * **parallel** — `par_local_search` / multi-worker engine execution.
+//!   dedup and r-family merging;
+//! * **streamed** — `ic_engine::Engine::submit`, the progressive
+//!   session, drained to completion.
 //!
 //! The deterministic paths must agree **bit for bit** — same vertex
 //! sets, same values, same order — on ER, Barabási-Albert, Chung-Lu,
@@ -25,14 +28,14 @@
 
 use ic_core::algo::{self, oracle, LocalSearchConfig};
 use ic_core::verify::check_community;
-use ic_core::{Aggregation, Community};
-use ic_engine::{Engine, Query};
+use ic_core::{Aggregation, Community, Query};
+use ic_engine::Engine;
 use ic_gen::{
     barabasi_albert, chung_lu, gnm, pareto_weights, planted_partition, rank_weights,
     uniform_weights, GraphSeed, PlantedPartitionConfig,
 };
 use ic_graph::{Graph, WeightedGraph};
-use ic_kcore::degeneracy;
+use ic_kcore::{degeneracy, GraphSnapshot, PeelArena};
 use proptest::prelude::*;
 
 /// One synthetic workload drawn from the four graph families with a
@@ -80,12 +83,34 @@ fn unwrap_batch(results: Vec<Result<Vec<Community>, ic_core::SearchError>>) -> V
         .collect()
 }
 
+/// The arena path: [`Query::solve_on`] against a fresh memoized
+/// snapshot (bit-identical to `Query::solve` by contract).
+fn arena_solve(wg: &WeightedGraph, q: Query) -> Vec<Community> {
+    let snap = GraphSnapshot::new(wg.clone());
+    let mut arena = PeelArena::for_graph(snap.graph());
+    q.solve_on(&snap, &mut arena).expect("valid query")
+}
+
+/// The streamed path: a fresh engine's progressive session, drained.
+fn streamed(wg: &WeightedGraph, q: Query, threads: usize) -> Vec<Community> {
+    engine(wg, threads)
+        .submit(q)
+        .expect("valid query")
+        .collect()
+}
+
+/// Algorithm 1 on a fresh snapshot (shared harness; the per-graph free
+/// function was removed from the public API in PR 4).
+fn arena_sum_naive(wg: &WeightedGraph, k: usize, r: usize, agg: Aggregation) -> Vec<Community> {
+    ic_bench::harness::sum_naive(wg, k, r, agg).expect("valid params")
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
-    /// min/max: oracle ≡ arena ≡ engine (any thread count), across the
-    /// k grid including k = 1 and k > degeneracy, r including 1 and
-    /// r > #communities.
+    /// min/max: oracle ≡ arena ≡ engine (any thread count) ≡ streamed,
+    /// across the k grid including k = 1 and k > degeneracy, r
+    /// including 1 and r > #communities.
     #[test]
     fn node_domination_paths_agree(wg in arb_workload()) {
         let d = degeneracy(wg.graph()) as usize;
@@ -100,11 +125,11 @@ proptest! {
                         Query::new(k, r, Aggregation::Max),
                     ];
                     let got = unwrap_batch(eng.run_batch(&batch));
-                    let arena_min = algo::min_topr(&wg, k, r).unwrap();
+                    let arena_min = arena_solve(&wg, batch[0]);
                     let oracle_min = oracle::min_topr(&wg, k, r).unwrap();
                     prop_assert_eq!(&arena_min, &oracle_min, "min arena/oracle k={} r={}", k, r);
                     prop_assert_eq!(&got[0], &arena_min, "min engine k={} r={} t={}", k, r, threads);
-                    let arena_max = algo::max_topr(&wg, k, r).unwrap();
+                    let arena_max = arena_solve(&wg, batch[1]);
                     let oracle_max = oracle::max_topr(&wg, k, r).unwrap();
                     prop_assert_eq!(&arena_max, &oracle_max, "max arena/oracle k={} r={}", k, r);
                     prop_assert_eq!(&got[1], &arena_max, "max engine k={} r={} t={}", k, r, threads);
@@ -116,22 +141,24 @@ proptest! {
         }
     }
 
-    /// sum / sum-surplus: oracle ≡ arena ≡ engine for Algorithm 1 and
-    /// Algorithm 2 (exact and approximate).
+    /// sum / sum-surplus: oracle ≡ arena ≡ engine ≡ streamed for
+    /// Algorithm 1 and Algorithm 2 (exact and approximate).
     #[test]
     fn removal_decreasing_paths_agree(wg in arb_workload(), k in 1usize..4) {
         let aggs = [Aggregation::Sum, Aggregation::SumSurplus { alpha: 0.75 }];
         let eng = engine(&wg, 2);
         for &agg in &aggs {
             for r in [1usize, 4] {
+                let q = Query::new(k, r, agg);
                 let oracle_naive = oracle::sum_naive(&wg, k, r, agg).unwrap();
-                let arena_naive = algo::sum_naive(&wg, k, r, agg).unwrap();
+                let arena_naive = arena_sum_naive(&wg, k, r, agg);
                 prop_assert_eq!(&arena_naive, &oracle_naive, "naive k={} r={}", k, r);
                 let oracle_tic = oracle::tic_improved(&wg, k, r, agg, 0.0).unwrap();
-                let arena_tic = algo::tic_improved(&wg, k, r, agg, 0.0).unwrap();
+                let arena_tic = arena_solve(&wg, q);
                 prop_assert_eq!(&arena_tic, &oracle_tic, "tic k={} r={}", k, r);
-                let got = unwrap_batch(eng.run_batch(&[Query::new(k, r, agg)]));
+                let got = unwrap_batch(eng.run_batch(&[q]));
                 prop_assert_eq!(&got[0], &arena_tic, "engine k={} r={}", k, r);
+                prop_assert_eq!(&streamed(&wg, q, 2), &arena_tic, "streamed k={} r={}", k, r);
                 // The two algorithms agree on values (tie-broken sets may
                 // legitimately differ between Algorithm 1 and 2).
                 let nv: Vec<f64> = arena_naive.iter().map(|c| c.value).collect();
@@ -143,11 +170,64 @@ proptest! {
             }
             // Approximate mode: engine ≡ arena ≡ oracle at the same ε.
             for eps in [0.1, 0.4] {
+                let q = Query::new(k, 3, agg).approx(eps);
                 let oracle_eps = oracle::tic_improved(&wg, k, 3, agg, eps).unwrap();
-                let arena_eps = algo::tic_improved(&wg, k, 3, agg, eps).unwrap();
+                let arena_eps = arena_solve(&wg, q);
                 prop_assert_eq!(&arena_eps, &oracle_eps, "eps={}", eps);
-                let got = unwrap_batch(eng.run_batch(&[Query::new(k, 3, agg).approx(eps)]));
+                let got = unwrap_batch(eng.run_batch(&[q]));
                 prop_assert_eq!(&got[0], &arena_eps, "engine eps={}", eps);
+                prop_assert_eq!(&streamed(&wg, q, 2), &arena_eps, "streamed eps={}", eps);
+            }
+        }
+    }
+
+    /// Every built-in aggregation, pinned across all four paths at once
+    /// — including the PR-4 additions (`top-t-sum`, `percentile`,
+    /// `geo-mean`). Aggregations with a polynomial certificate run
+    /// unconstrained; the NP-hard rest run through their size-bounded
+    /// local-search route, whose single-worker paths are all
+    /// bit-identical by contract.
+    #[test]
+    fn every_builtin_agrees_across_all_paths(wg in arb_workload(), k in 1usize..4) {
+        for agg in Aggregation::builtins() {
+            let certs = agg.certificates();
+            let unconstrained = certs.peel_extremum.is_some() || certs.removal_decreasing;
+            let q = if unconstrained {
+                Query::new(k, 3, agg)
+            } else {
+                Query::new(k, 3, agg).size_bound(k + 4, true)
+            };
+            // Reference (oracle) path.
+            let reference = if let Some(ext) = certs.peel_extremum {
+                match ext {
+                    ic_core::Extremum::Min => oracle::min_topr(&wg, k, 3).unwrap(),
+                    ic_core::Extremum::Max => oracle::max_topr(&wg, k, 3).unwrap(),
+                }
+            } else if certs.removal_decreasing {
+                oracle::tic_improved(&wg, k, 3, agg, 0.0).unwrap()
+            } else {
+                let config = LocalSearchConfig { k, r: 3, s: k + 4, greedy: true };
+                let seq = algo::local_search(&wg, &config, agg).unwrap();
+                let par1 = algo::par_local_search(&wg, &config, agg, 1).unwrap();
+                prop_assert_eq!(&par1, &seq, "par(1) {}", agg.name());
+                seq
+            };
+            // Arena ≡ oracle.
+            let arena = arena_solve(&wg, q);
+            prop_assert_eq!(&arena, &reference, "{} arena k={}", agg.name(), k);
+            // Engine-batched ≡ arena (single worker keeps the heuristic
+            // route bit-deterministic).
+            let got = unwrap_batch(engine(&wg, 1).run_batch(&[q]));
+            prop_assert_eq!(&got[0], &arena, "{} engine k={}", agg.name(), k);
+            // Streamed ≡ arena.
+            prop_assert_eq!(&streamed(&wg, q, 1), &arena, "{} streamed k={}", agg.name(), k);
+            // Every community checks out structurally and value-wise.
+            let bound = if unconstrained { None } else { Some(k + 4) };
+            for c in &arena {
+                prop_assert!(
+                    check_community(&wg, k, bound, agg, c).is_ok(),
+                    "{} invalid community {:?}", agg.name(), c.vertices
+                );
             }
         }
     }
@@ -163,6 +243,9 @@ proptest! {
             Aggregation::Min,
             Aggregation::Sum,
             Aggregation::SumSurplus { alpha: 0.25 },
+            Aggregation::TopTSum { t: 2 },
+            Aggregation::Percentile { p: 0.75 },
+            Aggregation::GeometricMean,
         ];
         for &agg in &aggs {
             let config = LocalSearchConfig { k, r: 3, s, greedy };
@@ -230,7 +313,7 @@ fn exhaustive_oracle_anchors_every_path_on_tiny_graphs() {
             for r in [1usize, 2, 50] {
                 let exact_min = algo::exact_topr(&wg, k, r, None, Aggregation::Min).unwrap();
                 assert_eq!(
-                    algo::min_topr(&wg, k, r).unwrap(),
+                    arena_solve(&wg, Query::new(k, r, Aggregation::Min)),
                     exact_min,
                     "min vs exhaustive seed={seed} k={k} r={r}"
                 );
@@ -281,11 +364,60 @@ fn edge_cases_agree_across_paths() {
     // r > #communities returns every community once, identically.
     let all_min = unwrap_batch(eng.run_batch(&[Query::new(2, 10_000, Aggregation::Min)]));
     assert!(!all_min[0].is_empty());
-    let again = algo::min_topr(&wg, 2, 10_000).unwrap();
+    let again = Query::new(2, 10_000, Aggregation::Min).solve(&wg).unwrap();
     assert_eq!(all_min[0], again);
 
     // r = 0 is an error on every path.
-    assert!(algo::min_topr(&wg, 2, 0).is_err());
+    assert!(Query::new(2, 0, Aggregation::Min).solve(&wg).is_err());
     assert!(oracle::min_topr(&wg, 2, 0).is_err());
     assert!(eng.run_batch(&[Query::new(2, 0, Aggregation::Min)])[0].is_err());
+}
+
+/// Regression (PR 4, satellite): `BalancedDensity`'s `−∞` sentinel must
+/// behave identically on every path — a community carrying a weight
+/// majority surfaces with its finite value, minority communities rank
+/// as `−∞` and are never served as positive hits, and all four paths
+/// agree bit for bit.
+#[test]
+fn balanced_density_sentinel_is_consistent_across_paths() {
+    // Two triangles; the heavy one owns ~90% of the total weight, so it
+    // is the unique finite-valued community. A third, disconnected
+    // light pair pads the total.
+    let g =
+        ic_graph::graph_from_edges(8, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (6, 7)]);
+    let wg = WeightedGraph::new(g, vec![100.0, 120.0, 110.0, 5.0, 6.0, 7.0, 10.0, 12.0]).unwrap();
+    let q = Query::new(2, 3, Aggregation::BalancedDensity).size_bound(6, true);
+
+    let config = LocalSearchConfig {
+        k: 2,
+        r: 3,
+        s: 6,
+        greedy: true,
+    };
+    let seq = algo::local_search(&wg, &config, Aggregation::BalancedDensity).unwrap();
+    let arena = arena_solve(&wg, q);
+    let batched = unwrap_batch(engine(&wg, 1).run_batch(&[q]));
+    let stream = streamed(&wg, q, 1);
+    assert_eq!(arena, seq, "arena vs sequential");
+    assert_eq!(batched[0], seq, "engine vs sequential");
+    assert_eq!(stream, seq, "streamed vs sequential");
+
+    // The majority triangle is found with its finite value; no −∞
+    // community is served as a positive hit by the heuristic route.
+    assert!(!seq.is_empty(), "majority community must be found");
+    for c in &seq {
+        assert!(c.value.is_finite(), "served {:?} at −∞", c.vertices);
+        let w: f64 = c.vertices.iter().map(|&v| wg.weight(v)).sum();
+        assert!(2.0 * w > wg.total_weight(), "finite value implies majority");
+    }
+
+    // The exhaustive oracle ranks −∞ (minority) communities last but
+    // keeps them — deduped and tie-broken deterministically.
+    let all = algo::exact_topr(&wg, 2, 50, None, Aggregation::BalancedDensity).unwrap();
+    let finite: Vec<_> = all.iter().filter(|c| c.value.is_finite()).collect();
+    let sentinel: Vec<_> = all.iter().filter(|c| !c.value.is_finite()).collect();
+    assert!(!finite.is_empty() && !sentinel.is_empty());
+    // Finite values strictly precede every sentinel entry.
+    let first_sentinel = all.iter().position(|c| !c.value.is_finite()).unwrap();
+    assert!(all[first_sentinel..].iter().all(|c| !c.value.is_finite()));
 }

@@ -3,6 +3,17 @@
 //! Theorem-6 bound), and every solver's output must verify.
 
 use ic_core::algo::{self, ImprovedOptions};
+use ic_core::Query;
+
+/// Algorithm 1 on a fresh snapshot (shared harness; the per-graph free
+/// function was removed from the public API in PR 4).
+fn sum_naive_on_fresh(
+    wg: &ic_graph::WeightedGraph,
+    k: usize,
+    r: usize,
+) -> Result<Vec<ic_core::Community>, ic_core::SearchError> {
+    ic_bench::harness::sum_naive(wg, k, r, Aggregation::Sum)
+}
 use ic_core::verify::check_community;
 use ic_core::Aggregation;
 use ic_gen::datasets::{by_name, Profile};
@@ -18,8 +29,8 @@ fn naive_equals_improved_on_email() {
     let wg = email();
     for k in [4usize, 8] {
         for r in [1usize, 5] {
-            let naive = algo::sum_naive(&wg, k, r, Aggregation::Sum).unwrap();
-            let improved = algo::tic_improved(&wg, k, r, Aggregation::Sum, 0.0).unwrap();
+            let naive = sum_naive_on_fresh(&wg, k, r).unwrap();
+            let improved = Query::new(k, r, Aggregation::Sum).solve(&wg).unwrap();
             let nv: Vec<f64> = naive.iter().map(|c| c.value).collect();
             let iv: Vec<f64> = improved.iter().map(|c| c.value).collect();
             assert_eq!(nv.len(), iv.len(), "k={k} r={r}");
@@ -35,10 +46,13 @@ fn approx_bound_holds_across_epsilons_on_email() {
     let wg = email();
     let k = 4;
     let r = 5;
-    let exact = algo::tic_improved(&wg, k, r, Aggregation::Sum, 0.0).unwrap();
+    let exact = Query::new(k, r, Aggregation::Sum).solve(&wg).unwrap();
     let re = exact.last().unwrap().value;
     for eps in [0.01, 0.05, 0.1, 0.2, 0.5] {
-        let approx = algo::tic_improved(&wg, k, r, Aggregation::Sum, eps).unwrap();
+        let approx = Query::new(k, r, Aggregation::Sum)
+            .approx(eps)
+            .solve(&wg)
+            .unwrap();
         assert_eq!(approx.len(), r);
         let ra = approx.last().unwrap().value;
         assert!(ra >= (1.0 - eps) * re - 1e-9, "eps={eps}: ra={ra} re={re}");
@@ -51,7 +65,7 @@ fn approx_bound_holds_across_epsilons_on_email() {
 #[test]
 fn pruning_ablations_preserve_exactness() {
     let wg = email();
-    let base = algo::tic_improved(&wg, 6, 5, Aggregation::Sum, 0.0).unwrap();
+    let base = Query::new(6, 5, Aggregation::Sum).solve(&wg).unwrap();
     for opts in [
         ImprovedOptions {
             epsilon: 0.0,
@@ -76,7 +90,7 @@ fn pruning_ablations_preserve_exactness() {
 #[test]
 fn min_and_max_baselines_verify_on_email() {
     let wg = email();
-    let min = algo::min_topr(&wg, 6, 5).unwrap();
+    let min = Query::new(6, 5, Aggregation::Min).solve(&wg).unwrap();
     assert!(!min.is_empty());
     for c in &min {
         check_community(&wg, 6, None, Aggregation::Min, c).unwrap();
@@ -85,7 +99,7 @@ fn min_and_max_baselines_verify_on_email() {
     for w in min.windows(2) {
         assert!(w[0].value >= w[1].value);
     }
-    let max = algo::max_topr(&wg, 6, 5).unwrap();
+    let max = Query::new(6, 5, Aggregation::Max).solve(&wg).unwrap();
     for c in &max {
         check_community(&wg, 6, None, Aggregation::Max, c).unwrap();
     }
@@ -121,9 +135,10 @@ fn parallel_and_sequential_local_search_agree_on_quality() {
 #[test]
 fn sum_surplus_tracks_sum_plus_alpha_times_size() {
     let wg = email();
-    let sum = algo::tic_improved(&wg, 4, 3, Aggregation::Sum, 0.0).unwrap();
-    let surplus =
-        algo::tic_improved(&wg, 4, 3, Aggregation::SumSurplus { alpha: 0.001 }, 0.0).unwrap();
+    let sum = Query::new(4, 3, Aggregation::Sum).solve(&wg).unwrap();
+    let surplus = Query::new(4, 3, Aggregation::SumSurplus { alpha: 0.001 })
+        .solve(&wg)
+        .unwrap();
     // With PageRank weights summing to 1 and communities of hundreds of
     // vertices, a per-member bonus shifts values but both solvers return
     // valid communities.

@@ -113,30 +113,41 @@ fn larger_s_never_hurts_greedy_sum_quality() {
 
 #[test]
 fn error_paths_are_typed_not_panics() {
+    use ic_core::Query;
+    use ic_kcore::{GraphSnapshot, PeelArena};
     let wg = email();
+    let snap = GraphSnapshot::new(wg.clone());
+    let mut arena = PeelArena::for_graph(snap.graph());
 
-    // r = 0 everywhere.
+    // r = 0 on every routed path and on the Algorithm-1 entry point.
     assert!(matches!(
-        algo::sum_naive(&wg, 4, 0, Aggregation::Sum),
+        algo::sum_naive_on(&snap, 4, 0, Aggregation::Sum, &mut arena),
         Err(SearchError::InvalidParams(_))
     ));
-    assert!(algo::tic_improved(&wg, 4, 0, Aggregation::Sum, 0.0).is_err());
-    assert!(algo::min_topr(&wg, 4, 0).is_err());
+    assert!(Query::new(4, 0, Aggregation::Sum).solve(&wg).is_err());
+    assert!(Query::new(4, 0, Aggregation::Min).solve(&wg).is_err());
 
-    // Unsupported aggregations for Corollary-2 solvers.
+    // Aggregations without the removal-decreasing certificate are
+    // rejected by the Corollary-2 solvers.
     for agg in [
         Aggregation::Average,
         Aggregation::Min,
         Aggregation::BalancedDensity,
+        Aggregation::TopTSum { t: 2 },
+        Aggregation::Percentile { p: 0.5 },
+        Aggregation::GeometricMean,
     ] {
         assert!(matches!(
-            algo::sum_naive(&wg, 4, 5, agg),
+            algo::sum_naive_on(&snap, 4, 5, agg, &mut arena),
             Err(SearchError::UnsupportedAggregation { .. })
         ));
     }
 
     // epsilon out of range.
-    assert!(algo::tic_improved(&wg, 4, 5, Aggregation::Sum, 1.0).is_err());
+    assert!(Query::new(4, 5, Aggregation::Sum)
+        .approx(1.0)
+        .solve(&wg)
+        .is_err());
 
     // s <= k for local search.
     let bad = LocalSearchConfig {
@@ -151,7 +162,7 @@ fn error_paths_are_typed_not_panics() {
     ));
 
     // k above kmax: valid call, empty result.
-    let res = algo::tic_improved(&wg, 10_000, 3, Aggregation::Sum, 0.0).unwrap();
+    let res = Query::new(10_000, 3, Aggregation::Sum).solve(&wg).unwrap();
     assert!(res.is_empty());
 }
 

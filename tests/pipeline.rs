@@ -4,7 +4,7 @@
 use ic_centrality::{degree_centrality, pagerank, PageRankConfig};
 use ic_core::algo::{self, LocalSearchConfig};
 use ic_core::verify::check_community;
-use ic_core::Aggregation;
+use ic_core::{Aggregation, Query};
 use ic_gen::datasets::{by_name, Profile};
 use ic_gen::{aminer_network, GraphSeed};
 use ic_graph::{io, WeightedGraph};
@@ -21,9 +21,12 @@ fn generate_pagerank_search_verify_email() {
 
     // Unconstrained search: Improve and Approx agree within the bound.
     let k = spec.default_k;
-    let exact = algo::tic_improved(&wg, k, 5, Aggregation::Sum, 0.0).unwrap();
+    let exact = Query::new(k, 5, Aggregation::Sum).solve(&wg).unwrap();
     assert_eq!(exact.len(), 5);
-    let approx = algo::tic_improved(&wg, k, 5, Aggregation::Sum, 0.1).unwrap();
+    let approx = Query::new(k, 5, Aggregation::Sum)
+        .approx(0.1)
+        .solve(&wg)
+        .unwrap();
     assert!(approx.last().unwrap().value >= 0.9 * exact.last().unwrap().value - 1e-12);
     for c in exact.iter().chain(&approx) {
         check_community(&wg, k, None, Aggregation::Sum, c).unwrap();
@@ -66,8 +69,8 @@ fn graph_round_trips_through_binary_and_text_io() {
     let w = pagerank(&g, &PageRankConfig::default());
     let wg = WeightedGraph::new(g, w.clone()).unwrap();
     let wg2 = WeightedGraph::new(g2, w).unwrap();
-    let a = algo::tic_improved(&wg, 4, 3, Aggregation::Sum, 0.0).unwrap();
-    let b = algo::tic_improved(&wg2, 4, 3, Aggregation::Sum, 0.0).unwrap();
+    let a = Query::new(4, 3, Aggregation::Sum).solve(&wg).unwrap();
+    let b = Query::new(4, 3, Aggregation::Sum).solve(&wg2).unwrap();
     assert_eq!(a, b);
 }
 
@@ -79,7 +82,7 @@ fn alternative_centralities_plug_in_as_weights() {
     // Degree and neighborhood-H-index weights both drive a valid search.
     for weights in [degree_centrality(&g), ic_centrality::neighbor_hindex(&g)] {
         let wg = WeightedGraph::new(g.clone(), weights).unwrap();
-        let res = algo::min_topr(&wg, 4, 3).unwrap();
+        let res = Query::new(4, 3, Aggregation::Min).solve(&wg).unwrap();
         for c in &res {
             check_community(&wg, 4, None, Aggregation::Min, c).unwrap();
         }
@@ -141,7 +144,10 @@ fn all_quick_datasets_generate_and_search() {
         let wg = spec.generate_weighted();
         assert_eq!(wg.num_vertices(), spec.n);
         let k = spec.default_k;
-        let res = algo::tic_improved(&wg, k, 3, Aggregation::Sum, 0.1).unwrap();
+        let res = Query::new(k, 3, Aggregation::Sum)
+            .approx(0.1)
+            .solve(&wg)
+            .unwrap();
         assert!(!res.is_empty(), "{} found no communities", spec.name);
         for c in &res {
             check_community(&wg, k, None, Aggregation::Sum, c).unwrap();
