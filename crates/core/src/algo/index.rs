@@ -1,78 +1,210 @@
-//! Extension: an ICP-style index for the classic `min` model.
+//! Precomputed **extremum community forests**: index-served top-r for
+//! every peel-extremum aggregation.
 //!
 //! Li et al. (VLDB'15) and Bi et al. (VLDB'18) — the prior work the paper
-//! builds on — answer top-r min queries from a precomputed structure
-//! instead of re-peeling the graph. This module implements that idea: a
-//! one-shot `O(n + m)`-space **nested community forest** built from a
-//! single peel, from which
+//! builds on — answer top-r `min` queries from a precomputed structure
+//! instead of re-peeling the graph. [`ExtremumIndex`] generalizes that
+//! idea to *any* aggregation whose [`Certificates`](crate::Certificates)
+//! declare [`peel_extremum`](crate::Certificates::peel_extremum) — `min`
+//! and `max` built-ins, plus user-defined functions certified with the
+//! same property. One peel plus one reverse union-find pass builds an
+//! `O(n + m)`-space **nested community forest** for a `(k, direction)`
+//! pair, from which
 //!
-//! * [`MinCommunityIndex::topr`] answers top-r queries in output-sensitive
-//!   time (`O(r + Σ |community|)`),
-//! * [`MinCommunityIndex::minimal_community_of`] returns the smallest
-//!   community containing a vertex,
-//! * [`MinCommunityIndex::chain_of`] lists the full nesting chain of
+//! * [`ExtremumIndex::topr`] answers top-r queries in output-sensitive
+//!   `O(r + Σ |community|)` time, bit-identical to the online peel
+//!   solvers (`Query::solve` routed to `MinPeel`/`MaxPeel`);
+//! * [`ExtremumIndex::minimal_community_of`] returns the smallest
+//!   community containing a vertex;
+//! * [`ExtremumIndex::chain_of`] lists the full nesting chain of
 //!   communities around a vertex (innermost first).
 //!
-//! Every k-influential community under `min` corresponds to exactly one
-//! node of the forest; a node's community is the union of the vertex
-//! *batches* (min vertex + cascade victims) over its subtree.
+//! Every k-influential community under the peel direction corresponds to
+//! exactly one node of the forest; a node's community is the union of the
+//! vertex *batches* (extreme vertex + cascade victims) over its subtree.
+//!
+//! The forest is stored flat (structure-of-arrays, `u32` ids and
+//! offsets), which is what makes it **persistable**: `ic-store` writes
+//! the arrays byte-for-byte into its `ICS1` format and reassembles them
+//! through [`ExtremumIndex::from_parts`], whose structural validation
+//! makes a corrupt or inconsistent file fail closed instead of serving a
+//! silently wrong forest. [`ExtremumIndex::cached`] memoizes a forest on
+//! a [`GraphSnapshot`] so the batched engine serves every exact-tie
+//! peel-extremum query from it; a snapshot swapped in after a graph
+//! update starts with an empty extension cache, which is exactly the
+//! staleness story — stale forests are never consulted, and rebuild
+//! lazily per `(k, direction)` on the next query.
+//!
+//! [`MinCommunityIndex`] survives as a thin wrapper over the `min`
+//! direction for pre-PR-5 callers.
 
 use crate::algo::common::{community_from_vertices, validate_k_r};
-use crate::{Aggregation, Community, SearchError};
+use crate::{Aggregation, Community, Extremum, SearchError};
 use ic_graph::{UnionFind, VertexId, WeightedGraph};
-use ic_kcore::kcore_mask;
-use std::collections::VecDeque;
+use ic_kcore::{kcore_mask, GraphSnapshot};
+use std::sync::Arc;
 
-/// One node of the nested community forest = one maximal community.
-#[derive(Clone, Debug)]
-struct IndexNode {
-    /// `f(H) = min` weight of the community (the weight of `min_vertex`).
-    value: f64,
-    /// The vertex whose removal ended this community.
-    min_vertex: VertexId,
-    /// Vertices removed at this node's event (min vertex + cascade).
-    batch: Vec<VertexId>,
-    /// Child nodes (the communities the removal split this one into).
-    children: Vec<u32>,
-    /// Parent node, if any (the next-larger containing community).
-    parent: Option<u32>,
-    /// Community size (cached: |batch| + Σ child sizes).
-    size: usize,
-}
+/// Sentinel for "no node" in the flat `u32` id arrays.
+const NONE: u32 = u32::MAX;
 
-/// Precomputed index over all k-influential communities under `min`.
-#[derive(Clone, Debug)]
-pub struct MinCommunityIndex {
+/// Precomputed nested community forest over all k-influential
+/// communities of one `(k, peel direction)` pair. See the module docs.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExtremumIndex {
     k: usize,
-    nodes: Vec<IndexNode>,
-    /// Node ids sorted by (value desc, seq asc): the top-r answer order.
+    extremum: Extremum,
+    num_vertices: usize,
+    /// Per node: the community's value (the extreme member weight —
+    /// the weight of `event_vertex`).
+    values: Vec<f64>,
+    /// Per node: the vertex whose removal ended this community. Always
+    /// the first entry of the node's batch.
+    event_vertex: Vec<VertexId>,
+    /// Per node: the next-larger containing community ([`NONE`] at a
+    /// forest root).
+    parent: Vec<u32>,
+    /// Per node: community size (`|batch| + Σ child sizes`).
+    size: Vec<u32>,
+    /// `batch_offsets[i]..batch_offsets[i+1]` indexes `batch_vertices`.
+    batch_offsets: Vec<u32>,
+    /// Concatenated removal batches (extreme vertex + cascade victims);
+    /// the batches partition the maximal k-core.
+    batch_vertices: Vec<VertexId>,
+    /// `child_offsets[i]..child_offsets[i+1]` indexes `child_ids`.
+    child_offsets: Vec<u32>,
+    /// Concatenated child node ids.
+    child_ids: Vec<u32>,
+    /// All node ids sorted by (value desc, event seq asc): the top-r
+    /// answer order, matching the peel solvers' event selection.
     ranked: Vec<u32>,
-    /// For each vertex, the node whose batch contains it (None if the
-    /// vertex is outside the maximal k-core).
-    vertex_node: Vec<Option<u32>>,
+    /// Per vertex: the node whose batch contains it ([`NONE`] outside
+    /// the maximal k-core).
+    vertex_node: Vec<u32>,
 }
 
-impl MinCommunityIndex {
-    /// Builds the index with one peel + one reverse union-find pass.
-    pub fn build(wg: &WeightedGraph, k: usize) -> Self {
+/// Borrowed view of an [`ExtremumIndex`]'s flat arrays — exactly what
+/// `ic-store` persists and what [`ExtremumIndex::from_parts`] accepts
+/// back (as owned vectors).
+#[derive(Clone, Copy, Debug)]
+pub struct IndexParts<'a> {
+    /// Degree constraint the forest was built for.
+    pub k: usize,
+    /// Peel direction.
+    pub extremum: Extremum,
+    /// Vertex count of the graph the forest describes.
+    pub num_vertices: usize,
+    /// Per-node community values.
+    pub values: &'a [f64],
+    /// Per-node event vertices.
+    pub event_vertex: &'a [VertexId],
+    /// Per-node parent links (`u32::MAX` at roots).
+    pub parent: &'a [u32],
+    /// Per-node community sizes.
+    pub size: &'a [u32],
+    /// Batch offsets (`len = nodes + 1`).
+    pub batch_offsets: &'a [u32],
+    /// Concatenated batch vertices.
+    pub batch_vertices: &'a [VertexId],
+    /// Child offsets (`len = nodes + 1`).
+    pub child_offsets: &'a [u32],
+    /// Concatenated child ids.
+    pub child_ids: &'a [u32],
+    /// Rank order (permutation of node ids).
+    pub ranked: &'a [u32],
+    /// Per-vertex containing node (`u32::MAX` outside the k-core).
+    pub vertex_node: &'a [u32],
+}
+
+impl ExtremumIndex {
+    /// Builds the forest with one peel + one reverse union-find pass.
+    pub fn build(wg: &WeightedGraph, k: usize, extremum: Extremum) -> Self {
+        let core: Vec<VertexId> = kcore_mask(wg.graph(), k).iter().map(|v| v as u32).collect();
+        Self::build_from_core(wg, k, extremum, core)
+    }
+
+    /// [`ExtremumIndex::build`] against a snapshot's memoized core level
+    /// (no from-scratch k-core extraction).
+    pub fn build_on(snap: &GraphSnapshot, k: usize, extremum: Extremum) -> Self {
+        let core: Vec<VertexId> = snap.level(k).mask.iter().map(|v| v as u32).collect();
+        Self::build_from_core(snap.weighted(), k, extremum, core)
+    }
+
+    /// The forest for `(k, extremum)` memoized on `snap`, built on first
+    /// use. This is the engine's index-serving entry point: every batch
+    /// and every process sharing the snapshot shares one forest, and a
+    /// post-update snapshot (new epoch) rebuilds lazily instead of
+    /// serving stale structure.
+    pub fn cached(snap: &GraphSnapshot, k: usize, extremum: Extremum) -> Arc<ExtremumIndex> {
+        snap.extension(k, Self::tag(extremum), || Self::build_on(snap, k, extremum))
+    }
+
+    /// Seeds `snap`'s extension cache with a prebuilt forest (e.g. one
+    /// loaded from an `ic-store` file). Returns `false` when that
+    /// `(k, direction)` slot is already populated.
+    ///
+    /// # Panics
+    /// Panics when the forest describes a different vertex count than
+    /// the snapshot's graph.
+    pub fn seed(snap: &GraphSnapshot, index: ExtremumIndex) -> bool {
+        assert_eq!(
+            index.num_vertices,
+            snap.weighted().num_vertices(),
+            "forest built for a different vertex set"
+        );
+        let (k, tag) = (index.k, Self::tag(index.extremum));
+        snap.seed_extension(k, tag, Arc::new(index))
+    }
+
+    /// Every forest memoized on `snap`, in ascending `(k, direction)`
+    /// order — the persistence walk of `Engine::persist`.
+    pub fn memoized(snap: &GraphSnapshot) -> Vec<Arc<ExtremumIndex>> {
+        snap.memoized_extensions::<ExtremumIndex>()
+            .into_iter()
+            .map(|(_, _, idx)| idx)
+            .collect()
+    }
+
+    /// Stable extension tag of a peel direction.
+    fn tag(extremum: Extremum) -> u8 {
+        match extremum {
+            Extremum::Min => 0,
+            Extremum::Max => 1,
+        }
+    }
+
+    fn build_from_core(
+        wg: &WeightedGraph,
+        k: usize,
+        extremum: Extremum,
+        mut order: Vec<VertexId>,
+    ) -> Self {
         let g = wg.graph();
         let n = g.num_vertices();
-        let core = kcore_mask(g, k);
+
+        // Peel order: ascending weight for min, descending for max;
+        // vertex id breaks ties — the exact order of the online peel
+        // solvers, so event sequences (and hence tie-breaks) can never
+        // drift apart.
+        order.sort_unstable_by(|&a, &b| {
+            let (wa, wb) = (wg.weight(a), wg.weight(b));
+            let c = match extremum {
+                Extremum::Min => wa.total_cmp(&wb),
+                Extremum::Max => wb.total_cmp(&wa),
+            };
+            c.then_with(|| a.cmp(&b))
+        });
 
         // Forward peel, capturing per-event removal batches.
-        let mut order: Vec<VertexId> = core.iter().map(|v| v as u32).collect();
-        order.sort_unstable_by(|&a, &b| {
-            wg.weight(a)
-                .total_cmp(&wg.weight(b))
-                .then_with(|| a.cmp(&b))
-        });
-        let mut alive = core.clone();
-        let mut deg: Vec<u32> = vec![0; n];
-        for v in alive.iter() {
-            deg[v] = g.degree_within(v as u32, &alive) as u32;
+        let mut alive = ic_graph::BitSet::new(n);
+        for &v in &order {
+            alive.insert(v as usize);
         }
-        let mut events: Vec<(VertexId, Vec<VertexId>)> = Vec::new();
-        let mut queue: VecDeque<VertexId> = VecDeque::new();
+        let mut deg: Vec<u32> = vec![0; n];
+        for &v in &order {
+            deg[v as usize] = g.degree_within(v, &alive) as u32;
+        }
+        let mut events: Vec<Vec<VertexId>> = Vec::new();
+        let mut queue: std::collections::VecDeque<VertexId> = std::collections::VecDeque::new();
         for &v in &order {
             if !alive.contains(v as usize) {
                 continue;
@@ -92,33 +224,43 @@ impl MinCommunityIndex {
                     }
                 }
             }
-            events.push((v, batch));
+            events.push(batch);
         }
+        let nodes = events.len();
 
         // Reverse pass: re-add batches, union components, link children.
-        let mut nodes: Vec<IndexNode> = Vec::with_capacity(events.len());
-        let mut vertex_node: Vec<Option<u32>> = vec![None; n];
+        // Node id == forward event sequence number.
+        let mut values = vec![0.0f64; nodes];
+        let mut event_vertex = vec![0u32; nodes];
+        let mut parent = vec![NONE; nodes];
+        let mut size = vec![0u32; nodes];
+        let mut children: Vec<Vec<u32>> = vec![Vec::new(); nodes];
+        let mut vertex_node = vec![NONE; n];
         let mut uf = UnionFind::new(n);
         let mut present = ic_graph::BitSet::new(n);
+        let mut in_batch = ic_graph::BitSet::new(n);
         // Root of a present component -> its latest claiming node.
-        let mut root_node: Vec<Option<u32>> = vec![None; n];
-        // Nodes are created in reverse event order, then re-indexed.
-        for (seq, (min_vertex, batch)) in events.iter().enumerate().rev() {
-            let mut in_batch = std::collections::HashSet::new();
+        let mut root_node: Vec<u32> = vec![NONE; n];
+        for (seq, batch) in events.iter().enumerate().rev() {
+            let seq = seq as u32;
             for &u in batch {
                 present.insert(u as usize);
-                in_batch.insert(u);
+                in_batch.insert(u as usize);
             }
             // Phase 1: collect the claims of the pre-existing components
-            // this batch touches — their roots are still intact because no
-            // cross-component union has happened yet.
-            let mut children: Vec<u32> = Vec::new();
+            // this batch touches — their roots are still intact because
+            // no cross-component union has happened yet.
+            let mut sz = batch.len() as u32;
             for &u in batch {
                 for &w in g.neighbors(u) {
-                    if present.contains(w as usize) && !in_batch.contains(&w) {
-                        let old_root = uf.find(w);
-                        if let Some(c) = root_node[old_root as usize].take() {
-                            children.push(c);
+                    if present.contains(w as usize) && !in_batch.contains(w as usize) {
+                        let old_root = uf.find(w) as usize;
+                        let c = root_node[old_root];
+                        if c != NONE {
+                            root_node[old_root] = NONE;
+                            parent[c as usize] = seq;
+                            sz += size[c as usize];
+                            children[seq as usize].push(c);
                         }
                     }
                 }
@@ -131,81 +273,136 @@ impl MinCommunityIndex {
                         uf.union(u, w);
                     }
                 }
+                vertex_node[u as usize] = seq;
+                in_batch.remove(u as usize);
             }
-            let new_root = uf.find(*min_vertex);
-            let node_id = nodes.len() as u32;
-            let size: usize = batch.len()
-                + children
-                    .iter()
-                    .map(|&c| nodes[c as usize].size)
-                    .sum::<usize>();
-            for &c in &children {
-                nodes[c as usize].parent = Some(node_id);
-            }
-            for &u in batch {
-                vertex_node[u as usize] = Some(node_id);
-            }
-            nodes.push(IndexNode {
-                value: wg.weight(*min_vertex),
-                min_vertex: *min_vertex,
-                batch: batch.clone(),
-                children,
-                parent: None,
-                size,
-            });
-            root_node[new_root as usize] = Some(node_id);
-            let _ = seq;
+            let extreme = batch[0];
+            values[seq as usize] = wg.weight(extreme);
+            event_vertex[seq as usize] = extreme;
+            size[seq as usize] = sz;
+            root_node[uf.find(extreme) as usize] = seq;
         }
 
-        // Rank nodes by (value desc, forward seq asc). Nodes were created
-        // in reverse order, so forward seq = events.len() - 1 - node_id.
-        let mut ranked: Vec<u32> = (0..nodes.len() as u32).collect();
+        // Rank nodes by (value desc, event seq asc) — the peel solvers'
+        // event-selection order.
+        let mut ranked: Vec<u32> = (0..nodes as u32).collect();
         ranked.sort_by(|&a, &b| {
-            let (na, nb) = (&nodes[a as usize], &nodes[b as usize]);
-            nb.value.total_cmp(&na.value).then_with(|| b.cmp(&a)) // larger node id = earlier event
+            values[b as usize]
+                .total_cmp(&values[a as usize])
+                .then_with(|| a.cmp(&b))
         });
 
-        MinCommunityIndex {
+        // Flatten batches and children.
+        let mut batch_offsets = Vec::with_capacity(nodes + 1);
+        let mut batch_vertices = Vec::new();
+        batch_offsets.push(0u32);
+        for batch in &events {
+            batch_vertices.extend_from_slice(batch);
+            batch_offsets.push(batch_vertices.len() as u32);
+        }
+        let mut child_offsets = Vec::with_capacity(nodes + 1);
+        let mut child_ids = Vec::new();
+        child_offsets.push(0u32);
+        for c in &children {
+            child_ids.extend_from_slice(c);
+            child_offsets.push(child_ids.len() as u32);
+        }
+
+        ExtremumIndex {
             k,
-            nodes,
+            extremum,
+            num_vertices: n,
+            values,
+            event_vertex,
+            parent,
+            size,
+            batch_offsets,
+            batch_vertices,
+            child_offsets,
+            child_ids,
             ranked,
             vertex_node,
         }
     }
 
-    /// The degree constraint this index was built for.
+    /// The degree constraint this forest was built for.
     pub fn k(&self) -> usize {
         self.k
     }
 
+    /// The peel direction this forest serves.
+    pub fn extremum(&self) -> Extremum {
+        self.extremum
+    }
+
+    /// Vertex count of the graph the forest describes.
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
     /// Total number of maximal communities in the graph.
     pub fn len(&self) -> usize {
-        self.nodes.len()
+        self.values.len()
     }
 
     /// True when the k-core is empty (no communities exist).
     pub fn is_empty(&self) -> bool {
-        self.nodes.is_empty()
+        self.values.is_empty()
+    }
+
+    /// Whether this forest answers queries under `aggregation`: the
+    /// declared [`peel_extremum`](crate::Certificates::peel_extremum)
+    /// certificate must match the forest's direction. User-defined
+    /// aggregations certified `peel_extremum` are served exactly like
+    /// the built-ins.
+    pub fn serves(&self, aggregation: Aggregation) -> bool {
+        aggregation.certificates().peel_extremum == Some(self.extremum)
+    }
+
+    /// The built-in aggregation of the forest's direction, used to
+    /// evaluate materialized communities — the same call the peel
+    /// solvers make, so values are bit-identical by construction.
+    fn aggregation(&self) -> Aggregation {
+        match self.extremum {
+            Extremum::Min => Aggregation::Min,
+            Extremum::Max => Aggregation::Max,
+        }
+    }
+
+    fn batch(&self, node: u32) -> &[VertexId] {
+        let (lo, hi) = (
+            self.batch_offsets[node as usize] as usize,
+            self.batch_offsets[node as usize + 1] as usize,
+        );
+        &self.batch_vertices[lo..hi]
+    }
+
+    fn children(&self, node: u32) -> &[u32] {
+        let (lo, hi) = (
+            self.child_offsets[node as usize] as usize,
+            self.child_offsets[node as usize + 1] as usize,
+        );
+        &self.child_ids[lo..hi]
     }
 
     fn materialize(&self, node: u32) -> Vec<VertexId> {
-        let mut out = Vec::with_capacity(self.nodes[node as usize].size);
+        let mut out = Vec::with_capacity(self.size[node as usize] as usize);
         let mut stack = vec![node];
         while let Some(id) = stack.pop() {
-            let n = &self.nodes[id as usize];
-            out.extend_from_slice(&n.batch);
-            stack.extend_from_slice(&n.children);
+            out.extend_from_slice(self.batch(id));
+            stack.extend_from_slice(self.children(id));
         }
         out.sort_unstable();
         out
     }
 
     fn node_community(&self, wg: &WeightedGraph, node: u32) -> Community {
-        community_from_vertices(wg, Aggregation::Min, self.materialize(node))
+        community_from_vertices(wg, self.aggregation(), self.materialize(node))
     }
 
     /// Answers a top-r query in output-sensitive time. Results are
-    /// identical to the routed `min` peel (`Query::solve`) on the same graph.
+    /// bit-identical to the routed peel (`Query::solve` /
+    /// `Engine::run_batch`) on the same graph, ties included.
     pub fn topr(&self, wg: &WeightedGraph, r: usize) -> Result<Vec<Community>, SearchError> {
         validate_k_r(r)?;
         let mut out: Vec<Community> = self
@@ -221,34 +418,258 @@ impl MinCommunityIndex {
     /// The smallest community containing `v` (None when `v` is outside
     /// the maximal k-core).
     pub fn minimal_community_of(&self, wg: &WeightedGraph, v: VertexId) -> Option<Community> {
-        let node = self.vertex_node.get(v as usize).copied().flatten()?;
+        let node = *self.vertex_node.get(v as usize)?;
+        if node == NONE {
+            return None;
+        }
         Some(self.node_community(wg, node))
     }
 
     /// The nesting chain of communities containing `v`, innermost first,
     /// as `(value, size)` pairs — each step is a strictly larger maximal
-    /// community with a smaller (or equal) min value.
+    /// community whose value moves against the peel direction (smaller
+    /// for `min`, larger for `max`) or stays equal.
     pub fn chain_of(&self, v: VertexId) -> Vec<(f64, usize)> {
         let mut out = Vec::new();
-        let mut cur = self.vertex_node.get(v as usize).copied().flatten();
-        while let Some(id) = cur {
-            let n = &self.nodes[id as usize];
-            out.push((n.value, n.size));
-            cur = n.parent;
+        let mut cur = self.vertex_node.get(v as usize).copied().unwrap_or(NONE);
+        while cur != NONE {
+            out.push((self.values[cur as usize], self.size[cur as usize] as usize));
+            cur = self.parent[cur as usize];
         }
         out
     }
 
+    /// The extreme (peel-event) vertex of each indexed community, for
+    /// diagnostics.
+    pub fn extreme_vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        self.event_vertex.iter().copied()
+    }
+
+    /// Borrowed view of the flat arrays for persistence (`ic-store`).
+    pub fn parts(&self) -> IndexParts<'_> {
+        IndexParts {
+            k: self.k,
+            extremum: self.extremum,
+            num_vertices: self.num_vertices,
+            values: &self.values,
+            event_vertex: &self.event_vertex,
+            parent: &self.parent,
+            size: &self.size,
+            batch_offsets: &self.batch_offsets,
+            batch_vertices: &self.batch_vertices,
+            child_offsets: &self.child_offsets,
+            child_ids: &self.child_ids,
+            ranked: &self.ranked,
+            vertex_node: &self.vertex_node,
+        }
+    }
+
+    /// Reassembles a forest from persisted arrays, validating every
+    /// structural invariant so a corrupt or inconsistent file **fails
+    /// closed** with a description instead of producing a forest that
+    /// serves silently wrong answers: array arities, monotone offsets,
+    /// in-bounds ids, batch/vertex partition consistency, parent/child
+    /// mutuality, size sums, finite values, and the `(value desc, seq
+    /// asc)` rank order are all checked in `O(n + forest)` time.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_parts(
+        k: usize,
+        extremum: Extremum,
+        num_vertices: usize,
+        values: Vec<f64>,
+        event_vertex: Vec<VertexId>,
+        parent: Vec<u32>,
+        size: Vec<u32>,
+        batch_offsets: Vec<u32>,
+        batch_vertices: Vec<VertexId>,
+        child_offsets: Vec<u32>,
+        child_ids: Vec<u32>,
+        ranked: Vec<u32>,
+        vertex_node: Vec<u32>,
+    ) -> Result<Self, String> {
+        let nodes = values.len();
+        let arity_ok = event_vertex.len() == nodes
+            && parent.len() == nodes
+            && size.len() == nodes
+            && ranked.len() == nodes
+            && batch_offsets.len() == nodes + 1
+            && child_offsets.len() == nodes + 1
+            && vertex_node.len() == num_vertices;
+        if !arity_ok {
+            return Err(format!(
+                "forest array arity mismatch ({} nodes, {} vertices declared)",
+                nodes, num_vertices
+            ));
+        }
+        let offsets_ok = |offsets: &[u32], total: usize, what: &str| -> Result<(), String> {
+            if offsets.first() != Some(&0) {
+                return Err(format!("{what} offsets do not start at 0"));
+            }
+            if offsets.windows(2).any(|w| w[0] > w[1]) {
+                return Err(format!("{what} offsets decrease"));
+            }
+            if *offsets.last().expect("nodes + 1 >= 1") as usize != total {
+                return Err(format!("{what} offsets do not cover the value array"));
+            }
+            Ok(())
+        };
+        offsets_ok(&batch_offsets, batch_vertices.len(), "batch")?;
+        offsets_ok(&child_offsets, child_ids.len(), "child")?;
+        if batch_vertices.iter().any(|&v| v as usize >= num_vertices) {
+            return Err("batch vertex out of bounds".into());
+        }
+        let mut claimed = vec![false; num_vertices];
+        for &v in &batch_vertices {
+            if std::mem::replace(&mut claimed[v as usize], true) {
+                return Err(format!("vertex {v} appears in two batches"));
+            }
+        }
+        let mut child_seen = vec![false; nodes];
+        for i in 0..nodes {
+            if !values[i].is_finite() {
+                return Err(format!("non-finite forest value at node {i}"));
+            }
+            let (blo, bhi) = (batch_offsets[i] as usize, batch_offsets[i + 1] as usize);
+            if blo == bhi {
+                return Err(format!("empty batch at node {i}"));
+            }
+            if batch_vertices[blo] != event_vertex[i] {
+                return Err(format!("node {i} batch does not start at its event vertex"));
+            }
+            if parent[i] != NONE && parent[i] as usize >= nodes {
+                return Err(format!("parent of node {i} out of bounds"));
+            }
+            let mut sz = (bhi - blo) as u64;
+            for &c in &child_ids[child_offsets[i] as usize..child_offsets[i + 1] as usize] {
+                if c as usize >= nodes {
+                    return Err(format!("child of node {i} out of bounds"));
+                }
+                if std::mem::replace(&mut child_seen[c as usize], true) {
+                    return Err(format!("node {c} is a child of two parents"));
+                }
+                if parent[c as usize] != i as u32 {
+                    return Err(format!("child {c} does not point back to parent {i}"));
+                }
+                sz += size[c as usize] as u64;
+            }
+            if sz != size[i] as u64 {
+                return Err(format!("size of node {i} does not match its subtree"));
+            }
+        }
+        for (i, &p) in parent.iter().enumerate() {
+            if p != NONE && !child_seen[i] {
+                return Err(format!("node {i} has a parent but is nobody's child"));
+            }
+        }
+        let mut rank_seen = vec![false; nodes];
+        for &id in &ranked {
+            if id as usize >= nodes || std::mem::replace(&mut rank_seen[id as usize], true) {
+                return Err("rank order is not a permutation of the nodes".into());
+            }
+        }
+        if ranked.windows(2).any(|w| {
+            match values[w[1] as usize].total_cmp(&values[w[0] as usize]) {
+                std::cmp::Ordering::Greater => true, // better value ranked later
+                std::cmp::Ordering::Equal => w[1] < w[0], // tie broken against seq order
+                std::cmp::Ordering::Less => false,
+            }
+        }) {
+            return Err("rank order violates (value desc, seq asc)".into());
+        }
+        // vertex_node ↔ batch agreement in O(n): every batched vertex
+        // must map to exactly its batch's node, and every unbatched
+        // vertex to NONE (batches were already proven disjoint above).
+        for i in 0..nodes {
+            for &v in &batch_vertices[batch_offsets[i] as usize..batch_offsets[i + 1] as usize] {
+                if vertex_node[v as usize] != i as u32 {
+                    return Err(format!(
+                        "vertex {v} does not map back to its batch node {i}"
+                    ));
+                }
+            }
+        }
+        for (v, &node) in vertex_node.iter().enumerate() {
+            if node == NONE {
+                if claimed[v] {
+                    return Err(format!("vertex {v} is batched but marked outside the core"));
+                }
+            } else if !claimed[v] {
+                return Err(format!("vertex {v} maps to a node but is in no batch"));
+            }
+        }
+        Ok(ExtremumIndex {
+            k,
+            extremum,
+            num_vertices,
+            values,
+            event_vertex,
+            parent,
+            size,
+            batch_offsets,
+            batch_vertices,
+            child_offsets,
+            child_ids,
+            ranked,
+            vertex_node,
+        })
+    }
+}
+
+/// The classic `min`-model index of prior work (ICP-style), kept as a
+/// thin wrapper over the `min` direction of [`ExtremumIndex`].
+#[derive(Clone, Debug)]
+pub struct MinCommunityIndex(ExtremumIndex);
+
+impl MinCommunityIndex {
+    /// Builds the index with one peel + one reverse union-find pass.
+    pub fn build(wg: &WeightedGraph, k: usize) -> Self {
+        MinCommunityIndex(ExtremumIndex::build(wg, k, Extremum::Min))
+    }
+
+    /// The degree constraint this index was built for.
+    pub fn k(&self) -> usize {
+        self.0.k()
+    }
+
+    /// Total number of maximal communities in the graph.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when the k-core is empty (no communities exist).
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Answers a top-r query in output-sensitive time. Results are
+    /// identical to the routed `min` peel (`Query::solve`) on the same
+    /// graph.
+    pub fn topr(&self, wg: &WeightedGraph, r: usize) -> Result<Vec<Community>, SearchError> {
+        self.0.topr(wg, r)
+    }
+
+    /// The smallest community containing `v` (None when `v` is outside
+    /// the maximal k-core).
+    pub fn minimal_community_of(&self, wg: &WeightedGraph, v: VertexId) -> Option<Community> {
+        self.0.minimal_community_of(wg, v)
+    }
+
+    /// The nesting chain of communities containing `v`, innermost first,
+    /// as `(value, size)` pairs.
+    pub fn chain_of(&self, v: VertexId) -> Vec<(f64, usize)> {
+        self.0.chain_of(v)
+    }
+
     /// The min vertex of each indexed community, for diagnostics.
     pub fn min_vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
-        self.nodes.iter().map(|n| n.min_vertex)
+        self.0.extreme_vertices()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::algo::min_topr;
+    use crate::algo::{max_topr, min_topr};
     use crate::figure1::figure1;
     use ic_graph::graph_from_edges;
 
@@ -261,6 +682,138 @@ mod tests {
             let online = min_topr(&wg, 2, r).unwrap();
             assert_eq!(from_index, online, "r = {r}");
         }
+    }
+
+    #[test]
+    fn max_index_matches_online_max() {
+        let wg = figure1();
+        let idx = ExtremumIndex::build(&wg, 2, Extremum::Max);
+        for r in [1usize, 2, 3, 5, 10] {
+            assert_eq!(
+                idx.topr(&wg, r).unwrap(),
+                max_topr(&wg, 2, r).unwrap(),
+                "r = {r}"
+            );
+        }
+    }
+
+    #[test]
+    fn both_directions_match_the_peel_under_value_ties() {
+        // Two equal-weight triangles: events tie on value, so the rank
+        // order's sequence tie-break must match the peel's exactly.
+        let g = graph_from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]);
+        let wg = ic_graph::WeightedGraph::new(g, vec![3.0; 6]).unwrap();
+        for r in [1usize, 2, 5] {
+            let min_idx = ExtremumIndex::build(&wg, 2, Extremum::Min);
+            assert_eq!(
+                min_idx.topr(&wg, r).unwrap(),
+                min_topr(&wg, 2, r).unwrap(),
+                "min r = {r}"
+            );
+            let max_idx = ExtremumIndex::build(&wg, 2, Extremum::Max);
+            assert_eq!(
+                max_idx.topr(&wg, r).unwrap(),
+                max_topr(&wg, 2, r).unwrap(),
+                "max r = {r}"
+            );
+        }
+    }
+
+    #[test]
+    fn build_on_matches_build_and_caches_per_snapshot() {
+        let wg = figure1();
+        let snap = GraphSnapshot::new(wg.clone());
+        let direct = ExtremumIndex::build(&wg, 2, Extremum::Min);
+        let on_snap = ExtremumIndex::build_on(&snap, 2, Extremum::Min);
+        assert_eq!(direct, on_snap);
+        let a = ExtremumIndex::cached(&snap, 2, Extremum::Min);
+        let b = ExtremumIndex::cached(&snap, 2, Extremum::Min);
+        assert!(Arc::ptr_eq(&a, &b), "forest must be memoized");
+        assert_eq!(*a, direct);
+        // The two directions occupy distinct slots.
+        let m = ExtremumIndex::cached(&snap, 2, Extremum::Max);
+        assert_eq!(m.extremum(), Extremum::Max);
+    }
+
+    #[test]
+    fn serves_reads_the_peel_certificate() {
+        let wg = figure1();
+        let idx = ExtremumIndex::build(&wg, 2, Extremum::Min);
+        assert!(idx.serves(Aggregation::Min));
+        assert!(!idx.serves(Aggregation::Max));
+        assert!(!idx.serves(Aggregation::Sum));
+        let max_idx = ExtremumIndex::build(&wg, 2, Extremum::Max);
+        assert!(max_idx.serves(Aggregation::Max));
+        assert!(!max_idx.serves(Aggregation::Min));
+    }
+
+    #[test]
+    fn parts_round_trip_is_lossless() {
+        let wg = figure1();
+        for extremum in [Extremum::Min, Extremum::Max] {
+            let idx = ExtremumIndex::build(&wg, 2, extremum);
+            let p = idx.parts();
+            let back = ExtremumIndex::from_parts(
+                p.k,
+                p.extremum,
+                p.num_vertices,
+                p.values.to_vec(),
+                p.event_vertex.to_vec(),
+                p.parent.to_vec(),
+                p.size.to_vec(),
+                p.batch_offsets.to_vec(),
+                p.batch_vertices.to_vec(),
+                p.child_offsets.to_vec(),
+                p.child_ids.to_vec(),
+                p.ranked.to_vec(),
+                p.vertex_node.to_vec(),
+            )
+            .unwrap();
+            assert_eq!(back, idx);
+        }
+    }
+
+    type Mutator<'m> = &'m dyn Fn(&mut Vec<f64>, &mut Vec<u32>, &mut Vec<u32>);
+
+    #[test]
+    fn from_parts_rejects_inconsistent_arrays() {
+        let wg = figure1();
+        let idx = ExtremumIndex::build(&wg, 2, Extremum::Min);
+        let p = idx.parts();
+        let rebuild = |mutate: Mutator<'_>| {
+            let mut values = p.values.to_vec();
+            let mut ranked = p.ranked.to_vec();
+            let mut size = p.size.to_vec();
+            mutate(&mut values, &mut ranked, &mut size);
+            ExtremumIndex::from_parts(
+                p.k,
+                p.extremum,
+                p.num_vertices,
+                values,
+                p.event_vertex.to_vec(),
+                p.parent.to_vec(),
+                size,
+                p.batch_offsets.to_vec(),
+                p.batch_vertices.to_vec(),
+                p.child_offsets.to_vec(),
+                p.child_ids.to_vec(),
+                ranked,
+                p.vertex_node.to_vec(),
+            )
+        };
+        // Arity mismatch.
+        assert!(rebuild(&|values, _, _| {
+            values.pop();
+        })
+        .is_err());
+        // Non-finite value.
+        assert!(rebuild(&|values, _, _| values[0] = f64::NAN).is_err());
+        // Rank order not a permutation.
+        assert!(rebuild(&|_, ranked, _| ranked[0] = ranked[1]).is_err());
+        // Size inconsistent with the subtree.
+        assert!(rebuild(&|_, _, size| size[0] += 1).is_err());
+        // Rank order violating (value desc, seq asc).
+        assert!(rebuild(&|_, ranked, _| ranked.reverse()).is_err());
     }
 
     #[test]
@@ -320,6 +873,15 @@ mod tests {
                 assert!(w[0].0 >= w[1].0, "values must not grow: {chain:?}");
             }
         }
+        // Max direction: values must not *shrink* outward.
+        let idx = ExtremumIndex::build(&wg, 2, Extremum::Max);
+        for v in 0..11u32 {
+            let chain = idx.chain_of(v);
+            for w in chain.windows(2) {
+                assert!(w[0].1 < w[1].1, "sizes must grow: {chain:?}");
+                assert!(w[0].0 <= w[1].0, "values must not shrink: {chain:?}");
+            }
+        }
     }
 
     #[test]
@@ -327,10 +889,8 @@ mod tests {
         let wg = figure1();
         let idx = MinCommunityIndex::build(&wg, 2);
         let mut seen = std::collections::HashSet::new();
-        for node in &idx.nodes {
-            for &v in &node.batch {
-                assert!(seen.insert(v), "vertex {v} in two batches");
-            }
+        for v in &idx.0.batch_vertices {
+            assert!(seen.insert(*v), "vertex {v} in two batches");
         }
         assert_eq!(seen.len(), 11); // figure 1's 2-core is the whole graph
     }

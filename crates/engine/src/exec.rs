@@ -12,9 +12,10 @@
 
 use crate::plan::{Dir, Job, JobOutput, LocalJob, Plan};
 use ic_core::algo::{
-    self, decode_ordered_f64, encode_ordered_f64, run_seed_multi, LocalScratch, SeedTarget,
+    self, decode_ordered_f64, encode_ordered_f64, run_seed_multi, ExtremumIndex, LocalScratch,
+    SeedTarget,
 };
-use ic_core::{Community, SearchError, TopList};
+use ic_core::{Community, Extremum, SearchError, TopList};
 use ic_kcore::{ArenaPool, GraphSnapshot, PeelArena};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::Sender;
@@ -110,10 +111,27 @@ fn run_job(
             k,
             rs,
             outputs,
+            indexed,
         } => {
-            let solved = match dir {
-                Dir::Min => algo::min_topr_multi_on(snap, *k, rs, arena),
-                Dir::Max => algo::max_topr_multi_on(snap, *k, rs, arena),
+            let solved = if *indexed {
+                // Index-served: every `r` is answered from the
+                // snapshot's extremum community forest — persisted via
+                // `ic-store` or built once per snapshot — in
+                // output-sensitive time. Bit-identical to the peel path
+                // below (held by the conformance suite).
+                let extremum = match dir {
+                    Dir::Min => Extremum::Min,
+                    Dir::Max => Extremum::Max,
+                };
+                let index = ExtremumIndex::cached(snap, *k, extremum);
+                rs.iter()
+                    .map(|&r| index.topr(snap.weighted(), r))
+                    .collect::<Result<Vec<_>, _>>()
+            } else {
+                match dir {
+                    Dir::Min => algo::min_topr_multi_on(snap, *k, rs, arena),
+                    Dir::Max => algo::max_topr_multi_on(snap, *k, rs, arena),
+                }
             };
             match solved {
                 Ok(lists) => {

@@ -27,6 +27,15 @@
 //!    the epoch-tagged result cache stops serving pre-update answers. A
 //!    post-`apply` engine answers exactly like an engine built from
 //!    scratch on the updated graph (also held by `tests/progressive.rs`).
+//! 4. **Persistence** — [`Engine::persist`] writes the current epoch's
+//!    warm serving state (graph, decomposition, memoized core levels,
+//!    extremum community forests) to a checksummed `ic-store` file, and
+//!    [`Engine::open`] warm-starts from one: the zero-rebuild cold
+//!    start. Exact-tie `min`/`max` queries are **index-served** from
+//!    the forest in output-sensitive time — persisted or built once per
+//!    snapshot — and a post-`apply` snapshot starts with empty caches,
+//!    so persisted structures are never consulted across an update
+//!    (they rebuild lazily per level under the new epoch).
 //!
 //! # Quick start
 //!
@@ -71,6 +80,7 @@ pub use stream::ResultStream;
 // compiling unchanged.
 pub use ic_core::{Constraint, Query, QueryBuilder, Solver};
 pub use ic_kcore::EdgeUpdate;
+pub use ic_store::StoreError;
 
 /// One-stop import of the full serving vocabulary:
 /// `use ic_engine::prelude::*;`.
@@ -81,6 +91,7 @@ pub mod prelude {
         QueryBuilder, SearchError, Solver, StateView, TieSemantics,
     };
     pub use ic_kcore::{EdgeUpdate, GraphSnapshot};
+    pub use ic_store::StoreError;
 }
 
 use cache::ResultCache;
@@ -146,6 +157,57 @@ impl Engine {
     /// Builds an engine with an explicit worker count (`>= 1`; clamped).
     pub fn with_threads(wg: WeightedGraph, threads: usize) -> Self {
         Self::from_snapshot(GraphSnapshot::new(wg), threads)
+    }
+
+    /// Opens an engine from a persisted `ic-store` file (`ICS1`) using
+    /// all available hardware parallelism. This is the **zero-rebuild
+    /// cold start**: the graph, its core decomposition, memoized core
+    /// levels, and precomputed extremum community forests all load from
+    /// one checksummed read — no edge-list parse, no CSR rebuild, no
+    /// bucket peel — so the first index-served query answers in
+    /// milliseconds. Answers are bit-identical to an engine built from
+    /// scratch on the same graph (held by the store round-trip suite).
+    pub fn open<P: AsRef<std::path::Path>>(path: P) -> Result<Engine, StoreError> {
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        Self::open_with_threads(path, threads)
+    }
+
+    /// [`Engine::open`] with an explicit worker count.
+    pub fn open_with_threads<P: AsRef<std::path::Path>>(
+        path: P,
+        threads: usize,
+    ) -> Result<Engine, StoreError> {
+        let contents = ic_store::StoreFile::open(path)?.load()?;
+        Ok(Self::from_snapshot(contents.into_snapshot(), threads))
+    }
+
+    /// Persists the engine's **current** serving state to an `ic-store`
+    /// file: the graph and weights, the core decomposition, and every
+    /// core level and extremum community forest the current epoch's
+    /// snapshot has memoized (warm state accumulated by served
+    /// traffic). A later [`Engine::open`] on the file warm-starts
+    /// exactly that state.
+    ///
+    /// Called after [`Engine::apply`], this persists the *post-update*
+    /// graph under its freshly-(re)derived structures — persisted
+    /// artifacts are always internally consistent, never a mix of
+    /// epochs, because everything is read off one immutable snapshot.
+    pub fn persist<P: AsRef<std::path::Path>>(&self, path: P) -> Result<(), StoreError> {
+        let (snapshot, _, _) = self.serving();
+        let decomp = snapshot.decomposition();
+        let levels = snapshot.memoized_levels();
+        let forests = ic_core::algo::ExtremumIndex::memoized(&snapshot);
+        let mut builder = ic_store::StoreBuilder::new(snapshot.weighted());
+        builder.decomposition(&decomp);
+        for level in &levels {
+            builder.level(level);
+        }
+        for forest in &forests {
+            builder.forest(forest.parts());
+        }
+        builder.write_to(path)
     }
 
     /// Builds an engine over an existing snapshot, inheriting whatever
@@ -732,6 +794,72 @@ mod tests {
             "streams must recycle pooled arenas, created {}",
             eng.arenas_created()
         );
+    }
+
+    #[test]
+    fn persist_then_open_serves_identical_answers() {
+        let dir = std::env::temp_dir().join(format!("ic-engine-store-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("figure1.ics1");
+
+        let eng = engine(2);
+        let batch = vec![
+            Query::new(2, 3, Aggregation::Min),
+            Query::new(2, 5, Aggregation::Max),
+            Query::new(2, 2, Aggregation::Sum),
+        ];
+        let expect = eng.run_batch(&batch);
+        // Serving warmed the snapshot: persist captures level + forests.
+        eng.persist(&path).unwrap();
+
+        let reopened = Engine::open_with_threads(&path, 2).unwrap();
+        // The persisted forests landed in the fresh snapshot's caches...
+        assert!(reopened.snapshot().cached_extensions() >= 2);
+        assert!(reopened.snapshot().cached_levels() >= 1);
+        // ...and answers are bit-identical to the original engine.
+        let got = reopened.run_batch(&batch);
+        for (a, b) in expect.iter().zip(&got) {
+            assert_eq!(a.as_ref().unwrap(), b.as_ref().unwrap());
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn index_and_peel_paths_agree_and_are_counted() {
+        let eng = engine(2);
+        let wg = figure1();
+        let batch = vec![
+            Query::new(2, 4, Aggregation::Min),
+            Query::new(2, 1, Aggregation::Min),
+            Query::new(2, 4, Aggregation::Max),
+        ];
+        let plan = eng.plan(&batch);
+        assert_eq!(plan.stats.index_routed, 3, "built-ins are forest-served");
+        let got = eng.run_batch(&batch);
+        for (q, res) in batch.iter().zip(&got) {
+            assert_eq!(res.as_ref().unwrap(), &q.solve(&wg).unwrap(), "{q:?}");
+        }
+        // The forest was memoized on the snapshot (one per direction).
+        assert_eq!(eng.snapshot().cached_extensions(), 2);
+    }
+
+    #[test]
+    fn open_rejects_missing_and_corrupt_stores() {
+        assert!(Engine::open("/nonexistent/definitely-not-here.ics1").is_err());
+        let dir = std::env::temp_dir().join(format!("ic-engine-badstore-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.ics1");
+        let eng = engine(1);
+        eng.persist(&path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(
+            Engine::open(&path).is_err(),
+            "flipped byte must fail closed"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -11,9 +11,15 @@
 //!   provably `[]` — no solver run needed);
 //! * identical queries share one job (and one result allocation);
 //! * `min`/`max` queries that differ only in `r` are merged into one
-//!   *family* job answered by a single two-pass peel
-//!   ([`ic_core::algo::min_topr_multi_on`]) — the peel timeline is
-//!   `r`-independent, so `t` queries cost one peel;
+//!   *family* job. When every member declares exact tie semantics the
+//!   family is **index-served** from the snapshot's memoized extremum
+//!   community forest ([`ic_core::algo::ExtremumIndex`], persisted by
+//!   `ic-store` or built once per snapshot) in output-sensitive time;
+//!   otherwise a single two-pass peel
+//!   ([`ic_core::algo::min_topr_multi_on`]) answers the family — the
+//!   peel timeline is `r`-independent, so `t` queries cost one peel.
+//!   Both paths are bit-identical to the one-query-at-a-time peel
+//!   (held by the conformance suite);
 //! * *exact* removal-decreasing queries (`sum`, `sum-surplus` with
 //!   ε = 0) that differ only in `r` are merged into one family answered
 //!   by a single `TIC-IMPROVED` run at the largest `r`, with a
@@ -86,12 +92,16 @@ pub(crate) struct LocalJob {
 
 /// One executable unit of a plan.
 pub(crate) enum Job {
-    /// A min/max family: one two-pass peel answering every `r` in `rs`.
+    /// A min/max family answering every `r` in `rs` — served from the
+    /// snapshot's memoized extremum community forest when `indexed`
+    /// (every member declares exact tie semantics), else by one
+    /// two-pass peel. Both paths are bit-identical to the solo peel.
     MinMaxFamily {
         dir: Dir,
         k: usize,
         rs: Vec<usize>,
         outputs: Vec<JobOutput>,
+        indexed: bool,
     },
     /// An exact removal-decreasing family: one `TIC-IMPROVED` run at
     /// `max(rs)`, tie-safe prefixes (or direct fallback runs) for the
@@ -157,6 +167,12 @@ pub struct PlanStats {
     pub solver_runs: usize,
     /// Distinct `k` levels the plan touches.
     pub k_levels: usize,
+    /// Queries the plan routes through the snapshot's extremum
+    /// community forest (`peel_extremum` certificate + exact tie
+    /// semantics, unconstrained): answered in output-sensitive time
+    /// from the index — persisted or built once per snapshot — instead
+    /// of a fresh peel.
+    pub index_routed: usize,
 }
 
 /// An executable batch plan. Build with [`crate::Engine::plan`].
@@ -338,11 +354,22 @@ impl Plan {
         let mut jobs: Vec<Job> = Vec::new();
         let mut sequential_runs = 0usize;
         let mut solver_runs = 0usize;
+        let mut index_routed = 0usize;
         for key in order {
             match key {
                 JobKey::MinMax { dir, k } => {
                     let members = families.remove(&key).expect("family registered");
                     sequential_runs += members.len();
+                    // Index-serve the family when every member declares
+                    // exact tie semantics — an approximate-tie custom
+                    // may not be proven against the forest's f64 rank
+                    // order, so such families fall back to the peel.
+                    let indexed = members.iter().all(|(_, q)| {
+                        q.aggregation.certificates().ties == ic_core::TieSemantics::Exact
+                    });
+                    if indexed {
+                        index_routed += members.len();
+                    }
                     let (rs, outputs) = family_slots(&members);
                     solver_runs += 1;
                     jobs.push(Job::MinMaxFamily {
@@ -350,6 +377,7 @@ impl Plan {
                         k,
                         rs,
                         outputs,
+                        indexed,
                     });
                 }
                 JobKey::SumFamily { k, .. } => {
@@ -447,6 +475,7 @@ impl Plan {
             sequential_runs,
             solver_runs,
             k_levels: k_levels.len(),
+            index_routed,
         };
         Plan {
             jobs,
@@ -482,6 +511,27 @@ mod tests {
         assert_eq!(plan.stats.sequential_runs, 6);
         assert_eq!(plan.stats.solver_runs, 3, "min family + max family + sum");
         assert_eq!(plan.stats.k_levels, 1);
+        assert_eq!(
+            plan.stats.index_routed, 4,
+            "built-in min/max queries are forest-served"
+        );
+    }
+
+    #[test]
+    fn builtin_minmax_families_are_marked_indexed() {
+        let snap = snap();
+        let batch = vec![
+            Query::new(2, 3, Aggregation::Min),
+            Query::new(2, 1, Aggregation::Min),
+            Query::new(2, 2, Aggregation::Max),
+        ];
+        let plan = Plan::build(&snap, &batch, 1, None);
+        assert_eq!(plan.stats.index_routed, 3);
+        for job in &plan.jobs {
+            if let Job::MinMaxFamily { indexed, .. } = job {
+                assert!(indexed, "built-ins declare exact ties");
+            }
+        }
     }
 
     #[test]

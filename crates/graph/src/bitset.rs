@@ -139,6 +139,32 @@ impl BitSet {
     pub fn to_vec(&self) -> Vec<u32> {
         self.iter().map(|i| i as u32).collect()
     }
+
+    /// The backing 64-bit words (little-endian bit order within each
+    /// word). Exposed for bulk persistence (`ic-store`); pair with
+    /// [`BitSet::from_words`].
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Reassembles a bitset from its backing words. Returns `None` when
+    /// the word count does not match `capacity` or a bit beyond
+    /// `capacity` is set — deserialization must fail closed rather than
+    /// produce a mask that silently violates the capacity contract.
+    pub fn from_words(words: Vec<u64>, capacity: usize) -> Option<Self> {
+        if words.len() != capacity.div_ceil(WORD_BITS) {
+            return None;
+        }
+        let rem = capacity % WORD_BITS;
+        if rem != 0 {
+            if let Some(&last) = words.last() {
+                if last & !((1u64 << rem) - 1) != 0 {
+                    return None;
+                }
+            }
+        }
+        Some(BitSet { words, capacity })
+    }
 }
 
 impl FromIterator<usize> for BitSet {
@@ -276,6 +302,21 @@ mod tests {
         assert_eq!(s.count(), 67);
         s.clear();
         assert!(s.is_empty());
+    }
+
+    #[test]
+    fn words_round_trip_and_fail_closed() {
+        let mut s = BitSet::new(70);
+        s.insert(3);
+        s.insert(69);
+        let back = BitSet::from_words(s.words().to_vec(), 70).unwrap();
+        assert_eq!(back, s);
+        // Wrong word count.
+        assert!(BitSet::from_words(vec![0], 70).is_none());
+        // Bit set beyond the declared capacity.
+        assert!(BitSet::from_words(vec![0, 1u64 << 7], 70).is_none());
+        // Word-aligned capacity has no tail constraint.
+        assert!(BitSet::from_words(vec![!0u64, !0u64], 128).is_some());
     }
 
     #[test]

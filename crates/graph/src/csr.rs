@@ -1,4 +1,4 @@
-use crate::VertexId;
+use crate::{GraphError, VertexId};
 
 /// An immutable, undirected graph in CSR (compressed sparse row) layout.
 ///
@@ -34,6 +34,99 @@ impl Graph {
             targets,
             num_edges,
         }
+    }
+
+    /// Constructs a graph from raw CSR arrays, validating every invariant.
+    ///
+    /// This is the deserialization entry point for persisted graphs
+    /// (`ic-store`): the arrays are adopted as-is — no re-sorting, no
+    /// dedup, no rebuild — after an `O(n + m)` structural check
+    /// (monotone offsets, strictly increasing loop-free adjacency,
+    /// in-bounds targets, symmetric edges). A violation returns a typed
+    /// error instead of constructing a graph that would silently
+    /// misbehave, so corrupt or hand-rolled inputs fail closed.
+    pub fn from_csr_checked(
+        offsets: Vec<usize>,
+        targets: Vec<VertexId>,
+    ) -> Result<Self, GraphError> {
+        let malformed = |msg: String| Err(GraphError::MalformedBinary(msg));
+        let Some((&last, _)) = offsets.split_last() else {
+            return malformed("CSR offsets are empty (need n + 1 entries)".into());
+        };
+        if last != targets.len() {
+            return malformed(format!(
+                "CSR offsets end at {last} but there are {} adjacency entries",
+                targets.len()
+            ));
+        }
+        if !targets.len().is_multiple_of(2) {
+            return malformed(format!(
+                "odd adjacency count {} (undirected edges are stored twice)",
+                targets.len()
+            ));
+        }
+        if let Some(w) = offsets.windows(2).find(|w| w[0] > w[1]) {
+            return malformed(format!("CSR offsets decrease: {} before {}", w[0], w[1]));
+        }
+        let n = offsets.len() - 1;
+        // Pass 1: per-row order/bounds/loop checks; record where each
+        // row's lower-than-self prefix ends (used by the mirror check).
+        let mut lower_end = vec![0usize; n];
+        for v in 0..n {
+            let row = &targets[offsets[v]..offsets[v + 1]];
+            let mut prev: Option<VertexId> = None;
+            let mut lower = 0usize;
+            for &u in row {
+                if u as usize >= n {
+                    return malformed(format!(
+                        "vertex {v} adjacent to out-of-bounds {u} (n = {n})"
+                    ));
+                }
+                if u as usize == v {
+                    return malformed(format!("self loop on vertex {v}"));
+                }
+                if prev.is_some_and(|p| p >= u) {
+                    return malformed(format!("adjacency of vertex {v} not strictly increasing"));
+                }
+                if (u as usize) < v {
+                    lower += 1;
+                }
+                prev = Some(u);
+            }
+            lower_end[v] = offsets[v] + lower;
+        }
+        // Pass 2: O(n + m) symmetry. Rows are strictly increasing, so
+        // walking vertices in ascending order makes each row's
+        // lower-than-self prefix a queue of expected mirrors: the pair
+        // (u, v) with u < v must consume exactly the next unconsumed
+        // entry of v's prefix, and every prefix must end fully
+        // consumed. An unmatched entry in either direction trips one of
+        // the two checks.
+        let mut cursor: Vec<usize> = offsets[..n].to_vec();
+        for u in 0..n {
+            for &v in &targets[offsets[u]..offsets[u + 1]] {
+                let v = v as usize;
+                if v > u {
+                    if cursor[v] >= lower_end[v] || targets[cursor[v]] as usize != u {
+                        return malformed(format!("edge ({u}, {v}) has no mirror entry"));
+                    }
+                    cursor[v] += 1;
+                }
+            }
+        }
+        if let Some(v) = (0..n).find(|&v| cursor[v] != lower_end[v]) {
+            return malformed(format!(
+                "vertex {v} has adjacency entries with no mirror edge"
+            ));
+        }
+        Ok(Graph::from_csr(offsets, targets))
+    }
+
+    /// The raw CSR arrays `(offsets, targets)` — the exact layout
+    /// [`Graph::from_csr_checked`] accepts back. Used by `ic-store` to
+    /// persist the graph without an edge-list rebuild on either side.
+    pub fn csr_parts(&self) -> (&[usize], &[VertexId]) {
+        (&self.offsets, &self.targets)
     }
 
     /// An empty graph with `n` isolated vertices.
@@ -183,6 +276,32 @@ mod tests {
         let g = triangle_plus_pendant();
         let edges: Vec<_> = g.edges().collect();
         assert_eq!(edges, vec![(0, 1), (0, 2), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn from_csr_checked_round_trips_and_rejects_malformed() {
+        let g = triangle_plus_pendant();
+        let (offsets, targets) = g.csr_parts();
+        let back = Graph::from_csr_checked(offsets.to_vec(), targets.to_vec()).unwrap();
+        assert_eq!(g, back);
+
+        // Empty offsets.
+        assert!(Graph::from_csr_checked(vec![], vec![]).is_err());
+        // Offsets not ending at the adjacency length.
+        assert!(Graph::from_csr_checked(vec![0, 1], vec![]).is_err());
+        // Odd adjacency count.
+        assert!(Graph::from_csr_checked(vec![0, 1], vec![0]).is_err());
+        // Decreasing offsets.
+        assert!(Graph::from_csr_checked(vec![0, 2, 1, 2], vec![1, 2]).is_err());
+        // Out-of-bounds target.
+        assert!(Graph::from_csr_checked(vec![0, 1, 2], vec![9, 0]).is_err());
+        // Self loop.
+        assert!(Graph::from_csr_checked(vec![0, 1, 2], vec![0, 0]).is_err());
+        // Unsorted adjacency.
+        assert!(Graph::from_csr_checked(vec![0, 2, 3, 4], vec![2, 1, 0, 0]).is_err());
+        // Asymmetric edge: 0 -> 1 without the mirror (1 -> 2, 2 -> 1
+        // keep counts even and sorted).
+        assert!(Graph::from_csr_checked(vec![0, 1, 2, 3, 3], vec![1, 2, 1]).is_err());
     }
 
     #[test]

@@ -1,15 +1,17 @@
-//! Graph and weight I/O.
+//! Graph and weight text I/O.
 //!
-//! Two formats are supported:
+//! This module handles **SNAP-style text edge lists** — one `u v` pair
+//! per line, `#` comments, blank lines ignored — matching the format of
+//! the datasets the paper downloads from the Stanford Network Analysis
+//! Platform, plus one-weight-per-line weight files.
 //!
-//! * **SNAP-style text edge lists** — one `u v` pair per line, `#` comments,
-//!   blank lines ignored. This matches the format of the datasets the paper
-//!   downloads from the Stanford Network Analysis Platform.
-//! * **A compact binary format** (`ICG1`) for caching generated graphs
-//!   between benchmark runs, built on the `bytes` crate.
+//! Binary persistence lives in the `ic-store` crate: the ad-hoc `ICG1`
+//! graph-caching format that used to live here was folded into the
+//! versioned, checksummed `ICS1` store format (PR 5), so generated-graph
+//! caching and engine snapshots can never disagree on one graph across
+//! two formats. Use `ic_store::StoreBuilder` / `ic_store::StoreFile`.
 
 use crate::{Graph, GraphBuilder, GraphError, VertexId};
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::path::Path;
 
@@ -82,61 +84,6 @@ pub fn write_edge_list<W: Write>(g: &Graph, mut writer: W) -> Result<(), GraphEr
         writeln!(writer, "{u} {v}")?;
     }
     Ok(())
-}
-
-const BINARY_MAGIC: &[u8; 4] = b"ICG1";
-
-/// Serializes the graph into the compact `ICG1` binary format.
-///
-/// Layout: magic, `n: u64`, `m: u64`, then for each vertex its degree as
-/// `u32`, then all adjacency targets as `u32` (only the `u < v` orientation
-/// is stored; the graph is re-symmetrized on load).
-pub fn to_binary(g: &Graph) -> Bytes {
-    let mut buf = BytesMut::with_capacity(4 + 16 + g.num_edges() * 8 + g.num_vertices() * 4);
-    buf.put_slice(BINARY_MAGIC);
-    buf.put_u64_le(g.num_vertices() as u64);
-    buf.put_u64_le(g.num_edges() as u64);
-    for (u, v) in g.edges() {
-        buf.put_u32_le(u);
-        buf.put_u32_le(v);
-    }
-    buf.freeze()
-}
-
-/// Deserializes a graph from the `ICG1` binary format.
-pub fn from_binary(mut data: &[u8]) -> Result<Graph, GraphError> {
-    if data.len() < 20 {
-        return Err(GraphError::MalformedBinary("truncated header".into()));
-    }
-    let mut magic = [0u8; 4];
-    data.copy_to_slice(&mut magic);
-    if &magic != BINARY_MAGIC {
-        return Err(GraphError::MalformedBinary(format!(
-            "bad magic {magic:?}, expected {BINARY_MAGIC:?}"
-        )));
-    }
-    let n = data.get_u64_le() as usize;
-    let m = data.get_u64_le() as usize;
-    if data.remaining() != m * 8 {
-        return Err(GraphError::MalformedBinary(format!(
-            "expected {} edge bytes, found {}",
-            m * 8,
-            data.remaining()
-        )));
-    }
-    let mut builder = GraphBuilder::with_capacity(m);
-    builder.reserve_vertices(n);
-    for _ in 0..m {
-        let u = data.get_u32_le();
-        let v = data.get_u32_le();
-        if u as usize >= n || v as usize >= n {
-            return Err(GraphError::MalformedBinary(format!(
-                "edge ({u}, {v}) out of bounds for {n} vertices"
-            )));
-        }
-        builder.add_edge(u, v);
-    }
-    Ok(builder.build())
 }
 
 /// Writes vertex weights as text, one per line.
@@ -214,51 +161,6 @@ mod tests {
         write_edge_list(&g, &mut out).unwrap();
         let g2 = read_edge_list(&out[..]).unwrap();
         assert_eq!(g, g2);
-    }
-
-    #[test]
-    fn binary_round_trip() {
-        let g = graph_from_edges(6, &[(0, 1), (1, 2), (2, 0), (4, 5)]);
-        let bytes = to_binary(&g);
-        let g2 = from_binary(&bytes).unwrap();
-        assert_eq!(g, g2);
-    }
-
-    #[test]
-    fn binary_round_trip_preserves_isolated_vertices() {
-        let g = graph_from_edges(10, &[(0, 1)]);
-        let g2 = from_binary(&to_binary(&g)).unwrap();
-        assert_eq!(g2.num_vertices(), 10);
-    }
-
-    #[test]
-    fn binary_rejects_malformed() {
-        assert!(matches!(
-            from_binary(b"nope"),
-            Err(GraphError::MalformedBinary(_))
-        ));
-        assert!(matches!(
-            from_binary(b"XXXX\0\0\0\0\0\0\0\0\0\0\0\0\0\0\0\0"),
-            Err(GraphError::MalformedBinary(_))
-        ));
-        // Valid magic but truncated edge section.
-        let g = graph_from_edges(3, &[(0, 1), (1, 2)]);
-        let bytes = to_binary(&g);
-        assert!(matches!(
-            from_binary(&bytes[..bytes.len() - 4]),
-            Err(GraphError::MalformedBinary(_))
-        ));
-        // Out-of-bounds edge: n = 1 but edge (0, 5).
-        let mut bad = BytesMut::new();
-        bad.put_slice(BINARY_MAGIC);
-        bad.put_u64_le(1);
-        bad.put_u64_le(1);
-        bad.put_u32_le(0);
-        bad.put_u32_le(5);
-        assert!(matches!(
-            from_binary(&bad),
-            Err(GraphError::MalformedBinary(_))
-        ));
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! built on: a compact CSR (compressed sparse row) representation of
 //! undirected graphs, a deduplicating builder, vertex bitsets, traversal,
 //! connected components, union-find, subgraph induction, statistics, and
-//! text/binary I/O.
+//! text I/O (binary persistence lives in the `ic-store` crate).
 //!
 //! The representation is deliberately simple and cache-friendly: vertices are
 //! dense `u32` identifiers in `0..n`, adjacency lists are sorted slices, and

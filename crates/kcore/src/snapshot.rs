@@ -22,12 +22,18 @@
 
 use crate::{core_decomposition, CoreDecomposition};
 use ic_graph::{connected_components_within, BitSet, Graph, VertexId, WeightedGraph};
+use std::any::{Any, TypeId};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
+/// A memoized value attached to a snapshot: lazily initialized once,
+/// shared by every reader. The dynamic type is part of the key, so
+/// downcasts after lookup are infallible.
+type Extension = Arc<OnceLock<Arc<dyn Any + Send + Sync>>>;
+
 /// Memoized per-`k` view of a snapshot: the maximal k-core and its
 /// connected components (line 1 of Algorithms 1 and 2 in the paper).
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct CoreLevel {
     /// The degree constraint this level describes.
     pub k: usize,
@@ -41,11 +47,27 @@ pub struct CoreLevel {
 
 /// Immutable weighted graph plus lazily memoized core structure. See the
 /// module docs.
-#[derive(Debug)]
 pub struct GraphSnapshot {
     wg: Arc<WeightedGraph>,
     decomp: OnceLock<Arc<CoreDecomposition>>,
     levels: Mutex<HashMap<usize, Arc<OnceLock<Arc<CoreLevel>>>>>,
+    /// Type-erased per-`(k, tag)` side caches: derived structures owned
+    /// by crates *above* this one (e.g. `ic-core`'s extremum community
+    /// forests) memoize here so they share the snapshot's lifetime and
+    /// staleness story — a post-update snapshot starts empty and
+    /// rebuilds lazily, exactly like [`CoreLevel`]s.
+    extensions: Mutex<HashMap<(usize, u8, TypeId), Extension>>,
+}
+
+impl std::fmt::Debug for GraphSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GraphSnapshot")
+            .field("vertices", &self.wg.num_vertices())
+            .field("edges", &self.wg.num_edges())
+            .field("cached_levels", &self.cached_levels())
+            .field("cached_extensions", &self.cached_extensions())
+            .finish()
+    }
 }
 
 impl GraphSnapshot {
@@ -60,6 +82,7 @@ impl GraphSnapshot {
             wg,
             decomp: OnceLock::new(),
             levels: Mutex::new(HashMap::new()),
+            extensions: Mutex::new(HashMap::new()),
         }
     }
 
@@ -146,10 +169,125 @@ impl GraphSnapshot {
         }))
     }
 
+    /// Seeds the memo for level `k` with an already-computed
+    /// [`CoreLevel`] — e.g. one loaded from a persisted store — so the
+    /// first query at that `k` pays nothing. Returns `false` (and keeps
+    /// the existing entry) when the level is already memoized.
+    ///
+    /// # Panics
+    /// Panics when the mask capacity does not match the snapshot's
+    /// vertex count: a level for a different graph must never be
+    /// grafted onto this snapshot.
+    pub fn seed_level(&self, level: CoreLevel) -> bool {
+        assert_eq!(
+            level.mask.capacity(),
+            self.wg.num_vertices(),
+            "level mask sized for a different vertex set"
+        );
+        let cell = {
+            let mut levels = self.levels.lock().expect("snapshot cache poisoned");
+            Arc::clone(
+                levels
+                    .entry(level.k)
+                    .or_insert_with(|| Arc::new(OnceLock::new())),
+            )
+        };
+        cell.set(Arc::new(level)).is_ok()
+    }
+
+    /// Every level memoized (computed or seeded) so far, in ascending
+    /// `k` order — what [`seed_level`](Self::seed_level) would need to
+    /// reproduce this snapshot's warm state elsewhere.
+    pub fn memoized_levels(&self) -> Vec<Arc<CoreLevel>> {
+        let levels = self.levels.lock().expect("snapshot cache poisoned");
+        let mut out: Vec<Arc<CoreLevel>> = levels
+            .values()
+            .filter_map(|cell| cell.get().cloned())
+            .collect();
+        out.sort_by_key(|l| l.k);
+        out
+    }
+
     /// Number of distinct `k` levels memoized so far (for cache
     /// observability in tests and stats reporting).
     pub fn cached_levels(&self) -> usize {
         self.levels.lock().expect("snapshot cache poisoned").len()
+    }
+
+    /// The memoized extension of type `T` under `(k, tag)`, built on
+    /// first use. Like [`level`](Self::level), racing readers serialize
+    /// on one `OnceLock` per key and the value is computed exactly once
+    /// per snapshot; a snapshot swapped in after a graph update starts
+    /// with an empty extension cache, so derived structures rebuild
+    /// lazily instead of serving stale state.
+    ///
+    /// `tag` disambiguates multiple extensions of the same type at one
+    /// `k` (e.g. a min- vs max-direction community forest).
+    pub fn extension<T, F>(&self, k: usize, tag: u8, build: F) -> Arc<T>
+    where
+        T: Send + Sync + 'static,
+        F: FnOnce() -> T,
+    {
+        let cell = {
+            let mut exts = self.extensions.lock().expect("snapshot cache poisoned");
+            Arc::clone(
+                exts.entry((k, tag, TypeId::of::<T>()))
+                    .or_insert_with(|| Arc::new(OnceLock::new())),
+            )
+        };
+        // The map lock is released before the (potentially expensive)
+        // build, mirroring `level`.
+        let erased = cell.get_or_init(|| Arc::new(build()) as Arc<dyn Any + Send + Sync>);
+        Arc::clone(erased)
+            .downcast::<T>()
+            .expect("extension type is part of the cache key")
+    }
+
+    /// Seeds the extension cache under `(k, tag)` with a prebuilt value
+    /// (e.g. a community forest loaded from a persisted store). Returns
+    /// `false` (keeping the existing value) when that slot is already
+    /// initialized.
+    pub fn seed_extension<T>(&self, k: usize, tag: u8, value: Arc<T>) -> bool
+    where
+        T: Send + Sync + 'static,
+    {
+        let cell = {
+            let mut exts = self.extensions.lock().expect("snapshot cache poisoned");
+            Arc::clone(
+                exts.entry((k, tag, TypeId::of::<T>()))
+                    .or_insert_with(|| Arc::new(OnceLock::new())),
+            )
+        };
+        cell.set(value as Arc<dyn Any + Send + Sync>).is_ok()
+    }
+
+    /// Every memoized extension of type `T`, as `(k, tag, value)` in
+    /// ascending `(k, tag)` order — the persistence walk of
+    /// `Engine::persist`.
+    pub fn memoized_extensions<T>(&self) -> Vec<(usize, u8, Arc<T>)>
+    where
+        T: Send + Sync + 'static,
+    {
+        let exts = self.extensions.lock().expect("snapshot cache poisoned");
+        let mut out: Vec<(usize, u8, Arc<T>)> = exts
+            .iter()
+            .filter(|((_, _, ty), _)| *ty == TypeId::of::<T>())
+            .filter_map(|(&(k, tag, _), cell)| {
+                let erased = cell.get()?;
+                let value = Arc::clone(erased).downcast::<T>().ok()?;
+                Some((k, tag, value))
+            })
+            .collect();
+        out.sort_by_key(|&(k, tag, _)| (k, tag));
+        out
+    }
+
+    /// Number of `(k, tag, type)` extension slots registered so far.
+    pub fn cached_extensions(&self) -> usize {
+        self.extensions
+            .lock()
+            .expect("snapshot cache poisoned")
+            .len()
     }
 }
 
@@ -200,6 +338,40 @@ mod tests {
         assert_eq!(snap.degeneracy(), 2);
         assert!(snap.level(3).components.is_empty());
         assert!(snap.level(100).components.is_empty());
+    }
+
+    #[test]
+    fn seeded_levels_are_served_without_recompute() {
+        let snap = snapshot();
+        let reference = snapshot().level(2).as_ref().clone();
+        assert!(snap.seed_level(reference));
+        assert_eq!(snap.cached_levels(), 1);
+        let served = snap.level(2);
+        assert_eq!(served.components, snapshot().level(2).components);
+        // Seeding an already-present level keeps the existing entry.
+        assert!(!snap.seed_level(snapshot().level(2).as_ref().clone()));
+    }
+
+    #[test]
+    fn extensions_memoize_seed_and_enumerate() {
+        let snap = snapshot();
+        let built = snap.extension(2, 0, || vec![1u32, 2, 3]);
+        let again = snap.extension(2, 0, || unreachable!("must be memoized"));
+        assert!(Arc::ptr_eq(&built, &again));
+        // Distinct tags and ks are distinct slots.
+        let other = snap.extension(2, 1, || vec![9u32]);
+        assert_eq!(other.as_slice(), &[9]);
+        assert!(!snap.seed_extension(2, 0, Arc::new(vec![0u32])));
+        assert!(snap.seed_extension(3, 0, Arc::new(vec![7u32])));
+        let all = snap.memoized_extensions::<Vec<u32>>();
+        let keys: Vec<(usize, u8)> = all.iter().map(|&(k, t, _)| (k, t)).collect();
+        assert_eq!(keys, vec![(2, 0), (2, 1), (3, 0)]);
+        assert_eq!(snap.cached_extensions(), 3);
+        // Type is part of the key: a different T at the same (k, tag)
+        // neither collides nor appears in the enumeration above.
+        let s = snap.extension(2, 0, || String::from("x"));
+        assert_eq!(s.as_str(), "x");
+        assert_eq!(snap.memoized_extensions::<Vec<u32>>().len(), 3);
     }
 
     #[test]

@@ -1,0 +1,331 @@
+//! Operator CLI for `ICS1` store files.
+//!
+//! ```text
+//! ic-store build   --dataset email [--profile quick|full] --out email.ics1
+//! ic-store build   --edges graph.txt [--weights w.txt] --k 4,6 --out g.ics1
+//! ic-store inspect <file>
+//! ic-store verify  <file>
+//! ic-store query   <file> --k 6 --r 5 --agg min|max|sum [--epsilon 0.1]
+//! ```
+//!
+//! `build` precomputes the serving state: decomposition, one core level
+//! and a min + max community forest per requested `k` (`--k` defaults
+//! to the dataset's default k and is required for `--edges` input).
+//! `verify` runs the deep re-derivation check on top of the envelope
+//! validation. `query` serves straight from the artifact — forests
+//! answer `min`/`max` in output-sensitive time; other aggregations
+//! route through the ordinary solver on the loaded graph.
+
+use ic_core::algo::ExtremumIndex;
+use ic_core::{Aggregation, Community, Extremum, Query};
+use ic_gen::datasets::{by_name, Profile};
+use ic_graph::WeightedGraph;
+use ic_kcore::GraphSnapshot;
+use ic_store::{SectionKind, StoreBuilder, StoreFile};
+use std::process::ExitCode;
+use std::time::Instant;
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("ic-store: {msg}");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        return fail(
+            "usage: ic-store <build|inspect|verify|query> ... (see the crate docs for flags)",
+        );
+    };
+    match command.as_str() {
+        "build" => build(&args[1..]),
+        "inspect" => inspect(&args[1..]),
+        "verify" => verify(&args[1..]),
+        "query" => query(&args[1..]),
+        other => fail(&format!("unknown command {other:?}")),
+    }
+}
+
+/// Pulls `--flag value` out of an argument list.
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+/// First argument that is neither a `--flag` nor a flag's value.
+fn positional(args: &[String]) -> Option<&str> {
+    let mut i = 0;
+    while i < args.len() {
+        if args[i].starts_with("--") {
+            i += 2; // skip the flag and its value
+        } else {
+            return Some(&args[i]);
+        }
+    }
+    None
+}
+
+fn build(args: &[String]) -> ExitCode {
+    let out = match flag_value(args, "--out") {
+        Some(o) => o.to_string(),
+        None => return fail("build requires --out <path>"),
+    };
+    let (wg, default_ks): (WeightedGraph, Vec<usize>) =
+        match (flag_value(args, "--dataset"), flag_value(args, "--edges")) {
+            (Some(name), None) => {
+                let profile = match flag_value(args, "--profile").unwrap_or("quick") {
+                    "quick" => Profile::Quick,
+                    "full" => Profile::Full,
+                    other => return fail(&format!("unknown profile {other:?}")),
+                };
+                let Some(spec) = by_name(profile, name) else {
+                    return fail(&format!("unknown dataset {name:?}"));
+                };
+                eprintln!("[build] generating dataset {name} ({:?}) ...", profile);
+                (spec.generate_weighted(), vec![spec.default_k])
+            }
+            (None, Some(edges)) => {
+                let g = match ic_graph::io::read_edge_list_file(edges) {
+                    Ok(g) => g,
+                    Err(e) => return fail(&format!("reading {edges}: {e}")),
+                };
+                let wg = match flag_value(args, "--weights") {
+                    Some(wpath) => {
+                        let f = match std::fs::File::open(wpath) {
+                            Ok(f) => f,
+                            Err(e) => return fail(&format!("opening {wpath}: {e}")),
+                        };
+                        let w = match ic_graph::io::read_weights(f) {
+                            Ok(w) => w,
+                            Err(e) => return fail(&format!("reading {wpath}: {e}")),
+                        };
+                        match WeightedGraph::new(g, w) {
+                            Ok(wg) => wg,
+                            Err(e) => return fail(&format!("pairing weights: {e}")),
+                        }
+                    }
+                    None => WeightedGraph::unit_weights(g),
+                };
+                (wg, vec![])
+            }
+            _ => return fail("build requires exactly one of --dataset <name> or --edges <file>"),
+        };
+
+    let ks: Vec<usize> = match flag_value(args, "--k") {
+        Some(spec) => {
+            let parsed: Result<Vec<usize>, _> =
+                spec.split(',').map(|s| s.trim().parse::<usize>()).collect();
+            match parsed {
+                Ok(ks) if !ks.is_empty() && ks.iter().all(|&k| k > 0) => ks,
+                _ => return fail("--k takes a comma-separated list of positive integers"),
+            }
+        }
+        None if !default_ks.is_empty() => default_ks,
+        None => {
+            return fail(
+                "--k is required with --edges input (there is no sensible default degree \
+                 constraint for an arbitrary graph)",
+            )
+        }
+    };
+
+    let t = Instant::now();
+    let snap = GraphSnapshot::new(wg);
+    let decomp = snap.decomposition();
+    let levels: Vec<_> = ks.iter().map(|&k| snap.level(k)).collect();
+    let forests: Vec<_> = ks
+        .iter()
+        .flat_map(|&k| {
+            [
+                ExtremumIndex::cached(&snap, k, Extremum::Min),
+                ExtremumIndex::cached(&snap, k, Extremum::Max),
+            ]
+        })
+        .collect();
+    eprintln!(
+        "[build] precomputed decomposition + {} level(s) + {} forest(s) in {:.2?}",
+        levels.len(),
+        forests.len(),
+        t.elapsed()
+    );
+
+    let mut builder = StoreBuilder::new(snap.weighted());
+    builder.decomposition(&decomp);
+    for level in &levels {
+        builder.level(level);
+    }
+    for forest in &forests {
+        builder.forest(forest.parts());
+    }
+    let t = Instant::now();
+    if let Err(e) = builder.write_to(&out) {
+        return fail(&format!("writing {out}: {e}"));
+    }
+    let size = std::fs::metadata(&out).map(|m| m.len()).unwrap_or(0);
+    println!(
+        "wrote {out}: {} vertices, {} edges, k = {ks:?}, {size} bytes ({:.2?})",
+        snap.weighted().num_vertices(),
+        snap.weighted().num_edges(),
+        t.elapsed()
+    );
+    ExitCode::SUCCESS
+}
+
+fn inspect(args: &[String]) -> ExitCode {
+    let Some(path) = positional(args) else {
+        return fail("inspect requires a store path");
+    };
+    let t = Instant::now();
+    let file = match StoreFile::open(path) {
+        Ok(f) => f,
+        Err(e) => return fail(&format!("{path}: {e}")),
+    };
+    let h = file.header();
+    println!(
+        "{path}: ICS1 v{}, {} bytes, {} sections, checksum {:#018x} (validated in {:.2?})",
+        h.version,
+        file.file_len(),
+        h.section_count,
+        h.checksum,
+        t.elapsed()
+    );
+    for s in file.sections() {
+        let kind = s
+            .known_kind()
+            .map(SectionKind::name)
+            .unwrap_or("unknown-kind");
+        let param = match s.known_kind() {
+            Some(SectionKind::Level) => format!(" k={}", s.k),
+            Some(SectionKind::Forest) => {
+                format!(" k={} dir={}", s.k, if s.dir == 0 { "min" } else { "max" })
+            }
+            _ => String::new(),
+        };
+        println!(
+            "  {kind:<14}{param:<12} offset {:>10}  {:>10} bytes",
+            s.offset, s.len
+        );
+    }
+    if let Ok((n, m)) = file.graph_meta() {
+        println!("  graph: {n} vertices, {m} edges");
+    }
+    ExitCode::SUCCESS
+}
+
+fn verify(args: &[String]) -> ExitCode {
+    let Some(path) = positional(args) else {
+        return fail("verify requires a store path");
+    };
+    let t = Instant::now();
+    let file = match StoreFile::open(path) {
+        Ok(f) => f,
+        Err(e) => return fail(&format!("{path}: envelope verification failed: {e}")),
+    };
+    println!("{path}: envelope + checksum ok ({:.2?})", t.elapsed());
+    let t = Instant::now();
+    match file.verify_deep() {
+        Ok(()) => {
+            println!(
+                "{path}: deep verification ok — every persisted structure matches a fresh \
+                 re-derivation ({:.2?})",
+                t.elapsed()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail(&format!("{path}: deep verification failed: {e}")),
+    }
+}
+
+fn print_top(top: &[Community]) {
+    for (i, c) in top.iter().enumerate() {
+        let preview: Vec<_> = c.vertices.iter().take(8).collect();
+        println!(
+            "  #{:<3} value {:>14.6}  {:>6} members  {:?}{}",
+            i + 1,
+            c.value,
+            c.len(),
+            preview,
+            if c.len() > 8 { " ..." } else { "" }
+        );
+    }
+}
+
+fn query(args: &[String]) -> ExitCode {
+    let Some(path) = positional(args) else {
+        return fail("query requires a store path");
+    };
+    let k: usize = match flag_value(args, "--k").map(str::parse) {
+        Some(Ok(k)) => k,
+        _ => return fail("query requires --k <positive integer>"),
+    };
+    let r: usize = match flag_value(args, "--r").map(str::parse) {
+        Some(Ok(r)) => r,
+        _ => return fail("query requires --r <positive integer>"),
+    };
+    let agg = match flag_value(args, "--agg").unwrap_or("min") {
+        "min" => Aggregation::Min,
+        "max" => Aggregation::Max,
+        "sum" => Aggregation::Sum,
+        other => return fail(&format!("--agg must be min|max|sum, got {other:?}")),
+    };
+    let epsilon: f64 = match flag_value(args, "--epsilon").map(str::parse) {
+        Some(Ok(e)) => e,
+        Some(Err(_)) => return fail("--epsilon takes a float"),
+        None => 0.0,
+    };
+    // One validation gate for both serving paths below — the
+    // index-served branch must reject exactly what the solver router
+    // rejects (k = 0, r = 0, ε out of range, ε on a peel aggregation).
+    let q = Query::new(k, r, agg).approx(epsilon);
+    if let Err(e) = q.validate() {
+        return fail(&format!("invalid query: {e}"));
+    }
+
+    let t_open = Instant::now();
+    let file = match StoreFile::open(path) {
+        Ok(f) => f,
+        Err(e) => return fail(&format!("{path}: {e}")),
+    };
+    let contents = match file.load() {
+        Ok(c) => c,
+        Err(e) => return fail(&format!("{path}: {e}")),
+    };
+    let snap = contents.into_snapshot();
+    let opened = t_open.elapsed();
+
+    let extremum = agg.certificates().peel_extremum;
+    let t_query = Instant::now();
+    if let (Some(dir), true) = (extremum, epsilon == 0.0) {
+        // Index-served: output-sensitive answer from the persisted (or
+        // lazily built) forest — the same bits the peel would produce.
+        let forest = ExtremumIndex::cached(&snap, k, dir);
+        match forest.topr(snap.weighted(), r) {
+            Ok(top) => {
+                println!(
+                    "opened {path} in {opened:.2?}; index-served top-{r} ({}, k={k}) in {:.2?}:",
+                    agg.name(),
+                    t_query.elapsed()
+                );
+                print_top(&top);
+                ExitCode::SUCCESS
+            }
+            Err(e) => fail(&format!("query failed: {e}")),
+        }
+    } else {
+        let mut arena = ic_kcore::PeelArena::for_graph(snap.graph());
+        match q.solve_on(&snap, &mut arena) {
+            Ok(top) => {
+                println!(
+                    "opened {path} in {opened:.2?}; solver-served top-{r} ({}, k={k}) in {:.2?}:",
+                    agg.name(),
+                    t_query.elapsed()
+                );
+                print_top(&top);
+                ExitCode::SUCCESS
+            }
+            Err(e) => fail(&format!("query failed: {e}")),
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! The crate's only `unsafe` surface: checked reinterpret-casts between
+//! byte buffers and the plain-old-data element types of the `ICS1`
+//! format (`u32` / `u64` / `f64`).
+//!
+//! Every cast here is sound because
+//!
+//! 1. the element types have **no invalid bit patterns** — any byte
+//!    sequence of the right length is a valid value (for `f64` that
+//!    includes every NaN payload; semantic validation happens in the
+//!    structures that adopt the values);
+//! 2. **alignment and length are checked first** — a misaligned or
+//!    ragged input returns `None` instead of casting;
+//! 3. the returned slice **borrows** the input, so the view can never
+//!    outlive the buffer.
+//!
+//! This is what makes loading zero-parse: a store file is pulled into
+//! one 8-byte-aligned buffer ([`AlignedBuf`]) with a single read, and
+//! every section is then *viewed* as its element type — no per-element
+//! decode loop anywhere on the load path.
+//!
+//! The format is little-endian on disk and the cast path reinterprets
+//! native-endian memory, so this crate supports little-endian targets
+//! only (every platform the workspace builds for). A big-endian port
+//! would swap this module for a decoding reader; the compile guard
+//! below makes the assumption explicit instead of silent.
+
+#[cfg(target_endian = "big")]
+compile_error!(
+    "ic-store's zero-parse cast path assumes a little-endian target; \
+     port cast.rs to a byte-swapping reader before enabling this crate"
+);
+
+/// An 8-byte-aligned owned byte buffer: the backing storage every
+/// section view borrows from. Alignment comes from the `u64` backing
+/// vector, so any section at an 8-aligned offset can be viewed as
+/// `u64`/`f64` (and any 4-aligned one as `u32`) without copies.
+#[derive(Debug)]
+pub struct AlignedBuf {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl AlignedBuf {
+    /// Allocates a zeroed buffer of `len` bytes (rounded up to whole
+    /// words internally; `as_bytes` reports exactly `len`).
+    pub fn zeroed(len: usize) -> Self {
+        AlignedBuf {
+            words: vec![0u64; len.div_ceil(8)],
+            len,
+        }
+    }
+
+    /// Copies `bytes` into a fresh aligned buffer.
+    pub fn from_bytes(bytes: &[u8]) -> Self {
+        let mut buf = Self::zeroed(bytes.len());
+        buf.as_bytes_mut().copy_from_slice(bytes);
+        buf
+    }
+
+    /// Fills the buffer with exactly `len` bytes from `reader` — the
+    /// single read of a store load.
+    pub fn read_exact_from<R: std::io::Read>(reader: &mut R, len: usize) -> std::io::Result<Self> {
+        let mut buf = Self::zeroed(len);
+        reader.read_exact(buf.as_bytes_mut())?;
+        Ok(buf)
+    }
+
+    /// The buffer contents. The pointer is 8-byte aligned.
+    #[allow(unsafe_code)]
+    pub fn as_bytes(&self) -> &[u8] {
+        // SAFETY: `words` owns `words.len() * 8 >= len` initialized
+        // bytes; u8 has alignment 1 and no invalid bit patterns; the
+        // borrow ties the view to `self`.
+        unsafe { std::slice::from_raw_parts(self.words.as_ptr().cast::<u8>(), self.len) }
+    }
+
+    /// Mutable view for filling the buffer.
+    #[allow(unsafe_code)]
+    pub fn as_bytes_mut(&mut self) -> &mut [u8] {
+        // SAFETY: as `as_bytes`, plus the `&mut self` receiver
+        // guarantees uniqueness.
+        unsafe { std::slice::from_raw_parts_mut(self.words.as_mut_ptr().cast::<u8>(), self.len) }
+    }
+
+    /// Byte length.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the buffer holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+macro_rules! checked_view {
+    ($name:ident, $ty:ty, $doc:literal) => {
+        #[doc = $doc]
+        #[allow(unsafe_code)]
+        pub fn $name(bytes: &[u8]) -> Option<&[$ty]> {
+            let size = std::mem::size_of::<$ty>();
+            if bytes.len() % size != 0
+                || bytes.as_ptr().align_offset(std::mem::align_of::<$ty>()) != 0
+            {
+                return None;
+            }
+            // SAFETY: length divisibility and pointer alignment were
+            // just checked; the target type is plain-old-data with no
+            // invalid bit patterns; the lifetime is inherited from
+            // `bytes`.
+            Some(unsafe {
+                std::slice::from_raw_parts(bytes.as_ptr().cast::<$ty>(), bytes.len() / size)
+            })
+        }
+    };
+}
+
+checked_view!(
+    u32s,
+    u32,
+    "Views a 4-aligned byte slice as `u32`s (`None` on misalignment or ragged length)."
+);
+checked_view!(
+    u64s,
+    u64,
+    "Views an 8-aligned byte slice as `u64`s (`None` on misalignment or ragged length)."
+);
+checked_view!(
+    f64s,
+    f64,
+    "Views an 8-aligned byte slice as `f64`s (`None` on misalignment or ragged length)."
+);
+
+/// Views a `u32` slice as bytes for bulk writing (always sound: `u8`
+/// has alignment 1 and every byte pattern is valid).
+#[allow(unsafe_code)]
+pub fn bytes_of_u32s(values: &[u32]) -> &[u8] {
+    // SAFETY: see the doc comment; the borrow ties the view to `values`.
+    unsafe { std::slice::from_raw_parts(values.as_ptr().cast::<u8>(), values.len() * 4) }
+}
+
+/// Views a `u64` slice as bytes for bulk writing.
+#[allow(unsafe_code)]
+pub fn bytes_of_u64s(values: &[u64]) -> &[u8] {
+    // SAFETY: see `bytes_of_u32s`.
+    unsafe { std::slice::from_raw_parts(values.as_ptr().cast::<u8>(), values.len() * 8) }
+}
+
+/// Views an `f64` slice as bytes for bulk writing.
+#[allow(unsafe_code)]
+pub fn bytes_of_f64s(values: &[f64]) -> &[u8] {
+    // SAFETY: see `bytes_of_u32s`.
+    unsafe { std::slice::from_raw_parts(values.as_ptr().cast::<u8>(), values.len() * 8) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligned_buf_round_trips_bytes() {
+        let data: Vec<u8> = (0..23u8).collect();
+        let buf = AlignedBuf::from_bytes(&data);
+        assert_eq!(buf.as_bytes(), data.as_slice());
+        assert_eq!(buf.len(), 23);
+        assert!(!buf.is_empty());
+        assert_eq!(buf.as_bytes().as_ptr().align_offset(8), 0);
+    }
+
+    #[test]
+    fn read_exact_from_fills_exactly() {
+        let data: Vec<u8> = (0..64u8).collect();
+        let mut cursor = std::io::Cursor::new(&data);
+        let buf = AlignedBuf::read_exact_from(&mut cursor, 64).unwrap();
+        assert_eq!(buf.as_bytes(), data.as_slice());
+        let mut short = std::io::Cursor::new(&data[..10]);
+        assert!(AlignedBuf::read_exact_from(&mut short, 64).is_err());
+    }
+
+    #[test]
+    fn typed_views_round_trip() {
+        let values: Vec<u64> = vec![1, u64::MAX, 0x0102_0304_0506_0708];
+        let buf = AlignedBuf::from_bytes(bytes_of_u64s(&values));
+        assert_eq!(u64s(buf.as_bytes()).unwrap(), values.as_slice());
+        let small: Vec<u32> = vec![7, 0, u32::MAX];
+        let buf = AlignedBuf::from_bytes(bytes_of_u32s(&small));
+        assert_eq!(u32s(buf.as_bytes()).unwrap(), small.as_slice());
+        let floats = vec![0.5f64, -0.0, f64::NEG_INFINITY];
+        let buf = AlignedBuf::from_bytes(bytes_of_f64s(&floats));
+        let back = f64s(buf.as_bytes()).unwrap();
+        assert_eq!(back.len(), 3);
+        assert_eq!(back[0], 0.5);
+        assert!(back[2] == f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn ragged_or_misaligned_views_fail_closed() {
+        let buf = AlignedBuf::from_bytes(&[0u8; 16]);
+        assert!(u64s(&buf.as_bytes()[..12]).is_none(), "ragged length");
+        assert!(u64s(&buf.as_bytes()[4..12]).is_none(), "misaligned start");
+        assert!(u32s(&buf.as_bytes()[1..13]).is_none(), "misaligned start");
+        assert!(f64s(&buf.as_bytes()[..15]).is_none(), "ragged length");
+    }
+}

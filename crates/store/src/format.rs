@@ -1,0 +1,307 @@
+//! The `ICS1` container layout: header, section table, checksum.
+//!
+//! ```text
+//! offset 0   header (48 bytes)
+//!   [ 0.. 4)  magic  b"ICS1"
+//!   [ 4.. 8)  format version   u32  (currently 1)
+//!   [ 8..16)  total_len        u64  (whole file, multiple of 8)
+//!   [16..20)  section_count    u32
+//!   [20..24)  flags            u32  (reserved, must be 0)
+//!   [24..32)  checksum         u64  (word-chained hash of bytes
+//!                                    [48..total_len); see `checksum`)
+//!   [32..48)  reserved              (must be 0)
+//! offset 48  section table (section_count × 24 bytes)
+//!   entry: kind u16 | dir u16 | k u32 | offset u64 | len u64
+//! then       sections, each starting at an 8-aligned offset with
+//!            zero padding in between and after the last one.
+//! ```
+//!
+//! Everything is little-endian. `dir` and `k` parameterize sections
+//! that exist per peel direction and/or per degree constraint (core
+//! levels, community forests); other kinds leave them 0.
+//!
+//! **Compatibility rules.** The magic pins the family; `version` is a
+//! hard gate — a reader refuses any version it was not built for
+//! (forward compatibility is deliberate non-support: a serving process
+//! must never half-read a newer layout). Unknown *section kinds* under
+//! a known version are skipped, so additive extensions (new derived
+//! structures) do not break old readers. `flags` must be zero until a
+//! versioned meaning is assigned.
+
+use crate::StoreError;
+
+/// File magic: the first four bytes of every store file.
+pub const MAGIC: [u8; 4] = *b"ICS1";
+/// Current (and only) format version this crate reads and writes.
+pub const FORMAT_VERSION: u32 = 1;
+/// Header length in bytes.
+pub const HEADER_LEN: usize = 48;
+/// Section-table entry length in bytes.
+pub const ENTRY_LEN: usize = 24;
+
+/// Section kinds of version 1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u16)]
+pub enum SectionKind {
+    /// `[n u64, m u64]`.
+    GraphMeta = 1,
+    /// CSR offsets, `(n + 1) × u64`.
+    GraphOffsets = 2,
+    /// CSR adjacency targets, `2m × u32`.
+    GraphTargets = 3,
+    /// Vertex weights, `n × f64`.
+    Weights = 4,
+    /// Core numbers, `n × u32`.
+    CoreNumbers = 5,
+    /// Bucket-peel order, `n × u32` (permutation of the vertices).
+    PeelOrder = 6,
+    /// One memoized `CoreLevel` (keyed by `k`); see `writer.rs` for the
+    /// interior layout.
+    Level = 7,
+    /// One extremum community forest (keyed by `dir`, `k`); see
+    /// `writer.rs` for the interior layout.
+    Forest = 8,
+}
+
+impl SectionKind {
+    /// Decodes a section kind; unknown values return `None` (the reader
+    /// skips them — see the compatibility rules above).
+    pub fn from_u16(raw: u16) -> Option<Self> {
+        Some(match raw {
+            1 => SectionKind::GraphMeta,
+            2 => SectionKind::GraphOffsets,
+            3 => SectionKind::GraphTargets,
+            4 => SectionKind::Weights,
+            5 => SectionKind::CoreNumbers,
+            6 => SectionKind::PeelOrder,
+            7 => SectionKind::Level,
+            8 => SectionKind::Forest,
+            _ => return None,
+        })
+    }
+
+    /// Human-readable name for `inspect`.
+    pub fn name(self) -> &'static str {
+        match self {
+            SectionKind::GraphMeta => "graph-meta",
+            SectionKind::GraphOffsets => "graph-offsets",
+            SectionKind::GraphTargets => "graph-targets",
+            SectionKind::Weights => "weights",
+            SectionKind::CoreNumbers => "core-numbers",
+            SectionKind::PeelOrder => "peel-order",
+            SectionKind::Level => "level",
+            SectionKind::Forest => "forest",
+        }
+    }
+}
+
+/// One decoded section-table entry.
+#[derive(Clone, Copy, Debug)]
+pub struct Section {
+    /// Raw kind value (kept raw so unknown kinds survive `inspect`).
+    pub kind: u16,
+    /// Peel direction for [`SectionKind::Forest`] (0 = min, 1 = max).
+    pub dir: u16,
+    /// Degree constraint for levels and forests.
+    pub k: u32,
+    /// Byte offset of the payload from the start of the file
+    /// (8-aligned).
+    pub offset: u64,
+    /// Exact payload length in bytes.
+    pub len: u64,
+}
+
+impl Section {
+    /// The decoded kind, if this version knows it.
+    pub fn known_kind(&self) -> Option<SectionKind> {
+        SectionKind::from_u16(self.kind)
+    }
+
+    pub(crate) fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.kind.to_le_bytes());
+        out.extend_from_slice(&self.dir.to_le_bytes());
+        out.extend_from_slice(&self.k.to_le_bytes());
+        out.extend_from_slice(&self.offset.to_le_bytes());
+        out.extend_from_slice(&self.len.to_le_bytes());
+    }
+
+    pub(crate) fn decode(bytes: &[u8]) -> Section {
+        debug_assert_eq!(bytes.len(), ENTRY_LEN);
+        Section {
+            kind: u16::from_le_bytes(bytes[0..2].try_into().expect("entry arity")),
+            dir: u16::from_le_bytes(bytes[2..4].try_into().expect("entry arity")),
+            k: u32::from_le_bytes(bytes[4..8].try_into().expect("entry arity")),
+            offset: u64::from_le_bytes(bytes[8..16].try_into().expect("entry arity")),
+            len: u64::from_le_bytes(bytes[16..24].try_into().expect("entry arity")),
+        }
+    }
+}
+
+/// Rounds `len` up to the next multiple of 8 (section alignment).
+pub fn align8(len: usize) -> usize {
+    len.div_ceil(8) * 8
+}
+
+/// Word-chained mixing checksum over the payload (everything after the
+/// header). Strong enough to catch any truncation, byte flip, or
+/// section reshuffle with overwhelming probability; not cryptographic —
+/// a store file is a trusted build artifact, and `ic-store verify`
+/// re-derives the expensive invariants for defense in depth.
+pub fn checksum(payload_words: &[u64]) -> u64 {
+    const K: u64 = 0x9E37_79B9_7F4A_7C15;
+    let mut h = 0x4943_5331_u64 ^ (payload_words.len() as u64).wrapping_mul(K); // "ICS1"
+    for &w in payload_words {
+        h ^= w;
+        h = h.rotate_left(27).wrapping_mul(K);
+    }
+    h
+}
+
+/// Decoded header fields.
+#[derive(Clone, Copy, Debug)]
+pub struct Header {
+    /// Declared format version.
+    pub version: u32,
+    /// Declared total file length.
+    pub total_len: u64,
+    /// Number of section-table entries.
+    pub section_count: u32,
+    /// Reserved flag word (must be 0 in version 1).
+    pub flags: u32,
+    /// Declared payload checksum.
+    pub checksum: u64,
+}
+
+impl Header {
+    pub(crate) fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&self.version.to_le_bytes());
+        out.extend_from_slice(&self.total_len.to_le_bytes());
+        out.extend_from_slice(&self.section_count.to_le_bytes());
+        out.extend_from_slice(&self.flags.to_le_bytes());
+        out.extend_from_slice(&self.checksum.to_le_bytes());
+        out.extend_from_slice(&[0u8; 16]);
+    }
+
+    /// Decodes and gate-checks the fixed header fields (magic, version,
+    /// flags). Length and checksum are verified by the caller against
+    /// the actual buffer.
+    pub(crate) fn decode(bytes: &[u8]) -> Result<Header, StoreError> {
+        if bytes.len() < HEADER_LEN {
+            return Err(StoreError::corrupt(format!(
+                "file is {} bytes, shorter than the {HEADER_LEN}-byte header",
+                bytes.len()
+            )));
+        }
+        if bytes[0..4] != MAGIC {
+            return Err(StoreError::corrupt(format!(
+                "bad magic {:?} (expected {:?})",
+                &bytes[0..4],
+                MAGIC
+            )));
+        }
+        let version = u32::from_le_bytes(bytes[4..8].try_into().expect("header arity"));
+        if version != FORMAT_VERSION {
+            return Err(StoreError::Unsupported { version });
+        }
+        let flags = u32::from_le_bytes(bytes[20..24].try_into().expect("header arity"));
+        if flags != 0 {
+            return Err(StoreError::corrupt(format!(
+                "reserved flags word is {flags:#x}, expected 0"
+            )));
+        }
+        if bytes[32..HEADER_LEN].iter().any(|&b| b != 0) {
+            return Err(StoreError::corrupt("reserved header bytes are non-zero"));
+        }
+        Ok(Header {
+            version,
+            total_len: u64::from_le_bytes(bytes[8..16].try_into().expect("header arity")),
+            section_count: u32::from_le_bytes(bytes[16..20].try_into().expect("header arity")),
+            flags,
+            checksum: u64::from_le_bytes(bytes[24..32].try_into().expect("header arity")),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checksum_detects_single_bit_flips() {
+        let words: Vec<u64> = (0..257u64).collect();
+        let base = checksum(&words);
+        for i in [0usize, 100, 256] {
+            for bit in [0u32, 17, 63] {
+                let mut w = words.clone();
+                w[i] ^= 1u64 << bit;
+                assert_ne!(checksum(&w), base, "flip at word {i} bit {bit}");
+            }
+        }
+        // Truncation and extension change the sum too.
+        assert_ne!(checksum(&words[..256]), base);
+        let mut ext = words.clone();
+        ext.push(0);
+        assert_ne!(checksum(&ext), base);
+    }
+
+    #[test]
+    fn header_round_trips_and_gates() {
+        let h = Header {
+            version: FORMAT_VERSION,
+            total_len: 1024,
+            section_count: 3,
+            flags: 0,
+            checksum: 0xDEAD_BEEF,
+        };
+        let mut bytes = Vec::new();
+        h.encode(&mut bytes);
+        assert_eq!(bytes.len(), HEADER_LEN);
+        let back = Header::decode(&bytes).unwrap();
+        assert_eq!(back.total_len, 1024);
+        assert_eq!(back.section_count, 3);
+        assert_eq!(back.checksum, 0xDEAD_BEEF);
+
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(matches!(
+            Header::decode(&bad),
+            Err(StoreError::Corrupt { .. })
+        ));
+        let mut newer = bytes.clone();
+        newer[4] = 2;
+        assert!(matches!(
+            Header::decode(&newer),
+            Err(StoreError::Unsupported { version: 2 })
+        ));
+        let mut flagged = bytes.clone();
+        flagged[20] = 1;
+        assert!(Header::decode(&flagged).is_err());
+        assert!(Header::decode(&bytes[..20]).is_err());
+    }
+
+    #[test]
+    fn section_entries_round_trip() {
+        let s = Section {
+            kind: SectionKind::Forest as u16,
+            dir: 1,
+            k: 6,
+            offset: 4096,
+            len: 123,
+        };
+        let mut bytes = Vec::new();
+        s.encode(&mut bytes);
+        let back = Section::decode(&bytes);
+        assert_eq!(back.known_kind(), Some(SectionKind::Forest));
+        assert_eq!((back.dir, back.k, back.offset, back.len), (1, 6, 4096, 123));
+        assert_eq!(SectionKind::from_u16(999), None);
+    }
+
+    #[test]
+    fn align8_rounds_up() {
+        assert_eq!(align8(0), 0);
+        assert_eq!(align8(1), 8);
+        assert_eq!(align8(8), 8);
+        assert_eq!(align8(23), 24);
+    }
+}

@@ -1,0 +1,528 @@
+//! Opening and loading `ICS1` store files.
+//!
+//! [`StoreFile::open`] pulls the whole file into one 8-byte-aligned
+//! buffer with a single read, then validates the envelope: magic,
+//! version gate, declared vs actual length, reserved fields, the
+//! payload checksum, and every section-table entry (alignment, bounds).
+//! After that, each section is *viewed* in place as its element type —
+//! zero-parse — and [`StoreFile::load`] materializes the owned runtime
+//! structures with bulk copies plus the structural validation each
+//! adopting type performs ([`Graph::from_csr_checked`],
+//! [`ExtremumIndex::from_parts`], …). Corruption at any layer returns a
+//! typed [`StoreError`]; nothing on this path panics or silently
+//! degrades.
+
+use crate::cast::{f64s, u32s, u64s, AlignedBuf};
+use crate::format::{Header, Section, SectionKind, ENTRY_LEN, HEADER_LEN};
+use crate::StoreError;
+use ic_core::algo::ExtremumIndex;
+use ic_core::Extremum;
+use ic_graph::{BitSet, Graph, WeightedGraph};
+use ic_kcore::{CoreDecomposition, CoreLevel, GraphSnapshot};
+use std::path::Path;
+use std::sync::Arc;
+
+/// A validated, in-memory `ICS1` file: the envelope has been checked
+/// (including the checksum) and sections can be viewed zero-copy or
+/// materialized with [`StoreFile::load`].
+pub struct StoreFile {
+    buf: AlignedBuf,
+    header: Header,
+    sections: Vec<Section>,
+}
+
+impl std::fmt::Debug for StoreFile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StoreFile")
+            .field("bytes", &self.buf.len())
+            .field("header", &self.header)
+            .field("sections", &self.sections.len())
+            .finish()
+    }
+}
+
+/// Everything a store file materializes into: the serving state
+/// [`Engine::open`](../../ic_engine/struct.Engine.html#method.open)
+/// warm-starts from.
+pub struct StoreContents {
+    /// The persisted weighted graph.
+    pub weighted: WeightedGraph,
+    /// The persisted core decomposition, when the store carries one.
+    pub decomposition: Option<CoreDecomposition>,
+    /// Persisted per-`k` core levels.
+    pub levels: Vec<CoreLevel>,
+    /// Persisted extremum community forests.
+    pub forests: Vec<ExtremumIndex>,
+}
+
+impl StoreContents {
+    /// Builds a [`GraphSnapshot`] seeded with everything the store
+    /// carried: decomposition, levels, and forests all land in the
+    /// snapshot's memo caches, so the first query pays nothing that was
+    /// precomputed. This is the cold-start entry point the engine wraps.
+    pub fn into_snapshot(self) -> GraphSnapshot {
+        let wg = Arc::new(self.weighted);
+        let snap = match self.decomposition {
+            Some(decomp) => GraphSnapshot::with_decomposition(wg, decomp),
+            None => GraphSnapshot::from_arc(wg),
+        };
+        for level in self.levels {
+            snap.seed_level(level);
+        }
+        for forest in self.forests {
+            ExtremumIndex::seed(&snap, forest);
+        }
+        snap
+    }
+}
+
+impl StoreFile {
+    /// Opens and validates a store file (one read, then envelope +
+    /// checksum verification).
+    pub fn open<P: AsRef<Path>>(path: P) -> Result<StoreFile, StoreError> {
+        let mut file = std::fs::File::open(path)?;
+        let len = file.metadata()?.len();
+        let len = usize::try_from(len)
+            .map_err(|_| StoreError::corrupt("file too large for this address space"))?;
+        let buf = AlignedBuf::read_exact_from(&mut file, len)?;
+        Self::from_buf(buf)
+    }
+
+    /// Validates an in-memory store image (copies into an aligned
+    /// buffer). Used by tests and network/byte-slice callers.
+    pub fn from_bytes(bytes: &[u8]) -> Result<StoreFile, StoreError> {
+        Self::from_buf(AlignedBuf::from_bytes(bytes))
+    }
+
+    fn from_buf(buf: AlignedBuf) -> Result<StoreFile, StoreError> {
+        let bytes = buf.as_bytes();
+        let header = Header::decode(bytes)?;
+        if header.total_len != bytes.len() as u64 {
+            return Err(StoreError::corrupt(format!(
+                "declared length {} does not match the {} bytes present (truncated or padded file)",
+                header.total_len,
+                bytes.len()
+            )));
+        }
+        if !bytes.len().is_multiple_of(8) {
+            return Err(StoreError::corrupt("file length is not 8-aligned"));
+        }
+        let payload = u64s(&bytes[HEADER_LEN..]).expect("aligned buffer, aligned header length");
+        let actual = crate::format::checksum(payload);
+        if actual != header.checksum {
+            return Err(StoreError::corrupt(format!(
+                "checksum mismatch: header says {:#018x}, payload hashes to {actual:#018x}",
+                header.checksum
+            )));
+        }
+        let count = header.section_count as usize;
+        let table_end = HEADER_LEN + count * ENTRY_LEN;
+        if table_end > bytes.len() {
+            return Err(StoreError::corrupt(format!(
+                "section table ({count} entries) exceeds the file"
+            )));
+        }
+        let mut sections = Vec::with_capacity(count);
+        for i in 0..count {
+            let lo = HEADER_LEN + i * ENTRY_LEN;
+            let s = Section::decode(&bytes[lo..lo + ENTRY_LEN]);
+            if !s.offset.is_multiple_of(8) {
+                return Err(StoreError::corrupt(format!(
+                    "section {i} starts at unaligned offset {}",
+                    s.offset
+                )));
+            }
+            let end = s
+                .offset
+                .checked_add(s.len)
+                .ok_or_else(|| StoreError::corrupt("section extent overflows"))?;
+            if (s.offset as usize) < table_end || end > bytes.len() as u64 {
+                return Err(StoreError::corrupt(format!(
+                    "section {i} [{}..{end}) lies outside the payload",
+                    s.offset
+                )));
+            }
+            sections.push(s);
+        }
+        Ok(StoreFile {
+            buf,
+            header,
+            sections,
+        })
+    }
+
+    /// The validated header.
+    pub fn header(&self) -> &Header {
+        &self.header
+    }
+
+    /// The decoded section table (unknown kinds included, for
+    /// `inspect`).
+    pub fn sections(&self) -> &[Section] {
+        &self.sections
+    }
+
+    /// Total file size in bytes.
+    pub fn file_len(&self) -> usize {
+        self.buf.len()
+    }
+
+    fn section_bytes(&self, s: &Section) -> &[u8] {
+        &self.buf.as_bytes()[s.offset as usize..(s.offset + s.len) as usize]
+    }
+
+    fn find_unique(&self, kind: SectionKind) -> Result<Option<&Section>, StoreError> {
+        let mut found = None;
+        for s in &self.sections {
+            if s.known_kind() == Some(kind) {
+                if found.is_some() {
+                    return Err(StoreError::corrupt(format!(
+                        "duplicate {} section",
+                        kind.name()
+                    )));
+                }
+                found = Some(s);
+            }
+        }
+        Ok(found)
+    }
+
+    fn require(&self, kind: SectionKind) -> Result<&Section, StoreError> {
+        self.find_unique(kind)?
+            .ok_or(StoreError::Missing { what: kind.name() })
+    }
+
+    fn view_u32(&self, s: &Section, what: &str) -> Result<&[u32], StoreError> {
+        u32s(self.section_bytes(s))
+            .ok_or_else(|| StoreError::corrupt(format!("{what} section is not a u32 array")))
+    }
+
+    /// Declared `(n, m)` of the persisted graph.
+    pub fn graph_meta(&self) -> Result<(usize, usize), StoreError> {
+        let s = self.require(SectionKind::GraphMeta)?;
+        let words = u64s(self.section_bytes(s))
+            .filter(|w| w.len() == 2)
+            .ok_or_else(|| StoreError::corrupt("graph-meta section is not two u64s"))?;
+        Ok((words[0] as usize, words[1] as usize))
+    }
+
+    /// Materializes the persisted weighted graph (bulk copies + full
+    /// CSR and weight validation).
+    pub fn graph(&self) -> Result<WeightedGraph, StoreError> {
+        let (n, m) = self.graph_meta()?;
+        let offsets_raw = u64s(self.section_bytes(self.require(SectionKind::GraphOffsets)?))
+            .ok_or_else(|| StoreError::corrupt("graph-offsets section is not a u64 array"))?;
+        if offsets_raw.len() != n + 1 {
+            return Err(StoreError::corrupt(format!(
+                "graph-offsets has {} entries, expected n + 1 = {}",
+                offsets_raw.len(),
+                n + 1
+            )));
+        }
+        let targets = self.view_u32(self.require(SectionKind::GraphTargets)?, "graph-targets")?;
+        if targets.len() != 2 * m {
+            return Err(StoreError::corrupt(format!(
+                "graph-targets has {} entries, expected 2m = {}",
+                targets.len(),
+                2 * m
+            )));
+        }
+        let offsets: Vec<usize> = offsets_raw.iter().map(|&o| o as usize).collect();
+        let graph = Graph::from_csr_checked(offsets, targets.to_vec())?;
+        let weights = f64s(self.section_bytes(self.require(SectionKind::Weights)?))
+            .ok_or_else(|| StoreError::corrupt("weights section is not an f64 array"))?;
+        if weights.len() != n {
+            return Err(StoreError::corrupt(format!(
+                "weights section has {} entries, expected n = {n}",
+                weights.len()
+            )));
+        }
+        Ok(WeightedGraph::new(graph, weights.to_vec())?)
+    }
+
+    /// Materializes the persisted core decomposition, if present.
+    /// `n` is the graph's vertex count (cross-checked).
+    pub fn decomposition(&self, n: usize) -> Result<Option<CoreDecomposition>, StoreError> {
+        let Some(cn) = self.find_unique(SectionKind::CoreNumbers)? else {
+            return Ok(None);
+        };
+        let core_numbers = self.view_u32(cn, "core-numbers")?;
+        let order = self.require(SectionKind::PeelOrder)?;
+        let peel_order = self.view_u32(order, "peel-order")?;
+        if core_numbers.len() != n || peel_order.len() != n {
+            return Err(StoreError::corrupt(
+                "decomposition arrays do not match the vertex count",
+            ));
+        }
+        let mut seen = vec![false; n];
+        for &v in peel_order {
+            if v as usize >= n || std::mem::replace(&mut seen[v as usize], true) {
+                return Err(StoreError::corrupt(
+                    "peel order is not a permutation of the vertices",
+                ));
+            }
+        }
+        let max_core = core_numbers.iter().copied().max().unwrap_or(0);
+        Ok(Some(CoreDecomposition {
+            core_numbers: core_numbers.to_vec(),
+            max_core,
+            peel_order: peel_order.to_vec(),
+        }))
+    }
+
+    /// Materializes every persisted core level. `n` is the graph's
+    /// vertex count (cross-checked against each mask).
+    pub fn levels(&self, n: usize) -> Result<Vec<CoreLevel>, StoreError> {
+        let mut out = Vec::new();
+        for s in &self.sections {
+            if s.known_kind() != Some(SectionKind::Level) {
+                continue;
+            }
+            let bytes = self.section_bytes(s);
+            let head = u64s(bytes.get(..24).unwrap_or_default())
+                .filter(|w| w.len() == 3)
+                .ok_or_else(|| StoreError::corrupt("level section header truncated"))?;
+            let (num_components, mask_words, vertices_total) =
+                (head[0] as usize, head[1] as usize, head[2] as usize);
+            // All three counts are file-controlled: checked arithmetic
+            // only, so a crafted section fails closed instead of
+            // overflowing (mirrors the forest parser below).
+            let extents = (|| {
+                let mask_end = 24usize.checked_add(mask_words.checked_mul(8)?)?;
+                let offsets_end =
+                    mask_end.checked_add(num_components.checked_add(1)?.checked_mul(4)?)?;
+                let vertices_end = offsets_end.checked_add(vertices_total.checked_mul(4)?)?;
+                Some((mask_end, offsets_end, vertices_end))
+            })();
+            let Some((mask_end, offsets_end, vertices_end)) = extents else {
+                return Err(StoreError::corrupt(format!(
+                    "level k={} counts overflow",
+                    s.k
+                )));
+            };
+            if bytes.len() != vertices_end {
+                return Err(StoreError::corrupt(format!(
+                    "level k={} section length disagrees with its counts",
+                    s.k
+                )));
+            }
+            let words = u64s(&bytes[24..mask_end]).expect("8-aligned interior");
+            let mask = BitSet::from_words(words.to_vec(), n).ok_or_else(|| {
+                StoreError::corrupt(format!(
+                    "level k={} mask does not fit the vertex count",
+                    s.k
+                ))
+            })?;
+            let comp_offsets = u32s(&bytes[mask_end..offsets_end]).expect("4-aligned interior");
+            let vertices = u32s(&bytes[offsets_end..vertices_end]).expect("4-aligned interior");
+            if comp_offsets.first() != Some(&0)
+                || comp_offsets.windows(2).any(|w| w[0] > w[1])
+                || *comp_offsets.last().expect("num_components + 1 >= 1") as usize != vertices.len()
+            {
+                return Err(StoreError::corrupt(format!(
+                    "level k={} component offsets are inconsistent",
+                    s.k
+                )));
+            }
+            if vertices.len() != mask.count() {
+                return Err(StoreError::corrupt(format!(
+                    "level k={} components do not partition its mask",
+                    s.k
+                )));
+            }
+            let mut components = Vec::with_capacity(num_components);
+            for w in comp_offsets.windows(2) {
+                let comp = &vertices[w[0] as usize..w[1] as usize];
+                if comp.windows(2).any(|p| p[0] >= p[1])
+                    || comp.iter().any(|&v| !mask.contains(v as usize))
+                {
+                    return Err(StoreError::corrupt(format!(
+                        "level k={} has an unsorted or out-of-mask component",
+                        s.k
+                    )));
+                }
+                components.push(comp.to_vec());
+            }
+            out.push(CoreLevel {
+                k: s.k as usize,
+                mask,
+                components,
+            });
+        }
+        out.sort_by_key(|l| l.k);
+        Ok(out)
+    }
+
+    /// Materializes every persisted forest (full structural validation
+    /// via [`ExtremumIndex::from_parts`]). `n` is the graph's vertex
+    /// count (cross-checked).
+    pub fn forests(&self, n: usize) -> Result<Vec<ExtremumIndex>, StoreError> {
+        let mut out = Vec::new();
+        for s in &self.sections {
+            if s.known_kind() != Some(SectionKind::Forest) {
+                continue;
+            }
+            let bytes = self.section_bytes(s);
+            let head = u64s(bytes.get(..32).unwrap_or_default())
+                .filter(|w| w.len() == 4)
+                .ok_or_else(|| StoreError::corrupt("forest section header truncated"))?;
+            let (nodes, batch_total, child_total, num_vertices) = (
+                head[0] as usize,
+                head[1] as usize,
+                head[2] as usize,
+                head[3] as usize,
+            );
+            if num_vertices != n {
+                return Err(StoreError::corrupt(format!(
+                    "forest k={} indexes {num_vertices} vertices but the graph has {n}",
+                    s.k
+                )));
+            }
+            let extremum = match s.dir {
+                0 => Extremum::Min,
+                1 => Extremum::Max,
+                other => {
+                    return Err(StoreError::corrupt(format!(
+                        "forest k={} has unknown peel direction {other}",
+                        s.k
+                    )))
+                }
+            };
+            // Array extents, in the fixed writer order.
+            let mut cursor = 32usize;
+            let mut take =
+                |elems: usize, width: usize| -> Result<(usize, usize), StoreError> {
+                    let lo = cursor;
+                    let hi =
+                        lo.checked_add(elems.checked_mul(width).ok_or_else(|| {
+                            StoreError::corrupt("forest section counts overflow")
+                        })?)
+                        .ok_or_else(|| StoreError::corrupt("forest section counts overflow"))?;
+                    if hi > bytes.len() {
+                        return Err(StoreError::corrupt(format!(
+                            "forest k={} section shorter than its declared counts",
+                            s.k
+                        )));
+                    }
+                    cursor = hi;
+                    Ok((lo, hi))
+                };
+            let values_r = take(nodes, 8)?;
+            let event_r = take(nodes, 4)?;
+            let parent_r = take(nodes, 4)?;
+            let size_r = take(nodes, 4)?;
+            let boff_r = take(nodes + 1, 4)?;
+            let coff_r = take(nodes + 1, 4)?;
+            let ranked_r = take(nodes, 4)?;
+            let vnode_r = take(num_vertices, 4)?;
+            let batch_r = take(batch_total, 4)?;
+            let child_r = take(child_total, 4)?;
+            if cursor != bytes.len() {
+                return Err(StoreError::corrupt(format!(
+                    "forest k={} section length disagrees with its counts",
+                    s.k
+                )));
+            }
+            let view32 = |r: (usize, usize)| -> &[u32] {
+                u32s(&bytes[r.0..r.1]).expect("4-aligned interior")
+            };
+            let values = f64s(&bytes[values_r.0..values_r.1]).expect("8-aligned interior");
+            let index = ExtremumIndex::from_parts(
+                s.k as usize,
+                extremum,
+                num_vertices,
+                values.to_vec(),
+                view32(event_r).to_vec(),
+                view32(parent_r).to_vec(),
+                view32(size_r).to_vec(),
+                view32(boff_r).to_vec(),
+                view32(batch_r).to_vec(),
+                view32(coff_r).to_vec(),
+                view32(child_r).to_vec(),
+                view32(ranked_r).to_vec(),
+                view32(vnode_r).to_vec(),
+            )
+            .map_err(|msg| StoreError::corrupt(format!("forest k={}: {msg}", s.k)))?;
+            out.push(index);
+        }
+        out.sort_by_key(|f| (f.k(), f.extremum() == Extremum::Max));
+        Ok(out)
+    }
+
+    /// Materializes everything the store carries.
+    pub fn load(&self) -> Result<StoreContents, StoreError> {
+        let weighted = self.graph()?;
+        let n = weighted.num_vertices();
+        Ok(StoreContents {
+            decomposition: self.decomposition(n)?,
+            levels: self.levels(n)?,
+            forests: self.forests(n)?,
+            weighted,
+        })
+    }
+
+    /// Defense-in-depth verification beyond the envelope checks:
+    /// re-derives every persisted structure from the persisted graph and
+    /// compares — the decomposition against a fresh bucket peel, each
+    /// level against a fresh mask/component extraction, each forest
+    /// against a fresh build. `O(n + m)` per structure; this is what
+    /// `ic-store verify` runs.
+    pub fn verify_deep(&self) -> Result<(), StoreError> {
+        let contents = self.load()?;
+        let wg = &contents.weighted;
+        if let Some(decomp) = &contents.decomposition {
+            let fresh = ic_kcore::core_decomposition(wg.graph());
+            if fresh.core_numbers != decomp.core_numbers || fresh.max_core != decomp.max_core {
+                return Err(StoreError::corrupt(
+                    "persisted decomposition disagrees with a fresh bucket peel",
+                ));
+            }
+            let mut seen: Vec<bool> = vec![false; wg.num_vertices()];
+            for &v in &decomp.peel_order {
+                seen[v as usize] = true;
+            }
+            if seen.iter().any(|&s| !s) {
+                return Err(StoreError::corrupt("peel order misses vertices"));
+            }
+        }
+        for level in &contents.levels {
+            let mask = ic_kcore::kcore_mask(wg.graph(), level.k);
+            if mask != level.mask {
+                return Err(StoreError::corrupt(format!(
+                    "persisted level k={} mask disagrees with a fresh extraction",
+                    level.k
+                )));
+            }
+            let components = ic_graph::connected_components_within(wg.graph(), &mask);
+            if components != level.components {
+                return Err(StoreError::corrupt(format!(
+                    "persisted level k={} components disagree with a fresh extraction",
+                    level.k
+                )));
+            }
+        }
+        for forest in &contents.forests {
+            let fresh = ExtremumIndex::build(wg, forest.k(), forest.extremum());
+            if &fresh != forest {
+                return Err(StoreError::corrupt(format!(
+                    "persisted forest (k={}, {:?}) disagrees with a fresh build",
+                    forest.k(),
+                    forest.extremum()
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Convenience: persists a bare weighted graph (no derived structures)
+/// — the successor of the old `ICG1` generated-graph cache, now sharing
+/// one format with full serving stores.
+pub fn save_graph<P: AsRef<Path>>(path: P, wg: &WeightedGraph) -> Result<(), StoreError> {
+    crate::StoreBuilder::new(wg).write_to(path)
+}
+
+/// Convenience: loads the weighted graph of any store file.
+pub fn load_graph<P: AsRef<Path>>(path: P) -> Result<WeightedGraph, StoreError> {
+    StoreFile::open(path)?.graph()
+}

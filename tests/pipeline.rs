@@ -49,13 +49,22 @@ fn generate_pagerank_search_verify_email() {
 }
 
 #[test]
-fn graph_round_trips_through_binary_and_text_io() {
+fn graph_round_trips_through_store_and_text_io() {
     let spec = by_name(Profile::Quick, "dblp").unwrap();
     let g = spec.generate();
 
-    let bin = io::to_binary(&g);
-    let g2 = io::from_binary(&bin).unwrap();
-    assert_eq!(g, g2);
+    // Binary caching goes through the unified ICS1 store since PR 5
+    // (the ad-hoc ICG1 format is gone): graph + weights round-trip
+    // bit-for-bit through one checksummed file.
+    let w = pagerank(&g, &PageRankConfig::default());
+    let wg = WeightedGraph::new(g.clone(), w).unwrap();
+    let bin = ic_store::StoreBuilder::new(&wg).to_bytes().unwrap();
+    let wg2 = ic_store::StoreFile::from_bytes(&bin)
+        .unwrap()
+        .graph()
+        .unwrap();
+    assert_eq!(&g, wg2.graph());
+    assert_eq!(wg.weights(), wg2.weights());
 
     let mut text = Vec::new();
     io::write_edge_list(&g, &mut text).unwrap();
@@ -66,9 +75,6 @@ fn graph_round_trips_through_binary_and_text_io() {
     );
 
     // Search results on the round-tripped graph are identical.
-    let w = pagerank(&g, &PageRankConfig::default());
-    let wg = WeightedGraph::new(g, w.clone()).unwrap();
-    let wg2 = WeightedGraph::new(g2, w).unwrap();
     let a = Query::new(4, 3, Aggregation::Sum).solve(&wg).unwrap();
     let b = Query::new(4, 3, Aggregation::Sum).solve(&wg2).unwrap();
     assert_eq!(a, b);
