@@ -27,8 +27,9 @@ use crate::algo::common::{
 };
 use crate::{Aggregation, Community, SearchError};
 use ic_graph::{VertexId, WeightedGraph};
-use ic_kcore::{maximal_kcore_components, GraphSnapshot, PeelArena};
+use ic_kcore::{maximal_kcore_components, Budget, GraphSnapshot, PeelArena};
 use std::collections::HashSet;
+use std::sync::Arc;
 
 /// Tuning knobs for [`tic_improved_with_options`]; used by the pruning
 /// ablation experiment.
@@ -205,6 +206,14 @@ pub struct TicEmission {
     emit: std::collections::VecDeque<Community>,
     fresh: Vec<Community>,
     finished: bool,
+    /// Cooperative deadline: checkpointed in the per-vertex expansion
+    /// loop; also handed to the arena so long cascades keep the shared
+    /// flag fresh.
+    budget: Option<Arc<Budget>>,
+    /// Whether the search was cut short by its budget (the emitted
+    /// sequence is then a certified prefix / best-so-far, not the full
+    /// answer).
+    aborted: bool,
 }
 
 impl TicEmission {
@@ -269,7 +278,28 @@ impl TicEmission {
             emit: std::collections::VecDeque::new(),
             fresh: Vec::new(),
             finished: false,
+            budget: None,
+            aborted: false,
         }
+    }
+
+    /// Arms (or disarms) a cooperative deadline. On expiry the search
+    /// stops at the next checkpoint: in exact mode every confirmed
+    /// community whose value is **strictly** above the interrupted
+    /// maximum is still emitted — children are strictly smaller under
+    /// removal (Corollary 2), so that prefix is provably final, bit for
+    /// bit — and in approximate mode everything confirmed so far is
+    /// emitted as best-so-far. [`Self::deadline_aborted`] reports
+    /// whether truncation happened.
+    pub fn set_budget(&mut self, budget: Option<Arc<Budget>>) {
+        self.budget = budget;
+    }
+
+    /// Whether the search was cut short by its budget (the emitted
+    /// sequence is a proven prefix / best-so-far rather than the full
+    /// answer).
+    pub fn deadline_aborted(&self) -> bool {
+        self.aborted
     }
 
     /// Pulls the next community in final rank order, advancing the
@@ -294,9 +324,16 @@ impl TicEmission {
 
     /// One iteration of Algorithm 2's outer loop (or termination).
     fn advance(&mut self, wg: &WeightedGraph, arena: &mut PeelArena) {
+        ic_fail::fail_point!("core::tic_advance");
         if self.results.len() >= self.r || self.candidates.is_empty() {
             self.finish();
             return;
+        }
+        if let Some(b) = &self.budget {
+            if b.check() {
+                self.deadline_abort(f64::INFINITY);
+                return;
+            }
         }
         // Pop the maximum candidate (kept sorted best-first).
         let lmax = self.candidates.remove(0);
@@ -317,11 +354,25 @@ impl TicEmission {
         // O(affected) journaled cascade instead of a full re-peel. The
         // articulation marks are the no-split certificate for the O(1)
         // fast path below.
+        arena.set_budget(self.budget.clone());
         arena.load(wg.graph(), &lmax.vertices, self.k);
         arena.mark_articulation_points();
         let parent_mix = vertex_mix_sum(&lmax.vertices);
         let mut fresh = std::mem::take(&mut self.fresh);
         for &v in &lmax.vertices {
+            // Deadline checkpoint between journaled deletions: aborting
+            // here certifies every confirmation strictly above
+            // `lmax.value` (children are strictly smaller, Corollary 2).
+            // A bare flag load suffices — the arena's cascade polls the
+            // shared budget and keeps the flag fresh, so ticking it
+            // again here would only double the atomic traffic.
+            if let Some(b) = &self.budget {
+                if b.expired() {
+                    self.fresh = fresh;
+                    self.deadline_abort(lmax.value);
+                    return;
+                }
+            }
             // Line 13: the pre-cascade value of Lmax ∖ {v} upper-bounds
             // every child it can produce. Available exactly when the
             // aggregation certifies an O(1) remove delta; otherwise the
@@ -396,6 +447,34 @@ impl TicEmission {
             self.emit.extend(batch);
             self.emitted = end;
         }
+    }
+
+    /// Deadline expiry: terminates the search, emitting only what is
+    /// *provable* at this point. Exact mode emits confirmations whose
+    /// value is strictly above `bar` (the interrupted maximum): every
+    /// unexplored candidate and every future child is ≤ `bar`, so that
+    /// prefix equals the full run's prefix bit for bit (tie groups
+    /// strictly inside the range sort identically). Approximate mode has
+    /// no rank certificate to preserve and flushes everything confirmed
+    /// so far as best-so-far.
+    fn deadline_abort(&mut self, bar: f64) {
+        self.aborted = true;
+        self.finished = true;
+        let end = if self.options.epsilon > 0.0 {
+            self.results.len()
+        } else {
+            let mut end = self.emitted;
+            while end < self.results.len() && self.results[end].value.total_cmp(&bar).is_gt() {
+                end += 1;
+            }
+            end
+        };
+        let mut batch = self.results[self.emitted..end].to_vec();
+        batch.sort_by(|a, b| a.ranking_cmp(b));
+        self.emit.extend(batch);
+        // Everything past `end` is confirmed but uncertified at the
+        // deadline; it is dropped, not emitted out of rank order.
+        self.emitted = self.results.len();
     }
 
     /// Terminates the search and flushes every unemitted confirmation in
@@ -575,6 +654,44 @@ mod tests {
             }
             assert_eq!(got, full, "tie graph r={r}");
         }
+    }
+
+    #[test]
+    fn budgeted_emission_yields_a_certified_prefix_or_best_so_far() {
+        use std::time::Duration;
+        let wg = figure1();
+        let snap = GraphSnapshot::new(wg.clone());
+        let mut arena = PeelArena::for_graph(snap.graph());
+        // Generous budget: identical to the unbudgeted drain, no abort.
+        let full = tic_improved(&wg, 2, 7, Aggregation::Sum, 0.0).unwrap();
+        let mut em = TicEmission::start_on(&snap, 2, 7, Aggregation::Sum, 0.0).unwrap();
+        em.set_budget(Some(Arc::new(Budget::within(Duration::from_secs(3600)))));
+        let mut got = Vec::new();
+        while let Some(c) = em.next_community(&wg, &mut arena) {
+            got.push(c);
+        }
+        assert_eq!(got, full);
+        assert!(!em.deadline_aborted());
+        // Already-expired budget: whatever is emitted is a bit-identical
+        // prefix of the full answer, and the truncation is reported.
+        for eps in [0.0, 0.2] {
+            let full = tic_improved(&wg, 2, 7, Aggregation::Sum, eps).unwrap();
+            let mut em = TicEmission::start_on(&snap, 2, 7, Aggregation::Sum, eps).unwrap();
+            let expired = Arc::new(Budget::within(Duration::from_millis(0)));
+            std::thread::sleep(Duration::from_millis(2));
+            assert!(expired.check());
+            em.set_budget(Some(expired));
+            let mut got = Vec::new();
+            while let Some(c) = em.next_community(&wg, &mut arena) {
+                got.push(c);
+            }
+            assert!(em.deadline_aborted(), "eps={eps}");
+            if eps == 0.0 {
+                assert_eq!(got.as_slice(), &full[..got.len()], "certified prefix");
+            }
+            assert!(got.len() < full.len(), "expired budget cannot finish");
+        }
+        arena.set_budget(None);
     }
 
     #[test]

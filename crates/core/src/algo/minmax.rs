@@ -20,8 +20,9 @@
 use crate::algo::common::{community_from_vertices, validate_k_r};
 use crate::{Aggregation, Community, SearchError};
 use ic_graph::{BitSet, VertexId, WeightedGraph};
-use ic_kcore::{kcore_mask, GraphSnapshot, PeelArena};
+use ic_kcore::{kcore_mask, Budget, GraphSnapshot, PeelArena};
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// Top-r k-influential communities under `f = min`, best first.
 pub(crate) fn min_topr(
@@ -180,6 +181,34 @@ impl MinMaxEmission {
         Self::start(snap, k, r, Extreme::Max, arena)
     }
 
+    /// [`MinMaxEmission::start_min`] under a cooperative deadline: the
+    /// stamped peel pass checkpoints `budget` between removal events
+    /// (and the cascade itself keeps the shared flag fresh). Returns
+    /// `Ok(None)` when the budget expires before the pass completes —
+    /// the event ranking is only proven by the *full* peel, so an
+    /// interrupted pass certifies nothing and the caller must report
+    /// `DeadlineExceeded` rather than a partial answer.
+    pub fn start_min_budgeted(
+        snap: &GraphSnapshot,
+        k: usize,
+        r: usize,
+        arena: &mut PeelArena,
+        budget: &Arc<Budget>,
+    ) -> Result<Option<Self>, SearchError> {
+        Self::start_impl(snap, k, r, Extreme::Min, arena, Some(budget))
+    }
+
+    /// The `max` counterpart of [`MinMaxEmission::start_min_budgeted`].
+    pub fn start_max_budgeted(
+        snap: &GraphSnapshot,
+        k: usize,
+        r: usize,
+        arena: &mut PeelArena,
+        budget: &Arc<Budget>,
+    ) -> Result<Option<Self>, SearchError> {
+        Self::start_impl(snap, k, r, Extreme::Max, arena, Some(budget))
+    }
+
     fn start(
         snap: &GraphSnapshot,
         k: usize,
@@ -187,6 +216,18 @@ impl MinMaxEmission {
         dir: Extreme,
         arena: &mut PeelArena,
     ) -> Result<Self, SearchError> {
+        Ok(Self::start_impl(snap, k, r, dir, arena, None)?
+            .expect("an unbudgeted start always completes"))
+    }
+
+    fn start_impl(
+        snap: &GraphSnapshot,
+        k: usize,
+        r: usize,
+        dir: Extreme,
+        arena: &mut PeelArena,
+        budget: Option<&Arc<Budget>>,
+    ) -> Result<Option<Self>, SearchError> {
         validate_k_r(r)?;
         let wg = snap.weighted();
         let g = wg.graph();
@@ -197,10 +238,20 @@ impl MinMaxEmission {
 
         // Stamped pass 1: identical event sequence to `peel_topr_multi`,
         // but each event also stamps the vertices its cascade removed.
+        // Under a budget the cascade keeps the shared expiry flag fresh
+        // and each event boundary checkpoints it; an expired pass proves
+        // no ranking, so it is abandoned wholesale.
         let mut removal_stamp = vec![u32::MAX; g.num_vertices()];
         let mut events: Vec<(VertexId, f64)> = Vec::with_capacity(order.len());
+        arena.set_budget(budget.cloned());
         arena.load(g, &order, k);
         for &v in &order {
+            if let Some(b) = budget {
+                if b.poll() {
+                    arena.set_budget(None);
+                    return Ok(None);
+                }
+            }
             if arena.is_live(v) {
                 let seq = events.len() as u32;
                 arena.remove_cascade(v);
@@ -211,6 +262,7 @@ impl MinMaxEmission {
                 events.push((v, wg.weight(v)));
             }
         }
+        arena.set_budget(None);
 
         // Rank events (value desc, seq asc) and keep the top r — the
         // same selection rule as the batch path.
@@ -227,7 +279,7 @@ impl MinMaxEmission {
             .map(|s| (s, events[s as usize].0, events[s as usize].1))
             .collect();
 
-        Ok(MinMaxEmission {
+        Ok(Some(MinMaxEmission {
             aggregation: match dir {
                 Extreme::Min => Aggregation::Min,
                 Extreme::Max => Aggregation::Max,
@@ -238,7 +290,7 @@ impl MinMaxEmission {
             pending: VecDeque::new(),
             visited: vec![false; g.num_vertices()],
             queue: Vec::new(),
-        })
+        }))
     }
 
     /// Total communities this emission will yield (`min(r, #events)`).
@@ -601,6 +653,35 @@ mod tests {
             }
             assert_eq!(got, min_topr(&wg, 2, r).unwrap(), "tie graph r={r}");
         }
+    }
+
+    #[test]
+    fn budgeted_start_completes_or_abandons_whole() {
+        use std::time::Duration;
+        let wg = figure1();
+        let snap = ic_kcore::GraphSnapshot::new(wg.clone());
+        let mut arena = PeelArena::for_graph(snap.graph());
+        // A generous budget behaves exactly like the unbudgeted start.
+        let generous = Arc::new(Budget::within(Duration::from_secs(3600)));
+        let mut em = MinMaxEmission::start_min_budgeted(&snap, 2, 7, &mut arena, &generous)
+            .unwrap()
+            .expect("generous budget completes the peel");
+        let mut got = Vec::new();
+        while let Some(c) = em.next_community(&wg) {
+            got.push(c);
+        }
+        assert_eq!(got, min_topr(&wg, 2, 7).unwrap());
+        // An already-expired budget abandons the pass: no partial ranking.
+        let expired = Arc::new(Budget::within(Duration::from_millis(0)));
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(expired.check());
+        let none = MinMaxEmission::start_max_budgeted(&snap, 2, 7, &mut arena, &expired).unwrap();
+        assert!(none.is_none(), "expired start certifies nothing");
+        // The arena is back to unbudgeted use afterwards.
+        assert_eq!(
+            min_topr_on(&snap, 2, 3, &mut arena).unwrap(),
+            min_topr(&wg, 2, 3).unwrap()
+        );
     }
 
     #[test]

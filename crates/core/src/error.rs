@@ -20,6 +20,16 @@ pub enum SearchError {
         /// Why it cannot be used.
         reason: &'static str,
     },
+    /// The query's deadline expired before **any** community of the
+    /// answer was proven final. Deadlines that expire after a prefix is
+    /// proven degrade instead of erroring — see
+    /// `ic_engine::AnswerStatus::Degraded`.
+    DeadlineExceeded,
+    /// The solver panicked while answering this query. The panic was
+    /// isolated to the query (the rest of its batch completed) and the
+    /// arena it was using was quarantined; the payload describes the
+    /// panic for diagnostics.
+    Internal(String),
 }
 
 impl fmt::Display for SearchError {
@@ -35,6 +45,12 @@ impl fmt::Display for SearchError {
                 "{algorithm} does not support aggregation {}: {reason}",
                 aggregation.name()
             ),
+            SearchError::DeadlineExceeded => {
+                write!(f, "deadline exceeded before any result was proven")
+            }
+            SearchError::Internal(detail) => {
+                write!(f, "internal solver failure (query isolated): {detail}")
+            }
         }
     }
 }

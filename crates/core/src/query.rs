@@ -43,6 +43,7 @@ use crate::algo::{self, LocalSearchConfig};
 use crate::{Aggregation, Community, SearchError};
 use ic_graph::WeightedGraph;
 use ic_kcore::{GraphSnapshot, PeelArena};
+use std::time::Duration;
 
 /// One top-r influential community query.
 ///
@@ -65,6 +66,14 @@ pub struct Query {
     pub epsilon: f64,
     /// Unconstrained or size-bounded search.
     pub constraint: Constraint,
+    /// Optional wall-clock budget, measured from the moment the engine
+    /// starts serving the query's batch. `None` = run to completion.
+    /// On expiry the engine degrades instead of aborting: exact solvers
+    /// return the already-proven rank prefix, approximate/local solvers
+    /// return best-so-far, and a query that proved nothing gets a typed
+    /// `DeadlineExceeded` error. Direct `solve`/`solve_on` calls ignore
+    /// the deadline (they have no degradation channel).
+    pub deadline: Option<Duration>,
 }
 
 /// Size constraint of a [`Query`].
@@ -111,6 +120,7 @@ impl Query {
             aggregation,
             epsilon: 0.0,
             constraint: Constraint::Unconstrained,
+            deadline: None,
         }
     }
 
@@ -130,6 +140,14 @@ impl Query {
     /// Adds a size bound, routing the query through local search.
     pub fn size_bound(mut self, s: usize, greedy: bool) -> Self {
         self.constraint = Constraint::SizeBound { s, greedy };
+        self
+    }
+
+    /// Arms a wall-clock deadline (see the [`Query::deadline`] field for
+    /// the degradation semantics). The clock starts when the engine
+    /// begins serving the query's batch.
+    pub fn deadline(mut self, limit: Duration) -> Self {
+        self.deadline = Some(limit);
         self
     }
 
@@ -303,6 +321,13 @@ impl QueryBuilder {
     /// Adds a size bound, routing the query through local search.
     pub fn size_bound(mut self, s: usize, greedy: bool) -> Self {
         self.query.constraint = Constraint::SizeBound { s, greedy };
+        self
+    }
+
+    /// Arms a wall-clock deadline; see [`Query::deadline`] (the field)
+    /// for the degradation semantics.
+    pub fn deadline(mut self, limit: Duration) -> Self {
+        self.query.deadline = Some(limit);
         self
     }
 

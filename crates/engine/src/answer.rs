@@ -1,0 +1,172 @@
+//! The engine's answer vocabulary: status-tagged results and typed
+//! serving errors.
+//!
+//! [`Engine::run_batch_with`](crate::Engine::run_batch_with) returns
+//! one `Result<QueryAnswer, EngineError>` per query. The `Ok` side
+//! carries an [`AnswerStatus`]: `Complete` answers are the familiar
+//! bit-exact solver output, while `Degraded` answers are what a query
+//! deadline buys — the communities the solver had *proven* when time
+//! ran out. For the exact solver paths (`min`/`max` peels, exact
+//! `TIC-IMPROVED`) a degraded answer is a **prefix certificate**: its
+//! `proven_prefix_len` leading entries equal the same-length prefix of
+//! the full answer bit for bit (held by the conformance suite). For the
+//! approximate and local-search paths it is best-so-far
+//! (`proven_prefix_len == 0`).
+//!
+//! The `Err` side distinguishes the three ways serving can fail:
+//! a [`SearchError`] from validation/routing (the query itself is
+//! wrong), [`EngineError::DeadlineExceeded`] (the deadline expired
+//! before *anything* was proven — there is no prefix to return), and
+//! [`EngineError::Internal`] (the solver panicked; the panic was
+//! isolated to this query and its arena quarantined, the rest of the
+//! batch completed normally).
+
+use ic_core::{Community, SearchError};
+use std::time::Duration;
+
+/// Why an answer was degraded rather than complete.
+#[non_exhaustive]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DegradeReason {
+    /// The query's wall-clock deadline expired mid-solve.
+    DeadlineExpired,
+}
+
+/// Completeness tag of a [`QueryAnswer`]; see the module docs.
+#[non_exhaustive]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AnswerStatus {
+    /// The full, bit-exact answer.
+    Complete,
+    /// A truncated answer produced under pressure.
+    Degraded {
+        /// What cut the computation short.
+        reason: DegradeReason,
+        /// How many leading communities are *proven* to equal the full
+        /// answer's prefix bit for bit. Everything past this index (and
+        /// the whole list when this is 0) is best-so-far: genuine
+        /// communities, but possibly not the true top ranks.
+        proven_prefix_len: usize,
+    },
+}
+
+/// One query's answer: the communities plus how complete they are.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QueryAnswer {
+    /// Communities in rank order (for `Complete`, exactly the direct
+    /// solver output).
+    pub communities: Vec<Community>,
+    /// Completeness of `communities`; see [`AnswerStatus`].
+    pub status: AnswerStatus,
+}
+
+impl QueryAnswer {
+    /// A complete answer over `communities`.
+    pub fn complete(communities: Vec<Community>) -> Self {
+        QueryAnswer {
+            communities,
+            status: AnswerStatus::Complete,
+        }
+    }
+
+    /// Whether the answer is complete (not degraded).
+    pub fn is_complete(&self) -> bool {
+        self.status == AnswerStatus::Complete
+    }
+}
+
+/// Why the engine could not answer a query at all; see the module docs.
+#[non_exhaustive]
+#[derive(Clone, Debug, PartialEq)]
+pub enum EngineError {
+    /// Validation/routing rejected the query (see [`SearchError`]).
+    Search(SearchError),
+    /// The deadline expired before any community was proven final.
+    DeadlineExceeded,
+    /// The solver panicked; the failure was isolated to this query (its
+    /// arena quarantined, the rest of the batch completed).
+    Internal {
+        /// The panic payload, for diagnostics.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Search(e) => e.fmt(f),
+            EngineError::DeadlineExceeded => {
+                write!(f, "deadline exceeded before any result was proven")
+            }
+            EngineError::Internal { detail } => {
+                write!(f, "internal solver failure (query isolated): {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Search(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SearchError> for EngineError {
+    fn from(e: SearchError) -> Self {
+        EngineError::Search(e)
+    }
+}
+
+/// Batch-wide serving options for
+/// [`Engine::run_batch_with`](crate::Engine::run_batch_with).
+#[non_exhaustive]
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BatchOptions {
+    /// A deadline applied to **every** query of the batch, measured from
+    /// the moment the engine starts serving it. Folded with each query's
+    /// own [`Query::deadline`](ic_core::Query) (the tighter of the two
+    /// wins). `None` = no batch-wide limit.
+    pub deadline: Option<Duration>,
+}
+
+impl BatchOptions {
+    /// Options with no limits (identical to `run_batch`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the batch-wide deadline.
+    pub fn deadline(mut self, limit: Duration) -> Self {
+        self.deadline = Some(limit);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = EngineError::Search(SearchError::InvalidParams("r must be positive".into()));
+        assert!(e.to_string().contains("r must be positive"));
+        assert!(EngineError::DeadlineExceeded
+            .to_string()
+            .contains("deadline"));
+        let e = EngineError::Internal {
+            detail: "worker panicked at peel.rs:1".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("isolated") && s.contains("peel.rs:1"));
+    }
+
+    #[test]
+    fn batch_options_fold_builder_style() {
+        let o = BatchOptions::new().deadline(Duration::from_millis(5));
+        assert_eq!(o.deadline, Some(Duration::from_millis(5)));
+        assert!(BatchOptions::default().deadline.is_none());
+    }
+}

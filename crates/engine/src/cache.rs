@@ -24,20 +24,32 @@
 //! Keys normalize `f64` parameters through
 //! [`ic_core::aggregate::canonical_f64_bits`], so `alpha: -0.0` and
 //! `alpha: 0.0` (equal values, equal results) share one entry instead of
-//! defeating dedup with distinct bit patterns.
+//! defeating dedup with distinct bit patterns. A query's *deadline* is
+//! deliberately **not** part of the key: only [`Complete`] answers are
+//! ever inserted, and a complete answer satisfies the query under any
+//! deadline. Degraded answers and errors are never cached — they are
+//! artifacts of one serve's timing, not of `(graph, query)`.
 //!
 //! The cache is bounded: when full, the oldest half of the entries is
 //! evicted (insertion order), keeping hot heads resident without
-//! per-access bookkeeping. Errors are never cached — they are cheap to
-//! re-derive at plan time.
+//! per-access bookkeeping.
+//!
+//! **Failure model**: the interior mutex is recovered *fail-closed*. If
+//! a thread ever panics inside the critical section (only reachable in
+//! chaos builds via the `engine::cache_insert` failpoint), the next
+//! access discards the entire cache and clears the poison rather than
+//! trusting possibly half-mutated internals; the cache then re-warms.
+//! Correctness never depends on the cache, so dropping it is always
+//! safe.
+//!
+//! [`Complete`]: crate::AnswerStatus::Complete
 
-use crate::{Constraint, Epoch, Query};
+use crate::{Constraint, EngineError, Epoch, Query, QueryAnswer};
 use ic_core::aggregate::canonical_f64_bits;
-use ic_core::{Community, SearchError};
 use std::collections::{HashMap, VecDeque};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 
-pub(crate) type Outcome = Arc<Result<Vec<Community>, SearchError>>;
+pub(crate) type Outcome = Arc<Result<QueryAnswer, EngineError>>;
 
 /// Hashable identity of a query (normalized f64 parameter bits).
 #[derive(Clone, Copy, PartialEq, Eq, Hash)]
@@ -51,7 +63,8 @@ struct CacheKey {
 
 /// `None` for queries the cache has no key shape for (future
 /// `Constraint` variants): such queries are never cached, so a new
-/// variant can never collide with an existing entry's key.
+/// variant can never collide with an existing entry's key. The deadline
+/// is intentionally absent — see the module docs.
 fn key_of(q: &Query) -> Option<CacheKey> {
     let constraint = match q.constraint {
         Constraint::Unconstrained => (false, 0, false),
@@ -90,6 +103,23 @@ impl ResultCache {
         }
     }
 
+    /// Locks the interior, recovering fail-closed from poison: a panic
+    /// inside a previous critical section discards all entries (they
+    /// may be half-mutated) and clears the poison so the cache re-warms
+    /// normally afterwards.
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        match self.inner.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                let mut guard = poisoned.into_inner();
+                guard.map.clear();
+                guard.fifo.clear();
+                self.inner.clear_poison();
+                guard
+            }
+        }
+    }
+
     /// A hit requires the entry's epoch to match. A stale entry simply
     /// misses — it is *not* removed here, because its key already sits
     /// in the eviction fifo exactly once; it is replaced in place by the
@@ -101,24 +131,30 @@ impl ResultCache {
             return None;
         }
         let key = key_of(q)?;
-        let inner = self.inner.lock().expect("result cache poisoned");
+        let inner = self.lock();
         match inner.map.get(&key) {
             Some((e, outcome)) if *e == epoch => Some(Arc::clone(outcome)),
             _ => None,
         }
     }
 
-    /// Records a completed `Ok` outcome under `epoch` (errors are not
-    /// cached). A stale same-key entry from an **older** epoch is
-    /// replaced in place; an outcome from an older epoch never
-    /// overwrites a newer entry (in-flight pre-`apply` work finishing
-    /// late must not un-cache current results).
+    /// Records a **complete** `Ok` outcome under `epoch` (errors and
+    /// degraded answers are not cached — see the module docs). A stale
+    /// same-key entry from an **older** epoch is replaced in place; an
+    /// outcome from an older epoch never overwrites a newer entry
+    /// (in-flight pre-`apply` work finishing late must not un-cache
+    /// current results).
     pub(crate) fn insert(&self, q: &Query, epoch: Epoch, outcome: &Outcome) {
-        if self.capacity == 0 || outcome.is_err() {
+        if self.capacity == 0 {
             return;
         }
+        match outcome.as_ref() {
+            Ok(ans) if ans.is_complete() => {}
+            _ => return,
+        }
         let Some(key) = key_of(q) else { return };
-        let mut inner = self.inner.lock().expect("result cache poisoned");
+        let mut inner = self.lock();
+        ic_fail::fail_point!("engine::cache_insert");
         match inner.map.get(&key).map(|(e, _)| *e) {
             Some(e) if e >= epoch => return,
             Some(_) => {
@@ -142,11 +178,11 @@ impl ResultCache {
     }
 
     pub(crate) fn len(&self) -> usize {
-        self.inner.lock().expect("result cache poisoned").map.len()
+        self.lock().map.len()
     }
 
     pub(crate) fn clear(&self) {
-        let mut inner = self.inner.lock().expect("result cache poisoned");
+        let mut inner = self.lock();
         inner.map.clear();
         inner.fifo.clear();
     }

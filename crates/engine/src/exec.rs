@@ -9,19 +9,75 @@
 //! Completed results flow back to the caller thread over a channel, which
 //! is what makes [`crate::Engine::for_each_result`] stream results in
 //! completion order while the batch is still running.
+//!
+//! # Failure model
+//!
+//! Every job runs inside a panic guard. A panicking job yields
+//! [`EngineError::Internal`] for *its* queries only; the worker
+//! **quarantines** its arena (a panic mid-peel leaves torn counts — the
+//! arena is dropped, never returned to the pool), discards its local
+//! scratch, takes fresh ones, and keeps draining the job list. For
+//! chunked local-search families the panic poisons the whole family
+//! (a missing chunk's partials would silently bias the merge), and the
+//! chunk countdown is decremented *outside* the guard so the family
+//! always completes exactly once.
+//!
+//! # Deadlines
+//!
+//! Wall-clock budgets anchor at [`execute`]'s entry. A deadline-armed
+//! job checkpoints its [`Budget`] cooperatively; on expiry the exact
+//! paths return the already-proven rank prefix (tagged
+//! [`Degraded`](crate::AnswerStatus::Degraded) with
+//! `proven_prefix_len == len`), approximate/local paths return
+//! best-so-far (`proven_prefix_len == 0`), and a query with nothing
+//! proven gets [`EngineError::DeadlineExceeded`].
 
 use crate::plan::{Dir, Job, JobOutput, LocalJob, Plan};
+use crate::{AnswerStatus, DegradeReason, EngineError, QueryAnswer};
 use ic_core::algo::{
     self, decode_ordered_f64, encode_ordered_f64, run_seed_multi, ExtremumIndex, LocalScratch,
-    SeedTarget,
+    MinMaxEmission, SeedTarget, TicEmission,
 };
-use ic_core::{Community, Extremum, SearchError, TopList};
-use ic_kcore::{ArenaPool, GraphSnapshot, PeelArena};
+use ic_core::{Community, Extremum, TopList};
+use ic_kcore::{ArenaPool, Budget, GraphSnapshot, PeelArena};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::Sender;
 use std::sync::Arc;
+use std::time::Instant;
 
-type Outcome = Arc<Result<Vec<Community>, SearchError>>;
+type Outcome = crate::cache::Outcome;
+
+fn ok_complete(items: Vec<Community>) -> Outcome {
+    Arc::new(Ok(QueryAnswer::complete(items)))
+}
+
+/// A deadline-truncated answer; `proven` leading entries are certified
+/// equal to the full answer's prefix.
+fn degraded(items: Vec<Community>, proven: usize) -> Outcome {
+    Arc::new(Ok(QueryAnswer {
+        communities: items,
+        status: AnswerStatus::Degraded {
+            reason: DegradeReason::DeadlineExpired,
+            proven_prefix_len: proven,
+        },
+    }))
+}
+
+fn fail(e: EngineError) -> Outcome {
+    Arc::new(Err(e))
+}
+
+/// Best human-readable rendering of a panic payload.
+fn panic_detail(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// Runs a plan against one pinned snapshot. The snapshot and arena pool
 /// are grabbed once by the caller (`Engine::execute`) so a concurrent
@@ -35,6 +91,9 @@ pub(crate) fn execute<F>(
 ) where
     F: FnMut(usize, Outcome),
 {
+    // Deadlines are measured from here: immediate answers cost no solver
+    // time, and every armed job's budget anchors to serve start.
+    let anchor = Instant::now();
     for (query, result) in plan.immediate.iter() {
         deliver(*query, Arc::clone(result));
     }
@@ -51,13 +110,48 @@ pub(crate) fn execute<F>(
             let cursor = &cursor;
             let plan = &plan;
             scope.spawn(move || {
-                let mut arena = arenas.acquire();
+                let mut arena = arenas.take_arena();
                 let mut scratch: Option<LocalScratch> = None;
                 loop {
                     let j = cursor.fetch_add(1, Ordering::Relaxed);
                     let Some(job) = plan.jobs.get(j) else { break };
-                    run_job(snap, job, &mut arena, &mut scratch, &tx);
+                    let guarded = catch_unwind(AssertUnwindSafe(|| {
+                        run_job(snap, anchor, job, &mut arena, &mut scratch, &tx);
+                    }));
+                    match guarded {
+                        Ok(()) => {
+                            if let Job::LocalChunk { job, .. } = job {
+                                finish_chunk(job, &tx);
+                            }
+                        }
+                        Err(payload) => {
+                            // The panicking job may have left the arena
+                            // (and scratch) mid-peel with torn state:
+                            // quarantine the arena — it never returns to
+                            // the pool — and continue on fresh ones. The
+                            // failure is confined to this job's queries.
+                            let bad = std::mem::replace(&mut arena, arenas.take_arena());
+                            arenas.quarantine(bad);
+                            scratch = None;
+                            let detail = panic_detail(payload.as_ref());
+                            match job {
+                                Job::LocalChunk { job, .. } => {
+                                    job.poisoned
+                                        .lock()
+                                        .unwrap_or_else(|e| e.into_inner())
+                                        .get_or_insert(detail);
+                                    finish_chunk(job, &tx);
+                                }
+                                Job::MinMaxFamily { outputs, .. }
+                                | Job::SumFamily { outputs, .. }
+                                | Job::Improved { outputs, .. } => {
+                                    send_all(&tx, outputs, &fail(EngineError::Internal { detail }));
+                                }
+                            }
+                        }
+                    }
                 }
+                arenas.put_arena(arena);
             });
         }
         drop(tx);
@@ -98,8 +192,21 @@ fn send_all(tx: &Sender<(usize, Outcome)>, outputs: &[JobOutput], outcome: &Outc
     }
 }
 
+/// Wraps a truncated drain: certified prefix when `proven`, best-so-far
+/// otherwise, and the typed deadline error when nothing at all was
+/// proven in time.
+fn truncated_outcome(items: Vec<Community>, exact: bool) -> Outcome {
+    if items.is_empty() {
+        fail(EngineError::DeadlineExceeded)
+    } else {
+        let proven = if exact { items.len() } else { 0 };
+        degraded(items, proven)
+    }
+}
+
 fn run_job(
     snap: &GraphSnapshot,
+    anchor: Instant,
     job: &Job,
     arena: &mut PeelArena,
     scratch: &mut Option<LocalScratch>,
@@ -112,7 +219,47 @@ fn run_job(
             rs,
             outputs,
             indexed,
+            deadline,
         } => {
+            if let Some(d) = deadline {
+                // Armed family: exactly one r (the planner never merges
+                // armed queries — see `JobKey`). Budgeted stamped peel,
+                // then per-pull checkpoints; every pulled community is
+                // already in final rank order, so the truncation point
+                // *is* the proven prefix.
+                let budget = Arc::new(Budget::until(anchor + *d));
+                let r = rs[0];
+                let started = match dir {
+                    Dir::Min => MinMaxEmission::start_min_budgeted(snap, *k, r, arena, &budget),
+                    Dir::Max => MinMaxEmission::start_max_budgeted(snap, *k, r, arena, &budget),
+                };
+                let outcome = match started {
+                    Err(e) => fail(e.into()),
+                    // The stamped peel itself ran out of time: the event
+                    // ranking is unproven, nothing can be returned.
+                    Ok(None) => fail(EngineError::DeadlineExceeded),
+                    Ok(Some(mut em)) => {
+                        let total = em.len();
+                        let mut items = Vec::with_capacity(total);
+                        while items.len() < total {
+                            if budget.check() {
+                                break;
+                            }
+                            match em.next_community(snap.weighted()) {
+                                Some(c) => items.push(c),
+                                None => break,
+                            }
+                        }
+                        if items.len() < total {
+                            truncated_outcome(items, true)
+                        } else {
+                            ok_complete(items)
+                        }
+                    }
+                };
+                send_all(tx, outputs, &outcome);
+                return;
+            }
             let solved = if *indexed {
                 // Index-served: every `r` is answered from the
                 // snapshot's extremum community forest — persisted via
@@ -135,12 +282,12 @@ fn run_job(
             };
             match solved {
                 Ok(lists) => {
-                    let slots: Vec<Outcome> = lists.into_iter().map(|l| Arc::new(Ok(l))).collect();
+                    let slots: Vec<Outcome> = lists.into_iter().map(ok_complete).collect();
                     for out in outputs {
                         let _ = tx.send((out.query, Arc::clone(&slots[out.slot])));
                     }
                 }
-                Err(e) => send_all(tx, outputs, &Arc::new(Err(e))),
+                Err(e) => send_all(tx, outputs, &fail(e.into())),
             }
         }
         Job::SumFamily {
@@ -148,7 +295,34 @@ fn run_job(
             aggregation,
             rs,
             outputs,
+            deadline,
         } => {
+            if let Some(d) = deadline {
+                // Armed: one r. Progressive TIC drain under a budget —
+                // on expiry the emission has already flushed exactly the
+                // provably-final prefix (Corollary 2: children are
+                // strictly smaller than their parent).
+                let budget = Arc::new(Budget::until(anchor + *d));
+                let r = rs[0];
+                let outcome = match TicEmission::start_on(snap, *k, r, *aggregation, 0.0) {
+                    Err(e) => fail(e.into()),
+                    Ok(mut em) => {
+                        em.set_budget(Some(Arc::clone(&budget)));
+                        let mut items = Vec::new();
+                        while let Some(c) = em.next_community(snap.weighted(), arena) {
+                            items.push(c);
+                        }
+                        arena.set_budget(None);
+                        if em.deadline_aborted() {
+                            truncated_outcome(items, true)
+                        } else {
+                            ok_complete(items)
+                        }
+                    }
+                };
+                send_all(tx, outputs, &outcome);
+                return;
+            }
             let r_max = *rs.last().expect("family is non-empty");
             match algo::tic_improved_on(snap, *k, r_max, *aggregation, 0.0, arena) {
                 Ok(full) => {
@@ -156,22 +330,18 @@ fn run_job(
                         .iter()
                         .map(|&r| {
                             if r == r_max {
-                                Arc::new(Ok(full.clone()))
+                                ok_complete(full.clone())
                             } else if prefix_is_tie_safe(&full, r) {
-                                Arc::new(Ok(full[..r.min(full.len())].to_vec()))
+                                ok_complete(full[..r.min(full.len())].to_vec())
                             } else {
                                 // A value tie makes the top-r' set
                                 // ambiguous under the solver's tie-break;
                                 // fall back to the direct run so the
                                 // answer stays bit-identical to it.
-                                Arc::new(algo::tic_improved_on(
-                                    snap,
-                                    *k,
-                                    r,
-                                    *aggregation,
-                                    0.0,
-                                    arena,
-                                ))
+                                match algo::tic_improved_on(snap, *k, r, *aggregation, 0.0, arena) {
+                                    Ok(list) => ok_complete(list),
+                                    Err(e) => fail(e.into()),
+                                }
                             }
                         })
                         .collect();
@@ -179,7 +349,7 @@ fn run_job(
                         let _ = tx.send((out.query, Arc::clone(&slots[out.slot])));
                     }
                 }
-                Err(e) => send_all(tx, outputs, &Arc::new(Err(e))),
+                Err(e) => send_all(tx, outputs, &fail(e.into())),
             }
         }
         Job::Improved {
@@ -188,35 +358,71 @@ fn run_job(
             aggregation,
             epsilon,
             outputs,
+            deadline,
         } => {
-            let outcome = Arc::new(algo::tic_improved_on(
-                snap,
-                *k,
-                *r,
-                *aggregation,
-                *epsilon,
-                arena,
-            ));
+            if let Some(d) = deadline {
+                let budget = Arc::new(Budget::until(anchor + *d));
+                let outcome = match TicEmission::start_on(snap, *k, *r, *aggregation, *epsilon) {
+                    Err(e) => fail(e.into()),
+                    Ok(mut em) => {
+                        em.set_budget(Some(Arc::clone(&budget)));
+                        let mut items = Vec::new();
+                        while let Some(c) = em.next_community(snap.weighted(), arena) {
+                            items.push(c);
+                        }
+                        arena.set_budget(None);
+                        if em.deadline_aborted() {
+                            // ε = 0 emissions flush a certified prefix on
+                            // abort; ε > 0 flushes best-so-far.
+                            truncated_outcome(items, *epsilon == 0.0)
+                        } else {
+                            ok_complete(items)
+                        }
+                    }
+                };
+                send_all(tx, outputs, &outcome);
+                return;
+            }
+            let outcome = match algo::tic_improved_on(snap, *k, *r, *aggregation, *epsilon, arena) {
+                Ok(list) => ok_complete(list),
+                Err(e) => fail(e.into()),
+            };
             send_all(tx, outputs, &outcome);
         }
-        Job::LocalChunk { job, chunk } => run_local_chunk(snap, job, *chunk, scratch, tx),
+        Job::LocalChunk { job, chunk } => run_local_chunk(snap, anchor, job, *chunk, scratch),
     }
 }
 
 /// Executes seed chunk `chunk` of a local-search family, mirroring
 /// `par_local_search`: per-member thread-local top-r lists, per-member
 /// shared monotone floors, one pool build per seed shared by every
-/// member's strategy, merge by whichever chunk finishes last.
+/// member's strategy. Completion accounting (and the final merge) lives
+/// in [`finish_chunk`], which the worker calls outside the panic guard.
+///
+/// Under a deadline the chunk polls the family's shared budget between
+/// seeds and stops early; whatever its lists hold is still pushed — a
+/// truncated chunk's communities are genuine, just not exhaustive, so
+/// the merged answer degrades to best-so-far.
 fn run_local_chunk(
     snap: &GraphSnapshot,
+    anchor: Instant,
     job: &Arc<LocalJob>,
     chunk: usize,
     scratch: &mut Option<LocalScratch>,
-    tx: &Sender<(usize, Outcome)>,
 ) {
+    ic_fail::fail_point!("engine::local_chunk");
     let wg = snap.weighted();
     let g = snap.graph();
     let level = snap.level(job.k);
+
+    // The shared budget starts with whichever chunk gets here first, so
+    // the family's clock never starts before any of its work could.
+    let budget = job.deadline.map(|d| {
+        Arc::clone(
+            job.budget
+                .get_or_init(|| Arc::new(Budget::until(anchor + d))),
+        )
+    });
 
     let seeds = job
         .seeds
@@ -237,6 +443,11 @@ fn run_local_chunk(
             })
             .collect();
         for &seed in &seeds[lo..hi] {
+            if let Some(b) = &budget {
+                if b.poll() {
+                    break;
+                }
+            }
             // Snapshot each member's shared floor, expand, publish back.
             for (t, m) in targets.iter_mut().zip(&job.members) {
                 t.list
@@ -265,22 +476,52 @@ fn run_local_chunk(
     for (local, m) in locals.into_iter().zip(&job.members) {
         m.partials
             .lock()
-            .expect("local job partials poisoned")
+            .unwrap_or_else(|e| e.into_inner())
             .push(local);
     }
-    if job.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
-        // Last chunk standing merges and publishes every member.
+}
+
+/// Exactly-once completion accounting for one chunk of a local-search
+/// family, run **outside** the panic guard: whether the chunk finished
+/// or panicked, the countdown decrements once, and the last chunk
+/// standing publishes every member — a merged answer normally, a typed
+/// `Internal` error for the whole family if any chunk panicked (its
+/// partials may be missing wholesale, which would silently bias a
+/// merge), and a best-so-far degraded answer if the family's deadline
+/// expired mid-walk.
+fn finish_chunk(job: &Arc<LocalJob>, tx: &Sender<(usize, Outcome)>) {
+    if job.remaining.fetch_sub(1, Ordering::AcqRel) != 1 {
+        return;
+    }
+    let poisoned = job
+        .poisoned
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .take();
+    if let Some(detail) = poisoned {
+        let outcome = fail(EngineError::Internal { detail });
         for m in &job.members {
-            let mut merged = TopList::new(m.r);
-            let partials =
-                std::mem::take(&mut *m.partials.lock().expect("local job partials poisoned"));
-            for list in partials {
-                for c in list.into_vec() {
-                    merged.insert(c);
-                }
-            }
-            let outcome: Outcome = Arc::new(Ok(merged.into_vec()));
             send_all(tx, &m.outputs, &outcome);
         }
+        return;
+    }
+    let expired = job.budget.get().is_some_and(|b| b.expired());
+    for m in &job.members {
+        let mut merged = TopList::new(m.r);
+        let partials = std::mem::take(&mut *m.partials.lock().unwrap_or_else(|e| e.into_inner()));
+        for list in partials {
+            for c in list.into_vec() {
+                merged.insert(c);
+            }
+        }
+        let items = merged.into_vec();
+        let outcome = if expired {
+            // Local search is heuristic: a truncated seed walk proves no
+            // rank prefix, so the merge is best-so-far.
+            truncated_outcome(items, false)
+        } else {
+            ok_complete(items)
+        };
+        send_all(tx, &m.outputs, &outcome);
     }
 }

@@ -36,6 +36,18 @@
 //!    snapshot — and a post-`apply` snapshot starts with empty caches,
 //!    so persisted structures are never consulted across an update
 //!    (they rebuild lazily per level under the new epoch).
+//! 5. **Resilience** — [`Engine::run_batch_with`] takes
+//!    [`BatchOptions`] with a batch-wide deadline, and every
+//!    [`Query`] can carry its own (`Query::deadline`); on expiry the
+//!    exact solver paths return the already-**proven** rank prefix
+//!    tagged [`AnswerStatus::Degraded`] (bit-identical to the full
+//!    answer's prefix), best-effort paths return best-so-far, and a
+//!    query with nothing proven gets [`EngineError::DeadlineExceeded`].
+//!    A panicking solver is **isolated**: its query alone reports
+//!    [`EngineError::Internal`], its peel arena is quarantined (never
+//!    returned to the pool), and the rest of the batch — and every
+//!    later batch — is unaffected. See `DESIGN.md` §12 for the full
+//!    failure model.
 //!
 //! # Quick start
 //!
@@ -67,11 +79,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod answer;
 mod cache;
 mod exec;
 mod plan;
 mod stream;
 
+pub use answer::{AnswerStatus, BatchOptions, DegradeReason, EngineError, QueryAnswer};
 pub use plan::{Plan, PlanStats};
 pub use stream::ResultStream;
 
@@ -85,7 +99,10 @@ pub use ic_store::StoreError;
 /// One-stop import of the full serving vocabulary:
 /// `use ic_engine::prelude::*;`.
 pub mod prelude {
-    pub use crate::{Engine, Epoch, Plan, PlanStats, ResultStream};
+    pub use crate::{
+        AnswerStatus, BatchOptions, DegradeReason, Engine, EngineError, Epoch, Plan, PlanStats,
+        QueryAnswer, ResultStream,
+    };
     pub use ic_core::{
         AggregateFn, Aggregation, Certificates, Community, Constraint, Extremum, Hardness, Query,
         QueryBuilder, SearchError, Solver, StateView, TieSemantics,
@@ -98,6 +115,7 @@ use cache::ResultCache;
 use ic_core::{Community, SearchError};
 use ic_graph::WeightedGraph;
 use ic_kcore::{ArenaPool, CoreMaintainer, GraphSnapshot};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Mutex, RwLock};
 
 /// A monotone version counter for the engine's graph: every successful
@@ -227,7 +245,12 @@ impl Engine {
     }
 
     fn serving(&self) -> (Arc<GraphSnapshot>, Arc<ArenaPool>, Epoch) {
-        let s = self.serving.read().expect("serving state poisoned");
+        // The serving state is only ever *replaced whole* (one struct
+        // assignment under the write lock in `apply`), so a poisoned
+        // lock still guards a consistent value: recover and keep
+        // serving rather than cascading one panicked thread into total
+        // engine failure.
+        let s = self.serving.read().unwrap_or_else(|e| e.into_inner());
         (Arc::clone(&s.snapshot), Arc::clone(&s.arenas), s.epoch)
     }
 
@@ -270,6 +293,22 @@ impl Engine {
         self.serving().1.created()
     }
 
+    /// Arenas retired from the current epoch's pool after isolated
+    /// solver panics (see [`ic_kcore::ArenaPool::quarantine`]): each one
+    /// was live inside a panicking solver and is dropped rather than
+    /// recirculated.
+    pub fn arenas_quarantined(&self) -> usize {
+        self.serving().1.quarantined()
+    }
+
+    /// Arenas currently parked in the current epoch's pool. With no
+    /// batch or live stream in flight this equals
+    /// `arenas_created() - arenas_quarantined()` — the pool-restoration
+    /// invariant the chaos suite holds.
+    pub fn arenas_available(&self) -> usize {
+        self.serving().1.available()
+    }
+
     /// Plans a batch without executing it: validation, cache lookups,
     /// immediate answers, dedup, family merging, and job ordering.
     /// Exposed for stats introspection ([`PlanStats`]) and testing;
@@ -287,9 +326,52 @@ impl Engine {
 
     /// Executes a batch and returns one result per query, aligned with
     /// the input order. Duplicate queries are answered by one solver run.
+    ///
+    /// This is the legacy plain surface: it flattens the richer
+    /// [`run_batch_with`](Self::run_batch_with) answers — a
+    /// deadline-degraded answer yields its communities with the status
+    /// dropped, [`EngineError::DeadlineExceeded`] maps to
+    /// [`SearchError::DeadlineExceeded`], and an isolated solver panic
+    /// maps to [`SearchError::Internal`]. Callers that care about
+    /// completeness should use `run_batch_with`.
     pub fn run_batch(&self, queries: &[Query]) -> Vec<Result<Vec<Community>, SearchError>> {
+        self.run_batch_with(queries, &BatchOptions::default())
+            .into_iter()
+            .map(|res| match res {
+                Ok(ans) => Ok(ans.communities),
+                Err(EngineError::Search(e)) => Err(e),
+                Err(EngineError::DeadlineExceeded) => Err(SearchError::DeadlineExceeded),
+                Err(EngineError::Internal { detail }) => Err(SearchError::Internal(detail)),
+            })
+            .collect()
+    }
+
+    /// Executes a batch under [`BatchOptions`] and returns one
+    /// status-tagged result per query, aligned with the input order.
+    ///
+    /// The batch-wide deadline (if any) is folded into each query's own
+    /// [`Query::deadline`] — the tighter of the two wins — *before*
+    /// planning, and the clock starts when execution starts. On expiry:
+    ///
+    /// * exact paths (`min`/`max` peels, exact `TIC-IMPROVED`) return
+    ///   the already-proven rank prefix tagged
+    ///   [`AnswerStatus::Degraded`] with `proven_prefix_len` equal to
+    ///   its length — bit-identical to the full answer's prefix;
+    /// * approximate (ε > 0) and local-search paths return best-so-far
+    ///   (`proven_prefix_len == 0`);
+    /// * a query whose deadline expired before anything was proven gets
+    ///   [`EngineError::DeadlineExceeded`].
+    ///
+    /// A solver panic is isolated to its query (reported as
+    /// [`EngineError::Internal`]); the rest of the batch completes
+    /// normally. Degraded and failed results are never cached.
+    pub fn run_batch_with(
+        &self,
+        queries: &[Query],
+        options: &BatchOptions,
+    ) -> Vec<Result<QueryAnswer, EngineError>> {
         let mut results: Vec<Option<cache::Outcome>> = vec![None; queries.len()];
-        self.execute(queries, |idx, res| {
+        self.execute_with(queries, options, |idx, res| {
             results[idx] = Some(res);
         });
         results
@@ -298,19 +380,21 @@ impl Engine {
             .collect()
     }
 
-    /// Streaming variant of [`run_batch`](Self::run_batch): invokes the
-    /// callback once per query, on the calling thread, as results
-    /// complete (completion order, not input order). Useful for serving
-    /// loops that forward answers as soon as they are ready. For
-    /// *within-query* streaming — communities of one query in rank
+    /// Streaming variant of [`run_batch_with`](Self::run_batch_with):
+    /// invokes the callback once per query, on the calling thread, as
+    /// results complete (completion order, not input order). Useful for
+    /// serving loops that forward answers as soon as they are ready.
+    /// For *within-query* streaming — communities of one query in rank
     /// order — use [`Engine::submit`].
     pub fn for_each_result<F>(&self, queries: &[Query], mut f: F)
     where
-        F: FnMut(usize, Result<&[Community], &SearchError>),
+        F: FnMut(usize, Result<&QueryAnswer, &EngineError>),
     {
-        self.execute(queries, |idx, res| match res.as_ref() {
-            Ok(communities) => f(idx, Ok(communities.as_slice())),
-            Err(e) => f(idx, Err(e)),
+        self.execute_with(queries, &BatchOptions::default(), |idx, res| {
+            match res.as_ref() {
+                Ok(ans) => f(idx, Ok(ans)),
+                Err(e) => f(idx, Err(e)),
+            }
         });
     }
 
@@ -345,8 +429,15 @@ impl Engine {
             return Ok(ResultStream::buffered(snapshot, epoch, query, Vec::new()));
         }
         if let Some(hit) = self.results.get(&query, epoch) {
-            if let Ok(list) = hit.as_ref() {
-                return Ok(ResultStream::buffered(snapshot, epoch, query, list.clone()));
+            if let Ok(ans) = hit.as_ref() {
+                // Only complete answers are ever cached; a hit is the
+                // full bit-exact list.
+                return Ok(ResultStream::buffered(
+                    snapshot,
+                    epoch,
+                    query,
+                    ans.communities.clone(),
+                ));
             }
         }
         ResultStream::open(
@@ -380,47 +471,97 @@ impl Engine {
     /// being served (and are evicted lazily).
     ///
     /// # Panics
-    /// Panics when an update addresses a vertex outside the graph.
+    /// Panics when an update addresses a vertex outside the graph. The
+    /// panic is **atomic**: serving state is untouched (the engine keeps
+    /// answering on the pre-`apply` snapshot under the old epoch), the
+    /// maintainer mutex is left clean — not poisoned — and the next
+    /// `apply` reseeds the maintainer from the serving graph, discarding
+    /// any half-applied update.
     pub fn apply(&self, updates: &[EdgeUpdate]) -> Epoch {
-        let mut guard = self.maintainer.lock().expect("maintainer poisoned");
+        // Recover rather than propagate a poisoned mutex: the slot is
+        // `Option<CoreMaintainer>` and an interrupted apply leaves it
+        // `None` (see below), so the recovered value is always either
+        // absent or fully consistent.
+        let mut guard = self.maintainer.lock().unwrap_or_else(|e| e.into_inner());
         let (snapshot, _, epoch) = self.serving();
-        let maintainer = guard.get_or_insert_with(|| CoreMaintainer::from_graph(snapshot.graph()));
-        let mut changed = false;
-        for &update in updates {
-            changed |= maintainer.apply(update);
+        // Take the maintainer *out* of the slot for the duration of the
+        // build. If anything below panics, the slot stays `None` and the
+        // next apply reseeds core numbers from the serving graph instead
+        // of trusting a maintainer caught mid-update.
+        let mut maintainer = guard
+            .take()
+            .unwrap_or_else(|| CoreMaintainer::from_graph(snapshot.graph()));
+        let built = catch_unwind(AssertUnwindSafe(move || {
+            let mut changed = false;
+            for &update in updates {
+                changed |= maintainer.apply(update);
+            }
+            if !changed {
+                return (maintainer, None);
+            }
+            let graph = maintainer.to_graph();
+            let weights = snapshot.weighted().weights().to_vec();
+            let wg = WeightedGraph::new(graph, weights)
+                .expect("weights are unchanged and were valid before");
+            let new_snapshot = Arc::new(GraphSnapshot::with_decomposition(
+                Arc::new(wg),
+                maintainer.decomposition(),
+            ));
+            ic_fail::fail_point!("engine::apply");
+            let arenas = Arc::new(ArenaPool::for_graph(new_snapshot.graph()));
+            (maintainer, Some((new_snapshot, arenas)))
+        }));
+        match built {
+            Ok((maintainer, None)) => {
+                *guard = Some(maintainer);
+                epoch
+            }
+            Ok((maintainer, Some((snapshot, arenas)))) => {
+                *guard = Some(maintainer);
+                let mut serving = self.serving.write().unwrap_or_else(|e| e.into_inner());
+                // One whole-struct assignment: readers never observe a
+                // new snapshot with an old pool or epoch.
+                *serving = Serving {
+                    snapshot,
+                    arenas,
+                    epoch: Epoch(serving.epoch.0 + 1),
+                };
+                serving.epoch
+            }
+            Err(payload) => std::panic::resume_unwind(payload),
         }
-        if !changed {
-            return epoch;
-        }
-        let graph = maintainer.to_graph();
-        let weights = snapshot.weighted().weights().to_vec();
-        let wg = WeightedGraph::new(graph, weights)
-            .expect("weights are unchanged and were valid before");
-        let new_snapshot = Arc::new(GraphSnapshot::with_decomposition(
-            Arc::new(wg),
-            maintainer.decomposition(),
-        ));
-        let arenas = Arc::new(ArenaPool::for_graph(new_snapshot.graph()));
-        let mut serving = self.serving.write().expect("serving state poisoned");
-        serving.snapshot = new_snapshot;
-        serving.arenas = arenas;
-        serving.epoch = Epoch(serving.epoch.0 + 1);
-        serving.epoch
     }
 
-    fn execute<F>(&self, queries: &[Query], mut deliver: F)
+    fn execute_with<F>(&self, queries: &[Query], options: &BatchOptions, mut deliver: F)
     where
-        F: FnMut(usize, Arc<Result<Vec<Community>, SearchError>>),
+        F: FnMut(usize, cache::Outcome),
     {
         let (snapshot, arenas, epoch) = self.serving();
+        // Fold the batch-wide deadline into each query (the tighter of
+        // the two wins) *before* planning, so job dedup and family
+        // merging see the effective deadlines.
+        let effective: std::borrow::Cow<'_, [Query]> = match options.deadline {
+            None => std::borrow::Cow::Borrowed(queries),
+            Some(batch_d) => std::borrow::Cow::Owned(
+                queries
+                    .iter()
+                    .map(|q| {
+                        let mut q = *q;
+                        q.deadline = Some(q.deadline.map_or(batch_d, |d| d.min(batch_d)));
+                        q
+                    })
+                    .collect(),
+            ),
+        };
         let plan = Plan::build(
             &snapshot,
-            queries,
+            &effective,
             self.threads,
             Some((&self.results, epoch)),
         );
         exec::execute(&snapshot, &arenas, self.threads, plan, |idx, outcome| {
-            self.results.insert(&queries[idx], epoch, &outcome);
+            // Only complete answers are retained (the insert filters).
+            self.results.insert(&effective[idx], epoch, &outcome);
             deliver(idx, outcome);
         });
     }
@@ -912,5 +1053,156 @@ mod tests {
         eng.apply(&[EdgeUpdate::Remove { u: 4, v: 6 }]);
         let got: Vec<_> = stream.collect();
         assert_eq!(got, expect, "stream must be isolated from apply");
+    }
+
+    /// One query per solver path, for the deadline tests below.
+    fn deadline_probe_batch() -> Vec<Query> {
+        vec![
+            Query::new(2, 3, Aggregation::Min),
+            Query::new(2, 4, Aggregation::Max),
+            Query::new(2, 3, Aggregation::Sum),
+            Query::new(2, 3, Aggregation::Sum).approx(0.2),
+            Query::new(2, 3, Aggregation::Sum).size_bound(4, true),
+        ]
+    }
+
+    #[test]
+    fn zero_deadline_yields_typed_failure_or_certified_prefix() {
+        let eng = engine(2);
+        let base = deadline_probe_batch();
+        // The full answers first (same engine, deterministic solvers).
+        let full: Vec<Vec<Community>> = base
+            .iter()
+            .map(|q| eng.run_batch(&[*q])[0].clone().unwrap())
+            .collect();
+        eng.clear_result_cache();
+
+        let armed: Vec<Query> = base
+            .iter()
+            .map(|q| q.deadline(std::time::Duration::ZERO))
+            .collect();
+        let got = eng.run_batch_with(&armed, &BatchOptions::default());
+        for ((q, res), want) in base.iter().zip(&got).zip(&full) {
+            match res {
+                // Nothing proven before the (already expired) deadline.
+                Err(EngineError::DeadlineExceeded) => {}
+                Err(e) => panic!("{q:?}: unexpected error {e}"),
+                Ok(ans) => match ans.status {
+                    AnswerStatus::Complete => {
+                        panic!("{q:?}: a zero deadline must never complete")
+                    }
+                    AnswerStatus::Degraded {
+                        reason,
+                        proven_prefix_len,
+                    } => {
+                        assert_eq!(reason, DegradeReason::DeadlineExpired, "{q:?}");
+                        assert!(proven_prefix_len <= ans.communities.len(), "{q:?}");
+                        // The certificate: the proven prefix is the full
+                        // answer's prefix, bit for bit.
+                        assert_eq!(
+                            &ans.communities[..proven_prefix_len],
+                            &want[..proven_prefix_len],
+                            "{q:?}: proven prefix must be bit-identical"
+                        );
+                    }
+                },
+            }
+        }
+        // Degraded and failed results must never be cached.
+        assert_eq!(eng.cached_results(), 0);
+    }
+
+    #[test]
+    fn generous_deadline_is_complete_and_bit_identical() {
+        let eng = engine(2);
+        let base = deadline_probe_batch();
+        let want = eng.run_batch(&base);
+        eng.clear_result_cache();
+        let hour = std::time::Duration::from_secs(3600);
+        let armed: Vec<Query> = base.iter().map(|q| q.deadline(hour)).collect();
+        let got = eng.run_batch_with(&armed, &BatchOptions::default());
+        for ((q, want), got) in base.iter().zip(&want).zip(&got) {
+            let ans = got.as_ref().unwrap();
+            assert!(ans.is_complete(), "{q:?}: loose deadline must complete");
+            assert_eq!(
+                &ans.communities,
+                want.as_ref().unwrap(),
+                "{q:?}: armed checkpoints must not change the answer"
+            );
+        }
+        // Complete answers cache exactly like unarmed ones.
+        assert_eq!(eng.cached_results(), base.len());
+    }
+
+    #[test]
+    fn batch_deadline_folds_into_every_query() {
+        let eng = engine(2);
+        let batch = vec![
+            Query::new(2, 3, Aggregation::Min),
+            Query::new(2, 3, Aggregation::Sum),
+        ];
+        let options = BatchOptions::default().deadline(std::time::Duration::ZERO);
+        let got = eng.run_batch_with(&batch, &options);
+        for (q, res) in batch.iter().zip(&got) {
+            match res {
+                Err(EngineError::DeadlineExceeded) => {}
+                Ok(ans) => assert!(!ans.is_complete(), "{q:?}"),
+                Err(e) => panic!("{q:?}: unexpected error {e}"),
+            }
+        }
+        assert_eq!(eng.cached_results(), 0, "nothing to memoize under expiry");
+        // The fold takes the tighter of the two deadlines: a generous
+        // batch limit must not loosen a query's own zero deadline.
+        let armed = [Query::new(2, 3, Aggregation::Min).deadline(std::time::Duration::ZERO)];
+        let options = BatchOptions::default().deadline(std::time::Duration::from_secs(3600));
+        assert!(
+            !matches!(
+                &eng.run_batch_with(&armed, &options)[0],
+                Ok(ans) if ans.is_complete()
+            ),
+            "per-query zero deadline must win over a loose batch deadline"
+        );
+    }
+
+    #[test]
+    fn deadline_armed_queries_bypass_and_do_not_pollute_the_cache() {
+        let eng = engine(2);
+        let q = Query::new(2, 3, Aggregation::Min);
+        // Warm the cache with the complete answer.
+        let want = eng.run_batch(&[q])[0].clone().unwrap();
+        assert_eq!(eng.cached_results(), 1);
+        // An armed run of the *same* query plans as a fresh solver run
+        // (deadline is part of the job identity, not the cache key), and
+        // a complete armed answer is served bit-identically.
+        let armed = [q.deadline(std::time::Duration::from_secs(3600))];
+        let got = eng.run_batch_with(&armed, &BatchOptions::default());
+        assert_eq!(got[0].as_ref().unwrap().communities, want);
+    }
+
+    #[test]
+    fn apply_panic_is_atomic_and_recoverable() {
+        let eng = engine(2);
+        let q = Query::new(2, 2, Aggregation::Min);
+        let before = eng.run_batch(&[q])[0].clone().unwrap();
+        let e0 = eng.epoch();
+
+        // An update addressing a vertex outside the graph panics...
+        let panicked = catch_unwind(AssertUnwindSafe(|| {
+            eng.apply(&[EdgeUpdate::Insert { u: 0, v: 9_999 }]);
+        }));
+        assert!(panicked.is_err(), "out-of-range vertex must panic");
+
+        // ...atomically: serving state is untouched and keeps answering.
+        assert_eq!(eng.epoch(), e0, "failed apply must not move the epoch");
+        eng.clear_result_cache();
+        assert_eq!(eng.run_batch(&[q])[0].clone().unwrap(), before);
+
+        // The engine is not wedged: the next (valid) apply succeeds and
+        // the post-update answers match a from-scratch engine exactly.
+        let e1 = eng.apply(&[EdgeUpdate::Remove { u: 2, v: 8 }]);
+        assert!(e1 > e0, "post-panic apply must advance the epoch");
+        let after = eng.run_batch(&[q])[0].clone().unwrap();
+        let fresh = Engine::with_threads(eng.snapshot().weighted().clone(), eng.threads());
+        assert_eq!(&after, fresh.run_batch(&[q])[0].as_ref().unwrap());
     }
 }

@@ -35,13 +35,14 @@
 //! * jobs are sorted by `(k, solver kind, parameters)`, so consecutive
 //!   jobs reuse the same memoized snapshot level and warm arena.
 
-use crate::{Constraint, Epoch, Query, Solver};
+use crate::{Constraint, EngineError, Epoch, Query, QueryAnswer, Solver};
 use ic_core::aggregate::canonical_f64_bits;
 use ic_core::{Aggregation, SearchError, TopList};
-use ic_kcore::GraphSnapshot;
+use ic_kcore::{Budget, GraphSnapshot};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
 
 /// Peel direction of a min/max family job.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -87,7 +88,18 @@ pub(crate) struct LocalJob {
     pub(crate) remaining: AtomicUsize,
     /// Seed list (the k-core mask's vertices), computed by whichever
     /// chunk runs first and shared by the rest.
-    pub(crate) seeds: std::sync::OnceLock<Vec<u32>>,
+    pub(crate) seeds: OnceLock<Vec<u32>>,
+    /// Wall-clock budget shared by every chunk (`None` when the family
+    /// has no deadline). Initialized by whichever chunk runs first so
+    /// the clock starts at execution, not planning.
+    pub(crate) deadline: Option<Duration>,
+    pub(crate) budget: OnceLock<Arc<Budget>>,
+    /// Set (to the panic payload) when any chunk's worker panics: the
+    /// finishing chunk then delivers `EngineError::Internal` to every
+    /// member instead of a partial merge (best-so-far from a panicked
+    /// family is not trustworthy — a chunk's partials may be missing
+    /// entirely).
+    pub(crate) poisoned: Mutex<Option<String>>,
 }
 
 /// One executable unit of a plan.
@@ -102,6 +114,12 @@ pub(crate) enum Job {
         rs: Vec<usize>,
         outputs: Vec<JobOutput>,
         indexed: bool,
+        /// Wall-clock budget, armed at execution start. Deadline-armed
+        /// queries never share a job with unarmed ones (and only with
+        /// exact duplicates of themselves), so `rs.len() == 1` whenever
+        /// this is `Some` — the degraded prefix certificate is
+        /// per-query.
+        deadline: Option<Duration>,
     },
     /// An exact removal-decreasing family: one `TIC-IMPROVED` run at
     /// `max(rs)`, tie-safe prefixes (or direct fallback runs) for the
@@ -111,6 +129,9 @@ pub(crate) enum Job {
         aggregation: Aggregation,
         rs: Vec<usize>,
         outputs: Vec<JobOutput>,
+        /// See the `MinMaxFamily` deadline note: `Some` implies
+        /// `rs.len() == 1`.
+        deadline: Option<Duration>,
     },
     /// One approximate `TIC-IMPROVED` run (ε > 0; never merged).
     Improved {
@@ -119,6 +140,7 @@ pub(crate) enum Job {
         aggregation: Aggregation,
         epsilon: f64,
         outputs: Vec<JobOutput>,
+        deadline: Option<Duration>,
     },
     /// One seed chunk of a local-search job.
     LocalChunk { job: Arc<LocalJob>, chunk: usize },
@@ -195,27 +217,56 @@ fn agg_key(a: Aggregation) -> (u8, u64) {
 /// Dedup identity of a job. Min/max families key on `(dir, k)` and
 /// exact sum families on `(k, aggregation)` — their `r` spreads live
 /// inside the family.
+///
+/// Every key also carries `ddl`, the query's deadline in nanoseconds
+/// (`u64::MAX` = none): a deadline-armed query must never share a job
+/// with an unarmed one — the armed run may abort mid-peel and must not
+/// drag complete queries down with it. For the mergeable families
+/// (`MinMax`, `SumFamily`) an armed key additionally pins `solo_r` to
+/// the query's own `r` (0 when unarmed), so armed families only ever
+/// hold exact duplicates: the degraded answer's *proven prefix* is
+/// certified against the tie boundary of **one** `r`, and merging
+/// different `r`s under a deadline would have to re-prove tie-safety on
+/// a truncated value list. `Improved` and `Local` already never merge
+/// across `r`, so `ddl` alone suffices there.
 #[derive(Clone, Copy, PartialEq, Eq, Hash)]
 enum JobKey {
     MinMax {
         dir: Dir,
         k: usize,
+        ddl: u64,
+        solo_r: usize,
     },
     SumFamily {
         k: usize,
         agg: (u8, u64),
+        ddl: u64,
+        solo_r: usize,
     },
     Improved {
         k: usize,
         r: usize,
         agg: (u8, u64),
         eps: u64,
+        ddl: u64,
     },
     Local {
         k: usize,
         s: usize,
         greedy: bool,
+        ddl: u64,
     },
+}
+
+/// The deadline component of a [`JobKey`]: nanoseconds, `u64::MAX` for
+/// "no deadline" (a real 584-year deadline saturates onto the same key,
+/// which merges it with unarmed queries — indistinguishable in
+/// practice).
+fn ddl_key(q: &Query) -> u64 {
+    match q.deadline {
+        None => u64::MAX,
+        Some(d) => u64::try_from(d.as_nanos()).unwrap_or(u64::MAX),
+    }
 }
 
 /// Validates a query and maps its routing decision ([`Query::solver`] —
@@ -235,19 +286,28 @@ enum JobKey {
 /// solo run member-by-member, no value-equality proof involved), so
 /// tie semantics cannot affect them.
 fn validate(q: &Query) -> Result<JobKey, SearchError> {
+    let ddl = ddl_key(q);
+    // Armed mergeable families pin their own r (see JobKey docs).
+    let solo_r = if ddl == u64::MAX { 0 } else { q.r };
     match q.solver()? {
         Solver::MinPeel => Ok(JobKey::MinMax {
             dir: Dir::Min,
             k: q.k,
+            ddl,
+            solo_r,
         }),
         Solver::MaxPeel => Ok(JobKey::MinMax {
             dir: Dir::Max,
             k: q.k,
+            ddl,
+            solo_r,
         }),
         Solver::TicExact if q.aggregation.certificates().ties == ic_core::TieSemantics::Exact => {
             Ok(JobKey::SumFamily {
                 k: q.k,
                 agg: agg_key(q.aggregation),
+                ddl,
+                solo_r,
             })
         }
         Solver::TicExact => Ok(JobKey::Improved {
@@ -255,19 +315,26 @@ fn validate(q: &Query) -> Result<JobKey, SearchError> {
             r: q.r,
             agg: agg_key(q.aggregation),
             eps: canonical_f64_bits(0.0),
+            ddl,
         }),
         Solver::TicApprox => Ok(JobKey::Improved {
             k: q.k,
             r: q.r,
             agg: agg_key(q.aggregation),
             eps: canonical_f64_bits(q.epsilon),
+            ddl,
         }),
         // Today LocalSearch routing implies a size bound; if a future
         // `Constraint` variant ever routes here, fail the one query
         // instead of panicking the worker ("one bad query never poisons
         // a batch").
         Solver::LocalSearch => match q.constraint {
-            Constraint::SizeBound { s, greedy } => Ok(JobKey::Local { k: q.k, s, greedy }),
+            Constraint::SizeBound { s, greedy } => Ok(JobKey::Local {
+                k: q.k,
+                s,
+                greedy,
+                ddl,
+            }),
             other => Err(SearchError::InvalidParams(format!(
                 "the batch planner has no local-search job shape for constraint {other:?}"
             ))),
@@ -301,15 +368,16 @@ impl Plan {
         for (idx, q) in queries.iter().enumerate() {
             let key = match validate(q) {
                 Err(e) => {
-                    immediate.push((idx, Arc::new(Err(e))));
+                    immediate.push((idx, Arc::new(Err(EngineError::Search(e)))));
                     continue;
                 }
                 Ok(key) => key,
             };
             if q.k > degeneracy {
                 // The maximal k-core is empty: the answer is [] for
-                // every solver path, no job needed.
-                immediate.push((idx, Arc::new(Ok(Vec::new()))));
+                // every solver path, no job needed (and trivially
+                // complete under any deadline).
+                immediate.push((idx, Arc::new(Ok(QueryAnswer::complete(Vec::new())))));
                 continue;
             }
             if let Some(hit) = cache.and_then(|(c, epoch)| c.get(q, epoch)) {
@@ -357,16 +425,24 @@ impl Plan {
         let mut index_routed = 0usize;
         for key in order {
             match key {
-                JobKey::MinMax { dir, k } => {
+                JobKey::MinMax { dir, k, .. } => {
                     let members = families.remove(&key).expect("family registered");
                     sequential_runs += members.len();
+                    // All members share one deadline — it is part of the
+                    // key.
+                    let deadline = members[0].1.deadline;
                     // Index-serve the family when every member declares
                     // exact tie semantics — an approximate-tie custom
                     // may not be proven against the forest's f64 rank
                     // order, so such families fall back to the peel.
-                    let indexed = members.iter().all(|(_, q)| {
-                        q.aggregation.certificates().ties == ic_core::TieSemantics::Exact
-                    });
+                    // Deadline-armed families also peel: the degraded
+                    // prefix certificate comes from the peel's ranked
+                    // emission order, which the forest walk does not
+                    // replay checkpoint-by-checkpoint.
+                    let indexed = deadline.is_none()
+                        && members.iter().all(|(_, q)| {
+                            q.aggregation.certificates().ties == ic_core::TieSemantics::Exact
+                        });
                     if indexed {
                         index_routed += members.len();
                     }
@@ -378,12 +454,14 @@ impl Plan {
                         rs,
                         outputs,
                         indexed,
+                        deadline,
                     });
                 }
                 JobKey::SumFamily { k, .. } => {
                     let members = families.remove(&key).expect("family registered");
                     sequential_runs += members.len();
                     let aggregation = members[0].1.aggregation;
+                    let deadline = members[0].1.deadline;
                     let (rs, outputs) = family_slots(&members);
                     solver_runs += 1;
                     jobs.push(Job::SumFamily {
@@ -391,6 +469,7 @@ impl Plan {
                         aggregation,
                         rs,
                         outputs,
+                        deadline,
                     });
                 }
                 JobKey::Improved { .. } => {
@@ -406,12 +485,14 @@ impl Plan {
                             .into_iter()
                             .map(|query| JobOutput { query, slot: 0 })
                             .collect(),
+                        deadline: q.deadline,
                     });
                 }
-                JobKey::Local { k, s, greedy } => {
+                JobKey::Local { k, s, greedy, .. } => {
                     let raw = families.remove(&key).expect("family registered");
                     sequential_runs += raw.len();
                     solver_runs += 1;
+                    let deadline = raw[0].1.deadline;
                     let chunks = threads.max(1);
                     // Distinct (aggregation, r) members share one
                     // strategy pass; duplicate queries share a member.
@@ -443,7 +524,10 @@ impl Plan {
                         chunks,
                         members,
                         remaining: AtomicUsize::new(chunks),
-                        seeds: std::sync::OnceLock::new(),
+                        seeds: OnceLock::new(),
+                        deadline,
+                        budget: OnceLock::new(),
+                        poisoned: Mutex::new(None),
                     });
                     for chunk in 0..chunks {
                         jobs.push(Job::LocalChunk {
@@ -567,6 +651,38 @@ mod tests {
         let plan = Plan::build(&snap, &[q], 3, None);
         assert_eq!(plan.jobs.len(), 3, "one chunk per worker");
         assert_eq!(plan.stats.solver_runs, 1, "chunks are one logical run");
+    }
+
+    #[test]
+    fn deadline_armed_queries_never_merge_into_families() {
+        let snap = snap();
+        let ddl = Duration::from_millis(50);
+        let batch = vec![
+            Query::new(2, 5, Aggregation::Min),
+            Query::new(2, 5, Aggregation::Min).deadline(ddl), // armed: own job
+            Query::new(2, 1, Aggregation::Min).deadline(ddl), // armed, other r: own job
+            Query::new(2, 1, Aggregation::Min).deadline(ddl), // exact duplicate: shares
+        ];
+        let plan = Plan::build(&snap, &batch, 1, None);
+        assert_eq!(plan.stats.solver_runs, 3, "unarmed + two armed solo jobs");
+        assert_eq!(
+            plan.stats.index_routed, 1,
+            "only the unarmed query is forest-served"
+        );
+        for job in &plan.jobs {
+            if let Job::MinMaxFamily {
+                indexed,
+                deadline,
+                rs,
+                ..
+            } = job
+            {
+                if deadline.is_some() {
+                    assert!(!indexed, "armed families must peel");
+                    assert_eq!(rs.len(), 1, "armed families hold exactly one r");
+                }
+            }
+        }
     }
 
     #[test]

@@ -35,10 +35,10 @@
 
 use crate::cache::ResultCache;
 use crate::plan::Plan;
-use crate::{exec, Epoch, Query, Solver};
+use crate::{exec, EngineError, Epoch, Query, QueryAnswer, Solver};
 use ic_core::algo::{MinMaxEmission, TicEmission};
 use ic_core::{Community, SearchError};
-use ic_kcore::{ArenaPool, GraphSnapshot, PeelArena};
+use ic_kcore::{ArenaPool, Budget, GraphSnapshot, PeelArena};
 use std::sync::Arc;
 
 enum StreamState {
@@ -109,19 +109,41 @@ impl ResultStream {
         match solver {
             Solver::MinPeel | Solver::MaxPeel => {
                 // The stamped pass needs the arena only inside `start`;
-                // it goes straight back to the pool.
+                // it goes straight back to the pool. A query deadline
+                // bounds that pass — an expired pass proves no ranking,
+                // so the submit itself fails typed. Pulls after a
+                // successful start are consumer-paced and not bounded.
                 let mut arena = arenas.take_arena();
-                let emission = if solver == Solver::MinPeel {
-                    MinMaxEmission::start_min(&snapshot, query.k, query.r, &mut arena)
-                } else {
-                    MinMaxEmission::start_max(&snapshot, query.k, query.r, &mut arena)
+                let emission = match query.deadline {
+                    None => {
+                        let em = if solver == Solver::MinPeel {
+                            MinMaxEmission::start_min(&snapshot, query.k, query.r, &mut arena)
+                        } else {
+                            MinMaxEmission::start_max(&snapshot, query.k, query.r, &mut arena)
+                        };
+                        arenas.put_arena(arena);
+                        em?
+                    }
+                    Some(d) => {
+                        let budget = Arc::new(Budget::within(d));
+                        let em = if solver == Solver::MinPeel {
+                            MinMaxEmission::start_min_budgeted(
+                                &snapshot, query.k, query.r, &mut arena, &budget,
+                            )
+                        } else {
+                            MinMaxEmission::start_max_budgeted(
+                                &snapshot, query.k, query.r, &mut arena, &budget,
+                            )
+                        };
+                        arenas.put_arena(arena);
+                        em?.ok_or(SearchError::DeadlineExceeded)?
+                    }
                 };
-                arenas.put_arena(arena);
                 Ok(ResultStream {
                     snapshot,
                     epoch,
                     query,
-                    state: StreamState::MinMax(emission?),
+                    state: StreamState::MinMax(emission),
                     arenas: None,
                     arena: None,
                     cache: Some(cache),
@@ -129,13 +151,19 @@ impl ResultStream {
                 })
             }
             Solver::TicExact | Solver::TicApprox => {
-                let emission = TicEmission::start_on(
+                let mut emission = TicEmission::start_on(
                     &snapshot,
                     query.k,
                     query.r,
                     query.aggregation,
                     query.epsilon,
                 )?;
+                if let Some(d) = query.deadline {
+                    // The search advances lazily inside pulls; on expiry
+                    // it flushes the proven prefix / best-so-far and the
+                    // stream simply ends early (and caches nothing).
+                    emission.set_budget(Some(Arc::new(Budget::within(d))));
+                }
                 let arena = arenas.take_arena();
                 Ok(ResultStream {
                     snapshot,
@@ -163,8 +191,20 @@ impl ResultStream {
                 });
                 let outcome = outcome.expect("one query in, one outcome out");
                 match outcome.as_ref() {
-                    Ok(items) => Ok(Self::buffered(snapshot, epoch, query, items.clone())),
-                    Err(e) => Err(e.clone()),
+                    // Degraded buffered answers stream their best-so-far
+                    // communities like any other list; the result cache
+                    // never retained them (Complete-only inserts).
+                    Ok(ans) => Ok(Self::buffered(
+                        snapshot,
+                        epoch,
+                        query,
+                        ans.communities.clone(),
+                    )),
+                    Err(EngineError::Search(e)) => Err(e.clone()),
+                    Err(EngineError::DeadlineExceeded) => Err(SearchError::DeadlineExceeded),
+                    Err(EngineError::Internal { detail }) => {
+                        Err(SearchError::Internal(detail.clone()))
+                    }
                 }
             }
         }
@@ -205,12 +245,20 @@ impl Iterator for ResultStream {
                 None => {
                     // Fully drained live stream: the collected sequence
                     // is the complete rank-ordered answer — memoize it
-                    // for run_batch and future submits alike.
-                    cache.insert(
-                        &self.query,
-                        self.epoch,
-                        &Arc::new(Ok(std::mem::take(&mut self.collected))),
-                    );
+                    // for run_batch and future submits alike. Unless the
+                    // drain was cut short by a deadline: a truncated
+                    // sequence must never be cached as the full answer.
+                    let truncated =
+                        matches!(&self.state, StreamState::Tic(em) if em.deadline_aborted());
+                    if !truncated {
+                        cache.insert(
+                            &self.query,
+                            self.epoch,
+                            &Arc::new(Ok(QueryAnswer::complete(std::mem::take(
+                                &mut self.collected,
+                            )))),
+                        );
+                    }
                     self.cache = None;
                 }
             }

@@ -1,0 +1,420 @@
+//! `ic-fail`: zero-cost-when-disabled failpoints for fault injection.
+//!
+//! A *failpoint* is a named site in production code where tests can
+//! inject a fault — a panic, an early error return, or a stall —
+//! without touching the surrounding logic. The chaos suite drives the
+//! engine, store, and solvers through injected faults and asserts the
+//! resilience invariants (pool restored, no poisoned locks, answers
+//! bit-identical afterwards); see `tests/chaos.rs` at the workspace
+//! root.
+//!
+//! Consistent with the workspace's vendored-shim policy this crate has
+//! **no dependencies**; it is a small registry plus one macro.
+//!
+//! # Cost model
+//!
+//! Without the `failpoints` cargo feature, [`fail_point!`] expands to an
+//! **empty block** — no registry, no atomic load, no branch. The
+//! release-mode overhead assertion in CI holds because disabled sites
+//! literally do not exist in the binary. With the feature enabled,
+//! every site pays one relaxed atomic load when no site is configured,
+//! and a mutex-guarded lookup when any is.
+//!
+//! # Site actions
+//!
+//! A site is configured with a **spec** string:
+//!
+//! ```text
+//! spec  := "off" | [prob "%"] [count "*"] task
+//! task  := "panic" | "panic(" msg ")"
+//!        | "return" | "return(" payload ")"
+//!        | "sleep(" millis ")"
+//! ```
+//!
+//! `50%panic` panics on roughly half the evaluations (deterministic
+//! per-site generator, reseedable via `IC_FAIL_SEED`); `2*return(io)`
+//! fires twice and then goes quiet; `off` disables the site but keeps
+//! it registered. `return` payloads surface through the closure form of
+//! [`fail_point!`], which maps the payload onto the function's error
+//! type.
+//!
+//! # Activation
+//!
+//! * Programmatic: [`cfg()`] / [`remove`] / [`teardown`], usually through
+//!   a [`FailScenario`] guard that serializes chaos tests and clears
+//!   the registry on drop.
+//! * Environment: `IC_FAIL="site=spec;site2=spec"` is parsed on the
+//!   first evaluation, so a whole binary can run under injection
+//!   without recompiling call sites.
+
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard, Once, PoisonError};
+use std::time::Duration;
+
+/// Marks a fault-injection site.
+///
+/// Unit form — the configured action runs for its side effect (panic or
+/// sleep); `return` payloads are ignored:
+///
+/// ```ignore
+/// ic_fail::fail_point!("kcore::cascade");
+/// ```
+///
+/// Closure form — a configured `return(payload)` early-returns from the
+/// enclosing function with the closure's value:
+///
+/// ```ignore
+/// ic_fail::fail_point!("store::read_io", |p| Err(StoreError::Io(
+///     std::io::Error::new(std::io::ErrorKind::TimedOut, p),
+/// )));
+/// ```
+///
+/// Without the `failpoints` feature both forms expand to an empty
+/// block.
+#[cfg(feature = "failpoints")]
+#[macro_export]
+macro_rules! fail_point {
+    ($name:expr) => {{
+        $crate::eval($name);
+    }};
+    ($name:expr, $body:expr) => {{
+        if let Some(__ic_fail_payload) = $crate::eval($name) {
+            return ($body)(__ic_fail_payload);
+        }
+    }};
+}
+
+/// Marks a fault-injection site (disabled build: expands to nothing).
+#[cfg(not(feature = "failpoints"))]
+#[macro_export]
+macro_rules! fail_point {
+    ($name:expr) => {{}};
+    ($name:expr, $body:expr) => {{}};
+}
+
+/// What a configured site does when it fires.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Task {
+    /// Registered but inert.
+    Off,
+    /// Panic with an optional message.
+    Panic(Option<String>),
+    /// Early-return the payload through the closure form.
+    Return(String),
+    /// Stall the evaluating thread.
+    Sleep(u64),
+}
+
+#[derive(Debug)]
+struct Site {
+    /// Fire probability in percent (100 = always).
+    prob_pct: u32,
+    /// Remaining firings (`None` = unlimited). A site at 0 stays
+    /// registered but no longer fires.
+    remaining: Option<u64>,
+    task: Task,
+    /// Per-site deterministic generator state (seeded from the site
+    /// name and `IC_FAIL_SEED`), so probabilistic runs replay exactly.
+    rng: u64,
+}
+
+static CONFIGURED: AtomicUsize = AtomicUsize::new(0);
+static ENV_INIT: Once = Once::new();
+
+fn registry() -> &'static Mutex<HashMap<String, Site>> {
+    static REGISTRY: std::sync::OnceLock<Mutex<HashMap<String, Site>>> = std::sync::OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Poison-tolerant registry lock: a panic *action* fires after the lock
+/// is released, but a panicking test thread may still die between; the
+/// registry map itself is always left consistent (single-statement
+/// mutations), so recovering the guard is sound.
+fn lock_registry() -> MutexGuard<'static, HashMap<String, Site>> {
+    registry().lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+fn seed_for(name: &str) -> u64 {
+    let base = std::env::var("IC_FAIL_SEED")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(0x9e37_79b9_7f4a_7c15);
+    fnv1a(name.as_bytes()) ^ base
+}
+
+fn parse_spec(name: &str, spec: &str) -> Result<Site, String> {
+    let spec = spec.trim();
+    if spec == "off" {
+        return Ok(Site {
+            prob_pct: 100,
+            remaining: None,
+            task: Task::Off,
+            rng: seed_for(name),
+        });
+    }
+    let mut rest = spec;
+    let mut prob_pct = 100u32;
+    let mut remaining = None;
+    if let Some(pos) = rest.find('%') {
+        let head = &rest[..pos];
+        prob_pct = head
+            .parse::<u32>()
+            .ok()
+            .filter(|p| *p <= 100)
+            .ok_or_else(|| format!("bad probability {head:?} in spec {spec:?} (want 0..=100)"))?;
+        rest = &rest[pos + 1..];
+    }
+    if let Some(pos) = rest.find('*') {
+        let head = &rest[..pos];
+        remaining = Some(
+            head.parse::<u64>()
+                .map_err(|_| format!("bad count {head:?} in spec {spec:?}"))?,
+        );
+        rest = &rest[pos + 1..];
+    }
+    let (task_name, arg) = match rest.find('(') {
+        Some(pos) => {
+            let arg = rest[pos..]
+                .strip_prefix('(')
+                .and_then(|s| s.strip_suffix(')'))
+                .ok_or_else(|| format!("unbalanced parentheses in spec {spec:?}"))?;
+            (&rest[..pos], Some(arg.to_string()))
+        }
+        None => (rest, None),
+    };
+    let task = match task_name {
+        "panic" => Task::Panic(arg),
+        "return" => Task::Return(arg.unwrap_or_default()),
+        "sleep" => Task::Sleep(
+            arg.as_deref()
+                .and_then(|a| a.parse::<u64>().ok())
+                .ok_or_else(|| format!("sleep takes integer millis, got spec {spec:?}"))?,
+        ),
+        other => return Err(format!("unknown failpoint task {other:?} in spec {spec:?}")),
+    };
+    Ok(Site {
+        prob_pct,
+        remaining,
+        task,
+        rng: seed_for(name),
+    })
+}
+
+/// Configures (or reconfigures) one failpoint site. See the module docs
+/// for the spec grammar.
+pub fn cfg<N: Into<String>>(name: N, spec: &str) -> Result<(), String> {
+    let name = name.into();
+    let site = parse_spec(&name, spec)?;
+    let mut map = lock_registry();
+    map.insert(name, site);
+    CONFIGURED.store(map.len(), Ordering::Release);
+    Ok(())
+}
+
+/// Removes one site; evaluations of it become free again.
+pub fn remove(name: &str) {
+    let mut map = lock_registry();
+    map.remove(name);
+    CONFIGURED.store(map.len(), Ordering::Release);
+}
+
+/// Clears every configured site.
+pub fn teardown() {
+    let mut map = lock_registry();
+    map.clear();
+    CONFIGURED.store(0, Ordering::Release);
+}
+
+/// Currently configured sites (name, debug description) — for test
+/// diagnostics.
+pub fn list() -> Vec<(String, String)> {
+    lock_registry()
+        .iter()
+        .map(|(k, v)| (k.clone(), format!("{v:?}")))
+        .collect()
+}
+
+fn init_env() {
+    ENV_INIT.call_once(|| {
+        if let Ok(spec) = std::env::var("IC_FAIL") {
+            for entry in spec.split(';').filter(|e| !e.trim().is_empty()) {
+                let (name, spec) = entry
+                    .split_once('=')
+                    .unwrap_or_else(|| panic!("IC_FAIL entry {entry:?} is not site=spec"));
+                cfg(name.trim(), spec).unwrap_or_else(|e| panic!("IC_FAIL: {e}"));
+            }
+        }
+    });
+}
+
+/// Evaluates a failpoint site: applies the configured probability and
+/// count, then performs the action. Returns the payload of a fired
+/// `return` task; `None` in every other case (including unconfigured
+/// sites, which cost one atomic load). Called by [`fail_point!`] — use
+/// the macro, not this, at injection sites.
+pub fn eval(name: &str) -> Option<String> {
+    init_env();
+    if CONFIGURED.load(Ordering::Acquire) == 0 {
+        return None;
+    }
+    let fired = {
+        let mut map = lock_registry();
+        let site = map.get_mut(name)?;
+        if site.prob_pct < 100 {
+            // Deterministic per-site LCG (splitmix-style output mix).
+            site.rng = site
+                .rng
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let roll = ((site.rng >> 33) % 100) as u32;
+            if roll >= site.prob_pct {
+                return None;
+            }
+        }
+        match &mut site.remaining {
+            Some(0) => return None,
+            Some(n) => *n -= 1,
+            None => {}
+        }
+        site.task.clone()
+        // Lock released here: panic/sleep actions run outside it so an
+        // injected panic can never poison the registry.
+    };
+    match fired {
+        Task::Off => None,
+        Task::Return(payload) => Some(payload),
+        Task::Sleep(ms) => {
+            std::thread::sleep(Duration::from_millis(ms));
+            None
+        }
+        Task::Panic(msg) => match msg {
+            Some(m) => panic!("failpoint {name}: {m}"),
+            None => panic!("failpoint {name} panicked by injection"),
+        },
+    }
+}
+
+/// Serializes fault-injection tests and guarantees cleanup: holds a
+/// global lock for its lifetime (chaos tests in one binary run
+/// one-at-a-time against the shared registry) and [`teardown`]s every
+/// site on construction and drop.
+pub struct FailScenario {
+    _guard: MutexGuard<'static, ()>,
+}
+
+impl FailScenario {
+    /// Acquires the scenario lock and starts from a clean registry.
+    pub fn setup() -> FailScenario {
+        static SCENARIO: Mutex<()> = Mutex::new(());
+        let guard = SCENARIO.lock().unwrap_or_else(PoisonError::into_inner);
+        teardown();
+        FailScenario { _guard: guard }
+    }
+}
+
+impl Drop for FailScenario {
+    fn drop(&mut self) {
+        teardown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unconfigured_sites_are_silent() {
+        let _s = FailScenario::setup();
+        assert_eq!(eval("tests::nothing"), None);
+    }
+
+    #[test]
+    fn return_payload_counts_down_and_goes_quiet() {
+        let _s = FailScenario::setup();
+        cfg("tests::ret", "2*return(io)").unwrap();
+        assert_eq!(eval("tests::ret").as_deref(), Some("io"));
+        assert_eq!(eval("tests::ret").as_deref(), Some("io"));
+        assert_eq!(eval("tests::ret"), None, "count exhausted");
+        remove("tests::ret");
+        assert_eq!(eval("tests::ret"), None);
+    }
+
+    #[test]
+    fn off_spec_registers_but_never_fires() {
+        let _s = FailScenario::setup();
+        cfg("tests::off", "off").unwrap();
+        assert_eq!(eval("tests::off"), None);
+    }
+
+    #[test]
+    fn probability_is_deterministic_and_roughly_calibrated() {
+        let _s = FailScenario::setup();
+        cfg("tests::prob", "50%return").unwrap();
+        let first: Vec<bool> = (0..256).map(|_| eval("tests::prob").is_some()).collect();
+        let hits = first.iter().filter(|h| **h).count();
+        assert!((64..192).contains(&hits), "50% spec fired {hits}/256 times");
+        // Reconfiguring reseeds: the run replays identically.
+        cfg("tests::prob", "50%return").unwrap();
+        let second: Vec<bool> = (0..256).map(|_| eval("tests::prob").is_some()).collect();
+        assert_eq!(first, second, "per-site generator must be deterministic");
+    }
+
+    #[test]
+    fn panic_task_panics_with_site_name() {
+        let _s = FailScenario::setup();
+        cfg("tests::boom", "panic(kaboom)").unwrap();
+        let err = std::panic::catch_unwind(|| eval("tests::boom")).unwrap_err();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(
+            msg.contains("tests::boom") && msg.contains("kaboom"),
+            "{msg}"
+        );
+        // The registry survives the injected panic (no poisoning).
+        assert!(cfg("tests::boom", "off").is_ok());
+        assert_eq!(eval("tests::boom"), None);
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected() {
+        let _s = FailScenario::setup();
+        for bad in [
+            "explode",
+            "150%panic",
+            "x*panic",
+            "sleep",
+            "return(unbalanced",
+        ] {
+            assert!(
+                cfg("tests::bad", bad).is_err(),
+                "spec {bad:?} must be rejected"
+            );
+        }
+    }
+
+    #[cfg(feature = "failpoints")]
+    #[test]
+    fn macro_forms_inject_and_early_return() {
+        let _s = FailScenario::setup();
+        fn guarded() -> Result<u32, String> {
+            fail_point!("tests::macro_ret", |p: String| Err(p));
+            Ok(7)
+        }
+        assert_eq!(guarded(), Ok(7));
+        cfg("tests::macro_ret", "return(injected)").unwrap();
+        assert_eq!(guarded(), Err("injected".to_string()));
+        teardown();
+        assert_eq!(guarded(), Ok(7));
+    }
+}

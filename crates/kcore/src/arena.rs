@@ -38,9 +38,15 @@
 //! steady-state peel loop of every solver runs at zero heap allocations
 //! per deletion step.
 
+use crate::Budget;
 use ic_graph::{Graph, VertexId};
+use std::sync::Arc;
 
 const NO_PARENT: u32 = u32::MAX;
+
+/// How many cascade pops go between [`Budget`] checkpoints inside one
+/// cascade (each checkpoint is a [`Budget::poll`], itself amortized).
+const CASCADE_TICK: usize = 1024;
 
 /// Reusable, journaled peel state for one graph. See the module docs.
 #[derive(Clone, Debug)]
@@ -104,6 +110,12 @@ pub struct PeelArena {
     /// stays 0 in steady state (tracked in all builds, asserted by
     /// tests).
     alloc_events: u64,
+    /// Optional deadline observed by the cascade loop (a checkpoint
+    /// every [`CASCADE_TICK`] pops keeps the shared expiry flag fresh
+    /// even inside one giant cascade). The cascade itself never aborts —
+    /// it always finishes its event so the arena stays consistent; the
+    /// *callers'* between-event checkpoints act on the flag.
+    budget: Option<Arc<Budget>>,
 }
 
 impl PeelArena {
@@ -141,7 +153,16 @@ impl PeelArena {
             k: 0,
             live: 0,
             alloc_events: 0,
+            budget: None,
         }
+    }
+
+    /// Attaches (or clears) a deadline budget. The cascade loop keeps
+    /// the budget's shared expiry flag fresh by polling it periodically;
+    /// it never aborts mid-cascade. Callers running timeline peels or
+    /// TIC searches on this arena check the same budget between events.
+    pub fn set_budget(&mut self, budget: Option<Arc<Budget>>) {
+        self.budget = budget;
     }
 
     /// Creates an arena for up to `n` vertices with no pre-sized edge
@@ -254,10 +275,16 @@ impl PeelArena {
     /// Runs the cascade for everything already queued (and stamped
     /// removed), appending removals to the journal.
     fn cascade(&mut self) {
+        ic_fail::fail_point!("kcore::cascade");
         let epoch = self.epoch;
         let k = self.k;
         let mut head = 0;
         while head < self.queue.len() {
+            if head % CASCADE_TICK == 0 {
+                if let Some(budget) = &self.budget {
+                    budget.poll();
+                }
+            }
             let l = self.queue[head];
             head += 1;
             self.journal.push(l);

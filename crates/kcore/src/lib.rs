@@ -20,7 +20,10 @@
 //!   lazily memoized per-`k` core masks/components and the degeneracy
 //!   bound, the substrate of the batched query engine (`ic-engine`);
 //! * [`ArenaPool`] — a pool recycling warm [`PeelArena`]s across queries
-//!   and batches;
+//!   and batches, with [`quarantine`](ArenaPool::quarantine) for arenas
+//!   abandoned by a panicking solver;
+//! * [`Budget`] — the cooperative deadline flag the resilience layer
+//!   threads through every solver hot loop;
 //! * [`CoreMaintainer`] — incremental core-number maintenance under
 //!   [`EdgeUpdate`]s (subcore traversal), validated against the
 //!   from-scratch decomposition by property tests; its
@@ -45,6 +48,7 @@
 #![warn(missing_docs)]
 
 mod arena;
+mod budget;
 mod decompose;
 mod degeneracy;
 mod extract;
@@ -54,6 +58,7 @@ mod snapshot;
 mod truss;
 
 pub use arena::PeelArena;
+pub use budget::{Budget, POLL_STRIDE};
 pub use decompose::{core_decomposition, CoreDecomposition};
 pub use degeneracy::{degeneracy, degeneracy_order};
 pub use extract::{

@@ -31,6 +31,26 @@ fn fail(msg: &str) -> ExitCode {
 }
 
 fn main() -> ExitCode {
+    // Last-resort guard: an operator tool reports one typed line and a
+    // nonzero exit, never a backtrace. Every expected failure below
+    // already routes through `fail`; this catches the unexpected rest.
+    // The default hook would print "thread 'main' panicked ..." before
+    // unwinding reaches us, so silence it first.
+    std::panic::set_hook(Box::new(|_| {}));
+    match std::panic::catch_unwind(run) {
+        Ok(code) => code,
+        Err(payload) => {
+            let detail = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "unexpected internal error".to_string());
+            fail(&format!("internal error: {detail}"))
+        }
+    }
+}
+
+fn run() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else {
         return fail(

@@ -76,10 +76,47 @@ impl StoreContents {
     }
 }
 
+/// I/O error kinds worth a bounded retry on the cold-start read path:
+/// scheduling/network-filesystem transients that routinely succeed on a
+/// second attempt. Everything else — and *any* corruption — fails
+/// closed immediately: retrying a checksum mismatch cannot make the
+/// bytes honest.
+fn is_transient(kind: std::io::ErrorKind) -> bool {
+    matches!(
+        kind,
+        std::io::ErrorKind::Interrupted
+            | std::io::ErrorKind::WouldBlock
+            | std::io::ErrorKind::TimedOut
+    )
+}
+
 impl StoreFile {
     /// Opens and validates a store file (one read, then envelope +
     /// checksum verification).
+    ///
+    /// Transient I/O failures (interrupted / would-block / timed-out
+    /// reads) are retried up to two more times with a short backoff;
+    /// persistent I/O errors and corruption are returned typed on the
+    /// first observation.
     pub fn open<P: AsRef<Path>>(path: P) -> Result<StoreFile, StoreError> {
+        const ATTEMPTS: u32 = 3;
+        let path = path.as_ref();
+        let mut attempt = 0u32;
+        loop {
+            match Self::open_once(path) {
+                Err(StoreError::Io(e)) if is_transient(e.kind()) && attempt + 1 < ATTEMPTS => {
+                    std::thread::sleep(std::time::Duration::from_millis(1 << attempt));
+                    attempt += 1;
+                }
+                other => return other,
+            }
+        }
+    }
+
+    fn open_once(path: &Path) -> Result<StoreFile, StoreError> {
+        ic_fail::fail_point!("store::read_io", |p: String| Err(StoreError::Io(
+            std::io::Error::new(std::io::ErrorKind::TimedOut, p)
+        )));
         let mut file = std::fs::File::open(path)?;
         let len = file.metadata()?.len();
         let len = usize::try_from(len)

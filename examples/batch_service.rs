@@ -52,7 +52,7 @@ fn main() {
             if first_answer.is_none() {
                 let top = res
                     .ok()
-                    .and_then(|cs| cs.first())
+                    .and_then(|ans| ans.communities.first())
                     .map_or(f64::NAN, |c| c.value);
                 first_answer = Some((idx, top, t.elapsed()));
             }

@@ -29,7 +29,7 @@
 use ic_core::algo::{self, oracle, LocalSearchConfig};
 use ic_core::verify::check_community;
 use ic_core::{Aggregation, Community, Query};
-use ic_engine::Engine;
+use ic_engine::{AnswerStatus, BatchOptions, Engine, EngineError};
 use ic_gen::{
     barabasi_albert, chung_lu, gnm, pareto_weights, planted_partition, rank_weights,
     uniform_weights, GraphSeed, PlantedPartitionConfig,
@@ -269,6 +269,143 @@ proptest! {
                 );
             }
         }
+    }
+
+    /// Mixed fault batches: queries with randomly drawn deadlines (none,
+    /// already-expired, generous) share one batch. Whatever each query's
+    /// outcome is, the conformance contract holds —
+    ///
+    /// * `Complete` answers are bit-identical to the query solved alone
+    ///   on a fresh engine;
+    /// * `Degraded` answers carry a prefix certificate: the
+    ///   `proven_prefix_len` leading communities equal the solo answer's
+    ///   prefix bit for bit;
+    /// * `DeadlineExceeded` is only legal for a query that was actually
+    ///   armed;
+    ///
+    /// and afterwards the engine is undamaged: the arena pool is fully
+    /// restored (nothing quarantined — deadlines are not faults) and an
+    /// unarmed re-run of the whole batch is bit-identical to solo runs.
+    #[test]
+    fn mixed_deadline_batches_leave_survivors_bit_identical(
+        wg in arb_workload(),
+        k in 1usize..4,
+        picks in proptest::collection::vec(0u8..3, 4),
+        threads in 1usize..5,
+    ) {
+        let probes = [
+            Query::new(k, 3, Aggregation::Min),
+            Query::new(k, 4, Aggregation::Max),
+            Query::new(k, 3, Aggregation::Sum),
+            Query::new(k, 3, Aggregation::Sum).approx(0.2),
+        ];
+        let armed: Vec<Query> = probes
+            .iter()
+            .zip(&picks)
+            .map(|(q, pick)| match pick {
+                0 => *q,
+                1 => q.deadline(std::time::Duration::ZERO),
+                _ => q.deadline(std::time::Duration::from_secs(3600)),
+            })
+            .collect();
+        let solo: Vec<Vec<Community>> = probes
+            .iter()
+            .map(|q| unwrap_batch(engine(&wg, threads).run_batch(&[*q]))[0].clone())
+            .collect();
+
+        let eng = engine(&wg, threads);
+        let got = eng.run_batch_with(&armed, &BatchOptions::default());
+        for (i, res) in got.iter().enumerate() {
+            match res {
+                Ok(ans) => match ans.status {
+                    AnswerStatus::Complete => prop_assert_eq!(
+                        &ans.communities, &solo[i],
+                        "probe {} complete answer must equal solo", i
+                    ),
+                    AnswerStatus::Degraded { proven_prefix_len, .. } => {
+                        prop_assert!(picks[i] != 0, "unarmed probe {} degraded", i);
+                        prop_assert!(proven_prefix_len <= ans.communities.len());
+                        prop_assert_eq!(
+                            &ans.communities[..proven_prefix_len],
+                            &solo[i][..proven_prefix_len],
+                            "probe {} proven prefix must be bit-identical", i
+                        );
+                    }
+                    // `AnswerStatus` is non-exhaustive outside ic-engine.
+                    _ => prop_assert!(false, "probe {i} unknown answer status"),
+                },
+                Err(EngineError::DeadlineExceeded) => {
+                    prop_assert!(picks[i] != 0, "unarmed probe {} hit a deadline", i);
+                }
+                Err(e) => prop_assert!(false, "probe {i} unexpected error {e}"),
+            }
+        }
+
+        // The engine is undamaged: pool fully restored, nothing
+        // quarantined, and a fresh unarmed pass is bit-exact.
+        prop_assert_eq!(eng.arenas_quarantined(), 0, "deadlines are not faults");
+        prop_assert_eq!(
+            eng.arenas_available(),
+            eng.arenas_created(),
+            "every arena must be back in the pool"
+        );
+        eng.clear_result_cache();
+        let rerun = unwrap_batch(eng.run_batch(&probes));
+        for (i, got) in rerun.iter().enumerate() {
+            prop_assert_eq!(got, &solo[i], "post-deadline probe {} diverged", i);
+        }
+    }
+
+    /// Pool-restoration invariant under chaotic take / return /
+    /// quarantine interleavings (including takers that panic while
+    /// holding the free-list lock): once every arena is handed back one
+    /// way or the other, `len() == created() - quarantined()`.
+    #[test]
+    fn arena_pool_len_is_restored_after_chaos(
+        ops in proptest::collection::vec(0u8..4, 1..64),
+    ) {
+        let g = ic_gen::gnm(16, 32, GraphSeed(7));
+        let pool = ic_kcore::ArenaPool::for_graph(&g);
+        let mut out: Vec<ic_kcore::PeelArena> = Vec::new();
+        for op in ops {
+            match op {
+                0 => out.push(pool.take_arena()),
+                1 => {
+                    if let Some(a) = out.pop() {
+                        pool.put_arena(a);
+                    }
+                }
+                2 => {
+                    if let Some(a) = out.pop() {
+                        pool.quarantine(a);
+                    }
+                }
+                _ => {
+                    // A worker dying mid-pool-access must not wedge the
+                    // pool for everyone else (poison-recovering lock).
+                    let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        let _a = pool.take_arena();
+                        panic!("die while an arena is out");
+                    }));
+                    prop_assert!(res.is_err());
+                    // The arena died with the panicking taker — one
+                    // arena gone without reaching the free list. Record
+                    // the loss through the quarantine counter (a
+                    // zero-sized stand-in; it does not touch `created`),
+                    // which is exactly how the engine's executor
+                    // accounts for an arena lost to a panicked solver.
+                    pool.quarantine(ic_kcore::PeelArena::with_capacity(0, 0));
+                }
+            }
+        }
+        for a in out.drain(..) {
+            pool.put_arena(a);
+        }
+        prop_assert_eq!(pool.len(), pool.created() - pool.quarantined());
+        // And the pool still serves: a post-chaos take/put round-trips.
+        let a = pool.take_arena();
+        pool.put_arena(a);
+        prop_assert_eq!(pool.len(), pool.created() - pool.quarantined());
     }
 
     /// Batch composition invariance: a query answered inside a mixed,
