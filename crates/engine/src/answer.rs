@@ -22,7 +22,7 @@
 //! batch completed normally).
 
 use ic_core::{Community, SearchError};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Why an answer was degraded rather than complete.
 #[non_exhaustive]
@@ -126,10 +126,21 @@ impl From<SearchError> for EngineError {
 #[derive(Clone, Copy, Debug, Default)]
 pub struct BatchOptions {
     /// A deadline applied to **every** query of the batch, measured from
-    /// the moment the engine starts serving it. Folded with each query's
-    /// own [`Query::deadline`](ic_core::Query) (the tighter of the two
+    /// the batch's [`anchor`](Self::anchor) (serve start unless
+    /// overridden). Folded with each query's own
+    /// [`Query::deadline`](ic_core::Query) (the tighter of the two
     /// wins). `None` = no batch-wide limit.
     pub deadline: Option<Duration>,
+    /// The instant all of the batch's deadlines are measured **from**.
+    /// `None` (the default) anchors at serve start — the moment the
+    /// engine begins executing the batch — which is correct for callers
+    /// that execute immediately. A serving layer that *queues* work must
+    /// anchor at **admission** instead
+    /// ([`deadline_from`](Self::deadline_from)): otherwise a query can
+    /// wait unboundedly in an admission queue and still receive its full
+    /// budget once it finally runs, defeating the deadline's purpose as
+    /// an end-to-end latency bound.
+    pub anchor: Option<Instant>,
 }
 
 impl BatchOptions {
@@ -141,6 +152,17 @@ impl BatchOptions {
     /// Sets the batch-wide deadline.
     pub fn deadline(mut self, limit: Duration) -> Self {
         self.deadline = Some(limit);
+        self
+    }
+
+    /// Anchors every deadline of the batch (batch-wide *and* per-query)
+    /// at `anchor` instead of serve start, so time already spent —
+    /// queueing, admission batching — counts against the budget. An
+    /// anchor in the past shrinks every effective budget by the elapsed
+    /// wait; a budget the wait has fully consumed expires at the first
+    /// checkpoint and degrades exactly like any other expiry.
+    pub fn deadline_from(mut self, anchor: Instant) -> Self {
+        self.anchor = Some(anchor);
         self
     }
 }
@@ -168,5 +190,8 @@ mod tests {
         let o = BatchOptions::new().deadline(Duration::from_millis(5));
         assert_eq!(o.deadline, Some(Duration::from_millis(5)));
         assert!(BatchOptions::default().deadline.is_none());
+        assert!(BatchOptions::default().anchor.is_none());
+        let t = Instant::now();
+        assert_eq!(BatchOptions::new().deadline_from(t).anchor, Some(t));
     }
 }

@@ -24,8 +24,12 @@
 //!
 //! # Deadlines
 //!
-//! Wall-clock budgets anchor at [`execute`]'s entry. A deadline-armed
-//! job checkpoints its [`Budget`] cooperatively; on expiry the exact
+//! Wall-clock budgets anchor at the `anchor` instant the caller passes
+//! to [`execute`] — serve start for direct `run_batch_with` calls, the
+//! *admission* timestamp for queueing front ends like `ic-serve`, so
+//! time spent waiting in an admission queue counts against the budget.
+//! A deadline-armed job checkpoints its [`Budget`] cooperatively; on
+//! expiry the exact
 //! paths return the already-proven rank prefix (tagged
 //! [`Degraded`](crate::AnswerStatus::Degraded) with
 //! `proven_prefix_len == len`), approximate/local paths return
@@ -86,14 +90,14 @@ pub(crate) fn execute<F>(
     snap: &GraphSnapshot,
     arenas: &ArenaPool,
     threads: usize,
+    anchor: Instant,
     plan: Plan,
     mut deliver: F,
 ) where
     F: FnMut(usize, Outcome),
 {
-    // Deadlines are measured from here: immediate answers cost no solver
-    // time, and every armed job's budget anchors to serve start.
-    let anchor = Instant::now();
+    // Every armed job's budget expires at `anchor + deadline`; immediate
+    // answers cost no solver time and are delivered regardless.
     for (query, result) in plan.immediate.iter() {
         deliver(*query, Arc::clone(result));
     }

@@ -370,14 +370,30 @@ impl Engine {
         queries: &[Query],
         options: &BatchOptions,
     ) -> Vec<Result<QueryAnswer, EngineError>> {
+        self.run_batch_pinned(queries, options).1
+    }
+
+    /// [`run_batch_with`](Self::run_batch_with), also reporting the
+    /// [`Epoch`] the batch was served under. The whole batch runs
+    /// against **one** immutable snapshot grabbed at entry — a
+    /// concurrent [`Engine::apply`] never tears a batch across graph
+    /// versions — and the returned epoch identifies it. Serving front
+    /// ends (`ic-serve`) tag every response with this epoch so clients
+    /// can correlate in-flight answers with graph versions.
+    pub fn run_batch_pinned(
+        &self,
+        queries: &[Query],
+        options: &BatchOptions,
+    ) -> (Epoch, Vec<Result<QueryAnswer, EngineError>>) {
         let mut results: Vec<Option<cache::Outcome>> = vec![None; queries.len()];
-        self.execute_with(queries, options, |idx, res| {
+        let epoch = self.execute_with(queries, options, |idx, res| {
             results[idx] = Some(res);
         });
-        results
+        let answers = results
             .into_iter()
             .map(|slot| (*slot.expect("every query is answered exactly once")).clone())
-            .collect()
+            .collect();
+        (epoch, answers)
     }
 
     /// Streaming variant of [`run_batch_with`](Self::run_batch_with):
@@ -532,11 +548,15 @@ impl Engine {
         }
     }
 
-    fn execute_with<F>(&self, queries: &[Query], options: &BatchOptions, mut deliver: F)
+    fn execute_with<F>(&self, queries: &[Query], options: &BatchOptions, mut deliver: F) -> Epoch
     where
         F: FnMut(usize, cache::Outcome),
     {
         let (snapshot, arenas, epoch) = self.serving();
+        // Deadlines measure from the options' anchor when one is set
+        // (admission-anchored serving layers), from serve start
+        // otherwise.
+        let anchor = options.anchor.unwrap_or_else(std::time::Instant::now);
         // Fold the batch-wide deadline into each query (the tighter of
         // the two wins) *before* planning, so job dedup and family
         // merging see the effective deadlines.
@@ -559,11 +579,19 @@ impl Engine {
             self.threads,
             Some((&self.results, epoch)),
         );
-        exec::execute(&snapshot, &arenas, self.threads, plan, |idx, outcome| {
-            // Only complete answers are retained (the insert filters).
-            self.results.insert(&effective[idx], epoch, &outcome);
-            deliver(idx, outcome);
-        });
+        exec::execute(
+            &snapshot,
+            &arenas,
+            self.threads,
+            anchor,
+            plan,
+            |idx, outcome| {
+                // Only complete answers are retained (the insert filters).
+                self.results.insert(&effective[idx], epoch, &outcome);
+                deliver(idx, outcome);
+            },
+        );
+        epoch
     }
 }
 
@@ -1162,6 +1190,64 @@ mod tests {
             ),
             "per-query zero deadline must win over a loose batch deadline"
         );
+    }
+
+    #[test]
+    fn admission_anchored_deadline_counts_queue_wait() {
+        let eng = engine(2);
+        let q = Query::new(2, 3, Aggregation::Sum).deadline(std::time::Duration::from_millis(100));
+
+        // Unanchored, the 100ms budget is generous: the query completes.
+        let got = eng.run_batch_with(&[q], &BatchOptions::default());
+        assert!(
+            got[0].as_ref().unwrap().is_complete(),
+            "without queue wait the budget is ample"
+        );
+        eng.clear_result_cache();
+
+        // Anchored one second in the past — as if the query had sat in
+        // an admission queue — the same 100ms budget is already spent
+        // before the solver starts: it must NOT complete.
+        let Some(admission) =
+            std::time::Instant::now().checked_sub(std::time::Duration::from_secs(1))
+        else {
+            return; // clock too close to boot to represent the wait
+        };
+        let opts = BatchOptions::default().deadline_from(admission);
+        let got = eng.run_batch_with(&[q], &opts);
+        match &got[0] {
+            Err(EngineError::DeadlineExceeded) => {}
+            Ok(ans) => assert!(
+                !ans.is_complete(),
+                "queue wait must shrink the effective budget"
+            ),
+            Err(e) => panic!("unexpected error {e}"),
+        }
+        assert_eq!(eng.cached_results(), 0, "expired answers are not cached");
+
+        // The anchor also governs the batch-wide deadline fold.
+        let plain = Query::new(2, 3, Aggregation::Min);
+        let opts = BatchOptions::default()
+            .deadline(std::time::Duration::from_millis(100))
+            .deadline_from(admission);
+        let got = eng.run_batch_with(&[plain], &opts);
+        assert!(
+            !matches!(&got[0], Ok(ans) if ans.is_complete()),
+            "batch deadline measured from the admission anchor"
+        );
+    }
+
+    #[test]
+    fn run_batch_pinned_reports_the_serving_epoch() {
+        let eng = engine(2);
+        let q = Query::new(2, 2, Aggregation::Min);
+        let (epoch, results) = eng.run_batch_pinned(&[q], &BatchOptions::default());
+        assert_eq!(epoch, eng.epoch());
+        assert!(results[0].is_ok());
+        let moved = eng.apply(&[EdgeUpdate::Remove { u: 2, v: 8 }]);
+        let (epoch2, _) = eng.run_batch_pinned(&[q], &BatchOptions::default());
+        assert_eq!(epoch2, moved, "post-apply batches pin the new epoch");
+        assert!(epoch2 > epoch);
     }
 
     #[test]

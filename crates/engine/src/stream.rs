@@ -185,7 +185,10 @@ impl ResultStream {
                 let queries = [query];
                 let plan = Plan::build(&snapshot, &queries, threads, Some((cache.as_ref(), epoch)));
                 let mut outcome: Option<crate::cache::Outcome> = None;
-                exec::execute(&snapshot, &arenas, threads, plan, |_, res| {
+                // A submit executes immediately — no queue — so the
+                // deadline anchor is simply now.
+                let anchor = std::time::Instant::now();
+                exec::execute(&snapshot, &arenas, threads, anchor, plan, |_, res| {
                     cache.insert(&query, epoch, &res);
                     outcome = Some(res);
                 });

@@ -1,0 +1,169 @@
+//! The ic-serve binary: serve top-r influential-community queries over
+//! TCP from a persisted store or a generated dataset analog.
+//!
+//! ```text
+//! ic-serve --store email.ics --addr 127.0.0.1:7171
+//! ic-serve --dataset email --addr 127.0.0.1:0 --port-file /tmp/port
+//! ```
+//!
+//! With `--addr …:0` the OS picks an ephemeral port; the bound address
+//! is printed on stdout (`listening on <addr>`) and, with
+//! `--port-file`, written there too — that is how the CI smoke leg
+//! finds the server. The process runs until a client sends a shutdown
+//! frame (binary `0x02`, or `{"op":"shutdown"}` in JSON-lines mode),
+//! then drains gracefully and exits 0.
+
+use ic_engine::Engine;
+use ic_serve::{ServeConfig, Server};
+use std::io::Write;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+struct Args {
+    store: Option<String>,
+    dataset: Option<String>,
+    addr: String,
+    port_file: Option<String>,
+    window_us: Option<u64>,
+    shards: Option<usize>,
+    queue: Option<usize>,
+    max_batch: Option<usize>,
+    threads: Option<usize>,
+}
+
+const USAGE: &str = "\
+usage: ic-serve (--store <file.ics> | --dataset <name>) [options]
+
+options:
+  --addr <host:port>   bind address (default 127.0.0.1:0 = ephemeral)
+  --port-file <path>   write the bound address to this file once listening
+  --window-us <n>      admission window in microseconds (default 1000)
+  --shards <n>         admission shards / batcher threads
+  --queue <n>          per-shard admission queue bound (default 1024)
+  --max-batch <n>      largest engine batch per flush (default 256)
+  --threads <n>        engine worker threads (default: all cores)
+";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        store: None,
+        dataset: None,
+        addr: "127.0.0.1:0".into(),
+        port_file: None,
+        window_us: None,
+        shards: None,
+        queue: None,
+        max_batch: None,
+        threads: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("{name} expects a value\n{USAGE}"))
+        };
+        match flag.as_str() {
+            "--store" => args.store = Some(value("--store")?),
+            "--dataset" => args.dataset = Some(value("--dataset")?),
+            "--addr" => args.addr = value("--addr")?,
+            "--port-file" => args.port_file = Some(value("--port-file")?),
+            "--window-us" => args.window_us = Some(parse(&value("--window-us")?)?),
+            "--shards" => args.shards = Some(parse(&value("--shards")?)?),
+            "--queue" => args.queue = Some(parse(&value("--queue")?)?),
+            "--max-batch" => args.max_batch = Some(parse(&value("--max-batch")?)?),
+            "--threads" => args.threads = Some(parse(&value("--threads")?)?),
+            "--help" | "-h" => return Err(USAGE.into()),
+            other => return Err(format!("unknown flag {other}\n{USAGE}")),
+        }
+    }
+    if args.store.is_some() == args.dataset.is_some() {
+        return Err(format!(
+            "exactly one of --store / --dataset is required\n{USAGE}"
+        ));
+    }
+    Ok(args)
+}
+
+fn parse<T: std::str::FromStr>(s: &str) -> Result<T, String> {
+    s.parse()
+        .map_err(|_| format!("malformed numeric argument {s:?}"))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let engine = match build_engine(&args) {
+        Ok(e) => e,
+        Err(msg) => {
+            eprintln!("ic-serve: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut config = ServeConfig::default();
+    if let Some(us) = args.window_us {
+        config.admission_window = Duration::from_micros(us);
+    }
+    if let Some(s) = args.shards {
+        config.shards = s;
+    }
+    if let Some(q) = args.queue {
+        config.queue_capacity = q;
+    }
+    if let Some(b) = args.max_batch {
+        config.max_batch = b;
+    }
+
+    let server = match Server::bind(Arc::new(engine), &args.addr, config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("ic-serve: cannot bind {}: {e}", args.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = server.local_addr();
+    println!("listening on {addr}");
+    let _ = std::io::stdout().flush();
+    if let Some(path) = &args.port_file {
+        if let Err(e) = std::fs::write(path, addr.to_string()) {
+            eprintln!("ic-serve: cannot write port file {path}: {e}");
+            server.shutdown();
+            server.join();
+            return ExitCode::FAILURE;
+        }
+    }
+
+    server.join();
+    println!("drained; bye");
+    ExitCode::SUCCESS
+}
+
+fn build_engine(args: &Args) -> Result<Engine, String> {
+    let threads = args.threads.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+    });
+    if let Some(store) = &args.store {
+        return Engine::open_with_threads(store, threads)
+            .map_err(|e| format!("cannot open store {store}: {e}"));
+    }
+    let name = args
+        .dataset
+        .as_deref()
+        .expect("parse_args enforces one source");
+    let spec = ic_gen::datasets::by_name(ic_gen::datasets::Profile::Quick, name)
+        .ok_or_else(|| format!("unknown dataset {name:?}"))?;
+    eprintln!(
+        "generating dataset analog {name} (n = {}, target m = {})…",
+        spec.n, spec.target_m
+    );
+    Ok(Engine::with_threads(spec.generate_weighted(), threads))
+}

@@ -1,0 +1,177 @@
+//! CI smoke driver for a running `ic-serve` process: mixed binary and
+//! JSON-lines queries, a deterministic shed burst, and a checked
+//! flush-then-ack drain. Exits nonzero on any contract violation; the
+//! CI leg then also requires the server process itself to exit 0.
+//!
+//! ```text
+//! ic-serve-smoke --port-file /tmp/serve.port --mode mixed
+//! ic-serve-smoke --port-file /tmp/serve.port --mode shed
+//! ```
+//!
+//! `--mode mixed` expects a default-configured server; `--mode shed`
+//! expects one squeezed to a single one-slot admission shard with a
+//! long window (`--queue 1 --shards 1 --window-us 300000`), so the
+//! second query of a rapid burst deterministically finds the queue
+//! full.
+
+use ic_core::{Aggregation, Query};
+use ic_serve::{Client, Outcome, Response, ShedReason};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::process::ExitCode;
+
+const USAGE: &str =
+    "usage: ic-serve-smoke (--addr <host:port> | --port-file <path>) --mode (mixed|shed)";
+
+fn parse_addr() -> Result<(SocketAddr, String), String> {
+    let mut addr: Option<String> = None;
+    let mut mode: Option<String> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} expects a value"));
+        match flag.as_str() {
+            "--addr" => addr = Some(value("--addr")?),
+            "--port-file" => {
+                let path = value("--port-file")?;
+                let text = std::fs::read_to_string(&path)
+                    .map_err(|e| format!("cannot read port file {path}: {e}"))?;
+                addr = Some(text.trim().to_string());
+            }
+            "--mode" => mode = Some(value("--mode")?),
+            other => return Err(format!("unknown flag {other}\n{USAGE}")),
+        }
+    }
+    let addr = addr.ok_or_else(|| USAGE.to_string())?;
+    let addr: SocketAddr = addr
+        .parse()
+        .map_err(|e| format!("malformed address {addr:?}: {e}"))?;
+    Ok((addr, mode.ok_or_else(|| USAGE.to_string())?))
+}
+
+fn complete_top(response: &Response, id: u64) -> f64 {
+    match response {
+        Response::Reply {
+            id: got,
+            outcome: Outcome::Complete(communities),
+            ..
+        } if *got == id => communities.first().map_or(f64::NAN, |c| c.value),
+        other => panic!("query {id}: expected a complete reply, got {other:?}"),
+    }
+}
+
+/// Mixed traffic on a default server: binary queries across the
+/// aggregation families, a JSON-lines connection, and a checked drain.
+fn mixed(addr: SocketAddr) {
+    let mut client = Client::connect(addr).expect("connect (binary)");
+    let queries = [
+        Query::new(4, 3, Aggregation::Min),
+        Query::new(4, 3, Aggregation::Max),
+        Query::new(4, 3, Aggregation::Sum),
+        Query::new(6, 2, Aggregation::Sum).approx(0.2),
+        Query::new(4, 2, Aggregation::Average).size_bound(8, true),
+    ];
+    for (i, q) in queries.iter().enumerate() {
+        client.send(i as u64, q).expect("send");
+    }
+    let mut epochs = Vec::new();
+    for i in 0..queries.len() {
+        let response = client.wait_for(i as u64).expect("reply");
+        let top = complete_top(&response, i as u64);
+        assert!(top.is_finite(), "query {i}: top value must be finite");
+        if let Response::Reply { epoch, .. } = response {
+            epochs.push(epoch);
+        }
+    }
+    assert!(
+        epochs.windows(2).all(|w| w[0] == w[1]),
+        "no updates ran; every reply must carry the same epoch (got {epochs:?})"
+    );
+    // An invalid query is a per-query error, not a connection error.
+    match client
+        .call(99, &Query::new(0, 3, Aggregation::Sum))
+        .expect("reply for the invalid query")
+    {
+        Response::Reply {
+            id: 99,
+            outcome: Outcome::Error { .. },
+            ..
+        } => {}
+        other => panic!("k = 0 must be a per-query error, got {other:?}"),
+    }
+    eprintln!("[smoke] binary: {} mixed queries answered", queries.len());
+
+    // JSON-lines mode on a second connection.
+    let mut stream = TcpStream::connect(addr).expect("connect (json)");
+    stream
+        .write_all(b"{\"id\": 1, \"k\": 4, \"r\": 2, \"agg\": \"sum\"}\n")
+        .expect("send json");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("json reply");
+    assert!(
+        line.contains("\"id\":1") && line.contains("\"status\":\"complete\""),
+        "json reply malformed: {line:?}"
+    );
+    drop(reader);
+    drop(stream);
+    eprintln!("[smoke] json-lines: query answered");
+
+    // Drain with a burst still in the admission window: every in-flight
+    // reply must be flushed before the ack.
+    let burst = 4usize;
+    for i in 0..burst {
+        client
+            .send(200 + i as u64, &Query::new(4, 2, Aggregation::Sum))
+            .expect("send burst");
+    }
+    let tail = client.shutdown_and_drain().expect("drain must ack");
+    let flushed = tail
+        .iter()
+        .filter(|r| matches!(r, Response::Reply { .. }))
+        .count();
+    assert_eq!(
+        flushed, burst,
+        "drain must flush the whole in-flight burst before acking"
+    );
+    eprintln!("[smoke] drain: {flushed} in-flight replies flushed before ack");
+}
+
+/// Shed burst on a one-slot server: the second rapid query must get a
+/// typed `Overloaded(QueueFull)` while the first still completes.
+fn shed(addr: SocketAddr) {
+    let mut client = Client::connect(addr).expect("connect");
+    let q = Query::new(4, 2, Aggregation::Sum);
+    client.send(1, &q).expect("send");
+    // Let the first query land in the (one-slot) admission queue.
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    client.send(2, &q).expect("send");
+    match client.wait_for(2).expect("shed reply") {
+        Response::Overloaded {
+            id: 2,
+            reason: ShedReason::QueueFull,
+        } => {}
+        other => panic!("expected QueueFull shedding, got {other:?}"),
+    }
+    complete_top(&client.wait_for(1).expect("admitted reply"), 1);
+    eprintln!("[smoke] shed: QueueFull reply for the burst, admitted query completed");
+    client.shutdown_and_drain().expect("drain must ack");
+}
+
+fn main() -> ExitCode {
+    let (addr, mode) = match parse_addr() {
+        Ok(v) => v,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match mode.as_str() {
+        "mixed" => mixed(addr),
+        "shed" => shed(addr),
+        other => {
+            eprintln!("unknown mode {other:?}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

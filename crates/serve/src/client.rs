@@ -1,0 +1,118 @@
+//! A blocking binary-mode client for ic-serve.
+//!
+//! The client speaks the length-prefixed binary protocol (never
+//! JSON-lines; that mode is for humans with `nc`). Requests carry a
+//! caller-chosen `id`; the server batches and may reorder replies, so
+//! [`Client::wait_for`] buffers out-of-order arrivals by id and
+//! [`Client::recv`] surfaces them in arrival order.
+
+use crate::error::{ClientError, ProtocolError};
+use crate::protocol::{self, Request, Response, WireQuery, RESP_PAYLOAD_MAX};
+use ic_core::Query;
+use std::collections::HashMap;
+use std::io::Write;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A connected binary-mode client. See the module docs.
+pub struct Client {
+    stream: TcpStream,
+    /// Replies that arrived while waiting for a different id.
+    stash: HashMap<u64, Response>,
+    read_buf: Vec<u8>,
+    write_buf: Vec<u8>,
+}
+
+impl Client {
+    /// Connects to a running server.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            stream,
+            stash: HashMap::new(),
+            read_buf: Vec::new(),
+            write_buf: Vec::new(),
+        })
+    }
+
+    /// Sends one query under `id` without waiting for its reply. Fire
+    /// several, then collect with [`Client::wait_for`] — queries in
+    /// flight together coalesce into one server-side batch.
+    pub fn send(&mut self, id: u64, query: &Query) -> Result<(), ClientError> {
+        self.send_request(&Request::Query(WireQuery { id, query: *query }))
+    }
+
+    /// Sends one query and blocks for its reply.
+    pub fn call(&mut self, id: u64, query: &Query) -> Result<Response, ClientError> {
+        self.send(id, query)?;
+        self.wait_for(id)
+    }
+
+    /// Receives the next response in arrival order (stashed responses
+    /// first).
+    pub fn recv(&mut self) -> Result<Response, ClientError> {
+        if let Some(&id) = self.stash.keys().next() {
+            return Ok(self.stash.remove(&id).expect("key just observed"));
+        }
+        self.read_response()
+    }
+
+    /// Blocks until the response for `id` arrives, stashing any other
+    /// replies that land first. [`Response::ProtocolError`] and
+    /// [`Response::ShutdownAck`] are returned immediately to whichever
+    /// waiter is active — they are connection-level, not id-addressed.
+    pub fn wait_for(&mut self, id: u64) -> Result<Response, ClientError> {
+        if let Some(found) = self.stash.remove(&id) {
+            return Ok(found);
+        }
+        loop {
+            let response = self.read_response()?;
+            match response_id(&response) {
+                Some(got) if got == id => return Ok(response),
+                Some(got) => {
+                    self.stash.insert(got, response);
+                }
+                None => return Ok(response),
+            }
+        }
+    }
+
+    /// Requests a graceful server drain and blocks until the
+    /// [`Response::ShutdownAck`], returning every reply that was still
+    /// in flight (the server flushes all admitted work before acking).
+    pub fn shutdown_and_drain(&mut self) -> Result<Vec<Response>, ClientError> {
+        self.send_request(&Request::Shutdown)?;
+        let mut tail: Vec<Response> = self.stash.drain().map(|(_, r)| r).collect();
+        loop {
+            match self.read_response() {
+                Ok(Response::ShutdownAck) => return Ok(tail),
+                Ok(response) => tail.push(response),
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn send_request(&mut self, request: &Request) -> Result<(), ClientError> {
+        self.write_buf.clear();
+        protocol::encode_request(request, &mut self.write_buf)?;
+        protocol::write_frame(&mut self.stream, &self.write_buf)?;
+        self.stream.flush()?;
+        Ok(())
+    }
+
+    fn read_response(&mut self) -> Result<Response, ClientError> {
+        match protocol::read_frame(&mut self.stream, RESP_PAYLOAD_MAX, &mut self.read_buf) {
+            Ok(true) => Ok(protocol::decode_response(&self.read_buf)?),
+            Ok(false) => Err(ClientError::ConnectionClosed),
+            Err(ProtocolError::Truncated) => Err(ClientError::ConnectionClosed),
+            Err(e) => Err(e.into()),
+        }
+    }
+}
+
+fn response_id(response: &Response) -> Option<u64> {
+    match response {
+        Response::Reply { id, .. } | Response::Overloaded { id, .. } => Some(*id),
+        Response::ProtocolError { .. } | Response::ShutdownAck => None,
+    }
+}

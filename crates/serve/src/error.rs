@@ -1,0 +1,143 @@
+//! Typed protocol and client errors.
+//!
+//! Every way a connection's byte stream can be malformed maps to one
+//! [`ProtocolError`] variant — the server *replies* with a typed
+//! protocol-error frame (and, for framing-level violations that leave
+//! the stream unsynchronizable, closes the connection) instead of
+//! panicking or wedging a worker. The fuzz suite in
+//! `crates/serve/tests/protocol.rs` holds this: arbitrary junk bytes
+//! and truncated frames decode to these variants, never to a panic.
+
+use std::fmt;
+
+/// Why a frame (or JSON line) could not be decoded. See the module docs.
+#[non_exhaustive]
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// An I/O error on the socket (the error kind is preserved; the
+    /// payload is gone).
+    Io(std::io::ErrorKind),
+    /// The stream ended mid-frame: a length prefix promised more bytes
+    /// than the peer sent.
+    Truncated,
+    /// The first byte of a binary frame was not the frame magic.
+    BadMagic(u8),
+    /// The length prefix exceeds the mode's frame cap — a garbage or
+    /// hostile prefix; the connection cannot be resynchronized.
+    FrameTooLarge {
+        /// The advertised payload length.
+        len: u32,
+        /// The cap it exceeded.
+        max: u32,
+    },
+    /// A zero-length payload (every frame carries at least a type byte).
+    EmptyFrame,
+    /// An unknown frame-type byte.
+    BadFrameType(u8),
+    /// A well-typed frame whose payload is the wrong size.
+    BadLength {
+        /// Bytes the frame type requires.
+        expected: usize,
+        /// Bytes actually present.
+        got: usize,
+    },
+    /// An unknown aggregation code.
+    BadAggCode(u8),
+    /// A string field that is not valid UTF-8.
+    BadUtf8,
+    /// A JSON-mode line that does not parse as a flat request object.
+    BadJson(String),
+    /// A structurally valid request the protocol cannot express or the
+    /// server cannot serve (e.g. a `Custom` aggregation, which is
+    /// process-local by design).
+    Unsupported(String),
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::Io(kind) => write!(f, "socket error: {kind:?}"),
+            ProtocolError::Truncated => write!(f, "stream ended mid-frame"),
+            ProtocolError::BadMagic(b) => {
+                write!(
+                    f,
+                    "bad frame magic 0x{b:02x} (expected 0x{:02x})",
+                    crate::protocol::MAGIC
+                )
+            }
+            ProtocolError::FrameTooLarge { len, max } => {
+                write!(f, "frame length {len} exceeds the {max}-byte cap")
+            }
+            ProtocolError::EmptyFrame => write!(f, "empty frame payload"),
+            ProtocolError::BadFrameType(t) => write!(f, "unknown frame type 0x{t:02x}"),
+            ProtocolError::BadLength { expected, got } => {
+                write!(
+                    f,
+                    "frame payload holds {got} bytes, type requires {expected}"
+                )
+            }
+            ProtocolError::BadAggCode(c) => write!(f, "unknown aggregation code {c}"),
+            ProtocolError::BadUtf8 => write!(f, "string field is not valid UTF-8"),
+            ProtocolError::BadJson(detail) => write!(f, "malformed JSON request: {detail}"),
+            ProtocolError::Unsupported(detail) => write!(f, "unsupported request: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+impl From<std::io::Error> for ProtocolError {
+    fn from(e: std::io::Error) -> Self {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            ProtocolError::Truncated
+        } else {
+            ProtocolError::Io(e.kind())
+        }
+    }
+}
+
+/// Client-side failures: everything [`ProtocolError`] covers, plus the
+/// server ending the conversation.
+#[non_exhaustive]
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ClientError {
+    /// The server's byte stream violated the protocol.
+    Protocol(ProtocolError),
+    /// The connection closed before the expected response arrived.
+    ConnectionClosed,
+    /// The request cannot be expressed on the wire.
+    Unsupported(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Protocol(e) => write!(f, "protocol violation: {e}"),
+            ClientError::ConnectionClosed => {
+                write!(f, "server closed the connection before responding")
+            }
+            ClientError::Unsupported(detail) => write!(f, "unsupported request: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Protocol(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ProtocolError> for ClientError {
+    fn from(e: ProtocolError) -> Self {
+        ClientError::Protocol(e)
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Protocol(e.into())
+    }
+}

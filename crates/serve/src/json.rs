@@ -1,0 +1,268 @@
+//! A minimal JSON reader/writer for the debug line protocol.
+//!
+//! The container builds offline, so there is no serde; the JSON-lines
+//! mode needs only *flat* objects with number / string / boolean / null
+//! values, and this module implements exactly that, strictly: anything
+//! else (nested objects, arrays in requests, trailing junk) is a typed
+//! parse error, never a panic. Responses are rendered by hand — the
+//! only subtlety is non-finite `f64`s (`BalancedDensity`'s −∞
+//! sentinel), which JSON cannot express and which render as the strings
+//! `"-inf"` / `"inf"` / `"nan"`.
+
+/// One value of a flat JSON request object.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonValue {
+    /// A JSON number (always parsed as `f64`).
+    Num(f64),
+    /// A JSON string (escapes decoded).
+    Str(String),
+    /// `true` / `false`.
+    Bool(bool),
+    /// `null`.
+    Null,
+}
+
+/// Parses one line as a flat JSON object, returning its key/value pairs
+/// in document order. Errors are human-readable descriptions carried
+/// into [`ProtocolError::BadJson`](crate::ProtocolError::BadJson).
+pub fn parse_flat_object(line: &str) -> Result<Vec<(String, JsonValue)>, String> {
+    let mut p = Parser {
+        bytes: line.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    p.expect(b'{')?;
+    let mut pairs = Vec::new();
+    p.skip_ws();
+    if p.peek() == Some(b'}') {
+        p.pos += 1;
+    } else {
+        loop {
+            p.skip_ws();
+            let key = p.string()?;
+            p.skip_ws();
+            p.expect(b':')?;
+            p.skip_ws();
+            let value = p.value()?;
+            pairs.push((key, value));
+            p.skip_ws();
+            match p.next() {
+                Some(b',') => continue,
+                Some(b'}') => break,
+                Some(c) => return Err(format!("expected ',' or '}}', found {:?}", c as char)),
+                None => return Err("unterminated object".into()),
+            }
+        }
+    }
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err("trailing bytes after object".into());
+    }
+    Ok(pairs)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, want: u8) -> Result<(), String> {
+        match self.next() {
+            Some(b) if b == want => Ok(()),
+            Some(b) => Err(format!(
+                "expected {:?}, found {:?}",
+                want as char, b as char
+            )),
+            None => Err(format!("expected {:?}, found end of line", want as char)),
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        match self.peek() {
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(b'{') => Err("nested objects are not allowed in requests".into()),
+            Some(b'[') => Err("arrays are not allowed in requests".into()),
+            Some(c) => Err(format!("unexpected value start {:?}", c as char)),
+            None => Err("expected a value, found end of line".into()),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: JsonValue) -> Result<JsonValue, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("malformed literal (expected {word})"))
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        while matches!(
+            self.peek(),
+            Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+        ) {
+            self.pos += 1;
+        }
+        let token = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|_| "bad number")?;
+        token
+            .parse::<f64>()
+            .map(JsonValue::Num)
+            .map_err(|_| format!("malformed number {token:?}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.next() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.next() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(c) => return Err(format!("unsupported escape \\{}", c as char)),
+                    None => return Err("unterminated escape".into()),
+                },
+                Some(b) if b < 0x20 => return Err("raw control byte in string".into()),
+                Some(b) => {
+                    // Re-assemble UTF-8 multibyte sequences byte-wise.
+                    let len = match b {
+                        0x00..=0x7f => 0,
+                        0xc0..=0xdf => 1,
+                        0xe0..=0xef => 2,
+                        0xf0..=0xf7 => 3,
+                        _ => return Err("invalid UTF-8 in string".into()),
+                    };
+                    let start = self.pos - 1;
+                    for _ in 0..len {
+                        self.next().ok_or("truncated UTF-8 sequence")?;
+                    }
+                    let chunk = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| "invalid UTF-8 in string")?;
+                    out.push_str(chunk);
+                }
+            }
+        }
+    }
+}
+
+/// Appends a JSON string literal (escaping the handful of characters
+/// the parser above understands).
+pub fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends an `f64` as JSON: plain decimal for finite values, the
+/// strings `"inf"` / `"-inf"` / `"nan"` for the values JSON cannot
+/// carry (community values can legitimately be −∞).
+pub fn push_json_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        out.push_str(&format!("{v}"));
+    } else if v.is_nan() {
+        out.push_str("\"nan\"");
+    } else if v > 0.0 {
+        out.push_str("\"inf\"");
+    } else {
+        out.push_str("\"-inf\"");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_request_shaped_object() {
+        let got =
+            parse_flat_object(r#"{"id": 7, "agg": "min", "greedy": true, "eps": 1e-2}"#).unwrap();
+        assert_eq!(got[0], ("id".into(), JsonValue::Num(7.0)));
+        assert_eq!(got[1], ("agg".into(), JsonValue::Str("min".into())));
+        assert_eq!(got[2], ("greedy".into(), JsonValue::Bool(true)));
+        assert_eq!(got[3], ("eps".into(), JsonValue::Num(0.01)));
+    }
+
+    #[test]
+    fn empty_object_and_escapes() {
+        assert_eq!(parse_flat_object("{}").unwrap(), vec![]);
+        let got = parse_flat_object(r#"{"a": "x\n\"y\"", "b": null}"#).unwrap();
+        assert_eq!(got[0].1, JsonValue::Str("x\n\"y\"".into()));
+        assert_eq!(got[1].1, JsonValue::Null);
+    }
+
+    #[test]
+    fn garbage_is_a_typed_error_not_a_panic() {
+        for junk in [
+            "",
+            "not json",
+            "{",
+            "{\"a\"",
+            "{\"a\":}",
+            "{\"a\":1,}",
+            "{\"a\":[1]}",
+            "{\"a\":{}}",
+            "{\"a\":1}trailing",
+            "{\"a\":--3}",
+            "{\"a\":\"unterminated",
+            "{\"a\":\"bad\\escape\"}",
+            "{1:2}",
+        ] {
+            assert!(parse_flat_object(junk).is_err(), "{junk:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn unicode_round_trips() {
+        let got = parse_flat_object("{\"k\": \"héllo→\"}").unwrap();
+        assert_eq!(got[0].1, JsonValue::Str("héllo→".into()));
+        let mut out = String::new();
+        push_json_str(&mut out, "héllo→\n");
+        assert_eq!(out, "\"héllo→\\n\"");
+    }
+
+    #[test]
+    fn nonfinite_values_render_as_strings() {
+        let mut out = String::new();
+        push_json_f64(&mut out, f64::NEG_INFINITY);
+        out.push(',');
+        push_json_f64(&mut out, 203.5);
+        assert_eq!(out, "\"-inf\",203.5");
+    }
+}

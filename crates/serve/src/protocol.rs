@@ -1,0 +1,1113 @@
+//! The ic-serve wire protocol: framing, binary codecs, and the
+//! JSON-lines debug rendering.
+//!
+//! # Frame layout (binary mode)
+//!
+//! ```text
+//! ┌──────┬────────────────┬──────────────────────────────┐
+//! │ 0xB1 │ length: u32 LE │ payload (length bytes)       │
+//! └──────┴────────────────┴──────────────────────────────┘
+//!                           payload[0] = frame type
+//! ```
+//!
+//! Request frames (client → server) are capped at
+//! [`REQ_PAYLOAD_MAX`] bytes, response frames (server → client) at
+//! [`RESP_PAYLOAD_MAX`] — the asymmetry is deliberate: requests are
+//! fixed-size records, responses carry whole vertex lists. A length
+//! prefix over the cap means the stream is garbage or hostile; it is a
+//! typed [`ProtocolError::FrameTooLarge`] and the connection closes
+//! (there is no way to resynchronize past an arbitrary prefix).
+//!
+//! All integers are little-endian; `f64`s travel as `to_bits()` so
+//! answers round-trip bit-exactly (the engine's conformance suite
+//! compares by bits, and so does the serve integration test).
+//!
+//! # JSON-lines mode
+//!
+//! A connection whose **first byte** is not [`MAGIC`] is served in
+//! JSON-lines mode: one flat JSON object per `\n`-terminated line in,
+//! one JSON object per line out. It exists for debugging with `nc` —
+//! the Rust [`Client`](crate::Client) always speaks binary. Parsing is
+//! strict (see [`crate::json`]); anything malformed gets a
+//! `{"status":"protocol_error",…}` line, never a panic.
+
+use crate::error::ProtocolError;
+use crate::json::{self, JsonValue};
+use ic_core::{Aggregation, Community, Constraint, Query};
+use ic_engine::{AnswerStatus, EngineError, QueryAnswer};
+use std::io::{Read, Write};
+use std::time::Duration;
+
+/// First byte of every binary frame (and the binary-mode detector).
+pub const MAGIC: u8 = 0xB1;
+/// Request-frame payload cap (requests are small fixed-size records).
+pub const REQ_PAYLOAD_MAX: u32 = 4096;
+/// Response-frame payload cap (answers carry whole vertex lists).
+pub const RESP_PAYLOAD_MAX: u32 = 1 << 26;
+
+/// Frame type: a query request.
+pub const FRAME_QUERY: u8 = 0x01;
+/// Frame type: graceful-drain request.
+pub const FRAME_SHUTDOWN: u8 = 0x02;
+/// Frame type: a query's answer.
+pub const FRAME_REPLY: u8 = 0x81;
+/// Frame type: the query was shed, not served.
+pub const FRAME_OVERLOADED: u8 = 0x82;
+/// Frame type: the peer violated the protocol.
+pub const FRAME_PROTOCOL_ERROR: u8 = 0x83;
+/// Frame type: drain complete, connection about to close.
+pub const FRAME_SHUTDOWN_ACK: u8 = 0x84;
+
+const QUERY_PAYLOAD_LEN: usize = 47;
+
+/// A query plus the client-chosen correlation id echoed on its reply.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WireQuery {
+    /// Client-chosen id; replies carry it back so batched, reordered
+    /// responses can be matched to requests.
+    pub id: u64,
+    /// The query itself (validated server-side at plan time).
+    pub query: Query,
+}
+
+/// A decoded client → server message.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Request {
+    /// Answer this query.
+    Query(WireQuery),
+    /// Drain in-flight work, ack, and close this connection.
+    Shutdown,
+}
+
+/// Why a query was shed instead of served.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The admission queue was full (backpressure).
+    QueueFull,
+    /// The server is draining for shutdown.
+    Draining,
+}
+
+/// What kind of per-query error the engine reported.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// Validation/routing rejected the query.
+    Search,
+    /// The deadline expired before anything was proven.
+    DeadlineExceeded,
+    /// The solver panicked (isolated server-side).
+    Internal,
+}
+
+/// One query's wire-level outcome — the serializable image of the
+/// engine's `Result<QueryAnswer, EngineError>`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Outcome {
+    /// The full, bit-exact answer.
+    Complete(Vec<Community>),
+    /// A deadline-degraded answer (prefix certificate semantics; see
+    /// `ic_engine::AnswerStatus`).
+    Degraded {
+        /// Communities, best first.
+        communities: Vec<Community>,
+        /// Leading entries proven equal to the full answer's prefix.
+        proven_prefix_len: u64,
+    },
+    /// The engine could not answer the query.
+    Error {
+        /// Which failure class.
+        kind: ErrorKind,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl Outcome {
+    /// Converts an engine batch slot into its wire image.
+    pub fn from_engine(slot: &Result<QueryAnswer, EngineError>) -> Self {
+        match slot {
+            Ok(ans) => match ans.status {
+                AnswerStatus::Complete => Outcome::Complete(ans.communities.clone()),
+                AnswerStatus::Degraded {
+                    proven_prefix_len, ..
+                } => Outcome::Degraded {
+                    communities: ans.communities.clone(),
+                    proven_prefix_len: proven_prefix_len as u64,
+                },
+                // Future AnswerStatus variants degrade to best-so-far
+                // semantics rather than breaking the wire format.
+                _ => Outcome::Degraded {
+                    communities: ans.communities.clone(),
+                    proven_prefix_len: 0,
+                },
+            },
+            Err(EngineError::DeadlineExceeded) => Outcome::Error {
+                kind: ErrorKind::DeadlineExceeded,
+                message: String::new(),
+            },
+            Err(e @ EngineError::Search(_)) => Outcome::Error {
+                kind: ErrorKind::Search,
+                message: e.to_string(),
+            },
+            Err(e) => Outcome::Error {
+                kind: ErrorKind::Internal,
+                message: e.to_string(),
+            },
+        }
+    }
+}
+
+/// A decoded server → client message.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// The answer to query `id`, served at snapshot `epoch`.
+    Reply {
+        /// Echoed request id.
+        id: u64,
+        /// The engine epoch whose snapshot answered the query — constant
+        /// across a connection's in-flight window (epoch pinning).
+        epoch: u64,
+        /// The outcome.
+        outcome: Outcome,
+    },
+    /// Query `id` was shed, not served; safe to retry elsewhere/later.
+    Overloaded {
+        /// Echoed request id.
+        id: u64,
+        /// Why it was shed.
+        reason: ShedReason,
+    },
+    /// The client's bytes violated the protocol.
+    ProtocolError {
+        /// What was wrong.
+        message: String,
+    },
+    /// Drain complete; every accepted query has been answered.
+    ShutdownAck,
+}
+
+// ---------------------------------------------------------------------
+// Framing
+
+/// Writes one `MAGIC + len + payload` frame.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
+    debug_assert!(payload.len() <= RESP_PAYLOAD_MAX as usize);
+    let mut head = [0u8; 5];
+    head[0] = MAGIC;
+    head[1..5].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    w.write_all(&head)?;
+    w.write_all(payload)
+}
+
+/// Reads one frame's payload into `buf` (cleared first). `max` is the
+/// side-appropriate payload cap. Returns `Ok(false)` on clean EOF
+/// *before* any frame byte; a stream ending mid-frame is
+/// [`ProtocolError::Truncated`].
+pub fn read_frame(r: &mut impl Read, max: u32, buf: &mut Vec<u8>) -> Result<bool, ProtocolError> {
+    let mut head = [0u8; 5];
+    let mut filled = 0;
+    while filled < head.len() {
+        match r.read(&mut head[filled..]) {
+            Ok(0) => {
+                return if filled == 0 {
+                    Ok(false)
+                } else {
+                    Err(ProtocolError::Truncated)
+                }
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    if head[0] != MAGIC {
+        return Err(ProtocolError::BadMagic(head[0]));
+    }
+    let len = u32::from_le_bytes([head[1], head[2], head[3], head[4]]);
+    if len > max {
+        return Err(ProtocolError::FrameTooLarge { len, max });
+    }
+    if len == 0 {
+        return Err(ProtocolError::EmptyFrame);
+    }
+    buf.clear();
+    buf.resize(len as usize, 0);
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => return Err(ProtocolError::Truncated),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(true)
+}
+
+// ---------------------------------------------------------------------
+// Aggregation codes
+
+/// Maps an aggregation onto its wire `(code, parameter)` pair.
+/// `Custom` aggregations are process-local by design (their handle is a
+/// registration id plus a `&'static` vtable reference — meaningless in
+/// another process) and are rejected as [`ProtocolError::Unsupported`].
+pub fn agg_to_wire(agg: Aggregation) -> Result<(u8, f64), ProtocolError> {
+    Ok(match agg {
+        Aggregation::Min => (0, 0.0),
+        Aggregation::Max => (1, 0.0),
+        Aggregation::Sum => (2, 0.0),
+        Aggregation::SumSurplus { alpha } => (3, alpha),
+        Aggregation::Average => (4, 0.0),
+        Aggregation::WeightDensity { beta } => (5, beta),
+        Aggregation::BalancedDensity => (6, 0.0),
+        Aggregation::TopTSum { t } => (7, t as f64),
+        Aggregation::Percentile { p } => (8, p),
+        Aggregation::GeometricMean => (9, 0.0),
+        other => {
+            return Err(ProtocolError::Unsupported(format!(
+                "aggregation {:?} is process-local and cannot be sent over the wire",
+                other.name()
+            )))
+        }
+    })
+}
+
+/// Inverse of [`agg_to_wire`]. Parameter *values* are not range-checked
+/// here — the engine validates each query at plan time and reports a
+/// typed per-query error — but a non-finite or negative `t` for
+/// `TopTSum` cannot even be represented and is rejected.
+pub fn agg_from_wire(code: u8, param: f64) -> Result<Aggregation, ProtocolError> {
+    Ok(match code {
+        0 => Aggregation::Min,
+        1 => Aggregation::Max,
+        2 => Aggregation::Sum,
+        3 => Aggregation::SumSurplus { alpha: param },
+        4 => Aggregation::Average,
+        5 => Aggregation::WeightDensity { beta: param },
+        6 => Aggregation::BalancedDensity,
+        7 => {
+            if !(param.is_finite() && param >= 0.0 && param <= u32::MAX as f64) {
+                return Err(ProtocolError::Unsupported(format!(
+                    "top-t-sum parameter t = {param} is not a representable count"
+                )));
+            }
+            Aggregation::TopTSum { t: param as usize }
+        }
+        8 => Aggregation::Percentile { p: param },
+        9 => Aggregation::GeometricMean,
+        c => return Err(ProtocolError::BadAggCode(c)),
+    })
+}
+
+// ---------------------------------------------------------------------
+// Binary request codec
+
+const FLAG_SIZE_BOUND: u8 = 0b001;
+const FLAG_GREEDY: u8 = 0b010;
+const FLAG_DEADLINE: u8 = 0b100;
+
+/// Encodes a request as one frame payload (type byte included),
+/// appended to `out`.
+pub fn encode_request(req: &Request, out: &mut Vec<u8>) -> Result<(), ProtocolError> {
+    match req {
+        Request::Shutdown => out.push(FRAME_SHUTDOWN),
+        Request::Query(wq) => {
+            let (agg, param) = agg_to_wire(wq.query.aggregation)?;
+            let (flags, s) = match wq.query.constraint {
+                Constraint::Unconstrained => (0u8, 0u32),
+                Constraint::SizeBound { s, greedy } => {
+                    let s = u32::try_from(s).map_err(|_| {
+                        ProtocolError::Unsupported(format!("size bound s = {s} exceeds u32"))
+                    })?;
+                    (FLAG_SIZE_BOUND | if greedy { FLAG_GREEDY } else { 0 }, s)
+                }
+                other => {
+                    return Err(ProtocolError::Unsupported(format!(
+                        "constraint {other:?} has no wire representation"
+                    )))
+                }
+            };
+            let (flags, deadline_micros) = match wq.query.deadline {
+                None => (flags, 0u64),
+                Some(d) => (
+                    flags | FLAG_DEADLINE,
+                    u64::try_from(d.as_micros()).unwrap_or(u64::MAX),
+                ),
+            };
+            let k = u32::try_from(wq.query.k).map_err(|_| {
+                ProtocolError::Unsupported(format!("k = {} exceeds u32", wq.query.k))
+            })?;
+            let r = u32::try_from(wq.query.r).map_err(|_| {
+                ProtocolError::Unsupported(format!("r = {} exceeds u32", wq.query.r))
+            })?;
+            out.reserve(QUERY_PAYLOAD_LEN);
+            out.push(FRAME_QUERY);
+            out.extend_from_slice(&wq.id.to_le_bytes());
+            out.extend_from_slice(&k.to_le_bytes());
+            out.extend_from_slice(&r.to_le_bytes());
+            out.push(agg);
+            out.extend_from_slice(&param.to_bits().to_le_bytes());
+            out.extend_from_slice(&wq.query.epsilon.to_bits().to_le_bytes());
+            out.push(flags);
+            out.extend_from_slice(&s.to_le_bytes());
+            out.extend_from_slice(&deadline_micros.to_le_bytes());
+        }
+    }
+    Ok(())
+}
+
+/// Decodes one request frame payload.
+pub fn decode_request(payload: &[u8]) -> Result<Request, ProtocolError> {
+    let mut r = Reader::new(payload);
+    match r.u8()? {
+        FRAME_SHUTDOWN => {
+            r.finish(1)?;
+            Ok(Request::Shutdown)
+        }
+        FRAME_QUERY => {
+            if payload.len() != QUERY_PAYLOAD_LEN {
+                return Err(ProtocolError::BadLength {
+                    expected: QUERY_PAYLOAD_LEN,
+                    got: payload.len(),
+                });
+            }
+            let id = r.u64()?;
+            let k = r.u32()? as usize;
+            let rr = r.u32()? as usize;
+            let agg_code = r.u8()?;
+            let param = f64::from_bits(r.u64()?);
+            let epsilon = f64::from_bits(r.u64()?);
+            let flags = r.u8()?;
+            let s = r.u32()? as usize;
+            let deadline_micros = r.u64()?;
+            let mut query = Query::new(k, rr, agg_from_wire(agg_code, param)?).approx(epsilon);
+            if flags & FLAG_SIZE_BOUND != 0 {
+                query = query.size_bound(s, flags & FLAG_GREEDY != 0);
+            }
+            if flags & FLAG_DEADLINE != 0 {
+                query = query.deadline(Duration::from_micros(deadline_micros));
+            }
+            Ok(Request::Query(WireQuery { id, query }))
+        }
+        t => Err(ProtocolError::BadFrameType(t)),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Binary response codec
+
+const STATUS_COMPLETE: u8 = 0;
+const STATUS_DEGRADED: u8 = 1;
+const STATUS_SEARCH_ERROR: u8 = 2;
+const STATUS_DEADLINE_EXCEEDED: u8 = 3;
+const STATUS_INTERNAL: u8 = 4;
+
+const SHED_QUEUE_FULL: u8 = 0;
+const SHED_DRAINING: u8 = 1;
+
+/// Encodes a response as one frame payload, appended to `out`.
+pub fn encode_response(resp: &Response, out: &mut Vec<u8>) {
+    match resp {
+        Response::ShutdownAck => out.push(FRAME_SHUTDOWN_ACK),
+        Response::ProtocolError { message } => {
+            out.push(FRAME_PROTOCOL_ERROR);
+            push_str(out, message);
+        }
+        Response::Overloaded { id, reason } => {
+            out.push(FRAME_OVERLOADED);
+            out.extend_from_slice(&id.to_le_bytes());
+            out.push(match reason {
+                ShedReason::QueueFull => SHED_QUEUE_FULL,
+                ShedReason::Draining => SHED_DRAINING,
+            });
+        }
+        Response::Reply { id, epoch, outcome } => {
+            out.push(FRAME_REPLY);
+            out.extend_from_slice(&id.to_le_bytes());
+            out.extend_from_slice(&epoch.to_le_bytes());
+            match outcome {
+                Outcome::Complete(communities) => {
+                    out.push(STATUS_COMPLETE);
+                    push_communities(out, communities);
+                }
+                Outcome::Degraded {
+                    communities,
+                    proven_prefix_len,
+                } => {
+                    out.push(STATUS_DEGRADED);
+                    out.extend_from_slice(&proven_prefix_len.to_le_bytes());
+                    push_communities(out, communities);
+                }
+                Outcome::Error { kind, message } => {
+                    out.push(match kind {
+                        ErrorKind::Search => STATUS_SEARCH_ERROR,
+                        ErrorKind::DeadlineExceeded => STATUS_DEADLINE_EXCEEDED,
+                        ErrorKind::Internal => STATUS_INTERNAL,
+                    });
+                    push_str(out, message);
+                }
+            }
+        }
+    }
+}
+
+/// Decodes one response frame payload.
+pub fn decode_response(payload: &[u8]) -> Result<Response, ProtocolError> {
+    let mut r = Reader::new(payload);
+    match r.u8()? {
+        FRAME_SHUTDOWN_ACK => {
+            r.finish(1)?;
+            Ok(Response::ShutdownAck)
+        }
+        FRAME_PROTOCOL_ERROR => {
+            let message = r.str()?;
+            r.done()?;
+            Ok(Response::ProtocolError { message })
+        }
+        FRAME_OVERLOADED => {
+            let id = r.u64()?;
+            let reason = match r.u8()? {
+                SHED_QUEUE_FULL => ShedReason::QueueFull,
+                SHED_DRAINING => ShedReason::Draining,
+                c => return Err(ProtocolError::BadFrameType(c)),
+            };
+            r.finish(10)?;
+            Ok(Response::Overloaded { id, reason })
+        }
+        FRAME_REPLY => {
+            let id = r.u64()?;
+            let epoch = r.u64()?;
+            let outcome = match r.u8()? {
+                STATUS_COMPLETE => Outcome::Complete(r.communities()?),
+                STATUS_DEGRADED => {
+                    let proven_prefix_len = r.u64()?;
+                    Outcome::Degraded {
+                        communities: r.communities()?,
+                        proven_prefix_len,
+                    }
+                }
+                s @ (STATUS_SEARCH_ERROR | STATUS_DEADLINE_EXCEEDED | STATUS_INTERNAL) => {
+                    Outcome::Error {
+                        kind: match s {
+                            STATUS_SEARCH_ERROR => ErrorKind::Search,
+                            STATUS_DEADLINE_EXCEEDED => ErrorKind::DeadlineExceeded,
+                            _ => ErrorKind::Internal,
+                        },
+                        message: r.str()?,
+                    }
+                }
+                s => return Err(ProtocolError::BadFrameType(s)),
+            };
+            r.done()?;
+            Ok(Response::Reply { id, epoch, outcome })
+        }
+        t => Err(ProtocolError::BadFrameType(t)),
+    }
+}
+
+fn push_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn push_communities(out: &mut Vec<u8>, communities: &[Community]) {
+    out.extend_from_slice(&(communities.len() as u32).to_le_bytes());
+    for c in communities {
+        out.extend_from_slice(&c.value.to_bits().to_le_bytes());
+        out.extend_from_slice(&(c.vertices.len() as u32).to_le_bytes());
+        for &v in &c.vertices {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+}
+
+/// Bounds-checked cursor over a frame payload. Every under-run is a
+/// typed [`ProtocolError::BadLength`], never a slice panic.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ProtocolError> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.bytes.len());
+        match end {
+            Some(end) => {
+                let out = &self.bytes[self.pos..end];
+                self.pos = end;
+                Ok(out)
+            }
+            None => Err(ProtocolError::BadLength {
+                expected: self.pos.saturating_add(n),
+                got: self.bytes.len(),
+            }),
+        }
+    }
+
+    fn u8(&mut self) -> Result<u8, ProtocolError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, ProtocolError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, ProtocolError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn str(&mut self) -> Result<String, ProtocolError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| ProtocolError::BadUtf8)
+    }
+
+    fn communities(&mut self) -> Result<Vec<Community>, ProtocolError> {
+        let n = self.u32()? as usize;
+        let mut out = Vec::new();
+        for _ in 0..n {
+            let value = f64::from_bits(self.u64()?);
+            let nv = self.u32()? as usize;
+            let mut vertices = Vec::new();
+            for _ in 0..nv {
+                vertices.push(self.u32()?);
+            }
+            // Not Community::new: the wire must round-trip the solver
+            // output bit-for-bit, including its (already canonical)
+            // vertex order.
+            out.push(Community { vertices, value });
+        }
+        Ok(out)
+    }
+
+    fn finish(self, expected: usize) -> Result<(), ProtocolError> {
+        if self.pos == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(ProtocolError::BadLength {
+                expected,
+                got: self.bytes.len(),
+            })
+        }
+    }
+
+    fn done(self) -> Result<(), ProtocolError> {
+        let expected = self.pos;
+        self.finish(expected)
+    }
+}
+
+// ---------------------------------------------------------------------
+// JSON-lines mode
+
+/// Parses one JSON-lines request. Recognized keys: `op` (`"query"`,
+/// the default, or `"shutdown"`), `id`, `k`, `r`, `agg` (name string or
+/// numeric wire code), `alpha`/`beta`/`t`/`p` (the aggregation
+/// parameter, any one of them), `eps`, `s` + `greedy` (size bound), and
+/// `deadline_ms`. Unknown keys are rejected — silent typo-tolerance
+/// ("deadine_ms") is worse than an error in a debug protocol.
+pub fn parse_json_request(line: &str) -> Result<Request, ProtocolError> {
+    let pairs = json::parse_flat_object(line).map_err(ProtocolError::BadJson)?;
+    let mut id = 0u64;
+    let mut k = 0usize;
+    let mut r = 0usize;
+    let mut agg_name: Option<String> = None;
+    let mut agg_code: Option<u8> = None;
+    let mut param: Option<f64> = None;
+    let mut eps = 0.0f64;
+    let mut s: Option<usize> = None;
+    let mut greedy = false;
+    let mut deadline_ms: Option<f64> = None;
+    let mut op: Option<String> = None;
+
+    let num = |key: &str, v: &JsonValue| -> Result<f64, ProtocolError> {
+        match v {
+            JsonValue::Num(x) => Ok(*x),
+            _ => Err(ProtocolError::BadJson(format!("{key} must be a number"))),
+        }
+    };
+    let count = |key: &str, v: &JsonValue| -> Result<usize, ProtocolError> {
+        let x = num(key, v)?;
+        if x.is_finite() && x >= 0.0 && x.fract() == 0.0 && x <= u32::MAX as f64 {
+            Ok(x as usize)
+        } else {
+            Err(ProtocolError::BadJson(format!(
+                "{key} must be a non-negative integer, got {x}"
+            )))
+        }
+    };
+
+    for (key, value) in &pairs {
+        match key.as_str() {
+            "op" => match value {
+                JsonValue::Str(s) => op = Some(s.clone()),
+                _ => return Err(ProtocolError::BadJson("op must be a string".into())),
+            },
+            "id" => id = count(key, value)? as u64,
+            "k" => k = count(key, value)?,
+            "r" => r = count(key, value)?,
+            "agg" => match value {
+                JsonValue::Str(name) => agg_name = Some(name.clone()),
+                JsonValue::Num(c) if c.fract() == 0.0 && (0.0..=255.0).contains(c) => {
+                    agg_code = Some(*c as u8)
+                }
+                _ => {
+                    return Err(ProtocolError::BadJson(
+                        "agg must be a name string or a wire code".into(),
+                    ))
+                }
+            },
+            "alpha" | "beta" | "p" => param = Some(num(key, value)?),
+            "t" => param = Some(count(key, value)? as f64),
+            "eps" => eps = num(key, value)?,
+            "s" => s = Some(count(key, value)?),
+            "greedy" => match value {
+                JsonValue::Bool(b) => greedy = *b,
+                _ => return Err(ProtocolError::BadJson("greedy must be a boolean".into())),
+            },
+            "deadline_ms" => deadline_ms = Some(num(key, value)?),
+            other => {
+                return Err(ProtocolError::BadJson(format!("unknown key {other:?}")));
+            }
+        }
+    }
+
+    match op.as_deref() {
+        Some("shutdown") => return Ok(Request::Shutdown),
+        Some("query") | None => {}
+        Some(other) => {
+            return Err(ProtocolError::BadJson(format!("unknown op {other:?}")));
+        }
+    }
+
+    let code = match (agg_code, agg_name.as_deref()) {
+        (Some(c), _) => c,
+        (None, Some(name)) => agg_code_by_name(name)?,
+        (None, None) => {
+            return Err(ProtocolError::BadJson(
+                "query requests need an \"agg\" key".into(),
+            ))
+        }
+    };
+    let aggregation = agg_from_wire(code, param.unwrap_or(0.0))?;
+    let mut query = Query::new(k, r, aggregation).approx(eps);
+    if let Some(s) = s {
+        query = query.size_bound(s, greedy);
+    }
+    if let Some(ms) = deadline_ms {
+        if !(ms.is_finite() && ms >= 0.0) {
+            return Err(ProtocolError::BadJson(format!(
+                "deadline_ms must be a non-negative number, got {ms}"
+            )));
+        }
+        query = query.deadline(Duration::from_secs_f64(ms / 1000.0));
+    }
+    Ok(Request::Query(WireQuery { id, query }))
+}
+
+/// The JSON name of each wire aggregation code (also accepted as the
+/// `agg` value in requests).
+pub fn agg_name_by_code(code: u8) -> Option<&'static str> {
+    Some(match code {
+        0 => "min",
+        1 => "max",
+        2 => "sum",
+        3 => "sum_surplus",
+        4 => "average",
+        5 => "weight_density",
+        6 => "balanced_density",
+        7 => "top_t_sum",
+        8 => "percentile",
+        9 => "geometric_mean",
+        _ => return None,
+    })
+}
+
+fn agg_code_by_name(name: &str) -> Result<u8, ProtocolError> {
+    (0u8..=9)
+        .find(|&c| agg_name_by_code(c) == Some(name))
+        .ok_or_else(|| ProtocolError::BadJson(format!("unknown aggregation {name:?}")))
+}
+
+/// Renders one response as a single JSON line (no trailing newline).
+pub fn render_json_response(resp: &Response) -> String {
+    let mut out = String::new();
+    match resp {
+        Response::ShutdownAck => out.push_str(r#"{"status":"shutdown_ack"}"#),
+        Response::ProtocolError { message } => {
+            out.push_str(r#"{"status":"protocol_error","message":"#);
+            json::push_json_str(&mut out, message);
+            out.push('}');
+        }
+        Response::Overloaded { id, reason } => {
+            out.push_str(&format!(
+                r#"{{"id":{id},"status":"overloaded","reason":"{}"}}"#,
+                match reason {
+                    ShedReason::QueueFull => "queue_full",
+                    ShedReason::Draining => "draining",
+                }
+            ));
+        }
+        Response::Reply { id, epoch, outcome } => {
+            out.push_str(&format!(r#"{{"id":{id},"epoch":{epoch}"#));
+            match outcome {
+                Outcome::Complete(communities) => {
+                    out.push_str(r#","status":"complete""#);
+                    push_json_communities(&mut out, communities);
+                }
+                Outcome::Degraded {
+                    communities,
+                    proven_prefix_len,
+                } => {
+                    out.push_str(&format!(
+                        r#","status":"degraded","proven_prefix_len":{proven_prefix_len}"#
+                    ));
+                    push_json_communities(&mut out, communities);
+                }
+                Outcome::Error { kind, message } => {
+                    out.push_str(&format!(
+                        r#","status":"error","kind":"{}","message":"#,
+                        match kind {
+                            ErrorKind::Search => "search",
+                            ErrorKind::DeadlineExceeded => "deadline_exceeded",
+                            ErrorKind::Internal => "internal",
+                        }
+                    ));
+                    json::push_json_str(&mut out, message);
+                }
+            }
+            out.push('}');
+        }
+    }
+    out
+}
+
+fn push_json_communities(out: &mut String, communities: &[Community]) {
+    out.push_str(r#","communities":["#);
+    for (i, c) in communities.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(r#"{"value":"#);
+        json::push_json_f64(out, c.value);
+        out.push_str(r#","vertices":["#);
+        for (j, v) in c.vertices.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{v}"));
+        }
+        out.push_str("]}");
+    }
+    out.push(']');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_request(req: Request) -> Request {
+        let mut buf = Vec::new();
+        encode_request(&req, &mut buf).unwrap();
+        decode_request(&buf).unwrap()
+    }
+
+    fn roundtrip_response(resp: &Response) -> Response {
+        let mut buf = Vec::new();
+        encode_response(resp, &mut buf);
+        decode_response(&buf).unwrap()
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        for query in [
+            Query::new(2, 3, Aggregation::Sum),
+            Query::new(1, 1, Aggregation::Min).deadline(Duration::from_micros(1500)),
+            Query::new(4, 2, Aggregation::SumSurplus { alpha: 0.5 }).approx(0.25),
+            Query::new(2, 2, Aggregation::Average).size_bound(6, true),
+            Query::new(2, 2, Aggregation::WeightDensity { beta: 1.5 }).size_bound(5, false),
+            Query::new(3, 1, Aggregation::TopTSum { t: 7 }),
+            Query::new(3, 1, Aggregation::Percentile { p: 0.9 }),
+            Query::new(3, 1, Aggregation::GeometricMean).size_bound(9, true),
+            Query::new(2, 1, Aggregation::BalancedDensity)
+                .size_bound(4, true)
+                .deadline(Duration::from_millis(20)),
+        ] {
+            let req = Request::Query(WireQuery { id: 42, query });
+            assert_eq!(roundtrip_request(req), req, "{query:?}");
+        }
+        assert_eq!(roundtrip_request(Request::Shutdown), Request::Shutdown);
+    }
+
+    #[test]
+    fn responses_round_trip_bit_exactly() {
+        let communities = vec![
+            Community::new(vec![3, 1, 2], 203.0),
+            Community::new(vec![9], f64::NEG_INFINITY),
+        ];
+        for resp in [
+            Response::Reply {
+                id: 7,
+                epoch: 3,
+                outcome: Outcome::Complete(communities.clone()),
+            },
+            Response::Reply {
+                id: 8,
+                epoch: 3,
+                outcome: Outcome::Degraded {
+                    communities: communities.clone(),
+                    proven_prefix_len: 1,
+                },
+            },
+            Response::Reply {
+                id: 9,
+                epoch: 0,
+                outcome: Outcome::Error {
+                    kind: ErrorKind::Search,
+                    message: "k must be positive".into(),
+                },
+            },
+            Response::Reply {
+                id: 10,
+                epoch: 0,
+                outcome: Outcome::Error {
+                    kind: ErrorKind::DeadlineExceeded,
+                    message: String::new(),
+                },
+            },
+            Response::Overloaded {
+                id: 11,
+                reason: ShedReason::QueueFull,
+            },
+            Response::Overloaded {
+                id: 12,
+                reason: ShedReason::Draining,
+            },
+            Response::ProtocolError {
+                message: "bad frame".into(),
+            },
+            Response::ShutdownAck,
+        ] {
+            assert_eq!(roundtrip_response(&resp), resp);
+        }
+    }
+
+    #[test]
+    fn custom_aggregations_are_refused_at_encode_time() {
+        use ic_core::{AggregateFn, Certificates, StateView};
+        #[derive(Debug)]
+        struct Nop;
+        impl AggregateFn for Nop {
+            fn name(&self) -> &str {
+                "nop"
+            }
+            fn certificates(&self) -> Certificates {
+                Certificates::opaque()
+            }
+            fn evaluate(&self, _member_weights: &[f64], _total_weight: f64) -> f64 {
+                0.0
+            }
+            fn evaluate_state(&self, _state: &StateView<'_>) -> f64 {
+                0.0
+            }
+        }
+        let agg = Aggregation::custom(Nop).unwrap();
+        let req = Request::Query(WireQuery {
+            id: 1,
+            query: Query::new(2, 2, agg).size_bound(4, true),
+        });
+        let mut buf = Vec::new();
+        assert!(matches!(
+            encode_request(&req, &mut buf),
+            Err(ProtocolError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn framing_rejects_garbage_with_typed_errors() {
+        let mut buf = Vec::new();
+        // Clean EOF before any byte.
+        assert!(!read_frame(&mut &[][..], REQ_PAYLOAD_MAX, &mut buf).unwrap());
+        // Bad magic.
+        assert!(matches!(
+            read_frame(&mut &[0x7fu8, 0, 0, 0, 0][..], REQ_PAYLOAD_MAX, &mut buf),
+            Err(ProtocolError::BadMagic(0x7f))
+        ));
+        // Truncated header.
+        assert!(matches!(
+            read_frame(&mut &[MAGIC, 1][..], REQ_PAYLOAD_MAX, &mut buf),
+            Err(ProtocolError::Truncated)
+        ));
+        // Oversized length prefix.
+        let mut oversized = vec![MAGIC];
+        oversized.extend_from_slice(&(REQ_PAYLOAD_MAX + 1).to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut &oversized[..], REQ_PAYLOAD_MAX, &mut buf),
+            Err(ProtocolError::FrameTooLarge { .. })
+        ));
+        // Truncated payload.
+        let mut cut = vec![MAGIC];
+        cut.extend_from_slice(&8u32.to_le_bytes());
+        cut.extend_from_slice(&[1, 2, 3]);
+        assert!(matches!(
+            read_frame(&mut &cut[..], REQ_PAYLOAD_MAX, &mut buf),
+            Err(ProtocolError::Truncated)
+        ));
+        // Empty payload.
+        let empty = [MAGIC, 0, 0, 0, 0];
+        assert!(matches!(
+            read_frame(&mut &empty[..], REQ_PAYLOAD_MAX, &mut buf),
+            Err(ProtocolError::EmptyFrame)
+        ));
+    }
+
+    #[test]
+    fn short_and_trailing_payloads_are_bad_length_not_panics() {
+        // A QUERY frame one byte short.
+        let mut buf = Vec::new();
+        encode_request(
+            &Request::Query(WireQuery {
+                id: 1,
+                query: Query::new(2, 2, Aggregation::Sum),
+            }),
+            &mut buf,
+        )
+        .unwrap();
+        assert!(matches!(
+            decode_request(&buf[..buf.len() - 1]),
+            Err(ProtocolError::BadLength { .. })
+        ));
+        // A QUERY frame with a trailing byte.
+        buf.push(0);
+        assert!(matches!(
+            decode_request(&buf),
+            Err(ProtocolError::BadLength { .. })
+        ));
+        // Unknown frame type.
+        assert!(matches!(
+            decode_request(&[0x55]),
+            Err(ProtocolError::BadFrameType(0x55))
+        ));
+        // A reply whose community count promises more bytes than exist.
+        let mut resp = Vec::new();
+        encode_response(
+            &Response::Reply {
+                id: 1,
+                epoch: 0,
+                outcome: Outcome::Complete(vec![Community::new(vec![1, 2, 3], 5.0)]),
+            },
+            &mut resp,
+        );
+        for cut in 1..resp.len() {
+            assert!(
+                decode_response(&resp[..cut]).is_err(),
+                "prefix of {cut} bytes must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn json_requests_parse_and_misparse() {
+        let req = parse_json_request(
+            r#"{"id": 3, "k": 2, "r": 4, "agg": "sum", "eps": 0.1, "deadline_ms": 25}"#,
+        )
+        .unwrap();
+        match req {
+            Request::Query(wq) => {
+                assert_eq!(wq.id, 3);
+                assert_eq!(wq.query.k, 2);
+                assert_eq!(wq.query.r, 4);
+                assert_eq!(wq.query.aggregation, Aggregation::Sum);
+                assert_eq!(wq.query.epsilon, 0.1);
+                assert_eq!(wq.query.deadline, Some(Duration::from_millis(25)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let req = parse_json_request(
+            r#"{"k": 2, "r": 1, "agg": "weight_density", "beta": 2.0, "s": 5, "greedy": true}"#,
+        )
+        .unwrap();
+        match req {
+            Request::Query(wq) => {
+                assert_eq!(
+                    wq.query.aggregation,
+                    Aggregation::WeightDensity { beta: 2.0 }
+                );
+                assert_eq!(
+                    wq.query.constraint,
+                    Constraint::SizeBound { s: 5, greedy: true }
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(
+            parse_json_request(r#"{"op": "shutdown"}"#).unwrap(),
+            Request::Shutdown
+        );
+        for bad in [
+            "not json at all",
+            r#"{"k": 2}"#,                               // no agg
+            r#"{"k": 2, "r": 1, "agg": "frobnicate"}"#,  // unknown agg
+            r#"{"k": 2, "r": 1, "agg": "min", "x": 1}"#, // unknown key
+            r#"{"k": -2, "r": 1, "agg": "min"}"#,        // negative count
+            r#"{"k": 2.5, "r": 1, "agg": "min"}"#,       // fractional count
+            r#"{"op": "reboot"}"#,                       // unknown op
+            r#"{"k": 2, "r": 1, "agg": "min", "deadline_ms": -5}"#,
+        ] {
+            assert!(parse_json_request(bad).is_err(), "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn json_rendering_is_parseable_shape() {
+        let line = render_json_response(&Response::Reply {
+            id: 5,
+            epoch: 2,
+            outcome: Outcome::Complete(vec![Community::new(vec![1, 2], 203.0)]),
+        });
+        assert_eq!(
+            line,
+            r#"{"id":5,"epoch":2,"status":"complete","communities":[{"value":203,"vertices":[1,2]}]}"#
+        );
+        let line = render_json_response(&Response::Reply {
+            id: 6,
+            epoch: 2,
+            outcome: Outcome::Degraded {
+                communities: vec![Community::new(vec![4], f64::NEG_INFINITY)],
+                proven_prefix_len: 0,
+            },
+        });
+        assert!(line.contains(r#""status":"degraded""#));
+        assert!(line.contains(r#""proven_prefix_len":0"#));
+        assert!(line.contains(r#""value":"-inf""#));
+        assert_eq!(
+            render_json_response(&Response::ShutdownAck),
+            r#"{"status":"shutdown_ack"}"#
+        );
+        assert!(render_json_response(&Response::Overloaded {
+            id: 9,
+            reason: ShedReason::QueueFull
+        })
+        .contains("queue_full"));
+    }
+
+    #[test]
+    fn agg_names_and_codes_are_a_bijection() {
+        for code in 0u8..=9 {
+            let name = agg_name_by_code(code).unwrap();
+            assert_eq!(agg_code_by_name(name).unwrap(), code);
+            // Every code decodes with a benign parameter.
+            agg_from_wire(code, 0.5).unwrap();
+        }
+        assert!(agg_name_by_code(10).is_none());
+        assert!(matches!(
+            agg_from_wire(10, 0.0),
+            Err(ProtocolError::BadAggCode(10))
+        ));
+        assert!(agg_from_wire(7, f64::NAN).is_err(), "NaN t");
+    }
+}

@@ -1,0 +1,744 @@
+//! The micro-batching TCP server.
+//!
+//! # Architecture
+//!
+//! ```text
+//!  accept thread ──► connection threads (reader + writer per socket)
+//!                         │ submit()                 ▲ mpsc<Response>
+//!                         ▼                          │
+//!                 sharded admission queue ──► batcher threads
+//!                 (Mutex<VecDeque> + Condvar)        │
+//!                                                    ▼
+//!                                    Engine::run_batch_pinned
+//! ```
+//!
+//! The container is offline (no tokio), so the server is plain
+//! `std::net` + `std::thread`: one blocking reader and one writer
+//! thread per connection, a round-robin **sharded admission queue**,
+//! and one **batcher** thread per shard. A batcher sleeps until a query
+//! arrives, then holds the shard open for the **admission window**
+//! (default 1 ms) so concurrent queries coalesce, and flushes the
+//! accumulated queries as *one* [`Engine::run_batch_pinned`] call —
+//! that is where the engine's dedup, r-family merging, and
+//! work-stealing pay off across clients, not just within one.
+//!
+//! **Backpressure / shedding** — each shard's queue is bounded
+//! ([`ServeConfig::queue_capacity`]); a query arriving at a full shard
+//! is not silently dropped or queued unboundedly, it gets a typed
+//! [`Response::Overloaded`] reply immediately (reason `QueueFull`, or
+//! `Draining` during shutdown) and the client can retry elsewhere.
+//!
+//! **Deadline anchoring** — every admitted query records its admission
+//! instant. A flush anchors the engine batch at the *earliest*
+//! admission ([`BatchOptions::deadline_from`]) and widens each other
+//! query's deadline by its extra wait, so each query's budget expires
+//! at exactly `admitted_at + deadline`: time spent waiting in the
+//! admission queue counts against the budget, end to end.
+//!
+//! **Epoch pinning** — a flush runs against one immutable snapshot and
+//! every reply is tagged with its [`Epoch`](ic_engine::Epoch) index, so
+//! a client holding several in-flight queries can tell exactly which
+//! graph version answered each one even while `Engine::apply` runs
+//! concurrently.
+//!
+//! **Graceful drain** — a [`Request::Shutdown`] frame (or
+//! [`Server::shutdown`]) flips the server into draining: new queries
+//! are shed, batchers flush everything already admitted, and each
+//! connection's writer sends the tail replies **then** a
+//! [`Response::ShutdownAck`] before the socket closes. The
+//! flush-before-ack ordering is structural, not scheduled: a reply
+//! channel closes only when the reader *and* every in-flight admitted
+//! query have dropped their senders, and the writer acks only after
+//! the channel closes.
+
+use crate::error::ProtocolError;
+use crate::protocol::{
+    self, Outcome, Request, Response, ShedReason, WireQuery, MAGIC, REQ_PAYLOAD_MAX,
+};
+use ic_core::Query;
+use ic_engine::{BatchOptions, Engine};
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How long an idle socket read blocks before re-checking the draining
+/// flag (drain responsiveness, not a client-visible timeout).
+const READ_TICK: Duration = Duration::from_millis(50);
+/// How often the accept loop polls its non-blocking listener.
+const ACCEPT_TICK: Duration = Duration::from_millis(25);
+/// Consecutive mid-frame read timeouts tolerated before the stream is
+/// declared truncated (READ_TICK × this ≈ 5 s of mid-frame silence).
+const MID_FRAME_STALLS: u32 = 100;
+/// Writer-side timeout: a client that stops reading for this long has
+/// its connection dropped rather than wedging the writer thread.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Server tuning knobs; `ServeConfig::default()` is the recommended
+/// starting point.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// How long a batcher holds a shard open after its first query so
+    /// concurrent queries coalesce into one engine batch. `0` flushes
+    /// immediately (per-query batches; useful as a baseline).
+    pub admission_window: Duration,
+    /// Bound on each shard's admission queue; queries beyond it are
+    /// shed with [`ShedReason::QueueFull`].
+    pub queue_capacity: usize,
+    /// Number of admission shards (and batcher threads). More shards
+    /// lower submit contention but split batches; 1–4 is plenty.
+    pub shards: usize,
+    /// Largest number of queries flushed as one engine batch.
+    pub max_batch: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        let cores = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        ServeConfig {
+            admission_window: Duration::from_millis(1),
+            queue_capacity: 1024,
+            shards: cores.div_ceil(4).clamp(1, 4),
+            max_batch: 256,
+        }
+    }
+}
+
+/// Monotonic serving counters, readable at any time via
+/// [`Server::stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Queries accepted into the admission queue.
+    pub admitted: u64,
+    /// Queries shed with [`ShedReason::QueueFull`].
+    pub shed_queue_full: u64,
+    /// Queries shed with [`ShedReason::Draining`].
+    pub shed_draining: u64,
+    /// Engine batches flushed.
+    pub batches: u64,
+    /// Size of the largest flushed batch (measures coalescing).
+    pub largest_batch: u64,
+}
+
+struct Admitted {
+    wire: WireQuery,
+    admitted_at: Instant,
+    reply_to: Sender<Response>,
+}
+
+#[derive(Default)]
+struct Shard {
+    queue: Mutex<VecDeque<Admitted>>,
+    cond: Condvar,
+}
+
+struct Shared {
+    engine: Arc<Engine>,
+    config: ServeConfig,
+    shards: Vec<Shard>,
+    next_shard: AtomicUsize,
+    draining: AtomicBool,
+    conns: Mutex<Vec<JoinHandle<()>>>,
+    admitted: AtomicU64,
+    shed_queue_full: AtomicU64,
+    shed_draining: AtomicU64,
+    batches: AtomicU64,
+    largest_batch: AtomicU64,
+}
+
+impl Shared {
+    fn wake_all(&self) {
+        for shard in &self.shards {
+            shard.cond.notify_all();
+        }
+    }
+
+    fn start_drain(&self) {
+        self.draining.store(true, Ordering::Release);
+        self.wake_all();
+    }
+
+    fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::Acquire)
+    }
+
+    /// Admits one query (round-robin shard) or returns why it was shed.
+    fn submit(&self, wire: WireQuery, reply_to: Sender<Response>) -> Result<(), ShedReason> {
+        let idx = self.next_shard.fetch_add(1, Ordering::Relaxed) % self.shards.len();
+        let shard = &self.shards[idx];
+        let mut queue = shard.queue.lock().unwrap();
+        // Checked under the shard lock: the shard's batcher only exits
+        // after observing `draining` under this same lock with an empty
+        // queue, so a push that wins the lock afterwards is guaranteed
+        // to see `draining` too — no query can slip into a queue nobody
+        // will ever flush.
+        if self.is_draining() {
+            drop(queue);
+            self.shed_draining.fetch_add(1, Ordering::Relaxed);
+            return Err(ShedReason::Draining);
+        }
+        if queue.len() >= self.config.queue_capacity {
+            drop(queue);
+            self.shed_queue_full.fetch_add(1, Ordering::Relaxed);
+            return Err(ShedReason::QueueFull);
+        }
+        queue.push_back(Admitted {
+            wire,
+            admitted_at: Instant::now(),
+            reply_to,
+        });
+        drop(queue);
+        self.admitted.fetch_add(1, Ordering::Relaxed);
+        shard.cond.notify_one();
+        Ok(())
+    }
+}
+
+/// A running ic-serve instance. Bind with [`Server::bind`], stop with
+/// [`Server::shutdown`] (or a client's shutdown frame) followed by
+/// [`Server::join`].
+pub struct Server {
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    batchers: Vec<JoinHandle<()>>,
+    local_addr: SocketAddr,
+}
+
+impl Server {
+    /// Binds `addr` (port 0 picks an ephemeral port — see
+    /// [`Server::local_addr`]) and starts the accept and batcher
+    /// threads over `engine`.
+    pub fn bind(
+        engine: Arc<Engine>,
+        addr: impl ToSocketAddrs,
+        config: ServeConfig,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let config = ServeConfig {
+            shards: config.shards.max(1),
+            max_batch: config.max_batch.max(1),
+            queue_capacity: config.queue_capacity.max(1),
+            ..config
+        };
+        let shared = Arc::new(Shared {
+            engine,
+            config,
+            shards: (0..config.shards).map(|_| Shard::default()).collect(),
+            next_shard: AtomicUsize::new(0),
+            draining: AtomicBool::new(false),
+            conns: Mutex::new(Vec::new()),
+            admitted: AtomicU64::new(0),
+            shed_queue_full: AtomicU64::new(0),
+            shed_draining: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            largest_batch: AtomicU64::new(0),
+        });
+        let batchers = (0..config.shards)
+            .map(|idx| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("ic-serve-batch-{idx}"))
+                    .spawn(move || batcher(&shared, idx))
+                    .expect("spawn batcher thread")
+            })
+            .collect();
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("ic-serve-accept".into())
+                .spawn(move || accept_loop(listener, &shared))
+                .expect("spawn accept thread")
+        };
+        Ok(Server {
+            shared,
+            accept: Some(accept),
+            batchers,
+            local_addr,
+        })
+    }
+
+    /// The bound address (resolves an ephemeral port request).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Current serving counters.
+    pub fn stats(&self) -> ServeStats {
+        ServeStats {
+            admitted: self.shared.admitted.load(Ordering::Relaxed),
+            shed_queue_full: self.shared.shed_queue_full.load(Ordering::Relaxed),
+            shed_draining: self.shared.shed_draining.load(Ordering::Relaxed),
+            batches: self.shared.batches.load(Ordering::Relaxed),
+            largest_batch: self.shared.largest_batch.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Whether a drain (client shutdown frame or [`Server::shutdown`])
+    /// has started.
+    pub fn is_draining(&self) -> bool {
+        self.shared.is_draining()
+    }
+
+    /// Starts a graceful drain: stop accepting, shed new queries,
+    /// answer everything already admitted, ack and close every
+    /// connection. Returns immediately; [`Server::join`] waits.
+    pub fn shutdown(&self) {
+        self.shared.start_drain();
+    }
+
+    /// Waits for the drain to complete: accept loop, batchers, and
+    /// every connection thread (each of which joins its own writer, so
+    /// returning from `join` means every tail reply and every
+    /// `ShutdownAck` has been written).
+    pub fn join(mut self) {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        for batcher in self.batchers.drain(..) {
+            let _ = batcher.join();
+        }
+        let conns = std::mem::take(&mut *self.shared.conns.lock().unwrap());
+        for conn in conns {
+            let _ = conn.join();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Batcher
+
+fn batcher(shared: &Shared, idx: usize) {
+    let shard = &shared.shards[idx];
+    let mut batch: Vec<Admitted> = Vec::new();
+    loop {
+        {
+            let mut queue = shard.queue.lock().unwrap();
+            // Sleep until the shard has work (or the server drains dry).
+            while queue.is_empty() {
+                if shared.is_draining() {
+                    return;
+                }
+                let (guard, _) = shard.cond.wait_timeout(queue, READ_TICK).unwrap();
+                queue = guard;
+            }
+            // Hold the shard open for the admission window, measured
+            // from the *first* admission so the window bounds added
+            // latency, not inter-arrival gaps.
+            let window_end = queue.front().unwrap().admitted_at + shared.config.admission_window;
+            while queue.len() < shared.config.max_batch && !shared.is_draining() {
+                let now = Instant::now();
+                if now >= window_end {
+                    break;
+                }
+                let (guard, _) = shard.cond.wait_timeout(queue, window_end - now).unwrap();
+                queue = guard;
+            }
+            let take = queue.len().min(shared.config.max_batch);
+            batch.extend(queue.drain(..take));
+        }
+        flush(shared, &mut batch);
+    }
+}
+
+/// Flushes one admission batch as one pinned engine batch.
+fn flush(shared: &Shared, batch: &mut Vec<Admitted>) {
+    if batch.is_empty() {
+        return;
+    }
+    let anchor = batch
+        .iter()
+        .map(|a| a.admitted_at)
+        .min()
+        .expect("batch is non-empty");
+    let queries: Vec<Query> = batch
+        .iter()
+        .map(|a| {
+            let mut query = a.wire.query;
+            if let Some(deadline) = query.deadline {
+                // The engine measures every deadline from the batch
+                // anchor (the earliest admission). This query was
+                // admitted `a.admitted_at - anchor` later, so widen its
+                // deadline by exactly that much: its budget then expires
+                // at `admitted_at + deadline`, regardless of batching.
+                let extra = a.admitted_at.duration_since(anchor);
+                query.deadline = Some(deadline.checked_add(extra).unwrap_or(Duration::MAX));
+            }
+            query
+        })
+        .collect();
+    let options = BatchOptions::new().deadline_from(anchor);
+    let (epoch, results) = shared.engine.run_batch_pinned(&queries, &options);
+    shared.batches.fetch_add(1, Ordering::Relaxed);
+    shared
+        .largest_batch
+        .fetch_max(batch.len() as u64, Ordering::Relaxed);
+    for (admitted, result) in batch.drain(..).zip(results) {
+        // A send error means the client disconnected; the answer is
+        // simply dropped with it.
+        let _ = admitted.reply_to.send(Response::Reply {
+            id: admitted.wire.id,
+            epoch: epoch.index(),
+            outcome: Outcome::from_engine(&result),
+        });
+    }
+}
+
+// ---------------------------------------------------------------------
+// Accept loop and connections
+
+fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
+    loop {
+        if shared.is_draining() {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let shared_conn = Arc::clone(shared);
+                let handle = std::thread::Builder::new()
+                    .name("ic-serve-conn".into())
+                    .spawn(move || connection(stream, &shared_conn))
+                    .expect("spawn connection thread");
+                let mut conns = shared.conns.lock().unwrap();
+                // Reap finished connections so a long-lived server does
+                // not accumulate handles.
+                let mut live = Vec::with_capacity(conns.len() + 1);
+                for conn in conns.drain(..) {
+                    if conn.is_finished() {
+                        let _ = conn.join();
+                    } else {
+                        live.push(conn);
+                    }
+                }
+                live.push(handle);
+                *conns = live;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_TICK);
+            }
+            Err(_) => std::thread::sleep(ACCEPT_TICK),
+        }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Binary,
+    Json,
+}
+
+fn connection(stream: TcpStream, shared: &Arc<Shared>) {
+    let _ = stream.set_nodelay(true);
+    if stream.set_read_timeout(Some(READ_TICK)).is_err() {
+        return;
+    }
+    // Mode detection: peek the first byte without consuming it.
+    let mut first = [0u8; 1];
+    let mode = loop {
+        match stream.peek(&mut first) {
+            Ok(0) => return, // closed before speaking
+            Ok(_) => {
+                break if first[0] == MAGIC {
+                    Mode::Binary
+                } else {
+                    Mode::Json
+                }
+            }
+            Err(e) if is_timeout(&e) => {
+                if shared.is_draining() {
+                    return; // never spoke; nothing to drain or ack
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    };
+
+    let writer_stream = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let (tx, rx) = mpsc::channel::<Response>();
+    let ack_on_close = Arc::new(AtomicBool::new(false));
+    let writer = {
+        let ack = Arc::clone(&ack_on_close);
+        std::thread::Builder::new()
+            .name("ic-serve-write".into())
+            .spawn(move || write_loop(writer_stream, &rx, mode, &ack))
+            .expect("spawn writer thread")
+    };
+
+    match mode {
+        Mode::Binary => read_binary(stream, shared, &tx, &ack_on_close),
+        Mode::Json => read_json(stream, shared, &tx, &ack_on_close),
+    }
+    // Closing the reader's sender — after every admitted query's clone
+    // has been consumed by a flush — closes the channel; the writer
+    // then acks (if owed) and shuts the socket down.
+    drop(tx);
+    let _ = writer.join();
+}
+
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+fn write_loop(
+    mut stream: TcpStream,
+    rx: &Receiver<Response>,
+    mode: Mode,
+    ack_on_close: &AtomicBool,
+) {
+    let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
+    let mut buf = Vec::new();
+    for response in rx.iter() {
+        if write_response(&mut stream, mode, &response, &mut buf).is_err() {
+            // The client stopped reading; kill the socket so the
+            // reader sees EOF instead of serving a black hole.
+            let _ = stream.shutdown(Shutdown::Both);
+            for _ in rx.iter() {} // drain senders without writing
+            return;
+        }
+    }
+    if ack_on_close.load(Ordering::Acquire) {
+        let _ = write_response(&mut stream, mode, &Response::ShutdownAck, &mut buf);
+    }
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+fn write_response(
+    stream: &mut TcpStream,
+    mode: Mode,
+    response: &Response,
+    buf: &mut Vec<u8>,
+) -> std::io::Result<()> {
+    match mode {
+        Mode::Binary => {
+            buf.clear();
+            protocol::encode_response(response, buf);
+            protocol::write_frame(stream, buf)?;
+        }
+        Mode::Json => {
+            let line = protocol::render_json_response(response);
+            stream.write_all(line.as_bytes())?;
+            stream.write_all(b"\n")?;
+        }
+    }
+    stream.flush()
+}
+
+/// What one patient (timeout-aware) read attempt produced.
+enum Patient {
+    Full,
+    /// Clean EOF before the first byte (only when `idle_ok`).
+    Eof,
+    /// The server started draining while the socket was idle.
+    Drain,
+}
+
+/// Fills `buf` completely, riding out idle timeouts. While no byte of
+/// the current unit has arrived (`idle_ok`), the read waits forever but
+/// notices a drain; once mid-unit, silence beyond
+/// `MID_FRAME_STALLS × READ_TICK` is a truncation.
+fn read_patient(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    idle_ok: bool,
+    shared: &Shared,
+) -> Result<Patient, ProtocolError> {
+    let mut filled = 0;
+    let mut stalls: u32 = 0;
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return if filled == 0 && idle_ok {
+                    Ok(Patient::Eof)
+                } else {
+                    Err(ProtocolError::Truncated)
+                }
+            }
+            Ok(n) => {
+                filled += n;
+                stalls = 0;
+            }
+            Err(e) if is_timeout(&e) => {
+                if filled == 0 && idle_ok {
+                    if shared.is_draining() {
+                        return Ok(Patient::Drain);
+                    }
+                } else {
+                    stalls += 1;
+                    if stalls >= MID_FRAME_STALLS {
+                        return Err(ProtocolError::Truncated);
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(Patient::Full)
+}
+
+/// One fully-read request frame, or why there is none.
+enum FrameRead {
+    Frame,
+    Eof,
+    Drain,
+}
+
+fn read_request_frame(
+    stream: &mut TcpStream,
+    buf: &mut Vec<u8>,
+    shared: &Shared,
+) -> Result<FrameRead, ProtocolError> {
+    let mut head = [0u8; 5];
+    match read_patient(stream, &mut head, true, shared)? {
+        Patient::Eof => return Ok(FrameRead::Eof),
+        Patient::Drain => return Ok(FrameRead::Drain),
+        Patient::Full => {}
+    }
+    if head[0] != MAGIC {
+        return Err(ProtocolError::BadMagic(head[0]));
+    }
+    let len = u32::from_le_bytes([head[1], head[2], head[3], head[4]]);
+    if len > REQ_PAYLOAD_MAX {
+        return Err(ProtocolError::FrameTooLarge {
+            len,
+            max: REQ_PAYLOAD_MAX,
+        });
+    }
+    if len == 0 {
+        return Err(ProtocolError::EmptyFrame);
+    }
+    buf.clear();
+    buf.resize(len as usize, 0);
+    match read_patient(stream, buf, false, shared)? {
+        Patient::Full => Ok(FrameRead::Frame),
+        _ => Err(ProtocolError::Truncated),
+    }
+}
+
+fn read_binary(
+    mut stream: TcpStream,
+    shared: &Arc<Shared>,
+    tx: &Sender<Response>,
+    ack_on_close: &AtomicBool,
+) {
+    let mut buf = Vec::new();
+    loop {
+        match read_request_frame(&mut stream, &mut buf, shared) {
+            Ok(FrameRead::Eof) => return, // client hung up; no ack owed
+            Ok(FrameRead::Drain) => {
+                ack_on_close.store(true, Ordering::Release);
+                return;
+            }
+            Ok(FrameRead::Frame) => match protocol::decode_request(&buf) {
+                Ok(Request::Shutdown) => {
+                    ack_on_close.store(true, Ordering::Release);
+                    shared.start_drain();
+                    return;
+                }
+                Ok(Request::Query(wire)) => handle_query(shared, tx, wire),
+                // A decode error inside a well-delimited frame leaves
+                // the stream synchronized: report it, keep serving.
+                Err(e) => {
+                    let _ = tx.send(Response::ProtocolError {
+                        message: e.to_string(),
+                    });
+                }
+            },
+            // Framing-level violations (bad magic, oversized prefix,
+            // truncation) make resynchronization impossible: report if
+            // the socket still works, then close.
+            Err(e) => {
+                let _ = tx.send(Response::ProtocolError {
+                    message: e.to_string(),
+                });
+                return;
+            }
+        }
+    }
+}
+
+fn handle_query(shared: &Arc<Shared>, tx: &Sender<Response>, wire: WireQuery) {
+    let id = wire.id;
+    if let Err(reason) = shared.submit(wire, tx.clone()) {
+        let _ = tx.send(Response::Overloaded { id, reason });
+    }
+}
+
+fn read_json(
+    mut stream: TcpStream,
+    shared: &Arc<Shared>,
+    tx: &Sender<Response>,
+    ack_on_close: &AtomicBool,
+) {
+    let mut pending: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        // Serve every complete line already buffered.
+        while let Some(pos) = pending.iter().position(|&b| b == b'\n') {
+            let line_bytes: Vec<u8> = pending.drain(..=pos).collect();
+            let line = match std::str::from_utf8(&line_bytes[..line_bytes.len() - 1]) {
+                Ok(l) => l.trim_end_matches('\r'),
+                Err(_) => {
+                    let _ = tx.send(Response::ProtocolError {
+                        message: ProtocolError::BadUtf8.to_string(),
+                    });
+                    continue;
+                }
+            };
+            if line.trim().is_empty() {
+                continue;
+            }
+            match protocol::parse_json_request(line) {
+                Ok(Request::Shutdown) => {
+                    ack_on_close.store(true, Ordering::Release);
+                    shared.start_drain();
+                    return;
+                }
+                Ok(Request::Query(wire)) => handle_query(shared, tx, wire),
+                // JSON lines are self-delimiting, so every error is
+                // recoverable: report and keep reading.
+                Err(e) => {
+                    let _ = tx.send(Response::ProtocolError {
+                        message: e.to_string(),
+                    });
+                }
+            }
+        }
+        if pending.len() > REQ_PAYLOAD_MAX as usize {
+            let _ = tx.send(Response::ProtocolError {
+                message: ProtocolError::FrameTooLarge {
+                    len: pending.len() as u32,
+                    max: REQ_PAYLOAD_MAX,
+                }
+                .to_string(),
+            });
+            return;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return, // EOF; a partial trailing line is dropped
+            Ok(n) => pending.extend_from_slice(&chunk[..n]),
+            Err(e) if is_timeout(&e) => {
+                if pending.is_empty() && shared.is_draining() {
+                    ack_on_close.store(true, Ordering::Release);
+                    return;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+}

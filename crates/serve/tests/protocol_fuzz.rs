@@ -1,0 +1,260 @@
+//! Protocol robustness: arbitrary bytes, truncated frames, oversized
+//! prefixes, garbage JSON, and mid-frame disconnects must all produce
+//! *typed* protocol errors — never a panic, never a wedged worker.
+//!
+//! Half of this file fuzzes the pure codecs; the other half drives a
+//! live server over real sockets with each class of malformed input and
+//! then proves the server still answers honest queries afterwards.
+
+use ic_core::{Aggregation, Query};
+use ic_engine::Engine;
+use ic_serve::protocol::{
+    self, decode_request, decode_response, encode_request, read_frame, Request, Response,
+    WireQuery, MAGIC, REQ_PAYLOAD_MAX, RESP_PAYLOAD_MAX,
+};
+use ic_serve::{Outcome, ServeConfig, Server};
+use proptest::prelude::*;
+use std::io::Write;
+use std::net::{Shutdown, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+// -----------------------------------------------------------------
+// Pure codec fuzz
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary payload bytes decode to Ok or a typed error; the call
+    /// itself must never panic (the harness would abort the test).
+    #[test]
+    fn arbitrary_payloads_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let _ = decode_request(&bytes);
+        let _ = decode_response(&bytes);
+    }
+
+    /// Arbitrary text never panics the JSON request parser.
+    #[test]
+    fn arbitrary_json_lines_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..96)) {
+        if let Ok(line) = std::str::from_utf8(&bytes) {
+            let _ = protocol::parse_json_request(line);
+        }
+    }
+
+    /// Every strict prefix of a valid query frame payload is a typed
+    /// error, and appending junk to it is too.
+    #[test]
+    fn truncations_of_valid_requests_are_typed_errors(
+        k in 1u32..64, r in 1u32..16, cut in 0usize..46,
+    ) {
+        let mut buf = Vec::new();
+        encode_request(
+            &Request::Query(WireQuery {
+                id: 9,
+                query: Query::new(k as usize, r as usize, Aggregation::Sum),
+            }),
+            &mut buf,
+        ).unwrap();
+        prop_assert!(decode_request(&buf[..cut.min(buf.len() - 1)]).is_err());
+        buf.push(0xAA);
+        prop_assert!(decode_request(&buf).is_err());
+    }
+
+    /// Framed streams with a corrupted byte never panic the frame
+    /// reader, and whole-stream truncation is a typed error.
+    #[test]
+    fn corrupted_frames_never_panic(
+        flip in 0usize..16, value in any::<u8>(), cut in 1usize..20,
+    ) {
+        let mut frame = Vec::new();
+        frame.push(MAGIC);
+        frame.extend_from_slice(&10u32.to_le_bytes());
+        frame.extend_from_slice(&[1u8; 10]);
+        let mut corrupted = frame.clone();
+        let at = flip % corrupted.len();
+        corrupted[at] = value;
+        let mut buf = Vec::new();
+        let _ = read_frame(&mut &corrupted[..], REQ_PAYLOAD_MAX, &mut buf);
+        let cut = cut.min(frame.len() - 1).max(1);
+        let mut buf = Vec::new();
+        prop_assert!(read_frame(&mut &frame[..cut], REQ_PAYLOAD_MAX, &mut buf).is_err());
+    }
+}
+
+// -----------------------------------------------------------------
+// Live-server malformed-input tests
+
+fn test_server() -> (Server, std::net::SocketAddr) {
+    let engine = Arc::new(Engine::with_threads(ic_core::figure1::figure1(), 2));
+    let server = Server::bind(engine, "127.0.0.1:0", ServeConfig::default()).unwrap();
+    let addr = server.local_addr();
+    (server, addr)
+}
+
+fn raw_connect(addr: std::net::SocketAddr) -> TcpStream {
+    let stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream
+}
+
+fn read_response(stream: &mut TcpStream) -> Response {
+    let mut buf = Vec::new();
+    assert!(
+        read_frame(stream, RESP_PAYLOAD_MAX, &mut buf).unwrap(),
+        "server closed before responding"
+    );
+    decode_response(&buf).unwrap()
+}
+
+fn send_query(stream: &mut TcpStream, id: u64, query: Query) {
+    let mut payload = Vec::new();
+    encode_request(&Request::Query(WireQuery { id, query }), &mut payload).unwrap();
+    protocol::write_frame(stream, &payload).unwrap();
+}
+
+fn assert_server_still_answers(addr: std::net::SocketAddr) {
+    let mut healthy = raw_connect(addr);
+    send_query(&mut healthy, 77, Query::new(2, 2, Aggregation::Sum));
+    match read_response(&mut healthy) {
+        Response::Reply {
+            id: 77,
+            outcome: Outcome::Complete(communities),
+            ..
+        } => {
+            assert_eq!(communities[0].value, 203.0, "figure 1 top sum community");
+        }
+        other => panic!("expected a complete reply, got {other:?}"),
+    }
+}
+
+#[test]
+fn oversized_length_prefix_gets_a_typed_error_and_close() {
+    let (server, addr) = test_server();
+    let mut stream = raw_connect(addr);
+    stream.write_all(&[MAGIC]).unwrap();
+    stream
+        .write_all(&(REQ_PAYLOAD_MAX + 1).to_le_bytes())
+        .unwrap();
+    match read_response(&mut stream) {
+        Response::ProtocolError { message } => {
+            assert!(
+                message.contains("exceeds"),
+                "unexpected message {message:?}"
+            )
+        }
+        other => panic!("expected a protocol error, got {other:?}"),
+    }
+    // The connection is closed after an unsynchronizable violation.
+    let mut buf = Vec::new();
+    assert!(!read_frame(&mut stream, RESP_PAYLOAD_MAX, &mut buf).unwrap_or(false));
+    assert_server_still_answers(addr);
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn mid_frame_disconnect_does_not_wedge_the_server() {
+    let (server, addr) = test_server();
+    {
+        let mut stream = raw_connect(addr);
+        // Promise a 47-byte query payload, deliver 10 bytes, hang up.
+        stream.write_all(&[MAGIC]).unwrap();
+        stream.write_all(&47u32.to_le_bytes()).unwrap();
+        stream.write_all(&[protocol::FRAME_QUERY; 10]).unwrap();
+        stream.shutdown(Shutdown::Write).unwrap();
+        // Server replies with the typed truncation error, then closes.
+        match read_response(&mut stream) {
+            Response::ProtocolError { message } => {
+                assert!(message.contains("mid-frame"), "got {message:?}")
+            }
+            other => panic!("expected a protocol error, got {other:?}"),
+        }
+    }
+    assert_server_still_answers(addr);
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn bad_frame_payload_is_recoverable_on_the_same_connection() {
+    let (server, addr) = test_server();
+    let mut stream = raw_connect(addr);
+    // A well-framed payload with an unknown type byte: the stream stays
+    // synchronized, so the error is reported and serving continues.
+    protocol::write_frame(&mut stream, &[0x77]).unwrap();
+    match read_response(&mut stream) {
+        Response::ProtocolError { message } => {
+            assert!(message.contains("0x77"), "got {message:?}")
+        }
+        other => panic!("expected a protocol error, got {other:?}"),
+    }
+    // Same connection, honest query: still served.
+    send_query(&mut stream, 5, Query::new(2, 1, Aggregation::Min));
+    match read_response(&mut stream) {
+        Response::Reply { id: 5, .. } => {}
+        other => panic!("expected a reply, got {other:?}"),
+    }
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn garbage_json_lines_get_error_lines_and_the_connection_survives() {
+    let (server, addr) = test_server();
+    let mut stream = raw_connect(addr);
+    stream
+        .write_all(b"this is not json\n{\"k\": 2, \"r\": 1}\n")
+        .unwrap();
+    let mut reader = std::io::BufReader::new(stream.try_clone().unwrap());
+    let mut line = String::new();
+    std::io::BufRead::read_line(&mut reader, &mut line).unwrap();
+    assert!(line.contains("protocol_error"), "got {line:?}");
+    line.clear();
+    // Second line parses as JSON but lacks "agg": another typed error.
+    std::io::BufRead::read_line(&mut reader, &mut line).unwrap();
+    assert!(line.contains("protocol_error"), "got {line:?}");
+    // And an honest JSON query on the same connection is answered.
+    stream
+        .write_all(b"{\"id\": 4, \"k\": 2, \"r\": 2, \"agg\": \"sum\"}\n")
+        .unwrap();
+    line.clear();
+    std::io::BufRead::read_line(&mut reader, &mut line).unwrap();
+    assert!(
+        line.contains("\"id\":4") && line.contains("\"complete\"") && line.contains("203"),
+        "got {line:?}"
+    );
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn invalid_query_parameters_are_per_query_errors_not_connection_errors() {
+    let (server, addr) = test_server();
+    let mut stream = raw_connect(addr);
+    // k = 0 is invalid; the engine rejects it per query, the connection
+    // (and the rest of the burst) is unaffected.
+    send_query(&mut stream, 1, Query::new(0, 2, Aggregation::Sum));
+    send_query(&mut stream, 2, Query::new(2, 2, Aggregation::Sum));
+    let mut saw_error = false;
+    let mut saw_answer = false;
+    for _ in 0..2 {
+        match read_response(&mut stream) {
+            Response::Reply {
+                id: 1,
+                outcome: Outcome::Error { .. },
+                ..
+            } => saw_error = true,
+            Response::Reply {
+                id: 2,
+                outcome: Outcome::Complete(_),
+                ..
+            } => saw_answer = true,
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+    assert!(saw_error && saw_answer);
+    server.shutdown();
+    server.join();
+}

@@ -1,0 +1,285 @@
+//! End-to-end serving semantics over real sockets: multi-client
+//! bit-identity with solo `run_batch`, load shedding, epoch tagging
+//! across live graph updates, and the flush-before-ack drain ordering.
+
+use ic_core::{Aggregation, Community, Query};
+use ic_engine::{BatchOptions, EdgeUpdate, Engine};
+use ic_serve::{Client, Outcome, Response, ServeConfig, Server, ShedReason};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn email_graph() -> ic_graph::WeightedGraph {
+    ic_gen::datasets::by_name(ic_gen::datasets::Profile::Quick, "email")
+        .expect("email analog exists")
+        .generate_weighted()
+}
+
+fn query_mix() -> Vec<Query> {
+    vec![
+        Query::new(4, 3, Aggregation::Min),
+        Query::new(4, 3, Aggregation::Max),
+        Query::new(4, 3, Aggregation::Sum),
+        Query::new(6, 2, Aggregation::Sum).approx(0.2),
+        Query::new(4, 2, Aggregation::SumSurplus { alpha: 1.0 }),
+        Query::new(4, 2, Aggregation::Average).size_bound(8, true),
+        Query::new(4, 1, Aggregation::TopTSum { t: 3 }).size_bound(6, true),
+    ]
+}
+
+fn reply_communities(response: &Response) -> &[Community] {
+    match response {
+        Response::Reply {
+            outcome: Outcome::Complete(communities),
+            ..
+        } => communities,
+        other => panic!("expected a complete reply, got {other:?}"),
+    }
+}
+
+/// The headline correctness claim: answers served through admission
+/// batching — multiple clients, interleaved arrivals, coalesced engine
+/// batches — are bit-identical to a solo `run_batch` on an identical
+/// engine.
+#[test]
+fn multi_client_answers_are_bit_identical_to_solo_run_batch() {
+    let wg = email_graph();
+    let queries = query_mix();
+
+    // Solo reference on its own engine (no shared cache effects).
+    let reference: Vec<Vec<Community>> = {
+        let solo = Engine::with_threads(wg.clone(), 2);
+        solo.run_batch_with(&queries, &BatchOptions::default())
+            .into_iter()
+            .map(|r| r.expect("reference query answers").communities)
+            .collect()
+    };
+
+    let engine = Arc::new(Engine::with_threads(wg, 4));
+    let server = Server::bind(
+        engine,
+        "127.0.0.1:0",
+        ServeConfig {
+            // One shard and a wide window make coalescing deterministic
+            // for the stats assertion below.
+            admission_window: Duration::from_millis(20),
+            shards: 1,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    let workers: Vec<_> = (0..4)
+        .map(|worker| {
+            let queries = queries.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                // Fire the whole mix pipelined, then collect by id, so
+                // queries from all clients coalesce server-side.
+                for (i, q) in queries.iter().enumerate() {
+                    client.send((worker * 100 + i) as u64, q).unwrap();
+                }
+                let mut got: Vec<(usize, Vec<Community>, u64)> = Vec::new();
+                for i in 0..queries.len() {
+                    let id = (worker * 100 + i) as u64;
+                    let response = client.wait_for(id).unwrap();
+                    let epoch = match &response {
+                        Response::Reply { epoch, .. } => *epoch,
+                        other => panic!("expected a reply, got {other:?}"),
+                    };
+                    got.push((i, reply_communities(&response).to_vec(), epoch));
+                }
+                got
+            })
+        })
+        .collect();
+
+    for worker in workers {
+        for (i, communities, epoch) in worker.join().unwrap() {
+            assert_eq!(epoch, 0, "no updates ran; everything serves epoch 0");
+            assert_eq!(
+                communities, reference[i],
+                "served answer for query {i} must be bit-identical to solo run_batch"
+            );
+        }
+    }
+
+    let stats = server.stats();
+    assert_eq!(stats.admitted, 28, "4 clients x 7 queries all admitted");
+    assert!(
+        stats.batches < stats.admitted,
+        "admission batching must coalesce at least some queries \
+         (got {} batches for {} queries)",
+        stats.batches,
+        stats.admitted
+    );
+
+    server.shutdown();
+    server.join();
+}
+
+/// Replies are tagged with the epoch whose snapshot served them, so a
+/// client can correlate in-flight answers with live graph updates.
+#[test]
+fn replies_are_tagged_with_the_serving_epoch_across_updates() {
+    let engine = Arc::new(Engine::with_threads(ic_core::figure1::figure1(), 2));
+    let server = Server::bind(engine.clone(), "127.0.0.1:0", ServeConfig::default()).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let query = Query::new(2, 2, Aggregation::Sum);
+
+    let epoch_of = |response: &Response| match response {
+        Response::Reply { epoch, .. } => *epoch,
+        other => panic!("expected a reply, got {other:?}"),
+    };
+
+    let before = client.call(1, &query).unwrap();
+    assert_eq!(epoch_of(&before), 0);
+    let answer_before = reply_communities(&before).to_vec();
+
+    // Live update: remove the v1–v2 edge; v1 (weight 62) drops out of
+    // the 2-core, so the top sum community changes.
+    let epoch = engine.apply(&[EdgeUpdate::Remove { u: 0, v: 1 }]);
+    assert_eq!(epoch.index(), 1);
+
+    let after = client.call(2, &query).unwrap();
+    assert_eq!(
+        epoch_of(&after),
+        1,
+        "replies after apply carry the new epoch"
+    );
+    assert_ne!(
+        reply_communities(&after),
+        &answer_before[..],
+        "the update changed the graph, so the answer changes too"
+    );
+
+    client.shutdown_and_drain().unwrap();
+    server.join();
+}
+
+/// Backpressure: a query hitting a full admission queue is shed with a
+/// typed `Overloaded(QueueFull)` reply, and the admitted query still
+/// completes.
+#[test]
+fn full_admission_queue_sheds_with_a_typed_reply() {
+    let engine = Arc::new(Engine::with_threads(ic_core::figure1::figure1(), 2));
+    let server = Server::bind(
+        engine,
+        "127.0.0.1:0",
+        ServeConfig {
+            // One shard, one slot, and a long window: the first query
+            // parks in the queue for the whole window, so the second
+            // deterministically finds it full.
+            admission_window: Duration::from_millis(300),
+            queue_capacity: 1,
+            shards: 1,
+            max_batch: 64,
+        },
+    )
+    .unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let query = Query::new(2, 2, Aggregation::Sum);
+    client.send(1, &query).unwrap();
+    // Give the first query time to land in the shard queue.
+    std::thread::sleep(Duration::from_millis(50));
+    client.send(2, &query).unwrap();
+    match client.wait_for(2).unwrap() {
+        Response::Overloaded {
+            id: 2,
+            reason: ShedReason::QueueFull,
+        } => {}
+        other => panic!("expected QueueFull shedding, got {other:?}"),
+    }
+    match client.wait_for(1).unwrap() {
+        Response::Reply {
+            id: 1,
+            outcome: Outcome::Complete(_),
+            ..
+        } => {}
+        other => panic!("expected the admitted query to complete, got {other:?}"),
+    }
+    assert_eq!(server.stats().shed_queue_full, 1);
+    server.shutdown();
+    server.join();
+}
+
+/// The drain contract: a shutdown request flushes every admitted query
+/// and the ShutdownAck arrives strictly after the tail replies.
+#[test]
+fn shutdown_drains_all_in_flight_replies_before_acking() {
+    let engine = Arc::new(Engine::with_threads(ic_core::figure1::figure1(), 2));
+    let server = Server::bind(
+        engine,
+        "127.0.0.1:0",
+        ServeConfig {
+            // A long window guarantees the burst is still queued (not
+            // yet flushed) when the shutdown frame lands.
+            admission_window: Duration::from_millis(200),
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let queries = [
+        Query::new(2, 2, Aggregation::Sum),
+        Query::new(2, 1, Aggregation::Min),
+        Query::new(2, 1, Aggregation::Max),
+        Query::new(2, 2, Aggregation::SumSurplus { alpha: 0.5 }),
+    ];
+    for (i, q) in queries.iter().enumerate() {
+        client.send(i as u64, q).unwrap();
+    }
+    // Immediate shutdown: all four queries are still in the admission
+    // window. Every one of them must still be answered before the ack.
+    let tail = client.shutdown_and_drain().unwrap();
+    let mut answered: Vec<u64> = tail
+        .iter()
+        .map(|response| match response {
+            Response::Reply {
+                id,
+                outcome: Outcome::Complete(_),
+                ..
+            } => *id,
+            other => panic!("expected complete replies in the tail, got {other:?}"),
+        })
+        .collect();
+    answered.sort_unstable();
+    assert_eq!(
+        answered,
+        vec![0, 1, 2, 3],
+        "no admitted query may be dropped by drain"
+    );
+
+    // The ack implies a fully flushed server: join must not hang.
+    server.join();
+}
+
+/// Queries sent while the server is draining are shed with
+/// `Overloaded(Draining)`, not silently dropped.
+#[test]
+fn queries_during_drain_are_shed_with_draining_reason() {
+    let engine = Arc::new(Engine::with_threads(ic_core::figure1::figure1(), 2));
+    let server = Server::bind(engine, "127.0.0.1:0", ServeConfig::default()).unwrap();
+    let addr = server.local_addr();
+    let mut victim = Client::connect(addr).unwrap();
+    // Drain initiated server-side (operator path).
+    server.shutdown();
+    // The victim's query races the drain; it must get a typed reply or
+    // a clean close — never a silent hang. The send itself may also hit
+    // a closed socket, which is an acceptable (visible) outcome.
+    if victim.send(9, &Query::new(2, 2, Aggregation::Sum)).is_ok() {
+        match victim.wait_for(9) {
+            Ok(Response::Overloaded {
+                id: 9,
+                reason: ShedReason::Draining,
+            }) => {}
+            Ok(Response::ShutdownAck) => {}
+            Err(ic_serve::ClientError::ConnectionClosed) => {}
+            // The server may close (or reset) the socket mid-race; any
+            // I/O error is a visible outcome, not a hang.
+            Err(ic_serve::ClientError::Protocol(ic_serve::ProtocolError::Io(_))) => {}
+            other => panic!("expected Draining shed, ack, or clean close; got {other:?}"),
+        }
+    }
+    server.join();
+}
