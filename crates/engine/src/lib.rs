@@ -96,12 +96,96 @@ pub use ic_core::{Constraint, Query, QueryBuilder, Solver};
 pub use ic_kcore::EdgeUpdate;
 pub use ic_store::StoreError;
 
+/// Anything that can serve a pinned batch of queries: the single-store
+/// [`Engine`] or a scatter-gather front over many of them (`ic-shard`'s
+/// `ShardedEngine`). Object-safe, so serving layers (`ic-serve`) hold an
+/// `Arc<dyn QueryBackend>` and swap backends without recompiling.
+///
+/// Contract: results align with the input order; every answer is
+/// computed against **one** graph version identified by the returned
+/// [`Epoch`]; deterministic solver paths are bit-identical across
+/// backends serving the same logical graph.
+pub trait QueryBackend: Send + Sync {
+    /// Executes a batch under `options`, returning the serving epoch
+    /// and one status-tagged result per query, aligned with input order.
+    fn run_batch_pinned(
+        &self,
+        queries: &[Query],
+        options: &BatchOptions,
+    ) -> (Epoch, Vec<Result<QueryAnswer, EngineError>>);
+}
+
+impl QueryBackend for Engine {
+    fn run_batch_pinned(
+        &self,
+        queries: &[Query],
+        options: &BatchOptions,
+    ) -> (Epoch, Vec<Result<QueryAnswer, EngineError>>) {
+        Engine::run_batch_pinned(self, queries, options)
+    }
+}
+
+/// How [`Engine::open_with_options`] opens a persisted store: worker
+/// count, the store read retry policy (transient I/O failures are
+/// retried with exponential backoff — previously hardcoded inside the
+/// store layer), and whether to memory-map the file instead of bulk
+/// reading it.
+///
+/// The default **maps** the store: the snapshot borrows the kernel page
+/// cache instead of copying every section into owned buffers, so cold
+/// start pays for the bytes a query actually touches, not the file
+/// size. Use [`OpenOptions::owned_buffer`] to force the copying read
+/// (e.g. to release the file handle immediately, or on filesystems
+/// where mapping is undesirable).
+#[derive(Debug, Clone)]
+pub struct OpenOptions {
+    /// Worker threads for the opened engine (`>= 1`; clamped).
+    pub threads: usize,
+    /// Store-layer read options: retry policy + mapped/owned backing.
+    pub store: ic_store::OpenOptions,
+}
+
+impl Default for OpenOptions {
+    fn default() -> Self {
+        OpenOptions {
+            threads: std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1),
+            store: ic_store::OpenOptions::mapped(),
+        }
+    }
+}
+
+impl OpenOptions {
+    /// Sets the worker thread count.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Sets the store read retry policy: `attempts` total tries for
+    /// transient I/O failures, exponential backoff starting at
+    /// `backoff`.
+    pub fn read_retries(mut self, attempts: u32, backoff: std::time::Duration) -> Self {
+        self.store.attempts = attempts;
+        self.store.backoff = backoff;
+        self
+    }
+
+    /// Forces the bulk-copying owned-buffer read path instead of the
+    /// default memory map.
+    pub fn owned_buffer(mut self) -> Self {
+        self.store.map = false;
+        self
+    }
+}
+
 /// One-stop import of the full serving vocabulary:
 /// `use ic_engine::prelude::*;`.
 pub mod prelude {
     pub use crate::{
-        AnswerStatus, BatchOptions, DegradeReason, Engine, EngineError, Epoch, Plan, PlanStats,
-        QueryAnswer, ResultStream,
+        AnswerStatus, BatchOptions, DegradeReason, Engine, EngineError, Epoch, OpenOptions, Plan,
+        PlanStats, QueryAnswer, QueryBackend, ResultStream,
     };
     pub use ic_core::{
         AggregateFn, Aggregation, Certificates, Community, Constraint, Extremum, Hardness, Query,
@@ -197,8 +281,22 @@ impl Engine {
         path: P,
         threads: usize,
     ) -> Result<Engine, StoreError> {
-        let contents = ic_store::StoreFile::open(path)?.load()?;
-        Ok(Self::from_snapshot(contents.into_snapshot(), threads))
+        Self::open_with_options(path, &OpenOptions::default().threads(threads))
+    }
+
+    /// [`Engine::open`] with full control over worker count, the store
+    /// read retry policy, and mapped-vs-owned backing (see
+    /// [`OpenOptions`]). This is the primitive the other `open`
+    /// variants delegate to.
+    pub fn open_with_options<P: AsRef<std::path::Path>>(
+        path: P,
+        options: &OpenOptions,
+    ) -> Result<Engine, StoreError> {
+        let contents = ic_store::StoreFile::open_with(path, &options.store)?.load()?;
+        Ok(Self::from_snapshot(
+            contents.into_snapshot(),
+            options.threads,
+        ))
     }
 
     /// Persists the engine's **current** serving state to an `ic-store`

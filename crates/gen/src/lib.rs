@@ -31,6 +31,7 @@ pub mod datasets;
 mod er;
 mod planted;
 mod sampling;
+pub mod stream;
 mod weights;
 pub mod workload;
 
@@ -40,6 +41,7 @@ pub use chunglu::chung_lu;
 pub use er::{gnm, gnp};
 pub use planted::{planted_partition, PlantedPartitionConfig};
 pub use sampling::AliasTable;
+pub use stream::{stream_graph, StreamSpec};
 pub use weights::{pagerank_weights, pareto_weights, rank_weights, uniform_weights};
 pub use workload::{mixed_query_traffic, MixAggregation, QuerySpec, TrafficProfile};
 

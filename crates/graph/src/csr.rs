@@ -1,17 +1,21 @@
 use crate::{GraphError, VertexId};
+use ic_mem::SharedSlice;
 
 /// An immutable, undirected graph in CSR (compressed sparse row) layout.
 ///
 /// Vertices are dense ids `0..n`. Each undirected edge `{u, v}` is stored
 /// twice (once per endpoint); adjacency lists are sorted and free of
 /// duplicates and self-loops — [`crate::GraphBuilder`] enforces this.
+///
+/// The CSR arrays live in [`SharedSlice`]s, so a graph can either own
+/// its arrays (built from edges) or borrow them zero-copy from a
+/// memory-mapped `ic-store` file; `clone` is an `Arc` bump either way.
 #[derive(Clone, Debug, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Graph {
     /// `offsets[v]..offsets[v+1]` indexes `targets` for vertex `v`.
-    offsets: Vec<usize>,
+    offsets: SharedSlice<usize>,
     /// Concatenated sorted adjacency lists.
-    targets: Vec<VertexId>,
+    targets: SharedSlice<VertexId>,
     /// Number of undirected edges (`targets.len() / 2`).
     num_edges: usize,
 }
@@ -30,8 +34,8 @@ impl Graph {
         debug_assert_eq!(targets.len() % 2, 0);
         let num_edges = targets.len() / 2;
         Graph {
-            offsets,
-            targets,
+            offsets: offsets.into(),
+            targets: targets.into(),
             num_edges,
         }
     }
@@ -49,79 +53,25 @@ impl Graph {
         offsets: Vec<usize>,
         targets: Vec<VertexId>,
     ) -> Result<Self, GraphError> {
-        let malformed = |msg: String| Err(GraphError::MalformedBinary(msg));
-        let Some((&last, _)) = offsets.split_last() else {
-            return malformed("CSR offsets are empty (need n + 1 entries)".into());
-        };
-        if last != targets.len() {
-            return malformed(format!(
-                "CSR offsets end at {last} but there are {} adjacency entries",
-                targets.len()
-            ));
-        }
-        if !targets.len().is_multiple_of(2) {
-            return malformed(format!(
-                "odd adjacency count {} (undirected edges are stored twice)",
-                targets.len()
-            ));
-        }
-        if let Some(w) = offsets.windows(2).find(|w| w[0] > w[1]) {
-            return malformed(format!("CSR offsets decrease: {} before {}", w[0], w[1]));
-        }
-        let n = offsets.len() - 1;
-        // Pass 1: per-row order/bounds/loop checks; record where each
-        // row's lower-than-self prefix ends (used by the mirror check).
-        let mut lower_end = vec![0usize; n];
-        for v in 0..n {
-            let row = &targets[offsets[v]..offsets[v + 1]];
-            let mut prev: Option<VertexId> = None;
-            let mut lower = 0usize;
-            for &u in row {
-                if u as usize >= n {
-                    return malformed(format!(
-                        "vertex {v} adjacent to out-of-bounds {u} (n = {n})"
-                    ));
-                }
-                if u as usize == v {
-                    return malformed(format!("self loop on vertex {v}"));
-                }
-                if prev.is_some_and(|p| p >= u) {
-                    return malformed(format!("adjacency of vertex {v} not strictly increasing"));
-                }
-                if (u as usize) < v {
-                    lower += 1;
-                }
-                prev = Some(u);
-            }
-            lower_end[v] = offsets[v] + lower;
-        }
-        // Pass 2: O(n + m) symmetry. Rows are strictly increasing, so
-        // walking vertices in ascending order makes each row's
-        // lower-than-self prefix a queue of expected mirrors: the pair
-        // (u, v) with u < v must consume exactly the next unconsumed
-        // entry of v's prefix, and every prefix must end fully
-        // consumed. An unmatched entry in either direction trips one of
-        // the two checks.
-        let mut cursor: Vec<usize> = offsets[..n].to_vec();
-        for u in 0..n {
-            for &v in &targets[offsets[u]..offsets[u + 1]] {
-                let v = v as usize;
-                if v > u {
-                    if cursor[v] >= lower_end[v] || targets[cursor[v]] as usize != u {
-                        return malformed(format!("edge ({u}, {v}) has no mirror entry"));
-                    }
-                    cursor[v] += 1;
-                }
-            }
-        }
-        if let Some(v) = (0..n).find(|&v| cursor[v] != lower_end[v]) {
-            return malformed(format!(
-                "vertex {v} has adjacency entries with no mirror edge"
-            ));
-        }
-        Ok(Graph::from_csr(offsets, targets))
+        Self::from_csr_shared(offsets.into(), targets.into())
     }
 
+    /// [`from_csr_checked`](Self::from_csr_checked) over shared slices:
+    /// the zero-copy entry point for mmap-backed stores. The slices are
+    /// validated in place and adopted without copying — the graph keeps
+    /// the backing storage (e.g. a file mapping) alive.
+    pub fn from_csr_shared(
+        offsets: SharedSlice<usize>,
+        targets: SharedSlice<VertexId>,
+    ) -> Result<Self, GraphError> {
+        validate_csr(&offsets, &targets)?;
+        let num_edges = targets.len() / 2;
+        Ok(Graph {
+            offsets,
+            targets,
+            num_edges,
+        })
+    }
     /// The raw CSR arrays `(offsets, targets)` — the exact layout
     /// [`Graph::from_csr_checked`] accepts back. Used by `ic-store` to
     /// persist the graph without an edge-list rebuild on either side.
@@ -129,11 +79,95 @@ impl Graph {
         (&self.offsets, &self.targets)
     }
 
+    /// The CSR arrays as shared slices (`Arc` bumps, no copy) — lets
+    /// callers re-borrow the same backing storage the graph holds.
+    pub fn csr_shared(&self) -> (SharedSlice<usize>, SharedSlice<VertexId>) {
+        (self.offsets.clone(), self.targets.clone())
+    }
+}
+
+/// The `O(n + m)` structural CSR check shared by
+/// [`Graph::from_csr_checked`] and [`Graph::from_csr_shared`].
+fn validate_csr(offsets: &[usize], targets: &[VertexId]) -> Result<(), GraphError> {
+    let malformed = |msg: String| Err(GraphError::MalformedBinary(msg));
+    let Some((&last, _)) = offsets.split_last() else {
+        return malformed("CSR offsets are empty (need n + 1 entries)".into());
+    };
+    if last != targets.len() {
+        return malformed(format!(
+            "CSR offsets end at {last} but there are {} adjacency entries",
+            targets.len()
+        ));
+    }
+    if !targets.len().is_multiple_of(2) {
+        return malformed(format!(
+            "odd adjacency count {} (undirected edges are stored twice)",
+            targets.len()
+        ));
+    }
+    if let Some(w) = offsets.windows(2).find(|w| w[0] > w[1]) {
+        return malformed(format!("CSR offsets decrease: {} before {}", w[0], w[1]));
+    }
+    let n = offsets.len() - 1;
+    // Pass 1: per-row order/bounds/loop checks; record where each
+    // row's lower-than-self prefix ends (used by the mirror check).
+    let mut lower_end = vec![0usize; n];
+    for v in 0..n {
+        let row = &targets[offsets[v]..offsets[v + 1]];
+        let mut prev: Option<VertexId> = None;
+        let mut lower = 0usize;
+        for &u in row {
+            if u as usize >= n {
+                return malformed(format!(
+                    "vertex {v} adjacent to out-of-bounds {u} (n = {n})"
+                ));
+            }
+            if u as usize == v {
+                return malformed(format!("self loop on vertex {v}"));
+            }
+            if prev.is_some_and(|p| p >= u) {
+                return malformed(format!("adjacency of vertex {v} not strictly increasing"));
+            }
+            if (u as usize) < v {
+                lower += 1;
+            }
+            prev = Some(u);
+        }
+        lower_end[v] = offsets[v] + lower;
+    }
+    // Pass 2: O(n + m) symmetry. Rows are strictly increasing, so
+    // walking vertices in ascending order makes each row's
+    // lower-than-self prefix a queue of expected mirrors: the pair
+    // (u, v) with u < v must consume exactly the next unconsumed
+    // entry of v's prefix, and every prefix must end fully
+    // consumed. An unmatched entry in either direction trips one of
+    // the two checks.
+    let mut cursor: Vec<usize> = offsets[..n].to_vec();
+    for u in 0..n {
+        for &v in &targets[offsets[u]..offsets[u + 1]] {
+            let v = v as usize;
+            if v > u {
+                if cursor[v] >= lower_end[v] || targets[cursor[v]] as usize != u {
+                    return malformed(format!("edge ({u}, {v}) has no mirror entry"));
+                }
+                cursor[v] += 1;
+            }
+        }
+    }
+    if let Some(v) = (0..n).find(|&v| cursor[v] != lower_end[v]) {
+        return malformed(format!(
+            "vertex {v} has adjacency entries with no mirror edge"
+        ));
+    }
+    Ok(())
+}
+
+impl Graph {
     /// An empty graph with `n` isolated vertices.
     pub fn empty(n: usize) -> Self {
         Graph {
-            offsets: vec![0; n + 1],
-            targets: Vec::new(),
+            offsets: vec![0; n + 1].into(),
+            targets: SharedSlice::empty(),
             num_edges: 0,
         }
     }

@@ -1,15 +1,24 @@
 use crate::{Graph, GraphError, VertexId};
+use ic_mem::SharedSlice;
 
 /// A graph paired with non-negative vertex weights (influence values).
 ///
 /// This is the `G = (V, E, w)` of the paper: `w` assigns every vertex a
 /// finite, non-negative influence value (e.g. its PageRank, H-index, or
 /// degree — see `ic-centrality`).
+///
+/// Weights live in a [`SharedSlice`], so they can borrow a store
+/// mapping zero-copy. The total weight is computed once at
+/// construction (left-to-right over the weight array, the same order
+/// every construction path uses) and can be overridden by
+/// [`with_total_weight`](Self::with_total_weight) when this graph is a
+/// shard of a larger logical graph whose global total the aggregation
+/// functions must see.
 #[derive(Clone, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct WeightedGraph {
     graph: Graph,
-    weights: Vec<f64>,
+    weights: SharedSlice<f64>,
+    total: f64,
 }
 
 impl WeightedGraph {
@@ -19,6 +28,12 @@ impl WeightedGraph {
     /// (the paper assumes non-negative influence values; Algorithm 1/2's
     /// pruning rules rely on it).
     pub fn new(graph: Graph, weights: Vec<f64>) -> Result<Self, GraphError> {
+        Self::from_shared(graph, weights.into())
+    }
+
+    /// [`new`](Self::new) over a shared slice: the zero-copy entry
+    /// point for mmap-backed stores. Validation is identical.
+    pub fn from_shared(graph: Graph, weights: SharedSlice<f64>) -> Result<Self, GraphError> {
         if weights.len() != graph.num_vertices() {
             return Err(GraphError::WeightLengthMismatch {
                 weights: weights.len(),
@@ -33,13 +48,42 @@ impl WeightedGraph {
                 });
             }
         }
-        Ok(WeightedGraph { graph, weights })
+        let total = weights.iter().sum();
+        Ok(WeightedGraph {
+            graph,
+            weights,
+            total,
+        })
     }
 
     /// Assigns every vertex weight 1.0 (useful for size-driven analyses).
     pub fn unit_weights(graph: Graph) -> Self {
-        let weights = vec![1.0; graph.num_vertices()];
-        WeightedGraph { graph, weights }
+        let n = graph.num_vertices();
+        WeightedGraph {
+            graph,
+            weights: vec![1.0; n].into(),
+            total: n as f64,
+        }
+    }
+
+    /// Overrides the reported [`total_weight`](Self::total_weight).
+    ///
+    /// A shard store holds only its partition's vertices, but
+    /// aggregations such as `SumSurplus` evaluate `2·w(H) − w(V)`
+    /// against the *logical* graph's total — a sharded engine must
+    /// answer bit-identically to an unsharded one, so the shard
+    /// carries the global total verbatim (as the exact f64 the
+    /// unsharded construction computed). The override must be finite
+    /// and non-negative.
+    pub fn with_total_weight(mut self, total: f64) -> Result<Self, GraphError> {
+        if !total.is_finite() || total < 0.0 {
+            return Err(GraphError::InvalidWeight {
+                vertex: u32::MAX,
+                value: total,
+            });
+        }
+        self.total = total;
+        Ok(self)
     }
 
     /// The underlying graph.
@@ -60,9 +104,11 @@ impl WeightedGraph {
         &self.weights
     }
 
-    /// `w(V)`: the total weight of the graph.
+    /// `w(V)`: the total weight of the graph (precomputed; see
+    /// [`with_total_weight`](Self::with_total_weight) for the shard
+    /// override semantics).
     pub fn total_weight(&self) -> f64 {
-        self.weights.iter().sum()
+        self.total
     }
 
     /// `w(H)`: the summed weight of a vertex set.
@@ -81,7 +127,7 @@ impl WeightedGraph {
     }
 
     /// Decomposes into graph and weights.
-    pub fn into_parts(self) -> (Graph, Vec<f64>) {
+    pub fn into_parts(self) -> (Graph, SharedSlice<f64>) {
         (self.graph, self.weights)
     }
 }
@@ -126,5 +172,28 @@ mod tests {
         let g = graph_from_edges(4, &[(0, 1)]);
         let wg = WeightedGraph::unit_weights(g);
         assert_eq!(wg.total_weight(), 4.0);
+    }
+
+    #[test]
+    fn total_weight_override() {
+        let g = graph_from_edges(2, &[(0, 1)]);
+        let wg = WeightedGraph::new(g, vec![1.0, 2.0])
+            .unwrap()
+            .with_total_weight(40.5)
+            .unwrap();
+        assert_eq!(wg.total_weight(), 40.5);
+        // The per-vertex weights are untouched.
+        assert_eq!(wg.weight_of(&[0, 1]), 3.0);
+        assert!(wg.clone().with_total_weight(f64::NAN).is_err());
+        assert!(wg.with_total_weight(-1.0).is_err());
+    }
+
+    #[test]
+    fn precomputed_total_matches_iter_sum() {
+        let g = graph_from_edges(5, &[(0, 1), (2, 3)]);
+        let weights = vec![0.1, 0.7, 1e-9, 3.75, 2.5];
+        let expect: f64 = weights.iter().sum();
+        let wg = WeightedGraph::new(g, weights).unwrap();
+        assert_eq!(wg.total_weight().to_bits(), expect.to_bits());
     }
 }

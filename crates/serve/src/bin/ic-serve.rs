@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! ic-serve --store email.ics --addr 127.0.0.1:7171
+//! ic-serve --shards-dir shards/ --addr 127.0.0.1:7171
 //! ic-serve --dataset email --addr 127.0.0.1:0 --port-file /tmp/port
 //! ```
 //!
@@ -13,8 +14,9 @@
 //! frame (binary `0x02`, or `{"op":"shutdown"}` in JSON-lines mode),
 //! then drains gracefully and exits 0.
 
-use ic_engine::Engine;
+use ic_engine::{Engine, QueryBackend};
 use ic_serve::{ServeConfig, Server};
+use ic_shard::ShardedEngine;
 use std::io::Write;
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -22,6 +24,7 @@ use std::time::Duration;
 
 struct Args {
     store: Option<String>,
+    shards_dir: Option<String>,
     dataset: Option<String>,
     addr: String,
     port_file: Option<String>,
@@ -33,7 +36,7 @@ struct Args {
 }
 
 const USAGE: &str = "\
-usage: ic-serve (--store <file.ics> | --dataset <name>) [options]
+usage: ic-serve (--store <file.ics> | --shards-dir <dir> | --dataset <name>) [options]
 
 options:
   --addr <host:port>   bind address (default 127.0.0.1:0 = ephemeral)
@@ -43,11 +46,16 @@ options:
   --queue <n>          per-shard admission queue bound (default 1024)
   --max-batch <n>      largest engine batch per flush (default 256)
   --threads <n>        engine worker threads (default: all cores)
+
+with --shards-dir, every shard-*.ics1 in the directory is opened
+memory-mapped and queries are scattered across shard engines and
+merged bit-identically to a single unsharded engine.
 ";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         store: None,
+        shards_dir: None,
         dataset: None,
         addr: "127.0.0.1:0".into(),
         port_file: None,
@@ -65,6 +73,7 @@ fn parse_args() -> Result<Args, String> {
         };
         match flag.as_str() {
             "--store" => args.store = Some(value("--store")?),
+            "--shards-dir" => args.shards_dir = Some(value("--shards-dir")?),
             "--dataset" => args.dataset = Some(value("--dataset")?),
             "--addr" => args.addr = value("--addr")?,
             "--port-file" => args.port_file = Some(value("--port-file")?),
@@ -77,9 +86,13 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown flag {other}\n{USAGE}")),
         }
     }
-    if args.store.is_some() == args.dataset.is_some() {
+    let sources = [&args.store, &args.shards_dir, &args.dataset]
+        .iter()
+        .filter(|s| s.is_some())
+        .count();
+    if sources != 1 {
         return Err(format!(
-            "exactly one of --store / --dataset is required\n{USAGE}"
+            "exactly one of --store / --shards-dir / --dataset is required\n{USAGE}"
         ));
     }
     Ok(args)
@@ -121,7 +134,7 @@ fn main() -> ExitCode {
         config.max_batch = b;
     }
 
-    let server = match Server::bind(Arc::new(engine), &args.addr, config) {
+    let server = match Server::bind_backend(engine, &args.addr, config) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("ic-serve: cannot bind {}: {e}", args.addr);
@@ -145,15 +158,29 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn build_engine(args: &Args) -> Result<Engine, String> {
+fn build_engine(args: &Args) -> Result<Arc<dyn QueryBackend>, String> {
     let threads = args.threads.unwrap_or_else(|| {
         std::thread::available_parallelism()
             .map(|p| p.get())
             .unwrap_or(1)
     });
     if let Some(store) = &args.store {
-        return Engine::open_with_threads(store, threads)
-            .map_err(|e| format!("cannot open store {store}: {e}"));
+        let engine = Engine::open_with_threads(store, threads)
+            .map_err(|e| format!("cannot open store {store}: {e}"))?;
+        return Ok(Arc::new(engine));
+    }
+    if let Some(dir) = &args.shards_dir {
+        let options = ic_engine::OpenOptions::default().threads(threads);
+        let sharded = ShardedEngine::open_dir_with(dir, &options)
+            .map_err(|e| format!("cannot open shards in {dir}: {e}"))?;
+        eprintln!(
+            "opened {} shard(s) in {} group(s): {} vertices, {} edges",
+            sharded.num_shards(),
+            sharded.num_groups(),
+            sharded.global_vertices(),
+            sharded.global_edges()
+        );
+        return Ok(Arc::new(sharded));
     }
     let name = args
         .dataset
@@ -165,5 +192,8 @@ fn build_engine(args: &Args) -> Result<Engine, String> {
         "generating dataset analog {name} (n = {}, target m = {})…",
         spec.n, spec.target_m
     );
-    Ok(Engine::with_threads(spec.generate_weighted(), threads))
+    Ok(Arc::new(Engine::with_threads(
+        spec.generate_weighted(),
+        threads,
+    )))
 }

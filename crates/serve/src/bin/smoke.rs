@@ -5,10 +5,13 @@
 //!
 //! ```text
 //! ic-serve-smoke --port-file /tmp/serve.port --mode mixed
+//! ic-serve-smoke --port-file /tmp/serve.port --mode shards
 //! ic-serve-smoke --port-file /tmp/serve.port --mode shed
 //! ```
 //!
-//! `--mode mixed` expects a default-configured server; `--mode shed`
+//! `--mode mixed` expects a default-configured server; `--mode shards`
+//! expects one booted with `--shards-dir` (exact families complete,
+//! approximate queries are rejected typed per-query); `--mode shed`
 //! expects one squeezed to a single one-slot admission shard with a
 //! long window (`--queue 1 --shards 1 --window-us 300000`), so the
 //! second query of a rapid burst deterministically finds the queue
@@ -21,7 +24,7 @@ use std::net::{SocketAddr, TcpStream};
 use std::process::ExitCode;
 
 const USAGE: &str =
-    "usage: ic-serve-smoke (--addr <host:port> | --port-file <path>) --mode (mixed|shed)";
+    "usage: ic-serve-smoke (--addr <host:port> | --port-file <path>) --mode (mixed|shards|shed)";
 
 fn parse_addr() -> Result<(SocketAddr, String), String> {
     let mut addr: Option<String> = None;
@@ -136,6 +139,85 @@ fn mixed(addr: SocketAddr) {
     eprintln!("[smoke] drain: {flushed} in-flight replies flushed before ack");
 }
 
+/// Exact traffic against a sharded (`--shards-dir`) server: the
+/// shard-mergeable extremal families answer complete through the
+/// scatter-gather backend, while an approximate query — which has no
+/// cross-shard optimality certificate — is a *per-query* typed error,
+/// never a connection error. Ends with a checked flush-then-ack drain.
+///
+/// Only index-served min/max queries here: this smoke runs against a
+/// million-node shard directory in CI, where a single TIC-exact sum
+/// query enumerates the full k-core for minutes. The sum/surplus merge
+/// identity is held in-process by `crates/shard/tests/merge_prop.rs`
+/// at sizes where the unsharded oracle is feasible.
+fn shards(addr: SocketAddr) {
+    let mut client = Client::connect(addr).expect("connect (binary)");
+    let queries = [
+        Query::new(4, 3, Aggregation::Min),
+        Query::new(8, 5, Aggregation::Max),
+        Query::new(8, 2, Aggregation::Min),
+        Query::new(4, 4, Aggregation::Max),
+    ];
+    for (i, q) in queries.iter().enumerate() {
+        client.send(i as u64, q).expect("send");
+    }
+    for i in 0..queries.len() {
+        let response = client.wait_for(i as u64).expect("reply");
+        let top = complete_top(&response, i as u64);
+        assert!(top.is_finite(), "query {i}: top value must be finite");
+    }
+    eprintln!(
+        "[smoke] shards: {} exact queries answered through the sharded backend",
+        queries.len()
+    );
+    match client
+        .call(99, &Query::new(4, 2, Aggregation::Sum).approx(0.2))
+        .expect("reply for the approximate query")
+    {
+        Response::Reply {
+            id: 99,
+            outcome: Outcome::Error { .. },
+            ..
+        } => {}
+        other => panic!("epsilon > 0 must be a per-query error on shards, got {other:?}"),
+    }
+    eprintln!("[smoke] shards: approximate query rejected typed, connection intact");
+
+    // JSON-lines speaks to the sharded backend too.
+    let mut stream = TcpStream::connect(addr).expect("connect (json)");
+    stream
+        .write_all(b"{\"id\": 7, \"k\": 4, \"r\": 2, \"agg\": \"min\"}\n")
+        .expect("send json");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("json reply");
+    assert!(
+        line.contains("\"id\":7") && line.contains("\"status\":\"complete\""),
+        "json reply malformed: {line:?}"
+    );
+    drop(reader);
+    drop(stream);
+    eprintln!("[smoke] shards: json-lines query answered");
+
+    // Drain with index-served queries still in flight.
+    let burst = 4usize;
+    for i in 0..burst {
+        client
+            .send(200 + i as u64, &Query::new(4, 1 + i, Aggregation::Min))
+            .expect("send burst");
+    }
+    let tail = client.shutdown_and_drain().expect("drain must ack");
+    let flushed = tail
+        .iter()
+        .filter(|r| matches!(r, Response::Reply { .. }))
+        .count();
+    assert_eq!(
+        flushed, burst,
+        "drain must flush the whole in-flight burst before acking"
+    );
+    eprintln!("[smoke] shards: drain flushed {flushed} in-flight replies before ack");
+}
+
 /// Shed burst on a one-slot server: the second rapid query must get a
 /// typed `Overloaded(QueueFull)` while the first still completes.
 fn shed(addr: SocketAddr) {
@@ -167,6 +249,7 @@ fn main() -> ExitCode {
     };
     match mode.as_str() {
         "mixed" => mixed(addr),
+        "shards" => shards(addr),
         "shed" => shed(addr),
         other => {
             eprintln!("unknown mode {other:?}\n{USAGE}");

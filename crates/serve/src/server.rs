@@ -56,7 +56,7 @@ use crate::protocol::{
     self, Outcome, Request, Response, ShedReason, WireQuery, MAGIC, REQ_PAYLOAD_MAX,
 };
 use ic_core::Query;
-use ic_engine::{BatchOptions, Engine};
+use ic_engine::{BatchOptions, Engine, QueryBackend};
 use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -139,7 +139,7 @@ struct Shard {
 }
 
 struct Shared {
-    engine: Arc<Engine>,
+    engine: Arc<dyn QueryBackend>,
     config: ServeConfig,
     shards: Vec<Shard>,
     next_shard: AtomicUsize,
@@ -216,6 +216,19 @@ impl Server {
     /// threads over `engine`.
     pub fn bind(
         engine: Arc<Engine>,
+        addr: impl ToSocketAddrs,
+        config: ServeConfig,
+    ) -> std::io::Result<Server> {
+        Self::bind_backend(engine, addr, config)
+    }
+
+    /// [`Server::bind`] over any [`QueryBackend`] — the single-store
+    /// engine or a scatter-gather sharded backend (`ic-shard`'s
+    /// `ShardedEngine`). The serving pipeline (admission, micro-batch
+    /// coalescing, deadline anchoring, drain) is identical; only the
+    /// batch executor differs.
+    pub fn bind_backend(
+        engine: Arc<dyn QueryBackend>,
         addr: impl ToSocketAddrs,
         config: ServeConfig,
     ) -> std::io::Result<Server> {

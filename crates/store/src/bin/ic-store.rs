@@ -3,25 +3,39 @@
 //! ```text
 //! ic-store build   --dataset email [--profile quick|full] --out email.ics1
 //! ic-store build   --edges graph.txt [--weights w.txt] --k 4,6 --out g.ics1
-//! ic-store inspect <file>
+//! ic-store build   --stream chunglu:1000000:5000000:2.5:42 --k 8 \
+//!                  --shards-out shards/ [--shard-cap 262144]
+//! ic-store inspect <file> [--mmap]
 //! ic-store verify  <file>
-//! ic-store query   <file> --k 6 --r 5 --agg min|max|sum [--epsilon 0.1]
+//! ic-store query   <file> --k 6 --r 5 --agg min|max|sum [--epsilon 0.1] [--mmap]
 //! ```
 //!
 //! `build` precomputes the serving state: decomposition, one core level
 //! and a min + max community forest per requested `k` (`--k` defaults
-//! to the dataset's default k and is required for `--edges` input).
-//! `verify` runs the deep re-derivation check on top of the envelope
-//! validation. `query` serves straight from the artifact — forests
-//! answer `min`/`max` in output-sensitive time; other aggregations
-//! route through the ordinary solver on the loaded graph.
+//! to the dataset's default k and is required for `--edges` and
+//! `--stream` input). `--stream` generates a multi-million-node graph
+//! with the two-pass bounded-memory emission (`ic_gen::stream`) —
+//! specs: `chunglu:<n>:<m>:<gamma>:<seed>`, `ba:<n>:<m>:<seed>`,
+//! `gnm:<n>:<m>:<seed>`; weights are seeded Pareto. `--shards-out`
+//! writes a directory of per-shard stores (component-partitioned, see
+//! `ic_store::shard`) instead of one file — the full edge list is
+//! never materialized on this path. `inspect` prints per-section
+//! offsets, byte sizes, and alignment — exactly what a mapped open
+//! will touch. `verify` runs the deep re-derivation check on top of
+//! the envelope validation. `query` serves straight from the artifact
+//! — forests answer `min`/`max` in output-sensitive time; other
+//! aggregations route through the ordinary solver on the loaded graph.
+//! `--mmap` opens the file memory-mapped with per-section lazy
+//! verification instead of the bulk owned-buffer read.
 
 use ic_core::algo::ExtremumIndex;
 use ic_core::{Aggregation, Community, Extremum, Query};
 use ic_gen::datasets::{by_name, Profile};
+use ic_gen::{pareto_weights, stream_graph, GraphSeed, StreamSpec};
 use ic_graph::WeightedGraph;
 use ic_kcore::GraphSnapshot;
-use ic_store::{SectionKind, StoreBuilder, StoreFile};
+use ic_store::shard::{build_shard_stores, DEFAULT_MAX_SHARD_VERTICES};
+use ic_store::{OpenOptions, SectionKind, StoreBuilder, StoreFile};
 use std::process::ExitCode;
 use std::time::Instant;
 
@@ -74,6 +88,13 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
         .map(String::as_str)
 }
 
+/// Valueless flag presence (`--mmap`). Valueless flags must follow the
+/// positional argument — `positional` assumes every `--flag` carries a
+/// value.
+fn has_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
 /// First argument that is neither a `--flag` nor a flag's value.
 fn positional(args: &[String]) -> Option<&str> {
     let mut i = 0;
@@ -87,50 +108,122 @@ fn positional(args: &[String]) -> Option<&str> {
     None
 }
 
-fn build(args: &[String]) -> ExitCode {
-    let out = match flag_value(args, "--out") {
-        Some(o) => o.to_string(),
-        None => return fail("build requires --out <path>"),
+/// Parses a streaming generator spec: `chunglu:<n>:<m>:<gamma>:<seed>`,
+/// `ba:<n>:<m>:<seed>`, or `gnm:<n>:<m>:<seed>`.
+fn parse_stream_spec(spec: &str) -> Result<StreamSpec, String> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    let num = |s: &str| -> Result<usize, String> {
+        s.parse().map_err(|_| format!("malformed number {s:?}"))
     };
+    match parts.as_slice() {
+        ["chunglu", n, m, gamma, seed] => Ok(StreamSpec::ChungLu {
+            n: num(n)?,
+            target_m: num(m)?,
+            gamma: gamma
+                .parse()
+                .map_err(|_| format!("malformed gamma {gamma:?}"))?,
+            seed: GraphSeed(num(seed)? as u64),
+        }),
+        ["ba", n, m, seed] => Ok(StreamSpec::BarabasiAlbert {
+            n: num(n)?,
+            m: num(m)?,
+            seed: GraphSeed(num(seed)? as u64),
+        }),
+        ["gnm", n, m, seed] => Ok(StreamSpec::Gnm {
+            n: num(n)?,
+            target_m: num(m)?,
+            seed: GraphSeed(num(seed)? as u64),
+        }),
+        _ => Err(format!(
+            "unknown stream spec {spec:?} (expected chunglu:<n>:<m>:<gamma>:<seed>, \
+             ba:<n>:<m>:<seed>, or gnm:<n>:<m>:<seed>)"
+        )),
+    }
+}
+
+fn build(args: &[String]) -> ExitCode {
+    let out = flag_value(args, "--out").map(str::to_string);
+    let shards_out = flag_value(args, "--shards-out").map(str::to_string);
+    if out.is_some() == shards_out.is_some() {
+        return fail("build requires exactly one of --out <path> or --shards-out <dir>");
+    }
+    let sources = [
+        flag_value(args, "--dataset"),
+        flag_value(args, "--edges"),
+        flag_value(args, "--stream"),
+    ];
+    if sources.iter().filter(|s| s.is_some()).count() != 1 {
+        return fail(
+            "build requires exactly one of --dataset <name>, --edges <file>, or --stream <spec>",
+        );
+    }
     let (wg, default_ks): (WeightedGraph, Vec<usize>) =
-        match (flag_value(args, "--dataset"), flag_value(args, "--edges")) {
-            (Some(name), None) => {
-                let profile = match flag_value(args, "--profile").unwrap_or("quick") {
-                    "quick" => Profile::Quick,
-                    "full" => Profile::Full,
-                    other => return fail(&format!("unknown profile {other:?}")),
-                };
-                let Some(spec) = by_name(profile, name) else {
-                    return fail(&format!("unknown dataset {name:?}"));
-                };
-                eprintln!("[build] generating dataset {name} ({:?}) ...", profile);
-                (spec.generate_weighted(), vec![spec.default_k])
-            }
-            (None, Some(edges)) => {
-                let g = match ic_graph::io::read_edge_list_file(edges) {
-                    Ok(g) => g,
-                    Err(e) => return fail(&format!("reading {edges}: {e}")),
-                };
-                let wg = match flag_value(args, "--weights") {
-                    Some(wpath) => {
-                        let f = match std::fs::File::open(wpath) {
-                            Ok(f) => f,
-                            Err(e) => return fail(&format!("opening {wpath}: {e}")),
-                        };
-                        let w = match ic_graph::io::read_weights(f) {
-                            Ok(w) => w,
-                            Err(e) => return fail(&format!("reading {wpath}: {e}")),
-                        };
-                        match WeightedGraph::new(g, w) {
-                            Ok(wg) => wg,
-                            Err(e) => return fail(&format!("pairing weights: {e}")),
-                        }
+        if let Some(name) = flag_value(args, "--dataset") {
+            let profile = match flag_value(args, "--profile").unwrap_or("quick") {
+                "quick" => Profile::Quick,
+                "full" => Profile::Full,
+                other => return fail(&format!("unknown profile {other:?}")),
+            };
+            let Some(spec) = by_name(profile, name) else {
+                return fail(&format!("unknown dataset {name:?}"));
+            };
+            eprintln!("[build] generating dataset {name} ({:?}) ...", profile);
+            (spec.generate_weighted(), vec![spec.default_k])
+        } else if let Some(edges) = flag_value(args, "--edges") {
+            let g = match ic_graph::io::read_edge_list_file(edges) {
+                Ok(g) => g,
+                Err(e) => return fail(&format!("reading {edges}: {e}")),
+            };
+            let wg = match flag_value(args, "--weights") {
+                Some(wpath) => {
+                    let f = match std::fs::File::open(wpath) {
+                        Ok(f) => f,
+                        Err(e) => return fail(&format!("opening {wpath}: {e}")),
+                    };
+                    let w = match ic_graph::io::read_weights(f) {
+                        Ok(w) => w,
+                        Err(e) => return fail(&format!("reading {wpath}: {e}")),
+                    };
+                    match WeightedGraph::new(g, w) {
+                        Ok(wg) => wg,
+                        Err(e) => return fail(&format!("pairing weights: {e}")),
                     }
-                    None => WeightedGraph::unit_weights(g),
-                };
-                (wg, vec![])
-            }
-            _ => return fail("build requires exactly one of --dataset <name> or --edges <file>"),
+                }
+                None => WeightedGraph::unit_weights(g),
+            };
+            (wg, vec![])
+        } else {
+            let raw = flag_value(args, "--stream").expect("source count checked above");
+            let spec = match parse_stream_spec(raw) {
+                Ok(s) => s,
+                Err(msg) => return fail(&msg),
+            };
+            let t = Instant::now();
+            let g = stream_graph(&spec);
+            eprintln!(
+                "[build] streamed {} vertices, {} edges in {:.2?} (two-pass, no edge list)",
+                g.num_vertices(),
+                g.num_edges(),
+                t.elapsed()
+            );
+            let seed = match spec {
+                StreamSpec::ChungLu { seed, .. }
+                | StreamSpec::BarabasiAlbert { seed, .. }
+                | StreamSpec::Gnm { seed, .. } => seed,
+            };
+            // Weight seed is derived from (not equal to) the structure seed so
+            // the two RNG streams never collide; alpha 1.5 gives the heavy tail
+            // the paper's influence values exhibit.
+            let w = pareto_weights(
+                g.num_vertices(),
+                1.5,
+                GraphSeed(seed.0 ^ 0x9e37_79b9_7f4a_7c15),
+            );
+            let wg = match WeightedGraph::new(g, w) {
+                Ok(wg) => wg,
+                Err(e) => return fail(&format!("pairing streamed weights: {e}")),
+            };
+            (wg, vec![])
         };
 
     let ks: Vec<usize> = match flag_value(args, "--k") {
@@ -145,11 +238,40 @@ fn build(args: &[String]) -> ExitCode {
         None if !default_ks.is_empty() => default_ks,
         None => {
             return fail(
-                "--k is required with --edges input (there is no sensible default degree \
-                 constraint for an arbitrary graph)",
+                "--k is required with --edges and --stream input (there is no sensible \
+                 default degree constraint for an arbitrary graph)",
             )
         }
     };
+
+    if let Some(dir) = shards_out {
+        let cap = match flag_value(args, "--shard-cap") {
+            Some(s) => match s.parse::<usize>() {
+                Ok(c) if c > 0 => c,
+                _ => return fail("--shard-cap takes a positive integer"),
+            },
+            None => DEFAULT_MAX_SHARD_VERTICES,
+        };
+        let t = Instant::now();
+        let paths = match build_shard_stores(&wg, &ks, cap, std::path::Path::new(&dir)) {
+            Ok(p) => p,
+            Err(e) => return fail(&format!("building shards in {dir}: {e}")),
+        };
+        let total: u64 = paths
+            .iter()
+            .filter_map(|p| std::fs::metadata(p).ok().map(|m| m.len()))
+            .sum();
+        println!(
+            "wrote {} shard(s) to {dir}: {} vertices, {} edges, k = {ks:?}, cap {cap}, \
+             {total} bytes ({:.2?})",
+            paths.len(),
+            wg.num_vertices(),
+            wg.num_edges(),
+            t.elapsed()
+        );
+        return ExitCode::SUCCESS;
+    }
+    let out = out.expect("exactly one output target checked above");
 
     let t = Instant::now();
     let snap = GraphSnapshot::new(wg);
@@ -198,18 +320,39 @@ fn inspect(args: &[String]) -> ExitCode {
         return fail("inspect requires a store path");
     };
     let t = Instant::now();
-    let file = match StoreFile::open(path) {
-        Ok(f) => f,
-        Err(e) => return fail(&format!("{path}: {e}")),
+    let file = if has_flag(args, "--mmap") {
+        match StoreFile::open_with(path, &OpenOptions::mapped()) {
+            Ok(f) => f,
+            Err(e) => return fail(&format!("{path}: {e}")),
+        }
+    } else {
+        match StoreFile::open(path) {
+            Ok(f) => f,
+            Err(e) => return fail(&format!("{path}: {e}")),
+        }
     };
     let h = file.header();
     println!(
-        "{path}: ICS1 v{}, {} bytes, {} sections, checksum {:#018x} (validated in {:.2?})",
+        "{path}: ICS1 v{}, {} bytes, {} sections, checksum {:#018x} \
+         ({} backing, {} verification, opened in {:.2?})",
         h.version,
         file.file_len(),
         h.section_count,
         h.checksum,
+        file.backing_kind(),
+        if file.is_lazy_verified() {
+            "lazy per-section"
+        } else {
+            "eager whole-file"
+        },
         t.elapsed()
+    );
+    // Each row is one region an mmap open will fault in on first touch:
+    // offset + length say where, alignment says whether the typed view
+    // can validate in place (8 = every section the builder writes).
+    println!(
+        "  {:<14}{:<12} {:>10}  {:>12}  {:>5}",
+        "section", "params", "offset", "bytes", "align"
     );
     for s in file.sections() {
         let kind = s
@@ -223,10 +366,14 @@ fn inspect(args: &[String]) -> ExitCode {
             }
             _ => String::new(),
         };
+        let align = 1u64 << (s.offset | 64).trailing_zeros();
         println!(
-            "  {kind:<14}{param:<12} offset {:>10}  {:>10} bytes",
-            s.offset, s.len
+            "  {kind:<14}{param:<12} {:>10}  {:>12}  {:>5}",
+            s.offset, s.len, align
         );
+    }
+    if !file.has_section_sums() {
+        println!("  (no section-sums table: lazy mapped verification unavailable)");
     }
     if let Ok((n, m)) = file.graph_meta() {
         println!("  graph: {n} vertices, {m} edges");
@@ -304,10 +451,18 @@ fn query(args: &[String]) -> ExitCode {
     }
 
     let t_open = Instant::now();
-    let file = match StoreFile::open(path) {
-        Ok(f) => f,
-        Err(e) => return fail(&format!("{path}: {e}")),
+    let file = if has_flag(args, "--mmap") {
+        match StoreFile::open_with(path, &OpenOptions::mapped()) {
+            Ok(f) => f,
+            Err(e) => return fail(&format!("{path}: {e}")),
+        }
+    } else {
+        match StoreFile::open(path) {
+            Ok(f) => f,
+            Err(e) => return fail(&format!("{path}: {e}")),
+        }
     };
+    let backing = file.backing_kind();
     let contents = match file.load() {
         Ok(c) => c,
         Err(e) => return fail(&format!("{path}: {e}")),
@@ -324,7 +479,8 @@ fn query(args: &[String]) -> ExitCode {
         match forest.topr(snap.weighted(), r) {
             Ok(top) => {
                 println!(
-                    "opened {path} in {opened:.2?}; index-served top-{r} ({}, k={k}) in {:.2?}:",
+                    "opened {path} ({backing}) in {opened:.2?}; index-served top-{r} \
+                     ({}, k={k}) in {:.2?}:",
                     agg.name(),
                     t_query.elapsed()
                 );
@@ -338,7 +494,8 @@ fn query(args: &[String]) -> ExitCode {
         match q.solve_on(&snap, &mut arena) {
             Ok(top) => {
                 println!(
-                    "opened {path} in {opened:.2?}; solver-served top-{r} ({}, k={k}) in {:.2?}:",
+                    "opened {path} ({backing}) in {opened:.2?}; solver-served top-{r} \
+                     ({}, k={k}) in {:.2?}:",
                     agg.name(),
                     t_query.elapsed()
                 );

@@ -30,6 +30,13 @@ compile_error!(
      port cast.rs to a byte-swapping reader before enabling this crate"
 );
 
+#[cfg(not(target_pointer_width = "64"))]
+compile_error!(
+    "ic-store's zero-copy open path views on-disk u64 CSR offsets as \
+     in-memory `usize` slices, which requires a 64-bit target; a 32-bit \
+     port would decode offsets element-wise instead"
+);
+
 /// An 8-byte-aligned owned byte buffer: the backing storage every
 /// section view borrows from. Alignment comes from the `u64` backing
 /// vector, so any section at an 8-aligned offset can be viewed as
@@ -129,6 +136,15 @@ checked_view!(
     f64s,
     f64,
     "Views an 8-aligned byte slice as `f64`s (`None` on misalignment or ragged length)."
+);
+checked_view!(
+    usizes,
+    usize,
+    "Views an 8-aligned byte slice as `usize`s — sound because the \
+     pointer-width guard above pins this crate to 64-bit targets, where \
+     `usize` and the on-disk `u64` share size, alignment, and (LE) \
+     representation. This is what lets CSR offsets be served straight \
+     out of a file mapping."
 );
 
 /// Views a `u32` slice as bytes for bulk writing (always sound: `u8`

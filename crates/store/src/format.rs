@@ -61,6 +61,20 @@ pub enum SectionKind {
     /// One extremum community forest (keyed by `dir`, `k`); see
     /// `writer.rs` for the interior layout.
     Forest = 8,
+    /// Per-section integrity sums enabling lazy (mmap) verification:
+    /// `[table_hash u64][one u64 per table entry]`, written last, with
+    /// the sums section's own slot zero. `table_hash` covers the raw
+    /// bytes `[48..table_end)` so kind/offset/len/count flips fail
+    /// closed without reading the payload; each per-section hash
+    /// covers that section's 8-aligned padded extent.
+    SectionSums = 9,
+    /// Shard identity of a store that holds one partition of a larger
+    /// logical graph: `[shard_index, num_shards, group, k_lo,
+    /// max_core, total_weight_bits, global_n, global_m]` as u64s.
+    ShardMeta = 10,
+    /// Local→global vertex id map of a shard store, `n × u32`
+    /// (strictly increasing: shard induction preserves global order).
+    ShardIdMap = 11,
 }
 
 impl SectionKind {
@@ -76,6 +90,9 @@ impl SectionKind {
             6 => SectionKind::PeelOrder,
             7 => SectionKind::Level,
             8 => SectionKind::Forest,
+            9 => SectionKind::SectionSums,
+            10 => SectionKind::ShardMeta,
+            11 => SectionKind::ShardIdMap,
             _ => return None,
         })
     }
@@ -91,6 +108,9 @@ impl SectionKind {
             SectionKind::PeelOrder => "peel-order",
             SectionKind::Level => "level",
             SectionKind::Forest => "forest",
+            SectionKind::SectionSums => "section-sums",
+            SectionKind::ShardMeta => "shard-meta",
+            SectionKind::ShardIdMap => "shard-id-map",
         }
     }
 }
@@ -155,6 +175,77 @@ pub fn checksum(payload_words: &[u64]) -> u64 {
         h = h.rotate_left(27).wrapping_mul(K);
     }
     h
+}
+
+/// Shard identity carried by a [`SectionKind::ShardMeta`] section: how
+/// one store file relates to the logical graph it partitions.
+///
+/// `group` and `k_lo` drive query routing in `ic-shard`: the shards of
+/// one *group* cover the same set of connected components at nested
+/// k-ranges, and exactly one shard per group — the one with the
+/// largest `k_lo ≤ k` — serves a query (skipped entirely when its
+/// `max_core < k`). `total_weight_bits` is the logical graph's total
+/// weight as exact f64 bits, so shard-local engines evaluate
+/// whole-graph aggregations (e.g. `2·w(H) − w(V)`) bit-identically to
+/// an unsharded engine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardMeta {
+    /// This shard's index in `0..num_shards`.
+    pub shard_index: u64,
+    /// Total number of shards in the topology.
+    pub num_shards: u64,
+    /// Routing group: all shards of a group cover the same components.
+    pub group: u64,
+    /// Smallest degree constraint this shard can serve (its vertices
+    /// are the group's vertices with core number `≥ k_lo`).
+    pub k_lo: u64,
+    /// Largest core number present in this shard.
+    pub max_core: u64,
+    /// The logical graph's total weight, as `f64::to_bits`.
+    pub total_weight_bits: u64,
+    /// Vertex count of the logical graph.
+    pub global_n: u64,
+    /// Edge count of the logical graph.
+    pub global_m: u64,
+}
+
+impl ShardMeta {
+    /// Number of u64 words in the encoded payload.
+    pub const WORDS: usize = 8;
+
+    /// The logical graph's total weight.
+    pub fn total_weight(&self) -> f64 {
+        f64::from_bits(self.total_weight_bits)
+    }
+
+    pub(crate) fn to_words(self) -> [u64; Self::WORDS] {
+        [
+            self.shard_index,
+            self.num_shards,
+            self.group,
+            self.k_lo,
+            self.max_core,
+            self.total_weight_bits,
+            self.global_n,
+            self.global_m,
+        ]
+    }
+
+    pub(crate) fn from_words(w: &[u64]) -> Option<ShardMeta> {
+        if w.len() != Self::WORDS {
+            return None;
+        }
+        Some(ShardMeta {
+            shard_index: w[0],
+            num_shards: w[1],
+            group: w[2],
+            k_lo: w[3],
+            max_core: w[4],
+            total_weight_bits: w[5],
+            global_n: w[6],
+            global_m: w[7],
+        })
+    }
 }
 
 /// Decoded header fields.

@@ -61,10 +61,11 @@
 pub mod cast;
 pub mod format;
 mod reader;
+pub mod shard;
 mod writer;
 
-pub use format::{Header, Section, SectionKind, FORMAT_VERSION};
-pub use reader::{load_graph, save_graph, StoreContents, StoreFile};
+pub use format::{Header, Section, SectionKind, ShardMeta, FORMAT_VERSION};
+pub use reader::{load_graph, save_graph, OpenOptions, ShardContents, StoreContents, StoreFile};
 pub use writer::StoreBuilder;
 
 /// Errors of the store layer. Every failure mode of opening, loading,

@@ -1,40 +1,147 @@
 //! Opening and loading `ICS1` store files.
 //!
-//! [`StoreFile::open`] pulls the whole file into one 8-byte-aligned
-//! buffer with a single read, then validates the envelope: magic,
-//! version gate, declared vs actual length, reserved fields, the
-//! payload checksum, and every section-table entry (alignment, bounds).
-//! After that, each section is *viewed* in place as its element type —
-//! zero-parse — and [`StoreFile::load`] materializes the owned runtime
-//! structures with bulk copies plus the structural validation each
-//! adopting type performs ([`Graph::from_csr_checked`],
-//! [`ExtremumIndex::from_parts`], …). Corruption at any layer returns a
-//! typed [`StoreError`]; nothing on this path panics or silently
-//! degrades.
+//! [`StoreFile::open`] reads the whole file into one 8-byte-aligned
+//! buffer; [`StoreFile::open_with`] can instead memory-map it
+//! ([`OpenOptions::map`]) so the graph arrays are *borrowed* from the
+//! page cache rather than copied. Either way the envelope is
+//! validated — magic, version gate, declared vs actual length,
+//! reserved fields, section-table bounds — and then integrity is
+//! checked by one of two policies:
+//!
+//! * **eager** (owned buffers, and mapped files without a
+//!   [`SectionKind::SectionSums`] section): the whole-payload checksum
+//!   is verified up front, exactly as before;
+//! * **lazy** (mapped files carrying section sums): the table hash is
+//!   verified up front — so kind/offset/len/count flips fail closed
+//!   before anything is read — and each section's hash is verified the
+//!   first time that section is viewed. Cold start then touches only
+//!   the sections a query path actually needs. The only bytes no lazy
+//!   check covers are the 8 header checksum bytes `[24..32)`, which
+//!   are pure redundancy in this mode.
+//!
+//! Sections are viewed in place as their element types — zero-parse —
+//! and the graph arrays are adopted as [`SharedSlice`]s that keep the
+//! backing buffer or mapping alive ([`Graph::from_csr_shared`],
+//! [`WeightedGraph::from_shared`]), so [`StoreFile::load`] performs no
+//! bulk copy of CSR offsets, targets, or weights. Corruption at any
+//! layer returns a typed [`StoreError`]; nothing on this path panics
+//! or silently degrades.
 
-use crate::cast::{f64s, u32s, u64s, AlignedBuf};
-use crate::format::{Header, Section, SectionKind, ENTRY_LEN, HEADER_LEN};
+use crate::cast::{f64s, u32s, u64s, usizes, AlignedBuf};
+use crate::format::{align8, Header, Section, SectionKind, ShardMeta, ENTRY_LEN, HEADER_LEN};
 use crate::StoreError;
 use ic_core::algo::ExtremumIndex;
 use ic_core::Extremum;
 use ic_graph::{BitSet, Graph, WeightedGraph};
 use ic_kcore::{CoreDecomposition, CoreLevel, GraphSnapshot};
+use ic_mem::{MapError, Mmap, SharedSlice};
 use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
-/// A validated, in-memory `ICS1` file: the envelope has been checked
-/// (including the checksum) and sections can be viewed zero-copy or
-/// materialized with [`StoreFile::load`].
+/// How to open a store file: retry policy for the cold-start read and
+/// whether to memory-map instead of copying into an owned buffer.
+#[derive(Clone, Debug)]
+pub struct OpenOptions {
+    /// Total attempts for transient I/O failures (minimum 1).
+    pub attempts: u32,
+    /// Base backoff before the second attempt; doubles per retry.
+    pub backoff: Duration,
+    /// Memory-map the file instead of reading it into an owned buffer.
+    /// Falls back to the owned read when the platform cannot map (or
+    /// the file is empty — which then fails header validation with the
+    /// same typed error either way).
+    pub map: bool,
+}
+
+impl Default for OpenOptions {
+    /// The retry policy `StoreFile::open` has always used: 3 attempts,
+    /// 1 ms base backoff, owned buffer.
+    fn default() -> Self {
+        OpenOptions {
+            attempts: 3,
+            backoff: Duration::from_millis(1),
+            map: false,
+        }
+    }
+}
+
+impl OpenOptions {
+    /// The default policy with memory-mapping enabled.
+    pub fn mapped() -> Self {
+        OpenOptions {
+            map: true,
+            ..OpenOptions::default()
+        }
+    }
+}
+
+/// The storage a validated store file serves from: an owned aligned
+/// buffer or a read-only file mapping. Both are `Arc`-shared so graph
+/// slices can borrow them beyond the `StoreFile`'s lifetime.
+enum Backing {
+    Owned(Arc<AlignedBuf>),
+    Mapped(Arc<Mmap>),
+}
+
+impl Backing {
+    fn bytes(&self) -> &[u8] {
+        match self {
+            Backing::Owned(buf) => buf.as_bytes(),
+            Backing::Mapped(map) => map.as_bytes(),
+        }
+    }
+
+    /// Projects `[lo..hi)` of the backing as a typed shared slice,
+    /// re-checking alignment/divisibility through the audited cast.
+    fn shared_view<T: Send + Sync + 'static>(
+        &self,
+        lo: usize,
+        hi: usize,
+        cast: fn(&[u8]) -> Option<&[T]>,
+    ) -> Option<SharedSlice<T>> {
+        cast(&self.bytes()[lo..hi])?;
+        Some(match self {
+            Backing::Owned(buf) => SharedSlice::project_arc(Arc::clone(buf), move |b| {
+                cast(&b.as_bytes()[lo..hi]).expect("validated just above")
+            }),
+            Backing::Mapped(map) => SharedSlice::project_arc(Arc::clone(map), move |m| {
+                cast(&m.as_bytes()[lo..hi]).expect("validated just above")
+            }),
+        })
+    }
+}
+
+/// Which integrity policy the open chose (see the module docs).
+enum VerifyState {
+    /// Whole-payload checksum verified at open.
+    Eager,
+    /// Per-section sums: section `i` is verified against `hashes[i]`
+    /// on first view. `sums_index` is the sums section itself (its
+    /// slot is zero by construction and never compared).
+    Lazy {
+        hashes: Vec<u64>,
+        verified: Vec<AtomicBool>,
+        sums_index: usize,
+    },
+}
+
+/// A validated `ICS1` file: the envelope has been checked and sections
+/// can be viewed zero-copy or materialized with [`StoreFile::load`].
 pub struct StoreFile {
-    buf: AlignedBuf,
+    backing: Backing,
     header: Header,
     sections: Vec<Section>,
+    verify: VerifyState,
 }
 
 impl std::fmt::Debug for StoreFile {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("StoreFile")
-            .field("bytes", &self.buf.len())
+            .field("bytes", &self.backing.bytes().len())
+            .field("backing", &self.backing_kind())
+            .field("lazy", &self.is_lazy_verified())
             .field("header", &self.header)
             .field("sections", &self.sections.len())
             .finish()
@@ -45,7 +152,8 @@ impl std::fmt::Debug for StoreFile {
 /// [`Engine::open`](../../ic_engine/struct.Engine.html#method.open)
 /// warm-starts from.
 pub struct StoreContents {
-    /// The persisted weighted graph.
+    /// The persisted weighted graph (its CSR arrays and weights borrow
+    /// the store's buffer or mapping zero-copy).
     pub weighted: WeightedGraph,
     /// The persisted core decomposition, when the store carries one.
     pub decomposition: Option<CoreDecomposition>,
@@ -53,6 +161,17 @@ pub struct StoreContents {
     pub levels: Vec<CoreLevel>,
     /// Persisted extremum community forests.
     pub forests: Vec<ExtremumIndex>,
+    /// Shard identity, when this store is one partition of a larger
+    /// logical graph.
+    pub shard: Option<ShardContents>,
+}
+
+/// The shard-specific sections of a store, materialized.
+pub struct ShardContents {
+    /// Routing identity and the logical graph's totals.
+    pub meta: ShardMeta,
+    /// Local→global vertex id map (strictly increasing, length `n`).
+    pub id_map: SharedSlice<u32>,
 }
 
 impl StoreContents {
@@ -91,21 +210,28 @@ fn is_transient(kind: std::io::ErrorKind) -> bool {
 }
 
 impl StoreFile {
-    /// Opens and validates a store file (one read, then envelope +
-    /// checksum verification).
-    ///
-    /// Transient I/O failures (interrupted / would-block / timed-out
-    /// reads) are retried up to two more times with a short backoff;
-    /// persistent I/O errors and corruption are returned typed on the
-    /// first observation.
+    /// Opens and validates a store file with the default policy: one
+    /// owned read, eager checksum verification, and up to two retries
+    /// with a short backoff on transient I/O failures (interrupted /
+    /// would-block / timed-out). Persistent I/O errors and corruption
+    /// are returned typed on the first observation.
     pub fn open<P: AsRef<Path>>(path: P) -> Result<StoreFile, StoreError> {
-        const ATTEMPTS: u32 = 3;
+        Self::open_with(path, &OpenOptions::default())
+    }
+
+    /// [`open`](Self::open) with an explicit retry policy and backing
+    /// choice. This is what `Engine::open_with_options` forwards to.
+    pub fn open_with<P: AsRef<Path>>(
+        path: P,
+        options: &OpenOptions,
+    ) -> Result<StoreFile, StoreError> {
         let path = path.as_ref();
+        let attempts = options.attempts.max(1);
         let mut attempt = 0u32;
         loop {
-            match Self::open_once(path) {
-                Err(StoreError::Io(e)) if is_transient(e.kind()) && attempt + 1 < ATTEMPTS => {
-                    std::thread::sleep(std::time::Duration::from_millis(1 << attempt));
+            match Self::open_once(path, options.map) {
+                Err(StoreError::Io(e)) if is_transient(e.kind()) && attempt + 1 < attempts => {
+                    std::thread::sleep(options.backoff.saturating_mul(1 << attempt.min(16)));
                     attempt += 1;
                 }
                 other => return other,
@@ -113,26 +239,41 @@ impl StoreFile {
         }
     }
 
-    fn open_once(path: &Path) -> Result<StoreFile, StoreError> {
+    fn open_once(path: &Path, map: bool) -> Result<StoreFile, StoreError> {
         ic_fail::fail_point!("store::read_io", |p: String| Err(StoreError::Io(
             std::io::Error::new(std::io::ErrorKind::TimedOut, p)
         )));
         let mut file = std::fs::File::open(path)?;
+        if map {
+            match Mmap::map_readonly(&file) {
+                Ok(mapping) => {
+                    return Self::validate(Backing::Mapped(Arc::new(mapping)), true);
+                }
+                // Empty or unmappable files fall back to the owned
+                // read below (an empty file then fails the header
+                // check with the same typed error either way).
+                Err(MapError::Empty) | Err(MapError::Unsupported) => {}
+                Err(MapError::Io(e)) => return Err(StoreError::Io(e)),
+            }
+        }
         let len = file.metadata()?.len();
         let len = usize::try_from(len)
             .map_err(|_| StoreError::corrupt("file too large for this address space"))?;
         let buf = AlignedBuf::read_exact_from(&mut file, len)?;
-        Self::from_buf(buf)
+        Self::validate(Backing::Owned(Arc::new(buf)), false)
     }
 
     /// Validates an in-memory store image (copies into an aligned
     /// buffer). Used by tests and network/byte-slice callers.
     pub fn from_bytes(bytes: &[u8]) -> Result<StoreFile, StoreError> {
-        Self::from_buf(AlignedBuf::from_bytes(bytes))
+        Self::validate(
+            Backing::Owned(Arc::new(AlignedBuf::from_bytes(bytes))),
+            false,
+        )
     }
 
-    fn from_buf(buf: AlignedBuf) -> Result<StoreFile, StoreError> {
-        let bytes = buf.as_bytes();
+    fn validate(backing: Backing, lazy: bool) -> Result<StoreFile, StoreError> {
+        let bytes = backing.bytes();
         let header = Header::decode(bytes)?;
         if header.total_len != bytes.len() as u64 {
             return Err(StoreError::corrupt(format!(
@@ -143,14 +284,6 @@ impl StoreFile {
         }
         if !bytes.len().is_multiple_of(8) {
             return Err(StoreError::corrupt("file length is not 8-aligned"));
-        }
-        let payload = u64s(&bytes[HEADER_LEN..]).expect("aligned buffer, aligned header length");
-        let actual = crate::format::checksum(payload);
-        if actual != header.checksum {
-            return Err(StoreError::corrupt(format!(
-                "checksum mismatch: header says {:#018x}, payload hashes to {actual:#018x}",
-                header.checksum
-            )));
         }
         let count = header.section_count as usize;
         let table_end = HEADER_LEN + count * ENTRY_LEN;
@@ -181,11 +314,89 @@ impl StoreFile {
             }
             sections.push(s);
         }
+
+        let verify = match Self::lazy_state(bytes, &sections, table_end, lazy)? {
+            Some(state) => state,
+            None => {
+                // Eager: verify the whole payload now (the mapped
+                // fallback pages the entire file in once — correctness
+                // over cold-start speed when sums are absent).
+                let payload =
+                    u64s(&bytes[HEADER_LEN..]).expect("aligned backing, aligned header length");
+                let actual = crate::format::checksum(payload);
+                if actual != header.checksum {
+                    return Err(StoreError::corrupt(format!(
+                        "checksum mismatch: header says {:#018x}, payload hashes to {actual:#018x}",
+                        header.checksum
+                    )));
+                }
+                VerifyState::Eager
+            }
+        };
+
         Ok(StoreFile {
-            buf,
+            backing,
             header,
             sections,
+            verify,
         })
+    }
+
+    /// Builds the lazy verification state when requested and possible:
+    /// requires a unique, well-formed sums section whose table hash
+    /// matches the table bytes. Returns `Ok(None)` to fall back to
+    /// eager verification (no sums section, or `lazy` not requested);
+    /// a *malformed or mismatching* sums section is corruption.
+    fn lazy_state(
+        bytes: &[u8],
+        sections: &[Section],
+        table_end: usize,
+        lazy: bool,
+    ) -> Result<Option<VerifyState>, StoreError> {
+        if !lazy {
+            return Ok(None);
+        }
+        let mut sums_index = None;
+        for (i, s) in sections.iter().enumerate() {
+            if s.known_kind() == Some(SectionKind::SectionSums) {
+                if sums_index.is_some() {
+                    return Err(StoreError::corrupt("duplicate section-sums section"));
+                }
+                sums_index = Some(i);
+            }
+        }
+        let Some(sums_index) = sums_index else {
+            return Ok(None);
+        };
+        let s = &sections[sums_index];
+        let expect_len = (sections.len() + 1) * 8;
+        if s.len as usize != expect_len {
+            return Err(StoreError::corrupt(format!(
+                "section-sums holds {} bytes, expected {expect_len} for {} sections",
+                s.len,
+                sections.len()
+            )));
+        }
+        let lo = s.offset as usize;
+        let words = u64s(&bytes[lo..lo + expect_len]).expect("8-aligned section");
+        let table_hash = {
+            let table = u64s(&bytes[HEADER_LEN..table_end]).expect("8-aligned table");
+            crate::format::checksum(table)
+        };
+        if words[0] != table_hash {
+            return Err(StoreError::corrupt(
+                "section table disagrees with its integrity hash",
+            ));
+        }
+        let hashes = words[1..].to_vec();
+        let verified = (0..sections.len())
+            .map(|_| AtomicBool::new(false))
+            .collect();
+        Ok(Some(VerifyState::Lazy {
+            hashes,
+            verified,
+            sums_index,
+        }))
     }
 
     /// The validated header.
@@ -201,16 +412,67 @@ impl StoreFile {
 
     /// Total file size in bytes.
     pub fn file_len(&self) -> usize {
-        self.buf.len()
+        self.backing.bytes().len()
     }
 
-    fn section_bytes(&self, s: &Section) -> &[u8] {
-        &self.buf.as_bytes()[s.offset as usize..(s.offset + s.len) as usize]
+    /// `"mapped"` when serving from a file mapping, `"owned"` from a
+    /// copied buffer.
+    pub fn backing_kind(&self) -> &'static str {
+        match self.backing {
+            Backing::Owned(_) => "owned",
+            Backing::Mapped(_) => "mapped",
+        }
     }
 
-    fn find_unique(&self, kind: SectionKind) -> Result<Option<&Section>, StoreError> {
+    /// Whether integrity is verified lazily per section (mapped open
+    /// of a store carrying section sums) rather than eagerly over the
+    /// whole payload.
+    pub fn is_lazy_verified(&self) -> bool {
+        matches!(self.verify, VerifyState::Lazy { .. })
+    }
+
+    /// Whether the file carries a per-section integrity sums section
+    /// (written by this version's builder; enables lazy mapped opens).
+    pub fn has_section_sums(&self) -> bool {
+        self.sections
+            .iter()
+            .any(|s| s.known_kind() == Some(SectionKind::SectionSums))
+    }
+
+    /// The section's payload bytes, integrity-checked first when in
+    /// lazy mode (first view verifies the section's hash; races just
+    /// re-verify idempotently).
+    fn section_bytes_at(&self, i: usize) -> Result<&[u8], StoreError> {
+        let s = &self.sections[i];
+        let bytes = self.backing.bytes();
+        if let VerifyState::Lazy {
+            hashes,
+            verified,
+            sums_index,
+        } = &self.verify
+        {
+            if i != *sums_index && !verified[i].load(Ordering::Acquire) {
+                let lo = s.offset as usize;
+                let hi = align8(lo + s.len as usize);
+                let words = u64s(&bytes[lo..hi]).expect("8-aligned padded extent");
+                let actual = crate::format::checksum(words);
+                if actual != hashes[i] {
+                    return Err(StoreError::corrupt(format!(
+                        "{} section failed its integrity hash \
+                         (expected {:#018x}, got {actual:#018x})",
+                        s.known_kind().map_or("unknown", |k| k.name()),
+                        hashes[i]
+                    )));
+                }
+                verified[i].store(true, Ordering::Release);
+            }
+        }
+        Ok(&bytes[s.offset as usize..(s.offset + s.len) as usize])
+    }
+
+    fn find_unique(&self, kind: SectionKind) -> Result<Option<usize>, StoreError> {
         let mut found = None;
-        for s in &self.sections {
+        for (i, s) in self.sections.iter().enumerate() {
             if s.known_kind() == Some(kind) {
                 if found.is_some() {
                     return Err(StoreError::corrupt(format!(
@@ -218,45 +480,122 @@ impl StoreFile {
                         kind.name()
                     )));
                 }
-                found = Some(s);
+                found = Some(i);
             }
         }
         Ok(found)
     }
 
-    fn require(&self, kind: SectionKind) -> Result<&Section, StoreError> {
+    fn require(&self, kind: SectionKind) -> Result<usize, StoreError> {
         self.find_unique(kind)?
             .ok_or(StoreError::Missing { what: kind.name() })
     }
 
-    fn view_u32(&self, s: &Section, what: &str) -> Result<&[u32], StoreError> {
-        u32s(self.section_bytes(s))
+    fn view_u32(&self, i: usize, what: &str) -> Result<&[u32], StoreError> {
+        u32s(self.section_bytes_at(i)?)
             .ok_or_else(|| StoreError::corrupt(format!("{what} section is not a u32 array")))
+    }
+
+    /// The section viewed as a typed [`SharedSlice`] borrowing the
+    /// store's backing (verified first in lazy mode).
+    fn shared_section<T: Send + Sync + 'static>(
+        &self,
+        i: usize,
+        cast: fn(&[u8]) -> Option<&[T]>,
+        what: &str,
+    ) -> Result<SharedSlice<T>, StoreError> {
+        self.section_bytes_at(i)?;
+        let s = &self.sections[i];
+        let lo = s.offset as usize;
+        self.backing
+            .shared_view(lo, lo + s.len as usize, cast)
+            .ok_or_else(|| {
+                StoreError::corrupt(format!("{what} section is not a typed array of that width"))
+            })
     }
 
     /// Declared `(n, m)` of the persisted graph.
     pub fn graph_meta(&self) -> Result<(usize, usize), StoreError> {
-        let s = self.require(SectionKind::GraphMeta)?;
-        let words = u64s(self.section_bytes(s))
+        let i = self.require(SectionKind::GraphMeta)?;
+        let words = u64s(self.section_bytes_at(i)?)
             .filter(|w| w.len() == 2)
             .ok_or_else(|| StoreError::corrupt("graph-meta section is not two u64s"))?;
         Ok((words[0] as usize, words[1] as usize))
     }
 
-    /// Materializes the persisted weighted graph (bulk copies + full
-    /// CSR and weight validation).
+    /// Shard identity, if this store is a shard of a logical graph.
+    pub fn shard_meta(&self) -> Result<Option<ShardMeta>, StoreError> {
+        let Some(i) = self.find_unique(SectionKind::ShardMeta)? else {
+            return Ok(None);
+        };
+        let words = u64s(self.section_bytes_at(i)?)
+            .filter(|w| w.len() == ShardMeta::WORDS)
+            .ok_or_else(|| {
+                StoreError::corrupt(format!(
+                    "shard-meta section is not {} u64s",
+                    ShardMeta::WORDS
+                ))
+            })?;
+        let meta = ShardMeta::from_words(words).expect("length checked");
+        if !meta.total_weight().is_finite() || meta.total_weight() < 0.0 {
+            return Err(StoreError::corrupt(
+                "shard-meta total weight is not a finite non-negative value",
+            ));
+        }
+        if meta.num_shards == 0 || meta.shard_index >= meta.num_shards {
+            return Err(StoreError::corrupt(format!(
+                "shard-meta index {} out of range for {} shards",
+                meta.shard_index, meta.num_shards
+            )));
+        }
+        Ok(Some(meta))
+    }
+
+    /// The shard's local→global vertex id map, if present (validated
+    /// strictly increasing and matching the vertex count).
+    pub fn shard_id_map(&self) -> Result<Option<SharedSlice<u32>>, StoreError> {
+        let Some(i) = self.find_unique(SectionKind::ShardIdMap)? else {
+            return Ok(None);
+        };
+        let (n, _) = self.graph_meta()?;
+        let map = self.shared_section::<u32>(i, u32s, "shard-id-map")?;
+        if map.len() != n {
+            return Err(StoreError::corrupt(format!(
+                "shard-id-map has {} entries, expected n = {n}",
+                map.len()
+            )));
+        }
+        if map.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(StoreError::corrupt(
+                "shard-id-map is not strictly increasing",
+            ));
+        }
+        Ok(Some(map))
+    }
+
+    /// Materializes the persisted weighted graph. The CSR arrays and
+    /// weights *borrow* the store's buffer or mapping ([`SharedSlice`]
+    /// adoption — no bulk copy); full structural validation still runs.
+    /// A shard store's graph reports the logical graph's total weight.
     pub fn graph(&self) -> Result<WeightedGraph, StoreError> {
         let (n, m) = self.graph_meta()?;
-        let offsets_raw = u64s(self.section_bytes(self.require(SectionKind::GraphOffsets)?))
-            .ok_or_else(|| StoreError::corrupt("graph-offsets section is not a u64 array"))?;
-        if offsets_raw.len() != n + 1 {
+        let offsets = self.shared_section::<usize>(
+            self.require(SectionKind::GraphOffsets)?,
+            usizes,
+            "graph-offsets",
+        )?;
+        if offsets.len() != n + 1 {
             return Err(StoreError::corrupt(format!(
                 "graph-offsets has {} entries, expected n + 1 = {}",
-                offsets_raw.len(),
+                offsets.len(),
                 n + 1
             )));
         }
-        let targets = self.view_u32(self.require(SectionKind::GraphTargets)?, "graph-targets")?;
+        let targets = self.shared_section::<u32>(
+            self.require(SectionKind::GraphTargets)?,
+            u32s,
+            "graph-targets",
+        )?;
         if targets.len() != 2 * m {
             return Err(StoreError::corrupt(format!(
                 "graph-targets has {} entries, expected 2m = {}",
@@ -264,17 +603,20 @@ impl StoreFile {
                 2 * m
             )));
         }
-        let offsets: Vec<usize> = offsets_raw.iter().map(|&o| o as usize).collect();
-        let graph = Graph::from_csr_checked(offsets, targets.to_vec())?;
-        let weights = f64s(self.section_bytes(self.require(SectionKind::Weights)?))
-            .ok_or_else(|| StoreError::corrupt("weights section is not an f64 array"))?;
+        let graph = Graph::from_csr_shared(offsets, targets)?;
+        let weights =
+            self.shared_section::<f64>(self.require(SectionKind::Weights)?, f64s, "weights")?;
         if weights.len() != n {
             return Err(StoreError::corrupt(format!(
                 "weights section has {} entries, expected n = {n}",
                 weights.len()
             )));
         }
-        Ok(WeightedGraph::new(graph, weights.to_vec())?)
+        let wg = WeightedGraph::from_shared(graph, weights)?;
+        match self.shard_meta()? {
+            Some(meta) => Ok(wg.with_total_weight(meta.total_weight())?),
+            None => Ok(wg),
+        }
     }
 
     /// Materializes the persisted core decomposition, if present.
@@ -311,11 +653,11 @@ impl StoreFile {
     /// vertex count (cross-checked against each mask).
     pub fn levels(&self, n: usize) -> Result<Vec<CoreLevel>, StoreError> {
         let mut out = Vec::new();
-        for s in &self.sections {
+        for (i, s) in self.sections.iter().enumerate() {
             if s.known_kind() != Some(SectionKind::Level) {
                 continue;
             }
-            let bytes = self.section_bytes(s);
+            let bytes = self.section_bytes_at(i)?;
             let head = u64s(bytes.get(..24).unwrap_or_default())
                 .filter(|w| w.len() == 3)
                 .ok_or_else(|| StoreError::corrupt("level section header truncated"))?;
@@ -395,11 +737,11 @@ impl StoreFile {
     /// count (cross-checked).
     pub fn forests(&self, n: usize) -> Result<Vec<ExtremumIndex>, StoreError> {
         let mut out = Vec::new();
-        for s in &self.sections {
+        for (i, s) in self.sections.iter().enumerate() {
             if s.known_kind() != Some(SectionKind::Forest) {
                 continue;
             }
-            let bytes = self.section_bytes(s);
+            let bytes = self.section_bytes_at(i)?;
             let head = u64s(bytes.get(..32).unwrap_or_default())
                 .filter(|w| w.len() == 4)
                 .ok_or_else(|| StoreError::corrupt("forest section header truncated"))?;
@@ -490,10 +832,20 @@ impl StoreFile {
     pub fn load(&self) -> Result<StoreContents, StoreError> {
         let weighted = self.graph()?;
         let n = weighted.num_vertices();
+        let shard = match (self.shard_meta()?, self.shard_id_map()?) {
+            (Some(meta), Some(id_map)) => Some(ShardContents { meta, id_map }),
+            (None, None) => None,
+            _ => {
+                return Err(StoreError::corrupt(
+                    "shard-meta and shard-id-map sections must appear together",
+                ))
+            }
+        };
         Ok(StoreContents {
             decomposition: self.decomposition(n)?,
             levels: self.levels(n)?,
             forests: self.forests(n)?,
+            shard,
             weighted,
         })
     }

@@ -32,7 +32,9 @@
 //! ```
 
 use crate::cast::{bytes_of_f64s, bytes_of_u32s, bytes_of_u64s, AlignedBuf};
-use crate::format::{align8, Header, Section, SectionKind, ENTRY_LEN, FORMAT_VERSION, HEADER_LEN};
+use crate::format::{
+    align8, Header, Section, SectionKind, ShardMeta, ENTRY_LEN, FORMAT_VERSION, HEADER_LEN,
+};
 use crate::StoreError;
 use ic_core::algo::IndexParts;
 use ic_core::Extremum;
@@ -55,6 +57,7 @@ pub struct StoreBuilder<'a> {
     decomp: Option<&'a CoreDecomposition>,
     levels: Vec<&'a CoreLevel>,
     forests: Vec<IndexParts<'a>>,
+    shard: Option<(ShardMeta, &'a [u32])>,
 }
 
 impl<'a> StoreBuilder<'a> {
@@ -66,7 +69,18 @@ impl<'a> StoreBuilder<'a> {
             decomp: None,
             levels: Vec::new(),
             forests: Vec::new(),
+            shard: None,
         }
+    }
+
+    /// Marks this store as one shard of a larger logical graph:
+    /// persists the shard identity (routing keys + the logical total
+    /// weight) and the local→global vertex id map (`id_map[v]` is the
+    /// logical id of local vertex `v`; must be strictly increasing and
+    /// exactly `n` long).
+    pub fn shard(&mut self, meta: ShardMeta, id_map: &'a [u32]) -> &mut Self {
+        self.shard = Some((meta, id_map));
+        self
     }
 
     /// Persists the core decomposition (core numbers + peel order), so
@@ -212,6 +226,44 @@ impl<'a> StoreBuilder<'a> {
             ));
         }
 
+        if let Some((meta, id_map)) = &self.shard {
+            if id_map.len() != n {
+                return Err(StoreError::corrupt(
+                    "shard id map length disagrees with the vertex count",
+                ));
+            }
+            if id_map.windows(2).any(|w| w[0] >= w[1]) {
+                return Err(StoreError::corrupt(
+                    "shard id map is not strictly increasing",
+                ));
+            }
+            payloads.push((
+                SectionKind::ShardMeta as u16,
+                0,
+                0,
+                bytes_of_u64s(&meta.to_words()).to_vec(),
+            ));
+            payloads.push((
+                SectionKind::ShardIdMap as u16,
+                0,
+                0,
+                bytes_of_u32s(id_map).to_vec(),
+            ));
+        }
+
+        // Per-section integrity sums, always written last so a mapped
+        // open can verify lazily (see `SectionKind::SectionSums`). The
+        // payload is a placeholder here — the real hashes are filled in
+        // after the final layout below, since they cover padded extents
+        // and the table itself.
+        let sums_words = payloads.len() + 2; // table hash + every entry incl. this one
+        payloads.push((
+            SectionKind::SectionSums as u16,
+            0,
+            0,
+            vec![0u8; sums_words * 8],
+        ));
+
         // Reject duplicate (kind, dir, k) identities up front.
         {
             let mut keys: Vec<(u16, u16, u32)> =
@@ -253,6 +305,39 @@ impl<'a> StoreBuilder<'a> {
                 bytes[lo..lo + body.len()].copy_from_slice(body);
             }
         }
+
+        // Fill the sums section: hash the table, then every other
+        // section's padded extent (the sums section's own slot stays
+        // zero — its integrity comes from the whole-payload checksum in
+        // eager mode, and any flip inside it trips a per-section
+        // mismatch in lazy mode).
+        let sums_index = sections.len() - 1;
+        let table_hash = {
+            let words = crate::cast::u64s(&buf.as_bytes()[HEADER_LEN..table_end])
+                .expect("8-aligned table (48 + 24·count)");
+            crate::format::checksum(words)
+        };
+        let mut hashes = vec![0u64; sections.len()];
+        for (i, s) in sections.iter().enumerate() {
+            if i == sums_index {
+                continue;
+            }
+            let lo = s.offset as usize;
+            let hi = align8(lo + s.len as usize);
+            let words =
+                crate::cast::u64s(&buf.as_bytes()[lo..hi]).expect("8-aligned padded extent");
+            hashes[i] = crate::format::checksum(words);
+        }
+        {
+            let sums_off = sections[sums_index].offset as usize;
+            let bytes = buf.as_bytes_mut();
+            bytes[sums_off..sums_off + 8].copy_from_slice(&table_hash.to_le_bytes());
+            for (i, h) in hashes.iter().enumerate() {
+                let lo = sums_off + 8 + i * 8;
+                bytes[lo..lo + 8].copy_from_slice(&h.to_le_bytes());
+            }
+        }
+
         let payload_words = crate::cast::u64s(&buf.as_bytes()[HEADER_LEN..])
             .expect("aligned buffer, 8-aligned total length");
         let checksum = crate::format::checksum(payload_words);
