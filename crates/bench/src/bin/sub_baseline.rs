@@ -1,0 +1,450 @@
+//! Machine-readable baseline for standing-query subscriptions: journal-
+//! pruned incremental maintenance (`ic_sub::SubscriptionManager`) vs.
+//! the strawman that re-solves every subscription on every update.
+//!
+//! One deterministic dataset analog is built twice. The incremental
+//! side registers N standing queries and drives a remove/insert update
+//! script through `SubscriptionManager::apply` — cascade-journal
+//! pruning skips provably-unaffected subscriptions and the extremum
+//! index repairs in place. The strawman side applies the same script
+//! to its own engine and re-runs all N queries after every batch,
+//! diffing answers by hand. Before any number is reported, the final
+//! answers of both sides are asserted bit-identical — a fast
+//! notification pipeline that drifts from the re-solve oracle would be
+//! worthless.
+//!
+//! Measured per subscription count: per-update latency (p50/mean —
+//! for the incremental side this *is* notification latency, since
+//! `apply` returns with every notification materialized), update
+//! throughput, and the journal's skip rate.
+//!
+//! ```text
+//! cargo run -p ic-bench --release --bin sub_baseline -- \
+//!     --dataset email --sub-counts 1,8,64 --updates 32 \
+//!     --out BENCH_sub.json --assert-incremental-wins
+//! ```
+//!
+//! `--assert-incremental-wins` gates (for the largest subscription
+//! count) incremental update throughput strictly beating the
+//! re-solve-everything strawman.
+
+use ic_core::{Aggregation, Community, Query};
+use ic_engine::{EdgeUpdate, Engine};
+use ic_sub::SubscriptionManager;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+struct Config {
+    dataset: String,
+    sub_counts: Vec<usize>,
+    updates: usize,
+    batch: usize,
+    threads: usize,
+    out: String,
+    assert_incremental_wins: bool,
+}
+
+/// One side's timings over the whole script.
+struct Timings {
+    per_update_ms: Vec<f64>,
+    total_secs: f64,
+}
+
+impl Timings {
+    fn p50_ms(&self) -> f64 {
+        let mut sorted = self.per_update_ms.clone();
+        sorted.sort_by(f64::total_cmp);
+        sorted[sorted.len() / 2]
+    }
+    fn mean_ms(&self) -> f64 {
+        self.per_update_ms.iter().sum::<f64>() / self.per_update_ms.len().max(1) as f64
+    }
+    fn updates_per_sec(&self) -> f64 {
+        self.per_update_ms.len() as f64 / self.total_secs.max(1e-12)
+    }
+}
+
+struct CountNumbers {
+    subscriptions: usize,
+    incremental: Timings,
+    full: Timings,
+    skipped_total: u64,
+    refreshed_total: u64,
+    notifications_total: u64,
+}
+
+/// The standing-query mix: index-served extremal families across a
+/// small k/r grid, with a solver-served sum every fourth slot so the
+/// strawman is not paying only for cheap index lookups.
+fn subscription_mix(count: usize) -> Vec<Query> {
+    let ks = [3usize, 4, 5];
+    (0..count)
+        .map(|i| {
+            let k = ks[i % ks.len()];
+            let r = 1 + i % 8;
+            match i % 4 {
+                0 => Query::new(k, r, Aggregation::Min),
+                1 => Query::new(k, r, Aggregation::Max),
+                2 => Query::new(k, r, Aggregation::Min),
+                _ => Query::new(k, 1 + i % 3, Aggregation::Sum),
+            }
+        })
+        .collect()
+}
+
+/// A deterministic update script over the generated graph: chunks of
+/// existing edges, each removed by one batch and restored by the next,
+/// so every batch is live (the epoch advances) and the script can run
+/// arbitrarily long without degenerating the k-cores.
+///
+/// The edge mix models real evolving-graph churn: most batches touch
+/// only the **periphery** (both endpoints below the smallest
+/// subscribed `k`-core — the cascade journal proves every subscription
+/// unaffected and the refresh is skipped outright), while every
+/// `core_every`-th chunk deliberately cuts into the dense core so
+/// notifications actually flow and the incremental repair path is
+/// exercised, not just the prune.
+fn update_script(
+    engine: &Engine,
+    updates: usize,
+    batch: usize,
+    min_k: u32,
+    core_every: usize,
+) -> Vec<Vec<EdgeUpdate>> {
+    let snapshot = engine.snapshot();
+    let graph = snapshot.weighted().graph();
+    let cores = &snapshot.decomposition().core_numbers;
+    let mut periphery: Vec<(u32, u32)> = Vec::new();
+    let mut core: Vec<(u32, u32)> = Vec::new();
+    for (u, v) in graph.edges() {
+        if cores[u as usize] < min_k && cores[v as usize] < min_k {
+            periphery.push((u, v));
+        } else {
+            core.push((u, v));
+        }
+    }
+    let chunks = updates.div_ceil(2).max(1);
+    let mut script = Vec::with_capacity(updates);
+    let (mut pi, mut ci) = (0usize, 0usize);
+    for chunk in 0..chunks {
+        let from_core = core_every > 0 && chunk % core_every == core_every - 1;
+        let (pool, cursor) = if from_core {
+            (&core, &mut ci)
+        } else {
+            (&periphery, &mut pi)
+        };
+        if pool.is_empty() {
+            continue;
+        }
+        let slice: Vec<(u32, u32)> = (0..batch)
+            .map(|i| pool[(*cursor + i) % pool.len()])
+            .collect();
+        *cursor = (*cursor + batch) % pool.len();
+        script.push(
+            slice
+                .iter()
+                .map(|&(u, v)| EdgeUpdate::Remove { u, v })
+                .collect(),
+        );
+        script.push(
+            slice
+                .iter()
+                .map(|&(u, v)| EdgeUpdate::Insert { u, v })
+                .collect(),
+        );
+    }
+    script.truncate(updates);
+    script
+}
+
+/// The incremental side: one manager, journal pruning, index repair.
+/// Returns the timings, the manager's cumulative stats, and the final
+/// answer of every subscription (initial answer patched by the stream
+/// of notifications — i.e. what a real subscriber would hold).
+fn run_incremental(
+    wg: &ic_graph::WeightedGraph,
+    queries: &[Query],
+    script: &[Vec<EdgeUpdate>],
+    threads: usize,
+) -> (Timings, ic_sub::SubStats, Vec<Vec<Community>>) {
+    let engine = Arc::new(Engine::with_threads(wg.clone(), threads));
+    let manager = SubscriptionManager::new(engine);
+    let mut answers: BTreeMap<u64, Vec<Community>> = BTreeMap::new();
+    let mut order = Vec::with_capacity(queries.len());
+    for q in queries {
+        let sub = manager.subscribe(*q).expect("subscribe");
+        answers.insert(sub.id.0, sub.answer);
+        order.push(sub.id.0);
+    }
+    let mut per_update_ms = Vec::with_capacity(script.len());
+    let t_all = Instant::now();
+    for batch in script {
+        let t = Instant::now();
+        let report = manager.apply(batch).expect("apply");
+        per_update_ms.push(t.elapsed().as_secs_f64() * 1e3);
+        assert!(report.failed.is_empty(), "no refresh may fail");
+        for n in report.notifications {
+            // What a subscriber reconstructs from deltas must equal the
+            // full answer the notification carries.
+            let old = answers.get(&n.id.0).expect("known subscription");
+            assert_eq!(ic_sub::replay(old, &n.deltas), n.answer);
+            answers.insert(n.id.0, n.answer);
+        }
+    }
+    let total_secs = t_all.elapsed().as_secs_f64();
+    let finals = order
+        .iter()
+        .map(|id| answers.remove(id).expect("answer tracked"))
+        .collect();
+    (
+        Timings {
+            per_update_ms,
+            total_secs,
+        },
+        manager.stats(),
+        finals,
+    )
+}
+
+/// The strawman: no journal, no pruning, no repair — apply the batch,
+/// then re-solve every standing query and diff by hand.
+fn run_full_resolve(
+    wg: &ic_graph::WeightedGraph,
+    queries: &[Query],
+    script: &[Vec<EdgeUpdate>],
+    threads: usize,
+) -> (Timings, Vec<Vec<Community>>) {
+    let engine = Engine::with_threads(wg.clone(), threads);
+    let mut answers: Vec<Vec<Community>> = engine
+        .run_batch(queries)
+        .into_iter()
+        .map(|r| r.expect("initial answer"))
+        .collect();
+    let mut per_update_ms = Vec::with_capacity(script.len());
+    let t_all = Instant::now();
+    for batch in script {
+        let t = Instant::now();
+        engine.try_apply(batch).expect("apply");
+        let fresh: Vec<Vec<Community>> = engine
+            .run_batch(queries)
+            .into_iter()
+            .map(|r| r.expect("re-solved answer"))
+            .collect();
+        for (old, new) in answers.iter().zip(&fresh) {
+            // Materialize the deltas too: the strawman must do the same
+            // work a notification pipeline does, not just re-solve.
+            let _ = ic_sub::diff_answers(old, new);
+        }
+        answers = fresh;
+        per_update_ms.push(t.elapsed().as_secs_f64() * 1e3);
+    }
+    let total_secs = t_all.elapsed().as_secs_f64();
+    (
+        Timings {
+            per_update_ms,
+            total_secs,
+        },
+        answers,
+    )
+}
+
+fn measure(config: &Config) -> (usize, usize, Vec<CountNumbers>) {
+    let spec = ic_gen::datasets::by_name(ic_gen::datasets::Profile::Quick, &config.dataset)
+        .unwrap_or_else(|| panic!("unknown dataset {:?}", config.dataset));
+    let wg = spec.generate_weighted();
+    let (n, m) = (wg.num_vertices(), wg.num_edges());
+    eprintln!("[gen] {} analog: {n} vertices, {m} edges", config.dataset);
+
+    // Periphery churn is relative to the smallest k in
+    // `subscription_mix` (k = 3); every 4th chunk cuts into the core.
+    let script = {
+        let probe = Engine::with_threads(wg.clone(), config.threads);
+        update_script(&probe, config.updates, config.batch, 3, 4)
+    };
+    eprintln!(
+        "[script] {} update batches of <= {} edges",
+        script.len(),
+        config.batch
+    );
+
+    let mut per_count = Vec::new();
+    for &count in &config.sub_counts {
+        let queries = subscription_mix(count);
+        let (incremental, stats, inc_finals) =
+            run_incremental(&wg, &queries, &script, config.threads);
+        let (full, full_finals) = run_full_resolve(&wg, &queries, &script, config.threads);
+
+        // Identity gate before any number is reported: both sides must
+        // land on bit-identical answers for every subscription.
+        assert_eq!(inc_finals.len(), full_finals.len());
+        for (i, (inc, oracle)) in inc_finals.iter().zip(&full_finals).enumerate() {
+            assert_eq!(
+                inc, oracle,
+                "subscription {i} diverged from the re-solve oracle"
+            );
+        }
+
+        eprintln!(
+            "[subs={count}] incremental {:.1} upd/s (p50 {:.2}ms) vs full re-solve {:.1} upd/s \
+             (p50 {:.2}ms); journal skipped {}/{} refreshes",
+            incremental.updates_per_sec(),
+            incremental.p50_ms(),
+            full.updates_per_sec(),
+            full.p50_ms(),
+            stats.skipped_total,
+            stats.skipped_total + stats.refreshed_total,
+        );
+        per_count.push(CountNumbers {
+            subscriptions: count,
+            incremental,
+            full,
+            skipped_total: stats.skipped_total,
+            refreshed_total: stats.refreshed_total,
+            notifications_total: stats.notifications_total,
+        });
+    }
+    (n, m, per_count)
+}
+
+fn render(config: &Config, n: usize, m: usize, per_count: &[CountNumbers]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": \"ic-bench/sub-baseline/v1\",");
+    let _ = writeln!(
+        out,
+        "  \"pipeline\": \"dataset analog -> N standing queries -> remove/insert update script \
+         -> journal-pruned incremental maintenance vs re-solve-everything strawman, final \
+         answers asserted bit-identical\","
+    );
+    out.push_str("  \"dataset\": {\n");
+    let _ = writeln!(out, "    \"name\": \"{}\",", config.dataset);
+    let _ = writeln!(out, "    \"n\": {n},");
+    let _ = writeln!(out, "    \"m\": {m}");
+    out.push_str("  },\n");
+    let _ = writeln!(out, "  \"updates\": {},", config.updates);
+    let _ = writeln!(out, "  \"batch_edges\": {},", config.batch);
+    out.push_str("  \"by_subscriptions\": [\n");
+    for (i, x) in per_count.iter().enumerate() {
+        out.push_str("    {\n");
+        let _ = writeln!(out, "      \"subscriptions\": {},", x.subscriptions);
+        out.push_str("      \"incremental\": {\n");
+        let _ = writeln!(
+            out,
+            "        \"updates_per_sec\": {:.1},",
+            x.incremental.updates_per_sec()
+        );
+        let _ = writeln!(
+            out,
+            "        \"notify_p50_ms\": {:.3},",
+            x.incremental.p50_ms()
+        );
+        let _ = writeln!(
+            out,
+            "        \"notify_mean_ms\": {:.3}",
+            x.incremental.mean_ms()
+        );
+        out.push_str("      },\n");
+        out.push_str("      \"full_resolve\": {\n");
+        let _ = writeln!(
+            out,
+            "        \"updates_per_sec\": {:.1},",
+            x.full.updates_per_sec()
+        );
+        let _ = writeln!(out, "        \"notify_p50_ms\": {:.3},", x.full.p50_ms());
+        let _ = writeln!(out, "        \"notify_mean_ms\": {:.3}", x.full.mean_ms());
+        out.push_str("      },\n");
+        let _ = writeln!(
+            out,
+            "      \"speedup\": {:.2},",
+            x.incremental.updates_per_sec() / x.full.updates_per_sec().max(1e-12)
+        );
+        let _ = writeln!(out, "      \"journal_skipped\": {},", x.skipped_total);
+        let _ = writeln!(out, "      \"refreshed\": {},", x.refreshed_total);
+        let _ = writeln!(out, "      \"notifications\": {}", x.notifications_total);
+        out.push_str(if i + 1 == per_count.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut config = Config {
+        dataset: "email".to_string(),
+        sub_counts: vec![1, 8, 64],
+        updates: 32,
+        batch: 8,
+        threads: 2,
+        out: "BENCH_sub.json".to_string(),
+        assert_incremental_wins: false,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--dataset" => {
+                i += 1;
+                config.dataset = args[i].clone();
+            }
+            "--sub-counts" => {
+                i += 1;
+                config.sub_counts = args[i]
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("--sub-counts"))
+                    .collect();
+            }
+            "--updates" => {
+                i += 1;
+                config.updates = args[i].parse::<usize>().expect("--updates").max(2);
+            }
+            "--batch" => {
+                i += 1;
+                config.batch = args[i].parse::<usize>().expect("--batch").max(1);
+            }
+            "--threads" => {
+                i += 1;
+                config.threads = args[i].parse().expect("--threads");
+            }
+            "--out" => {
+                i += 1;
+                config.out = args[i].clone();
+            }
+            "--assert-incremental-wins" => config.assert_incremental_wins = true,
+            other => panic!("unknown flag {other}"),
+        }
+        i += 1;
+    }
+    assert!(
+        !config.sub_counts.is_empty(),
+        "--sub-counts must be nonempty"
+    );
+
+    let (n, m, per_count) = measure(&config);
+    if config.assert_incremental_wins {
+        let largest = per_count
+            .iter()
+            .max_by_key(|x| x.subscriptions)
+            .expect("at least one count");
+        assert!(
+            largest.incremental.updates_per_sec() > largest.full.updates_per_sec(),
+            "at {} subscriptions, incremental maintenance ({:.1} upd/s) must beat the \
+             re-solve-everything strawman ({:.1} upd/s)",
+            largest.subscriptions,
+            largest.incremental.updates_per_sec(),
+            largest.full.updates_per_sec(),
+        );
+        eprintln!(
+            "[gate] incremental wins at {} subscriptions ({:.2}x)",
+            largest.subscriptions,
+            largest.incremental.updates_per_sec() / largest.full.updates_per_sec().max(1e-12)
+        );
+    }
+    let json = render(&config, n, m, &per_count);
+    std::fs::write(&config.out, &json).expect("write bench json");
+    println!("wrote {}", config.out);
+}

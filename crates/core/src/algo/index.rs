@@ -325,6 +325,309 @@ impl ExtremumIndex {
         }
     }
 
+    /// Default ceiling on [`ExtremumIndex::repair`]'s re-peeled region,
+    /// as a fraction of the new k-core: past this the localized repair
+    /// stops paying off against a full rebuild and `repair` declines.
+    pub const REPAIR_REGION_LIMIT: f64 = 0.5;
+
+    /// Incrementally repairs this forest after a batch of edge updates,
+    /// re-peeling **only** the cascade's touched region and splicing the
+    /// result into the untouched remainder. Returns a forest
+    /// **bit-identical** to `ExtremumIndex::build(new_wg, k, extremum)`
+    /// (property-tested in `tests/store.rs`), or `None` when the repair
+    /// is not worthwhile or not provably sound:
+    ///
+    /// * the touched region spans more than `region_limit` of the new
+    ///   k-core (fall back to a full — typically lazy — rebuild);
+    /// * the inputs describe a different vertex set than this forest;
+    /// * a consistency probe fails (a `touched` set that under-reports
+    ///   the cascade would otherwise splice stale structure).
+    ///
+    /// `new_cores` are the post-update core numbers (the maintainer has
+    /// them incrementally); `touched` is the union of the cascade
+    /// journal's touched vertices over the applied updates
+    /// (`CascadeRecord::touched` — must cover every vertex whose core
+    /// number or incident edge set changed, which the journal
+    /// guarantees). Weights must be unchanged (the vertex set is fixed;
+    /// updates are edge-only).
+    ///
+    /// **Why splicing is sound.** Old forest components containing no
+    /// touched vertex keep their vertex set (no member crossed the
+    /// `core ≥ k` threshold — that would be a journaled delta), their
+    /// induced edges (a changed edge journals both endpoints), and hence
+    /// their connectivity and their entire peel-event subsequence: the
+    /// global peel visits vertices in `(weight, id)` order, and events
+    /// inside a component depend only on that component's structure and
+    /// the relative order of its own vertices. The re-peeled region is
+    /// the union of the *complete* new-graph components reachable from
+    /// any touched or dirty-component vertex, so everything outside it
+    /// is exactly such an untouched component. Merging the two event
+    /// lists by peel key reproduces the full rebuild's event sequence —
+    /// and therefore its node ids, ranks, and tie-breaks — exactly.
+    pub fn repair(
+        &self,
+        new_wg: &WeightedGraph,
+        new_cores: &[u32],
+        touched: &[VertexId],
+        region_limit: f64,
+    ) -> Option<ExtremumIndex> {
+        let n = self.num_vertices;
+        if new_wg.num_vertices() != n || new_cores.len() != n {
+            return None;
+        }
+        let g = new_wg.graph();
+        let k = self.k;
+        let in_new_core = |v: usize| new_cores[v] as usize >= k;
+        let nodes = self.values.len();
+
+        // Old component roots: `parent[i] < i` by construction (a parent
+        // event precedes its children in the reverse pass), so one
+        // ascending sweep resolves every node's root.
+        let mut comp_root = vec![0u32; nodes];
+        for i in 0..nodes {
+            comp_root[i] = if self.parent[i] == NONE {
+                i as u32
+            } else {
+                debug_assert!((self.parent[i] as usize) < i);
+                comp_root[self.parent[i] as usize]
+            };
+        }
+
+        // Dirty old components: any component holding a touched vertex
+        // must be re-peeled wholesale (a departed member re-shapes the
+        // peel of the survivors it left behind).
+        let mut dirty = vec![false; nodes];
+        for &v in touched {
+            if let Some(&node) = self.vertex_node.get(v as usize) {
+                if node != NONE {
+                    dirty[comp_root[node as usize] as usize] = true;
+                }
+            }
+        }
+
+        // Seed the region: survivors of dirty components plus touched
+        // vertices now inside the k-core (entrants), then grow to the
+        // complete new-graph components containing any seed.
+        let mut region_mask = ic_graph::BitSet::new(n);
+        let mut region: Vec<VertexId> = Vec::new();
+        let mut queue: std::collections::VecDeque<VertexId> = std::collections::VecDeque::new();
+        let seed = |v: VertexId,
+                    region_mask: &mut ic_graph::BitSet,
+                    region: &mut Vec<VertexId>,
+                    queue: &mut std::collections::VecDeque<VertexId>| {
+            if in_new_core(v as usize) && !region_mask.contains(v as usize) {
+                region_mask.insert(v as usize);
+                region.push(v);
+                queue.push_back(v);
+            }
+        };
+        for i in 0..nodes {
+            if dirty[comp_root[i] as usize] {
+                for &v in self.batch(i as u32) {
+                    seed(v, &mut region_mask, &mut region, &mut queue);
+                }
+            }
+        }
+        for &v in touched {
+            if (v as usize) < n {
+                seed(v, &mut region_mask, &mut region, &mut queue);
+            }
+        }
+        while let Some(v) = queue.pop_front() {
+            for &w in g.neighbors(v) {
+                if in_new_core(w as usize) && !region_mask.contains(w as usize) {
+                    region_mask.insert(w as usize);
+                    region.push(w);
+                    queue.push_back(w);
+                }
+            }
+        }
+
+        let core_size = (0..n).filter(|&v| in_new_core(v)).count();
+        if (region.len() as f64) > region_limit * core_size as f64 {
+            return None;
+        }
+
+        // Preserved components: untouched and disjoint from the region
+        // (all-or-nothing — an untouched component stays connected, so
+        // one member inside the region pulls the whole component in,
+        // testable at the root's event vertex).
+        let mut preserved = vec![false; nodes];
+        for (i, keep) in preserved.iter_mut().enumerate() {
+            let r = comp_root[i] as usize;
+            *keep = !dirty[r] && !region_mask.contains(self.event_vertex[r] as usize);
+        }
+        // Consistency probe: a preserved batch vertex must still be in
+        // the k-core and outside the region; otherwise `touched` did not
+        // cover the cascade and splicing would be unsound.
+        for i in preserved
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &keep)| keep.then_some(i))
+        {
+            for &v in self.batch(i as u32) {
+                if !in_new_core(v as usize) || region_mask.contains(v as usize) {
+                    debug_assert!(false, "repair fed an under-reporting touched set");
+                    return None;
+                }
+            }
+        }
+
+        // Re-peel the region in isolation: `build_from_core` peels the
+        // subgraph induced on its `order` argument, which is exactly the
+        // region's complete components.
+        let sub = Self::build_from_core(new_wg, k, self.extremum, region);
+
+        // Merge the preserved and re-peeled event lists by peel key.
+        // Both are already in key order (old seq order restricted to a
+        // subset, and the sub-build's own seq order), so a two-way merge
+        // reproduces the full rebuild's global event sequence.
+        let old_events: Vec<u32> = (0..nodes as u32)
+            .filter(|&i| preserved[i as usize])
+            .collect();
+        let sub_events: Vec<u32> = (0..sub.values.len() as u32).collect();
+        let key_less = |a: VertexId, b: VertexId| -> bool {
+            let (wa, wb) = (new_wg.weight(a), new_wg.weight(b));
+            let c = match self.extremum {
+                Extremum::Min => wa.total_cmp(&wb),
+                Extremum::Max => wb.total_cmp(&wa),
+            };
+            c.then_with(|| a.cmp(&b)) == std::cmp::Ordering::Less
+        };
+        let total = old_events.len() + sub_events.len();
+        // Per-source maps from source node id to merged node id.
+        let mut old_map = vec![NONE; nodes];
+        let mut sub_map = vec![NONE; sub.values.len()];
+        // Merged order as (source, source id): source 0 = preserved old,
+        // source 1 = sub.
+        let mut merged: Vec<(u8, u32)> = Vec::with_capacity(total);
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < old_events.len() || j < sub_events.len() {
+            let take_old = match (old_events.get(i), sub_events.get(j)) {
+                (Some(&a), Some(&b)) => {
+                    key_less(self.event_vertex[a as usize], sub.event_vertex[b as usize])
+                }
+                (Some(_), None) => true,
+                (None, _) => false,
+            };
+            if take_old {
+                old_map[old_events[i] as usize] = merged.len() as u32;
+                merged.push((0, old_events[i]));
+                i += 1;
+            } else {
+                sub_map[sub_events[j] as usize] = merged.len() as u32;
+                merged.push((1, sub_events[j]));
+                j += 1;
+            }
+        }
+
+        // Assemble the merged forest.
+        let mut values = Vec::with_capacity(total);
+        let mut event_vertex = Vec::with_capacity(total);
+        let mut parent = Vec::with_capacity(total);
+        let mut size = Vec::with_capacity(total);
+        let mut batch_offsets = Vec::with_capacity(total + 1);
+        let mut batch_vertices = Vec::new();
+        let mut child_offsets = Vec::with_capacity(total + 1);
+        let mut child_ids = Vec::new();
+        batch_offsets.push(0u32);
+        child_offsets.push(0u32);
+        for &(source, id) in &merged {
+            let (src, map): (&ExtremumIndex, &[u32]) = if source == 0 {
+                (self, &old_map)
+            } else {
+                (&sub, &sub_map)
+            };
+            values.push(src.values[id as usize]);
+            event_vertex.push(src.event_vertex[id as usize]);
+            let p = src.parent[id as usize];
+            parent.push(if p == NONE { NONE } else { map[p as usize] });
+            size.push(src.size[id as usize]);
+            batch_vertices.extend_from_slice(src.batch(id));
+            batch_offsets.push(batch_vertices.len() as u32);
+            for &c in src.children(id) {
+                child_ids.push(map[c as usize]);
+            }
+            child_offsets.push(child_ids.len() as u32);
+        }
+        let mut vertex_node = vec![NONE; n];
+        for (seq, &(source, id)) in merged.iter().enumerate() {
+            let src: &ExtremumIndex = if source == 0 { self } else { &sub };
+            for &v in src.batch(id) {
+                vertex_node[v as usize] = seq as u32;
+            }
+        }
+        // Rank order: both sources are sorted by (value desc, source seq
+        // asc) and the maps are monotone, so each remapped list is
+        // sorted by (value desc, merged seq asc) — merge them.
+        let mut ranked = Vec::with_capacity(total);
+        let old_ranked: Vec<u32> = self
+            .ranked
+            .iter()
+            .filter(|&&id| preserved[id as usize])
+            .map(|&id| old_map[id as usize])
+            .collect();
+        let sub_ranked: Vec<u32> = sub.ranked.iter().map(|&id| sub_map[id as usize]).collect();
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < old_ranked.len() || j < sub_ranked.len() {
+            let take_old = match (old_ranked.get(i), sub_ranked.get(j)) {
+                (Some(&a), Some(&b)) => match values[b as usize].total_cmp(&values[a as usize]) {
+                    std::cmp::Ordering::Greater => false,
+                    std::cmp::Ordering::Equal => a < b,
+                    std::cmp::Ordering::Less => true,
+                },
+                (Some(_), None) => true,
+                (None, _) => false,
+            };
+            if take_old {
+                ranked.push(old_ranked[i]);
+                i += 1;
+            } else {
+                ranked.push(sub_ranked[j]);
+                j += 1;
+            }
+        }
+
+        let repaired = ExtremumIndex {
+            k,
+            extremum: self.extremum,
+            num_vertices: n,
+            values,
+            event_vertex,
+            parent,
+            size,
+            batch_offsets,
+            batch_vertices,
+            child_offsets,
+            child_ids,
+            ranked,
+            vertex_node,
+        };
+        debug_assert!(
+            {
+                let p = repaired.parts();
+                ExtremumIndex::from_parts(
+                    p.k,
+                    p.extremum,
+                    p.num_vertices,
+                    p.values.to_vec(),
+                    p.event_vertex.to_vec(),
+                    p.parent.to_vec(),
+                    p.size.to_vec(),
+                    p.batch_offsets.to_vec(),
+                    p.batch_vertices.to_vec(),
+                    p.child_offsets.to_vec(),
+                    p.child_ids.to_vec(),
+                    p.ranked.to_vec(),
+                    p.vertex_node.to_vec(),
+                )
+                .is_ok()
+            },
+            "repaired forest failed structural validation"
+        );
+        Some(repaired)
+    }
+
     /// The degree constraint this forest was built for.
     pub fn k(&self) -> usize {
         self.k
@@ -814,6 +1117,57 @@ mod tests {
         assert!(rebuild(&|_, _, size| size[0] += 1).is_err());
         // Rank order violating (value desc, seq asc).
         assert!(rebuild(&|_, ranked, _| ranked.reverse()).is_err());
+    }
+
+    #[test]
+    fn repair_matches_full_rebuild_after_updates() {
+        use ic_kcore::{CoreMaintainer, EdgeUpdate};
+        let wg = figure1();
+        // One removed edge, one inserted edge (first absent pair found).
+        let (ru, rv) = wg.graph().edges().next().unwrap();
+        let (mut iu, mut iv) = (0u32, 0u32);
+        'outer: for u in 0..wg.num_vertices() as u32 {
+            for v in (u + 1)..wg.num_vertices() as u32 {
+                if !wg.graph().neighbors(u).contains(&v) {
+                    (iu, iv) = (u, v);
+                    break 'outer;
+                }
+            }
+        }
+        for extremum in [Extremum::Min, Extremum::Max] {
+            let idx = ExtremumIndex::build(&wg, 2, extremum);
+            let mut m = CoreMaintainer::from_graph(wg.graph());
+            let mut touched = Vec::new();
+            for update in [
+                EdgeUpdate::Remove { u: ru, v: rv },
+                EdgeUpdate::Insert { u: iu, v: iv },
+            ] {
+                touched.extend(m.apply_recorded(update).touched);
+            }
+            let new_wg = ic_graph::WeightedGraph::new(m.to_graph(), wg.weights().to_vec()).unwrap();
+            let repaired = idx
+                .repair(&new_wg, m.core_numbers(), &touched, 1.0)
+                .expect("limit 1.0 always repairs");
+            assert_eq!(repaired, ExtremumIndex::build(&new_wg, 2, extremum));
+        }
+    }
+
+    #[test]
+    fn repair_declines_oversized_regions_and_foreign_graphs() {
+        use ic_kcore::{CoreMaintainer, EdgeUpdate};
+        let wg = figure1();
+        let idx = ExtremumIndex::build(&wg, 2, Extremum::Min);
+        let (u, v) = wg.graph().edges().next().unwrap();
+        let mut m = CoreMaintainer::from_graph(wg.graph());
+        let touched = m.apply_recorded(EdgeUpdate::Remove { u, v }).touched;
+        let new_wg = ic_graph::WeightedGraph::new(m.to_graph(), wg.weights().to_vec()).unwrap();
+        // A zero limit refuses any non-empty region.
+        assert!(idx
+            .repair(&new_wg, m.core_numbers(), &touched, 0.0)
+            .is_none());
+        // A forest for a different vertex count is rejected outright.
+        let small = ic_graph::WeightedGraph::unit_weights(graph_from_edges(3, &[(0, 1), (1, 2)]));
+        assert!(idx.repair(&small, &[1, 1, 1], &touched, 1.0).is_none());
     }
 
     #[test]

@@ -89,6 +89,13 @@ pub enum EngineError {
         /// The panic payload, for diagnostics.
         detail: String,
     },
+    /// The backend does not support the requested operation (e.g. edge
+    /// updates against a scatter-gather shard front, or an update
+    /// addressing a vertex outside the graph).
+    Unsupported {
+        /// What was refused and why.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for EngineError {
@@ -100,6 +107,9 @@ impl std::fmt::Display for EngineError {
             }
             EngineError::Internal { detail } => {
                 write!(f, "internal solver failure (query isolated): {detail}")
+            }
+            EngineError::Unsupported { detail } => {
+                write!(f, "unsupported operation: {detail}")
             }
         }
     }

@@ -93,7 +93,7 @@ pub use stream::ResultStream;
 // keep every pre-existing `ic_engine::{Query, Constraint}` caller
 // compiling unchanged.
 pub use ic_core::{Constraint, Query, QueryBuilder, Solver};
-pub use ic_kcore::EdgeUpdate;
+pub use ic_kcore::{CascadeRecord, CoreDelta, EdgeUpdate, GraphSnapshot};
 pub use ic_store::StoreError;
 
 /// Anything that can serve a pinned batch of queries: the single-store
@@ -113,6 +113,20 @@ pub trait QueryBackend: Send + Sync {
         queries: &[Query],
         options: &BatchOptions,
     ) -> (Epoch, Vec<Result<QueryAnswer, EngineError>>);
+
+    /// Applies edge updates and returns the epoch serving afterwards.
+    ///
+    /// The default refuses with [`EngineError::Unsupported`]: a backend
+    /// must opt in to mutation. [`Engine`] overrides this with a
+    /// validated [`Engine::try_apply`]; scatter-gather fronts
+    /// (`ic-shard`) keep the refusal — their snapshots are immutable
+    /// mmap-backed store files.
+    fn apply_updates(&self, updates: &[EdgeUpdate]) -> Result<Epoch, EngineError> {
+        let _ = updates;
+        Err(EngineError::Unsupported {
+            detail: "this backend does not support edge updates".into(),
+        })
+    }
 }
 
 impl QueryBackend for Engine {
@@ -123,6 +137,35 @@ impl QueryBackend for Engine {
     ) -> (Epoch, Vec<Result<QueryAnswer, EngineError>>) {
         Engine::run_batch_pinned(self, queries, options)
     }
+
+    fn apply_updates(&self, updates: &[EdgeUpdate]) -> Result<Epoch, EngineError> {
+        self.try_apply(updates)
+    }
+}
+
+/// Everything [`Engine::apply_journaled`] learned while applying a
+/// batch of updates: the epoch now serving, the per-update cascade
+/// journal, and both snapshot handles. This is the contract the
+/// standing-query layer (`ic-sub`) consumes — the journal's
+/// [`CascadeRecord::affects_level`] decides which subscriptions are
+/// provably unaffected, and the snapshots let it diff old vs new
+/// answers without re-deriving state.
+#[derive(Clone)]
+pub struct ApplyOutcome {
+    /// The epoch serving after the apply (the pre-apply epoch when
+    /// nothing changed).
+    pub epoch: Epoch,
+    /// Whether any update changed the edge set.
+    pub changed: bool,
+    /// One cascade record per update, in input order. No-op updates
+    /// (duplicate inserts, absent removes) appear with
+    /// `applied == false` and empty touched/delta sets.
+    pub records: Vec<CascadeRecord>,
+    /// The snapshot that was serving before the apply.
+    pub old_snapshot: Arc<GraphSnapshot>,
+    /// The snapshot serving after the apply (the same handle as
+    /// [`old_snapshot`](Self::old_snapshot) when nothing changed).
+    pub new_snapshot: Arc<GraphSnapshot>,
 }
 
 /// How [`Engine::open_with_options`] opens a persisted store: worker
@@ -198,7 +241,7 @@ pub mod prelude {
 use cache::ResultCache;
 use ic_core::{Community, SearchError};
 use ic_graph::WeightedGraph;
-use ic_kcore::{ArenaPool, CoreMaintainer, GraphSnapshot};
+use ic_kcore::{ArenaPool, CoreMaintainer};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Mutex, RwLock};
 
@@ -439,7 +482,8 @@ impl Engine {
                 Ok(ans) => Ok(ans.communities),
                 Err(EngineError::Search(e)) => Err(e),
                 Err(EngineError::DeadlineExceeded) => Err(SearchError::DeadlineExceeded),
-                Err(EngineError::Internal { detail }) => Err(SearchError::Internal(detail)),
+                Err(EngineError::Internal { detail })
+                | Err(EngineError::Unsupported { detail }) => Err(SearchError::Internal(detail)),
             })
             .collect()
     }
@@ -592,12 +636,62 @@ impl Engine {
     /// `apply` reseeds the maintainer from the serving graph, discarding
     /// any half-applied update.
     pub fn apply(&self, updates: &[EdgeUpdate]) -> Epoch {
+        self.apply_journaled(updates).epoch
+    }
+
+    /// [`Engine::apply`] with a typed refusal instead of a panic: every
+    /// update's endpoints are validated against the serving vertex set
+    /// first, and an out-of-range id returns
+    /// [`EngineError::Unsupported`] with serving state untouched. This
+    /// is the entry point network layers use — a malformed client frame
+    /// must never take the engine down.
+    pub fn try_apply(&self, updates: &[EdgeUpdate]) -> Result<Epoch, EngineError> {
+        Ok(self.try_apply_journaled(updates)?.epoch)
+    }
+
+    /// [`Engine::apply_journaled`] behind the same endpoint validation
+    /// as [`Engine::try_apply`].
+    pub fn try_apply_journaled(&self, updates: &[EdgeUpdate]) -> Result<ApplyOutcome, EngineError> {
+        let n = self.snapshot().graph().num_vertices();
+        for update in updates {
+            let (u, v) = update.endpoints();
+            if u as usize >= n || v as usize >= n || u == v {
+                return Err(EngineError::Unsupported {
+                    detail: format!(
+                        "update ({u}, {v}) is invalid for a graph of {n} vertices \
+                         (endpoints must be distinct existing ids)"
+                    ),
+                });
+            }
+        }
+        Ok(self.apply_journaled(updates))
+    }
+
+    /// [`Engine::apply`], additionally returning the cascade journal and
+    /// both snapshot handles (see [`ApplyOutcome`]).
+    ///
+    /// Beyond journaling, this path *repairs* the old snapshot's
+    /// memoized [`ExtremumIndex`](ic_core::algo::ExtremumIndex) forests
+    /// into the new snapshot where the cascade's touched region is small
+    /// ([`ExtremumIndex::repair`](ic_core::algo::ExtremumIndex::repair)):
+    /// the repaired forest is bit-identical to a from-scratch rebuild,
+    /// so index-served `min`/`max` refreshes after an update stop paying
+    /// O(graph). Oversized regions fall back to the lazy rebuild, so the
+    /// staleness guarantee (never serve pre-update structure) holds
+    /// either way.
+    ///
+    /// # Panics
+    /// Same contract as [`Engine::apply`]: panics (atomically) when an
+    /// update addresses a vertex outside the graph. Use
+    /// [`Engine::try_apply_journaled`] for a typed refusal.
+    pub fn apply_journaled(&self, updates: &[EdgeUpdate]) -> ApplyOutcome {
         // Recover rather than propagate a poisoned mutex: the slot is
         // `Option<CoreMaintainer>` and an interrupted apply leaves it
         // `None` (see below), so the recovered value is always either
         // absent or fully consistent.
         let mut guard = self.maintainer.lock().unwrap_or_else(|e| e.into_inner());
         let (snapshot, _, epoch) = self.serving();
+        let old_snapshot = Arc::clone(&snapshot);
         // Take the maintainer *out* of the slot for the duration of the
         // build. If anything below panics, the slot stays `None` and the
         // next apply reseeds core numbers from the serving graph instead
@@ -606,12 +700,15 @@ impl Engine {
             .take()
             .unwrap_or_else(|| CoreMaintainer::from_graph(snapshot.graph()));
         let built = catch_unwind(AssertUnwindSafe(move || {
-            let mut changed = false;
+            let mut records = Vec::with_capacity(updates.len());
+            let mut touched: Vec<u32> = Vec::new();
             for &update in updates {
-                changed |= maintainer.apply(update);
+                let record = maintainer.apply_recorded(update);
+                touched.extend_from_slice(&record.touched);
+                records.push(record);
             }
-            if !changed {
-                return (maintainer, None);
+            if !records.iter().any(|r| r.applied) {
+                return (maintainer, records, None);
             }
             let graph = maintainer.to_graph();
             let weights = snapshot.weighted().weights().to_vec();
@@ -621,17 +718,42 @@ impl Engine {
                 Arc::new(wg),
                 maintainer.decomposition(),
             ));
+            // Carry the old snapshot's warm forests across the epoch by
+            // *repair*, not reuse: each repaired forest is bit-identical
+            // to a full rebuild on the new graph (held by unit and
+            // property tests), so seeding it is indistinguishable from
+            // the lazy rebuild it replaces — just cheaper.
+            touched.sort_unstable();
+            touched.dedup();
+            let new_cores = &new_snapshot.decomposition().core_numbers;
+            for index in ic_core::algo::ExtremumIndex::memoized(&snapshot) {
+                if let Some(repaired) = index.repair(
+                    new_snapshot.weighted(),
+                    new_cores,
+                    &touched,
+                    ic_core::algo::ExtremumIndex::REPAIR_REGION_LIMIT,
+                ) {
+                    ic_core::algo::ExtremumIndex::seed(&new_snapshot, repaired);
+                }
+            }
             ic_fail::fail_point!("engine::apply");
             let arenas = Arc::new(ArenaPool::for_graph(new_snapshot.graph()));
-            (maintainer, Some((new_snapshot, arenas)))
+            (maintainer, records, Some((new_snapshot, arenas)))
         }));
         match built {
-            Ok((maintainer, None)) => {
+            Ok((maintainer, records, None)) => {
                 *guard = Some(maintainer);
-                epoch
+                ApplyOutcome {
+                    epoch,
+                    changed: false,
+                    records,
+                    new_snapshot: Arc::clone(&old_snapshot),
+                    old_snapshot,
+                }
             }
-            Ok((maintainer, Some((snapshot, arenas)))) => {
+            Ok((maintainer, records, Some((snapshot, arenas)))) => {
                 *guard = Some(maintainer);
+                let new_snapshot = Arc::clone(&snapshot);
                 let mut serving = self.serving.write().unwrap_or_else(|e| e.into_inner());
                 // One whole-struct assignment: readers never observe a
                 // new snapshot with an old pool or epoch.
@@ -640,7 +762,13 @@ impl Engine {
                     arenas,
                     epoch: Epoch(serving.epoch.0 + 1),
                 };
-                serving.epoch
+                ApplyOutcome {
+                    epoch: serving.epoch,
+                    changed: true,
+                    records,
+                    old_snapshot,
+                    new_snapshot,
+                }
             }
             Err(payload) => std::panic::resume_unwind(payload),
         }
@@ -1165,6 +1293,88 @@ mod tests {
             EdgeUpdate::Remove { u: 0, v: 9 },
         ]);
         assert_eq!(e0, e1);
+    }
+
+    #[test]
+    fn apply_journaled_reports_the_cascade_and_both_snapshots() {
+        let eng = engine(2);
+        let outcome = eng.apply_journaled(&[
+            EdgeUpdate::Remove { u: 2, v: 8 },
+            EdgeUpdate::Remove { u: 2, v: 8 }, // now absent: a no-op
+        ]);
+        assert!(outcome.changed);
+        assert_eq!(outcome.epoch, eng.epoch());
+        assert_eq!(outcome.records.len(), 2);
+        assert!(outcome.records[0].applied);
+        assert!(!outcome.records[1].applied);
+        assert!(outcome.records[1].touched.is_empty());
+        assert!(!Arc::ptr_eq(&outcome.old_snapshot, &outcome.new_snapshot));
+        assert_eq!(
+            outcome.new_snapshot.graph().num_edges() + 1,
+            outcome.old_snapshot.graph().num_edges()
+        );
+
+        // A pure no-op batch reports unchanged and one shared snapshot.
+        let outcome = eng.apply_journaled(&[EdgeUpdate::Remove { u: 2, v: 8 }]);
+        assert!(!outcome.changed);
+        assert!(Arc::ptr_eq(&outcome.old_snapshot, &outcome.new_snapshot));
+    }
+
+    #[test]
+    fn try_apply_refuses_out_of_range_updates_atomically() {
+        let eng = engine(2);
+        let e0 = eng.epoch();
+        let err = eng
+            .try_apply(&[
+                EdgeUpdate::Remove { u: 0, v: 1 },
+                EdgeUpdate::Insert { u: 0, v: 999 },
+            ])
+            .expect_err("vertex 999 is out of range");
+        assert!(matches!(err, EngineError::Unsupported { .. }));
+        // Nothing applied: the valid leading update was not committed.
+        assert_eq!(eng.epoch(), e0);
+        assert!(eng.snapshot().graph().neighbors(0).contains(&1));
+        // Self-loops are refused too.
+        assert!(eng.try_apply(&[EdgeUpdate::Insert { u: 3, v: 3 }]).is_err());
+        // A valid batch still goes through the same entry point.
+        assert!(eng.try_apply(&[EdgeUpdate::Remove { u: 0, v: 1 }]).unwrap() > e0);
+    }
+
+    #[test]
+    fn apply_repairs_memoized_forests_into_the_new_snapshot() {
+        // 40 disjoint triangles: an edge update touches one or two of
+        // them, far below the repair region threshold.
+        let mut edges = Vec::new();
+        for t in 0..40u32 {
+            let b = 3 * t;
+            edges.extend([(b, b + 1), (b + 1, b + 2), (b, b + 2)]);
+        }
+        let g = ic_graph::graph_from_edges(120, &edges);
+        let weights: Vec<f64> = (0..120).map(|v| (v + 1) as f64).collect();
+        let eng = Engine::with_threads(WeightedGraph::new(g, weights).unwrap(), 2);
+        let batch = vec![
+            Query::new(2, 4, Aggregation::Min),
+            Query::new(2, 4, Aggregation::Max),
+        ];
+        eng.run_batch(&batch);
+        assert_eq!(eng.snapshot().cached_extensions(), 2, "forests warmed");
+
+        // Bridge the first two triangles: the cascade is local to them.
+        let outcome = eng.apply_journaled(&[EdgeUpdate::Insert { u: 0, v: 3 }]);
+        assert!(outcome.changed);
+        // The small cascade let both forests ride across the epoch...
+        assert_eq!(
+            outcome.new_snapshot.cached_extensions(),
+            2,
+            "repair should have seeded both directions"
+        );
+        // ...and they serve exactly what a fresh engine computes.
+        let fresh = Engine::with_threads(eng.snapshot().weighted().clone(), 2);
+        let a = eng.run_batch(&batch);
+        let b = fresh.run_batch(&batch);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.as_ref().unwrap(), y.as_ref().unwrap());
+        }
     }
 
     #[test]

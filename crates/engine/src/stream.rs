@@ -205,7 +205,8 @@ impl ResultStream {
                     )),
                     Err(EngineError::Search(e)) => Err(e.clone()),
                     Err(EngineError::DeadlineExceeded) => Err(SearchError::DeadlineExceeded),
-                    Err(EngineError::Internal { detail }) => {
+                    Err(EngineError::Internal { detail })
+                    | Err(EngineError::Unsupported { detail }) => {
                         Err(SearchError::Internal(detail.clone()))
                     }
                 }

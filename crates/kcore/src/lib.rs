@@ -65,7 +65,7 @@ pub use extract::{
     is_kcore, is_kcore_within, kcore_mask, kcore_size, maximal_kcore_components,
     peel_to_kcore_within,
 };
-pub use maintain::{CoreMaintainer, EdgeUpdate, PeelScratch};
+pub use maintain::{CascadeRecord, CoreDelta, CoreMaintainer, EdgeUpdate, PeelScratch};
 pub use pool::{ArenaPool, PooledArena};
 pub use snapshot::{CoreLevel, GraphSnapshot};
 pub use truss::{ktruss_mask, maximal_ktruss_components, truss_decomposition, TrussDecomposition};

@@ -34,6 +34,100 @@ impl EdgeUpdate {
     }
 }
 
+/// One vertex whose core number changed during an apply.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CoreDelta {
+    /// The vertex whose core number moved.
+    pub vertex: VertexId,
+    /// Core number before the update.
+    pub old_core: u32,
+    /// Core number after the update (differs from `old_core` by exactly
+    /// one — a single edge change moves cores by at most one).
+    pub new_core: u32,
+}
+
+/// The cascade journal of one [`CoreMaintainer::apply_recorded`] call:
+/// which region of the graph the subcore traversal touched and which
+/// core numbers moved.
+///
+/// This is the structure standing-query layers consume (`ic-sub`): the
+/// touched region bounds where community structure can have changed, and
+/// [`CascadeRecord::affects_level`] turns that into a *sound* per-`k`
+/// invalidation test — when it returns `false`, the maximal k-core at
+/// that level (vertex set **and** induced edge set) is provably
+/// identical before and after the update, so any deterministic query at
+/// that `k` returns a bit-identical answer and needs no re-solve.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CascadeRecord {
+    /// The update this record describes.
+    pub update: EdgeUpdate,
+    /// Whether the edge set changed (`false` for self-loops, duplicate
+    /// inserts, and absent removes — such records touch nothing).
+    pub applied: bool,
+    /// Every vertex the subcore traversal visited: both endpoints plus
+    /// the collected subcore at `K = min(core(u), core(v))`. Contains no
+    /// duplicates; empty when `applied` is `false`.
+    pub touched: Vec<VertexId>,
+    /// The vertices whose core numbers changed, with old and new values.
+    /// A subset of `touched`.
+    pub deltas: Vec<CoreDelta>,
+    /// Core numbers of `(u, v)` **after** the update was applied.
+    pub endpoint_cores: (u32, u32),
+}
+
+impl CascadeRecord {
+    fn noop(update: EdgeUpdate, cores: (u32, u32)) -> Self {
+        CascadeRecord {
+            update,
+            applied: false,
+            touched: Vec::new(),
+            deltas: Vec::new(),
+            endpoint_cores: cores,
+        }
+    }
+
+    /// Whether this update can have changed the maximal k-core at level
+    /// `k` — the footprint-intersection test of the standing-query
+    /// layer.
+    ///
+    /// Returns `true` iff (i) some vertex crossed the `core ≥ k`
+    /// threshold, or (ii) the updated edge itself lies inside the k-core
+    /// (both endpoints at core ≥ `k` after an insert, or before a
+    /// remove). When **neither** holds, the k-core's vertex set is
+    /// unchanged (no crossing) and its induced edge set is unchanged
+    /// (the only changed edge has an endpoint outside the k-core on the
+    /// relevant side), so the level-`k` community structure — every
+    /// k-influential community under any aggregation — is bit-identical.
+    pub fn affects_level(&self, k: usize) -> bool {
+        if !self.applied {
+            return false;
+        }
+        let k = u32::try_from(k).unwrap_or(u32::MAX);
+        if self
+            .deltas
+            .iter()
+            .any(|d| (d.old_core >= k) != (d.new_core >= k))
+        {
+            return true;
+        }
+        let (cu, cv) = self.endpoint_cores;
+        match self.update {
+            EdgeUpdate::Insert { .. } => cu >= k && cv >= k,
+            EdgeUpdate::Remove { u, v } => {
+                // Pre-removal cores: post cores unless the endpoint
+                // itself dropped (then its old core applies).
+                let pre = |x: VertexId, post: u32| {
+                    self.deltas
+                        .iter()
+                        .find(|d| d.vertex == x)
+                        .map_or(post, |d| d.old_core)
+                };
+                pre(u, cu) >= k && pre(v, cv) >= k
+            }
+        }
+    }
+}
+
 /// Reusable scratch state for the hot inner loop of Algorithms 1 and 2:
 /// "remove one vertex from a community, cascade-peel back to a k-core, and
 /// return the resulting connected components".
@@ -273,6 +367,31 @@ impl CoreMaintainer {
         }
     }
 
+    /// Applies one [`EdgeUpdate`] and returns its cascade journal
+    /// ([`CascadeRecord`]): the touched region and every core-number
+    /// delta. [`CoreMaintainer::apply`] is the journal-free fast path;
+    /// both produce identical maintained state.
+    ///
+    /// # Panics
+    /// Panics when an endpoint is outside the maintainer's vertex range,
+    /// exactly like [`CoreMaintainer::apply`].
+    pub fn apply_recorded(&mut self, update: EdgeUpdate) -> CascadeRecord {
+        let (u, v) = update.endpoints();
+        assert!(
+            (u as usize) < self.adj.len() && (v as usize) < self.adj.len(),
+            "edge update {{{u}, {v}}} addresses a vertex outside 0..{}",
+            self.adj.len()
+        );
+        let mut record =
+            CascadeRecord::noop(update, (self.core[u as usize], self.core[v as usize]));
+        let applied = match update {
+            EdgeUpdate::Insert { u, v } => self.insert_edge_impl(u, v, Some(&mut record)),
+            EdgeUpdate::Remove { u, v } => self.remove_edge_impl(u, v, Some(&mut record)),
+        };
+        debug_assert_eq!(applied, record.applied);
+        record
+    }
+
     /// The maintained state as a [`CoreDecomposition`], ready to seed a
     /// [`GraphSnapshot`](crate::GraphSnapshot) without re-running the
     /// from-scratch bucket peel. The peel order is synthesized by
@@ -352,6 +471,15 @@ impl CoreMaintainer {
     /// Returns `false` (and changes nothing) for self-loops and edges
     /// already present.
     pub fn insert_edge(&mut self, u: VertexId, v: VertexId) -> bool {
+        self.insert_edge_impl(u, v, None)
+    }
+
+    fn insert_edge_impl(
+        &mut self,
+        u: VertexId,
+        v: VertexId,
+        record: Option<&mut CascadeRecord>,
+    ) -> bool {
         if u == v || self.has_edge(u, v) {
             return false;
         }
@@ -400,12 +528,41 @@ impl CoreMaintainer {
                 self.core[w] = k + 1;
             }
         }
+        if let Some(record) = record {
+            record.applied = true;
+            record.touched = self.stack.clone();
+            for endpoint in [u, v] {
+                if self.stamp[endpoint as usize] != generation {
+                    record.touched.push(endpoint);
+                }
+            }
+            record.deltas = self
+                .stack
+                .iter()
+                .filter(|&&w| self.out_stamp[w as usize] != generation)
+                .map(|&w| CoreDelta {
+                    vertex: w,
+                    old_core: k,
+                    new_core: k + 1,
+                })
+                .collect();
+            record.endpoint_cores = (self.core[u as usize], self.core[v as usize]);
+        }
         true
     }
 
     /// Removes the undirected edge `{u, v}`, updating core numbers.
     /// Returns `false` (and changes nothing) when the edge is absent.
     pub fn remove_edge(&mut self, u: VertexId, v: VertexId) -> bool {
+        self.remove_edge_impl(u, v, None)
+    }
+
+    fn remove_edge_impl(
+        &mut self,
+        u: VertexId,
+        v: VertexId,
+        record: Option<&mut CascadeRecord>,
+    ) -> bool {
         if u == v || !self.has_edge(u, v) {
             return false;
         }
@@ -450,6 +607,26 @@ impl CoreMaintainer {
                     }
                 }
             }
+        }
+        if let Some(record) = record {
+            record.applied = true;
+            record.touched = self.stack.clone();
+            for endpoint in [u, v] {
+                if self.stamp[endpoint as usize] != generation {
+                    record.touched.push(endpoint);
+                }
+            }
+            record.deltas = self
+                .stack
+                .iter()
+                .filter(|&&w| self.out_stamp[w as usize] == generation)
+                .map(|&w| CoreDelta {
+                    vertex: w,
+                    old_core: k,
+                    new_core: k - 1,
+                })
+                .collect();
+            record.endpoint_cores = (self.core[u as usize], self.core[v as usize]);
         }
         true
     }
@@ -579,6 +756,151 @@ mod tests {
         );
         assert_eq!(m.num_edges(), g.num_edges());
         assert!(m.has_edge(0, 1) && m.has_edge(1, 0));
+    }
+
+    /// Induced edge set of the k-core at level `k`, as a sorted list.
+    fn kcore_edges(g: &Graph, k: usize) -> Vec<(VertexId, VertexId)> {
+        let mask = crate::kcore_mask(g, k);
+        let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
+        for u in mask.iter() {
+            for &v in g.neighbors(u as VertexId) {
+                if (u as VertexId) < v && mask.contains(v as usize) {
+                    edges.push((u as VertexId, v));
+                }
+            }
+        }
+        edges.sort_unstable();
+        edges
+    }
+
+    #[test]
+    fn journal_noop_updates_touch_nothing() {
+        let mut m = CoreMaintainer::from_graph(&two_triangles_pendant());
+        let dup = m.apply_recorded(EdgeUpdate::Insert { u: 0, v: 1 });
+        assert!(!dup.applied);
+        assert!(dup.touched.is_empty() && dup.deltas.is_empty());
+        let self_loop = m.apply_recorded(EdgeUpdate::Insert { u: 3, v: 3 });
+        assert!(!self_loop.applied);
+        let absent = m.apply_recorded(EdgeUpdate::Remove { u: 0, v: 6 });
+        assert!(!absent.applied);
+        for k in 0..4 {
+            assert!(!dup.affects_level(k) && !self_loop.affects_level(k));
+            assert!(!absent.affects_level(k));
+        }
+    }
+
+    #[test]
+    fn journal_deltas_match_state_diff_and_touch_the_endpoints() {
+        // Drive a deterministic churn script over a growing graph; at
+        // every step the journal must (a) report exactly the vertices
+        // whose cores moved, with correct old/new values, (b) include
+        // both endpoints and every delta vertex in the touched region,
+        // and (c) agree with `apply` about whether the edge set changed.
+        let n = 24u32;
+        let mut m = CoreMaintainer::new(n as usize);
+        let mut rng = 0x9e3779b97f4a7c15u64;
+        let mut step = || {
+            rng = rng
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            rng >> 33
+        };
+        for _ in 0..600 {
+            let u = (step() % n as u64) as VertexId;
+            let v = (step() % n as u64) as VertexId;
+            let update = if step() % 3 == 0 {
+                EdgeUpdate::Remove { u, v }
+            } else {
+                EdgeUpdate::Insert { u, v }
+            };
+            let before = m.core_numbers().to_vec();
+            let record = m.apply_recorded(update);
+            let after = m.core_numbers();
+            let mut expect: Vec<CoreDelta> = before
+                .iter()
+                .enumerate()
+                .filter(|&(w, &old)| old != after[w])
+                .map(|(w, &old)| CoreDelta {
+                    vertex: w as VertexId,
+                    old_core: old,
+                    new_core: after[w],
+                })
+                .collect();
+            expect.sort_by_key(|d| d.vertex);
+            let mut got = record.deltas.clone();
+            got.sort_by_key(|d| d.vertex);
+            assert_eq!(got, expect, "journal deltas diverge on {update:?}");
+            assert_eq!(record.applied, !expect.is_empty() || record.applied);
+            if record.applied {
+                let (u, v) = update.endpoints();
+                assert!(record.touched.contains(&u) && record.touched.contains(&v));
+                for d in &record.deltas {
+                    assert!(record.touched.contains(&d.vertex));
+                }
+                let mut sorted = record.touched.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                assert_eq!(sorted.len(), record.touched.len(), "touched has duplicates");
+                assert_eq!(
+                    record.endpoint_cores,
+                    (after[u as usize], after[v as usize])
+                );
+            } else {
+                assert!(expect.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn unaffected_levels_have_identical_kcores() {
+        // The soundness contract of `affects_level`: whenever it says a
+        // level is unaffected, the k-core at that level — vertex set AND
+        // induced edge set — must be bit-identical across the update.
+        let n = 20u32;
+        let mut m = CoreMaintainer::new(n as usize);
+        let mut rng = 0x2545f4914f6cdd1du64;
+        let mut step = || {
+            rng = rng
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            rng >> 33
+        };
+        let mut affected_seen = false;
+        let mut unaffected_seen = false;
+        for _ in 0..400 {
+            let u = (step() % n as u64) as VertexId;
+            let v = (step() % n as u64) as VertexId;
+            let update = if step() % 3 == 0 {
+                EdgeUpdate::Remove { u, v }
+            } else {
+                EdgeUpdate::Insert { u, v }
+            };
+            let old_graph = m.to_graph();
+            let record = m.apply_recorded(update);
+            let new_graph = m.to_graph();
+            let max_k = m.degeneracy() as usize + 2;
+            for k in 1..=max_k {
+                if record.affects_level(k) {
+                    affected_seen = true;
+                    continue;
+                }
+                unaffected_seen = true;
+                assert_eq!(
+                    crate::kcore_mask(&old_graph, k).iter().collect::<Vec<_>>(),
+                    crate::kcore_mask(&new_graph, k).iter().collect::<Vec<_>>(),
+                    "unaffected level {k} changed its k-core vertex set on {update:?}"
+                );
+                assert_eq!(
+                    kcore_edges(&old_graph, k),
+                    kcore_edges(&new_graph, k),
+                    "unaffected level {k} changed its induced edges on {update:?}"
+                );
+            }
+        }
+        assert!(
+            affected_seen && unaffected_seen,
+            "script must exercise both outcomes"
+        );
     }
 
     #[test]

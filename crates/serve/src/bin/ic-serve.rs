@@ -32,7 +32,15 @@ struct Args {
     shards: Option<usize>,
     queue: Option<usize>,
     max_batch: Option<usize>,
+    notify_capacity: Option<usize>,
     threads: Option<usize>,
+}
+
+/// What the server fronts: a concrete engine (mutable; subscriptions
+/// live here) or an opaque read-only backend.
+enum Backend {
+    Engine(Arc<Engine>),
+    Opaque(Arc<dyn QueryBackend>),
 }
 
 const USAGE: &str = "\
@@ -45,11 +53,15 @@ options:
   --shards <n>         admission shards / batcher threads
   --queue <n>          per-shard admission queue bound (default 1024)
   --max-batch <n>      largest engine batch per flush (default 256)
+  --notify-capacity <n> per-subscription in-flight notification bound (default 64)
   --threads <n>        engine worker threads (default: all cores)
 
-with --shards-dir, every shard-*.ics1 in the directory is opened
-memory-mapped and queries are scattered across shard engines and
-merged bit-identically to a single unsharded engine.
+with --store or --dataset the server fronts a live engine: clients may
+SUBSCRIBE standing queries and push UPDATE batches, with delta NOTIFY
+fanout. with --shards-dir, every shard-*.ics1 in the directory is
+opened memory-mapped and queries are scattered across shard engines
+and merged bit-identically to a single unsharded engine (read-only:
+SUBSCRIBE/UPDATE are refused typed).
 ";
 
 fn parse_args() -> Result<Args, String> {
@@ -63,6 +75,7 @@ fn parse_args() -> Result<Args, String> {
         shards: None,
         queue: None,
         max_batch: None,
+        notify_capacity: None,
         threads: None,
     };
     let mut it = std::env::args().skip(1);
@@ -81,6 +94,9 @@ fn parse_args() -> Result<Args, String> {
             "--shards" => args.shards = Some(parse(&value("--shards")?)?),
             "--queue" => args.queue = Some(parse(&value("--queue")?)?),
             "--max-batch" => args.max_batch = Some(parse(&value("--max-batch")?)?),
+            "--notify-capacity" => {
+                args.notify_capacity = Some(parse(&value("--notify-capacity")?)?)
+            }
             "--threads" => args.threads = Some(parse(&value("--threads")?)?),
             "--help" | "-h" => return Err(USAGE.into()),
             other => return Err(format!("unknown flag {other}\n{USAGE}")),
@@ -133,8 +149,15 @@ fn main() -> ExitCode {
     if let Some(b) = args.max_batch {
         config.max_batch = b;
     }
+    if let Some(c) = args.notify_capacity {
+        config.notify_capacity = c;
+    }
 
-    let server = match Server::bind_backend(engine, &args.addr, config) {
+    let bound = match engine {
+        Backend::Engine(engine) => Server::bind(engine, &args.addr, config),
+        Backend::Opaque(backend) => Server::bind_backend(backend, &args.addr, config),
+    };
+    let server = match bound {
         Ok(s) => s,
         Err(e) => {
             eprintln!("ic-serve: cannot bind {}: {e}", args.addr);
@@ -158,7 +181,7 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn build_engine(args: &Args) -> Result<Arc<dyn QueryBackend>, String> {
+fn build_engine(args: &Args) -> Result<Backend, String> {
     let threads = args.threads.unwrap_or_else(|| {
         std::thread::available_parallelism()
             .map(|p| p.get())
@@ -167,7 +190,7 @@ fn build_engine(args: &Args) -> Result<Arc<dyn QueryBackend>, String> {
     if let Some(store) = &args.store {
         let engine = Engine::open_with_threads(store, threads)
             .map_err(|e| format!("cannot open store {store}: {e}"))?;
-        return Ok(Arc::new(engine));
+        return Ok(Backend::Engine(Arc::new(engine)));
     }
     if let Some(dir) = &args.shards_dir {
         let options = ic_engine::OpenOptions::default().threads(threads);
@@ -180,7 +203,7 @@ fn build_engine(args: &Args) -> Result<Arc<dyn QueryBackend>, String> {
             sharded.global_vertices(),
             sharded.global_edges()
         );
-        return Ok(Arc::new(sharded));
+        return Ok(Backend::Opaque(Arc::new(sharded)));
     }
     let name = args
         .dataset
@@ -192,8 +215,8 @@ fn build_engine(args: &Args) -> Result<Arc<dyn QueryBackend>, String> {
         "generating dataset analog {name} (n = {}, target m = {})…",
         spec.n, spec.target_m
     );
-    Ok(Arc::new(Engine::with_threads(
+    Ok(Backend::Engine(Arc::new(Engine::with_threads(
         spec.generate_weighted(),
         threads,
-    )))
+    ))))
 }

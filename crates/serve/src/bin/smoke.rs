@@ -7,6 +7,7 @@
 //! ic-serve-smoke --port-file /tmp/serve.port --mode mixed
 //! ic-serve-smoke --port-file /tmp/serve.port --mode shards
 //! ic-serve-smoke --port-file /tmp/serve.port --mode shed
+//! ic-serve-smoke --port-file /tmp/serve.port --mode sub
 //! ```
 //!
 //! `--mode mixed` expects a default-configured server; `--mode shards`
@@ -15,16 +16,19 @@
 //! expects one squeezed to a single one-slot admission shard with a
 //! long window (`--queue 1 --shards 1 --window-us 300000`), so the
 //! second query of a rapid burst deterministically finds the queue
-//! full.
+//! full; `--mode sub` expects one booted with `--dataset email` and
+//! checks standing-query subscriptions against a local mirror engine
+//! over the same deterministic graph.
 
-use ic_core::{Aggregation, Query};
+use ic_core::{Aggregation, Community, Query};
+use ic_engine::{EdgeUpdate, Engine};
 use ic_serve::{Client, Outcome, Response, ShedReason};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::process::ExitCode;
 
 const USAGE: &str =
-    "usage: ic-serve-smoke (--addr <host:port> | --port-file <path>) --mode (mixed|shards|shed)";
+    "usage: ic-serve-smoke (--addr <host:port> | --port-file <path>) --mode (mixed|shards|shed|sub)";
 
 fn parse_addr() -> Result<(SocketAddr, String), String> {
     let mut addr: Option<String> = None;
@@ -239,6 +243,186 @@ fn shed(addr: SocketAddr) {
     client.shutdown_and_drain().expect("drain must ack");
 }
 
+/// Standing-query subscriptions against a `--dataset email` server.
+///
+/// The dataset analog is generated deterministically, so a local
+/// *mirror* engine over the same graph is a fresh-answer oracle: feed
+/// it the same `UPDATE` batches and every `NOTIFY` the server streams
+/// must carry exactly `diff_answers(old, mirror's new answer)`, and
+/// replaying those deltas onto the old answer must reproduce the new
+/// one bit-for-bit. The script removes the top community's internal
+/// edges (guaranteed answer churn), then inserts them back (answers
+/// must return to the originals), then unsubscribes and checks
+/// silence.
+fn sub(addr: SocketAddr) {
+    let wg = ic_gen::datasets::by_name(ic_gen::datasets::Profile::Quick, "email")
+        .expect("email analog exists")
+        .generate_weighted();
+    let mirror = Engine::with_threads(wg, 2);
+
+    let queries = [
+        Query::new(4, 3, Aggregation::Min),
+        Query::new(4, 3, Aggregation::Max),
+    ];
+    let mut client = Client::connect(addr).expect("connect");
+    let mut answers: Vec<Vec<Community>> = Vec::new();
+    for (i, q) in queries.iter().enumerate() {
+        let reply = client.subscribe(i as u64, q).expect("subscribe");
+        let got = match &reply {
+            Response::Reply {
+                id,
+                outcome: Outcome::Complete(communities),
+                ..
+            } if *id == i as u64 => communities.clone(),
+            other => panic!("subscribe {i}: expected a complete reply, got {other:?}"),
+        };
+        let local = mirror.run_batch(&[*q])[0]
+            .clone()
+            .expect("mirror answers the subscription query");
+        assert_eq!(
+            got, local,
+            "initial answer for subscription {i} must match the mirror engine"
+        );
+        answers.push(got);
+    }
+    assert!(
+        !answers[0].is_empty(),
+        "the email analog must have a (4, _) community or the smoke is vacuous"
+    );
+    eprintln!(
+        "[smoke] sub: {} subscriptions registered, initial answers match the mirror",
+        queries.len()
+    );
+
+    // Knock out the top community's internal edges, then restore them.
+    let top: Vec<u32> = answers[0][0].vertices.clone();
+    let removals: Vec<EdgeUpdate> = {
+        let snapshot = mirror.snapshot();
+        let graph = snapshot.weighted().graph();
+        let inside = |v: u32| top.contains(&v);
+        graph
+            .edges()
+            .filter(|&(u, v)| inside(u) && inside(v))
+            .map(|(u, v)| EdgeUpdate::Remove { u, v })
+            .take(64)
+            .collect()
+    };
+    assert!(
+        !removals.is_empty(),
+        "top community must have internal edges"
+    );
+    let insertions: Vec<EdgeUpdate> = removals
+        .iter()
+        .map(|r| match r {
+            EdgeUpdate::Remove { u, v } => EdgeUpdate::Insert { u: *u, v: *v },
+            other => panic!("removal script holds only removals, got {other:?}"),
+        })
+        .collect();
+
+    for (round, batch) in [removals, insertions].iter().enumerate() {
+        let ack_id = 1000 + round as u64;
+        let (server_epoch, changed) = match client.update(ack_id, batch).expect("update") {
+            Response::UpdateAck { id, epoch, changed } if id == ack_id => (epoch, changed),
+            other => panic!("round {round}: expected an UpdateAck, got {other:?}"),
+        };
+        let mirror_epoch = mirror.apply(batch);
+        assert_eq!(
+            server_epoch,
+            mirror_epoch.index(),
+            "round {round}: identical update scripts must land identical epochs"
+        );
+        assert!(changed, "round {round}: the script edits live edges");
+
+        // Fanout precedes the ack, so every notification owed for this
+        // epoch is already queued client-side.
+        let mut notified: Vec<Option<ic_serve::WireNotification>> = vec![None; queries.len()];
+        while let Some(n) = client.poll_notification() {
+            let slot = &mut notified[n.id as usize];
+            assert!(
+                slot.is_none(),
+                "round {round}: duplicate notify for {}",
+                n.id
+            );
+            *slot = Some(n);
+        }
+        for (i, q) in queries.iter().enumerate() {
+            let new = mirror.run_batch(&[*q])[0]
+                .clone()
+                .expect("mirror answers after the update");
+            let want = ic_sub::diff_answers(&answers[i], &new);
+            match (&notified[i], want.is_empty()) {
+                (Some(n), false) => {
+                    assert_eq!(n.epoch, server_epoch);
+                    assert_eq!(
+                        n.deltas, want,
+                        "round {round}: deltas for subscription {i} must match the oracle diff"
+                    );
+                    assert_eq!(
+                        ic_sub::replay(&answers[i], &n.deltas),
+                        new,
+                        "round {round}: replaying the deltas must reproduce the new answer"
+                    );
+                    assert_eq!(n.answer, new);
+                }
+                (None, true) => {}
+                (Some(_), true) => {
+                    panic!("round {round}: subscription {i} notified but the answer is unchanged")
+                }
+                (None, false) => {
+                    panic!("round {round}: subscription {i} changed but no notification arrived")
+                }
+            }
+            answers[i] = new;
+        }
+        eprintln!("[smoke] sub: round {round} verified against the mirror diff oracle");
+    }
+
+    // Every removal was inserted back, so the graph — and therefore the
+    // answers — must be exactly restored.
+    for (i, q) in queries.iter().enumerate() {
+        let restored = mirror.run_batch(&[*q])[0].clone().expect("restored answer");
+        assert_eq!(
+            answers[i], restored,
+            "subscription {i}: restoring the edges must restore the answer"
+        );
+    }
+
+    // Unsubscribing silences the stream even under further churn.
+    for i in 0..queries.len() as u64 {
+        match client.unsubscribe(i).expect("unsubscribe") {
+            Response::UnsubscribeAck { id, removed } if id == i => {
+                assert!(removed, "subscription {i} was live")
+            }
+            other => panic!("expected an UnsubscribeAck, got {other:?}"),
+        }
+    }
+    let again: Vec<EdgeUpdate> = {
+        let snapshot = mirror.snapshot();
+        let graph = snapshot.weighted().graph();
+        let inside = |v: u32| top.contains(&v);
+        graph
+            .edges()
+            .filter(|&(u, v)| inside(u) && inside(v))
+            .map(|(u, v)| EdgeUpdate::Remove { u, v })
+            .take(8)
+            .collect()
+    };
+    match client
+        .update(2000, &again)
+        .expect("post-unsubscribe update")
+    {
+        Response::UpdateAck { id: 2000, .. } => {}
+        other => panic!("expected an UpdateAck, got {other:?}"),
+    }
+    assert!(
+        client.poll_notification().is_none(),
+        "unsubscribed clients must not be notified"
+    );
+    eprintln!("[smoke] sub: unsubscribe verified; stream is silent under churn");
+
+    client.shutdown_and_drain().expect("drain must ack");
+}
+
 fn main() -> ExitCode {
     let (addr, mode) = match parse_addr() {
         Ok(v) => v,
@@ -251,6 +435,7 @@ fn main() -> ExitCode {
         "mixed" => mixed(addr),
         "shards" => shards(addr),
         "shed" => shed(addr),
+        "sub" => sub(addr),
         other => {
             eprintln!("unknown mode {other:?}\n{USAGE}");
             return ExitCode::FAILURE;

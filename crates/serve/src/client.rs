@@ -5,11 +5,17 @@
 //! caller-chosen `id`; the server batches and may reorder replies, so
 //! [`Client::wait_for`] buffers out-of-order arrivals by id and
 //! [`Client::recv`] surfaces them in arrival order.
+//!
+//! Server-initiated [`Response::Notify`] frames (standing-query
+//! deltas; see [`Client::subscribe`]) never satisfy a [`Client::wait_for`]:
+//! they are diverted to an internal queue, drained with
+//! [`Client::poll_notification`] / [`Client::wait_notification`].
 
 use crate::error::{ClientError, ProtocolError};
-use crate::protocol::{self, Request, Response, WireQuery, RESP_PAYLOAD_MAX};
+use crate::protocol::{self, Request, Response, WireNotification, WireQuery, RESP_PAYLOAD_MAX};
 use ic_core::Query;
-use std::collections::HashMap;
+use ic_engine::EdgeUpdate;
+use std::collections::{HashMap, VecDeque};
 use std::io::Write;
 use std::net::{TcpStream, ToSocketAddrs};
 
@@ -18,6 +24,8 @@ pub struct Client {
     stream: TcpStream,
     /// Replies that arrived while waiting for a different id.
     stash: HashMap<u64, Response>,
+    /// Notify frames that arrived while waiting for a reply.
+    notifications: VecDeque<WireNotification>,
     read_buf: Vec<u8>,
     write_buf: Vec<u8>,
 }
@@ -30,6 +38,7 @@ impl Client {
         Ok(Client {
             stream,
             stash: HashMap::new(),
+            notifications: VecDeque::new(),
             read_buf: Vec::new(),
             write_buf: Vec::new(),
         })
@@ -48,6 +57,64 @@ impl Client {
         self.wait_for(id)
     }
 
+    /// Registers `query` as a standing subscription under the
+    /// client-chosen `id` (unique among this connection's live
+    /// subscriptions) and blocks for the initial answer — a
+    /// [`Response::Reply`] carrying the full answer. Later changes
+    /// arrive as notifications tagged with the same `id`.
+    pub fn subscribe(&mut self, id: u64, query: &Query) -> Result<Response, ClientError> {
+        self.send_request(&Request::Subscribe(WireQuery { id, query: *query }))?;
+        self.wait_for(id)
+    }
+
+    /// Drops the standing subscription `id`; the
+    /// [`Response::UnsubscribeAck`] says whether one was live.
+    pub fn unsubscribe(&mut self, id: u64) -> Result<Response, ClientError> {
+        self.send_request(&Request::Unsubscribe { id })?;
+        self.wait_for(id)
+    }
+
+    /// Applies `updates` to the served graph as one atomic epoch step
+    /// and blocks for the [`Response::UpdateAck`]. Because the server
+    /// fans out notifications before acking, every notification this
+    /// connection is owed for the new epoch is already queued (see
+    /// [`Client::poll_notification`]) when this returns.
+    pub fn update(&mut self, id: u64, updates: &[EdgeUpdate]) -> Result<Response, ClientError> {
+        self.send_request(&Request::Update {
+            id,
+            updates: updates.to_vec(),
+        })?;
+        self.wait_for(id)
+    }
+
+    /// Pops the oldest already-received notification, if any. Never
+    /// reads the socket — use [`Client::wait_notification`] to block.
+    pub fn poll_notification(&mut self) -> Option<WireNotification> {
+        self.notifications.pop_front()
+    }
+
+    /// Blocks until a notification arrives (returning queued ones
+    /// first). Replies that land first are stashed for their waiters.
+    pub fn wait_notification(&mut self) -> Result<WireNotification, ClientError> {
+        loop {
+            if let Some(n) = self.notifications.pop_front() {
+                return Ok(n);
+            }
+            let response = self.read_response()?;
+            match response {
+                Response::Notify(n) => return Ok(n),
+                other => match response_id(&other) {
+                    Some(got) => {
+                        self.stash.insert(got, other);
+                    }
+                    None => {
+                        return Err(ClientError::Unexpected(format!("{other:?}")));
+                    }
+                },
+            }
+        }
+    }
+
     /// Receives the next response in arrival order (stashed responses
     /// first).
     pub fn recv(&mut self) -> Result<Response, ClientError> {
@@ -58,15 +125,20 @@ impl Client {
     }
 
     /// Blocks until the response for `id` arrives, stashing any other
-    /// replies that land first. [`Response::ProtocolError`] and
-    /// [`Response::ShutdownAck`] are returned immediately to whichever
-    /// waiter is active — they are connection-level, not id-addressed.
+    /// replies that land first and queueing notifications.
+    /// [`Response::ProtocolError`] and [`Response::ShutdownAck`] are
+    /// returned immediately to whichever waiter is active — they are
+    /// connection-level, not id-addressed.
     pub fn wait_for(&mut self, id: u64) -> Result<Response, ClientError> {
         if let Some(found) = self.stash.remove(&id) {
             return Ok(found);
         }
         loop {
             let response = self.read_response()?;
+            if let Response::Notify(n) = response {
+                self.notifications.push_back(n);
+                continue;
+            }
             match response_id(&response) {
                 Some(got) if got == id => return Ok(response),
                 Some(got) => {
@@ -112,7 +184,13 @@ impl Client {
 
 fn response_id(response: &Response) -> Option<u64> {
     match response {
-        Response::Reply { id, .. } | Response::Overloaded { id, .. } => Some(*id),
+        Response::Reply { id, .. }
+        | Response::Overloaded { id, .. }
+        | Response::UpdateAck { id, .. }
+        | Response::UnsubscribeAck { id, .. } => Some(*id),
+        // Notify frames carry a subscription id, but they are
+        // server-initiated — callers divert them before keying.
+        Response::Notify(n) => Some(n.id),
         Response::ProtocolError { .. } | Response::ShutdownAck => None,
     }
 }

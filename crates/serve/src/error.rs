@@ -107,6 +107,9 @@ pub enum ClientError {
     ConnectionClosed,
     /// The request cannot be expressed on the wire.
     Unsupported(String),
+    /// The server sent a connection-level response (protocol error or
+    /// shutdown ack) while a notification was being awaited.
+    Unexpected(String),
 }
 
 impl fmt::Display for ClientError {
@@ -117,6 +120,7 @@ impl fmt::Display for ClientError {
                 write!(f, "server closed the connection before responding")
             }
             ClientError::Unsupported(detail) => write!(f, "unsupported request: {detail}"),
+            ClientError::Unexpected(detail) => write!(f, "unexpected response: {detail}"),
         }
     }
 }

@@ -24,6 +24,14 @@
 //! * [`Client`] — a blocking binary-mode client with out-of-order reply
 //!   matching; what the examples and benchmarks use.
 //!
+//! Servers bound over a concrete [`Engine`](ic_engine::Engine) (not an
+//! opaque backend) additionally serve **standing-query subscriptions**:
+//! `SUBSCRIBE` registers a query, `UPDATE` applies edge updates as one
+//! atomic epoch step, and every subscription whose answer changed gets
+//! a `NOTIFY` frame with typed deltas ([`ic_sub::Delta`]) *before* the
+//! updater's ack — backed by `ic_sub`'s cascade-journal pruning, so
+//! provably-unaffected subscriptions cost nothing per update.
+//!
 //! ```no_run
 //! use ic_serve::{Client, ServeConfig, Server};
 //! use ic_core::{Aggregation, Query};
@@ -50,5 +58,7 @@ mod server;
 
 pub use client::Client;
 pub use error::{ClientError, ProtocolError};
-pub use protocol::{ErrorKind, Outcome, Request, Response, ShedReason, WireQuery};
+pub use protocol::{
+    ErrorKind, Outcome, Request, Response, ShedReason, WireNotification, WireQuery,
+};
 pub use server::{ServeConfig, ServeStats, Server};

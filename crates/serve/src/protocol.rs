@@ -34,7 +34,8 @@
 use crate::error::ProtocolError;
 use crate::json::{self, JsonValue};
 use ic_core::{Aggregation, Community, Constraint, Query};
-use ic_engine::{AnswerStatus, EngineError, QueryAnswer};
+use ic_engine::{AnswerStatus, EdgeUpdate, EngineError, QueryAnswer};
+use ic_sub::Delta;
 use std::io::{Read, Write};
 use std::time::Duration;
 
@@ -49,6 +50,12 @@ pub const RESP_PAYLOAD_MAX: u32 = 1 << 26;
 pub const FRAME_QUERY: u8 = 0x01;
 /// Frame type: graceful-drain request.
 pub const FRAME_SHUTDOWN: u8 = 0x02;
+/// Frame type: register a standing query (same payload as a query).
+pub const FRAME_SUBSCRIBE: u8 = 0x03;
+/// Frame type: drop a standing query by its client-chosen id.
+pub const FRAME_UNSUBSCRIBE: u8 = 0x04;
+/// Frame type: apply edge updates to the served graph.
+pub const FRAME_UPDATE: u8 = 0x05;
 /// Frame type: a query's answer.
 pub const FRAME_REPLY: u8 = 0x81;
 /// Frame type: the query was shed, not served.
@@ -57,8 +64,19 @@ pub const FRAME_OVERLOADED: u8 = 0x82;
 pub const FRAME_PROTOCOL_ERROR: u8 = 0x83;
 /// Frame type: drain complete, connection about to close.
 pub const FRAME_SHUTDOWN_ACK: u8 = 0x84;
+/// Frame type: a standing query's answer changed (server-initiated).
+pub const FRAME_NOTIFY: u8 = 0x85;
+/// Frame type: an update was applied; carries the new epoch.
+pub const FRAME_UPDATE_ACK: u8 = 0x86;
+/// Frame type: an unsubscribe completed.
+pub const FRAME_UNSUBSCRIBE_ACK: u8 = 0x87;
 
 const QUERY_PAYLOAD_LEN: usize = 47;
+/// Bytes per [`EdgeUpdate`] in an UPDATE frame (op + two endpoints).
+const UPDATE_RECORD_LEN: usize = 9;
+/// Most [`EdgeUpdate`]s one UPDATE frame can carry under
+/// [`REQ_PAYLOAD_MAX`]; batch larger scripts across frames.
+pub const UPDATES_PER_FRAME_MAX: usize = (REQ_PAYLOAD_MAX as usize - 13) / UPDATE_RECORD_LEN;
 
 /// A query plus the client-chosen correlation id echoed on its reply.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -71,10 +89,31 @@ pub struct WireQuery {
 }
 
 /// A decoded client → server message.
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum Request {
     /// Answer this query.
     Query(WireQuery),
+    /// Register this query as a standing subscription under its
+    /// client-chosen id; the initial answer arrives as a normal
+    /// [`Response::Reply`] and later changes as [`Response::Notify`]
+    /// frames carrying the same id.
+    Subscribe(WireQuery),
+    /// Drop the standing subscription registered under `id` on this
+    /// connection.
+    Unsubscribe {
+        /// The client-chosen subscription id.
+        id: u64,
+    },
+    /// Apply edge updates to the served graph (at most
+    /// [`UPDATES_PER_FRAME_MAX`] per frame). Acked with
+    /// [`Response::UpdateAck`]; affected subscribers on any connection
+    /// get their notifications *before* this ack is enqueued.
+    Update {
+        /// Correlation id echoed on the ack.
+        id: u64,
+        /// The updates, applied in order as one atomic epoch step.
+        updates: Vec<EdgeUpdate>,
+    },
     /// Drain in-flight work, ack, and close this connection.
     Shutdown,
 }
@@ -97,6 +136,9 @@ pub enum ErrorKind {
     DeadlineExceeded,
     /// The solver panicked (isolated server-side).
     Internal,
+    /// The backend refused the operation (e.g. updates against a
+    /// read-only sharded backend, or an out-of-range endpoint).
+    Unsupported,
 }
 
 /// One query's wire-level outcome — the serializable image of the
@@ -149,6 +191,10 @@ impl Outcome {
                 kind: ErrorKind::Search,
                 message: e.to_string(),
             },
+            Err(e @ EngineError::Unsupported { .. }) => Outcome::Error {
+                kind: ErrorKind::Unsupported,
+                message: e.to_string(),
+            },
             Err(e) => Outcome::Error {
                 kind: ErrorKind::Internal,
                 message: e.to_string(),
@@ -184,6 +230,43 @@ pub enum Response {
     },
     /// Drain complete; every accepted query has been answered.
     ShutdownAck,
+    /// Updates applied (or proven no-ops); the graph now serves `epoch`.
+    UpdateAck {
+        /// Echoed request id.
+        id: u64,
+        /// The epoch serving after the update batch.
+        epoch: u64,
+        /// Whether the batch changed the edge set at all.
+        changed: bool,
+    },
+    /// An unsubscribe completed.
+    UnsubscribeAck {
+        /// Echoed subscription id.
+        id: u64,
+        /// Whether a standing query was actually removed.
+        removed: bool,
+    },
+    /// A standing query's answer changed — server-initiated; arrives on
+    /// the subscriber's connection without a matching request.
+    Notify(WireNotification),
+}
+
+/// The payload of a [`Response::Notify`] frame.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WireNotification {
+    /// The client-chosen subscription id (from the SUBSCRIBE frame).
+    pub id: u64,
+    /// The epoch of the new answer.
+    pub epoch: u64,
+    /// `true` when earlier notifications for this subscription were
+    /// shed (slow consumer): the delta chain is broken and `answer` is
+    /// the only trustworthy state to rebase on.
+    pub resync: bool,
+    /// The changes since the previous delivered answer, in the
+    /// canonical [`ic_sub::diff_answers`] order.
+    pub deltas: Vec<Delta>,
+    /// The full new answer, enabling stateless consumers and resyncs.
+    pub answer: Vec<Community>,
 }
 
 // ---------------------------------------------------------------------
@@ -311,7 +394,41 @@ const FLAG_DEADLINE: u8 = 0b100;
 pub fn encode_request(req: &Request, out: &mut Vec<u8>) -> Result<(), ProtocolError> {
     match req {
         Request::Shutdown => out.push(FRAME_SHUTDOWN),
-        Request::Query(wq) => {
+        Request::Unsubscribe { id } => {
+            out.push(FRAME_UNSUBSCRIBE);
+            out.extend_from_slice(&id.to_le_bytes());
+        }
+        Request::Update { id, updates } => {
+            if updates.len() > UPDATES_PER_FRAME_MAX {
+                return Err(ProtocolError::Unsupported(format!(
+                    "{} updates exceed the {UPDATES_PER_FRAME_MAX}-per-frame cap",
+                    updates.len()
+                )));
+            }
+            out.push(FRAME_UPDATE);
+            out.extend_from_slice(&id.to_le_bytes());
+            out.extend_from_slice(&(updates.len() as u32).to_le_bytes());
+            for update in updates {
+                let (op, (u, v)) = match update {
+                    EdgeUpdate::Insert { u, v } => (0u8, (*u, *v)),
+                    EdgeUpdate::Remove { u, v } => (1u8, (*u, *v)),
+                    other => {
+                        return Err(ProtocolError::Unsupported(format!(
+                            "edge update {other:?} has no wire encoding"
+                        )))
+                    }
+                };
+                out.push(op);
+                out.extend_from_slice(&u.to_le_bytes());
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        Request::Query(wq) | Request::Subscribe(wq) => {
+            let frame = if matches!(req, Request::Query(_)) {
+                FRAME_QUERY
+            } else {
+                FRAME_SUBSCRIBE
+            };
             let (agg, param) = agg_to_wire(wq.query.aggregation)?;
             let (flags, s) = match wq.query.constraint {
                 Constraint::Unconstrained => (0u8, 0u32),
@@ -341,7 +458,7 @@ pub fn encode_request(req: &Request, out: &mut Vec<u8>) -> Result<(), ProtocolEr
                 ProtocolError::Unsupported(format!("r = {} exceeds u32", wq.query.r))
             })?;
             out.reserve(QUERY_PAYLOAD_LEN);
-            out.push(FRAME_QUERY);
+            out.push(frame);
             out.extend_from_slice(&wq.id.to_le_bytes());
             out.extend_from_slice(&k.to_le_bytes());
             out.extend_from_slice(&r.to_le_bytes());
@@ -364,7 +481,34 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, ProtocolError> {
             r.finish(1)?;
             Ok(Request::Shutdown)
         }
-        FRAME_QUERY => {
+        FRAME_UNSUBSCRIBE => {
+            let id = r.u64()?;
+            r.finish(9)?;
+            Ok(Request::Unsubscribe { id })
+        }
+        FRAME_UPDATE => {
+            let id = r.u64()?;
+            let n = r.u32()? as usize;
+            if n > UPDATES_PER_FRAME_MAX {
+                return Err(ProtocolError::Unsupported(format!(
+                    "{n} updates exceed the {UPDATES_PER_FRAME_MAX}-per-frame cap"
+                )));
+            }
+            let mut updates = Vec::with_capacity(n);
+            for _ in 0..n {
+                let op = r.u8()?;
+                let u = r.u32()?;
+                let v = r.u32()?;
+                updates.push(match op {
+                    0 => EdgeUpdate::Insert { u, v },
+                    1 => EdgeUpdate::Remove { u, v },
+                    op => return Err(ProtocolError::BadFrameType(op)),
+                });
+            }
+            r.done()?;
+            Ok(Request::Update { id, updates })
+        }
+        t @ (FRAME_QUERY | FRAME_SUBSCRIBE) => {
             if payload.len() != QUERY_PAYLOAD_LEN {
                 return Err(ProtocolError::BadLength {
                     expected: QUERY_PAYLOAD_LEN,
@@ -387,7 +531,12 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, ProtocolError> {
             if flags & FLAG_DEADLINE != 0 {
                 query = query.deadline(Duration::from_micros(deadline_micros));
             }
-            Ok(Request::Query(WireQuery { id, query }))
+            let wire = WireQuery { id, query };
+            Ok(if t == FRAME_QUERY {
+                Request::Query(wire)
+            } else {
+                Request::Subscribe(wire)
+            })
         }
         t => Err(ProtocolError::BadFrameType(t)),
     }
@@ -401,14 +550,73 @@ const STATUS_DEGRADED: u8 = 1;
 const STATUS_SEARCH_ERROR: u8 = 2;
 const STATUS_DEADLINE_EXCEEDED: u8 = 3;
 const STATUS_INTERNAL: u8 = 4;
+const STATUS_UNSUPPORTED: u8 = 5;
 
 const SHED_QUEUE_FULL: u8 = 0;
 const SHED_DRAINING: u8 = 1;
+
+const DELTA_ENTERED: u8 = 0;
+const DELTA_LEFT: u8 = 1;
+const DELTA_RANK_MOVED: u8 = 2;
+const DELTA_VALUE_CHANGED: u8 = 3;
 
 /// Encodes a response as one frame payload, appended to `out`.
 pub fn encode_response(resp: &Response, out: &mut Vec<u8>) {
     match resp {
         Response::ShutdownAck => out.push(FRAME_SHUTDOWN_ACK),
+        Response::UpdateAck { id, epoch, changed } => {
+            out.push(FRAME_UPDATE_ACK);
+            out.extend_from_slice(&id.to_le_bytes());
+            out.extend_from_slice(&epoch.to_le_bytes());
+            out.push(u8::from(*changed));
+        }
+        Response::UnsubscribeAck { id, removed } => {
+            out.push(FRAME_UNSUBSCRIBE_ACK);
+            out.extend_from_slice(&id.to_le_bytes());
+            out.push(u8::from(*removed));
+        }
+        Response::Notify(n) => {
+            out.push(FRAME_NOTIFY);
+            out.extend_from_slice(&n.id.to_le_bytes());
+            out.extend_from_slice(&n.epoch.to_le_bytes());
+            out.push(u8::from(n.resync));
+            out.extend_from_slice(&(n.deltas.len() as u32).to_le_bytes());
+            for delta in &n.deltas {
+                match delta {
+                    Delta::CommunityEntered { rank, community } => {
+                        out.push(DELTA_ENTERED);
+                        out.extend_from_slice(&(*rank as u32).to_le_bytes());
+                        push_community(out, community);
+                    }
+                    Delta::CommunityLeft { rank, community } => {
+                        out.push(DELTA_LEFT);
+                        out.extend_from_slice(&(*rank as u32).to_le_bytes());
+                        push_community(out, community);
+                    }
+                    Delta::RankMoved {
+                        from,
+                        to,
+                        community,
+                    } => {
+                        out.push(DELTA_RANK_MOVED);
+                        out.extend_from_slice(&(*from as u32).to_le_bytes());
+                        out.extend_from_slice(&(*to as u32).to_le_bytes());
+                        push_community(out, community);
+                    }
+                    Delta::ValueChanged {
+                        rank,
+                        old_value,
+                        community,
+                    } => {
+                        out.push(DELTA_VALUE_CHANGED);
+                        out.extend_from_slice(&(*rank as u32).to_le_bytes());
+                        out.extend_from_slice(&old_value.to_bits().to_le_bytes());
+                        push_community(out, community);
+                    }
+                }
+            }
+            push_communities(out, &n.answer);
+        }
         Response::ProtocolError { message } => {
             out.push(FRAME_PROTOCOL_ERROR);
             push_str(out, message);
@@ -443,6 +651,7 @@ pub fn encode_response(resp: &Response, out: &mut Vec<u8>) {
                         ErrorKind::Search => STATUS_SEARCH_ERROR,
                         ErrorKind::DeadlineExceeded => STATUS_DEADLINE_EXCEEDED,
                         ErrorKind::Internal => STATUS_INTERNAL,
+                        ErrorKind::Unsupported => STATUS_UNSUPPORTED,
                     });
                     push_str(out, message);
                 }
@@ -458,6 +667,58 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, ProtocolError> {
         FRAME_SHUTDOWN_ACK => {
             r.finish(1)?;
             Ok(Response::ShutdownAck)
+        }
+        FRAME_UPDATE_ACK => {
+            let id = r.u64()?;
+            let epoch = r.u64()?;
+            let changed = r.u8()? != 0;
+            r.finish(18)?;
+            Ok(Response::UpdateAck { id, epoch, changed })
+        }
+        FRAME_UNSUBSCRIBE_ACK => {
+            let id = r.u64()?;
+            let removed = r.u8()? != 0;
+            r.finish(10)?;
+            Ok(Response::UnsubscribeAck { id, removed })
+        }
+        FRAME_NOTIFY => {
+            let id = r.u64()?;
+            let epoch = r.u64()?;
+            let resync = r.u8()? != 0;
+            let n = r.u32()? as usize;
+            let mut deltas = Vec::new();
+            for _ in 0..n {
+                deltas.push(match r.u8()? {
+                    DELTA_ENTERED => Delta::CommunityEntered {
+                        rank: r.u32()? as usize,
+                        community: r.community()?,
+                    },
+                    DELTA_LEFT => Delta::CommunityLeft {
+                        rank: r.u32()? as usize,
+                        community: r.community()?,
+                    },
+                    DELTA_RANK_MOVED => Delta::RankMoved {
+                        from: r.u32()? as usize,
+                        to: r.u32()? as usize,
+                        community: r.community()?,
+                    },
+                    DELTA_VALUE_CHANGED => Delta::ValueChanged {
+                        rank: r.u32()? as usize,
+                        old_value: f64::from_bits(r.u64()?),
+                        community: r.community()?,
+                    },
+                    t => return Err(ProtocolError::BadFrameType(t)),
+                });
+            }
+            let answer = r.communities()?;
+            r.done()?;
+            Ok(Response::Notify(WireNotification {
+                id,
+                epoch,
+                resync,
+                deltas,
+                answer,
+            }))
         }
         FRAME_PROTOCOL_ERROR => {
             let message = r.str()?;
@@ -486,16 +747,18 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, ProtocolError> {
                         proven_prefix_len,
                     }
                 }
-                s @ (STATUS_SEARCH_ERROR | STATUS_DEADLINE_EXCEEDED | STATUS_INTERNAL) => {
-                    Outcome::Error {
-                        kind: match s {
-                            STATUS_SEARCH_ERROR => ErrorKind::Search,
-                            STATUS_DEADLINE_EXCEEDED => ErrorKind::DeadlineExceeded,
-                            _ => ErrorKind::Internal,
-                        },
-                        message: r.str()?,
-                    }
-                }
+                s @ (STATUS_SEARCH_ERROR
+                | STATUS_DEADLINE_EXCEEDED
+                | STATUS_INTERNAL
+                | STATUS_UNSUPPORTED) => Outcome::Error {
+                    kind: match s {
+                        STATUS_SEARCH_ERROR => ErrorKind::Search,
+                        STATUS_DEADLINE_EXCEEDED => ErrorKind::DeadlineExceeded,
+                        STATUS_UNSUPPORTED => ErrorKind::Unsupported,
+                        _ => ErrorKind::Internal,
+                    },
+                    message: r.str()?,
+                },
                 s => return Err(ProtocolError::BadFrameType(s)),
             };
             r.done()?;
@@ -513,11 +776,15 @@ fn push_str(out: &mut Vec<u8>, s: &str) {
 fn push_communities(out: &mut Vec<u8>, communities: &[Community]) {
     out.extend_from_slice(&(communities.len() as u32).to_le_bytes());
     for c in communities {
-        out.extend_from_slice(&c.value.to_bits().to_le_bytes());
-        out.extend_from_slice(&(c.vertices.len() as u32).to_le_bytes());
-        for &v in &c.vertices {
-            out.extend_from_slice(&v.to_le_bytes());
-        }
+        push_community(out, c);
+    }
+}
+
+fn push_community(out: &mut Vec<u8>, c: &Community) {
+    out.extend_from_slice(&c.value.to_bits().to_le_bytes());
+    out.extend_from_slice(&(c.vertices.len() as u32).to_le_bytes());
+    for &v in &c.vertices {
+        out.extend_from_slice(&v.to_le_bytes());
     }
 }
 
@@ -570,18 +837,22 @@ impl<'a> Reader<'a> {
         let n = self.u32()? as usize;
         let mut out = Vec::new();
         for _ in 0..n {
-            let value = f64::from_bits(self.u64()?);
-            let nv = self.u32()? as usize;
-            let mut vertices = Vec::new();
-            for _ in 0..nv {
-                vertices.push(self.u32()?);
-            }
-            // Not Community::new: the wire must round-trip the solver
-            // output bit-for-bit, including its (already canonical)
-            // vertex order.
-            out.push(Community { vertices, value });
+            out.push(self.community()?);
         }
         Ok(out)
+    }
+
+    fn community(&mut self) -> Result<Community, ProtocolError> {
+        let value = f64::from_bits(self.u64()?);
+        let nv = self.u32()? as usize;
+        let mut vertices = Vec::new();
+        for _ in 0..nv {
+            vertices.push(self.u32()?);
+        }
+        // Not Community::new: the wire must round-trip the solver
+        // output bit-for-bit, including its (already canonical)
+        // vertex order.
+        Ok(Community { vertices, value })
     }
 
     fn finish(self, expected: usize) -> Result<(), ProtocolError> {
@@ -605,11 +876,14 @@ impl<'a> Reader<'a> {
 // JSON-lines mode
 
 /// Parses one JSON-lines request. Recognized keys: `op` (`"query"`,
-/// the default, or `"shutdown"`), `id`, `k`, `r`, `agg` (name string or
-/// numeric wire code), `alpha`/`beta`/`t`/`p` (the aggregation
-/// parameter, any one of them), `eps`, `s` + `greedy` (size bound), and
-/// `deadline_ms`. Unknown keys are rejected — silent typo-tolerance
-/// ("deadine_ms") is worse than an error in a debug protocol.
+/// the default, `"subscribe"`, `"unsubscribe"`, `"update"`, or
+/// `"shutdown"`), `id`, `k`, `r`, `agg` (name string or numeric wire
+/// code), `alpha`/`beta`/`t`/`p` (the aggregation parameter, any one
+/// of them), `eps`, `s` + `greedy` (size bound), `deadline_ms`, and —
+/// for `"update"` — `updates`, a space-separated string of
+/// `+u:v` (insert) / `-u:v` (remove) edge updates. Unknown keys are
+/// rejected — silent typo-tolerance ("deadine_ms") is worse than an
+/// error in a debug protocol.
 pub fn parse_json_request(line: &str) -> Result<Request, ProtocolError> {
     let pairs = json::parse_flat_object(line).map_err(ProtocolError::BadJson)?;
     let mut id = 0u64;
@@ -623,6 +897,7 @@ pub fn parse_json_request(line: &str) -> Result<Request, ProtocolError> {
     let mut greedy = false;
     let mut deadline_ms: Option<f64> = None;
     let mut op: Option<String> = None;
+    let mut updates: Option<String> = None;
 
     let num = |key: &str, v: &JsonValue| -> Result<f64, ProtocolError> {
         match v {
@@ -670,19 +945,38 @@ pub fn parse_json_request(line: &str) -> Result<Request, ProtocolError> {
                 _ => return Err(ProtocolError::BadJson("greedy must be a boolean".into())),
             },
             "deadline_ms" => deadline_ms = Some(num(key, value)?),
+            "updates" => match value {
+                JsonValue::Str(s) => updates = Some(s.clone()),
+                _ => {
+                    return Err(ProtocolError::BadJson(
+                        "updates must be a string of +u:v / -u:v tokens".into(),
+                    ))
+                }
+            },
             other => {
                 return Err(ProtocolError::BadJson(format!("unknown key {other:?}")));
             }
         }
     }
 
-    match op.as_deref() {
+    let subscribe = match op.as_deref() {
         Some("shutdown") => return Ok(Request::Shutdown),
-        Some("query") | None => {}
+        Some("unsubscribe") => return Ok(Request::Unsubscribe { id }),
+        Some("update") => {
+            let spec = updates.ok_or_else(|| {
+                ProtocolError::BadJson("update requests need an \"updates\" key".into())
+            })?;
+            return Ok(Request::Update {
+                id,
+                updates: parse_update_spec(&spec)?,
+            });
+        }
+        Some("subscribe") => true,
+        Some("query") | None => false,
         Some(other) => {
             return Err(ProtocolError::BadJson(format!("unknown op {other:?}")));
         }
-    }
+    };
 
     let code = match (agg_code, agg_name.as_deref()) {
         (Some(c), _) => c,
@@ -706,7 +1000,42 @@ pub fn parse_json_request(line: &str) -> Result<Request, ProtocolError> {
         }
         query = query.deadline(Duration::from_secs_f64(ms / 1000.0));
     }
-    Ok(Request::Query(WireQuery { id, query }))
+    let wire = WireQuery { id, query };
+    Ok(if subscribe {
+        Request::Subscribe(wire)
+    } else {
+        Request::Query(wire)
+    })
+}
+
+/// Parses the `updates` string of a JSON `update` request: whitespace
+/// separated `+u:v` (insert) / `-u:v` (remove) tokens.
+fn parse_update_spec(spec: &str) -> Result<Vec<EdgeUpdate>, ProtocolError> {
+    let mut updates = Vec::new();
+    for token in spec.split_whitespace() {
+        let bad = || ProtocolError::BadJson(format!("bad update token {token:?}"));
+        let (insert, rest) = if let Some(rest) = token.strip_prefix('+') {
+            (true, rest)
+        } else if let Some(rest) = token.strip_prefix('-') {
+            (false, rest)
+        } else {
+            return Err(bad());
+        };
+        let (u, v) = rest.split_once(':').ok_or_else(bad)?;
+        let u: u32 = u.parse().map_err(|_| bad())?;
+        let v: u32 = v.parse().map_err(|_| bad())?;
+        updates.push(if insert {
+            EdgeUpdate::Insert { u, v }
+        } else {
+            EdgeUpdate::Remove { u, v }
+        });
+        if updates.len() > UPDATES_PER_FRAME_MAX {
+            return Err(ProtocolError::BadJson(format!(
+                "too many updates in one request (max {UPDATES_PER_FRAME_MAX})"
+            )));
+        }
+    }
+    Ok(updates)
 }
 
 /// The JSON name of each wire aggregation code (also accepted as the
@@ -775,6 +1104,7 @@ pub fn render_json_response(resp: &Response) -> String {
                             ErrorKind::Search => "search",
                             ErrorKind::DeadlineExceeded => "deadline_exceeded",
                             ErrorKind::Internal => "internal",
+                            ErrorKind::Unsupported => "unsupported",
                         }
                     ));
                     json::push_json_str(&mut out, message);
@@ -782,8 +1112,75 @@ pub fn render_json_response(resp: &Response) -> String {
             }
             out.push('}');
         }
+        Response::UpdateAck { id, epoch, changed } => {
+            out.push_str(&format!(
+                r#"{{"id":{id},"status":"updated","epoch":{epoch},"changed":{changed}}}"#
+            ));
+        }
+        Response::UnsubscribeAck { id, removed } => {
+            out.push_str(&format!(
+                r#"{{"id":{id},"status":"unsubscribed","removed":{removed}}}"#
+            ));
+        }
+        Response::Notify(n) => {
+            out.push_str(&format!(
+                r#"{{"id":{},"status":"notify","epoch":{},"resync":{},"deltas":["#,
+                n.id, n.epoch, n.resync
+            ));
+            for (i, delta) in n.deltas.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                push_json_delta(&mut out, delta);
+            }
+            out.push(']');
+            push_json_communities(&mut out, &n.answer);
+            out.push('}');
+        }
     }
     out
+}
+
+fn push_json_delta(out: &mut String, delta: &Delta) {
+    let community = match delta {
+        Delta::CommunityEntered { rank, community } => {
+            out.push_str(&format!(r#"{{"kind":"entered","rank":{rank}"#));
+            community
+        }
+        Delta::CommunityLeft { rank, community } => {
+            out.push_str(&format!(r#"{{"kind":"left","rank":{rank}"#));
+            community
+        }
+        Delta::RankMoved {
+            from,
+            to,
+            community,
+        } => {
+            out.push_str(&format!(r#"{{"kind":"rank_moved","from":{from},"to":{to}"#));
+            community
+        }
+        Delta::ValueChanged {
+            rank,
+            old_value,
+            community,
+        } => {
+            out.push_str(&format!(
+                r#"{{"kind":"value_changed","rank":{rank},"old_value":"#
+            ));
+            json::push_json_f64(out, *old_value);
+            community
+        }
+    };
+    out.push_str(r#","value":"#);
+    json::push_json_f64(out, community.value);
+    out.push_str(r#","vertices":["#);
+    for (j, v) in community.vertices.iter().enumerate() {
+        if j > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("{v}"));
+    }
+    out.push_str("]}");
 }
 
 fn push_json_communities(out: &mut String, communities: &[Community]) {
@@ -838,7 +1235,7 @@ mod tests {
                 .deadline(Duration::from_millis(20)),
         ] {
             let req = Request::Query(WireQuery { id: 42, query });
-            assert_eq!(roundtrip_request(req), req, "{query:?}");
+            assert_eq!(roundtrip_request(req.clone()), req, "{query:?}");
         }
         assert_eq!(roundtrip_request(Request::Shutdown), Request::Shutdown);
     }
@@ -894,6 +1291,186 @@ mod tests {
         ] {
             assert_eq!(roundtrip_response(&resp), resp);
         }
+    }
+
+    #[test]
+    fn subscription_requests_round_trip() {
+        let query = Query::new(2, 3, Aggregation::Sum);
+        for req in [
+            Request::Subscribe(WireQuery { id: 7, query }),
+            Request::Unsubscribe { id: 7 },
+            Request::Update {
+                id: 9,
+                updates: vec![
+                    EdgeUpdate::Insert { u: 3, v: 4 },
+                    EdgeUpdate::Remove { u: 0, v: 1 },
+                ],
+            },
+            Request::Update {
+                id: 10,
+                updates: Vec::new(),
+            },
+        ] {
+            assert_eq!(roundtrip_request(req.clone()), req);
+        }
+        // The per-frame update cap is enforced at encode time…
+        let oversized = Request::Update {
+            id: 1,
+            updates: vec![EdgeUpdate::Insert { u: 0, v: 1 }; UPDATES_PER_FRAME_MAX + 1],
+        };
+        let mut buf = Vec::new();
+        assert!(matches!(
+            encode_request(&oversized, &mut buf),
+            Err(ProtocolError::Unsupported(_))
+        ));
+        // …and at decode time (a forged count field).
+        buf.clear();
+        buf.push(FRAME_UPDATE);
+        buf.extend_from_slice(&1u64.to_le_bytes());
+        buf.extend_from_slice(&((UPDATES_PER_FRAME_MAX + 1) as u32).to_le_bytes());
+        assert!(decode_request(&buf).is_err());
+        // An unknown update op byte is typed, not a panic.
+        buf.clear();
+        buf.push(FRAME_UPDATE);
+        buf.extend_from_slice(&1u64.to_le_bytes());
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.push(9); // not insert (0) or remove (1)
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        assert!(decode_request(&buf).is_err());
+    }
+
+    #[test]
+    fn subscription_responses_round_trip_bit_exactly() {
+        let c = |vs: &[u32], v: f64| Community::new(vs.to_vec(), v);
+        for resp in [
+            Response::UpdateAck {
+                id: 4,
+                epoch: 17,
+                changed: true,
+            },
+            Response::UpdateAck {
+                id: 5,
+                epoch: 17,
+                changed: false,
+            },
+            Response::UnsubscribeAck {
+                id: 6,
+                removed: true,
+            },
+            Response::Reply {
+                id: 13,
+                epoch: 2,
+                outcome: Outcome::Error {
+                    kind: ErrorKind::Unsupported,
+                    message: "read-only backend".into(),
+                },
+            },
+            Response::Notify(WireNotification {
+                id: 8,
+                epoch: 21,
+                resync: true,
+                deltas: vec![
+                    Delta::CommunityEntered {
+                        rank: 0,
+                        community: c(&[1, 2, 3], 42.5),
+                    },
+                    Delta::CommunityLeft {
+                        rank: 2,
+                        community: c(&[7, 8], f64::NEG_INFINITY),
+                    },
+                    Delta::RankMoved {
+                        from: 1,
+                        to: 0,
+                        community: c(&[4, 5, 6], 9.0),
+                    },
+                    Delta::ValueChanged {
+                        rank: 1,
+                        old_value: 8.25,
+                        community: c(&[4, 5, 6], 9.0),
+                    },
+                ],
+                answer: vec![c(&[1, 2, 3], 42.5), c(&[4, 5, 6], 9.0)],
+            }),
+            Response::Notify(WireNotification {
+                id: 9,
+                epoch: 22,
+                resync: false,
+                deltas: Vec::new(),
+                answer: Vec::new(),
+            }),
+        ] {
+            assert_eq!(roundtrip_response(&resp), resp);
+        }
+    }
+
+    #[test]
+    fn json_subscription_ops_parse_and_render() {
+        match parse_json_request(r#"{"op": "subscribe", "id": 5, "k": 2, "r": 3, "agg": "min"}"#)
+            .unwrap()
+        {
+            Request::Subscribe(wq) => {
+                assert_eq!(wq.id, 5);
+                assert_eq!(wq.query.k, 2);
+                assert_eq!(wq.query.r, 3);
+                assert_eq!(wq.query.aggregation, Aggregation::Min);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(
+            parse_json_request(r#"{"op": "unsubscribe", "id": 5}"#).unwrap(),
+            Request::Unsubscribe { id: 5 }
+        );
+        assert_eq!(
+            parse_json_request(r#"{"op": "update", "id": 2, "updates": "+0:3 -4:9"}"#).unwrap(),
+            Request::Update {
+                id: 2,
+                updates: vec![
+                    EdgeUpdate::Insert { u: 0, v: 3 },
+                    EdgeUpdate::Remove { u: 4, v: 9 },
+                ],
+            }
+        );
+        for bad in [
+            r#"{"op": "update", "id": 2}"#,           // no updates key
+            r#"{"op": "update", "updates": "0:3"}"#,  // no sign
+            r#"{"op": "update", "updates": "+0-3"}"#, // no colon
+            r#"{"op": "update", "updates": "+a:b"}"#, // not numbers
+            r#"{"op": "update", "updates": 7}"#,      // not a string
+            r#"{"op": "subscribe", "id": 1}"#,        // subscribe without agg
+        ] {
+            assert!(parse_json_request(bad).is_err(), "{bad:?} must not parse");
+        }
+
+        let line = render_json_response(&Response::UpdateAck {
+            id: 2,
+            epoch: 5,
+            changed: true,
+        });
+        assert_eq!(
+            line,
+            r#"{"id":2,"status":"updated","epoch":5,"changed":true}"#
+        );
+        let line = render_json_response(&Response::UnsubscribeAck {
+            id: 5,
+            removed: false,
+        });
+        assert_eq!(line, r#"{"id":5,"status":"unsubscribed","removed":false}"#);
+        let line = render_json_response(&Response::Notify(WireNotification {
+            id: 5,
+            epoch: 6,
+            resync: false,
+            deltas: vec![Delta::ValueChanged {
+                rank: 0,
+                old_value: 2.0,
+                community: Community::new(vec![1, 2], 3.0),
+            }],
+            answer: vec![Community::new(vec![1, 2], 3.0)],
+        }));
+        assert_eq!(
+            line,
+            r#"{"id":5,"status":"notify","epoch":6,"resync":false,"deltas":[{"kind":"value_changed","rank":0,"old_value":2,"value":3,"vertices":[1,2]}],"communities":[{"value":3,"vertices":[1,2]}]}"#
+        );
     }
 
     #[test]

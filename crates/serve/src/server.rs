@@ -53,11 +53,13 @@
 
 use crate::error::ProtocolError;
 use crate::protocol::{
-    self, Outcome, Request, Response, ShedReason, WireQuery, MAGIC, REQ_PAYLOAD_MAX,
+    self, ErrorKind, Outcome, Request, Response, ShedReason, WireNotification, WireQuery, MAGIC,
+    REQ_PAYLOAD_MAX,
 };
 use ic_core::Query;
-use ic_engine::{BatchOptions, Engine, QueryBackend};
-use std::collections::VecDeque;
+use ic_engine::{BatchOptions, EdgeUpdate, Engine, QueryBackend};
+use ic_sub::{Admission, NotificationGate, SubscriptionId, SubscriptionManager};
+use std::collections::{HashMap, VecDeque};
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -94,6 +96,11 @@ pub struct ServeConfig {
     pub shards: usize,
     /// Largest number of queries flushed as one engine batch.
     pub max_batch: usize,
+    /// Per-subscription bound on notifications admitted but not yet
+    /// written (see `ic_sub::NotificationGate`); a subscriber lagging
+    /// beyond it has notifications shed and the next delivered one
+    /// flagged as a resync. Clamped to at least 1.
+    pub notify_capacity: usize,
 }
 
 impl Default for ServeConfig {
@@ -106,6 +113,7 @@ impl Default for ServeConfig {
             queue_capacity: 1024,
             shards: cores.div_ceil(4).clamp(1, 4),
             max_batch: 256,
+            notify_capacity: 64,
         }
     }
 }
@@ -126,16 +134,51 @@ pub struct ServeStats {
     pub largest_batch: u64,
 }
 
+/// One message bound for a connection's writer thread, plus the
+/// notification gate (if any) to rebalance once the message has left
+/// the process — written or abandoned, it is off the queue either way.
+struct Outbound {
+    response: Response,
+    gate: Option<Arc<NotificationGate>>,
+}
+
+impl From<Response> for Outbound {
+    fn from(response: Response) -> Self {
+        Outbound {
+            response,
+            gate: None,
+        }
+    }
+}
+
 struct Admitted {
     wire: WireQuery,
     admitted_at: Instant,
-    reply_to: Sender<Response>,
+    reply_to: Sender<Outbound>,
 }
 
 #[derive(Default)]
 struct Shard {
     queue: Mutex<VecDeque<Admitted>>,
     cond: Condvar,
+}
+
+/// One live subscriber: where its notifications go and the gate
+/// bounding how far it may lag.
+struct Subscriber {
+    client_id: u64,
+    reply_to: Sender<Outbound>,
+    gate: Arc<NotificationGate>,
+}
+
+/// The subscription side of the server: the standing-query manager plus
+/// the routing table from manager-side ids to connections. Present only
+/// when the server fronts a concrete [`Engine`] ([`Server::bind`]);
+/// [`Server::bind_backend`] serves read-only backends, where SUBSCRIBE
+/// and UPDATE are refused typed.
+struct Hub {
+    manager: SubscriptionManager,
+    subscribers: Mutex<HashMap<u64, Subscriber>>,
 }
 
 struct Shared {
@@ -145,6 +188,7 @@ struct Shared {
     next_shard: AtomicUsize,
     draining: AtomicBool,
     conns: Mutex<Vec<JoinHandle<()>>>,
+    hub: Option<Hub>,
     admitted: AtomicU64,
     shed_queue_full: AtomicU64,
     shed_draining: AtomicU64,
@@ -169,7 +213,7 @@ impl Shared {
     }
 
     /// Admits one query (round-robin shard) or returns why it was shed.
-    fn submit(&self, wire: WireQuery, reply_to: Sender<Response>) -> Result<(), ShedReason> {
+    fn submit(&self, wire: WireQuery, reply_to: Sender<Outbound>) -> Result<(), ShedReason> {
         let idx = self.next_shard.fetch_add(1, Ordering::Relaxed) % self.shards.len();
         let shard = &self.shards[idx];
         let mut queue = shard.queue.lock().unwrap();
@@ -213,24 +257,41 @@ pub struct Server {
 impl Server {
     /// Binds `addr` (port 0 picks an ephemeral port — see
     /// [`Server::local_addr`]) and starts the accept and batcher
-    /// threads over `engine`.
+    /// threads over `engine`. A server bound this way has a
+    /// subscription hub: clients may SUBSCRIBE standing queries, push
+    /// UPDATE batches, and receive NOTIFY deltas.
     pub fn bind(
         engine: Arc<Engine>,
         addr: impl ToSocketAddrs,
         config: ServeConfig,
     ) -> std::io::Result<Server> {
-        Self::bind_backend(engine, addr, config)
+        let hub = Hub {
+            manager: SubscriptionManager::new(Arc::clone(&engine)),
+            subscribers: Mutex::new(HashMap::new()),
+        };
+        Self::bind_inner(engine, addr, config, Some(hub))
     }
 
     /// [`Server::bind`] over any [`QueryBackend`] — the single-store
     /// engine or a scatter-gather sharded backend (`ic-shard`'s
     /// `ShardedEngine`). The serving pipeline (admission, micro-batch
     /// coalescing, deadline anchoring, drain) is identical; only the
-    /// batch executor differs.
+    /// batch executor differs. A backend bound this way gets no
+    /// subscription hub: SUBSCRIBE and UPDATE are refused with a typed
+    /// `unsupported` error.
     pub fn bind_backend(
         engine: Arc<dyn QueryBackend>,
         addr: impl ToSocketAddrs,
         config: ServeConfig,
+    ) -> std::io::Result<Server> {
+        Self::bind_inner(engine, addr, config, None)
+    }
+
+    fn bind_inner(
+        engine: Arc<dyn QueryBackend>,
+        addr: impl ToSocketAddrs,
+        config: ServeConfig,
+        hub: Option<Hub>,
     ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
@@ -248,6 +309,7 @@ impl Server {
             next_shard: AtomicUsize::new(0),
             draining: AtomicBool::new(false),
             conns: Mutex::new(Vec::new()),
+            hub,
             admitted: AtomicU64::new(0),
             shed_queue_full: AtomicU64::new(0),
             shed_draining: AtomicU64::new(0),
@@ -292,6 +354,12 @@ impl Server {
             batches: self.shared.batches.load(Ordering::Relaxed),
             largest_batch: self.shared.largest_batch.load(Ordering::Relaxed),
         }
+    }
+
+    /// Subscription-side counters, or `None` when the server was bound
+    /// over an opaque backend ([`Server::bind_backend`]) and has no hub.
+    pub fn sub_stats(&self) -> Option<ic_sub::SubStats> {
+        self.shared.hub.as_ref().map(|hub| hub.manager.stats())
     }
 
     /// Whether a drain (client shutdown frame or [`Server::shutdown`])
@@ -396,11 +464,14 @@ fn flush(shared: &Shared, batch: &mut Vec<Admitted>) {
     for (admitted, result) in batch.drain(..).zip(results) {
         // A send error means the client disconnected; the answer is
         // simply dropped with it.
-        let _ = admitted.reply_to.send(Response::Reply {
-            id: admitted.wire.id,
-            epoch: epoch.index(),
-            outcome: Outcome::from_engine(&result),
-        });
+        let _ = admitted.reply_to.send(
+            Response::Reply {
+                id: admitted.wire.id,
+                epoch: epoch.index(),
+                outcome: Outcome::from_engine(&result),
+            }
+            .into(),
+        );
     }
 }
 
@@ -478,7 +549,7 @@ fn connection(stream: TcpStream, shared: &Arc<Shared>) {
         Ok(s) => s,
         Err(_) => return,
     };
-    let (tx, rx) = mpsc::channel::<Response>();
+    let (tx, rx) = mpsc::channel::<Outbound>();
     let ack_on_close = Arc::new(AtomicBool::new(false));
     let writer = {
         let ack = Arc::clone(&ack_on_close);
@@ -488,15 +559,46 @@ fn connection(stream: TcpStream, shared: &Arc<Shared>) {
             .expect("spawn writer thread")
     };
 
+    let mut subs = ConnSubs {
+        by_client: HashMap::new(),
+    };
     match mode {
-        Mode::Binary => read_binary(stream, shared, &tx, &ack_on_close),
-        Mode::Json => read_json(stream, shared, &tx, &ack_on_close),
+        Mode::Binary => read_binary(stream, shared, &mut subs, &tx, &ack_on_close),
+        Mode::Json => read_json(stream, shared, &mut subs, &tx, &ack_on_close),
     }
+    // The connection's standing queries die with it: a NOTIFY has
+    // nowhere to go once the socket closes.
+    drop_conn_subscriptions(shared, &subs);
     // Closing the reader's sender — after every admitted query's clone
     // has been consumed by a flush — closes the channel; the writer
     // then acks (if owed) and shuts the socket down.
     drop(tx);
     let _ = writer.join();
+}
+
+/// The standing subscriptions registered on one connection, keyed by
+/// the client-chosen id (scoped to the connection; different clients
+/// may reuse ids freely).
+struct ConnSubs {
+    by_client: HashMap<u64, SubscriptionId>,
+}
+
+fn drop_conn_subscriptions(shared: &Shared, subs: &ConnSubs) {
+    let Some(hub) = shared.hub.as_ref() else {
+        return;
+    };
+    if subs.by_client.is_empty() {
+        return;
+    }
+    {
+        let mut subscribers = hub.subscribers.lock().unwrap();
+        for id in subs.by_client.values() {
+            subscribers.remove(&id.0);
+        }
+    }
+    for id in subs.by_client.values() {
+        hub.manager.unsubscribe(*id);
+    }
 }
 
 fn is_timeout(e: &std::io::Error) -> bool {
@@ -508,20 +610,29 @@ fn is_timeout(e: &std::io::Error) -> bool {
 
 fn write_loop(
     mut stream: TcpStream,
-    rx: &Receiver<Response>,
+    rx: &Receiver<Outbound>,
     mode: Mode,
     ack_on_close: &AtomicBool,
 ) {
     let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
     let mut buf = Vec::new();
-    for response in rx.iter() {
-        if write_response(&mut stream, mode, &response, &mut buf).is_err() {
+    let mut dead = false;
+    for outbound in rx.iter() {
+        if !dead && write_response(&mut stream, mode, &outbound.response, &mut buf).is_err() {
             // The client stopped reading; kill the socket so the
-            // reader sees EOF instead of serving a black hole.
+            // reader sees EOF instead of serving a black hole, then
+            // keep draining senders without writing.
             let _ = stream.shutdown(Shutdown::Both);
-            for _ in rx.iter() {} // drain senders without writing
-            return;
+            dead = true;
         }
+        // Written or abandoned, the notification is off the queue
+        // either way — its gate slot frees up.
+        if let Some(gate) = &outbound.gate {
+            gate.delivered();
+        }
+    }
+    if dead {
+        return;
     }
     if ack_on_close.load(Ordering::Acquire) {
         let _ = write_response(&mut stream, mode, &Response::ShutdownAck, &mut buf);
@@ -645,7 +756,8 @@ fn read_request_frame(
 fn read_binary(
     mut stream: TcpStream,
     shared: &Arc<Shared>,
-    tx: &Sender<Response>,
+    subs: &mut ConnSubs,
+    tx: &Sender<Outbound>,
     ack_on_close: &AtomicBool,
 ) {
     let mut buf = Vec::new();
@@ -663,38 +775,226 @@ fn read_binary(
                     return;
                 }
                 Ok(Request::Query(wire)) => handle_query(shared, tx, wire),
+                Ok(Request::Subscribe(wire)) => handle_subscribe(shared, subs, tx, wire),
+                Ok(Request::Unsubscribe { id }) => handle_unsubscribe(shared, subs, tx, id),
+                Ok(Request::Update { id, updates }) => handle_update(shared, tx, id, &updates),
                 // A decode error inside a well-delimited frame leaves
                 // the stream synchronized: report it, keep serving.
                 Err(e) => {
-                    let _ = tx.send(Response::ProtocolError {
-                        message: e.to_string(),
-                    });
+                    let _ = tx.send(
+                        Response::ProtocolError {
+                            message: e.to_string(),
+                        }
+                        .into(),
+                    );
                 }
             },
             // Framing-level violations (bad magic, oversized prefix,
             // truncation) make resynchronization impossible: report if
             // the socket still works, then close.
             Err(e) => {
-                let _ = tx.send(Response::ProtocolError {
-                    message: e.to_string(),
-                });
+                let _ = tx.send(
+                    Response::ProtocolError {
+                        message: e.to_string(),
+                    }
+                    .into(),
+                );
                 return;
             }
         }
     }
 }
 
-fn handle_query(shared: &Arc<Shared>, tx: &Sender<Response>, wire: WireQuery) {
+fn handle_query(shared: &Arc<Shared>, tx: &Sender<Outbound>, wire: WireQuery) {
     let id = wire.id;
     if let Err(reason) = shared.submit(wire, tx.clone()) {
-        let _ = tx.send(Response::Overloaded { id, reason });
+        let _ = tx.send(Response::Overloaded { id, reason }.into());
+    }
+}
+
+/// A typed per-request refusal: a [`Response::Reply`] carrying an
+/// `unsupported` outcome, correlatable by id (unlike a bare
+/// [`Response::ProtocolError`]).
+fn refuse(tx: &Sender<Outbound>, id: u64, epoch: u64, message: String) {
+    let _ = tx.send(
+        Response::Reply {
+            id,
+            epoch,
+            outcome: Outcome::Error {
+                kind: ErrorKind::Unsupported,
+                message,
+            },
+        }
+        .into(),
+    );
+}
+
+fn handle_subscribe(
+    shared: &Arc<Shared>,
+    subs: &mut ConnSubs,
+    tx: &Sender<Outbound>,
+    wire: WireQuery,
+) {
+    let Some(hub) = shared.hub.as_ref() else {
+        refuse(
+            tx,
+            wire.id,
+            0,
+            "this backend does not support subscriptions".into(),
+        );
+        return;
+    };
+    let epoch = hub.manager.engine().epoch().index();
+    if subs.by_client.contains_key(&wire.id) {
+        refuse(
+            tx,
+            wire.id,
+            epoch,
+            format!(
+                "subscription id {} is already live on this connection",
+                wire.id
+            ),
+        );
+        return;
+    }
+    match hub.manager.subscribe(wire.query) {
+        Ok(sub) => {
+            let gate = Arc::new(NotificationGate::new(shared.config.notify_capacity));
+            hub.subscribers.lock().unwrap().insert(
+                sub.id.0,
+                Subscriber {
+                    client_id: wire.id,
+                    reply_to: tx.clone(),
+                    gate,
+                },
+            );
+            subs.by_client.insert(wire.id, sub.id);
+            let _ = tx.send(
+                Response::Reply {
+                    id: wire.id,
+                    epoch: sub.epoch.index(),
+                    outcome: Outcome::Complete(sub.answer),
+                }
+                .into(),
+            );
+        }
+        Err(e) => {
+            let _ = tx.send(
+                Response::Reply {
+                    id: wire.id,
+                    epoch,
+                    outcome: Outcome::from_engine(&Err(e)),
+                }
+                .into(),
+            );
+        }
+    }
+}
+
+fn handle_unsubscribe(shared: &Arc<Shared>, subs: &mut ConnSubs, tx: &Sender<Outbound>, id: u64) {
+    let removed = match (shared.hub.as_ref(), subs.by_client.remove(&id)) {
+        (Some(hub), Some(sub_id)) => {
+            hub.subscribers.lock().unwrap().remove(&sub_id.0);
+            hub.manager.unsubscribe(sub_id)
+        }
+        // Unknown ids (and hub-less servers, where nothing can be
+        // subscribed) ack with `removed: false` — unsubscribing is
+        // idempotent, not an error.
+        _ => false,
+    };
+    let _ = tx.send(Response::UnsubscribeAck { id, removed }.into());
+}
+
+fn handle_update(shared: &Arc<Shared>, tx: &Sender<Outbound>, id: u64, updates: &[EdgeUpdate]) {
+    let Some(hub) = shared.hub.as_ref() else {
+        // No hub means no subscribers to notify, so route straight
+        // through the backend: read-only backends refuse typed, a
+        // mutable one just works. The trait does not surface a no-op
+        // flag, so `changed` is conservatively true here.
+        match shared.engine.apply_updates(updates) {
+            Ok(epoch) => {
+                let _ = tx.send(
+                    Response::UpdateAck {
+                        id,
+                        epoch: epoch.index(),
+                        changed: true,
+                    }
+                    .into(),
+                );
+            }
+            Err(e) => {
+                let _ = tx.send(
+                    Response::Reply {
+                        id,
+                        epoch: 0,
+                        outcome: Outcome::from_engine(&Err(e)),
+                    }
+                    .into(),
+                );
+            }
+        }
+        return;
+    };
+    match hub.manager.apply(updates) {
+        Ok(report) => {
+            // Fan out the notifications *before* enqueueing the ack:
+            // an updater subscribed on the same connection observes
+            // NOTIFY frames ahead of its UPDATE_ACK, so "ack received"
+            // implies "all deltas of that epoch received".
+            let subscribers = hub.subscribers.lock().unwrap();
+            for n in &report.notifications {
+                let Some(sub) = subscribers.get(&n.id.0) else {
+                    continue; // unsubscribed between refresh and fanout
+                };
+                let resync = match sub.gate.admit() {
+                    Admission::Shed => continue,
+                    Admission::Deliver => false,
+                    Admission::DeliverResync => true,
+                };
+                let outbound = Outbound {
+                    response: Response::Notify(WireNotification {
+                        id: sub.client_id,
+                        epoch: n.epoch.index(),
+                        resync,
+                        deltas: n.deltas.clone(),
+                        answer: n.answer.clone(),
+                    }),
+                    gate: Some(Arc::clone(&sub.gate)),
+                };
+                if sub.reply_to.send(outbound).is_err() {
+                    // Writer already gone; give the admission back.
+                    sub.gate.delivered();
+                }
+            }
+            drop(subscribers);
+            let _ = tx.send(
+                Response::UpdateAck {
+                    id,
+                    epoch: report.epoch.index(),
+                    changed: report.changed,
+                }
+                .into(),
+            );
+        }
+        Err(e) => {
+            let epoch = hub.manager.engine().epoch().index();
+            let _ = tx.send(
+                Response::Reply {
+                    id,
+                    epoch,
+                    outcome: Outcome::from_engine(&Err(e)),
+                }
+                .into(),
+            );
+        }
     }
 }
 
 fn read_json(
     mut stream: TcpStream,
     shared: &Arc<Shared>,
-    tx: &Sender<Response>,
+    subs: &mut ConnSubs,
+    tx: &Sender<Outbound>,
     ack_on_close: &AtomicBool,
 ) {
     let mut pending: Vec<u8> = Vec::new();
@@ -706,9 +1006,12 @@ fn read_json(
             let line = match std::str::from_utf8(&line_bytes[..line_bytes.len() - 1]) {
                 Ok(l) => l.trim_end_matches('\r'),
                 Err(_) => {
-                    let _ = tx.send(Response::ProtocolError {
-                        message: ProtocolError::BadUtf8.to_string(),
-                    });
+                    let _ = tx.send(
+                        Response::ProtocolError {
+                            message: ProtocolError::BadUtf8.to_string(),
+                        }
+                        .into(),
+                    );
                     continue;
                 }
             };
@@ -722,23 +1025,32 @@ fn read_json(
                     return;
                 }
                 Ok(Request::Query(wire)) => handle_query(shared, tx, wire),
+                Ok(Request::Subscribe(wire)) => handle_subscribe(shared, subs, tx, wire),
+                Ok(Request::Unsubscribe { id }) => handle_unsubscribe(shared, subs, tx, id),
+                Ok(Request::Update { id, updates }) => handle_update(shared, tx, id, &updates),
                 // JSON lines are self-delimiting, so every error is
                 // recoverable: report and keep reading.
                 Err(e) => {
-                    let _ = tx.send(Response::ProtocolError {
-                        message: e.to_string(),
-                    });
+                    let _ = tx.send(
+                        Response::ProtocolError {
+                            message: e.to_string(),
+                        }
+                        .into(),
+                    );
                 }
             }
         }
         if pending.len() > REQ_PAYLOAD_MAX as usize {
-            let _ = tx.send(Response::ProtocolError {
-                message: ProtocolError::FrameTooLarge {
-                    len: pending.len() as u32,
-                    max: REQ_PAYLOAD_MAX,
+            let _ = tx.send(
+                Response::ProtocolError {
+                    message: ProtocolError::FrameTooLarge {
+                        len: pending.len() as u32,
+                        max: REQ_PAYLOAD_MAX,
+                    }
+                    .to_string(),
                 }
-                .to_string(),
-            });
+                .into(),
+            );
             return;
         }
         match stream.read(&mut chunk) {

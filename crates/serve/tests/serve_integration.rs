@@ -174,6 +174,7 @@ fn full_admission_queue_sheds_with_a_typed_reply() {
             queue_capacity: 1,
             shards: 1,
             max_batch: 64,
+            ..ServeConfig::default()
         },
     )
     .unwrap();
@@ -279,6 +280,272 @@ fn queries_during_drain_are_shed_with_draining_reason() {
             // I/O error is a visible outcome, not a hang.
             Err(ic_serve::ClientError::Protocol(ic_serve::ProtocolError::Io(_))) => {}
             other => panic!("expected Draining shed, ack, or clean close; got {other:?}"),
+        }
+    }
+    server.join();
+}
+
+// ---------------------------------------------------------------------
+// Standing-query subscriptions
+
+/// End-to-end subscription semantics: the initial answer matches a
+/// direct solve, an UPDATE fans out NOTIFY deltas (to this and other
+/// connections) that match a fresh-engine diff oracle, and the deltas
+/// replay onto the old answer bit-exactly.
+#[test]
+fn subscriptions_stream_deltas_matching_the_fresh_engine_oracle() {
+    let engine = Arc::new(Engine::with_threads(ic_core::figure1::figure1(), 2));
+    let server = Server::bind(engine.clone(), "127.0.0.1:0", ServeConfig::default()).unwrap();
+    let addr = server.local_addr();
+
+    let q1 = Query::new(2, 3, Aggregation::Min);
+    let q2 = Query::new(3, 2, Aggregation::Max);
+
+    let mut updater = Client::connect(addr).unwrap();
+    let sub1 = updater.subscribe(1, &q1).unwrap();
+    let initial1 = reply_communities(&sub1).to_vec();
+    assert_eq!(
+        initial1,
+        q1.solve(&ic_core::figure1::figure1()).unwrap(),
+        "initial subscription answer must match a direct solve"
+    );
+
+    // A second subscriber on its own connection; client-chosen ids are
+    // per-connection, so it can reuse id 1.
+    let mut watcher = Client::connect(addr).unwrap();
+    let sub2 = watcher.subscribe(1, &q2).unwrap();
+    let initial2 = reply_communities(&sub2).to_vec();
+
+    match updater
+        .update(99, &[EdgeUpdate::Remove { u: 2, v: 8 }])
+        .unwrap()
+    {
+        Response::UpdateAck {
+            id: 99,
+            epoch: 1,
+            changed: true,
+        } => {}
+        other => panic!("expected UpdateAck at epoch 1, got {other:?}"),
+    }
+
+    // Oracle: a fresh engine over the post-update graph, diffed against
+    // the pre-update answers with the canonical diff.
+    let fresh = Engine::with_threads(engine.snapshot().weighted().clone(), 2);
+    let new1 = fresh.run_batch(&[q1])[0].clone().unwrap();
+    let new2 = fresh.run_batch(&[q2])[0].clone().unwrap();
+    let want1 = ic_sub::diff_answers(&initial1, &new1);
+    let want2 = ic_sub::diff_answers(&initial2, &new2);
+
+    // Fanout happens before the updater's ack is enqueued, so by the
+    // time the ack arrived, this connection's notification (if owed)
+    // was already diverted to the queue.
+    match updater.poll_notification() {
+        Some(n) => {
+            assert_eq!(n.id, 1);
+            assert_eq!(n.epoch, 1);
+            assert!(!n.resync);
+            assert_eq!(n.deltas, want1, "deltas must match the diff oracle");
+            assert_eq!(n.answer, new1);
+            assert_eq!(ic_sub::replay(&initial1, &n.deltas), new1);
+        }
+        None => assert!(
+            want1.is_empty(),
+            "oracle says the answer changed but no notification arrived"
+        ),
+    }
+    if !want2.is_empty() {
+        let n = watcher.wait_notification().unwrap();
+        assert_eq!(n.id, 1);
+        assert_eq!(n.epoch, 1);
+        assert_eq!(n.deltas, want2);
+        assert_eq!(ic_sub::replay(&initial2, &n.deltas), new2);
+    }
+
+    // A no-op batch (edge already gone) changes nothing and notifies
+    // nobody; the ack still reports the (unchanged) epoch.
+    match updater
+        .update(100, &[EdgeUpdate::Remove { u: 2, v: 8 }])
+        .unwrap()
+    {
+        Response::UpdateAck {
+            id: 100,
+            epoch: 1,
+            changed: false,
+        } => {}
+        other => panic!("expected a no-op UpdateAck, got {other:?}"),
+    }
+    assert!(updater.poll_notification().is_none());
+
+    server.shutdown();
+    server.join();
+}
+
+/// Unsubscribing stops the stream, double-unsubscribe is an idempotent
+/// `removed: false`, and duplicate live ids on one connection are
+/// refused typed.
+#[test]
+fn unsubscribe_stops_notifications_and_duplicate_ids_are_refused() {
+    let engine = Arc::new(Engine::with_threads(ic_core::figure1::figure1(), 2));
+    let server = Server::bind(engine, "127.0.0.1:0", ServeConfig::default()).unwrap();
+    let addr = server.local_addr();
+
+    let q = Query::new(2, 3, Aggregation::Min);
+    let mut watcher = Client::connect(addr).unwrap();
+    watcher.subscribe(1, &q).unwrap();
+
+    // A second SUBSCRIBE under the same live id must not silently
+    // shadow the first.
+    match watcher.subscribe(1, &q).unwrap() {
+        Response::Reply {
+            id: 1,
+            outcome: Outcome::Error { kind, .. },
+            ..
+        } => assert_eq!(kind, ic_serve::ErrorKind::Unsupported),
+        other => panic!("expected a typed duplicate-id refusal, got {other:?}"),
+    }
+
+    match watcher.unsubscribe(1).unwrap() {
+        Response::UnsubscribeAck { id: 1, removed } => assert!(removed),
+        other => panic!("expected an unsubscribe ack, got {other:?}"),
+    }
+    match watcher.unsubscribe(1).unwrap() {
+        Response::UnsubscribeAck { id: 1, removed } => assert!(!removed),
+        other => panic!("expected an idempotent ack, got {other:?}"),
+    }
+
+    // An update that definitely changes the k=2 answer must no longer
+    // notify the unsubscribed watcher. Ordering makes the negative
+    // check sound: the updater's ack is enqueued after fanout, and the
+    // watcher's later reply is enqueued after that on its own (FIFO)
+    // connection — so a stray NOTIFY would have been diverted by
+    // wait_for before the query reply returned.
+    let mut updater = Client::connect(addr).unwrap();
+    match updater
+        .update(7, &[EdgeUpdate::Remove { u: 0, v: 1 }])
+        .unwrap()
+    {
+        Response::UpdateAck { id: 7, changed, .. } => assert!(changed),
+        other => panic!("expected an update ack, got {other:?}"),
+    }
+    let _ = watcher.call(33, &q).unwrap();
+    assert!(
+        watcher.poll_notification().is_none(),
+        "unsubscribed connections must not receive notifications"
+    );
+
+    server.shutdown();
+    server.join();
+}
+
+/// Servers bound over an opaque backend have no subscription hub:
+/// SUBSCRIBE and UPDATE get typed `unsupported` refusals and the
+/// connection keeps serving queries.
+#[test]
+fn backend_servers_refuse_subscriptions_and_updates_typed() {
+    use ic_engine::{BatchOptions, EngineError, Epoch, QueryAnswer, QueryBackend};
+
+    /// An Engine hidden behind the trait, keeping the trait's default
+    /// (refusing) `apply_updates` — the shape of any read-only backend.
+    struct ReadOnly(Engine);
+    impl QueryBackend for ReadOnly {
+        fn run_batch_pinned(
+            &self,
+            queries: &[Query],
+            options: &BatchOptions,
+        ) -> (Epoch, Vec<Result<QueryAnswer, EngineError>>) {
+            self.0.run_batch_pinned(queries, options)
+        }
+    }
+
+    let backend = Arc::new(ReadOnly(Engine::with_threads(
+        ic_core::figure1::figure1(),
+        2,
+    )));
+    let server = Server::bind_backend(backend, "127.0.0.1:0", ServeConfig::default()).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let q = Query::new(2, 2, Aggregation::Sum);
+
+    for response in [
+        client.subscribe(1, &q).unwrap(),
+        client
+            .update(2, &[EdgeUpdate::Insert { u: 0, v: 5 }])
+            .unwrap(),
+    ] {
+        match response {
+            Response::Reply {
+                outcome: Outcome::Error { kind, .. },
+                ..
+            } => assert_eq!(kind, ic_serve::ErrorKind::Unsupported),
+            other => panic!("expected a typed refusal, got {other:?}"),
+        }
+    }
+    match client.unsubscribe(1).unwrap() {
+        Response::UnsubscribeAck { id: 1, removed } => assert!(!removed),
+        other => panic!("expected an idempotent ack, got {other:?}"),
+    }
+    // The refusals left the connection healthy.
+    let _ = reply_communities(&client.call(3, &q).unwrap());
+
+    server.shutdown();
+    server.join();
+}
+
+/// The JSON-lines debug mode speaks the whole subscription vocabulary:
+/// subscribe, notify-before-ack, unsubscribe, shutdown.
+#[test]
+fn json_mode_serves_subscriptions_and_updates() {
+    use std::io::{BufRead, Write};
+
+    let engine = Arc::new(Engine::with_threads(ic_core::figure1::figure1(), 2));
+    let server = Server::bind(engine, "127.0.0.1:0", ServeConfig::default()).unwrap();
+    let stream = std::net::TcpStream::connect(server.local_addr()).unwrap();
+    let mut reader = std::io::BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+    let mut line = String::new();
+
+    writeln!(
+        writer,
+        r#"{{"op":"subscribe","id":1,"k":2,"r":3,"agg":"min"}}"#
+    )
+    .unwrap();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.contains(r#""status":"complete""#), "got: {line}");
+
+    writeln!(writer, r#"{{"op":"update","id":9,"updates":"-2:8"}}"#).unwrap();
+    let mut saw_notify = false;
+    loop {
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        if line.contains(r#""status":"notify""#) {
+            assert!(line.contains(r#""id":1"#), "got: {line}");
+            saw_notify = true;
+            continue;
+        }
+        assert!(
+            line.contains(r#""status":"updated""#) && line.contains(r#""epoch":1"#),
+            "expected NOTIFY frames then the ack, got: {line}"
+        );
+        break;
+    }
+    // Removing an in-2-core edge of figure1 changes the (2,3,Min)
+    // answer, so the subscriber is owed exactly one notification —
+    // and it must precede the ack (checked by the loop shape above).
+    assert!(saw_notify, "the update changed the answer; NOTIFY is owed");
+
+    writeln!(writer, r#"{{"op":"unsubscribe","id":1}}"#).unwrap();
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    assert!(
+        line.contains(r#""status":"unsubscribed""#) && line.contains(r#""removed":true"#),
+        "got: {line}"
+    );
+
+    writeln!(writer, r#"{{"op":"shutdown"}}"#).unwrap();
+    loop {
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        if line.contains(r#""status":"shutdown_ack""#) {
+            break;
         }
     }
     server.join();

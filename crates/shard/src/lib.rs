@@ -510,6 +510,19 @@ mod tests {
     }
 
     #[test]
+    fn edge_updates_are_refused_typed() {
+        let dir = shard_dir("updates", 6);
+        let sharded = ShardedEngine::open_dir(&dir).unwrap();
+        // A scatter-gather front over immutable store files keeps the
+        // trait's default refusal — never a panic, never a silent drop.
+        let err = sharded
+            .apply_updates(&[ic_engine::EdgeUpdate::Remove { u: 0, v: 1 }])
+            .expect_err("sharded backends are read-only");
+        assert!(matches!(err, EngineError::Unsupported { .. }), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn invalid_and_unsupported_queries_fail_typed() {
         let dir = shard_dir("invalid", 6);
         let sharded = ShardedEngine::open_dir(&dir).unwrap();

@@ -100,6 +100,36 @@ fn query_sweep(ks: &[usize]) -> Vec<Query> {
     queries
 }
 
+/// A randomized update script: batches of abstract (insert?, u, v)
+/// ops, folded onto the graph's vertex range at runtime (self-loops
+/// dropped). Removes of absent edges and inserts of present ones are
+/// in distribution on purpose: no-op batches must not advance state.
+fn arb_script() -> impl Strategy<Value = Vec<Vec<(bool, u32, u32)>>> {
+    proptest::collection::vec(
+        proptest::collection::vec((any::<bool>(), any::<u32>(), any::<u32>()), 1..8),
+        1..4,
+    )
+}
+
+fn concrete_batch(batch: &[(bool, u32, u32)], n: usize) -> Vec<ic_engine::EdgeUpdate> {
+    use ic_engine::EdgeUpdate;
+    batch
+        .iter()
+        .filter_map(|&(insert, a, b)| {
+            let u = a % n as u32;
+            let v = b % n as u32;
+            if u == v {
+                return None;
+            }
+            Some(if insert {
+                EdgeUpdate::Insert { u, v }
+            } else {
+                EdgeUpdate::Remove { u, v }
+            })
+        })
+        .collect()
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -137,6 +167,70 @@ proptest! {
                 y.as_ref().expect("valid query"),
                 "store-loaded engine diverged on {:?}", q
             );
+        }
+    }
+
+    /// The evolving-store contract, property-based: a store-opened
+    /// engine driven through a randomized update script must keep
+    /// answering exactly like a fresh engine built from the mutated
+    /// graph — the persisted (pre-update) forests are never served
+    /// post-`apply`, and the forests the post-apply snapshot *does*
+    /// carry (incrementally repaired where the touched region was
+    /// small) are bit-identical to full rebuilds.
+    #[test]
+    fn applied_store_engines_never_serve_stale_state(
+        wg in arb_workload(),
+        script in arb_script(),
+    ) {
+        let ks = [1usize, 2];
+        let bytes = store_bytes_for(&wg, &ks);
+        let contents = StoreFile::from_bytes(&bytes).expect("valid store").load().expect("loads");
+        let opened = Engine::from_snapshot(contents.into_snapshot(), 1);
+        let sweep = query_sweep(&ks);
+
+        // Warm the persisted forests into the serving path before any
+        // mutation, so staleness (if the engine ever leaked them) would
+        // actually be observable.
+        for r in opened.run_batch(&sweep) {
+            r.expect("pre-update answers");
+        }
+
+        let n = wg.num_vertices();
+        for batch in &script {
+            let updates = concrete_batch(batch, n);
+            if updates.is_empty() {
+                continue;
+            }
+            opened.apply(&updates);
+
+            // Ground truth: a fresh engine over the mutated graph.
+            let mutated = opened.snapshot().weighted().clone();
+            let fresh = Engine::with_threads(mutated.clone(), 1);
+            let a = opened.run_batch(&sweep);
+            let b = fresh.run_batch(&sweep);
+            for ((q, x), y) in sweep.iter().zip(&a).zip(&b) {
+                prop_assert_eq!(
+                    x.as_ref().expect("valid query"),
+                    y.as_ref().expect("valid query"),
+                    "store-opened engine served stale state after {:?} on {:?}",
+                    updates, q
+                );
+            }
+
+            // Whatever forests the post-apply snapshot carries —
+            // incrementally repaired or rebuilt on demand — must be
+            // bit-identical to a from-scratch build on the mutated
+            // graph.
+            for (_, _, forest) in opened
+                .snapshot()
+                .memoized_extensions::<ExtremumIndex>()
+            {
+                let rebuilt = ExtremumIndex::build(&mutated, forest.k(), forest.extremum());
+                prop_assert_eq!(
+                    forest.as_ref(), &rebuilt,
+                    "post-apply forest diverged from a full rebuild"
+                );
+            }
         }
     }
 
