@@ -18,6 +18,11 @@
 //! (`--assert-batched-wins`) requires batched throughput to beat the
 //! per-connection baseline at the largest client count.
 //!
+//! A final `obs_overhead` section prices the observability layer:
+//! warm-serving throughput is measured in interleaved reps with
+//! tracing enabled versus runtime-disabled (`ic_obs::set_enabled`),
+//! and `--assert-obs-overhead <pct>` gates the regression.
+//!
 //! ```text
 //! cargo run -p ic-bench --release --bin serve_baseline -- \
 //!     --datasets email --clients 1,4,8 --queries 96 --out BENCH_serve.json
@@ -150,11 +155,74 @@ fn run_trial(
     }
 }
 
+struct ObsOverhead {
+    dataset: String,
+    clients: usize,
+    queries: usize,
+    reps_per_mode: usize,
+    enabled_qps: f64,
+    disabled_qps: f64,
+    overhead_pct: f64,
+}
+
+/// Prices the observability layer on warm serving throughput. One
+/// engine is warmed first (result cache populated, every code path
+/// faulted in), then reps alternate tracing-enabled and
+/// runtime-disabled; the best rep per mode stands, so scheduler noise
+/// cannot inflate the reported overhead. Counters keep counting while
+/// disabled (by design — `Server::stats` stays truthful), so what this
+/// measures is the cost of the *timing*: `Instant::now` pairs,
+/// histogram observes, and trace span recording.
+fn measure_obs_overhead(
+    dataset: &str,
+    wg: &ic_graph::WeightedGraph,
+    queries: &[Query],
+    clients: usize,
+) -> ObsOverhead {
+    let engine = Arc::new(Engine::new(wg.clone()));
+    let _ = run_trial(
+        Arc::clone(&engine),
+        ServeConfig::default(),
+        queries,
+        clients,
+        true,
+    );
+    let reps = 3;
+    let mut enabled_qps = 0.0f64;
+    let mut disabled_qps = 0.0f64;
+    for rep in 0..reps * 2 {
+        let on = rep % 2 == 0;
+        ic_obs::set_enabled(on);
+        let point = run_trial(
+            Arc::clone(&engine),
+            ServeConfig::default(),
+            queries,
+            clients,
+            true,
+        );
+        if on {
+            enabled_qps = enabled_qps.max(point.qps);
+        } else {
+            disabled_qps = disabled_qps.max(point.qps);
+        }
+    }
+    ic_obs::set_enabled(true);
+    ObsOverhead {
+        dataset: dataset.to_string(),
+        clients,
+        queries: queries.len(),
+        reps_per_mode: reps,
+        enabled_qps,
+        disabled_qps,
+        overhead_pct: (1.0 - enabled_qps / disabled_qps) * 100.0,
+    }
+}
+
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
-fn render(blocks: &[Block]) -> String {
+fn render(blocks: &[Block], obs: &ObsOverhead) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     let _ = writeln!(out, "  \"schema\": \"ic-bench/serve-baseline/v1\",");
@@ -208,6 +276,19 @@ fn render(blocks: &[Block]) -> String {
         });
     }
     out.push_str("  ],\n");
+    out.push_str("  \"obs_overhead\": {\n");
+    let _ = writeln!(
+        out,
+        "    \"note\": \"warm serving throughput, tracing enabled vs runtime-disabled (ic_obs::set_enabled), best of {} interleaved reps per mode\",",
+        obs.reps_per_mode
+    );
+    let _ = writeln!(out, "    \"dataset\": \"{}\",", json_escape(&obs.dataset));
+    let _ = writeln!(out, "    \"clients\": {},", obs.clients);
+    let _ = writeln!(out, "    \"queries\": {},", obs.queries);
+    let _ = writeln!(out, "    \"enabled_qps\": {:.1},", obs.enabled_qps);
+    let _ = writeln!(out, "    \"disabled_qps\": {:.1},", obs.disabled_qps);
+    let _ = writeln!(out, "    \"overhead_pct\": {:.2}", obs.overhead_pct);
+    out.push_str("  },\n");
     out.push_str("  \"summary\": {\n");
     let _ = writeln!(out, "    \"best_qps_speedup\": {best_speedup:.2}");
     out.push_str("  }\n}\n");
@@ -221,6 +302,7 @@ fn main() {
     let mut client_counts = vec![1usize, 4, 8];
     let mut queries_per_trial = 96usize;
     let mut assert_batched_wins = false;
+    let mut assert_obs_overhead: Option<f64> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -244,9 +326,15 @@ fn main() {
                 queries_per_trial = args[i].parse().expect("--queries takes an integer");
             }
             "--assert-batched-wins" => assert_batched_wins = true,
+            "--assert-obs-overhead" => {
+                i += 1;
+                assert_obs_overhead =
+                    Some(args[i].parse().expect("--assert-obs-overhead takes a pct"));
+            }
             other => panic!(
                 "unknown argument {other:?} \
-                 (expected --datasets/--out/--clients/--queries/--assert-batched-wins)"
+                 (expected --datasets/--out/--clients/--queries/--assert-batched-wins\
+                 /--assert-obs-overhead)"
             ),
         }
         i += 1;
@@ -257,6 +345,9 @@ fn main() {
     );
 
     let mut blocks = Vec::new();
+    // The observability price is measured once, on the first dataset at
+    // the widest client count (where per-query tracing bites hardest).
+    let mut obs_input: Option<(String, ic_graph::WeightedGraph, Vec<Query>)> = None;
     for name in &datasets {
         let spec =
             by_name(Profile::Quick, name).unwrap_or_else(|| panic!("unknown dataset {name:?}"));
@@ -307,6 +398,9 @@ fn main() {
                 per_connection.qps,
                 batched.qps / per_connection.qps,
             );
+            if obs_input.is_none() && ci + 1 == client_counts.len() {
+                obs_input = Some((name.clone(), wg.clone(), queries.clone()));
+            }
             points.push(TrialPoint {
                 clients,
                 queries: queries.len(),
@@ -322,7 +416,16 @@ fn main() {
         });
     }
 
-    let json = render(&blocks);
+    let (obs_dataset, obs_wg, obs_queries) = obs_input.expect("at least one trial ran");
+    let obs_clients = client_counts.iter().copied().max().expect("non-empty");
+    eprintln!("[serve_baseline] pricing observability ({obs_clients} clients, warm engine) ...");
+    let obs = measure_obs_overhead(&obs_dataset, &obs_wg, &obs_queries, obs_clients);
+    eprintln!(
+        "  obs enabled {:.0} qps vs disabled {:.0} qps -> {:.2}% overhead",
+        obs.enabled_qps, obs.disabled_qps, obs.overhead_pct
+    );
+
+    let json = render(&blocks, &obs);
     std::fs::write(&out_path, &json).expect("write BENCH_serve.json");
     println!("{json}");
     eprintln!("[serve_baseline] wrote {out_path}");
@@ -345,5 +448,19 @@ fn main() {
             );
         }
         eprintln!("[serve_baseline] batched admission beats per-connection on every dataset");
+    }
+    if let Some(limit) = assert_obs_overhead {
+        assert!(
+            obs.overhead_pct <= limit,
+            "observability overhead {:.2}% exceeds the {limit}% budget \
+             (enabled {:.1} qps vs disabled {:.1} qps)",
+            obs.overhead_pct,
+            obs.enabled_qps,
+            obs.disabled_qps
+        );
+        eprintln!(
+            "[serve_baseline] observability overhead {:.2}% within the {limit}% budget",
+            obs.overhead_pct
+        );
     }
 }

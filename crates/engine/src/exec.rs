@@ -92,6 +92,7 @@ pub(crate) fn execute<F>(
     threads: usize,
     anchor: Instant,
     plan: Plan,
+    trace: Option<&ic_obs::Trace>,
     mut deliver: F,
 ) where
     F: FnMut(usize, Outcome),
@@ -120,7 +121,7 @@ pub(crate) fn execute<F>(
                     let j = cursor.fetch_add(1, Ordering::Relaxed);
                     let Some(job) = plan.jobs.get(j) else { break };
                     let guarded = catch_unwind(AssertUnwindSafe(|| {
-                        run_job(snap, anchor, job, &mut arena, &mut scratch, &tx);
+                        run_job(snap, anchor, job, &mut arena, &mut scratch, trace, &tx);
                     }));
                     match guarded {
                         Ok(()) => {
@@ -214,6 +215,7 @@ fn run_job(
     job: &Job,
     arena: &mut PeelArena,
     scratch: &mut Option<LocalScratch>,
+    trace: Option<&ic_obs::Trace>,
     tx: &Sender<(usize, Outcome)>,
 ) {
     match job {
@@ -269,15 +271,24 @@ fn run_job(
                 // snapshot's extremum community forest — persisted via
                 // `ic-store` or built once per snapshot — in
                 // output-sensitive time. Bit-identical to the peel path
-                // below (held by the conformance suite).
+                // below (held by the conformance suite). The span is
+                // attributed *within* the batch's solve wall time: it is
+                // summed per-job across parallel workers, so it can
+                // exceed the solve span on its own.
+                let index_sw = ic_obs::Stopwatch::start();
                 let extremum = match dir {
                     Dir::Min => Extremum::Min,
                     Dir::Max => Extremum::Max,
                 };
                 let index = ExtremumIndex::cached(snap, *k, extremum);
-                rs.iter()
+                let solved = rs
+                    .iter()
                     .map(|&r| index.topr(snap.weighted(), r))
-                    .collect::<Result<Vec<_>, _>>()
+                    .collect::<Result<Vec<_>, _>>();
+                if let Some(trace) = trace {
+                    index_sw.record(trace, ic_obs::Stage::IndexServe);
+                }
+                solved
             } else {
                 match dir {
                     Dir::Min => algo::min_topr_multi_on(snap, *k, rs, arena),

@@ -127,6 +127,30 @@ pub trait QueryBackend: Send + Sync {
             detail: "this backend does not support edge updates".into(),
         })
     }
+
+    /// [`QueryBackend::run_batch_pinned`] that additionally records
+    /// stage spans (`plan`, `solve`, `index_serve`, `merge`), outcome
+    /// tags, and plan statistics into `trace` as the batch executes.
+    ///
+    /// The default ignores the trace and delegates — tracing is
+    /// strictly additive, so opaque backends keep working untraced.
+    /// [`Engine`] (and `ic-shard`'s `ShardedEngine`) override it.
+    fn run_batch_traced(
+        &self,
+        queries: &[Query],
+        options: &BatchOptions,
+        trace: &ic_obs::Trace,
+    ) -> (Epoch, Vec<Result<QueryAnswer, EngineError>>) {
+        let _ = trace;
+        self.run_batch_pinned(queries, options)
+    }
+
+    /// The backend's metrics registry, if it keeps one. Serving layers
+    /// (`ic-serve`) merge it into their `STATS` surface; the default
+    /// (`None`) simply contributes nothing.
+    fn obs_registry(&self) -> Option<&ic_obs::Registry> {
+        None
+    }
 }
 
 impl QueryBackend for Engine {
@@ -140,6 +164,19 @@ impl QueryBackend for Engine {
 
     fn apply_updates(&self, updates: &[EdgeUpdate]) -> Result<Epoch, EngineError> {
         self.try_apply(updates)
+    }
+
+    fn run_batch_traced(
+        &self,
+        queries: &[Query],
+        options: &BatchOptions,
+        trace: &ic_obs::Trace,
+    ) -> (Epoch, Vec<Result<QueryAnswer, EngineError>>) {
+        Engine::run_batch_traced(self, queries, options, trace)
+    }
+
+    fn obs_registry(&self) -> Option<&ic_obs::Registry> {
+        Some(&self.metrics.registry)
     }
 }
 
@@ -274,6 +311,59 @@ struct Serving {
     epoch: Epoch,
 }
 
+/// Per-engine observability handles: one [`ic_obs::Registry`] per
+/// engine instance (never process-global — tests asserting exact counts
+/// run several engines per process), with the hot-path handles resolved
+/// once at construction so recording is a single atomic op.
+struct EngineMetrics {
+    registry: ic_obs::Registry,
+    batches: ic_obs::Counter,
+    queries: ic_obs::Counter,
+    plan_ns: ic_obs::Histogram,
+    solve_ns: ic_obs::Histogram,
+    cache_hits: ic_obs::Counter,
+    index_routed: ic_obs::Counter,
+    solver_runs: ic_obs::Counter,
+    answered_at_plan: ic_obs::Counter,
+    cached_results: ic_obs::Gauge,
+    arenas_available: ic_obs::Gauge,
+    arenas_quarantined: ic_obs::Gauge,
+    epoch: ic_obs::Gauge,
+    applies: ic_obs::Counter,
+    apply_ns: ic_obs::Histogram,
+    journal_records: ic_obs::Counter,
+    touched_pct: ic_obs::Gauge,
+    index_repaired: ic_obs::Counter,
+    index_rebuilt: ic_obs::Counter,
+}
+
+impl EngineMetrics {
+    fn new() -> EngineMetrics {
+        let registry = ic_obs::Registry::new();
+        EngineMetrics {
+            batches: registry.counter("engine.batches"),
+            queries: registry.counter("engine.queries"),
+            plan_ns: registry.histogram("engine.plan_ns"),
+            solve_ns: registry.histogram("engine.solve_ns"),
+            cache_hits: registry.counter("engine.plan.cache_hits"),
+            index_routed: registry.counter("engine.plan.index_routed"),
+            solver_runs: registry.counter("engine.plan.solver_runs"),
+            answered_at_plan: registry.counter("engine.plan.answered_at_plan"),
+            cached_results: registry.gauge("engine.cache.results"),
+            arenas_available: registry.gauge("engine.arenas.available"),
+            arenas_quarantined: registry.gauge("engine.arenas.quarantined"),
+            epoch: registry.gauge("engine.epoch"),
+            applies: registry.counter("engine.apply.count"),
+            apply_ns: registry.histogram("engine.apply_ns"),
+            journal_records: registry.counter("engine.apply.journal_records"),
+            touched_pct: registry.gauge("engine.apply.touched_pct"),
+            index_repaired: registry.counter("engine.apply.index_repaired"),
+            index_rebuilt: registry.counter("engine.apply.index_rebuilt"),
+            registry,
+        }
+    }
+}
+
 /// A serving engine over one weighted graph. See the module docs.
 pub struct Engine {
     serving: RwLock<Serving>,
@@ -285,6 +375,7 @@ pub struct Engine {
     /// Shared with live [`ResultStream`]s, which memoize their result
     /// on full drain.
     results: Arc<ResultCache>,
+    metrics: EngineMetrics,
 }
 
 /// Default bound on the cross-batch result cache (distinct queries).
@@ -382,7 +473,15 @@ impl Engine {
             maintainer: Mutex::new(None),
             threads: threads.max(1),
             results: Arc::new(ResultCache::new(DEFAULT_CACHE_CAPACITY)),
+            metrics: EngineMetrics::new(),
         }
+    }
+
+    /// The engine's metrics registry (`engine.*` names): batch/plan
+    /// counters, plan/solve latency histograms, cache/arena/epoch
+    /// gauges, and the [`Engine::apply`] cascade-cost metrics.
+    pub fn obs_registry(&self) -> &ic_obs::Registry {
+        &self.metrics.registry
     }
 
     fn serving(&self) -> (Arc<GraphSnapshot>, Arc<ArenaPool>, Epoch) {
@@ -527,8 +626,31 @@ impl Engine {
         queries: &[Query],
         options: &BatchOptions,
     ) -> (Epoch, Vec<Result<QueryAnswer, EngineError>>) {
+        self.collect_batch(queries, options, None)
+    }
+
+    /// [`run_batch_pinned`](Self::run_batch_pinned) that additionally
+    /// records stage spans (`plan`, `solve`, `index_serve`), outcome
+    /// tags, and plan statistics into `trace` as the batch executes —
+    /// the hook serving layers use to explain slow queries. Tracing
+    /// never changes an answer.
+    pub fn run_batch_traced(
+        &self,
+        queries: &[Query],
+        options: &BatchOptions,
+        trace: &ic_obs::Trace,
+    ) -> (Epoch, Vec<Result<QueryAnswer, EngineError>>) {
+        self.collect_batch(queries, options, Some(trace))
+    }
+
+    fn collect_batch(
+        &self,
+        queries: &[Query],
+        options: &BatchOptions,
+        trace: Option<&ic_obs::Trace>,
+    ) -> (Epoch, Vec<Result<QueryAnswer, EngineError>>) {
         let mut results: Vec<Option<cache::Outcome>> = vec![None; queries.len()];
-        let epoch = self.execute_with(queries, options, |idx, res| {
+        let epoch = self.execute_with(queries, options, trace, |idx, res| {
             results[idx] = Some(res);
         });
         let answers = results
@@ -548,12 +670,15 @@ impl Engine {
     where
         F: FnMut(usize, Result<&QueryAnswer, &EngineError>),
     {
-        self.execute_with(queries, &BatchOptions::default(), |idx, res| {
-            match res.as_ref() {
+        self.execute_with(
+            queries,
+            &BatchOptions::default(),
+            None,
+            |idx, res| match res.as_ref() {
                 Ok(ans) => f(idx, Ok(ans)),
                 Err(e) => f(idx, Err(e)),
-            }
-        });
+            },
+        );
     }
 
     /// Opens a progressive session for one query: validates and routes
@@ -699,6 +824,7 @@ impl Engine {
         let mut maintainer = guard
             .take()
             .unwrap_or_else(|| CoreMaintainer::from_graph(snapshot.graph()));
+        let apply_sw = ic_obs::Stopwatch::start();
         let built = catch_unwind(AssertUnwindSafe(move || {
             let mut records = Vec::with_capacity(updates.len());
             let mut touched: Vec<u32> = Vec::new();
@@ -708,7 +834,7 @@ impl Engine {
                 records.push(record);
             }
             if !records.iter().any(|r| r.applied) {
-                return (maintainer, records, None);
+                return (maintainer, records, 0, (0, 0), None);
             }
             let graph = maintainer.to_graph();
             let weights = snapshot.weighted().weights().to_vec();
@@ -725,7 +851,13 @@ impl Engine {
             // the lazy rebuild it replaces — just cheaper.
             touched.sort_unstable();
             touched.dedup();
+            let touched_count = touched.len();
             let new_cores = &new_snapshot.decomposition().core_numbers;
+            // Repair-vs-rebuild accounting: a forest the repair pass
+            // cannot carry over (oversized touched region) falls back to
+            // the lazy from-scratch rebuild on first use.
+            let mut repaired_forests = 0u64;
+            let mut rebuilt_forests = 0u64;
             for index in ic_core::algo::ExtremumIndex::memoized(&snapshot) {
                 if let Some(repaired) = index.repair(
                     new_snapshot.weighted(),
@@ -734,15 +866,38 @@ impl Engine {
                     ic_core::algo::ExtremumIndex::REPAIR_REGION_LIMIT,
                 ) {
                     ic_core::algo::ExtremumIndex::seed(&new_snapshot, repaired);
+                    repaired_forests += 1;
+                } else {
+                    rebuilt_forests += 1;
                 }
             }
             ic_fail::fail_point!("engine::apply");
             let arenas = Arc::new(ArenaPool::for_graph(new_snapshot.graph()));
-            (maintainer, records, Some((new_snapshot, arenas)))
+            (
+                maintainer,
+                records,
+                touched_count,
+                (repaired_forests, rebuilt_forests),
+                Some((new_snapshot, arenas)),
+            )
         }));
+        let note_apply = |records: &[CascadeRecord], touched_count: usize, forests: (u64, u64)| {
+            let m = &self.metrics;
+            m.applies.inc();
+            m.journal_records.add(records.len() as u64);
+            let n = old_snapshot.graph().num_vertices();
+            if n > 0 {
+                m.touched_pct
+                    .set((touched_count as f64 / n as f64 * 100.0).round() as i64);
+            }
+            m.index_repaired.add(forests.0);
+            m.index_rebuilt.add(forests.1);
+            apply_sw.observe(&m.apply_ns);
+        };
         match built {
-            Ok((maintainer, records, None)) => {
+            Ok((maintainer, records, touched_count, forests, None)) => {
                 *guard = Some(maintainer);
+                note_apply(&records, touched_count, forests);
                 ApplyOutcome {
                     epoch,
                     changed: false,
@@ -751,8 +906,9 @@ impl Engine {
                     old_snapshot,
                 }
             }
-            Ok((maintainer, records, Some((snapshot, arenas)))) => {
+            Ok((maintainer, records, touched_count, forests, Some((snapshot, arenas)))) => {
                 *guard = Some(maintainer);
+                note_apply(&records, touched_count, forests);
                 let new_snapshot = Arc::clone(&snapshot);
                 let mut serving = self.serving.write().unwrap_or_else(|e| e.into_inner());
                 // One whole-struct assignment: readers never observe a
@@ -774,7 +930,13 @@ impl Engine {
         }
     }
 
-    fn execute_with<F>(&self, queries: &[Query], options: &BatchOptions, mut deliver: F) -> Epoch
+    fn execute_with<F>(
+        &self,
+        queries: &[Query],
+        options: &BatchOptions,
+        trace: Option<&ic_obs::Trace>,
+        mut deliver: F,
+    ) -> Epoch
     where
         F: FnMut(usize, cache::Outcome),
     {
@@ -799,24 +961,69 @@ impl Engine {
                     .collect(),
             ),
         };
+        let plan_sw = ic_obs::Stopwatch::start();
         let plan = Plan::build(
             &snapshot,
             &effective,
             self.threads,
             Some((&self.results, epoch)),
         );
+        let m = &self.metrics;
+        plan_sw.observe(&m.plan_ns);
+        m.batches.inc();
+        m.queries.add(plan.stats.total_queries as u64);
+        m.cache_hits.add(plan.stats.cache_hits as u64);
+        m.index_routed.add(plan.stats.index_routed as u64);
+        m.solver_runs.add(plan.stats.solver_runs as u64);
+        m.answered_at_plan.add(plan.stats.answered_at_plan as u64);
+        if let Some(trace) = trace {
+            plan_sw.record(trace, ic_obs::Stage::Plan);
+            trace.note_plan(ic_obs::TracePlan {
+                queries: plan.stats.total_queries as u64,
+                answered_at_plan: plan.stats.answered_at_plan as u64,
+                cache_hits: plan.stats.cache_hits as u64,
+                solver_runs: plan.stats.solver_runs as u64,
+                index_routed: plan.stats.index_routed as u64,
+            });
+            if plan.stats.solver_runs < plan.stats.sequential_runs {
+                trace.tag(ic_obs::Tag::FamilyMerged);
+            }
+        }
+        let solve_sw = ic_obs::Stopwatch::start();
         exec::execute(
             &snapshot,
             &arenas,
             self.threads,
             anchor,
             plan,
+            trace,
             |idx, outcome| {
+                if let Some(trace) = trace {
+                    match outcome.as_ref() {
+                        Ok(ans) => {
+                            if !matches!(ans.status, AnswerStatus::Complete) {
+                                trace.tag(ic_obs::Tag::Degraded);
+                            }
+                        }
+                        Err(EngineError::DeadlineExceeded) => {
+                            trace.tag(ic_obs::Tag::DeadlineExceeded);
+                        }
+                        Err(_) => {}
+                    }
+                }
                 // Only complete answers are retained (the insert filters).
                 self.results.insert(&effective[idx], epoch, &outcome);
                 deliver(idx, outcome);
             },
         );
+        if let Some(trace) = trace {
+            solve_sw.record(trace, ic_obs::Stage::Solve);
+        }
+        solve_sw.observe(&m.solve_ns);
+        m.cached_results.set(self.results.len() as i64);
+        m.arenas_available.set(arenas.available() as i64);
+        m.arenas_quarantined.set(arenas.quarantined() as i64);
+        m.epoch.set(epoch.0 as i64);
         epoch
     }
 }

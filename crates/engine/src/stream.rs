@@ -188,7 +188,7 @@ impl ResultStream {
                 // A submit executes immediately — no queue — so the
                 // deadline anchor is simply now.
                 let anchor = std::time::Instant::now();
-                exec::execute(&snapshot, &arenas, threads, anchor, plan, |_, res| {
+                exec::execute(&snapshot, &arenas, threads, anchor, plan, None, |_, res| {
                     cache.insert(&query, epoch, &res);
                     outcome = Some(res);
                 });

@@ -34,6 +34,8 @@ struct Args {
     max_batch: Option<usize>,
     notify_capacity: Option<usize>,
     threads: Option<usize>,
+    stats_interval: Option<u64>,
+    slow_ms: Option<u64>,
 }
 
 /// What the server fronts: a concrete engine (mutable; subscriptions
@@ -55,6 +57,8 @@ options:
   --max-batch <n>      largest engine batch per flush (default 256)
   --notify-capacity <n> per-subscription in-flight notification bound (default 64)
   --threads <n>        engine worker threads (default: all cores)
+  --stats-interval <s> report live metrics on stderr every <s> seconds
+  --slow-ms <n>        slow-query log threshold in milliseconds (default 100)
 
 with --store or --dataset the server fronts a live engine: clients may
 SUBSCRIBE standing queries and push UPDATE batches, with delta NOTIFY
@@ -77,6 +81,8 @@ fn parse_args() -> Result<Args, String> {
         max_batch: None,
         notify_capacity: None,
         threads: None,
+        stats_interval: None,
+        slow_ms: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -98,6 +104,8 @@ fn parse_args() -> Result<Args, String> {
                 args.notify_capacity = Some(parse(&value("--notify-capacity")?)?)
             }
             "--threads" => args.threads = Some(parse(&value("--threads")?)?),
+            "--stats-interval" => args.stats_interval = Some(parse(&value("--stats-interval")?)?),
+            "--slow-ms" => args.slow_ms = Some(parse(&value("--slow-ms")?)?),
             "--help" | "-h" => return Err(USAGE.into()),
             other => return Err(format!("unknown flag {other}\n{USAGE}")),
         }
@@ -152,6 +160,9 @@ fn main() -> ExitCode {
     if let Some(c) = args.notify_capacity {
         config.notify_capacity = c;
     }
+    if let Some(ms) = args.slow_ms {
+        config.slow_query_threshold = Duration::from_millis(ms);
+    }
 
     let bound = match engine {
         Backend::Engine(engine) => Server::bind(engine, &args.addr, config),
@@ -176,9 +187,52 @@ fn main() -> ExitCode {
         }
     }
 
+    // The periodic reporter borrows the server, so it runs inside a
+    // scope that ends (on drain) before `join` consumes it.
+    if let Some(secs) = args.stats_interval {
+        let interval = Duration::from_secs(secs.max(1));
+        std::thread::scope(|scope| {
+            let server = &server;
+            scope.spawn(move || {
+                let mut last = std::time::Instant::now();
+                while !server.is_draining() {
+                    std::thread::sleep(Duration::from_millis(250));
+                    if last.elapsed() >= interval {
+                        last = std::time::Instant::now();
+                        report_stats(server);
+                    }
+                }
+            });
+        });
+    }
+
     server.join();
     println!("drained; bye");
     ExitCode::SUCCESS
+}
+
+/// One compact stderr line of headline serving metrics (the full
+/// surface is a STATS frame away; this is for watching a terminal).
+fn report_stats(server: &Server) {
+    let entries = server.stats_entries();
+    let get = |name: &str| {
+        entries
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0.0, |&(_, v)| v)
+    };
+    eprintln!(
+        "[stats] conns={} admitted={} batches={} shed={} proto_errs={} \
+         batch_p50_us={} batch_p99_us={} slow={}",
+        get("serve.connections"),
+        get("serve.admitted"),
+        get("serve.batches"),
+        get("serve.shed.queue_full") + get("serve.shed.draining"),
+        get("serve.protocol_errors"),
+        get("serve.batch_ns.p50_us"),
+        get("serve.batch_ns.p99_us"),
+        server.slow_queries_json().lines().count(),
+    );
 }
 
 fn build_engine(args: &Args) -> Result<Backend, String> {

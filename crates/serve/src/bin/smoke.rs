@@ -8,6 +8,7 @@
 //! ic-serve-smoke --port-file /tmp/serve.port --mode shards
 //! ic-serve-smoke --port-file /tmp/serve.port --mode shed
 //! ic-serve-smoke --port-file /tmp/serve.port --mode sub
+//! ic-serve-smoke --port-file /tmp/serve.port --mode stats
 //! ```
 //!
 //! `--mode mixed` expects a default-configured server; `--mode shards`
@@ -18,7 +19,10 @@
 //! second query of a rapid burst deterministically finds the queue
 //! full; `--mode sub` expects one booted with `--dataset email` and
 //! checks standing-query subscriptions against a local mirror engine
-//! over the same deterministic graph.
+//! over the same deterministic graph; `--mode stats` drives mixed
+//! traffic and asserts the live STATS snapshot round-trips over both
+//! wire modes with non-zero admission counters and zero protocol
+//! errors.
 
 use ic_core::{Aggregation, Community, Query};
 use ic_engine::{EdgeUpdate, Engine};
@@ -28,7 +32,7 @@ use std::net::{SocketAddr, TcpStream};
 use std::process::ExitCode;
 
 const USAGE: &str =
-    "usage: ic-serve-smoke (--addr <host:port> | --port-file <path>) --mode (mixed|shards|shed|sub)";
+    "usage: ic-serve-smoke (--addr <host:port> | --port-file <path>) --mode (mixed|shards|shed|sub|stats)";
 
 fn parse_addr() -> Result<(SocketAddr, String), String> {
     let mut addr: Option<String> = None;
@@ -423,6 +427,75 @@ fn sub(addr: SocketAddr) {
     client.shutdown_and_drain().expect("drain must ack");
 }
 
+/// Metrics smoke on a default server: drive mixed traffic, fetch the
+/// STATS surface in both wire modes, and assert the counters moved —
+/// non-zero admission and batch counts, zero protocol errors, and an
+/// engine-side registry visible through the same frame.
+fn stats(addr: SocketAddr) {
+    let mut client = Client::connect(addr).expect("connect (binary)");
+    let n = 8u64;
+    for i in 0..n {
+        client
+            .send(i, &Query::new(4, 2, Aggregation::Sum))
+            .expect("send");
+    }
+    for i in 0..n {
+        complete_top(&client.wait_for(i).expect("reply"), i);
+    }
+
+    let entries = match client.stats(500).expect("stats reply") {
+        Response::Stats { id: 500, entries } => entries,
+        other => panic!("expected a Stats reply, got {other:?}"),
+    };
+    let get = |name: &str| {
+        entries
+            .iter()
+            .find(|(got, _)| got == name)
+            .map(|&(_, v)| v)
+            .unwrap_or_else(|| panic!("STATS must carry {name}"))
+    };
+    assert!(
+        get("serve.admitted") >= n as f64,
+        "all {n} queries were admitted"
+    );
+    assert!(get("serve.batches") >= 1.0, "at least one batch flushed");
+    assert_eq!(
+        get("serve.protocol_errors"),
+        0.0,
+        "clean traffic must not raise protocol errors"
+    );
+    assert!(
+        entries
+            .iter()
+            .any(|(name, _)| name.starts_with("engine.") || name.starts_with("shard.")),
+        "the backend registry must be visible through STATS"
+    );
+    eprintln!(
+        "[smoke] stats: binary STATS carries {} entries, counters moved",
+        entries.len()
+    );
+
+    // The same surface over JSON lines.
+    let mut stream = TcpStream::connect(addr).expect("connect (json)");
+    stream
+        .write_all(b"{\"op\": \"stats\", \"id\": 3}\n")
+        .expect("send json stats");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("json stats reply");
+    assert!(
+        line.contains("\"id\":3")
+            && line.contains("\"status\":\"stats\"")
+            && line.contains("\"serve.admitted\":"),
+        "json stats reply malformed: {line:?}"
+    );
+    drop(reader);
+    drop(stream);
+    eprintln!("[smoke] stats: json-lines STATS answered");
+
+    client.shutdown_and_drain().expect("drain must ack");
+}
+
 fn main() -> ExitCode {
     let (addr, mode) = match parse_addr() {
         Ok(v) => v,
@@ -436,6 +509,7 @@ fn main() -> ExitCode {
         "shards" => shards(addr),
         "shed" => shed(addr),
         "sub" => sub(addr),
+        "stats" => stats(addr),
         other => {
             eprintln!("unknown mode {other:?}\n{USAGE}");
             return ExitCode::FAILURE;

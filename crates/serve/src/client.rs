@@ -87,6 +87,13 @@ impl Client {
         self.wait_for(id)
     }
 
+    /// Fetches the server's live metrics snapshot and blocks for the
+    /// [`Response::Stats`] reply carrying flat `(name, value)` pairs.
+    pub fn stats(&mut self, id: u64) -> Result<Response, ClientError> {
+        self.send_request(&Request::Stats { id })?;
+        self.wait_for(id)
+    }
+
     /// Pops the oldest already-received notification, if any. Never
     /// reads the socket — use [`Client::wait_notification`] to block.
     pub fn poll_notification(&mut self) -> Option<WireNotification> {
@@ -187,7 +194,8 @@ fn response_id(response: &Response) -> Option<u64> {
         Response::Reply { id, .. }
         | Response::Overloaded { id, .. }
         | Response::UpdateAck { id, .. }
-        | Response::UnsubscribeAck { id, .. } => Some(*id),
+        | Response::UnsubscribeAck { id, .. }
+        | Response::Stats { id, .. } => Some(*id),
         // Notify frames carry a subscription id, but they are
         // server-initiated — callers divert them before keying.
         Response::Notify(n) => Some(n.id),

@@ -56,6 +56,8 @@ pub const FRAME_SUBSCRIBE: u8 = 0x03;
 pub const FRAME_UNSUBSCRIBE: u8 = 0x04;
 /// Frame type: apply edge updates to the served graph.
 pub const FRAME_UPDATE: u8 = 0x05;
+/// Frame type: fetch the server's live metrics snapshot.
+pub const FRAME_STATS: u8 = 0x06;
 /// Frame type: a query's answer.
 pub const FRAME_REPLY: u8 = 0x81;
 /// Frame type: the query was shed, not served.
@@ -70,6 +72,8 @@ pub const FRAME_NOTIFY: u8 = 0x85;
 pub const FRAME_UPDATE_ACK: u8 = 0x86;
 /// Frame type: an unsubscribe completed.
 pub const FRAME_UNSUBSCRIBE_ACK: u8 = 0x87;
+/// Frame type: a metrics snapshot (`(name, value)` pairs).
+pub const FRAME_STATS_REPLY: u8 = 0x88;
 
 const QUERY_PAYLOAD_LEN: usize = 47;
 /// Bytes per [`EdgeUpdate`] in an UPDATE frame (op + two endpoints).
@@ -113,6 +117,13 @@ pub enum Request {
         id: u64,
         /// The updates, applied in order as one atomic epoch step.
         updates: Vec<EdgeUpdate>,
+    },
+    /// Fetch a flat snapshot of every live metric (serving counters,
+    /// engine/store registries, latency quantiles); answered with
+    /// [`Response::Stats`].
+    Stats {
+        /// Correlation id echoed on the reply.
+        id: u64,
     },
     /// Drain in-flight work, ack, and close this connection.
     Shutdown,
@@ -249,6 +260,17 @@ pub enum Response {
     /// A standing query's answer changed — server-initiated; arrives on
     /// the subscriber's connection without a matching request.
     Notify(WireNotification),
+    /// The metrics snapshot answering a [`Request::Stats`]. Counters
+    /// and gauges are exact; histogram-derived entries (`*.p50_us`, …)
+    /// are bucket-midpoint estimates (see `ic_obs::Registry`).
+    Stats {
+        /// Echoed request id.
+        id: u64,
+        /// Flat `(name, value)` pairs, name-sorted within each source
+        /// registry. Values travel as `f64::to_bits` and round-trip
+        /// bit-exactly.
+        entries: Vec<(String, f64)>,
+    },
 }
 
 /// The payload of a [`Response::Notify`] frame.
@@ -398,6 +420,10 @@ pub fn encode_request(req: &Request, out: &mut Vec<u8>) -> Result<(), ProtocolEr
             out.push(FRAME_UNSUBSCRIBE);
             out.extend_from_slice(&id.to_le_bytes());
         }
+        Request::Stats { id } => {
+            out.push(FRAME_STATS);
+            out.extend_from_slice(&id.to_le_bytes());
+        }
         Request::Update { id, updates } => {
             if updates.len() > UPDATES_PER_FRAME_MAX {
                 return Err(ProtocolError::Unsupported(format!(
@@ -485,6 +511,11 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, ProtocolError> {
             let id = r.u64()?;
             r.finish(9)?;
             Ok(Request::Unsubscribe { id })
+        }
+        FRAME_STATS => {
+            let id = r.u64()?;
+            r.finish(9)?;
+            Ok(Request::Stats { id })
         }
         FRAME_UPDATE => {
             let id = r.u64()?;
@@ -574,6 +605,15 @@ pub fn encode_response(resp: &Response, out: &mut Vec<u8>) {
             out.push(FRAME_UNSUBSCRIBE_ACK);
             out.extend_from_slice(&id.to_le_bytes());
             out.push(u8::from(*removed));
+        }
+        Response::Stats { id, entries } => {
+            out.push(FRAME_STATS_REPLY);
+            out.extend_from_slice(&id.to_le_bytes());
+            out.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+            for (name, value) in entries {
+                push_str(out, name);
+                out.extend_from_slice(&value.to_bits().to_le_bytes());
+            }
         }
         Response::Notify(n) => {
             out.push(FRAME_NOTIFY);
@@ -680,6 +720,18 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, ProtocolError> {
             let removed = r.u8()? != 0;
             r.finish(10)?;
             Ok(Response::UnsubscribeAck { id, removed })
+        }
+        FRAME_STATS_REPLY => {
+            let id = r.u64()?;
+            let n = r.u32()? as usize;
+            let mut entries = Vec::new();
+            for _ in 0..n {
+                let name = r.str()?;
+                let value = f64::from_bits(r.u64()?);
+                entries.push((name, value));
+            }
+            r.done()?;
+            Ok(Response::Stats { id, entries })
         }
         FRAME_NOTIFY => {
             let id = r.u64()?;
@@ -876,8 +928,8 @@ impl<'a> Reader<'a> {
 // JSON-lines mode
 
 /// Parses one JSON-lines request. Recognized keys: `op` (`"query"`,
-/// the default, `"subscribe"`, `"unsubscribe"`, `"update"`, or
-/// `"shutdown"`), `id`, `k`, `r`, `agg` (name string or numeric wire
+/// the default, `"subscribe"`, `"unsubscribe"`, `"update"`, `"stats"`,
+/// or `"shutdown"`), `id`, `k`, `r`, `agg` (name string or numeric wire
 /// code), `alpha`/`beta`/`t`/`p` (the aggregation parameter, any one
 /// of them), `eps`, `s` + `greedy` (size bound), `deadline_ms`, and —
 /// for `"update"` — `updates`, a space-separated string of
@@ -962,6 +1014,7 @@ pub fn parse_json_request(line: &str) -> Result<Request, ProtocolError> {
     let subscribe = match op.as_deref() {
         Some("shutdown") => return Ok(Request::Shutdown),
         Some("unsubscribe") => return Ok(Request::Unsubscribe { id }),
+        Some("stats") => return Ok(Request::Stats { id }),
         Some("update") => {
             let spec = updates.ok_or_else(|| {
                 ProtocolError::BadJson("update requests need an \"updates\" key".into())
@@ -1121,6 +1174,18 @@ pub fn render_json_response(resp: &Response) -> String {
             out.push_str(&format!(
                 r#"{{"id":{id},"status":"unsubscribed","removed":{removed}}}"#
             ));
+        }
+        Response::Stats { id, entries } => {
+            out.push_str(&format!(r#"{{"id":{id},"status":"stats","stats":{{"#));
+            for (i, (name, value)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                json::push_json_str(&mut out, name);
+                out.push(':');
+                json::push_json_f64(&mut out, *value);
+            }
+            out.push_str("}}");
         }
         Response::Notify(n) => {
             out.push_str(&format!(
@@ -1470,6 +1535,51 @@ mod tests {
         assert_eq!(
             line,
             r#"{"id":5,"status":"notify","epoch":6,"resync":false,"deltas":[{"kind":"value_changed","rank":0,"old_value":2,"value":3,"vertices":[1,2]}],"communities":[{"value":3,"vertices":[1,2]}]}"#
+        );
+    }
+
+    #[test]
+    fn stats_frames_round_trip_bit_exactly() {
+        let req = Request::Stats { id: 77 };
+        assert_eq!(roundtrip_request(req.clone()), req);
+        // A STATS request is the same 9-byte shape as UNSUBSCRIBE:
+        // trailing bytes are a typed length error.
+        let mut buf = Vec::new();
+        encode_request(&req, &mut buf).unwrap();
+        buf.push(0);
+        assert!(matches!(
+            decode_request(&buf),
+            Err(ProtocolError::BadLength { .. })
+        ));
+
+        for resp in [
+            Response::Stats {
+                id: 77,
+                entries: vec![
+                    ("serve.admitted".into(), 28.0),
+                    ("engine.solve_ns.p99_us".into(), 1536.5),
+                    ("weird \"name\"".into(), f64::NEG_INFINITY),
+                ],
+            },
+            Response::Stats {
+                id: 0,
+                entries: Vec::new(),
+            },
+        ] {
+            assert_eq!(roundtrip_response(&resp), resp);
+        }
+
+        assert_eq!(
+            parse_json_request(r#"{"op": "stats", "id": 4}"#).unwrap(),
+            Request::Stats { id: 4 }
+        );
+        let line = render_json_response(&Response::Stats {
+            id: 4,
+            entries: vec![("serve.batches".into(), 3.0), ("x".into(), 0.5)],
+        });
+        assert_eq!(
+            line,
+            r#"{"id":4,"status":"stats","stats":{"serve.batches":3,"x":0.5}}"#
         );
     }
 

@@ -62,7 +62,7 @@ use ic_sub::{Admission, NotificationGate, SubscriptionId, SubscriptionManager};
 use std::collections::{HashMap, VecDeque};
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -101,6 +101,10 @@ pub struct ServeConfig {
     /// beyond it has notifications shed and the next delivered one
     /// flagged as a resync. Clamped to at least 1.
     pub notify_capacity: usize,
+    /// End-to-end latency (earliest admission → last reply written)
+    /// above which a batch's trace lands in the slow-query log
+    /// ([`Server::slow_queries_json`]).
+    pub slow_query_threshold: Duration,
 }
 
 impl Default for ServeConfig {
@@ -114,6 +118,7 @@ impl Default for ServeConfig {
             shards: cores.div_ceil(4).clamp(1, 4),
             max_batch: 256,
             notify_capacity: 64,
+            slow_query_threshold: Duration::from_millis(100),
         }
     }
 }
@@ -136,10 +141,13 @@ pub struct ServeStats {
 
 /// One message bound for a connection's writer thread, plus the
 /// notification gate (if any) to rebalance once the message has left
-/// the process — written or abandoned, it is off the queue either way.
+/// the process — written or abandoned, it is off the queue either way —
+/// and the batch track (if the message is a batch reply) whose last
+/// settled reply finalizes the batch's trace.
 struct Outbound {
     response: Response,
     gate: Option<Arc<NotificationGate>>,
+    track: Option<Arc<BatchTrack>>,
 }
 
 impl From<Response> for Outbound {
@@ -147,7 +155,42 @@ impl From<Response> for Outbound {
         Outbound {
             response,
             gate: None,
+            track: None,
         }
+    }
+}
+
+/// Per-batch trace state shared by every reply of one flush. Replies
+/// fan out to several connections' writer threads; whichever writes (or
+/// abandons) the last one closes the trace: it records the reply-write
+/// span, observes the end-to-end latency, and offers the trace to the
+/// slow-query log.
+struct BatchTrack {
+    trace: ic_obs::Trace,
+    remaining: AtomicUsize,
+    /// When the assembled replies were handed to the writers.
+    enqueued: Instant,
+    /// The batch deadline anchor (earliest admission); end-to-end
+    /// latency is measured from here.
+    anchor: Instant,
+    batch_ns: ic_obs::Histogram,
+    reply_write_ns: ic_obs::Histogram,
+    slow_log: Arc<ic_obs::SlowLog>,
+}
+
+impl BatchTrack {
+    /// Marks one reply settled (written or abandoned with its client);
+    /// the last one finalizes the trace.
+    fn reply_done(&self) {
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) != 1 {
+            return;
+        }
+        let write = self.enqueued.elapsed();
+        self.trace.record(ic_obs::Stage::ReplyWrite, write);
+        self.reply_write_ns.observe(write);
+        let total = self.anchor.elapsed();
+        self.batch_ns.observe(total);
+        self.slow_log.observe(&self.trace, total);
     }
 }
 
@@ -181,6 +224,58 @@ struct Hub {
     subscribers: Mutex<HashMap<u64, Subscriber>>,
 }
 
+/// The serve-layer metrics (`serve.*` names) on a per-server registry.
+/// The original five ad-hoc counters live here now — [`Server::stats`]
+/// is a thin view over them — alongside the rest of the serving
+/// surface. Handles are resolved once at bind time so hot paths are
+/// single atomic ops.
+struct ServeMetrics {
+    registry: ic_obs::Registry,
+    admitted: ic_obs::Counter,
+    shed_queue_full: ic_obs::Counter,
+    shed_draining: ic_obs::Counter,
+    batches: ic_obs::Counter,
+    largest_batch: ic_obs::Gauge,
+    connections: ic_obs::Counter,
+    protocol_errors: ic_obs::Counter,
+    updates: ic_obs::Counter,
+    subscribes: ic_obs::Counter,
+    sub_skipped: ic_obs::Counter,
+    sub_refreshed: ic_obs::Counter,
+    notify_delivered: ic_obs::Counter,
+    notify_shed: ic_obs::Counter,
+    notify_resync: ic_obs::Counter,
+    queue_wait_ns: ic_obs::Histogram,
+    batch_ns: ic_obs::Histogram,
+    reply_write_ns: ic_obs::Histogram,
+}
+
+impl ServeMetrics {
+    fn new() -> ServeMetrics {
+        let registry = ic_obs::Registry::new();
+        ServeMetrics {
+            admitted: registry.counter("serve.admitted"),
+            shed_queue_full: registry.counter("serve.shed.queue_full"),
+            shed_draining: registry.counter("serve.shed.draining"),
+            batches: registry.counter("serve.batches"),
+            largest_batch: registry.gauge("serve.largest_batch"),
+            connections: registry.counter("serve.connections"),
+            protocol_errors: registry.counter("serve.protocol_errors"),
+            updates: registry.counter("serve.updates"),
+            subscribes: registry.counter("serve.subscribes"),
+            sub_skipped: registry.counter("serve.sub.skipped"),
+            sub_refreshed: registry.counter("serve.sub.refreshed"),
+            notify_delivered: registry.counter("serve.notify.delivered"),
+            notify_shed: registry.counter("serve.notify.shed"),
+            notify_resync: registry.counter("serve.notify.resync"),
+            queue_wait_ns: registry.histogram("serve.queue_wait_ns"),
+            batch_ns: registry.histogram("serve.batch_ns"),
+            reply_write_ns: registry.histogram("serve.reply_write_ns"),
+            registry,
+        }
+    }
+}
+
 struct Shared {
     engine: Arc<dyn QueryBackend>,
     config: ServeConfig,
@@ -189,11 +284,8 @@ struct Shared {
     draining: AtomicBool,
     conns: Mutex<Vec<JoinHandle<()>>>,
     hub: Option<Hub>,
-    admitted: AtomicU64,
-    shed_queue_full: AtomicU64,
-    shed_draining: AtomicU64,
-    batches: AtomicU64,
-    largest_batch: AtomicU64,
+    metrics: ServeMetrics,
+    slow_log: Arc<ic_obs::SlowLog>,
 }
 
 impl Shared {
@@ -224,12 +316,12 @@ impl Shared {
         // will ever flush.
         if self.is_draining() {
             drop(queue);
-            self.shed_draining.fetch_add(1, Ordering::Relaxed);
+            self.metrics.shed_draining.inc();
             return Err(ShedReason::Draining);
         }
         if queue.len() >= self.config.queue_capacity {
             drop(queue);
-            self.shed_queue_full.fetch_add(1, Ordering::Relaxed);
+            self.metrics.shed_queue_full.inc();
             return Err(ShedReason::QueueFull);
         }
         queue.push_back(Admitted {
@@ -238,9 +330,30 @@ impl Shared {
             reply_to,
         });
         drop(queue);
-        self.admitted.fetch_add(1, Ordering::Relaxed);
+        self.metrics.admitted.inc();
         shard.cond.notify_one();
         Ok(())
+    }
+
+    /// One flat name → value snapshot across every registry this server
+    /// can see: its own `serve.*` metrics, the backend's registry
+    /// (`engine.*` or `shard.*`), the process-wide store counters, and
+    /// the subscription hub totals.
+    fn stats_entries(&self) -> Vec<(String, f64)> {
+        let mut entries = self.metrics.registry.flat_entries();
+        if let Some(backend) = self.engine.obs_registry() {
+            entries.extend(backend.flat_entries());
+        }
+        entries.extend(ic_obs::global().flat_entries());
+        if let Some(hub) = &self.hub {
+            let s = hub.manager.stats();
+            entries.push(("sub.subscriptions".into(), s.subscriptions as f64));
+            entries.push(("sub.applies".into(), s.applies as f64));
+            entries.push(("sub.skipped".into(), s.skipped_total as f64));
+            entries.push(("sub.refreshed".into(), s.refreshed_total as f64));
+            entries.push(("sub.notifications".into(), s.notifications_total as f64));
+        }
+        entries
     }
 }
 
@@ -310,11 +423,8 @@ impl Server {
             draining: AtomicBool::new(false),
             conns: Mutex::new(Vec::new()),
             hub,
-            admitted: AtomicU64::new(0),
-            shed_queue_full: AtomicU64::new(0),
-            shed_draining: AtomicU64::new(0),
-            batches: AtomicU64::new(0),
-            largest_batch: AtomicU64::new(0),
+            metrics: ServeMetrics::new(),
+            slow_log: Arc::new(ic_obs::SlowLog::new(config.slow_query_threshold, 128)),
         });
         let batchers = (0..config.shards)
             .map(|idx| {
@@ -345,15 +455,31 @@ impl Server {
         self.local_addr
     }
 
-    /// Current serving counters.
+    /// Current serving counters — a thin view over the `serve.*`
+    /// entries of the metrics registry (see [`Server::stats_entries`]
+    /// for the full surface).
     pub fn stats(&self) -> ServeStats {
+        let m = &self.shared.metrics;
         ServeStats {
-            admitted: self.shared.admitted.load(Ordering::Relaxed),
-            shed_queue_full: self.shared.shed_queue_full.load(Ordering::Relaxed),
-            shed_draining: self.shared.shed_draining.load(Ordering::Relaxed),
-            batches: self.shared.batches.load(Ordering::Relaxed),
-            largest_batch: self.shared.largest_batch.load(Ordering::Relaxed),
+            admitted: m.admitted.get(),
+            shed_queue_full: m.shed_queue_full.get(),
+            shed_draining: m.shed_draining.get(),
+            batches: m.batches.get(),
+            largest_batch: m.largest_batch.get().max(0) as u64,
         }
+    }
+
+    /// Everything a STATS frame reports: the serve-layer registry, the
+    /// backend's, the process-wide store counters, and (on hub-bearing
+    /// servers) the subscription totals, as flat `(name, value)` pairs.
+    pub fn stats_entries(&self) -> Vec<(String, f64)> {
+        self.shared.stats_entries()
+    }
+
+    /// The slow-query log as JSON lines (newest last; empty string when
+    /// nothing has crossed [`ServeConfig::slow_query_threshold`] yet).
+    pub fn slow_queries_json(&self) -> String {
+        self.shared.slow_log.dump_json_lines()
     }
 
     /// Subscription-side counters, or `None` when the server was bound
@@ -429,16 +555,29 @@ fn batcher(shared: &Shared, idx: usize) {
     }
 }
 
-/// Flushes one admission batch as one pinned engine batch.
+/// Flushes one admission batch as one pinned engine batch, tracing its
+/// lifecycle: queue wait (earliest admission → pickup), the engine's
+/// plan/solve spans, merge (wire assembly), and — finalized by the last
+/// writer — reply write.
 fn flush(shared: &Shared, batch: &mut Vec<Admitted>) {
     if batch.is_empty() {
         return;
     }
+    let flush_start = Instant::now();
+    let m = &shared.metrics;
     let anchor = batch
         .iter()
         .map(|a| a.admitted_at)
         .min()
         .expect("batch is non-empty");
+    let trace = ic_obs::Trace::new();
+    trace.record(ic_obs::Stage::QueueWait, flush_start.duration_since(anchor));
+    if ic_obs::enabled() {
+        for a in batch.iter() {
+            m.queue_wait_ns
+                .observe(flush_start.duration_since(a.admitted_at));
+        }
+    }
     let queries: Vec<Query> = batch
         .iter()
         .map(|a| {
@@ -456,22 +595,38 @@ fn flush(shared: &Shared, batch: &mut Vec<Admitted>) {
         })
         .collect();
     let options = BatchOptions::new().deadline_from(anchor);
-    let (epoch, results) = shared.engine.run_batch_pinned(&queries, &options);
-    shared.batches.fetch_add(1, Ordering::Relaxed);
-    shared
-        .largest_batch
-        .fetch_max(batch.len() as u64, Ordering::Relaxed);
-    for (admitted, result) in batch.drain(..).zip(results) {
-        // A send error means the client disconnected; the answer is
-        // simply dropped with it.
-        let _ = admitted.reply_to.send(
-            Response::Reply {
+    let (epoch, results) = shared.engine.run_batch_traced(&queries, &options, &trace);
+    m.batches.inc();
+    m.largest_batch.raise_to(batch.len() as i64);
+    // Merge: engine answers → wire images, before the replies are
+    // enqueued (so the span does not overlap reply write).
+    let merge_sw = ic_obs::Stopwatch::start();
+    let outcomes: Vec<Outcome> = results.iter().map(Outcome::from_engine).collect();
+    merge_sw.record(&trace, ic_obs::Stage::Merge);
+    let track = Arc::new(BatchTrack {
+        trace,
+        remaining: AtomicUsize::new(batch.len()),
+        enqueued: Instant::now(),
+        anchor,
+        batch_ns: m.batch_ns.clone(),
+        reply_write_ns: m.reply_write_ns.clone(),
+        slow_log: Arc::clone(&shared.slow_log),
+    });
+    for (admitted, outcome) in batch.drain(..).zip(outcomes) {
+        let outbound = Outbound {
+            response: Response::Reply {
                 id: admitted.wire.id,
                 epoch: epoch.index(),
-                outcome: Outcome::from_engine(&result),
-            }
-            .into(),
-        );
+                outcome,
+            },
+            gate: None,
+            track: Some(Arc::clone(&track)),
+        };
+        // A send error means the client disconnected; the answer is
+        // simply dropped with it (but still settles the batch track).
+        if admitted.reply_to.send(outbound).is_err() {
+            track.reply_done();
+        }
     }
 }
 
@@ -545,6 +700,7 @@ fn connection(stream: TcpStream, shared: &Arc<Shared>) {
         }
     };
 
+    shared.metrics.connections.inc();
     let writer_stream = match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,
@@ -629,6 +785,11 @@ fn write_loop(
         // either way — its gate slot frees up.
         if let Some(gate) = &outbound.gate {
             gate.delivered();
+        }
+        // Likewise a batch reply settles its track; the batch's last
+        // reply (across all connections) finalizes the trace.
+        if let Some(track) = &outbound.track {
+            track.reply_done();
         }
     }
     if dead {
@@ -778,9 +939,11 @@ fn read_binary(
                 Ok(Request::Subscribe(wire)) => handle_subscribe(shared, subs, tx, wire),
                 Ok(Request::Unsubscribe { id }) => handle_unsubscribe(shared, subs, tx, id),
                 Ok(Request::Update { id, updates }) => handle_update(shared, tx, id, &updates),
+                Ok(Request::Stats { id }) => handle_stats(shared, tx, id),
                 // A decode error inside a well-delimited frame leaves
                 // the stream synchronized: report it, keep serving.
                 Err(e) => {
+                    shared.metrics.protocol_errors.inc();
                     let _ = tx.send(
                         Response::ProtocolError {
                             message: e.to_string(),
@@ -793,6 +956,7 @@ fn read_binary(
             // truncation) make resynchronization impossible: report if
             // the socket still works, then close.
             Err(e) => {
+                shared.metrics.protocol_errors.inc();
                 let _ = tx.send(
                     Response::ProtocolError {
                         message: e.to_string(),
@@ -810,6 +974,16 @@ fn handle_query(shared: &Arc<Shared>, tx: &Sender<Outbound>, wire: WireQuery) {
     if let Err(reason) = shared.submit(wire, tx.clone()) {
         let _ = tx.send(Response::Overloaded { id, reason }.into());
     }
+}
+
+fn handle_stats(shared: &Arc<Shared>, tx: &Sender<Outbound>, id: u64) {
+    let _ = tx.send(
+        Response::Stats {
+            id,
+            entries: shared.stats_entries(),
+        }
+        .into(),
+    );
 }
 
 /// A typed per-request refusal: a [`Response::Reply`] carrying an
@@ -859,6 +1033,7 @@ fn handle_subscribe(
     }
     match hub.manager.subscribe(wire.query) {
         Ok(sub) => {
+            shared.metrics.subscribes.inc();
             let gate = Arc::new(NotificationGate::new(shared.config.notify_capacity));
             hub.subscribers.lock().unwrap().insert(
                 sub.id.0,
@@ -913,6 +1088,7 @@ fn handle_update(shared: &Arc<Shared>, tx: &Sender<Outbound>, id: u64, updates: 
         // flag, so `changed` is conservatively true here.
         match shared.engine.apply_updates(updates) {
             Ok(epoch) => {
+                shared.metrics.updates.inc();
                 let _ = tx.send(
                     Response::UpdateAck {
                         id,
@@ -937,6 +1113,12 @@ fn handle_update(shared: &Arc<Shared>, tx: &Sender<Outbound>, id: u64, updates: 
     };
     match hub.manager.apply(updates) {
         Ok(report) => {
+            let m = &shared.metrics;
+            m.updates.inc();
+            // Journal-prune effectiveness: how many standing queries
+            // this apply skipped (unaffectedness proof) vs re-solved.
+            m.sub_skipped.add(report.skipped as u64);
+            m.sub_refreshed.add(report.refreshed as u64);
             // Fan out the notifications *before* enqueueing the ack:
             // an updater subscribed on the same connection observes
             // NOTIFY frames ahead of its UPDATE_ACK, so "ack received"
@@ -947,10 +1129,17 @@ fn handle_update(shared: &Arc<Shared>, tx: &Sender<Outbound>, id: u64, updates: 
                     continue; // unsubscribed between refresh and fanout
                 };
                 let resync = match sub.gate.admit() {
-                    Admission::Shed => continue,
+                    Admission::Shed => {
+                        m.notify_shed.inc();
+                        continue;
+                    }
                     Admission::Deliver => false,
-                    Admission::DeliverResync => true,
+                    Admission::DeliverResync => {
+                        m.notify_resync.inc();
+                        true
+                    }
                 };
+                m.notify_delivered.inc();
                 let outbound = Outbound {
                     response: Response::Notify(WireNotification {
                         id: sub.client_id,
@@ -960,6 +1149,7 @@ fn handle_update(shared: &Arc<Shared>, tx: &Sender<Outbound>, id: u64, updates: 
                         answer: n.answer.clone(),
                     }),
                     gate: Some(Arc::clone(&sub.gate)),
+                    track: None,
                 };
                 if sub.reply_to.send(outbound).is_err() {
                     // Writer already gone; give the admission back.
@@ -1006,6 +1196,7 @@ fn read_json(
             let line = match std::str::from_utf8(&line_bytes[..line_bytes.len() - 1]) {
                 Ok(l) => l.trim_end_matches('\r'),
                 Err(_) => {
+                    shared.metrics.protocol_errors.inc();
                     let _ = tx.send(
                         Response::ProtocolError {
                             message: ProtocolError::BadUtf8.to_string(),
@@ -1028,9 +1219,11 @@ fn read_json(
                 Ok(Request::Subscribe(wire)) => handle_subscribe(shared, subs, tx, wire),
                 Ok(Request::Unsubscribe { id }) => handle_unsubscribe(shared, subs, tx, id),
                 Ok(Request::Update { id, updates }) => handle_update(shared, tx, id, &updates),
+                Ok(Request::Stats { id }) => handle_stats(shared, tx, id),
                 // JSON lines are self-delimiting, so every error is
                 // recoverable: report and keep reading.
                 Err(e) => {
+                    shared.metrics.protocol_errors.inc();
                     let _ = tx.send(
                         Response::ProtocolError {
                             message: e.to_string(),
@@ -1041,6 +1234,7 @@ fn read_json(
             }
         }
         if pending.len() > REQ_PAYLOAD_MAX as usize {
+            shared.metrics.protocol_errors.inc();
             let _ = tx.send(
                 Response::ProtocolError {
                     message: ProtocolError::FrameTooLarge {

@@ -200,6 +200,14 @@ fn full_admission_queue_sheds_with_a_typed_reply() {
         other => panic!("expected the admitted query to complete, got {other:?}"),
     }
     assert_eq!(server.stats().shed_queue_full, 1);
+    // The legacy stats view is a projection of the metrics registry;
+    // the flat STATS surface must agree with it.
+    let registry_shed = server
+        .stats_entries()
+        .iter()
+        .find(|(name, _)| name == "serve.shed.queue_full")
+        .map(|&(_, v)| v);
+    assert_eq!(registry_shed, Some(1.0));
     server.shutdown();
     server.join();
 }
@@ -548,5 +556,148 @@ fn json_mode_serves_subscriptions_and_updates() {
             break;
         }
     }
+    server.join();
+}
+
+// ---------------------------------------------------------------------
+// Observability: the STATS surface and the slow-query log
+
+/// A STATS request returns the live metrics snapshot over both wire
+/// modes: typed `(name, value)` pairs in binary, a flat JSON object in
+/// JSON-lines mode — and the snapshot spans both the serve layer and
+/// the backend engine's registry.
+#[test]
+fn stats_frames_surface_live_counters_in_both_wire_modes() {
+    use std::io::{BufRead, Write};
+
+    let engine = Arc::new(Engine::with_threads(ic_core::figure1::figure1(), 2));
+    let server = Server::bind(engine, "127.0.0.1:0", ServeConfig::default()).unwrap();
+    let addr = server.local_addr();
+
+    let mut client = Client::connect(addr).unwrap();
+    for id in 0..5u64 {
+        let response = client
+            .call(id, &Query::new(2, 2, Aggregation::Sum))
+            .unwrap();
+        let _ = reply_communities(&response);
+    }
+    let entries = match client.stats(500).unwrap() {
+        Response::Stats { id: 500, entries } => entries,
+        other => panic!("expected a stats reply, got {other:?}"),
+    };
+    let get = |name: &str| {
+        entries
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+            .unwrap_or_else(|| panic!("missing entry {name}"))
+    };
+    assert_eq!(get("serve.admitted"), 5.0);
+    assert!(get("serve.batches") >= 1.0);
+    assert_eq!(get("serve.protocol_errors"), 0.0);
+    assert!(get("serve.connections") >= 1.0);
+    // Queries ran, so the latency histograms have mass.
+    assert_eq!(get("serve.batch_ns.count"), get("serve.batches"));
+    assert!(
+        entries.iter().any(|(n, _)| n.starts_with("engine.")),
+        "the snapshot must include the backend engine's registry, got {:?}",
+        entries.iter().map(|(n, _)| n).collect::<Vec<_>>()
+    );
+
+    // The same snapshot over the human-readable JSON-lines mode.
+    let stream = std::net::TcpStream::connect(addr).unwrap();
+    let mut reader = std::io::BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+    writeln!(writer, r#"{{"op":"stats","id":3}}"#).unwrap();
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert!(
+        line.contains(r#""id":3"#) && line.contains(r#""status":"stats""#),
+        "got: {line}"
+    );
+    assert!(line.contains(r#""serve.admitted":5"#), "got: {line}");
+
+    server.shutdown();
+    server.join();
+}
+
+/// Extracts an integer field from one JSON log line by key.
+fn json_field_u64(line: &str, key: &str) -> u64 {
+    let pat = format!("\"{key}\":");
+    let at = line
+        .find(&pat)
+        .unwrap_or_else(|| panic!("missing {key} in {line}"));
+    let digits: String = line[at + pat.len()..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    digits
+        .parse()
+        .unwrap_or_else(|_| panic!("malformed {key} in {line}"))
+}
+
+/// The acceptance claim for tracing: one slow query produces exactly
+/// one slow-query JSON line whose stage spans (queue wait + plan +
+/// solve + merge + reply write) account for the client-observed latency
+/// within 10%. A long admission window makes queue wait dominate, so
+/// the bound is robust to scheduler noise; the `index_serve` span is
+/// excluded from the sum because it is attributed *within* solve wall
+/// time, not alongside it.
+#[test]
+fn slow_query_log_stage_spans_account_for_client_latency() {
+    let engine = Arc::new(Engine::with_threads(email_graph(), 2));
+    let server = Server::bind(
+        engine,
+        "127.0.0.1:0",
+        ServeConfig {
+            admission_window: Duration::from_millis(250),
+            shards: 1,
+            slow_query_threshold: Duration::from_millis(1),
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    let t0 = std::time::Instant::now();
+    let response = client.call(1, &Query::new(4, 2, Aggregation::Sum)).unwrap();
+    let observed_ns = t0.elapsed().as_nanos() as u64;
+    let _ = reply_communities(&response);
+
+    // The trace finalizes on the writer thread after the reply hits the
+    // socket, so the log may trail the client's read by a beat.
+    let mut log = String::new();
+    for _ in 0..200 {
+        log = server.slow_queries_json();
+        if !log.is_empty() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let lines: Vec<&str> = log.lines().collect();
+    assert_eq!(lines.len(), 1, "one slow query, one log line; got {log:?}");
+    let line = lines[0];
+
+    let span_sum_ns: u64 = [
+        "queue_wait_ns",
+        "plan_ns",
+        "solve_ns",
+        "merge_ns",
+        "reply_write_ns",
+    ]
+    .iter()
+    .map(|key| json_field_u64(line, key))
+    .sum();
+    assert!(
+        observed_ns.abs_diff(span_sum_ns) * 10 <= observed_ns,
+        "stage spans ({span_sum_ns} ns) must account for the client-observed \
+         latency ({observed_ns} ns) within 10%: {line}"
+    );
+    // The 250 ms window pushed end-to-end latency far past the 1 ms
+    // threshold, and the plan saw exactly the one query.
+    assert!(json_field_u64(line, "total_ns") >= 1_000_000, "{line}");
+    assert_eq!(json_field_u64(line, "queries"), 1, "{line}");
+
+    server.shutdown();
     server.join();
 }

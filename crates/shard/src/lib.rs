@@ -68,6 +68,31 @@ pub struct ShardedEngine {
     groups: Vec<Vec<usize>>,
     global_n: u64,
     global_m: u64,
+    metrics: ShardMetrics,
+}
+
+/// Scatter-gather observability (`shard.*` names) on a per-instance
+/// registry, mirroring the engine's layout. The per-shard engines keep
+/// their own registries; this one times the front itself.
+struct ShardMetrics {
+    registry: ic_obs::Registry,
+    batches: ic_obs::Counter,
+    fanout: ic_obs::Counter,
+    scatter_ns: ic_obs::Histogram,
+    merge_ns: ic_obs::Histogram,
+}
+
+impl ShardMetrics {
+    fn new() -> ShardMetrics {
+        let registry = ic_obs::Registry::new();
+        ShardMetrics {
+            batches: registry.counter("shard.batches"),
+            fanout: registry.counter("shard.fanout"),
+            scatter_ns: registry.histogram("shard.scatter_ns"),
+            merge_ns: registry.histogram("shard.merge_ns"),
+            registry,
+        }
+    }
 }
 
 fn corrupt<S: Into<String>>(what: S) -> StoreError {
@@ -223,7 +248,15 @@ impl ShardedEngine {
             groups,
             global_n,
             global_m,
+            metrics: ShardMetrics::new(),
         })
+    }
+
+    /// The front's metrics registry (`shard.*` names): batch and
+    /// fan-out counters plus scatter/merge latency histograms. The
+    /// per-shard engines keep their own `engine.*` registries.
+    pub fn obs_registry(&self) -> &ic_obs::Registry {
+        &self.metrics.registry
     }
 
     /// Number of opened shards.
@@ -286,6 +319,30 @@ impl ShardedEngine {
         queries: &[Query],
         options: &BatchOptions,
     ) -> (Epoch, Vec<Result<QueryAnswer, EngineError>>) {
+        self.run_batch_inner(queries, options, None)
+    }
+
+    /// [`run_batch_pinned`](Self::run_batch_pinned) with a query trace:
+    /// the scatter phase lands in the `Solve` span (it is the sharded
+    /// analogue of solver execution) and the gather/merge loop in
+    /// `Merge`. Per-shard engines add their own `IndexServe` sub-spans
+    /// through [`Engine::run_batch_traced`].
+    pub fn run_batch_traced(
+        &self,
+        queries: &[Query],
+        options: &BatchOptions,
+        trace: &ic_obs::Trace,
+    ) -> (Epoch, Vec<Result<QueryAnswer, EngineError>>) {
+        self.run_batch_inner(queries, options, Some(trace))
+    }
+
+    fn run_batch_inner(
+        &self,
+        queries: &[Query],
+        options: &BatchOptions,
+        trace: Option<&ic_obs::Trace>,
+    ) -> (Epoch, Vec<Result<QueryAnswer, EngineError>>) {
+        self.metrics.batches.inc();
         let mut slots: Vec<Option<Result<QueryAnswer, EngineError>>> = vec![None; queries.len()];
         // Per shard: which query indices scatter to it.
         let mut per_shard: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
@@ -335,6 +392,7 @@ impl ShardedEngine {
 
         // Scatter: one engine batch per contributing shard, run
         // concurrently (each shard engine has its own worker pool).
+        let scatter_sw = ic_obs::Stopwatch::start();
         let mut shard_results: Vec<Option<Vec<Result<QueryAnswer, EngineError>>>> =
             (0..self.shards.len()).map(|_| None).collect();
         std::thread::scope(|scope| {
@@ -347,10 +405,14 @@ impl ShardedEngine {
                     let subset: Vec<Query> = qis.iter().map(|&qi| queries[qi]).collect();
                     (
                         si,
-                        scope.spawn(move || shard.engine.run_batch_pinned(&subset, options).1),
+                        scope.spawn(move || match trace {
+                            Some(t) => shard.engine.run_batch_traced(&subset, options, t).1,
+                            None => shard.engine.run_batch_pinned(&subset, options).1,
+                        }),
                     )
                 })
                 .collect();
+            self.metrics.fanout.add(handles.len() as u64);
             for (si, handle) in handles {
                 // A panicking shard solver is already isolated per
                 // query inside its engine; a panic escaping the batch
@@ -358,8 +420,13 @@ impl ShardedEngine {
                 shard_results[si] = Some(handle.join().expect("shard batch panicked"));
             }
         });
+        if let Some(trace) = trace {
+            scatter_sw.record(trace, ic_obs::Stage::Solve);
+        }
+        scatter_sw.observe(&self.metrics.scatter_ns);
 
         // Gather: merge each query's per-shard answers.
+        let merge_sw = ic_obs::Stopwatch::start();
         for (qi, q) in queries.iter().enumerate() {
             if slots[qi].is_some() {
                 continue;
@@ -417,6 +484,11 @@ impl ShardedEngine {
             });
         }
 
+        if let Some(trace) = trace {
+            merge_sw.record(trace, ic_obs::Stage::Merge);
+        }
+        merge_sw.observe(&self.metrics.merge_ns);
+
         (
             Epoch::default(),
             slots
@@ -434,6 +506,19 @@ impl QueryBackend for ShardedEngine {
         options: &BatchOptions,
     ) -> (Epoch, Vec<Result<QueryAnswer, EngineError>>) {
         ShardedEngine::run_batch_pinned(self, queries, options)
+    }
+
+    fn run_batch_traced(
+        &self,
+        queries: &[Query],
+        options: &BatchOptions,
+        trace: &ic_obs::Trace,
+    ) -> (Epoch, Vec<Result<QueryAnswer, EngineError>>) {
+        ShardedEngine::run_batch_traced(self, queries, options, trace)
+    }
+
+    fn obs_registry(&self) -> Option<&ic_obs::Registry> {
+        Some(&self.metrics.registry)
     }
 }
 

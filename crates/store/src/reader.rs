@@ -231,10 +231,25 @@ impl StoreFile {
         loop {
             match Self::open_once(path, options.map) {
                 Err(StoreError::Io(e)) if is_transient(e.kind()) && attempt + 1 < attempts => {
+                    ic_obs::global().counter("store.open_retries").inc();
                     std::thread::sleep(options.backoff.saturating_mul(1 << attempt.min(16)));
                     attempt += 1;
                 }
-                other => return other,
+                other => {
+                    // Cold-start accounting on the process-wide registry
+                    // (the store layer has no instance to hang one on).
+                    let obs = ic_obs::global();
+                    match &other {
+                        Ok(store) => {
+                            obs.counter("store.opens").inc();
+                            if store.is_lazy_verified() {
+                                obs.counter("store.lazy_opens").inc();
+                            }
+                        }
+                        Err(_) => obs.counter("store.open_errors").inc(),
+                    }
+                    return other;
+                }
             }
         }
     }
@@ -465,6 +480,9 @@ impl StoreFile {
                     )));
                 }
                 verified[i].store(true, Ordering::Release);
+                ic_obs::global()
+                    .counter("store.lazy_verified_sections")
+                    .inc();
             }
         }
         Ok(&bytes[s.offset as usize..(s.offset + s.len) as usize])
